@@ -1,0 +1,99 @@
+// A12 (ablation, paper §7): enforcement backends — BGP injection vs
+// Espresso-style host routing. Same allocator, different operational
+// behaviour: update-message overhead while running, and revert latency
+// when the controller crashes at peak.
+#include "bench/common.h"
+#include "workload/demand.h"
+
+int main() {
+  using namespace ef;
+  using net::SimTime;
+  bench::print_title(
+      "A12", "enforcement ablation: BGP injection vs host routing");
+
+  const topology::World& world = bench::standard_world();
+
+  analysis::TablePrinter table({"backend", "overload(48h)", "bgp-updates",
+                                "crash-revert", "stale-risk"},
+                               {16, 14, 13, 14, 34});
+  table.print_header();
+
+  for (const core::Enforcement enforcement :
+       {core::Enforcement::kBgpInjection, core::Enforcement::kHostRouting}) {
+    // Part 1: normal 48 h operation — residual overload and BGP chatter.
+    double overload_gbit = 0;
+    std::uint64_t controller_updates = 0;
+    {
+      topology::Pop pop(world, 0);
+      sim::SimulationConfig config = bench::standard_sim_config(true);
+      config.controller.enforcement = enforcement;
+      sim::Simulation simulation(pop, config);
+      simulation.run([&](const sim::StepRecord& record) {
+        overload_gbit += record.overload.bits_per_sec() * 60 / 1e9;
+      });
+      // Count UPDATE messages the controller's speaker sent (0 for host
+      // routing, which programs hosts directly).
+      for (bgp::PeerId peer :
+           simulation.controller()->speaker().peer_ids()) {
+        const bgp::BgpSession* session =
+            simulation.controller()->speaker().session(peer);
+        if (session) controller_updates += session->stats().updates_sent;
+      }
+    }
+
+    // Part 2: crash at peak — how long until the overrides are gone
+    // (BGP: immediately with the session; host routing: lease expiry).
+    double revert_seconds = 0;
+    {
+      topology::Pop pop(world, 0);
+      workload::DemandConfig quiet;
+      quiet.enable_events = false;
+      quiet.noise_sigma = 0;
+      workload::DemandGenerator gen(world, 0, quiet);
+      const telemetry::DemandMatrix peak = gen.baseline(SimTime::hours(0));
+
+      core::ControllerConfig config;
+      config.enforcement = enforcement;
+      core::Controller controller(pop, config);
+      controller.connect();
+      controller.run_cycle(peak, SimTime::seconds(0));
+      controller.shutdown(SimTime::seconds(0));  // crash
+
+      auto overrides_active = [&]() {
+        if (enforcement == core::Enforcement::kHostRouting) {
+          return pop.host_override_count() > 0;
+        }
+        bool any = false;
+        pop.collector().rib().for_each(
+            [&](const net::Prefix&, std::span<const bgp::Route> routes) {
+              for (const bgp::Route& route : routes) {
+                any = any ||
+                      route.peer_type == bgp::PeerType::kController;
+              }
+            });
+        return any;
+      };
+
+      for (int t = 1; t <= 300 && overrides_active(); ++t) {
+        pop.tick(SimTime::seconds(t));
+        revert_seconds = t;
+      }
+    }
+
+    const bool bgp = enforcement == core::Enforcement::kBgpInjection;
+    table.print_row(
+        {bgp ? "bgp-injection" : "host-routing",
+         analysis::TablePrinter::fmt(overload_gbit, 3) + " Gbit",
+         std::to_string(controller_updates),
+         analysis::TablePrinter::fmt(revert_seconds, 0) + " s",
+         bgp ? "none (session-scoped state)"
+             : "stale entries until lease expiry"});
+  }
+
+  std::printf(
+      "\nShape check (paper §7): both backends absorb the same overload.\n"
+      "BGP injection self-reverts the instant the controller dies but\n"
+      "pays continuous UPDATE chatter; host routing is silent on the BGP\n"
+      "plane yet leaves lease-bounded stale state after a crash.\n");
+  return 0;
+}

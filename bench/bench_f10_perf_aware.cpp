@@ -1,0 +1,96 @@
+// F10 (Fig. 10): performance-aware overrides — run the full pipeline
+// (measure -> advise -> inject) at daily peak and report the distribution
+// of RTT improvement for steered prefixes, plus the traffic share steered.
+#include "bench/common.h"
+#include "altpath/advisor.h"
+#include "altpath/measurer.h"
+#include "altpath/perf_model.h"
+#include "core/controller.h"
+#include "workload/demand.h"
+
+int main() {
+  using namespace ef;
+  bench::print_title("F10",
+                     "performance-aware steering: RTT improvement at peak");
+
+  const topology::World& world = bench::standard_world();
+  analysis::TablePrinter table({"pop", "steered", "traffic-share",
+                                "p50-improve", "p90-improve", "max-improve"},
+                               {8, 9, 14, 13, 13, 12});
+  table.print_header();
+
+  net::CdfBuilder all_improvements;
+  for (std::size_t p = 0; p < world.pops().size(); ++p) {
+    topology::Pop pop(world, p);
+    workload::DemandConfig quiet;
+    quiet.enable_events = false;
+    quiet.noise_sigma = 0;
+    workload::DemandGenerator gen(world, p, quiet);
+    // Each PoP peaks at its own phase; measure at the local peak where
+    // under-provisioned ports congest.
+    const telemetry::DemandMatrix demand =
+        gen.baseline(net::SimTime::hours(6.0 * static_cast<double>(p)));
+
+    altpath::PerfModel model(pop);
+    model.set_interface_load(pop.project_load(demand));
+    altpath::MeasurerConfig measurer_config;
+    measurer_config.noise_ms = 1.5;
+    altpath::AltPathMeasurer measurer(pop, model, measurer_config);
+    for (int round = 0; round < 10; ++round) {
+      measurer.run_round(demand, net::SimTime::seconds(round * 30));
+    }
+
+    altpath::PolicyRouter policy(pop);
+    altpath::PerfAwareAdvisor advisor(pop, measurer, {});
+    core::Controller controller(pop, {});
+    controller.connect();
+    controller.set_advisor([&](const core::AllocationResult&) {
+      return advisor.advise(demand);
+    });
+    const core::CycleStats stats =
+        controller.run_cycle(demand, net::SimTime::seconds(300));
+
+    // Ground-truth improvement per steered prefix: natural preferred path
+    // RTT minus the now-forwarding path RTT (both at pre-steering load).
+    net::CdfBuilder improvements;
+    net::Bandwidth steered_rate;
+    for (const auto& [prefix, override_entry] :
+         controller.active_overrides()) {
+      const bgp::Route* natural = policy.natural_route(prefix, 0);
+      const bgp::Route* now = pop.collector().rib().best(prefix);
+      if (!natural || !now) continue;
+      const auto before = model.rtt_ms(prefix, *natural);
+      const auto after = model.rtt_ms(prefix, *now);
+      if (!before || !after) continue;
+      improvements.add(*before - *after);
+      all_improvements.add(*before - *after);
+      steered_rate += override_entry.rate;
+    }
+
+    table.print_row(
+        {world.pops()[p].name, std::to_string(stats.overrides_active),
+         analysis::TablePrinter::pct(steered_rate / demand.total(), 1),
+         improvements.empty()
+             ? "-"
+             : analysis::TablePrinter::fmt(improvements.percentile(50), 1) +
+                   " ms",
+         improvements.empty()
+             ? "-"
+             : analysis::TablePrinter::fmt(improvements.percentile(90), 1) +
+                   " ms",
+         improvements.empty()
+             ? "-"
+             : analysis::TablePrinter::fmt(improvements.percentile(100), 1) +
+                   " ms"});
+  }
+
+  std::printf("\n  RTT improvement across all steered prefixes:\n");
+  bench::print_cdf(all_improvements, "improvement(ms)");
+
+  std::printf(
+      "\nShape check (paper): steering a small share of traffic off\n"
+      "congested preferred paths yields tens of milliseconds of median\n"
+      "improvement for the affected prefixes (capacity overrides also\n"
+      "land in the count — they relieve the same congestion).\n");
+  return 0;
+}

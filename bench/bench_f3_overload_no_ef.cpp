@@ -1,0 +1,57 @@
+// F3 (Fig. 3): without Edge Fabric — projected interface utilization over
+// two simulated days under vanilla BGP.
+//
+// Reports, per PoP: the CDF of (interface, minute) utilization samples,
+// the fraction of samples above capacity, which interfaces ever overload,
+// and how much traffic would have been dropped.
+#include "bench/common.h"
+
+int main() {
+  using namespace ef;
+  bench::print_title(
+      "F3", "interface utilization without Edge Fabric (48 h, per minute)");
+
+  const topology::World& world = bench::standard_world();
+  analysis::TablePrinter table({"pop", "ifaces", "overloaded-ifaces",
+                                "sample-frac>100%", "would-drop"},
+                               {8, 8, 18, 18, 12});
+  table.print_header();
+
+  net::CdfBuilder all_utilization;
+  for (std::size_t p = 0; p < world.pops().size(); ++p) {
+    topology::Pop pop(world, p);
+    analysis::UtilizationTracker tracker(pop.interfaces());
+    sim::Simulation simulation(pop, bench::standard_sim_config(false));
+    simulation.run([&](const sim::StepRecord& record) {
+      tracker.record(record.when, record.load);
+    });
+
+    int ever_overloaded = 0;
+    for (const auto& [iface, peak] : tracker.peak_utilization()) {
+      if (peak > 1.0) ++ever_overloaded;
+      all_utilization.add(peak);
+    }
+    table.print_row(
+        {world.pops()[p].name, std::to_string(pop.interfaces().size()),
+         std::to_string(ever_overloaded),
+         analysis::TablePrinter::pct(tracker.overloaded_fraction(1.0), 2),
+         analysis::TablePrinter::pct(tracker.excess_traffic_fraction(), 2)});
+
+    if (p == 0) {
+      std::printf("\n  %s utilization sample CDF:\n",
+                  world.pops()[p].name.c_str());
+      bench::print_cdf(tracker.utilization_samples(), "utilization");
+      std::printf("\n");
+      table.print_header();
+    }
+  }
+
+  std::printf("\n  Peak utilization per interface (all PoPs):\n");
+  bench::print_cdf(all_utilization, "peak-util");
+
+  std::printf(
+      "\nShape check (paper): a minority of interfaces (under-provisioned\n"
+      "PNIs) exceed capacity around daily peaks; a few percent of samples\n"
+      "are overloaded and a small but real share of traffic would drop.\n");
+  return 0;
+}

@@ -1,0 +1,93 @@
+// F5 (Fig. 5): Edge Fabric vs baselines over the same 48 hours — the
+// headline result. Identical demand trajectories (same seeds) under:
+//   * vanilla BGP,
+//   * static TE (allocator run once against 85%-of-peak planning demand),
+//   * Edge Fabric (stateless controller every cycle).
+#include "bench/common.h"
+#include "baseline/baselines.h"
+#include "workload/demand.h"
+
+namespace {
+
+struct RegimeResult {
+  double overloaded_sample_fraction = 0;
+  double dropped_traffic_fraction = 0;
+  std::size_t episodes = 0;
+  double peak_utilization = 0;
+};
+
+}  // namespace
+
+int main() {
+  using namespace ef;
+  bench::print_title("F5", "Edge Fabric vs vanilla BGP vs static TE (48 h)");
+
+  const topology::World& world = bench::standard_world();
+  analysis::TablePrinter table({"pop", "regime", "samples>100%", "drop-frac",
+                                "episodes", "peak-util"},
+                               {8, 12, 14, 12, 10, 10});
+  table.print_header();
+
+  for (std::size_t p = 0; p < world.pops().size(); ++p) {
+    auto run_regime = [&](bool controller, bool static_te) {
+      topology::Pop pop(world, p);
+      std::unique_ptr<baseline::StaticTe> static_controller;
+      if (static_te) {
+        // Plan against 85% of clean peak demand — generous but frozen.
+        workload::DemandConfig quiet;
+        quiet.enable_events = false;
+        quiet.noise_sigma = 0;
+        workload::DemandGenerator gen(world, p, quiet);
+        telemetry::DemandMatrix planning;
+        gen.baseline(net::SimTime::hours(6.0 * static_cast<double>(p)))
+            .for_each([&](const net::Prefix& prefix, net::Bandwidth rate) {
+              planning.set(prefix, rate * 0.85);
+            });
+        static_controller = std::make_unique<baseline::StaticTe>(pop);
+        static_controller->install(planning, net::SimTime::seconds(0));
+      }
+
+      analysis::UtilizationTracker tracker(pop.interfaces());
+      sim::Simulation simulation(pop, bench::standard_sim_config(controller));
+      simulation.run([&](const sim::StepRecord& record) {
+        // The static controller's session needs keepalives like any BGP
+        // speaker, or its overrides would be flushed by the hold timer.
+        if (static_controller) static_controller->tick(record.when);
+        tracker.record(record.when, record.load);
+      });
+
+      RegimeResult result;
+      result.overloaded_sample_fraction = tracker.overloaded_fraction(1.0);
+      result.dropped_traffic_fraction = tracker.excess_traffic_fraction();
+      result.episodes = tracker.episodes(1.0).size();
+      for (const auto& [iface, peak] : tracker.peak_utilization()) {
+        result.peak_utilization = std::max(result.peak_utilization, peak);
+      }
+      return result;
+    };
+
+    const RegimeResult bgp = run_regime(false, false);
+    const RegimeResult static_te = run_regime(false, true);
+    const RegimeResult edge_fabric = run_regime(true, false);
+
+    auto row = [&](const char* regime, const RegimeResult& r) {
+      table.print_row({world.pops()[p].name, regime,
+                       analysis::TablePrinter::pct(
+                           r.overloaded_sample_fraction, 2),
+                       analysis::TablePrinter::pct(r.dropped_traffic_fraction,
+                                                   3),
+                       std::to_string(r.episodes),
+                       analysis::TablePrinter::fmt(r.peak_utilization, 2)});
+    };
+    row("bgp-only", bgp);
+    row("static-te", static_te);
+    row("edge-fabric", edge_fabric);
+  }
+
+  std::printf(
+      "\nShape check (paper): Edge Fabric eliminates overload entirely\n"
+      "(0 episodes, 0 drops, peak utilization capped near the threshold),\n"
+      "while BGP-only drops traffic at every daily peak and a frozen\n"
+      "static configuration helps only at its planning point.\n");
+  return 0;
+}

@@ -1,0 +1,106 @@
+// F6 (Fig. 6): how much traffic Edge Fabric detours — per-cycle fraction
+// of total demand, number of overridden prefixes, and an hourly timeline
+// showing detours tracking the diurnal peaks. Also the detour-order
+// ablation (paper's best-alternate-first vs naive largest-first).
+#include "bench/common.h"
+
+namespace {
+
+struct OrderResult {
+  ef::net::CdfBuilder detoured_fraction;
+  ef::net::CdfBuilder override_counts;
+  double total_overload_bps = 0;
+};
+
+}  // namespace
+
+int main() {
+  using namespace ef;
+  bench::print_title("F6", "detoured traffic share & override counts (48 h)");
+
+  const topology::World& world = bench::standard_world();
+
+  // Timeline + distribution for the paper's configuration, PoP a.
+  {
+    topology::Pop pop(world, 0);
+    sim::SimulationConfig config = bench::standard_sim_config(true);
+    sim::Simulation simulation(pop, config);
+    analysis::DetourTracker detours;
+
+    std::printf("  hourly timeline (%s):\n", world.pops()[0].name.c_str());
+    std::printf("  %-6s %-12s %-12s %-10s\n", "hour", "demand", "detoured",
+                "overrides");
+    simulation.run([&](const sim::StepRecord& record) {
+      if (!record.controller) return;
+      detours.record_cycle(*record.controller,
+                           simulation.controller()->active_overrides(),
+                           record.total_demand);
+      const std::int64_t minute = record.when.millis_value() / 60000;
+      if (minute % 240 == 0) {  // every 4 hours
+        net::Bandwidth detoured;
+        for (const auto& [prefix, override_entry] :
+             simulation.controller()->active_overrides()) {
+          detoured += override_entry.rate;
+        }
+        std::printf("  %-6lld %-12s %-12s %-10zu\n",
+                    static_cast<long long>(minute / 60),
+                    record.total_demand.to_string().c_str(),
+                    detoured.to_string().c_str(),
+                    record.controller->overrides_active);
+      }
+    });
+
+    std::printf("\n  Detoured fraction of total demand (per cycle):\n");
+    bench::print_cdf(detours.detoured_fraction(), "fraction");
+    std::printf("\n  Active overrides (per cycle):\n");
+    bench::print_cdf(detours.override_counts(), "count");
+  }
+
+  // Ablation: detour selection order, aggregated over all PoPs.
+  std::printf("\n  Ablation — detour selection order (all PoPs, 48 h):\n");
+  analysis::TablePrinter table(
+      {"order", "p50-detoured", "p99-detoured", "p99-overrides",
+       "residual-overload"},
+      {22, 13, 13, 14, 18});
+  table.print_header();
+  for (const core::DetourOrder order :
+       {core::DetourOrder::kBestAlternateFirst,
+        core::DetourOrder::kLargestFirst}) {
+    OrderResult result;
+    for (std::size_t p = 0; p < world.pops().size(); ++p) {
+      topology::Pop pop(world, p);
+      sim::SimulationConfig config = bench::standard_sim_config(true);
+      config.controller.allocator.order = order;
+      sim::Simulation simulation(pop, config);
+      simulation.run([&](const sim::StepRecord& record) {
+        if (!record.controller) return;
+        net::Bandwidth detoured;
+        for (const auto& [prefix, override_entry] :
+             simulation.controller()->active_overrides()) {
+          detoured += override_entry.rate;
+        }
+        result.detoured_fraction.add(detoured / record.total_demand);
+        result.override_counts.add(static_cast<double>(
+            record.controller->overrides_active));
+        result.total_overload_bps += record.overload.bits_per_sec();
+      });
+    }
+    table.print_row(
+        {order == core::DetourOrder::kBestAlternateFirst
+             ? "best-alternate-first"
+             : "largest-first",
+         analysis::TablePrinter::pct(result.detoured_fraction.percentile(50),
+                                     2),
+         analysis::TablePrinter::pct(result.detoured_fraction.percentile(99),
+                                     2),
+         analysis::TablePrinter::fmt(result.override_counts.percentile(99), 0),
+         analysis::TablePrinter::fmt(result.total_overload_bps / 1e9, 3) +
+             " Gbit"});
+  }
+
+  std::printf(
+      "\nShape check (paper): detours are a small share of total traffic\n"
+      "(median a few percent, even at p99 well under a quarter) — the\n"
+      "controller moves only what the overloaded ports cannot carry.\n");
+  return 0;
+}

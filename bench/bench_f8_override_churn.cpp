@@ -1,0 +1,64 @@
+// F8 (Fig. 8): override churn — lifetimes, flaps, and announce/withdraw
+// rates for the pure stateless controller vs the hysteresis ablation,
+// swept over the restore threshold.
+#include "bench/common.h"
+
+int main() {
+  using namespace ef;
+  bench::print_title("F8",
+                     "override lifetimes & flap rate vs hysteresis (48 h)");
+
+  const topology::World& world = bench::standard_world();
+  analysis::TablePrinter table(
+      {"restore-threshold", "p50-life(min)", "p90-life(min)", "flapping",
+       "adds+removes", "p99-overrides", "residual-overload"},
+      {18, 14, 14, 10, 13, 14, 18});
+  table.print_header();
+
+  for (const double restore : {0.0, 0.5, 0.75, 0.9}) {
+    analysis::DetourTracker detours;
+    std::size_t churn_events = 0;
+    double residual_overload = 0;
+    net::CdfBuilder override_counts;
+
+    for (std::size_t p = 0; p < world.pops().size(); ++p) {
+      topology::Pop pop(world, p);
+      sim::SimulationConfig config = bench::standard_sim_config(true);
+      config.controller.restore_threshold = restore;
+      sim::Simulation simulation(pop, config);
+      simulation.run([&](const sim::StepRecord& record) {
+        if (!record.controller) return;
+        detours.record_cycle(*record.controller,
+                             simulation.controller()->active_overrides(),
+                             record.total_demand);
+        churn_events += record.controller->added + record.controller->removed;
+        override_counts.add(
+            static_cast<double>(record.controller->overrides_active));
+        residual_overload += record.overload.bits_per_sec() * 60;
+      });
+    }
+
+    const auto& lifetimes = detours.override_lifetime_cycles();
+    table.print_row(
+        {restore == 0 ? "0 (stateless/paper)"
+                      : analysis::TablePrinter::fmt(restore, 2),
+         lifetimes.empty()
+             ? "-"
+             : analysis::TablePrinter::fmt(lifetimes.percentile(50), 0),
+         lifetimes.empty()
+             ? "-"
+             : analysis::TablePrinter::fmt(lifetimes.percentile(90), 0),
+         std::to_string(detours.flapping_prefixes()) + "/" +
+             std::to_string(detours.total_overridden_prefixes()),
+         std::to_string(churn_events),
+         analysis::TablePrinter::fmt(override_counts.percentile(99), 0),
+         analysis::TablePrinter::fmt(residual_overload / 1e9, 3) + " Gbit"});
+  }
+
+  std::printf(
+      "\nShape check (paper): the stateless design keeps overrides exactly\n"
+      "as long as the overload lasts but churns at the boundary; a modest\n"
+      "restore band lengthens lifetimes and cuts announce/withdraw load at\n"
+      "the cost of keeping some traffic detoured slightly longer.\n");
+  return 0;
+}

@@ -1,0 +1,58 @@
+// Shared setup for the experiment benches: one standard world and
+// simulation configuration so every exhibit is computed over the same
+// environment (as the paper's figures are drawn from one deployment).
+#pragma once
+
+#include <cstdio>
+#include <string>
+
+#include "analysis/metrics.h"
+#include "sim/simulation.h"
+#include "topology/pop.h"
+#include "topology/world.h"
+
+namespace ef::bench {
+
+inline topology::WorldConfig standard_world_config() {
+  topology::WorldConfig config;
+  config.seed = 42;
+  config.num_clients = 56;
+  config.num_pops = 4;
+  return config;
+}
+
+inline const topology::World& standard_world() {
+  static const topology::World world =
+      topology::World::generate(standard_world_config());
+  return world;
+}
+
+inline sim::SimulationConfig standard_sim_config(bool controller) {
+  sim::SimulationConfig config;
+  config.duration = net::SimTime::hours(48);
+  config.step = net::SimTime::seconds(60);
+  config.controller_enabled = controller;
+  config.controller.cycle_period = net::SimTime::seconds(60);
+  return config;
+}
+
+inline void print_title(const std::string& id, const std::string& caption) {
+  std::printf("\n==============================================================\n");
+  std::printf("%s — %s\n", id.c_str(), caption.c_str());
+  std::printf("==============================================================\n");
+}
+
+/// Renders a CDF as "value fraction" rows for plotting.
+inline void print_cdf(const net::CdfBuilder& cdf, const char* value_label,
+                      std::size_t points = 12) {
+  if (cdf.empty()) {
+    std::printf("  (no samples)\n");
+    return;
+  }
+  std::printf("  %-14s %s\n", value_label, "CDF");
+  for (const auto& [value, fraction] : cdf.cdf_points(points)) {
+    std::printf("  %-14.3f %.3f\n", value, fraction);
+  }
+}
+
+}  // namespace ef::bench

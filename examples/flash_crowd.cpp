@@ -1,0 +1,98 @@
+// Flash crowd scenario: a live-video event multiplies one eyeball
+// network's demand mid-evening. The under-provisioned PNI to that network
+// saturates; Edge Fabric detours the overflow within one 30-second cycle
+// and hands the traffic back as the event drains.
+//
+// Prints a per-minute timeline of the hot interface's utilization with
+// and without the controller.
+#include <algorithm>
+#include <cstdio>
+
+#include "core/controller.h"
+#include "topology/pop.h"
+#include "workload/demand.h"
+
+int main() {
+  using namespace ef;
+  using net::SimTime;
+
+  topology::WorldConfig world_config;
+  world_config.num_clients = 48;
+  const topology::World world = topology::World::generate(world_config);
+
+  // Two identical PoPs: one controlled, one left to vanilla BGP.
+  topology::Pop controlled(world, 0);
+  topology::Pop vanilla(world, 0);
+  core::Controller controller(controlled, {});
+  controller.connect();
+
+  // Find the busiest private peering: the flash crowd will hit its client.
+  const topology::PopDef& def = controlled.def();
+  std::size_t target_client = 0;
+  double best_share = 0;
+  for (const topology::PeeringDef& peering : def.peerings) {
+    if (peering.type != bgp::PeerType::kPrivatePeer) continue;
+    for (const topology::AnnouncedRoute& route : peering.routes) {
+      if (route.tail.empty() &&
+          def.client_share[route.client] > best_share) {
+        best_share = def.client_share[route.client];
+        target_client = route.client;
+      }
+    }
+  }
+  std::printf("flash crowd hits AS%u (%.1f%% of PoP traffic)\n",
+              world.clients()[target_client].as.value(), best_share * 100);
+
+  // Demand: 85%-of-peak base load, plus a crowd that ramps 1.0 -> 1.8 ->
+  // 1.0 on the target client over 40 minutes.
+  workload::DemandConfig quiet;
+  quiet.enable_events = false;
+  quiet.noise_sigma = 0;
+  workload::DemandGenerator gen(world, 0, quiet);
+
+  auto crowd_multiplier = [](int minute) {
+    if (minute < 5 || minute >= 45) return 1.0;
+    const double ramp = std::min(minute - 5, 45 - minute) / 10.0;
+    return 1.0 + 0.8 * std::min(1.0, ramp);
+  };
+
+  std::printf("\n%6s %10s %16s %16s %10s\n", "minute", "crowd", "util (BGP)",
+              "util (EF)", "overrides");
+  for (int minute = 0; minute <= 50; minute += 2) {
+    telemetry::DemandMatrix demand = gen.baseline(SimTime::seconds(0));
+    telemetry::DemandMatrix scaled;
+    const double multiplier = crowd_multiplier(minute);
+    demand.for_each([&](const net::Prefix& prefix, net::Bandwidth rate) {
+      const auto owner = world.client_of_prefix(prefix);
+      const double factor =
+          owner == target_client ? 0.85 * multiplier : 0.85;
+      scaled.set(prefix, rate * factor);
+    });
+
+    const auto stats =
+        controller.run_cycle(scaled, SimTime::minutes(minute));
+
+    // Utilization of the crowd client's home PNI under both regimes.
+    const net::Prefix probe = world.clients()[target_client].prefixes[0];
+    const auto egress = vanilla.egress_of(probe);
+    const auto iface = egress->interface;
+    const double capacity =
+        vanilla.interfaces().capacity(iface).bits_per_sec();
+
+    auto util = [&](const topology::Pop& pop) {
+      const auto load = pop.project_load(scaled);
+      auto it = load.find(iface);
+      return it == load.end() ? 0.0 : it->second.bits_per_sec() / capacity;
+    };
+
+    std::printf("%6d %9.2fx %15.1f%% %15.1f%% %10zu\n", minute, multiplier,
+                util(vanilla) * 100, util(controlled) * 100,
+                stats.overrides_active);
+  }
+
+  std::printf(
+      "\nThe BGP column exceeds 100%% during the event (those bits drop);\n"
+      "the Edge Fabric column stays at the target utilization, and the\n"
+      "overrides retract as the crowd drains.\n");
+  return 0;
+}

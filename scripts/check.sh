@@ -1,0 +1,11 @@
+#!/usr/bin/env bash
+# Full verification: configure, build, run the test suite, run every
+# experiment bench. This is the command sequence CI runs and the one the
+# top-level docs reference.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cmake -B build -G Ninja
+cmake --build build
+ctest --test-dir build --output-on-failure
+for b in build/bench/*; do "$b"; done

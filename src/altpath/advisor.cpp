@@ -1,0 +1,55 @@
+#include "altpath/advisor.h"
+
+namespace ef::altpath {
+
+PerfAwareAdvisor::PerfAwareAdvisor(const topology::Pop& pop,
+                                   const AltPathMeasurer& measurer,
+                                   AdvisorConfig config)
+    : pop_(&pop), measurer_(&measurer), config_(config), policy_(pop) {}
+
+std::vector<core::Override> PerfAwareAdvisor::advise(
+    const telemetry::DemandMatrix& demand) const {
+  std::vector<core::Override> overrides;
+
+  demand.for_each([&](const net::Prefix& prefix, net::Bandwidth rate) {
+    if (rate < config_.min_rate) return;
+    const auto primary = measurer_->report(prefix, 0);
+    if (!primary || primary->samples < config_.min_samples) return;
+
+    // Pick the best-measured alternate that clears the improvement bar.
+    int best_rank = 0;
+    double best_median = primary->median_rtt_ms - config_.min_improvement_ms;
+    for (int rank = 1; rank <= config_.max_rank; ++rank) {
+      const auto alt = measurer_->report(prefix, rank);
+      if (!alt || alt->samples < config_.min_samples) continue;
+      if (alt->median_rtt_ms < best_median) {
+        best_median = alt->median_rtt_ms;
+        best_rank = rank;
+      }
+    }
+    if (best_rank == 0) return;
+
+    const bgp::Route* primary_route = policy_.natural_route(prefix, 0);
+    const bgp::Route* alt_route =
+        policy_.natural_route(prefix, best_rank);
+    if (!primary_route || !alt_route) return;
+    const auto from = pop_->egress_of_route(*primary_route);
+    const auto target = pop_->egress_of_route(*alt_route);
+    if (!from || !target || from->interface == target->interface) return;
+
+    core::Override override_entry;
+    override_entry.prefix = prefix;
+    override_entry.rate = rate;
+    override_entry.next_hop = alt_route->attrs.next_hop;
+    override_entry.as_path = alt_route->attrs.as_path;
+    override_entry.from_interface = from->interface;
+    override_entry.target_interface = target->interface;
+    override_entry.from_type = from->type;
+    override_entry.target_type = target->type;
+    overrides.push_back(std::move(override_entry));
+  });
+
+  return overrides;
+}
+
+}  // namespace ef::altpath

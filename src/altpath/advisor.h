@@ -1,0 +1,42 @@
+// Performance-aware steering: turns alternate-path measurements into
+// override recommendations for the controller (paper §6's extension of
+// the capacity-driven allocator).
+#pragma once
+
+#include <vector>
+
+#include "altpath/measurer.h"
+#include "core/allocator.h"
+
+namespace ef::altpath {
+
+struct AdvisorConfig {
+  /// An alternate must beat the primary's median RTT by at least this
+  /// many ms before we steer (avoids flapping on noise).
+  double min_improvement_ms = 5.0;
+  /// Minimum samples on both paths before acting.
+  std::size_t min_samples = 16;
+  /// Highest alternate rank considered.
+  int max_rank = 2;
+  /// Skip prefixes below this demand.
+  net::Bandwidth min_rate = net::Bandwidth::mbps(1);
+};
+
+class PerfAwareAdvisor {
+ public:
+  PerfAwareAdvisor(const topology::Pop& pop, const AltPathMeasurer& measurer,
+                   AdvisorConfig config = {});
+
+  /// Recommended performance overrides for the current demand. The
+  /// controller enforces capacity headroom; this only proposes.
+  std::vector<core::Override> advise(
+      const telemetry::DemandMatrix& demand) const;
+
+ private:
+  const topology::Pop* pop_;
+  const AltPathMeasurer* measurer_;
+  AdvisorConfig config_;
+  PolicyRouter policy_;
+};
+
+}  // namespace ef::altpath

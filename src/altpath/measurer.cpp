@@ -1,0 +1,77 @@
+#include "altpath/measurer.h"
+
+#include <algorithm>
+
+namespace ef::altpath {
+
+AltPathMeasurer::AltPathMeasurer(const topology::Pop& pop,
+                                 const PerfModel& model,
+                                 MeasurerConfig config)
+    : pop_(&pop),
+      model_(&model),
+      config_(config),
+      policy_(pop),
+      rng_(config.seed) {}
+
+void AltPathMeasurer::observe(const net::Prefix& prefix, int rank,
+                              double rtt_ms) {
+  auto& window = windows_[{prefix, rank}];
+  window.push_back(rtt_ms);
+  while (window.size() > config_.window_samples) window.pop_front();
+  ++observations_;
+}
+
+void AltPathMeasurer::run_round(const telemetry::DemandMatrix& demand,
+                                net::SimTime) {
+  demand.for_each([&](const net::Prefix& prefix, net::Bandwidth rate) {
+    if (rate < config_.min_rate) return;
+    for (int rank = 0; rank <= config_.max_rank; ++rank) {
+      const bgp::Route* route =
+          policy_.natural_route(prefix, rank);
+      if (!route) continue;
+      const auto truth = model_->rtt_ms(prefix, *route);
+      if (!truth) continue;
+      const int samples = rank == 0 ? config_.primary_samples_per_round
+                                    : config_.alternate_samples_per_round;
+      for (int i = 0; i < samples; ++i) {
+        observe(prefix, rank,
+                std::max(0.5, *truth + rng_.normal(0, config_.noise_ms)));
+      }
+    }
+  });
+}
+
+std::optional<AltPathMeasurer::PathReport> AltPathMeasurer::report(
+    const net::Prefix& prefix, int rank) const {
+  auto it = windows_.find({prefix, rank});
+  if (it == windows_.end() || it->second.empty()) return std::nullopt;
+  std::vector<double> sorted(it->second.begin(), it->second.end());
+  std::sort(sorted.begin(), sorted.end());
+  PathReport report;
+  report.samples = sorted.size();
+  report.median_rtt_ms = sorted[sorted.size() / 2];
+  report.p90_rtt_ms = sorted[std::min(sorted.size() - 1,
+                                      sorted.size() * 9 / 10)];
+  return report;
+}
+
+std::vector<std::pair<net::Prefix, double>>
+AltPathMeasurer::alt_minus_primary(int rank, std::size_t min_samples) const {
+  std::vector<std::pair<net::Prefix, double>> diffs;
+  for (const auto& [key, window] : windows_) {
+    const auto& [prefix, key_rank] = key;
+    if (key_rank != 0) continue;
+    const auto primary = report(prefix, 0);
+    const auto alternate = report(prefix, rank);
+    if (!primary || !alternate) continue;
+    if (primary->samples < min_samples || alternate->samples < min_samples) {
+      continue;
+    }
+    diffs.emplace_back(prefix,
+                       alternate->median_rtt_ms - primary->median_rtt_ms);
+  }
+  std::sort(diffs.begin(), diffs.end());
+  return diffs;
+}
+
+}  // namespace ef::altpath

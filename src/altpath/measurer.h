@@ -1,0 +1,71 @@
+// Alternate-path measurement: samples flows onto the k-th preferred path
+// via DSCP policy routing and aggregates per-(prefix, rank) RTT
+// statistics — the stand-in for the paper's server-side eBPF sampling.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <optional>
+
+#include "altpath/perf_model.h"
+#include "altpath/policy_routing.h"
+#include "telemetry/traffic.h"
+
+namespace ef::altpath {
+
+struct MeasurerConfig {
+  std::uint64_t seed = 17;
+  /// Flows sampled per prefix per round onto the primary path.
+  int primary_samples_per_round = 8;
+  /// Flows sampled per prefix per round onto each alternate rank.
+  int alternate_samples_per_round = 4;
+  /// Alternate ranks measured (1 = 2nd preference, 2 = 3rd, ...).
+  int max_rank = 2;
+  /// Gaussian measurement noise on each RTT observation (ms).
+  double noise_ms = 2.0;
+  /// Rolling window per (prefix, rank).
+  std::size_t window_samples = 64;
+  /// Skip prefixes below this demand (not worth measuring).
+  net::Bandwidth min_rate = net::Bandwidth::mbps(1);
+};
+
+class AltPathMeasurer {
+ public:
+  AltPathMeasurer(const topology::Pop& pop, const PerfModel& model,
+                  MeasurerConfig config = {});
+
+  /// One measurement round over the currently-demanded prefixes.
+  void run_round(const telemetry::DemandMatrix& demand, net::SimTime now);
+
+  struct PathReport {
+    double median_rtt_ms = 0;
+    double p90_rtt_ms = 0;
+    std::size_t samples = 0;
+  };
+
+  /// Rolling report for (prefix, rank); rank 0 = primary path.
+  std::optional<PathReport> report(const net::Prefix& prefix,
+                                   int rank) const;
+
+  /// All prefixes with at least `min_samples` on both rank 0 and `rank`,
+  /// with the median RTT difference (alternate − primary); negative means
+  /// the alternate is faster.
+  std::vector<std::pair<net::Prefix, double>> alt_minus_primary(
+      int rank, std::size_t min_samples) const;
+
+  std::uint64_t observations() const { return observations_; }
+
+ private:
+  void observe(const net::Prefix& prefix, int rank, double rtt_ms);
+
+  const topology::Pop* pop_;
+  const PerfModel* model_;
+  MeasurerConfig config_;
+  PolicyRouter policy_;
+  net::Rng rng_;
+  std::map<std::pair<net::Prefix, int>, std::deque<double>> windows_;
+  std::uint64_t observations_ = 0;
+};
+
+}  // namespace ef::altpath

@@ -1,0 +1,48 @@
+#include "altpath/perf_model.h"
+
+#include <algorithm>
+
+namespace ef::altpath {
+
+PerfModel::PerfModel(const topology::Pop& pop, PerfModelConfig config)
+    : pop_(&pop), config_(config) {}
+
+void PerfModel::set_interface_load(
+    const std::map<telemetry::InterfaceId, net::Bandwidth>& load) {
+  load_ = load;
+}
+
+double PerfModel::utilization(telemetry::InterfaceId iface) const {
+  auto it = load_.find(iface);
+  if (it == load_.end()) return 0;
+  const net::Bandwidth capacity = pop_->interfaces().capacity(iface);
+  if (capacity <= net::Bandwidth::zero()) return 0;
+  return it->second / capacity;
+}
+
+double PerfModel::loss_rate(telemetry::InterfaceId iface) const {
+  const double util = utilization(iface);
+  if (util <= 1.0) return 0;
+  return 1.0 - 1.0 / util;  // excess fraction dropped
+}
+
+std::optional<double> PerfModel::rtt_ms(const net::Prefix& prefix,
+                                        const bgp::Route& route) const {
+  const auto egress = pop_->egress_of_route(route);
+  if (!egress) return std::nullopt;
+  const auto client = pop_->world().client_of_prefix(prefix);
+  if (!client) return std::nullopt;
+
+  const double base = pop_->world().path_rtt_ms(pop_->index(),
+                                                egress->peering, *client);
+  const double util = utilization(egress->interface);
+  double penalty = 0;
+  if (util > config_.congestion_knee) {
+    penalty = std::min(config_.max_penalty_ms,
+                       (util - config_.congestion_knee) *
+                           config_.congestion_slope_ms);
+  }
+  return base + penalty;
+}
+
+}  // namespace ef::altpath

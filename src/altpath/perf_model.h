@@ -1,0 +1,60 @@
+// Ground-truth path performance: the stand-in for the real Internet's
+// response to where we send traffic.
+//
+// RTT of (prefix, egress option) = the world's geographic/topological
+// component + a congestion penalty that grows once the egress interface's
+// utilization passes a knee, plus loss beyond capacity. This gives the
+// measurement subsystem something honest to measure: alternates through
+// idle ports genuinely beat a congested preferred path, which is the
+// effect the paper's Fig. on alternate-path performance reports.
+#pragma once
+
+#include <map>
+#include <optional>
+
+#include "bgp/route.h"
+#include "telemetry/interface.h"
+#include "topology/pop.h"
+
+namespace ef::altpath {
+
+struct PerfModelConfig {
+  /// Utilization where queueing delay becomes noticeable.
+  double congestion_knee = 0.90;
+  /// Added ms per unit of utilization above the knee (linear ramp);
+  /// at util 1.0 with knee 0.9 this adds slope*0.1 ms.
+  double congestion_slope_ms = 400.0;
+  /// Cap on the queueing penalty (buffers are finite).
+  double max_penalty_ms = 120.0;
+};
+
+class PerfModel {
+ public:
+  PerfModel(const topology::Pop& pop, PerfModelConfig config = {});
+
+  /// Updates the utilization the congestion model sees. Call once per
+  /// simulation step with the actual per-interface load.
+  void set_interface_load(
+      const std::map<telemetry::InterfaceId, net::Bandwidth>& load);
+
+  /// Ground-truth RTT (ms) for traffic to `prefix` egressing via `route`,
+  /// at current congestion. nullopt if the route has no egress mapping or
+  /// the prefix has no known owner.
+  std::optional<double> rtt_ms(const net::Prefix& prefix,
+                               const bgp::Route& route) const;
+
+  /// Loss rate on an interface: zero below capacity, excess fraction above.
+  double loss_rate(telemetry::InterfaceId iface) const;
+
+  /// Utilization (load / capacity) of an interface; 0 if never set.
+  double utilization(telemetry::InterfaceId iface) const;
+
+  const PerfModelConfig& config() const { return config_; }
+
+ private:
+  const topology::Pop* pop_;
+  PerfModelConfig config_;
+  std::map<telemetry::InterfaceId, net::Bandwidth> load_;
+};
+
+}  // namespace ef::altpath

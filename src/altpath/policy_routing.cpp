@@ -1,0 +1,65 @@
+#include "altpath/policy_routing.h"
+
+#include "net/log.h"
+
+namespace ef::altpath {
+
+std::vector<const bgp::Route*> PolicyRouter::natural_ranked(
+    const net::Prefix& prefix) const {
+  std::vector<const bgp::Route*> natural;
+  for (const bgp::Route* route : pop_->ranked_routes(prefix)) {
+    if (route->peer_type != bgp::PeerType::kController) {
+      natural.push_back(route);
+    }
+  }
+  return natural;
+}
+
+const bgp::Route* PolicyRouter::route(const net::Prefix& prefix,
+                                      std::uint8_t dscp) const {
+  if (dscp == 0) {
+    // Normal forwarding, overrides included.
+    return pop_->collector().rib().best(prefix);
+  }
+  return natural_route(prefix, dscp);  // dscp k -> k-th alternate
+}
+
+const bgp::Route* PolicyRouter::natural_route(const net::Prefix& prefix,
+                                              int rank) const {
+  const auto natural = natural_ranked(prefix);
+  if (rank < 0 || natural.size() <= static_cast<std::size_t>(rank)) {
+    return nullptr;
+  }
+  return natural[static_cast<std::size_t>(rank)];
+}
+
+std::optional<topology::Pop::Egress> PolicyRouter::egress(
+    const net::Prefix& prefix, std::uint8_t dscp) const {
+  const bgp::Route* selected = route(prefix, dscp);
+  if (!selected) return std::nullopt;
+  return pop_->egress_of_route(*selected);
+}
+
+std::size_t PolicyRouter::path_count(const net::Prefix& prefix) const {
+  return natural_ranked(prefix).size();
+}
+
+DscpMarker::DscpMarker(double fraction_per_rank, int max_rank,
+                       std::uint64_t seed)
+    : fraction_per_rank_(fraction_per_rank),
+      max_rank_(max_rank),
+      rng_(seed) {
+  EF_CHECK(fraction_per_rank >= 0 && fraction_per_rank * max_rank <= 1.0,
+           "DSCP marking fractions exceed 1");
+  EF_CHECK(max_rank >= 1 && max_rank <= 63, "DSCP rank out of range");
+}
+
+std::uint8_t DscpMarker::mark() {
+  const double u = rng_.next_double();
+  for (int k = 1; k <= max_rank_; ++k) {
+    if (u < fraction_per_rank_ * k) return static_cast<std::uint8_t>(k);
+  }
+  return 0;
+}
+
+}  // namespace ef::altpath

@@ -1,0 +1,66 @@
+// DSCP-based policy routing: the router-side half of alternate-path
+// measurement.
+//
+// The paper's servers stamp a small fraction of flows with DSCP values;
+// peering routers carry policy routes that send DSCP k onto the k-th
+// BGP-preferred path instead of the best one. PolicyRouter reproduces
+// that forwarding behaviour on top of the PoP's RIB; DscpMarker is the
+// host-side stamping.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "net/rng.h"
+#include "topology/pop.h"
+
+namespace ef::altpath {
+
+/// DSCP 0 = normal forwarding; DSCP k (1-based) = use the k-th ranked
+/// *natural* path (controller overrides excluded, as in the paper: the
+/// measurement must see BGP's view, not Edge Fabric's).
+class PolicyRouter {
+ public:
+  explicit PolicyRouter(const topology::Pop& pop) : pop_(&pop) {}
+
+  /// The route DSCP `dscp` would take for `prefix`; nullptr if there is
+  /// no such path (fewer than dscp+1 natural routes).
+  const bgp::Route* route(const net::Prefix& prefix, std::uint8_t dscp) const;
+
+  /// The `rank`-th natural path regardless of active overrides (rank 0 =
+  /// BGP's preferred path). This is what measurement compares against:
+  /// an active override must not hide the path it replaced.
+  const bgp::Route* natural_route(const net::Prefix& prefix, int rank) const;
+
+  /// The egress that route resolves to.
+  std::optional<topology::Pop::Egress> egress(const net::Prefix& prefix,
+                                              std::uint8_t dscp) const;
+
+  /// Number of natural (non-controller) routes available for `prefix`.
+  std::size_t path_count(const net::Prefix& prefix) const;
+
+ private:
+  std::vector<const bgp::Route*> natural_ranked(
+      const net::Prefix& prefix) const;
+  const topology::Pop* pop_;
+};
+
+/// Stamps outgoing flows: with probability `fraction_per_rank` each, a
+/// flow is assigned DSCP 1..max_rank; otherwise DSCP 0 (default path).
+class DscpMarker {
+ public:
+  DscpMarker(double fraction_per_rank, int max_rank, std::uint64_t seed);
+
+  std::uint8_t mark();
+
+  double fraction_per_rank() const { return fraction_per_rank_; }
+  int max_rank() const { return max_rank_; }
+
+ private:
+  double fraction_per_rank_;
+  int max_rank_;
+  net::Rng rng_;
+};
+
+}  // namespace ef::altpath

@@ -1,0 +1,43 @@
+#include "analysis/cost.h"
+
+namespace ef::analysis {
+
+void CostModel::sample(
+    const std::map<telemetry::InterfaceId, net::Bandwidth>& load) {
+  ++sample_count_;
+  for (const auto& [iface, role] : roles_) {
+    auto it = load.find(iface);
+    rates_[iface].add(it == load.end() ? 0.0 : it->second.mbps_value());
+  }
+}
+
+double CostModel::p95_mbps(telemetry::InterfaceId iface) const {
+  auto it = rates_.find(iface);
+  if (it == rates_.end() || it->second.empty()) return 0;
+  return it->second.percentile(95);
+}
+
+CostModel::Bill CostModel::bill() const {
+  Bill bill;
+  for (const auto& [iface, role] : roles_) {
+    switch (role) {
+      case bgp::PeerType::kTransit:
+        bill.transit_p95_mbps += p95_mbps(iface);
+        break;
+      case bgp::PeerType::kPrivatePeer:
+        bill.port_dollars += config_.pni_port_dollars;
+        break;
+      case bgp::PeerType::kPublicPeer:
+      case bgp::PeerType::kRouteServer:
+        bill.port_dollars += config_.ixp_port_dollars;
+        break;
+      default:
+        break;
+    }
+  }
+  bill.transit_dollars =
+      bill.transit_p95_mbps * config_.transit_dollars_per_mbps;
+  return bill;
+}
+
+}  // namespace ef::analysis

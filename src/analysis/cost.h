@@ -1,0 +1,60 @@
+// Egress cost accounting: industry-style 95th-percentile billing on
+// transit, flat-ish costs on peering ports. Edge Fabric's detours push
+// peak traffic onto transit — this model quantifies that bill, the other
+// side of the "don't drop packets" ledger.
+#pragma once
+
+#include <map>
+
+#include "bgp/types.h"
+#include "net/stats.h"
+#include "telemetry/interface.h"
+
+namespace ef::analysis {
+
+struct CostConfig {
+  /// Transit price per Mbps per month at the 95th percentile (blended
+  /// commodity rate).
+  double transit_dollars_per_mbps = 0.30;
+  /// Amortized monthly cost per public/IXP port (membership + port fee).
+  double ixp_port_dollars = 2500.0;
+  /// Amortized monthly cost per PNI port (cross-connect + optics).
+  double pni_port_dollars = 800.0;
+};
+
+/// Collects per-interface rate samples (call once per billing sample,
+/// conventionally every 5 minutes) and produces a monthly-equivalent
+/// bill using 95th-percentile billing for transit.
+class CostModel {
+ public:
+  CostModel(CostConfig config,
+            std::map<telemetry::InterfaceId, bgp::PeerType> interface_roles)
+      : config_(config), roles_(std::move(interface_roles)) {}
+
+  /// Records one billing sample of per-interface load.
+  void sample(const std::map<telemetry::InterfaceId, net::Bandwidth>& load);
+
+  struct Bill {
+    /// 95th-percentile transit rate across all transit ports (Mbps).
+    double transit_p95_mbps = 0;
+    double transit_dollars = 0;
+    double port_dollars = 0;  // PNI + IXP port fees
+    double total_dollars() const { return transit_dollars + port_dollars; }
+  };
+
+  /// Monthly-equivalent bill from the samples so far.
+  Bill bill() const;
+
+  /// 95th-percentile rate (Mbps) for one interface.
+  double p95_mbps(telemetry::InterfaceId iface) const;
+
+  std::size_t samples() const { return sample_count_; }
+
+ private:
+  CostConfig config_;
+  std::map<telemetry::InterfaceId, bgp::PeerType> roles_;
+  std::map<telemetry::InterfaceId, net::CdfBuilder> rates_;
+  std::size_t sample_count_ = 0;
+};
+
+}  // namespace ef::analysis

@@ -1,0 +1,187 @@
+#include "analysis/metrics.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <iostream>
+
+namespace ef::analysis {
+
+void UtilizationTracker::record(
+    net::SimTime now,
+    const std::map<telemetry::InterfaceId, net::Bandwidth>& load) {
+  const double dt_secs =
+      times_.empty() ? 0.0 : (now - times_.back()).seconds_value();
+  times_.push_back(now);
+
+  interfaces_->for_each([&](telemetry::InterfaceId id,
+                            const telemetry::InterfaceState& state) {
+    auto it = load.find(id);
+    const double bps =
+        it == load.end() ? 0.0 : it->second.bits_per_sec();
+    const double capacity = state.capacity.bits_per_sec();
+    const double util = capacity > 0 ? bps / capacity : 0.0;
+    utilization_[id].push_back(util);
+    load_bps_[id].push_back(bps);
+    all_samples_.add(util);
+    if (dt_secs > 0) {
+      total_offered_bits_ += bps * dt_secs;
+      if (bps > capacity) total_excess_bits_ += (bps - capacity) * dt_secs;
+    }
+  });
+}
+
+std::map<telemetry::InterfaceId, double> UtilizationTracker::peak_utilization()
+    const {
+  std::map<telemetry::InterfaceId, double> peaks;
+  for (const auto& [id, series] : utilization_) {
+    peaks[id] = series.empty()
+                    ? 0.0
+                    : *std::max_element(series.begin(), series.end());
+  }
+  return peaks;
+}
+
+double UtilizationTracker::overloaded_fraction(double threshold) const {
+  if (all_samples_.empty()) return 0;
+  return 1.0 - all_samples_.fraction_at_most(threshold);
+}
+
+std::vector<UtilizationTracker::Episode> UtilizationTracker::episodes(
+    double threshold) const {
+  std::vector<Episode> episodes;
+  for (const auto& [id, series] : utilization_) {
+    const auto& loads = load_bps_.at(id);
+    const double capacity_bps =
+        interfaces_->capacity(id).bits_per_sec();
+    bool open = false;
+    Episode current;
+    for (std::size_t i = 0; i < series.size(); ++i) {
+      const bool over = series[i] > threshold;
+      const double dt_secs =
+          i + 1 < times_.size()
+              ? (times_[i + 1] - times_[i]).seconds_value()
+              : (i > 0 ? (times_[i] - times_[i - 1]).seconds_value() : 0.0);
+      if (over && !open) {
+        open = true;
+        current = Episode{};
+        current.interface = id;
+        current.start = times_[i];
+      }
+      if (over) {
+        current.peak_utilization =
+            std::max(current.peak_utilization, series[i]);
+        current.excess_bits +=
+            std::max(0.0, loads[i] - capacity_bps) * dt_secs;
+        current.end = i + 1 < times_.size() ? times_[i + 1] : times_[i];
+      }
+      if (!over && open) {
+        open = false;
+        episodes.push_back(current);
+      }
+    }
+    if (open) episodes.push_back(current);
+  }
+  std::sort(episodes.begin(), episodes.end(),
+            [](const Episode& a, const Episode& b) {
+              if (a.start != b.start) return a.start < b.start;
+              return a.interface < b.interface;
+            });
+  return episodes;
+}
+
+double UtilizationTracker::excess_traffic_fraction() const {
+  if (total_offered_bits_ <= 0) return 0;
+  return total_excess_bits_ / total_offered_bits_;
+}
+
+void DetourTracker::record_cycle(
+    const core::CycleStats& stats,
+    const std::map<net::Prefix, core::Override>& active,
+    net::Bandwidth total_demand) {
+  ++cycles_;
+  override_counts_.add(static_cast<double>(stats.overrides_active));
+
+  net::Bandwidth detoured;
+  std::map<net::Prefix, const core::Override*> current;
+  for (const auto& [prefix, override_entry] : active) {
+    current[prefix] = &override_entry;
+    detoured += override_entry.rate;
+    target_bits_[override_entry.target_type] +=
+        override_entry.rate.bits_per_sec();
+    ++target_counts_[override_entry.target_type];
+  }
+  detoured_fraction_.add(total_demand > net::Bandwidth::zero()
+                             ? detoured / total_demand
+                             : 0.0);
+
+  // Lifetimes and flaps.
+  for (const auto& [prefix, override_entry] : current) {
+    if (!active_since_cycle_.contains(prefix)) {
+      active_since_cycle_[prefix] = cycles_;
+      ++times_overridden_[prefix];
+    }
+  }
+  for (auto it = active_since_cycle_.begin();
+       it != active_since_cycle_.end();) {
+    if (!current.contains(it->first)) {
+      lifetimes_.add(static_cast<double>(cycles_ - it->second));
+      it = active_since_cycle_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+std::size_t DetourTracker::flapping_prefixes() const {
+  std::size_t flapping = 0;
+  for (const auto& [prefix, count] : times_overridden_) {
+    if (count > 1) ++flapping;
+  }
+  return flapping;
+}
+
+TablePrinter::TablePrinter(std::vector<std::string> headers,
+                           std::vector<int> widths)
+    : headers_(std::move(headers)), widths_(std::move(widths)) {
+  if (widths_.empty()) {
+    widths_.resize(headers_.size());
+    for (std::size_t i = 0; i < headers_.size(); ++i) {
+      widths_[i] = std::max<int>(12, static_cast<int>(headers_[i].size()) + 2);
+    }
+  }
+}
+
+void TablePrinter::print_header() const {
+  std::string line;
+  for (std::size_t i = 0; i < headers_.size(); ++i) {
+    char buf[128];
+    std::snprintf(buf, sizeof(buf), "%-*s", widths_[i], headers_[i].c_str());
+    line += buf;
+  }
+  std::cout << line << '\n';
+  std::cout << std::string(line.size(), '-') << '\n';
+}
+
+void TablePrinter::print_row(const std::vector<std::string>& cells) const {
+  std::string line;
+  for (std::size_t i = 0; i < cells.size() && i < widths_.size(); ++i) {
+    char buf[128];
+    std::snprintf(buf, sizeof(buf), "%-*s", widths_[i], cells[i].c_str());
+    line += buf;
+  }
+  std::cout << line << '\n';
+}
+
+std::string TablePrinter::fmt(double value, int decimals) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", decimals, value);
+  return buf;
+}
+
+std::string TablePrinter::pct(double fraction, int decimals) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f%%", decimals, fraction * 100.0);
+  return buf;
+}
+
+}  // namespace ef::analysis

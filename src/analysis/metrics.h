@@ -1,0 +1,127 @@
+// Experiment metrics: utilization series, overload episodes, detour
+// accounting, override churn — the quantities the paper's tables and
+// figures report.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/controller.h"
+#include "net/stats.h"
+#include "telemetry/interface.h"
+
+namespace ef::analysis {
+
+/// Per-interface utilization over time. Feed one load snapshot per step.
+class UtilizationTracker {
+ public:
+  explicit UtilizationTracker(const telemetry::InterfaceRegistry& interfaces)
+      : interfaces_(&interfaces) {}
+
+  void record(net::SimTime now,
+              const std::map<telemetry::InterfaceId, net::Bandwidth>& load);
+
+  /// All (interface, step) utilization samples.
+  const net::CdfBuilder& utilization_samples() const { return all_samples_; }
+
+  /// Peak utilization per interface.
+  std::map<telemetry::InterfaceId, double> peak_utilization() const;
+
+  /// Fraction of (interface, step) samples above `threshold`.
+  double overloaded_fraction(double threshold = 1.0) const;
+
+  /// Contiguous spans where one interface stayed above `threshold`.
+  struct Episode {
+    telemetry::InterfaceId interface;
+    net::SimTime start;
+    net::SimTime end;  // exclusive: first step back below threshold
+    double peak_utilization = 0;
+    /// Traffic above capacity integrated over the episode (bits).
+    double excess_bits = 0;
+  };
+  std::vector<Episode> episodes(double threshold = 1.0) const;
+
+  /// Total traffic above capacity across all samples, as a fraction of
+  /// total offered traffic (the "would-be-dropped" share).
+  double excess_traffic_fraction() const;
+
+  std::size_t steps() const { return times_.size(); }
+
+ private:
+  const telemetry::InterfaceRegistry* interfaces_;
+  std::vector<net::SimTime> times_;
+  std::map<telemetry::InterfaceId, std::vector<double>> utilization_;
+  std::map<telemetry::InterfaceId, std::vector<double>> load_bps_;
+  net::CdfBuilder all_samples_;
+  double total_offered_bits_ = 0;
+  double total_excess_bits_ = 0;
+};
+
+/// Tracks controller cycles: detoured share, target types, override
+/// lifetimes and flaps.
+class DetourTracker {
+ public:
+  /// `active` is the controller's post-cycle override set
+  /// (Controller::active_overrides()), which includes hysteresis-retained
+  /// and performance overrides on top of the allocation's.
+  void record_cycle(const core::CycleStats& stats,
+                    const std::map<net::Prefix, core::Override>& active,
+                    net::Bandwidth total_demand);
+
+  /// Per-cycle fraction of total demand that was detoured.
+  const net::CdfBuilder& detoured_fraction() const {
+    return detoured_fraction_;
+  }
+  /// Per-cycle count of active overrides.
+  const net::CdfBuilder& override_counts() const { return override_counts_; }
+
+  /// Detoured traffic (bit-cycles) by detour-target peer type.
+  const std::map<bgp::PeerType, double>& target_rate_share() const {
+    return target_bits_;
+  }
+  /// Override count by detour-target peer type.
+  const std::map<bgp::PeerType, std::size_t>& target_counts() const {
+    return target_counts_;
+  }
+
+  /// Completed override lifetimes (cycles between add and remove).
+  const net::CdfBuilder& override_lifetime_cycles() const {
+    return lifetimes_;
+  }
+
+  /// Prefixes that were added/removed more than once (flapping).
+  std::size_t flapping_prefixes() const;
+  std::size_t total_overridden_prefixes() const {
+    return times_overridden_.size();
+  }
+  std::size_t cycles() const { return cycles_; }
+
+ private:
+  net::CdfBuilder detoured_fraction_;
+  net::CdfBuilder override_counts_;
+  net::CdfBuilder lifetimes_;
+  std::map<bgp::PeerType, double> target_bits_;
+  std::map<bgp::PeerType, std::size_t> target_counts_;
+  std::map<net::Prefix, std::size_t> active_since_cycle_;
+  std::map<net::Prefix, std::size_t> times_overridden_;
+  std::size_t cycles_ = 0;
+};
+
+/// Fixed-width table output for the bench binaries.
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> headers,
+                        std::vector<int> widths = {});
+  void print_header() const;
+  void print_row(const std::vector<std::string>& cells) const;
+
+  static std::string fmt(double value, int decimals = 2);
+  static std::string pct(double fraction, int decimals = 1);
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<int> widths_;
+};
+
+}  // namespace ef::analysis

@@ -1,0 +1,38 @@
+#include "baseline/baselines.h"
+
+#include "bgp/decision.h"
+
+namespace ef::baseline {
+
+std::map<telemetry::InterfaceId, net::Bandwidth> bgp_only_load(
+    const topology::Pop& pop, const telemetry::DemandMatrix& demand) {
+  std::map<telemetry::InterfaceId, net::Bandwidth> load;
+  const bgp::Rib& rib = pop.collector().rib();
+  demand.for_each([&](const net::Prefix& prefix, net::Bandwidth rate) {
+    const auto candidates = rib.candidates(prefix);
+    const auto order = bgp::rank_routes(candidates, rib.decision_config());
+    for (std::size_t index : order) {
+      const bgp::Route& route = candidates[index];
+      if (route.peer_type == bgp::PeerType::kController) continue;
+      const auto egress = pop.egress_of_route(route);
+      if (!egress) continue;
+      load[egress->interface] += rate;
+      break;
+    }
+  });
+  return load;
+}
+
+StaticTe::StaticTe(topology::Pop& pop, core::ControllerConfig config)
+    : controller_(pop, config) {
+  controller_.connect();
+}
+
+core::CycleStats StaticTe::install(
+    const telemetry::DemandMatrix& planning_demand, net::SimTime now) {
+  return controller_.run_cycle(planning_demand, now);
+}
+
+void StaticTe::uninstall(net::SimTime now) { controller_.shutdown(now); }
+
+}  // namespace ef::baseline

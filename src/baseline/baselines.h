@@ -1,0 +1,48 @@
+// Baselines the paper's evaluation compares against:
+//  * vanilla BGP ("without Edge Fabric") — the counterfactual projector
+//    below, or a Simulation with the controller disabled;
+//  * static traffic engineering — overrides computed once from planning
+//    demand and never updated, modelling the pre-Edge-Fabric practice of
+//    hand-tuned router policy that cannot track demand.
+#pragma once
+
+#include <map>
+
+#include "core/controller.h"
+#include "telemetry/traffic.h"
+#include "topology/pop.h"
+
+namespace ef::baseline {
+
+/// Per-interface load if pure BGP (controller routes ignored) forwarded
+/// `demand`. This is the "without Edge Fabric" projection even while a
+/// controller is running.
+std::map<telemetry::InterfaceId, net::Bandwidth> bgp_only_load(
+    const topology::Pop& pop, const telemetry::DemandMatrix& demand);
+
+/// Static TE baseline: run the Edge Fabric allocator once against a
+/// planning-time demand snapshot and leave the overrides in place.
+class StaticTe {
+ public:
+  explicit StaticTe(topology::Pop& pop, core::ControllerConfig config = {});
+
+  /// Computes and installs the static override set.
+  core::CycleStats install(const telemetry::DemandMatrix& planning_demand,
+                           net::SimTime now);
+
+  /// Removes the static overrides.
+  void uninstall(net::SimTime now);
+
+  /// Keeps the injection session alive (keepalives). Call at least every
+  /// hold/3 of simulated time, like any BGP speaker.
+  void tick(net::SimTime now) { controller_.tick(now); }
+
+  const std::map<net::Prefix, core::Override>& overrides() const {
+    return controller_.active_overrides();
+  }
+
+ private:
+  core::Controller controller_;
+};
+
+}  // namespace ef::baseline

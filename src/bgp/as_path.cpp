@@ -1,0 +1,33 @@
+#include "bgp/as_path.h"
+
+#include <algorithm>
+#include <ostream>
+
+namespace ef::bgp {
+
+bool AsPath::contains(AsNumber as) const {
+  return std::find(ases_.begin(), ases_.end(), as) != ases_.end();
+}
+
+AsPath AsPath::prepended(AsNumber as, int count) const {
+  std::vector<AsNumber> out;
+  out.reserve(ases_.size() + static_cast<std::size_t>(count));
+  for (int i = 0; i < count; ++i) out.push_back(as);
+  out.insert(out.end(), ases_.begin(), ases_.end());
+  return AsPath(std::move(out));
+}
+
+std::string AsPath::to_string() const {
+  std::string out;
+  for (std::size_t i = 0; i < ases_.size(); ++i) {
+    if (i > 0) out += ' ';
+    out += std::to_string(ases_[i].value());
+  }
+  return out;
+}
+
+std::ostream& operator<<(std::ostream& os, const AsPath& path) {
+  return os << path.to_string();
+}
+
+}  // namespace ef::bgp

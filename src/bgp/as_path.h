@@ -1,0 +1,50 @@
+// AS_PATH attribute: an ordered AS_SEQUENCE of 4-octet AS numbers.
+//
+// AS_SET segments are obsolete in practice (RFC 6472) and are not modelled;
+// the wire codec rejects them.
+#pragma once
+
+#include <initializer_list>
+#include <string>
+#include <vector>
+
+#include "bgp/types.h"
+
+namespace ef::bgp {
+
+class AsPath {
+ public:
+  AsPath() = default;
+  AsPath(std::initializer_list<AsNumber> ases) : ases_(ases) {}
+  explicit AsPath(std::vector<AsNumber> ases) : ases_(std::move(ases)) {}
+
+  /// Path length as used by the decision process (number of ASes,
+  /// counting prepends).
+  std::size_t length() const { return ases_.size(); }
+  bool empty() const { return ases_.empty(); }
+
+  /// First AS (the neighbor that advertised the route); requires !empty().
+  AsNumber first() const { return ases_.front(); }
+  /// Last AS (the origin of the prefix); requires !empty().
+  AsNumber origin_as() const { return ases_.back(); }
+
+  const std::vector<AsNumber>& ases() const { return ases_; }
+
+  /// Loop detection: true if `as` appears anywhere in the path.
+  bool contains(AsNumber as) const;
+
+  /// Returns a copy with `as` prepended `count` times (as a speaker does
+  /// when propagating a route to an eBGP neighbor).
+  AsPath prepended(AsNumber as, int count = 1) const;
+
+  std::string to_string() const;
+
+  friend bool operator==(const AsPath&, const AsPath&) = default;
+
+ private:
+  std::vector<AsNumber> ases_;
+};
+
+std::ostream& operator<<(std::ostream& os, const AsPath& path);
+
+}  // namespace ef::bgp

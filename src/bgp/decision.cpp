@@ -1,0 +1,124 @@
+#include "bgp/decision.h"
+
+#include <algorithm>
+#include <numeric>
+
+namespace ef::bgp {
+
+const char* decision_step_name(DecisionStep step) {
+  switch (step) {
+    case DecisionStep::kNoChoice:
+      return "no-choice";
+    case DecisionStep::kLocalPref:
+      return "local-pref";
+    case DecisionStep::kAsPathLength:
+      return "as-path-length";
+    case DecisionStep::kOrigin:
+      return "origin";
+    case DecisionStep::kMed:
+      return "med";
+    case DecisionStep::kRouteAge:
+      return "route-age";
+    case DecisionStep::kRouterId:
+      return "router-id";
+    case DecisionStep::kPeerId:
+      return "peer-id";
+  }
+  return "?";
+}
+
+int compare_routes(const Route& a, const Route& b,
+                   const DecisionConfig& config, DecisionStep* step_out) {
+  auto decide = [&](DecisionStep step, int result) {
+    if (step_out) *step_out = step;
+    return result;
+  };
+
+  // 1. Highest LOCAL_PREF.
+  if (a.effective_local_pref() != b.effective_local_pref()) {
+    return decide(DecisionStep::kLocalPref,
+                  a.effective_local_pref() > b.effective_local_pref() ? -1
+                                                                      : 1);
+  }
+  // 2. Shortest AS_PATH.
+  if (a.attrs.as_path.length() != b.attrs.as_path.length()) {
+    return decide(DecisionStep::kAsPathLength,
+                  a.attrs.as_path.length() < b.attrs.as_path.length() ? -1
+                                                                      : 1);
+  }
+  // 3. Lowest origin.
+  if (a.attrs.origin != b.attrs.origin) {
+    return decide(DecisionStep::kOrigin,
+                  a.attrs.origin < b.attrs.origin ? -1 : 1);
+  }
+  // 4. Lowest MED, only among routes from the same neighbor AS unless
+  //    always-compare-med is set. A missing MED compares as 0 (RFC 4271
+  //    default behaviour without missing-as-worst).
+  if (config.compare_med_across_as || a.neighbor_as == b.neighbor_as) {
+    const std::uint32_t med_a = a.attrs.has_med ? a.attrs.med.value() : 0;
+    const std::uint32_t med_b = b.attrs.has_med ? b.attrs.med.value() : 0;
+    if (med_a != med_b) {
+      return decide(DecisionStep::kMed, med_a < med_b ? -1 : 1);
+    }
+  }
+  // (eBGP-over-iBGP and IGP-cost steps do not discriminate in this model:
+  // all egress routes are eBGP-learned and the PoP fabric cost is uniform.)
+
+  // 5. Oldest route, for stability.
+  if (config.prefer_oldest && a.learned_at != b.learned_at) {
+    return decide(DecisionStep::kRouteAge, a.learned_at < b.learned_at ? -1 : 1);
+  }
+  // 6. Lowest neighbor router id.
+  if (a.neighbor_router_id != b.neighbor_router_id) {
+    return decide(DecisionStep::kRouterId,
+                  a.neighbor_router_id < b.neighbor_router_id ? -1 : 1);
+  }
+  // 7. Lowest local session id — a total order, so ties cannot survive.
+  return decide(DecisionStep::kPeerId, a.learned_from < b.learned_from ? -1 : 1);
+}
+
+DecisionResult select_best(std::span<const Route> candidates,
+                           const DecisionConfig& config) {
+  DecisionResult result;
+  if (candidates.empty()) return result;
+  result.best_index = 0;
+  result.deciding_step = DecisionStep::kNoChoice;
+  for (std::size_t i = 1; i < candidates.size(); ++i) {
+    DecisionStep step = DecisionStep::kNoChoice;
+    const int cmp = compare_routes(candidates[i],
+                                   candidates[result.best_index], config,
+                                   &step);
+    if (cmp < 0) result.best_index = i;
+    // Track the deepest rule consulted across the whole election; it tells
+    // the analysis layer how contested the choice was.
+    if (step > result.deciding_step) result.deciding_step = step;
+  }
+  return result;
+}
+
+std::vector<std::size_t> rank_routes(std::span<const Route> candidates,
+                                     const DecisionConfig& config) {
+  // The same-AS-only MED rule makes pairwise comparison non-transitive, so
+  // sorting with it directly would not be a strict weak ordering. Rank by
+  // repeated election instead — exactly how a router would pick "the best,
+  // then the best of the rest". Candidate counts per prefix are small
+  // (a handful of egress options), so O(n^2) is irrelevant.
+  std::vector<std::size_t> remaining(candidates.size());
+  std::iota(remaining.begin(), remaining.end(), std::size_t{0});
+  std::vector<std::size_t> order;
+  order.reserve(candidates.size());
+  while (!remaining.empty()) {
+    std::size_t best_pos = 0;
+    for (std::size_t pos = 1; pos < remaining.size(); ++pos) {
+      if (compare_routes(candidates[remaining[pos]],
+                         candidates[remaining[best_pos]], config) < 0) {
+        best_pos = pos;
+      }
+    }
+    order.push_back(remaining[best_pos]);
+    remaining.erase(remaining.begin() + static_cast<std::ptrdiff_t>(best_pos));
+  }
+  return order;
+}
+
+}  // namespace ef::bgp

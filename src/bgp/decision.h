@@ -1,0 +1,67 @@
+// The BGP decision process (RFC 4271 §9.1.2), parameterized the way the
+// peering routers in a PoP run it.
+//
+// Edge Fabric's egress preferences (private peer > public peer > route
+// server > transit) are expressed through LOCAL_PREF by the import policy,
+// so injected controller overrides — which carry a higher LOCAL_PREF —
+// win at the first step without any router reconfiguration.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "bgp/route.h"
+
+namespace ef::bgp {
+
+/// Which rule decided a comparison; ordered by evaluation order.
+enum class DecisionStep : std::uint8_t {
+  kNoChoice = 0,      // zero or one candidate
+  kLocalPref = 1,     // higher LOCAL_PREF wins
+  kAsPathLength = 2,  // shorter AS_PATH wins
+  kOrigin = 3,        // lower origin wins (IGP < EGP < INCOMPLETE)
+  kMed = 4,           // lower MED wins (same neighbor AS unless configured)
+  kRouteAge = 5,      // older route wins (stability)
+  kRouterId = 6,      // lower neighbor router id wins
+  kPeerId = 7,        // lower local session id wins (final, total order)
+};
+
+const char* decision_step_name(DecisionStep step);
+
+struct DecisionConfig {
+  /// Compare MED between routes from different neighbor ASes
+  /// ("always-compare-med"). Off by default, as on most routers.
+  bool compare_med_across_as = false;
+  /// Prefer the oldest route before the router-id tiebreak (stability
+  /// knob; on by default as on most deployments).
+  bool prefer_oldest = true;
+};
+
+/// Compares two routes for the same prefix. Returns <0 if `a` is better,
+/// >0 if `b` is better; never 0 (the PeerId step is a total order).
+/// `step_out`, if non-null, receives the rule that decided.
+int compare_routes(const Route& a, const Route& b, const DecisionConfig& config,
+                   DecisionStep* step_out = nullptr);
+
+struct DecisionResult {
+  /// Index into the candidate span, or npos if empty.
+  std::size_t best_index = npos;
+  /// Deepest tiebreak rule consulted while establishing the winner.
+  DecisionStep deciding_step = DecisionStep::kNoChoice;
+
+  static constexpr std::size_t npos = static_cast<std::size_t>(-1);
+  bool has_best() const { return best_index != npos; }
+};
+
+/// Runs the decision process over all candidate routes for one prefix.
+DecisionResult select_best(std::span<const Route> candidates,
+                           const DecisionConfig& config);
+
+/// Ranks all candidates from best to worst (indices into the span).
+/// Used by the Edge Fabric allocator to walk detour options in BGP
+/// preference order.
+std::vector<std::size_t> rank_routes(std::span<const Route> candidates,
+                                     const DecisionConfig& config);
+
+}  // namespace ef::bgp

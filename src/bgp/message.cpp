@@ -1,0 +1,23 @@
+#include "bgp/message.h"
+
+namespace ef::bgp {
+
+MessageType message_type(const Message& msg) {
+  struct Visitor {
+    MessageType operator()(const OpenMessage&) const {
+      return MessageType::kOpen;
+    }
+    MessageType operator()(const UpdateMessage&) const {
+      return MessageType::kUpdate;
+    }
+    MessageType operator()(const NotificationMessage&) const {
+      return MessageType::kNotification;
+    }
+    MessageType operator()(const KeepaliveMessage&) const {
+      return MessageType::kKeepalive;
+    }
+  };
+  return std::visit(Visitor{}, msg);
+}
+
+}  // namespace ef::bgp

@@ -1,0 +1,71 @@
+// BGP message types exchanged over sessions (RFC 4271 §4).
+#pragma once
+
+#include <cstdint>
+#include <variant>
+#include <vector>
+
+#include "bgp/route.h"
+#include "net/prefix.h"
+
+namespace ef::bgp {
+
+enum class MessageType : std::uint8_t {
+  kOpen = 1,
+  kUpdate = 2,
+  kNotification = 3,
+  kKeepalive = 4,
+};
+
+struct OpenMessage {
+  AsNumber as;
+  RouterId router_id;
+  std::uint16_t hold_time_secs = 90;
+
+  friend bool operator==(const OpenMessage&, const OpenMessage&) = default;
+};
+
+/// One UPDATE: withdrawals plus announcements sharing one attribute set.
+/// IPv4 NLRI travel in the classic fields; IPv6 NLRI are carried in
+/// MP_REACH_NLRI / MP_UNREACH_NLRI (RFC 4760) by the wire codec — callers
+/// just put prefixes of either family here.
+struct UpdateMessage {
+  std::vector<net::Prefix> withdrawn;
+  PathAttributes attrs;
+  std::vector<net::Prefix> nlri;
+
+  bool empty() const { return withdrawn.empty() && nlri.empty(); }
+
+  friend bool operator==(const UpdateMessage&,
+                         const UpdateMessage&) = default;
+};
+
+/// Error codes from RFC 4271 §4.5 (subset used by the simulator).
+enum class NotifyCode : std::uint8_t {
+  kMessageHeaderError = 1,
+  kOpenMessageError = 2,
+  kUpdateMessageError = 3,
+  kHoldTimerExpired = 4,
+  kFsmError = 5,
+  kCease = 6,
+};
+
+struct NotificationMessage {
+  NotifyCode code = NotifyCode::kCease;
+  std::uint8_t subcode = 0;
+
+  friend bool operator==(const NotificationMessage&,
+                         const NotificationMessage&) = default;
+};
+
+struct KeepaliveMessage {
+  friend bool operator==(const KeepaliveMessage&,
+                         const KeepaliveMessage&) = default;
+};
+
+using Message = std::variant<OpenMessage, UpdateMessage, NotificationMessage,
+                             KeepaliveMessage>;
+
+MessageType message_type(const Message& msg);
+
+}  // namespace ef::bgp

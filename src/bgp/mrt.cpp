@@ -1,0 +1,341 @@
+#include "bgp/mrt.h"
+
+#include <algorithm>
+#include <array>
+#include <map>
+
+#include "bgp/policy.h"
+#include "bgp/wire.h"
+#include "net/log.h"
+
+namespace ef::bgp::mrt {
+
+namespace {
+
+// Peer-type bits in the PEER_INDEX_TABLE (RFC 6396 §4.3.1).
+constexpr std::uint8_t kPeerFlagIpv6 = 0x01;
+constexpr std::uint8_t kPeerFlagAs4 = 0x02;
+
+void write_record_header(net::BufWriter& w, net::SimTime now,
+                         std::uint16_t subtype, std::size_t body_size) {
+  w.u32(static_cast<std::uint32_t>(now.millis_value() / 1000));
+  w.u16(kTypeTableDumpV2);
+  w.u16(subtype);
+  w.u32(static_cast<std::uint32_t>(body_size));
+}
+
+void write_prefix(net::BufWriter& w, const net::Prefix& prefix) {
+  w.u8(static_cast<std::uint8_t>(prefix.length()));
+  const int nbytes = (prefix.length() + 7) / 8;
+  w.bytes(prefix.address().bytes().data(), static_cast<std::size_t>(nbytes));
+}
+
+std::optional<net::Prefix> read_prefix(net::BufReader& r,
+                                       net::Family family) {
+  const int bitlen = r.u8();
+  if (!r.ok() || bitlen > net::address_bits(family)) return std::nullopt;
+  std::array<std::uint8_t, 16> bytes{};
+  r.bytes(bytes.data(), static_cast<std::size_t>((bitlen + 7) / 8));
+  if (!r.ok()) return std::nullopt;
+  const net::IpAddr addr =
+      family == net::Family::kV4
+          ? net::IpAddr::v4((static_cast<std::uint32_t>(bytes[0]) << 24) |
+                            (static_cast<std::uint32_t>(bytes[1]) << 16) |
+                            (static_cast<std::uint32_t>(bytes[2]) << 8) |
+                            bytes[3])
+          : net::IpAddr::v6(bytes);
+  return net::Prefix(addr, bitlen);
+}
+
+}  // namespace
+
+std::vector<std::uint8_t> encode(const TableDump& dump, net::SimTime now) {
+  net::BufWriter out;
+
+  // --- PEER_INDEX_TABLE ---------------------------------------------
+  {
+    net::BufWriter body;
+    body.u32(dump.collector_id.value());
+    body.u16(static_cast<std::uint16_t>(dump.view_name.size()));
+    body.bytes(reinterpret_cast<const std::uint8_t*>(dump.view_name.data()),
+               dump.view_name.size());
+    body.u16(static_cast<std::uint16_t>(dump.peers.size()));
+    for (const PeerEntry& peer : dump.peers) {
+      std::uint8_t flags = kPeerFlagAs4;  // always 4-octet AS
+      if (peer.address.is_v6()) flags |= kPeerFlagIpv6;
+      body.u8(flags);
+      body.u32(peer.bgp_id.value());
+      if (peer.address.is_v6()) {
+        body.bytes(peer.address.bytes().data(), 16);
+      } else {
+        body.u32(peer.address.v4_value());
+      }
+      body.u32(peer.as.value());
+    }
+    write_record_header(out, now, kSubtypePeerIndexTable, body.size());
+    out.bytes(body.data());
+  }
+
+  // --- RIB records -----------------------------------------------------
+  for (const RibRecord& record : dump.records) {
+    net::BufWriter body;
+    body.u32(record.sequence);
+    write_prefix(body, record.prefix);
+    body.u16(static_cast<std::uint16_t>(record.entries.size()));
+    for (const RibEntry& entry : record.entries) {
+      body.u16(entry.peer_index);
+      body.u32(static_cast<std::uint32_t>(
+          entry.originated.millis_value() / 1000));
+      const std::vector<std::uint8_t> attrs =
+          wire::encode_rib_attributes(entry.attrs, record.prefix);
+      body.u16(static_cast<std::uint16_t>(attrs.size()));
+      body.bytes(attrs);
+    }
+    write_record_header(out, now,
+                        record.prefix.family() == net::Family::kV4
+                            ? kSubtypeRibIpv4Unicast
+                            : kSubtypeRibIpv6Unicast,
+                        body.size());
+    out.bytes(body.data());
+  }
+
+  return out.take();
+}
+
+std::optional<TableDump> decode(const std::vector<std::uint8_t>& bytes) {
+  TableDump dump;
+  net::BufReader reader(bytes);
+  bool have_index = false;
+
+  while (reader.ok() && reader.remaining() >= 12) {
+    reader.u32();  // timestamp
+    const std::uint16_t type = reader.u16();
+    const std::uint16_t subtype = reader.u16();
+    const std::uint32_t length = reader.u32();
+    net::BufReader body = reader.sub(length);
+    if (!reader.ok() || type != kTypeTableDumpV2) return std::nullopt;
+
+    if (subtype == kSubtypePeerIndexTable) {
+      dump.collector_id = RouterId(body.u32());
+      const std::uint16_t name_len = body.u16();
+      dump.view_name.assign(name_len, '\0');
+      body.bytes(reinterpret_cast<std::uint8_t*>(dump.view_name.data()),
+                 name_len);
+      const std::uint16_t peer_count = body.u16();
+      for (int i = 0; i < peer_count; ++i) {
+        PeerEntry peer;
+        const std::uint8_t flags = body.u8();
+        peer.bgp_id = RouterId(body.u32());
+        if (flags & kPeerFlagIpv6) {
+          std::array<std::uint8_t, 16> addr{};
+          body.bytes(addr.data(), addr.size());
+          peer.address = net::IpAddr::v6(addr);
+        } else {
+          peer.address = net::IpAddr::v4(body.u32());
+        }
+        peer.as = AsNumber((flags & kPeerFlagAs4)
+                               ? body.u32()
+                               : body.u16());
+        dump.peers.push_back(peer);
+      }
+      if (!body.ok()) return std::nullopt;
+      have_index = true;
+      continue;
+    }
+
+    if (subtype == kSubtypeRibIpv4Unicast ||
+        subtype == kSubtypeRibIpv6Unicast) {
+      if (!have_index) return std::nullopt;  // index table must come first
+      RibRecord record;
+      record.sequence = body.u32();
+      const auto prefix =
+          read_prefix(body, subtype == kSubtypeRibIpv4Unicast
+                                ? net::Family::kV4
+                                : net::Family::kV6);
+      if (!prefix) return std::nullopt;
+      record.prefix = *prefix;
+      const std::uint16_t entry_count = body.u16();
+      for (int i = 0; i < entry_count; ++i) {
+        RibEntry entry;
+        entry.peer_index = body.u16();
+        entry.originated =
+            net::SimTime::seconds(static_cast<double>(body.u32()));
+        const std::uint16_t attr_len = body.u16();
+        std::vector<std::uint8_t> attrs(attr_len);
+        body.bytes(attrs.data(), attr_len);
+        if (!body.ok()) return std::nullopt;
+        auto decoded = wire::decode_rib_attributes(attrs);
+        if (!decoded) return std::nullopt;
+        entry.attrs = *decoded;
+        record.entries.push_back(std::move(entry));
+      }
+      dump.records.push_back(std::move(record));
+      continue;
+    }
+
+    return std::nullopt;  // unsupported subtype
+  }
+
+  if (!reader.ok() || !have_index) return std::nullopt;
+  return dump;
+}
+
+TableDump from_rib(const Rib& rib,
+                   const std::function<PeerEntry(PeerId)>& peer_of,
+                   RouterId collector_id, const std::string& view_name) {
+  TableDump dump;
+  dump.collector_id = collector_id;
+  dump.view_name = view_name;
+
+  std::map<PeerId, std::uint16_t> index_of;
+  auto intern = [&](PeerId peer) -> std::uint16_t {
+    auto it = index_of.find(peer);
+    if (it != index_of.end()) return it->second;
+    const auto index = static_cast<std::uint16_t>(dump.peers.size());
+    dump.peers.push_back(peer_of(peer));
+    index_of.emplace(peer, index);
+    return index;
+  };
+
+  // Deterministic ordering: collect and sort prefixes.
+  std::vector<net::Prefix> prefixes;
+  rib.for_each([&](const net::Prefix& prefix, std::span<const Route>) {
+    prefixes.push_back(prefix);
+  });
+  std::sort(prefixes.begin(), prefixes.end());
+
+  std::uint32_t sequence = 0;
+  for (const net::Prefix& prefix : prefixes) {
+    RibRecord record;
+    record.sequence = sequence++;
+    record.prefix = prefix;
+    for (const Route& route : rib.candidates(prefix)) {
+      RibEntry entry;
+      entry.peer_index = intern(route.learned_from);
+      entry.originated = route.learned_at;
+      entry.attrs = route.attrs;
+      record.entries.push_back(std::move(entry));
+    }
+    dump.records.push_back(std::move(record));
+  }
+  return dump;
+}
+
+Rib to_rib(const TableDump& dump, DecisionConfig decision) {
+  Rib rib(decision);
+  for (const RibRecord& record : dump.records) {
+    for (const RibEntry& entry : record.entries) {
+      EF_CHECK(entry.peer_index < dump.peers.size(),
+               "MRT peer index out of range");
+      const PeerEntry& peer = dump.peers[entry.peer_index];
+      Route route;
+      route.prefix = record.prefix;
+      route.attrs = entry.attrs;
+      route.learned_from = PeerId(entry.peer_index);
+      route.neighbor_as = peer.as;
+      route.neighbor_router_id = peer.bgp_id;
+      route.learned_at = entry.originated;
+      route.peer_type =
+          tagged_peer_type(entry.attrs).value_or(bgp::PeerType::kTransit);
+      rib.announce(route);
+    }
+  }
+  return rib;
+}
+
+std::vector<std::uint8_t> encode_bgp4mp(const Bgp4mpRecord& record) {
+  net::BufWriter body;
+  body.u32(record.peer_as.value());
+  body.u32(record.local_as.value());
+  body.u16(0);  // interface index
+  const bool v6 = record.peer_addr.is_v6();
+  body.u16(v6 ? 2 : 1);  // AFI
+  if (v6) {
+    body.bytes(record.peer_addr.bytes().data(), 16);
+    body.bytes(record.local_addr.bytes().data(), 16);
+  } else {
+    body.u32(record.peer_addr.v4_value());
+    body.u32(record.local_addr.v4_value());
+  }
+  body.bytes(record.bgp_pdu);
+
+  net::BufWriter out;
+  out.u32(static_cast<std::uint32_t>(record.when.millis_value() / 1000));
+  out.u16(kTypeBgp4mp);
+  out.u16(kSubtypeMessageAs4);
+  out.u32(static_cast<std::uint32_t>(body.size()));
+  out.bytes(body.data());
+  return out.take();
+}
+
+std::optional<std::vector<Bgp4mpRecord>> decode_bgp4mp_stream(
+    const std::vector<std::uint8_t>& bytes) {
+  std::vector<Bgp4mpRecord> records;
+  net::BufReader reader(bytes);
+  while (reader.ok() && reader.remaining() >= 12) {
+    Bgp4mpRecord record;
+    record.when = net::SimTime::seconds(static_cast<double>(reader.u32()));
+    const std::uint16_t type = reader.u16();
+    const std::uint16_t subtype = reader.u16();
+    const std::uint32_t length = reader.u32();
+    net::BufReader body = reader.sub(length);
+    if (!reader.ok() || type != kTypeBgp4mp ||
+        subtype != kSubtypeMessageAs4) {
+      return std::nullopt;
+    }
+    record.peer_as = AsNumber(body.u32());
+    record.local_as = AsNumber(body.u32());
+    body.u16();  // interface index
+    const std::uint16_t afi = body.u16();
+    if (afi == 1) {
+      record.peer_addr = net::IpAddr::v4(body.u32());
+      record.local_addr = net::IpAddr::v4(body.u32());
+    } else if (afi == 2) {
+      std::array<std::uint8_t, 16> addr{};
+      body.bytes(addr.data(), addr.size());
+      record.peer_addr = net::IpAddr::v6(addr);
+      body.bytes(addr.data(), addr.size());
+      record.local_addr = net::IpAddr::v6(addr);
+    } else {
+      return std::nullopt;
+    }
+    record.bgp_pdu.resize(body.remaining());
+    body.bytes(record.bgp_pdu.data(), record.bgp_pdu.size());
+    if (!body.ok()) return std::nullopt;
+    records.push_back(std::move(record));
+  }
+  if (!reader.ok()) return std::nullopt;
+  return records;
+}
+
+void MessageLog::append(Bgp4mpRecord record) {
+  records_.push_back(std::move(record));
+}
+
+std::function<void(std::vector<std::uint8_t>)> MessageLog::tap(
+    std::function<void(std::vector<std::uint8_t>)> send, AsNumber local_as,
+    AsNumber peer_as, net::IpAddr local_addr, net::IpAddr peer_addr,
+    const net::SimTime* now) {
+  return [this, send = std::move(send), local_as, peer_as, local_addr,
+          peer_addr, now](std::vector<std::uint8_t> bytes) {
+    Bgp4mpRecord record;
+    record.when = now ? *now : net::SimTime();
+    record.local_as = local_as;
+    record.peer_as = peer_as;
+    record.local_addr = local_addr;
+    record.peer_addr = peer_addr;
+    record.bgp_pdu = bytes;
+    append(std::move(record));
+    send(std::move(bytes));
+  };
+}
+
+std::vector<std::uint8_t> MessageLog::serialize() const {
+  net::BufWriter out;
+  for (const Bgp4mpRecord& record : records_) {
+    out.bytes(encode_bgp4mp(record));
+  }
+  return out.take();
+}
+
+}  // namespace ef::bgp::mrt

@@ -1,0 +1,121 @@
+// MRT (RFC 6396) TABLE_DUMP_V2 export/import of a RIB — the archival
+// format used by route collectors (RouteViews, RIPE RIS). Lets the
+// PoP-wide RIB assembled by the BMP collector be dumped for offline
+// analysis with standard tooling, and snapshots be reloaded in tests.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "net/units.h"
+
+#include "bgp/rib.h"
+#include "bgp/session.h"
+#include "net/bytes.h"
+
+namespace ef::bgp::mrt {
+
+inline constexpr std::uint16_t kTypeTableDumpV2 = 13;
+inline constexpr std::uint16_t kSubtypePeerIndexTable = 1;
+inline constexpr std::uint16_t kSubtypeRibIpv4Unicast = 2;
+inline constexpr std::uint16_t kSubtypeRibIpv6Unicast = 4;
+
+struct PeerEntry {
+  RouterId bgp_id;
+  net::IpAddr address;
+  AsNumber as;
+
+  friend bool operator==(const PeerEntry&, const PeerEntry&) = default;
+};
+
+struct RibEntry {
+  std::uint16_t peer_index = 0;
+  net::SimTime originated;
+  PathAttributes attrs;
+
+  friend bool operator==(const RibEntry&, const RibEntry&) = default;
+};
+
+struct RibRecord {
+  std::uint32_t sequence = 0;
+  net::Prefix prefix;
+  std::vector<RibEntry> entries;
+
+  friend bool operator==(const RibRecord&, const RibRecord&) = default;
+};
+
+struct TableDump {
+  RouterId collector_id;
+  std::string view_name;
+  std::vector<PeerEntry> peers;
+  std::vector<RibRecord> records;
+};
+
+/// Serializes a dump as a sequence of MRT records (one PEER_INDEX_TABLE
+/// followed by one RIB record per prefix), timestamped with `now`.
+std::vector<std::uint8_t> encode(const TableDump& dump, net::SimTime now);
+
+/// Parses an MRT byte stream produced by encode(). nullopt on malformed
+/// input or unsupported record types.
+std::optional<TableDump> decode(const std::vector<std::uint8_t>& bytes);
+
+/// Builds a dump from a RIB. `peer_of` maps a route's PeerId to its
+/// index-table entry (duplicates are merged by equality).
+TableDump from_rib(const Rib& rib,
+                   const std::function<PeerEntry(PeerId)>& peer_of,
+                   RouterId collector_id, const std::string& view_name);
+
+/// Restores a RIB from a dump (all entries re-announced; PeerIds are the
+/// dump's peer indices).
+Rib to_rib(const TableDump& dump, DecisionConfig decision = {});
+
+// ---------------------------------------------------------------------
+// BGP4MP (RFC 6396 §4.4): per-message logging of live BGP traffic, the
+// format route collectors archive "updates" files in.
+
+inline constexpr std::uint16_t kTypeBgp4mp = 16;
+inline constexpr std::uint16_t kSubtypeMessageAs4 = 4;
+
+struct Bgp4mpRecord {
+  net::SimTime when;
+  AsNumber peer_as;
+  AsNumber local_as;
+  net::IpAddr peer_addr;
+  net::IpAddr local_addr;
+  std::vector<std::uint8_t> bgp_pdu;  // one whole BGP message
+
+  friend bool operator==(const Bgp4mpRecord&, const Bgp4mpRecord&) = default;
+};
+
+std::vector<std::uint8_t> encode_bgp4mp(const Bgp4mpRecord& record);
+
+/// Parses a stream of BGP4MP records; nullopt on malformed input.
+std::optional<std::vector<Bgp4mpRecord>> decode_bgp4mp_stream(
+    const std::vector<std::uint8_t>& bytes);
+
+/// Accumulates BGP4MP records; wrap a session transport with tap() to
+/// archive everything a session sends.
+class MessageLog {
+ public:
+  void append(Bgp4mpRecord record);
+
+  /// Wraps `send` so every outbound message is logged before delivery.
+  /// `now` is read at send time through the pointer (the simulation's
+  /// clock advances after the wrapper is built).
+  std::function<void(std::vector<std::uint8_t>)> tap(
+      std::function<void(std::vector<std::uint8_t>)> send, AsNumber local_as,
+      AsNumber peer_as, net::IpAddr local_addr, net::IpAddr peer_addr,
+      const net::SimTime* now);
+
+  const std::vector<Bgp4mpRecord>& records() const { return records_; }
+  std::vector<std::uint8_t> serialize() const;
+
+ private:
+  std::vector<Bgp4mpRecord> records_;
+};
+
+}  // namespace ef::bgp::mrt

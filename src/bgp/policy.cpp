@@ -1,0 +1,91 @@
+#include "bgp/policy.h"
+
+#include <algorithm>
+
+namespace ef::bgp {
+
+std::optional<PeerType> tagged_peer_type(const PathAttributes& attrs) {
+  for (Community c : attrs.communities) {
+    if (c.asn() == kTagAsn &&
+        c.value() < static_cast<std::uint16_t>(kNumEgressPeerTypes)) {
+      return static_cast<PeerType>(c.value());
+    }
+  }
+  return std::nullopt;
+}
+
+bool PolicyMatch::matches(const Route& route) const {
+  if (peer_type && route.peer_type != *peer_type) return false;
+  if (prefix_within && !prefix_within->contains(route.prefix)) return false;
+  if (has_community && !route.attrs.has_community(*has_community)) {
+    return false;
+  }
+  return true;
+}
+
+std::optional<Route> ImportPolicy::apply(Route route) const {
+  // Loop prevention: reject any path that already contains our AS.
+  if (route.attrs.as_path.contains(config_.local_as)) return std::nullopt;
+
+  const auto type_index = static_cast<std::size_t>(route.peer_type);
+  if (route.peer_type == PeerType::kController ||
+      route.peer_type == PeerType::kInternal) {
+    // Controller/iBGP sessions may carry LOCAL_PREF; keep it if allowed.
+    if (!route.attrs.has_local_pref || !config_.accept_controller_local_pref) {
+      route.attrs.local_pref = LocalPref(100);
+    }
+  } else {
+    // eBGP: LOCAL_PREF is never accepted from a neighbor; stamp the
+    // type-default preference ladder.
+    route.attrs.local_pref =
+        LocalPref(config_.type_local_pref[type_index]);
+    route.attrs.has_local_pref = true;
+    // Tag the ingress type so downstream consumers (controller, analysis)
+    // can classify the route without consulting session tables.
+    const Community tag = peer_type_community(route.peer_type);
+    if (!route.attrs.has_community(tag)) {
+      route.attrs.communities.push_back(tag);
+    }
+  }
+
+  for (const PolicyRule& rule : config_.rules) {
+    if (!rule.match.matches(route)) continue;
+    if (rule.action.reject) return std::nullopt;
+    if (rule.action.set_local_pref) {
+      route.attrs.local_pref = *rule.action.set_local_pref;
+      route.attrs.has_local_pref = true;
+    }
+    for (Community c : rule.action.add_communities) {
+      if (!route.attrs.has_community(c)) route.attrs.communities.push_back(c);
+    }
+    if (rule.action.prepend_count > 0) {
+      route.attrs.as_path = route.attrs.as_path.prepended(
+          route.neighbor_as, rule.action.prepend_count);
+    }
+  }
+  return route;
+}
+
+bool ExportPolicy::should_export(const Route& route, PeerType to) const {
+  const bool self_originated =
+      std::find(config_.originated.begin(), config_.originated.end(),
+                route.prefix) != config_.originated.end();
+  if (self_originated) return true;
+  // Learned routes are visible internally (iBGP mesh, BMP, controller)
+  // but are never re-exported to eBGP neighbors: a content provider is a
+  // stub network, not a transit.
+  return to == PeerType::kInternal || to == PeerType::kController;
+}
+
+PathAttributes ExportPolicy::transform_for_ebgp(PathAttributes attrs) const {
+  attrs.as_path = attrs.as_path.prepended(config_.local_as);
+  attrs.has_local_pref = false;
+  attrs.local_pref = LocalPref(100);
+  attrs.has_med = false;
+  // Strip bookkeeping communities; they are local to this network.
+  std::erase_if(attrs.communities,
+                [](Community c) { return c.asn() == kTagAsn; });
+  return attrs;
+}
+
+}  // namespace ef::bgp

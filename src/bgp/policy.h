@@ -1,0 +1,103 @@
+// Import and export policy, modelled after the egress policy a content
+// provider's peering routers run.
+//
+// Import policy stamps LOCAL_PREF by peer type — the mechanism that makes
+// BGP prefer peer routes over transit — tags routes with a community
+// identifying the ingress peer type, and rejects loops. Export policy
+// enforces the stub-network rule: never re-export learned routes to eBGP
+// peers (a content provider is not a transit network).
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "bgp/route.h"
+
+namespace ef::bgp {
+
+/// Community namespace used for bookkeeping tags. The value part encodes
+/// the PeerType the route was learned from.
+inline constexpr std::uint16_t kTagAsn = 64999;
+
+constexpr Community peer_type_community(PeerType type) {
+  return Community(kTagAsn, static_cast<std::uint16_t>(type));
+}
+
+/// Extracts the tagged ingress peer type, if present.
+std::optional<PeerType> tagged_peer_type(const PathAttributes& attrs);
+
+struct PolicyMatch {
+  std::optional<PeerType> peer_type;
+  std::optional<net::Prefix> prefix_within;  // route's prefix inside this
+  std::optional<Community> has_community;
+
+  bool matches(const Route& route) const;
+};
+
+struct PolicyAction {
+  std::optional<LocalPref> set_local_pref;
+  std::vector<Community> add_communities;
+  int prepend_count = 0;  // prepend neighbor AS (inbound TE modelling)
+  bool reject = false;
+};
+
+struct PolicyRule {
+  PolicyMatch match;
+  PolicyAction action;
+};
+
+struct ImportPolicyConfig {
+  AsNumber local_as;
+  /// Default LOCAL_PREF per egress peer type; index by PeerType value.
+  /// Private peers are preferred, then public, then route servers, then
+  /// transit — Edge Fabric's default preference ladder.
+  std::uint32_t type_local_pref[kNumEgressPeerTypes] = {340, 320, 300, 200};
+  /// LOCAL_PREF accepted from controller sessions (already set by the
+  /// controller on injected routes).
+  bool accept_controller_local_pref = true;
+  std::vector<PolicyRule> rules;  // applied in order after defaults
+};
+
+class ImportPolicy {
+ public:
+  explicit ImportPolicy(ImportPolicyConfig config)
+      : config_(std::move(config)) {}
+
+  /// Processes a route learned from a neighbor. Returns nullopt if the
+  /// route is rejected (loop, policy). On acceptance the route carries an
+  /// effective LOCAL_PREF and a peer-type community tag.
+  std::optional<Route> apply(Route route) const;
+
+  const ImportPolicyConfig& config() const { return config_; }
+
+ private:
+  ImportPolicyConfig config_;
+};
+
+struct ExportPolicyConfig {
+  AsNumber local_as;
+  /// Prefixes this network originates (announced to everyone).
+  std::vector<net::Prefix> originated;
+};
+
+class ExportPolicy {
+ public:
+  explicit ExportPolicy(ExportPolicyConfig config)
+      : config_(std::move(config)) {}
+
+  /// True if `route` may be advertised to a neighbor of type `to`.
+  /// Self-originated routes go to every eBGP neighbor; learned routes go
+  /// only to internal/controller sessions (stub network, no transit).
+  bool should_export(const Route& route, PeerType to) const;
+
+  /// Attribute rewrite when sending to an eBGP neighbor: prepend local AS,
+  /// strip LOCAL_PREF and bookkeeping communities.
+  PathAttributes transform_for_ebgp(PathAttributes attrs) const;
+
+  const ExportPolicyConfig& config() const { return config_; }
+
+ private:
+  ExportPolicyConfig config_;
+};
+
+}  // namespace ef::bgp

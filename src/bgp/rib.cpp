@@ -1,0 +1,143 @@
+#include "bgp/rib.h"
+
+#include <algorithm>
+
+namespace ef::bgp {
+
+void Rib::reelect(Entry& entry) {
+  const DecisionResult result = select_best(entry.routes, config_);
+  entry.best = result.best_index;
+  entry.step = result.deciding_step;
+}
+
+RibChange Rib::announce(const Route& route) {
+  Entry& entry = entries_[route.prefix];
+  const Route* old_best =
+      entry.best == DecisionResult::npos ? nullptr : &entry.routes[entry.best];
+  const std::optional<Route> old_best_copy =
+      old_best ? std::optional<Route>(*old_best) : std::nullopt;
+
+  auto it = std::find_if(entry.routes.begin(), entry.routes.end(),
+                         [&](const Route& r) {
+                           return r.learned_from == route.learned_from;
+                         });
+  if (it != entry.routes.end()) {
+    *it = route;  // implicit replace (RFC 4271 §9.1.1)
+  } else {
+    entry.routes.push_back(route);
+    ++route_count_;
+  }
+  reelect(entry);
+
+  RibChange change;
+  const Route& new_best = entry.routes[entry.best];
+  change.best_changed = !old_best_copy || !(new_best == *old_best_copy);
+  return change;
+}
+
+RibChange Rib::withdraw(PeerId peer, const net::Prefix& prefix) {
+  RibChange change;
+  auto map_it = entries_.find(prefix);
+  if (map_it == entries_.end()) return change;
+  Entry& entry = map_it->second;
+
+  auto it = std::find_if(
+      entry.routes.begin(), entry.routes.end(),
+      [&](const Route& r) { return r.learned_from == peer; });
+  if (it == entry.routes.end()) return change;
+
+  const bool was_best =
+      entry.best != DecisionResult::npos &&
+      static_cast<std::size_t>(it - entry.routes.begin()) == entry.best;
+  entry.routes.erase(it);
+  --route_count_;
+
+  if (entry.routes.empty()) {
+    entries_.erase(map_it);
+    change.best_changed = true;
+    change.prefix_removed = true;
+    return change;
+  }
+  reelect(entry);
+  change.best_changed = was_best;
+  return change;
+}
+
+std::vector<net::Prefix> Rib::remove_peer(PeerId peer) {
+  std::vector<net::Prefix> affected;
+  for (auto it = entries_.begin(); it != entries_.end();) {
+    Entry& entry = it->second;
+    auto route_it = std::find_if(
+        entry.routes.begin(), entry.routes.end(),
+        [&](const Route& r) { return r.learned_from == peer; });
+    if (route_it == entry.routes.end()) {
+      ++it;
+      continue;
+    }
+    const bool was_best =
+        entry.best != DecisionResult::npos &&
+        static_cast<std::size_t>(route_it - entry.routes.begin()) ==
+            entry.best;
+    entry.routes.erase(route_it);
+    --route_count_;
+    if (entry.routes.empty()) {
+      affected.push_back(it->first);
+      it = entries_.erase(it);
+      continue;
+    }
+    reelect(entry);
+    if (was_best) affected.push_back(it->first);
+    ++it;
+  }
+  return affected;
+}
+
+const Route* Rib::best(const net::Prefix& prefix) const {
+  auto it = entries_.find(prefix);
+  if (it == entries_.end() || it->second.best == DecisionResult::npos) {
+    return nullptr;
+  }
+  return &it->second.routes[it->second.best];
+}
+
+std::span<const Route> Rib::candidates(const net::Prefix& prefix) const {
+  auto it = entries_.find(prefix);
+  if (it == entries_.end()) return {};
+  return it->second.routes;
+}
+
+std::vector<const Route*> Rib::ranked(const net::Prefix& prefix) const {
+  std::vector<const Route*> out;
+  auto it = entries_.find(prefix);
+  if (it == entries_.end()) return out;
+  const auto order = rank_routes(it->second.routes, config_);
+  out.reserve(order.size());
+  for (std::size_t index : order) out.push_back(&it->second.routes[index]);
+  return out;
+}
+
+std::optional<DecisionStep> Rib::deciding_step(
+    const net::Prefix& prefix) const {
+  auto it = entries_.find(prefix);
+  if (it == entries_.end()) return std::nullopt;
+  return it->second.step;
+}
+
+void Rib::for_each_best(
+    const std::function<void(const net::Prefix&, const Route&)>& fn) const {
+  for (const auto& [prefix, entry] : entries_) {
+    if (entry.best != DecisionResult::npos) {
+      fn(prefix, entry.routes[entry.best]);
+    }
+  }
+}
+
+void Rib::for_each(const std::function<void(const net::Prefix&,
+                                            std::span<const Route>)>& fn)
+    const {
+  for (const auto& [prefix, entry] : entries_) {
+    fn(prefix, entry.routes);
+  }
+}
+
+}  // namespace ef::bgp

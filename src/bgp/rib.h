@@ -1,0 +1,80 @@
+// Routing information base: all candidate routes per prefix plus the
+// decision-process winner.
+//
+// Unlike a plain forwarding table, the RIB keeps *every* accepted route —
+// Edge Fabric's allocator needs the full set of egress options per prefix,
+// which is exactly why the paper deploys BMP instead of a best-only feed.
+#pragma once
+
+#include <functional>
+#include <optional>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "bgp/decision.h"
+#include "bgp/route.h"
+
+namespace ef::bgp {
+
+/// Result of applying an announcement/withdrawal to the RIB.
+struct RibChange {
+  bool best_changed = false;    // the winning route differs from before
+  bool prefix_removed = false;  // last route for the prefix went away
+};
+
+class Rib {
+ public:
+  explicit Rib(DecisionConfig config = {}) : config_(config) {}
+
+  /// Inserts or replaces the route from `route.learned_from` for
+  /// `route.prefix`, then re-runs the decision process.
+  RibChange announce(const Route& route);
+
+  /// Removes the route learned from `peer` for `prefix`, if any.
+  RibChange withdraw(PeerId peer, const net::Prefix& prefix);
+
+  /// Session teardown: drops every route learned from `peer`.
+  /// Returns the prefixes whose best route changed or disappeared.
+  std::vector<net::Prefix> remove_peer(PeerId peer);
+
+  /// Best route for the prefix, or nullptr.
+  const Route* best(const net::Prefix& prefix) const;
+
+  /// All candidate routes for the prefix (unordered).
+  std::span<const Route> candidates(const net::Prefix& prefix) const;
+
+  /// Candidates ranked best-first by the decision process.
+  std::vector<const Route*> ranked(const net::Prefix& prefix) const;
+
+  /// Rule that decided the current best for the prefix.
+  std::optional<DecisionStep> deciding_step(const net::Prefix& prefix) const;
+
+  std::size_t prefix_count() const { return entries_.size(); }
+  std::size_t route_count() const { return route_count_; }
+
+  /// Visits (prefix, best route) for every reachable prefix.
+  void for_each_best(
+      const std::function<void(const net::Prefix&, const Route&)>& fn) const;
+
+  /// Visits (prefix, all candidates) for every prefix.
+  void for_each(const std::function<void(const net::Prefix&,
+                                         std::span<const Route>)>& fn) const;
+
+  const DecisionConfig& decision_config() const { return config_; }
+
+ private:
+  struct Entry {
+    std::vector<Route> routes;
+    std::size_t best = DecisionResult::npos;
+    DecisionStep step = DecisionStep::kNoChoice;
+  };
+
+  void reelect(Entry& entry);
+
+  DecisionConfig config_;
+  std::unordered_map<net::Prefix, Entry> entries_;
+  std::size_t route_count_ = 0;
+};
+
+}  // namespace ef::bgp

@@ -1,0 +1,30 @@
+#include "bgp/route.h"
+
+#include <sstream>
+
+namespace ef::bgp {
+
+std::string PathAttributes::to_string() const {
+  std::ostringstream os;
+  os << "origin=" << origin_name(origin) << " path=[" << as_path.to_string()
+     << "] nh=" << next_hop.to_string();
+  if (has_med) os << " med=" << med.value();
+  os << " lp=" << local_pref.value();
+  if (!communities.empty()) {
+    os << " comm=";
+    for (std::size_t i = 0; i < communities.size(); ++i) {
+      if (i > 0) os << ',';
+      os << communities[i].to_string();
+    }
+  }
+  return os.str();
+}
+
+std::string Route::to_string() const {
+  std::ostringstream os;
+  os << prefix.to_string() << " via " << neighbor_as << " ("
+     << peer_type_name(peer_type) << ") " << attrs.to_string();
+  return os.str();
+}
+
+}  // namespace ef::bgp

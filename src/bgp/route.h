@@ -1,0 +1,75 @@
+// Path attributes and routes as seen by RIBs and the decision process.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "bgp/as_path.h"
+#include "bgp/types.h"
+#include "net/ip.h"
+#include "net/prefix.h"
+#include "net/units.h"
+
+namespace ef::bgp {
+
+/// Identifies a BGP neighbor session on a router. Dense small integers,
+/// assigned by the speaker; unique per speaker, not globally.
+class PeerId {
+ public:
+  constexpr PeerId() = default;
+  explicit constexpr PeerId(std::uint32_t value) : value_(value) {}
+  constexpr std::uint32_t value() const { return value_; }
+  friend constexpr auto operator<=>(PeerId, PeerId) = default;
+
+ private:
+  std::uint32_t value_ = 0;
+};
+
+/// The attribute set carried with an announcement.
+struct PathAttributes {
+  Origin origin = Origin::kIgp;
+  AsPath as_path;
+  net::IpAddr next_hop;
+  Med med{0};
+  bool has_med = false;
+  LocalPref local_pref{100};
+  bool has_local_pref = false;  // LOCAL_PREF is only sent on iBGP sessions
+  std::vector<Community> communities;
+
+  bool has_community(Community c) const {
+    for (Community x : communities) {
+      if (x == c) return true;
+    }
+    return false;
+  }
+
+  std::string to_string() const;
+
+  friend bool operator==(const PathAttributes&,
+                         const PathAttributes&) = default;
+};
+
+/// A route in a RIB: a prefix plus attributes, annotated with how and when
+/// it was learned. The "learned" annotations are local bookkeeping, not
+/// wire data.
+struct Route {
+  net::Prefix prefix;
+  PathAttributes attrs;
+
+  PeerId learned_from;                        // session it arrived on
+  PeerType peer_type = PeerType::kTransit;    // session type (import policy)
+  AsNumber neighbor_as;                       // neighbor's AS
+  RouterId neighbor_router_id;                // neighbor's BGP identifier
+  net::SimTime learned_at;                    // for oldest-route tiebreak
+
+  /// Effective LOCAL_PREF used by the decision process: explicit attribute
+  /// if present, otherwise the import-policy default stamped at ingest.
+  LocalPref effective_local_pref() const { return attrs.local_pref; }
+
+  std::string to_string() const;
+
+  friend bool operator==(const Route&, const Route&) = default;
+};
+
+}  // namespace ef::bgp

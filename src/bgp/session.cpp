@@ -1,0 +1,160 @@
+#include "bgp/session.h"
+
+#include <algorithm>
+
+#include "net/log.h"
+
+namespace ef::bgp {
+
+const char* session_state_name(SessionState state) {
+  switch (state) {
+    case SessionState::kIdle:
+      return "Idle";
+    case SessionState::kOpenSent:
+      return "OpenSent";
+    case SessionState::kOpenConfirm:
+      return "OpenConfirm";
+    case SessionState::kEstablished:
+      return "Established";
+  }
+  return "?";
+}
+
+BgpSession::BgpSession(SessionConfig config, SendFn send)
+    : config_(config), send_(std::move(send)) {
+  EF_CHECK(send_ != nullptr, "session requires a transport");
+}
+
+void BgpSession::send(const Message& msg, net::SimTime now) {
+  last_sent_ = now;
+  send_(wire::encode(msg));
+}
+
+void BgpSession::start(net::SimTime now) {
+  if (state_ != SessionState::kIdle) return;
+  OpenMessage open;
+  open.as = config_.local_as;
+  open.router_id = config_.local_id;
+  open.hold_time_secs = config_.hold_time_secs;
+  send(Message(open), now);
+  last_received_ = now;
+  state_ = SessionState::kOpenSent;
+}
+
+void BgpSession::receive(const std::vector<std::uint8_t>& bytes,
+                         net::SimTime now) {
+  net::BufReader reader(bytes);
+  while (reader.ok() && reader.remaining() >= wire::kHeaderSize) {
+    auto msg = wire::decode(reader);
+    if (!msg) {
+      ++stats_.malformed_received;
+      go_down(now, true, NotifyCode::kMessageHeaderError);
+      return;
+    }
+    handle(*msg, now);
+    if (state_ == SessionState::kIdle) return;  // a NOTIFICATION closed us
+  }
+}
+
+void BgpSession::handle(const Message& msg, net::SimTime now) {
+  last_received_ = now;
+
+  if (const auto* open = std::get_if<OpenMessage>(&msg)) {
+    if (state_ != SessionState::kOpenSent) {
+      go_down(now, true, NotifyCode::kFsmError);
+      return;
+    }
+    if (config_.peer_as.value() != 0 && open->as != config_.peer_as) {
+      EF_LOG_WARN("OPEN from unexpected " << open->as << ", expected "
+                                          << config_.peer_as);
+      go_down(now, true, NotifyCode::kOpenMessageError);
+      return;
+    }
+    learned_peer_as_ = open->as;
+    learned_peer_id_ = open->router_id;
+    negotiated_hold_secs_ =
+        std::min(config_.hold_time_secs, open->hold_time_secs);
+    ++stats_.keepalives_sent;
+    send(Message(KeepaliveMessage{}), now);
+    state_ = SessionState::kOpenConfirm;
+    return;
+  }
+
+  if (std::holds_alternative<KeepaliveMessage>(msg)) {
+    ++stats_.keepalives_received;
+    if (state_ == SessionState::kOpenConfirm) {
+      state_ = SessionState::kEstablished;
+      if (on_event_) on_event_(SessionEventType::kEstablished);
+    }
+    return;
+  }
+
+  if (const auto* update = std::get_if<UpdateMessage>(&msg)) {
+    if (state_ != SessionState::kEstablished) {
+      go_down(now, true, NotifyCode::kFsmError);
+      return;
+    }
+    ++stats_.updates_received;
+    if (on_update_) on_update_(*update);
+    return;
+  }
+
+  if (std::holds_alternative<NotificationMessage>(msg)) {
+    go_down(now, false, NotifyCode::kCease);
+    return;
+  }
+}
+
+void BgpSession::tick(net::SimTime now) {
+  if (state_ == SessionState::kIdle) return;
+
+  const std::uint16_t hold = state_ == SessionState::kEstablished ||
+                                     state_ == SessionState::kOpenConfirm
+                                 ? negotiated_hold_secs_
+                                 : config_.hold_time_secs;
+  if (hold > 0 &&
+      now - last_received_ > net::SimTime::seconds(hold)) {
+    EF_LOG_INFO("hold timer expired on session to "
+                << config_.peer_as << " in state "
+                << session_state_name(state_));
+    go_down(now, true, NotifyCode::kHoldTimerExpired);
+    return;
+  }
+
+  // Keepalive at hold/3, the conventional rate.
+  if (state_ == SessionState::kEstablished && hold > 0 &&
+      now - last_sent_ >= net::SimTime::seconds(hold / 3.0)) {
+    ++stats_.keepalives_sent;
+    send(Message(KeepaliveMessage{}), now);
+  }
+}
+
+void BgpSession::send_update(const UpdateMessage& update) {
+  EF_CHECK(state_ == SessionState::kEstablished,
+           "send_update on non-established session (state="
+               << session_state_name(state_) << ")");
+  ++stats_.updates_sent;
+  send(Message(update), last_sent_);
+}
+
+void BgpSession::close(NotifyCode code, net::SimTime now) {
+  if (state_ == SessionState::kIdle) return;
+  go_down(now, true, code);
+}
+
+void BgpSession::go_down(net::SimTime now, bool notify_peer,
+                         NotifyCode code) {
+  if (notify_peer && state_ != SessionState::kIdle) {
+    NotificationMessage notify;
+    notify.code = code;
+    send(Message(notify), now);
+  }
+  const bool was_up = state_ != SessionState::kIdle;
+  state_ = SessionState::kIdle;
+  if (was_up) {
+    ++stats_.session_drops;
+    if (on_event_) on_event_(SessionEventType::kDown);
+  }
+}
+
+}  // namespace ef::bgp

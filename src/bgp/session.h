@@ -1,0 +1,109 @@
+// A single BGP session endpoint: simplified FSM, keepalive/hold timers,
+// and RFC 4271 wire encoding on everything that crosses the transport.
+//
+// The transport is a callback supplied by the host (the simulator wires
+// two sessions back-to-back; tests can capture and corrupt bytes). The
+// hold-timer path is load-bearing for Edge Fabric's fail-safe: when the
+// controller process dies, its injection session's hold timer expires and
+// the routers drop every injected override, reverting to vanilla BGP.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <vector>
+
+#include "bgp/message.h"
+#include "bgp/wire.h"
+#include "net/units.h"
+
+namespace ef::bgp {
+
+enum class SessionState : std::uint8_t {
+  kIdle = 0,
+  kOpenSent = 1,
+  kOpenConfirm = 2,
+  kEstablished = 3,
+};
+
+const char* session_state_name(SessionState state);
+
+enum class SessionEventType : std::uint8_t { kEstablished, kDown };
+
+struct SessionConfig {
+  AsNumber local_as;
+  RouterId local_id;
+  AsNumber peer_as;            // expected; 0 = accept any
+  PeerType peer_type = PeerType::kPrivatePeer;
+  std::uint16_t hold_time_secs = 90;
+  net::IpAddr local_addr;      // advertised as NEXT_HOP on our announcements
+};
+
+class BgpSession {
+ public:
+  using SendFn = std::function<void(std::vector<std::uint8_t>)>;
+  using UpdateFn = std::function<void(const UpdateMessage&)>;
+  using EventFn = std::function<void(SessionEventType)>;
+
+  BgpSession(SessionConfig config, SendFn send);
+
+  void set_update_handler(UpdateFn fn) { on_update_ = std::move(fn); }
+  void set_event_handler(EventFn fn) { on_event_ = std::move(fn); }
+
+  /// Initiates the session: sends OPEN, moves to OpenSent.
+  void start(net::SimTime now);
+
+  /// Feeds received wire bytes (one or more whole messages).
+  void receive(const std::vector<std::uint8_t>& bytes, net::SimTime now);
+
+  /// Drives timers; call at least every few seconds of simulated time.
+  /// Sends keepalives and enforces hold-timer expiry.
+  void tick(net::SimTime now);
+
+  /// Sends an UPDATE; only legal when established.
+  void send_update(const UpdateMessage& update);
+
+  /// Administrative close: NOTIFICATION(Cease) then down.
+  void close(NotifyCode code, net::SimTime now);
+
+  SessionState state() const { return state_; }
+  bool established() const { return state_ == SessionState::kEstablished; }
+  const SessionConfig& config() const { return config_; }
+
+  /// Peer identity learned from its OPEN; meaningful once past OpenSent.
+  AsNumber peer_as() const { return learned_peer_as_; }
+  RouterId peer_router_id() const { return learned_peer_id_; }
+
+  /// Negotiated hold time (min of both sides' offers).
+  std::uint16_t negotiated_hold_secs() const { return negotiated_hold_secs_; }
+
+  struct Stats {
+    std::uint64_t updates_sent = 0;
+    std::uint64_t updates_received = 0;
+    std::uint64_t keepalives_sent = 0;
+    std::uint64_t keepalives_received = 0;
+    std::uint64_t malformed_received = 0;
+    std::uint64_t session_drops = 0;
+  };
+  const Stats& stats() const { return stats_; }
+
+ private:
+  void send(const Message& msg, net::SimTime now);
+  void handle(const Message& msg, net::SimTime now);
+  void go_down(net::SimTime now, bool notify_peer, NotifyCode code);
+
+  SessionConfig config_;
+  SendFn send_;
+  UpdateFn on_update_;
+  EventFn on_event_;
+
+  SessionState state_ = SessionState::kIdle;
+  AsNumber learned_peer_as_;
+  RouterId learned_peer_id_;
+  std::uint16_t negotiated_hold_secs_ = 0;
+  net::SimTime last_received_;
+  net::SimTime last_sent_;
+  Stats stats_;
+};
+
+}  // namespace ef::bgp

@@ -1,0 +1,317 @@
+#include "bgp/speaker.h"
+
+#include <algorithm>
+
+#include "net/log.h"
+
+namespace ef::bgp {
+
+namespace {
+// Chunk size for NLRI packing: comfortably under the 4096-byte message
+// cap even for IPv6 prefixes with long AS paths.
+constexpr std::size_t kNlriChunk = 128;
+}  // namespace
+
+BgpSpeaker::BgpSpeaker(Config config)
+    : config_(std::move(config)),
+      import_policy_(config_.import_policy),
+      export_policy_(ExportPolicyConfig{config_.local_as, {}}),
+      rib_(config_.decision) {}
+
+PeerId BgpSpeaker::add_neighbor(SessionConfig session_config,
+                                BgpSession::SendFn send) {
+  session_config.local_as = config_.local_as;
+  session_config.local_id = config_.router_id;
+  const PeerId peer(next_peer_id_++);
+  auto session = std::make_unique<BgpSession>(session_config, std::move(send));
+  session->set_update_handler([this, peer](const UpdateMessage& update) {
+    handle_update(peer, update, now_);
+  });
+  session->set_event_handler([this, peer](SessionEventType event) {
+    handle_session_event(peer, event, now_);
+  });
+  neighbors_[peer.value()] = Neighbor{std::move(session)};
+  return peer;
+}
+
+void BgpSpeaker::start_session(PeerId peer, net::SimTime now) {
+  now_ = std::max(now_, now);
+  if (auto* s = session(peer)) s->start(now);
+}
+
+void BgpSpeaker::start_all_sessions(net::SimTime now) {
+  now_ = std::max(now_, now);
+  for (auto& [id, neighbor] : neighbors_) neighbor.session->start(now);
+}
+
+void BgpSpeaker::receive(PeerId peer, const std::vector<std::uint8_t>& bytes,
+                         net::SimTime now) {
+  now_ = std::max(now_, now);
+  if (auto* s = session(peer)) s->receive(bytes, now);
+}
+
+void BgpSpeaker::tick(net::SimTime now) {
+  now_ = std::max(now_, now);
+  for (auto& [id, neighbor] : neighbors_) neighbor.session->tick(now);
+}
+
+void BgpSpeaker::close_session(PeerId peer, net::SimTime now) {
+  now_ = std::max(now_, now);
+  if (auto* s = session(peer)) s->close(NotifyCode::kCease, now);
+}
+
+BgpSession* BgpSpeaker::session(PeerId peer) {
+  auto it = neighbors_.find(peer.value());
+  return it == neighbors_.end() ? nullptr : it->second.session.get();
+}
+
+const BgpSession* BgpSpeaker::session(PeerId peer) const {
+  auto it = neighbors_.find(peer.value());
+  return it == neighbors_.end() ? nullptr : it->second.session.get();
+}
+
+std::vector<PeerId> BgpSpeaker::peer_ids() const {
+  std::vector<PeerId> ids;
+  ids.reserve(neighbors_.size());
+  for (const auto& [id, neighbor] : neighbors_) ids.emplace_back(id);
+  std::sort(ids.begin(), ids.end());
+  return ids;
+}
+
+void BgpSpeaker::handle_update(PeerId peer, const UpdateMessage& update,
+                               net::SimTime now) {
+  BgpSession* s = session(peer);
+  EF_CHECK(s != nullptr, "update from unknown peer " << peer.value());
+
+  UpdateMessage post_policy;  // what the monitor (BMP) sees
+
+  for (const net::Prefix& prefix : update.withdrawn) {
+    const RibChange change = rib_.withdraw(peer, prefix);
+    post_policy.withdrawn.push_back(prefix);
+    if (change.best_changed && on_best_change_) on_best_change_(prefix);
+  }
+
+  if (!update.nlri.empty()) {
+    // All NLRI in one UPDATE share one attribute set, so run import policy
+    // once on a representative route and clone the result per prefix.
+    Route base;
+    base.attrs = update.attrs;
+    base.learned_from = peer;
+    base.peer_type = s->config().peer_type;
+    base.neighbor_as = s->peer_as();
+    base.neighbor_router_id = s->peer_router_id();
+    base.learned_at = now;
+    base.prefix = update.nlri.front();
+
+    std::optional<Route> accepted = import_policy_.apply(base);
+    for (const net::Prefix& prefix : update.nlri) {
+      if (accepted) {
+        Route route = *accepted;
+        route.prefix = prefix;
+        const RibChange change = rib_.announce(route);
+        post_policy.nlri.push_back(prefix);
+        post_policy.attrs = route.attrs;
+        if (change.best_changed && on_best_change_) on_best_change_(prefix);
+      } else {
+        // Policy rejection acts as a withdrawal of any previous route
+        // from this peer (treat-as-withdraw, RFC 7606 spirit).
+        const RibChange change = rib_.withdraw(peer, prefix);
+        post_policy.withdrawn.push_back(prefix);
+        if (change.best_changed && on_best_change_) on_best_change_(prefix);
+      }
+    }
+  }
+
+  if (monitor_ && !post_policy.empty()) {
+    MonitorEvent event;
+    event.kind = MonitorEvent::Kind::kRoute;
+    event.peer = peer;
+    event.peer_as = s->peer_as();
+    event.peer_router_id = s->peer_router_id();
+    event.peer_type = s->config().peer_type;
+    event.update = std::move(post_policy);
+    event.when = now;
+    emit_monitor(std::move(event));
+  }
+}
+
+void BgpSpeaker::handle_session_event(PeerId peer, SessionEventType type,
+                                      net::SimTime now) {
+  BgpSession* s = session(peer);
+  EF_CHECK(s != nullptr, "event from unknown peer " << peer.value());
+
+  if (type == SessionEventType::kEstablished) {
+    MonitorEvent event;
+    event.kind = MonitorEvent::Kind::kPeerUp;
+    event.peer = peer;
+    event.peer_as = s->peer_as();
+    event.peer_router_id = s->peer_router_id();
+    event.peer_type = s->config().peer_type;
+    event.when = now;
+    emit_monitor(std::move(event));
+    announce_originations(peer);
+    return;
+  }
+
+  // Session down: flush everything learned from it.
+  const std::vector<net::Prefix> affected = rib_.remove_peer(peer);
+  if (on_best_change_) {
+    for (const net::Prefix& prefix : affected) on_best_change_(prefix);
+  }
+  MonitorEvent event;
+  event.kind = MonitorEvent::Kind::kPeerDown;
+  event.peer = peer;
+  event.peer_as = s->peer_as();
+  event.peer_router_id = s->peer_router_id();
+  event.peer_type = s->config().peer_type;
+  event.when = now;
+  emit_monitor(std::move(event));
+}
+
+UpdateMessage BgpSpeaker::build_origination_update(
+    const std::vector<net::Prefix>& prefixes, const Origination& origination,
+    const SessionConfig& to_session) const {
+  const PeerType to_type = to_session.peer_type;
+  UpdateMessage update;
+  update.nlri = prefixes;
+  update.attrs.origin = Origin::kIgp;
+  update.attrs.next_hop = origination.next_hop.value_or(to_session.local_addr);
+  update.attrs.as_path = origination.path_tail;
+  update.attrs.communities = origination.communities;
+  if (origination.med) {
+    update.attrs.med = *origination.med;
+    update.attrs.has_med = true;
+  }
+  if (to_type == PeerType::kController || to_type == PeerType::kInternal) {
+    // iBGP semantics: no prepend, LOCAL_PREF allowed.
+    if (origination.local_pref) {
+      update.attrs.local_pref = *origination.local_pref;
+      update.attrs.has_local_pref = true;
+    }
+  } else {
+    update.attrs = export_policy_.transform_for_ebgp(update.attrs);
+    if (origination.med) {  // MED to a neighbor is legitimate inbound TE
+      update.attrs.med = *origination.med;
+      update.attrs.has_med = true;
+    }
+  }
+  return update;
+}
+
+void BgpSpeaker::announce_originations(PeerId peer) {
+  BgpSession* s = session(peer);
+  if (!s || !s->established()) return;
+
+  // Group prefixes that share an attribute set into batched updates, as a
+  // real speaker would when draining its Adj-RIB-Out.
+  std::vector<std::pair<const Origination*, std::vector<net::Prefix>>> groups;
+  for (const auto& [prefix, origination] : originations_) {
+    bool merged = false;
+    for (auto& [key, prefixes] : groups) {
+      if (*key == origination) {
+        prefixes.push_back(prefix);
+        merged = true;
+        break;
+      }
+    }
+    if (!merged) groups.push_back({&origination, {prefix}});
+  }
+
+  for (const auto& [origination, prefixes] : groups) {
+    for (std::size_t i = 0; i < prefixes.size(); i += kNlriChunk) {
+      std::vector<net::Prefix> chunk(
+          prefixes.begin() + static_cast<std::ptrdiff_t>(i),
+          prefixes.begin() + static_cast<std::ptrdiff_t>(
+                                 std::min(i + kNlriChunk, prefixes.size())));
+      s->send_update(
+          build_origination_update(chunk, *origination, s->config()));
+    }
+  }
+}
+
+void BgpSpeaker::originate(const net::Prefix& prefix,
+                           const Origination& origination, net::SimTime now) {
+  now_ = std::max(now_, now);
+  originations_[prefix] = origination;
+  for (auto& [id, neighbor] : neighbors_) {
+    BgpSession* s = neighbor.session.get();
+    if (!s->established()) continue;
+    s->send_update(
+        build_origination_update({prefix}, origination, s->config()));
+  }
+}
+
+void BgpSpeaker::withdraw_origination(const net::Prefix& prefix,
+                                      net::SimTime now) {
+  now_ = std::max(now_, now);
+  if (originations_.erase(prefix) == 0) return;
+  UpdateMessage update;
+  update.withdrawn.push_back(prefix);
+  for (auto& [id, neighbor] : neighbors_) {
+    if (neighbor.session->established()) {
+      neighbor.session->send_update(update);
+    }
+  }
+}
+
+void BgpSpeaker::set_originations(
+    const std::map<net::Prefix, Origination>& originations,
+    net::SimTime now) {
+  now_ = std::max(now_, now);
+  // Withdraw entries that disappeared.
+  std::vector<net::Prefix> to_withdraw;
+  for (const auto& [prefix, origination] : originations_) {
+    if (!originations.contains(prefix)) to_withdraw.push_back(prefix);
+  }
+  for (const net::Prefix& prefix : to_withdraw) {
+    withdraw_origination(prefix, now);
+  }
+  // Announce new or changed entries.
+  for (const auto& [prefix, origination] : originations) {
+    auto it = originations_.find(prefix);
+    const bool unchanged =
+        it != originations_.end() && it->second == origination;
+    if (!unchanged) originate(prefix, origination, now);
+  }
+}
+
+void BgpSpeaker::replay_to_monitor(net::SimTime now) {
+  if (!monitor_) return;
+  // Peer-ups first, so the station can intern session metadata.
+  for (const auto& [id, neighbor] : neighbors_) {
+    const BgpSession& session = *neighbor.session;
+    if (!session.established()) continue;
+    MonitorEvent event;
+    event.kind = MonitorEvent::Kind::kPeerUp;
+    event.peer = PeerId(id);
+    event.peer_as = session.peer_as();
+    event.peer_router_id = session.peer_router_id();
+    event.peer_type = session.config().peer_type;
+    event.when = now;
+    emit_monitor(std::move(event));
+  }
+  // Then the full post-policy Adj-RIB-In, one route event per entry.
+  rib_.for_each([&](const net::Prefix& prefix,
+                    std::span<const Route> routes) {
+    for (const Route& route : routes) {
+      const BgpSession* session = this->session(route.learned_from);
+      if (!session) continue;
+      MonitorEvent event;
+      event.kind = MonitorEvent::Kind::kRoute;
+      event.peer = route.learned_from;
+      event.peer_as = session->peer_as();
+      event.peer_router_id = session->peer_router_id();
+      event.peer_type = session->config().peer_type;
+      event.update.nlri = {prefix};
+      event.update.attrs = route.attrs;
+      event.when = now;
+      emit_monitor(std::move(event));
+    }
+  });
+}
+
+void BgpSpeaker::emit_monitor(MonitorEvent event) {
+  if (monitor_) monitor_(event);
+}
+
+}  // namespace ef::bgp

@@ -1,0 +1,152 @@
+// A BGP speaker: sessions + policy + RIB, glued together.
+//
+// Both sides of the simulation reuse this class: the PoP's peering routers
+// are speakers, every simulated neighbor AS is a speaker, and the Edge
+// Fabric controller's injection endpoint is a speaker whose "originations"
+// are the override routes.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "bgp/policy.h"
+#include "bgp/rib.h"
+#include "bgp/session.h"
+
+namespace ef::bgp {
+
+/// Event stream consumed by the BMP exporter (post-policy Adj-RIB-In view).
+struct MonitorEvent {
+  enum class Kind : std::uint8_t { kPeerUp, kPeerDown, kRoute };
+  Kind kind = Kind::kRoute;
+  PeerId peer;
+  AsNumber peer_as;
+  RouterId peer_router_id;
+  PeerType peer_type = PeerType::kPrivatePeer;
+  UpdateMessage update;  // kRoute only
+  net::SimTime when;
+};
+
+class BgpSpeaker {
+ public:
+  struct Config {
+    AsNumber local_as;
+    RouterId router_id;
+    ImportPolicyConfig import_policy;
+    DecisionConfig decision;
+  };
+
+  explicit BgpSpeaker(Config config);
+
+  /// Registers a neighbor. `send` delivers wire bytes toward the peer.
+  /// Returns the local session id.
+  PeerId add_neighbor(SessionConfig session_config, BgpSession::SendFn send);
+
+  void start_session(PeerId peer, net::SimTime now);
+  void start_all_sessions(net::SimTime now);
+
+  /// Delivers wire bytes that arrived from `peer`.
+  void receive(PeerId peer, const std::vector<std::uint8_t>& bytes,
+               net::SimTime now);
+
+  /// Drives all session timers.
+  void tick(net::SimTime now);
+
+  /// Administratively closes one session.
+  void close_session(PeerId peer, net::SimTime now);
+
+  BgpSession* session(PeerId peer);
+  const BgpSession* session(PeerId peer) const;
+  std::vector<PeerId> peer_ids() const;
+
+  /// Declares a prefix this speaker originates. `path_tail` models routes
+  /// this AS re-announces for its customers (the tail is the downstream
+  /// part of the AS path); empty for natively originated prefixes.
+  /// Announced immediately to established sessions and on future
+  /// session establishment. `local_pref` is only carried on
+  /// internal/controller sessions (iBGP semantics).
+  struct Origination {
+    AsPath path_tail;
+    std::optional<Med> med;
+    std::optional<LocalPref> local_pref;
+    std::vector<Community> communities;
+    /// Overrides the announced NEXT_HOP (defaults to the session's local
+    /// address). The Edge Fabric controller sets this to the target peer's
+    /// address so routers forward via that peer.
+    std::optional<net::IpAddr> next_hop;
+
+    friend bool operator==(const Origination&, const Origination&) = default;
+  };
+  void originate(const net::Prefix& prefix, const Origination& origination,
+                 net::SimTime now);
+
+  /// Stops originating `prefix` and withdraws it from all sessions.
+  void withdraw_origination(const net::Prefix& prefix, net::SimTime now);
+
+  /// Replaces the full origination set in one pass, sending only the
+  /// necessary announce/withdraw deltas (the Edge Fabric controller calls
+  /// this every cycle with the new override set).
+  void set_originations(
+      const std::map<net::Prefix, Origination>& originations,
+      net::SimTime now);
+
+  const std::map<net::Prefix, Origination>& originations() const {
+    return originations_;
+  }
+
+  Rib& rib() { return rib_; }
+  const Rib& rib() const { return rib_; }
+
+  const Config& config() const { return config_; }
+
+  /// Monitor hook (BMP export). Fired on peer up/down and on every
+  /// post-policy Adj-RIB-In change.
+  void set_monitor(std::function<void(const MonitorEvent&)> fn) {
+    monitor_ = std::move(fn);
+  }
+
+  /// Replays the current state (peer-ups for established sessions, then
+  /// one route event per RIB entry) into the monitor hook — what a real
+  /// router does when a BMP station (re)connects mid-flight, so a
+  /// restarted collector converges to the same view without bouncing any
+  /// BGP session.
+  void replay_to_monitor(net::SimTime now);
+
+  /// Fired whenever the Loc-RIB best route for a prefix changes (or the
+  /// prefix becomes unreachable).
+  void set_best_change_handler(std::function<void(const net::Prefix&)> fn) {
+    on_best_change_ = std::move(fn);
+  }
+
+ private:
+  struct Neighbor {
+    std::unique_ptr<BgpSession> session;
+  };
+
+  void handle_update(PeerId peer, const UpdateMessage& update,
+                     net::SimTime now);
+  void handle_session_event(PeerId peer, SessionEventType event,
+                            net::SimTime now);
+  void announce_originations(PeerId peer);
+  UpdateMessage build_origination_update(
+      const std::vector<net::Prefix>& prefixes, const Origination& origination,
+      const SessionConfig& to_session) const;
+  void emit_monitor(MonitorEvent event);
+
+  Config config_;
+  ImportPolicy import_policy_;
+  ExportPolicy export_policy_;
+  Rib rib_;
+  std::unordered_map<std::uint32_t, Neighbor> neighbors_;
+  std::map<net::Prefix, Origination> originations_;
+  std::function<void(const MonitorEvent&)> monitor_;
+  std::function<void(const net::Prefix&)> on_best_change_;
+  std::uint32_t next_peer_id_ = 1;
+  net::SimTime now_;  // last time observed via receive/tick
+};
+
+}  // namespace ef::bgp

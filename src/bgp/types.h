@@ -1,0 +1,143 @@
+// Core BGP identity and attribute scalar types.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <ostream>
+#include <string>
+
+namespace ef::bgp {
+
+/// 4-octet autonomous system number (RFC 6793).
+class AsNumber {
+ public:
+  constexpr AsNumber() = default;
+  explicit constexpr AsNumber(std::uint32_t value) : value_(value) {}
+
+  constexpr std::uint32_t value() const { return value_; }
+
+  friend constexpr auto operator<=>(AsNumber, AsNumber) = default;
+
+ private:
+  std::uint32_t value_ = 0;
+};
+
+inline std::ostream& operator<<(std::ostream& os, AsNumber as) {
+  return os << "AS" << as.value();
+}
+
+/// BGP identifier (RFC 4271 §4.2); conventionally an IPv4 address.
+class RouterId {
+ public:
+  constexpr RouterId() = default;
+  explicit constexpr RouterId(std::uint32_t value) : value_(value) {}
+  constexpr std::uint32_t value() const { return value_; }
+  friend constexpr auto operator<=>(RouterId, RouterId) = default;
+
+ private:
+  std::uint32_t value_ = 0;
+};
+
+/// LOCAL_PREF attribute value. Higher is preferred.
+class LocalPref {
+ public:
+  constexpr LocalPref() = default;
+  explicit constexpr LocalPref(std::uint32_t value) : value_(value) {}
+  constexpr std::uint32_t value() const { return value_; }
+  friend constexpr auto operator<=>(LocalPref, LocalPref) = default;
+
+ private:
+  std::uint32_t value_ = 100;  // common default
+};
+
+/// MULTI_EXIT_DISC attribute value. Lower is preferred.
+class Med {
+ public:
+  constexpr Med() = default;
+  explicit constexpr Med(std::uint32_t value) : value_(value) {}
+  constexpr std::uint32_t value() const { return value_; }
+  friend constexpr auto operator<=>(Med, Med) = default;
+
+ private:
+  std::uint32_t value_ = 0;
+};
+
+enum class Origin : std::uint8_t { kIgp = 0, kEgp = 1, kIncomplete = 2 };
+
+constexpr const char* origin_name(Origin origin) {
+  switch (origin) {
+    case Origin::kIgp:
+      return "IGP";
+    case Origin::kEgp:
+      return "EGP";
+    case Origin::kIncomplete:
+      return "INCOMPLETE";
+  }
+  return "?";
+}
+
+/// Standard community (RFC 1997): 16-bit ASN : 16-bit value.
+class Community {
+ public:
+  constexpr Community() = default;
+  constexpr Community(std::uint16_t asn, std::uint16_t value)
+      : raw_((static_cast<std::uint32_t>(asn) << 16) | value) {}
+  explicit constexpr Community(std::uint32_t raw) : raw_(raw) {}
+
+  constexpr std::uint32_t raw() const { return raw_; }
+  constexpr std::uint16_t asn() const {
+    return static_cast<std::uint16_t>(raw_ >> 16);
+  }
+  constexpr std::uint16_t value() const {
+    return static_cast<std::uint16_t>(raw_);
+  }
+
+  std::string to_string() const {
+    return std::to_string(asn()) + ':' + std::to_string(value());
+  }
+
+  friend constexpr auto operator<=>(Community, Community) = default;
+
+ private:
+  std::uint32_t raw_ = 0;
+};
+
+/// How a route was learned; drives import policy and the egress-type
+/// accounting in the evaluation (Table 1 / Fig. 7).
+enum class PeerType : std::uint8_t {
+  kPrivatePeer = 0,  // PNI: dedicated private interconnect
+  kPublicPeer = 1,   // bilateral session over a shared IXP fabric
+  kRouteServer = 2,  // multilateral session via IXP route server
+  kTransit = 3,      // paid transit provider
+  kController = 4,   // Edge Fabric controller injection session
+  kInternal = 5,     // iBGP within the PoP
+};
+
+constexpr const char* peer_type_name(PeerType type) {
+  switch (type) {
+    case PeerType::kPrivatePeer:
+      return "private";
+    case PeerType::kPublicPeer:
+      return "public";
+    case PeerType::kRouteServer:
+      return "route-server";
+    case PeerType::kTransit:
+      return "transit";
+    case PeerType::kController:
+      return "controller";
+    case PeerType::kInternal:
+      return "internal";
+  }
+  return "?";
+}
+
+constexpr int kNumEgressPeerTypes = 4;  // private, public, RS, transit
+
+}  // namespace ef::bgp
+
+template <>
+struct std::hash<ef::bgp::AsNumber> {
+  std::size_t operator()(const ef::bgp::AsNumber& as) const noexcept {
+    return std::hash<std::uint32_t>{}(as.value());
+  }
+};

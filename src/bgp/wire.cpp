@@ -1,0 +1,445 @@
+#include "bgp/wire.h"
+
+#include <algorithm>
+#include <array>
+
+#include "net/log.h"
+
+namespace ef::bgp::wire {
+
+namespace {
+
+// Path attribute type codes (IANA registry).
+constexpr std::uint8_t kAttrOrigin = 1;
+constexpr std::uint8_t kAttrAsPath = 2;
+constexpr std::uint8_t kAttrNextHop = 3;
+constexpr std::uint8_t kAttrMed = 4;
+constexpr std::uint8_t kAttrLocalPref = 5;
+constexpr std::uint8_t kAttrCommunities = 8;
+constexpr std::uint8_t kAttrMpReach = 14;
+constexpr std::uint8_t kAttrMpUnreach = 15;
+
+// Attribute flag bits.
+constexpr std::uint8_t kFlagOptional = 0x80;
+constexpr std::uint8_t kFlagTransitive = 0x40;
+constexpr std::uint8_t kFlagExtendedLength = 0x10;
+
+// OPEN optional parameter / capability codes.
+constexpr std::uint8_t kOptParamCapability = 2;
+constexpr std::uint8_t kCapFourOctetAs = 65;
+constexpr std::uint16_t kAsTrans = 23456;
+
+constexpr std::uint16_t kAfiIpv6 = 2;
+constexpr std::uint8_t kSafiUnicast = 1;
+
+void write_prefix(net::BufWriter& w, const net::Prefix& prefix) {
+  w.u8(static_cast<std::uint8_t>(prefix.length()));
+  const int nbytes = (prefix.length() + 7) / 8;
+  w.bytes(prefix.address().bytes().data(), static_cast<std::size_t>(nbytes));
+}
+
+std::optional<net::Prefix> read_prefix(net::BufReader& r,
+                                       net::Family family) {
+  const int bitlen = r.u8();
+  if (!r.ok() || bitlen > net::address_bits(family)) return std::nullopt;
+  std::array<std::uint8_t, 16> bytes{};
+  const std::size_t nbytes = static_cast<std::size_t>((bitlen + 7) / 8);
+  r.bytes(bytes.data(), nbytes);
+  if (!r.ok()) return std::nullopt;
+  net::IpAddr addr =
+      family == net::Family::kV4
+          ? net::IpAddr::v4((static_cast<std::uint32_t>(bytes[0]) << 24) |
+                            (static_cast<std::uint32_t>(bytes[1]) << 16) |
+                            (static_cast<std::uint32_t>(bytes[2]) << 8) |
+                            bytes[3])
+          : net::IpAddr::v6(bytes);
+  return net::Prefix(addr, bitlen);
+}
+
+// IPv4 next hops on IPv6 sessions travel as ::ffff:a.b.c.d.
+std::array<std::uint8_t, 16> v6_bytes_for_next_hop(const net::IpAddr& nh) {
+  if (nh.is_v6()) return nh.bytes();
+  std::array<std::uint8_t, 16> bytes{};
+  bytes[10] = 0xff;
+  bytes[11] = 0xff;
+  const auto& v4 = nh.bytes();
+  std::copy(v4.begin(), v4.begin() + 4, bytes.begin() + 12);
+  return bytes;
+}
+
+net::IpAddr next_hop_from_v6_bytes(const std::array<std::uint8_t, 16>& b) {
+  bool mapped = b[10] == 0xff && b[11] == 0xff;
+  for (int i = 0; i < 10; ++i) mapped = mapped && b[static_cast<std::size_t>(i)] == 0;
+  if (mapped) {
+    return net::IpAddr::v4((static_cast<std::uint32_t>(b[12]) << 24) |
+                           (static_cast<std::uint32_t>(b[13]) << 16) |
+                           (static_cast<std::uint32_t>(b[14]) << 8) | b[15]);
+  }
+  return net::IpAddr::v6(b);
+}
+
+void write_attr(net::BufWriter& w, std::uint8_t flags, std::uint8_t type,
+                const std::vector<std::uint8_t>& payload) {
+  if (payload.size() > 255) flags |= kFlagExtendedLength;
+  w.u8(flags);
+  w.u8(type);
+  if (flags & kFlagExtendedLength) {
+    w.u16(static_cast<std::uint16_t>(payload.size()));
+  } else {
+    w.u8(static_cast<std::uint8_t>(payload.size()));
+  }
+  w.bytes(payload);
+}
+
+void encode_attributes(net::BufWriter& w, const UpdateMessage& update) {
+  const PathAttributes& attrs = update.attrs;
+
+  bool has_v4_nlri = false;
+  bool has_v6_nlri = false;
+  for (const auto& p : update.nlri) {
+    (p.family() == net::Family::kV4 ? has_v4_nlri : has_v6_nlri) = true;
+  }
+  std::vector<net::Prefix> v6_withdrawn;
+  for (const auto& p : update.withdrawn) {
+    if (p.family() == net::Family::kV6) v6_withdrawn.push_back(p);
+  }
+
+  const bool needs_attrs = !update.nlri.empty();
+
+  // ORIGIN
+  if (needs_attrs) {
+    write_attr(w, kFlagTransitive, kAttrOrigin,
+               {static_cast<std::uint8_t>(attrs.origin)});
+  }
+
+  // AS_PATH: a single AS_SEQUENCE segment of 4-octet ASNs.
+  if (needs_attrs) {
+    net::BufWriter body;
+    if (!attrs.as_path.empty()) {
+      EF_CHECK(attrs.as_path.length() <= 255,
+               "AS_PATH too long to encode in one segment");
+      body.u8(2);  // AS_SEQUENCE
+      body.u8(static_cast<std::uint8_t>(attrs.as_path.length()));
+      for (AsNumber as : attrs.as_path.ases()) body.u32(as.value());
+    }
+    write_attr(w, kFlagTransitive, kAttrAsPath, body.data());
+  }
+
+  // NEXT_HOP: classic attribute only when the update carries IPv4 NLRI.
+  if (has_v4_nlri) {
+    net::BufWriter body;
+    body.u32(attrs.next_hop.is_v4() ? attrs.next_hop.v4_value() : 0);
+    write_attr(w, kFlagTransitive, kAttrNextHop, body.data());
+  }
+
+  if (needs_attrs && attrs.has_med) {
+    net::BufWriter body;
+    body.u32(attrs.med.value());
+    write_attr(w, kFlagOptional, kAttrMed, body.data());
+  }
+
+  if (needs_attrs && attrs.has_local_pref) {
+    net::BufWriter body;
+    body.u32(attrs.local_pref.value());
+    write_attr(w, kFlagTransitive, kAttrLocalPref, body.data());
+  }
+
+  if (needs_attrs && !attrs.communities.empty()) {
+    net::BufWriter body;
+    for (Community c : attrs.communities) body.u32(c.raw());
+    write_attr(w, kFlagOptional | kFlagTransitive, kAttrCommunities,
+               body.data());
+  }
+
+  // MP_REACH_NLRI for IPv6 announcements.
+  if (has_v6_nlri) {
+    net::BufWriter body;
+    body.u16(kAfiIpv6);
+    body.u8(kSafiUnicast);
+    const auto nh = v6_bytes_for_next_hop(attrs.next_hop);
+    body.u8(16);
+    body.bytes(nh.data(), nh.size());
+    body.u8(0);  // reserved
+    for (const auto& p : update.nlri) {
+      if (p.family() == net::Family::kV6) write_prefix(body, p);
+    }
+    write_attr(w, kFlagOptional, kAttrMpReach, body.data());
+  }
+
+  // MP_UNREACH_NLRI for IPv6 withdrawals.
+  if (!v6_withdrawn.empty()) {
+    net::BufWriter body;
+    body.u16(kAfiIpv6);
+    body.u8(kSafiUnicast);
+    for (const auto& p : v6_withdrawn) write_prefix(body, p);
+    write_attr(w, kFlagOptional, kAttrMpUnreach, body.data());
+  }
+}
+
+bool decode_attributes(net::BufReader& r, UpdateMessage& update) {
+  PathAttributes& attrs = update.attrs;
+  while (r.remaining() > 0) {
+    const std::uint8_t flags = r.u8();
+    const std::uint8_t type = r.u8();
+    const std::size_t len =
+        (flags & kFlagExtendedLength) ? r.u16() : r.u8();
+    if (!r.ok()) return false;
+    net::BufReader body = r.sub(len);
+    if (!r.ok()) return false;
+
+    switch (type) {
+      case kAttrOrigin: {
+        const std::uint8_t v = body.u8();
+        if (v > 2) return false;
+        attrs.origin = static_cast<Origin>(v);
+        break;
+      }
+      case kAttrAsPath: {
+        std::vector<AsNumber> ases;
+        while (body.remaining() > 0) {
+          const std::uint8_t seg_type = body.u8();
+          const std::uint8_t count = body.u8();
+          if (!body.ok() || seg_type != 2) return false;  // AS_SET rejected
+          for (int i = 0; i < count; ++i) ases.emplace_back(body.u32());
+        }
+        if (!body.ok()) return false;
+        attrs.as_path = AsPath(std::move(ases));
+        break;
+      }
+      case kAttrNextHop: {
+        attrs.next_hop = net::IpAddr::v4(body.u32());
+        break;
+      }
+      case kAttrMed: {
+        attrs.med = Med(body.u32());
+        attrs.has_med = true;
+        break;
+      }
+      case kAttrLocalPref: {
+        attrs.local_pref = LocalPref(body.u32());
+        attrs.has_local_pref = true;
+        break;
+      }
+      case kAttrCommunities: {
+        if (len % 4 != 0) return false;
+        for (std::size_t i = 0; i < len / 4; ++i) {
+          attrs.communities.emplace_back(body.u32());
+        }
+        break;
+      }
+      case kAttrMpReach: {
+        const std::uint16_t afi = body.u16();
+        const std::uint8_t safi = body.u8();
+        const std::uint8_t nh_len = body.u8();
+        if (afi != kAfiIpv6 || safi != kSafiUnicast || nh_len != 16) {
+          return false;
+        }
+        std::array<std::uint8_t, 16> nh{};
+        body.bytes(nh.data(), nh.size());
+        attrs.next_hop = next_hop_from_v6_bytes(nh);
+        body.u8();  // reserved
+        while (body.ok() && body.remaining() > 0) {
+          auto p = read_prefix(body, net::Family::kV6);
+          if (!p) return false;
+          update.nlri.push_back(*p);
+        }
+        break;
+      }
+      case kAttrMpUnreach: {
+        const std::uint16_t afi = body.u16();
+        const std::uint8_t safi = body.u8();
+        if (afi != kAfiIpv6 || safi != kSafiUnicast) return false;
+        while (body.ok() && body.remaining() > 0) {
+          auto p = read_prefix(body, net::Family::kV6);
+          if (!p) return false;
+          update.withdrawn.push_back(*p);
+        }
+        break;
+      }
+      default:
+        // Unknown attribute: skip (body reader already consumed it).
+        break;
+    }
+    if (!body.ok()) return false;
+  }
+  return r.ok();
+}
+
+void encode_open(net::BufWriter& w, const OpenMessage& open) {
+  w.u8(4);  // version
+  const std::uint32_t as = open.as.value();
+  w.u16(as > 0xffff ? kAsTrans : static_cast<std::uint16_t>(as));
+  w.u16(open.hold_time_secs);
+  w.u32(open.router_id.value());
+  // One optional parameter: the 4-octet-AS capability carrying the real AS.
+  net::BufWriter cap;
+  cap.u8(kOptParamCapability);
+  cap.u8(6);  // param length: cap code + cap len + 4-byte AS
+  cap.u8(kCapFourOctetAs);
+  cap.u8(4);
+  cap.u32(as);
+  w.u8(static_cast<std::uint8_t>(cap.size()));
+  w.bytes(cap.data());
+}
+
+std::optional<OpenMessage> decode_open(net::BufReader& r) {
+  OpenMessage open;
+  const std::uint8_t version = r.u8();
+  if (version != 4) return std::nullopt;
+  std::uint32_t as = r.u16();
+  open.hold_time_secs = r.u16();
+  open.router_id = RouterId(r.u32());
+  const std::uint8_t opt_len = r.u8();
+  if (!r.ok()) return std::nullopt;
+  net::BufReader params = r.sub(opt_len);
+  if (!r.ok()) return std::nullopt;
+  while (params.remaining() > 0) {
+    const std::uint8_t param_type = params.u8();
+    const std::uint8_t param_len = params.u8();
+    net::BufReader param = params.sub(param_len);
+    if (!params.ok()) return std::nullopt;
+    if (param_type != kOptParamCapability) continue;
+    while (param.remaining() > 0) {
+      const std::uint8_t cap_code = param.u8();
+      const std::uint8_t cap_len = param.u8();
+      net::BufReader cap = param.sub(cap_len);
+      if (!param.ok()) return std::nullopt;
+      if (cap_code == kCapFourOctetAs && cap_len == 4) {
+        as = cap.u32();
+      }
+    }
+  }
+  open.as = AsNumber(as);
+  return open;
+}
+
+}  // namespace
+
+std::vector<std::uint8_t> encode_path_attributes(const PathAttributes& attrs,
+                                                 net::Family nlri_family) {
+  UpdateMessage update;
+  update.attrs = attrs;
+  // A dummy NLRI of the requested family forces the full attribute set.
+  update.nlri.push_back(net::Prefix(
+      nlri_family == net::Family::kV4
+          ? net::IpAddr::v4(0)
+          : net::IpAddr::v6(std::array<std::uint8_t, 16>{}),
+      0));
+  net::BufWriter w;
+  encode_attributes(w, update);
+  return w.take();
+}
+
+std::vector<std::uint8_t> encode_rib_attributes(const PathAttributes& attrs,
+                                                const net::Prefix& prefix) {
+  UpdateMessage update;
+  update.attrs = attrs;
+  update.nlri.push_back(prefix);
+  net::BufWriter w;
+  encode_attributes(w, update);
+  return w.take();
+}
+
+std::optional<PathAttributes> decode_rib_attributes(
+    const std::vector<std::uint8_t>& block) {
+  net::BufReader reader(block);
+  UpdateMessage update;
+  if (!decode_attributes(reader, update)) return std::nullopt;
+  return update.attrs;
+}
+
+std::vector<std::uint8_t> encode(const Message& msg) {
+  net::BufWriter w;
+  for (int i = 0; i < 16; ++i) w.u8(0xff);  // marker
+  w.u16(0);                                 // length, patched below
+  w.u8(static_cast<std::uint8_t>(message_type(msg)));
+
+  if (const auto* open = std::get_if<OpenMessage>(&msg)) {
+    encode_open(w, *open);
+  } else if (const auto* update = std::get_if<UpdateMessage>(&msg)) {
+    // Withdrawn routes (IPv4 only in the classic field).
+    net::BufWriter withdrawn;
+    for (const auto& p : update->withdrawn) {
+      if (p.family() == net::Family::kV4) write_prefix(withdrawn, p);
+    }
+    w.u16(static_cast<std::uint16_t>(withdrawn.size()));
+    w.bytes(withdrawn.data());
+
+    net::BufWriter attrs;
+    encode_attributes(attrs, *update);
+    w.u16(static_cast<std::uint16_t>(attrs.size()));
+    w.bytes(attrs.data());
+
+    for (const auto& p : update->nlri) {
+      if (p.family() == net::Family::kV4) write_prefix(w, p);
+    }
+  } else if (const auto* notify = std::get_if<NotificationMessage>(&msg)) {
+    w.u8(static_cast<std::uint8_t>(notify->code));
+    w.u8(notify->subcode);
+  }
+  // KEEPALIVE: header only.
+
+  EF_CHECK(w.size() <= kMaxMessageSize,
+           "BGP message exceeds 4096 bytes: " << w.size());
+  w.patch_u16(16, static_cast<std::uint16_t>(w.size()));
+  return w.take();
+}
+
+std::optional<Message> decode(net::BufReader& reader) {
+  for (int i = 0; i < 16; ++i) {
+    if (reader.u8() != 0xff) return std::nullopt;
+  }
+  const std::uint16_t length = reader.u16();
+  const std::uint8_t type = reader.u8();
+  if (!reader.ok() || length < kHeaderSize || length > kMaxMessageSize) {
+    return std::nullopt;
+  }
+  net::BufReader body = reader.sub(length - kHeaderSize);
+  if (!reader.ok()) return std::nullopt;
+
+  switch (static_cast<MessageType>(type)) {
+    case MessageType::kOpen: {
+      auto open = decode_open(body);
+      if (!open) return std::nullopt;
+      return Message(*open);
+    }
+    case MessageType::kUpdate: {
+      UpdateMessage update;
+      const std::uint16_t wlen = body.u16();
+      net::BufReader withdrawn = body.sub(wlen);
+      if (!body.ok()) return std::nullopt;
+      while (withdrawn.remaining() > 0) {
+        auto p = read_prefix(withdrawn, net::Family::kV4);
+        if (!p) return std::nullopt;
+        update.withdrawn.push_back(*p);
+      }
+      const std::uint16_t alen = body.u16();
+      net::BufReader attrs = body.sub(alen);
+      if (!body.ok()) return std::nullopt;
+      if (!decode_attributes(attrs, update)) return std::nullopt;
+      while (body.remaining() > 0) {
+        auto p = read_prefix(body, net::Family::kV4);
+        if (!p) return std::nullopt;
+        update.nlri.push_back(*p);
+      }
+      return Message(update);
+    }
+    case MessageType::kNotification: {
+      NotificationMessage notify;
+      notify.code = static_cast<NotifyCode>(body.u8());
+      notify.subcode = body.u8();
+      if (!body.ok()) return std::nullopt;
+      return Message(notify);
+    }
+    case MessageType::kKeepalive:
+      return Message(KeepaliveMessage{});
+  }
+  return std::nullopt;
+}
+
+std::optional<Message> decode(const std::vector<std::uint8_t>& buf) {
+  net::BufReader reader(buf);
+  return decode(reader);
+}
+
+}  // namespace ef::bgp::wire

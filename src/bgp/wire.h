@@ -1,0 +1,47 @@
+// BGP wire codec: RFC 4271 message framing and path attributes, with
+// 4-octet AS numbers (RFC 6793 behaviour assumed negotiated) and IPv6
+// reachability via MP_REACH_NLRI / MP_UNREACH_NLRI (RFC 4760).
+//
+// The codec is lossless for the attribute subset this library uses
+// (ORIGIN, AS_PATH, NEXT_HOP, MED, LOCAL_PREF, COMMUNITIES); unknown
+// optional attributes are skipped on decode.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "bgp/message.h"
+#include "net/bytes.h"
+
+namespace ef::bgp::wire {
+
+inline constexpr std::size_t kHeaderSize = 19;
+inline constexpr std::size_t kMaxMessageSize = 4096;
+
+/// Serializes one message, including the 19-byte header.
+std::vector<std::uint8_t> encode(const Message& msg);
+
+/// Decodes exactly one message from the front of `reader`. Returns nullopt
+/// on malformed input (reader position is then unspecified).
+std::optional<Message> decode(net::BufReader& reader);
+
+/// Convenience: decode from a full buffer that holds exactly one message.
+std::optional<Message> decode(const std::vector<std::uint8_t>& buf);
+
+/// Encodes just the attribute block of an UPDATE (used by tests).
+std::vector<std::uint8_t> encode_path_attributes(const PathAttributes& attrs,
+                                                 net::Family nlri_family);
+
+/// Encodes the attribute block for one RIB entry of `prefix` (MRT
+/// TABLE_DUMP_V2 payload): classic attributes for IPv4; IPv6 reachability
+/// carried in MP_REACH_NLRI with the prefix inline.
+std::vector<std::uint8_t> encode_rib_attributes(const PathAttributes& attrs,
+                                                const net::Prefix& prefix);
+
+/// Decodes an attribute block produced by encode_rib_attributes.
+/// Returns nullopt on malformed input.
+std::optional<PathAttributes> decode_rib_attributes(
+    const std::vector<std::uint8_t>& block);
+
+}  // namespace ef::bgp::wire

@@ -1,0 +1,123 @@
+#include "bmp/collector.h"
+
+#include <cstring>
+
+#include "net/log.h"
+
+namespace ef::bmp {
+
+std::optional<bgp::PeerType> peer_type_from_name(std::string_view name) {
+  using bgp::PeerType;
+  if (name == "private") return PeerType::kPrivatePeer;
+  if (name == "public") return PeerType::kPublicPeer;
+  if (name == "route-server") return PeerType::kRouteServer;
+  if (name == "transit") return PeerType::kTransit;
+  if (name == "controller") return PeerType::kController;
+  if (name == "internal") return PeerType::kInternal;
+  return std::nullopt;
+}
+
+bgp::PeerId BmpCollector::intern_peer(std::uint32_t router_key,
+                                      const PerPeerHeader& header) {
+  const auto key = std::make_pair(router_key, header.peer_addr);
+  auto it = peer_ids_.find(key);
+  if (it != peer_ids_.end()) return bgp::PeerId(it->second);
+  const std::uint32_t id = next_peer_id_++;
+  peer_ids_.emplace(key, id);
+  PeerInfo info;
+  info.router_key = router_key;
+  auto name_it = router_names_.find(router_key);
+  if (name_it != router_names_.end()) info.router_name = name_it->second;
+  info.address = header.peer_addr;
+  info.as = bgp::AsNumber(header.peer_as);
+  info.bgp_id = bgp::RouterId(header.peer_bgp_id);
+  peer_info_.emplace(id, std::move(info));
+  return bgp::PeerId(id);
+}
+
+void BmpCollector::handle(std::uint32_t router_key, const BmpMessage& msg) {
+  if (const auto* init = std::get_if<InitiationMsg>(&msg)) {
+    ++stats_.initiations;
+    router_names_[router_key] = init->sys_name;
+    return;
+  }
+  if (std::holds_alternative<TerminationMsg>(msg)) {
+    ++stats_.terminations;
+    return;
+  }
+  if (const auto* up = std::get_if<PeerUpMsg>(&msg)) {
+    ++stats_.peer_ups;
+    const bgp::PeerId id = intern_peer(router_key, up->peer);
+    PeerInfo& info = peer_info_.at(id.value());
+    info.up = true;
+    info.as = bgp::AsNumber(up->peer.peer_as);
+    info.bgp_id = bgp::RouterId(up->peer.peer_bgp_id);
+    for (const std::string& tlv : up->information) {
+      constexpr std::string_view kPrefix = "peer-type=";
+      if (tlv.rfind(kPrefix, 0) == 0) {
+        if (auto type = peer_type_from_name(tlv.substr(kPrefix.size()))) {
+          info.type = *type;
+        }
+      }
+    }
+    return;
+  }
+  if (const auto* down = std::get_if<PeerDownMsg>(&msg)) {
+    ++stats_.peer_downs;
+    const bgp::PeerId id = intern_peer(router_key, down->peer);
+    peer_info_.at(id.value()).up = false;
+    rib_.remove_peer(id);
+    return;
+  }
+  if (const auto* rm = std::get_if<RouteMonitoringMsg>(&msg)) {
+    ++stats_.route_monitorings;
+    const bgp::PeerId id = intern_peer(router_key, rm->peer);
+    const PeerInfo& info = peer_info_.at(id.value());
+
+    for (const net::Prefix& prefix : rm->update.withdrawn) {
+      rib_.withdraw(id, prefix);
+    }
+    if (!rm->update.nlri.empty()) {
+      bgp::Route base;
+      base.attrs = rm->update.attrs;
+      base.learned_from = id;
+      base.peer_type = info.type;
+      base.neighbor_as = info.as;
+      base.neighbor_router_id = info.bgp_id;
+      base.learned_at = rm->peer.timestamp;
+      for (const net::Prefix& prefix : rm->update.nlri) {
+        base.prefix = prefix;
+        rib_.announce(base);
+      }
+    }
+    return;
+  }
+}
+
+void BmpCollector::receive(std::uint32_t router_key,
+                           const std::vector<std::uint8_t>& bytes) {
+  net::BufReader reader(bytes);
+  while (reader.ok() && reader.remaining() >= 6) {
+    auto msg = decode(reader);
+    if (!msg) {
+      ++stats_.malformed;
+      EF_LOG_WARN("malformed BMP message from router " << router_key);
+      return;
+    }
+    handle(router_key, *msg);
+  }
+}
+
+const BmpCollector::PeerInfo* BmpCollector::peer(bgp::PeerId id) const {
+  auto it = peer_info_.find(id.value());
+  return it == peer_info_.end() ? nullptr : &it->second;
+}
+
+std::vector<bgp::PeerId> BmpCollector::peers() const {
+  std::vector<bgp::PeerId> out;
+  out.reserve(peer_info_.size());
+  for (const auto& [id, info] : peer_info_) out.emplace_back(id);
+  return out;
+}
+
+}  // namespace ef::bmp

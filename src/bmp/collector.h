@@ -1,0 +1,77 @@
+// BMP collector: terminates BMP feeds from every peering router in a PoP
+// and assembles the PoP-wide multi-path RIB the Edge Fabric allocator
+// consumes.
+//
+// This is the paper's key visibility mechanism: a best-only feed would
+// hide the alternate routes that make detouring possible, so the collector
+// mirrors the full post-policy Adj-RIB-In of every router.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "bgp/rib.h"
+#include "bmp/wire.h"
+
+namespace ef::bmp {
+
+/// Parses the "peer-type=<name>" information TLV written by BmpExporter.
+std::optional<bgp::PeerType> peer_type_from_name(std::string_view name);
+
+class BmpCollector {
+ public:
+  explicit BmpCollector(bgp::DecisionConfig decision = {})
+      : rib_(decision) {}
+
+  /// Feeds raw BMP bytes from the router identified by `router_key`
+  /// (one or more whole messages).
+  void receive(std::uint32_t router_key,
+               const std::vector<std::uint8_t>& bytes);
+
+  /// Metadata for a session, keyed by the synthetic collector-wide PeerId
+  /// stamped on routes in rib().
+  struct PeerInfo {
+    std::uint32_t router_key = 0;
+    std::string router_name;  // from the router's Initiation sysName
+    net::IpAddr address;
+    bgp::AsNumber as;
+    bgp::RouterId bgp_id;
+    bgp::PeerType type = bgp::PeerType::kPrivatePeer;
+    bool up = false;
+  };
+
+  /// The merged PoP-wide multi-path RIB. Route::learned_from values are
+  /// synthetic collector-wide PeerIds resolvable via peer().
+  const bgp::Rib& rib() const { return rib_; }
+
+  const PeerInfo* peer(bgp::PeerId id) const;
+  std::vector<bgp::PeerId> peers() const;
+
+  struct Stats {
+    std::uint64_t initiations = 0;
+    std::uint64_t peer_ups = 0;
+    std::uint64_t peer_downs = 0;
+    std::uint64_t route_monitorings = 0;
+    std::uint64_t terminations = 0;
+    std::uint64_t malformed = 0;
+  };
+  const Stats& stats() const { return stats_; }
+
+ private:
+  bgp::PeerId intern_peer(std::uint32_t router_key,
+                          const PerPeerHeader& header);
+  void handle(std::uint32_t router_key, const BmpMessage& msg);
+
+  bgp::Rib rib_;
+  // (router_key, peer address) -> synthetic peer id value.
+  std::map<std::pair<std::uint32_t, net::IpAddr>, std::uint32_t> peer_ids_;
+  std::map<std::uint32_t, PeerInfo> peer_info_;  // by synthetic id value
+  std::map<std::uint32_t, std::string> router_names_;
+  std::uint32_t next_peer_id_ = 1;
+  Stats stats_;
+};
+
+}  // namespace ef::bmp

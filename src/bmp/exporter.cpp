@@ -1,0 +1,68 @@
+#include "bmp/exporter.h"
+
+#include "net/log.h"
+
+namespace ef::bmp {
+
+BmpExporter::BmpExporter(std::string sys_name, std::uint32_t router_key,
+                         SendFn send)
+    : sys_name_(std::move(sys_name)),
+      router_key_(router_key),
+      send_(std::move(send)) {
+  EF_CHECK(send_ != nullptr, "BMP exporter requires a transport");
+}
+
+net::IpAddr BmpExporter::peer_address(std::uint32_t router_key,
+                                      bgp::PeerId peer) {
+  // 10.0.0.0/8 carved as 10.<router:12><peer:12>; unique within a PoP.
+  const std::uint32_t host =
+      ((router_key & 0xfffu) << 12) | (peer.value() & 0xfffu);
+  return net::IpAddr::v4(0x0a000000u | host);
+}
+
+void BmpExporter::start() {
+  InitiationMsg init;
+  init.sys_name = sys_name_;
+  init.sys_descr = "edgefabric peering router";
+  send_(encode(BmpMessage(init)));
+}
+
+PerPeerHeader BmpExporter::header_for(const bgp::MonitorEvent& event) const {
+  PerPeerHeader peer;
+  peer.post_policy = true;
+  peer.peer_addr = peer_address(router_key_, event.peer);
+  peer.peer_as = event.peer_as.value();
+  peer.peer_bgp_id = event.peer_router_id.value();
+  peer.timestamp = event.when;
+  return peer;
+}
+
+void BmpExporter::on_event(const bgp::MonitorEvent& event) {
+  switch (event.kind) {
+    case bgp::MonitorEvent::Kind::kPeerUp: {
+      PeerUpMsg up;
+      up.peer = header_for(event);
+      up.local_addr = net::IpAddr::v4(0x0a800000u | (router_key_ & 0xffffu));
+      up.information.push_back(
+          std::string("peer-type=") + bgp::peer_type_name(event.peer_type));
+      send_(encode(BmpMessage(up)));
+      return;
+    }
+    case bgp::MonitorEvent::Kind::kPeerDown: {
+      PeerDownMsg down;
+      down.peer = header_for(event);
+      down.reason = PeerDownReason::kRemoteNoNotification;
+      send_(encode(BmpMessage(down)));
+      return;
+    }
+    case bgp::MonitorEvent::Kind::kRoute: {
+      RouteMonitoringMsg rm;
+      rm.peer = header_for(event);
+      rm.update = event.update;
+      send_(encode(BmpMessage(rm)));
+      return;
+    }
+  }
+}
+
+}  // namespace ef::bmp

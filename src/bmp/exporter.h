@@ -1,0 +1,43 @@
+// BMP exporter: runs "on" a peering router, translating the speaker's
+// monitor events into BMP wire messages for the PoP collector.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "bgp/speaker.h"
+#include "bmp/wire.h"
+
+namespace ef::bmp {
+
+class BmpExporter {
+ public:
+  using SendFn = std::function<void(std::vector<std::uint8_t>)>;
+
+  /// `router_key` distinguishes routers at the collector; it is also used
+  /// to synthesize stable per-session peer addresses (10.r.p.0/32 style),
+  /// standing in for the real neighbor addresses a production router knows.
+  BmpExporter(std::string sys_name, std::uint32_t router_key, SendFn send);
+
+  /// Sends the Initiation message; call once before wiring to a speaker.
+  void start();
+
+  /// Feed from BgpSpeaker::set_monitor.
+  void on_event(const bgp::MonitorEvent& event);
+
+  /// Synthetic address for a session; deterministic and collision-free
+  /// for router_key < 2^12 and peer ids < 2^12.
+  static net::IpAddr peer_address(std::uint32_t router_key,
+                                  bgp::PeerId peer);
+
+ private:
+  PerPeerHeader header_for(const bgp::MonitorEvent& event) const;
+
+  std::string sys_name_;
+  std::uint32_t router_key_;
+  SendFn send_;
+};
+
+}  // namespace ef::bmp

@@ -1,0 +1,243 @@
+#include "bmp/wire.h"
+
+#include <array>
+
+#include "bgp/wire.h"
+#include "net/log.h"
+
+namespace ef::bmp {
+
+namespace {
+
+constexpr std::uint8_t kPeerFlagV6 = 0x80;  // V flag
+constexpr std::uint8_t kPeerFlagPostPolicy = 0x40;  // L flag
+
+constexpr std::uint16_t kInfoTlvString = 0;
+constexpr std::uint16_t kInfoTlvSysDescr = 1;
+constexpr std::uint16_t kInfoTlvSysName = 2;
+
+void encode_per_peer(net::BufWriter& w, const PerPeerHeader& peer) {
+  w.u8(0);  // peer type: Global Instance Peer
+  std::uint8_t flags = 0;
+  if (peer.peer_addr.is_v6()) flags |= kPeerFlagV6;
+  if (peer.post_policy) flags |= kPeerFlagPostPolicy;
+  w.u8(flags);
+  w.u64(0);  // peer distinguisher
+  if (peer.peer_addr.is_v6()) {
+    w.bytes(peer.peer_addr.bytes().data(), 16);
+  } else {
+    for (int i = 0; i < 12; ++i) w.u8(0);
+    w.u32(peer.peer_addr.v4_value());
+  }
+  w.u32(peer.peer_as);
+  w.u32(peer.peer_bgp_id);
+  const std::int64_t ms = peer.timestamp.millis_value();
+  w.u32(static_cast<std::uint32_t>(ms / 1000));
+  w.u32(static_cast<std::uint32_t>((ms % 1000) * 1000));
+}
+
+std::optional<PerPeerHeader> decode_per_peer(net::BufReader& r) {
+  PerPeerHeader peer;
+  const std::uint8_t peer_type = r.u8();
+  if (peer_type != 0) return std::nullopt;
+  const std::uint8_t flags = r.u8();
+  peer.post_policy = (flags & kPeerFlagPostPolicy) != 0;
+  r.u64();  // peer distinguisher
+  std::array<std::uint8_t, 16> addr{};
+  r.bytes(addr.data(), addr.size());
+  if (flags & kPeerFlagV6) {
+    peer.peer_addr = net::IpAddr::v6(addr);
+  } else {
+    peer.peer_addr =
+        net::IpAddr::v4((static_cast<std::uint32_t>(addr[12]) << 24) |
+                        (static_cast<std::uint32_t>(addr[13]) << 16) |
+                        (static_cast<std::uint32_t>(addr[14]) << 8) |
+                        addr[15]);
+  }
+  peer.peer_as = r.u32();
+  peer.peer_bgp_id = r.u32();
+  const std::uint32_t secs = r.u32();
+  const std::uint32_t usecs = r.u32();
+  peer.timestamp = net::SimTime::millis(
+      static_cast<std::int64_t>(secs) * 1000 + usecs / 1000);
+  if (!r.ok()) return std::nullopt;
+  return peer;
+}
+
+void encode_info_tlv(net::BufWriter& w, std::uint16_t type,
+                     const std::string& value) {
+  w.u16(type);
+  w.u16(static_cast<std::uint16_t>(value.size()));
+  w.bytes(reinterpret_cast<const std::uint8_t*>(value.data()), value.size());
+}
+
+BmpMsgType type_of(const BmpMessage& msg) {
+  struct Visitor {
+    BmpMsgType operator()(const RouteMonitoringMsg&) const {
+      return BmpMsgType::kRouteMonitoring;
+    }
+    BmpMsgType operator()(const PeerUpMsg&) const {
+      return BmpMsgType::kPeerUp;
+    }
+    BmpMsgType operator()(const PeerDownMsg&) const {
+      return BmpMsgType::kPeerDown;
+    }
+    BmpMsgType operator()(const InitiationMsg&) const {
+      return BmpMsgType::kInitiation;
+    }
+    BmpMsgType operator()(const TerminationMsg&) const {
+      return BmpMsgType::kTermination;
+    }
+  };
+  return std::visit(Visitor{}, msg);
+}
+
+}  // namespace
+
+std::vector<std::uint8_t> encode(const BmpMessage& msg) {
+  net::BufWriter w;
+  w.u8(kBmpVersion);
+  w.u32(0);  // length, patched below
+  w.u8(static_cast<std::uint8_t>(type_of(msg)));
+
+  if (const auto* rm = std::get_if<RouteMonitoringMsg>(&msg)) {
+    encode_per_peer(w, rm->peer);
+    w.bytes(bgp::wire::encode(bgp::Message(rm->update)));
+  } else if (const auto* up = std::get_if<PeerUpMsg>(&msg)) {
+    encode_per_peer(w, up->peer);
+    if (up->local_addr.is_v6()) {
+      w.bytes(up->local_addr.bytes().data(), 16);
+    } else {
+      for (int i = 0; i < 12; ++i) w.u8(0);
+      w.u32(up->local_addr.v4_value());
+    }
+    w.u16(up->local_port);
+    w.u16(up->remote_port);
+    // Sent/received OPENs: synthesize minimal OPENs from the header info.
+    bgp::OpenMessage open;
+    open.as = bgp::AsNumber(up->peer.peer_as);
+    open.router_id = bgp::RouterId(up->peer.peer_bgp_id);
+    const auto open_bytes = bgp::wire::encode(bgp::Message(open));
+    w.bytes(open_bytes);  // sent OPEN
+    w.bytes(open_bytes);  // received OPEN
+    for (const std::string& info : up->information) {
+      encode_info_tlv(w, kInfoTlvString, info);
+    }
+  } else if (const auto* down = std::get_if<PeerDownMsg>(&msg)) {
+    encode_per_peer(w, down->peer);
+    w.u8(static_cast<std::uint8_t>(down->reason));
+  } else if (const auto* init = std::get_if<InitiationMsg>(&msg)) {
+    encode_info_tlv(w, kInfoTlvSysName, init->sys_name);
+    encode_info_tlv(w, kInfoTlvSysDescr, init->sys_descr);
+  } else if (const auto* term = std::get_if<TerminationMsg>(&msg)) {
+    w.u16(1);  // TLV type: reason
+    w.u16(2);
+    w.u16(term->reason);
+  }
+
+  w.patch_u32(1, static_cast<std::uint32_t>(w.size()));
+  return w.take();
+}
+
+std::optional<BmpMessage> decode(net::BufReader& reader) {
+  const std::uint8_t version = reader.u8();
+  const std::uint32_t length = reader.u32();
+  const std::uint8_t type = reader.u8();
+  if (!reader.ok() || version != kBmpVersion || length < 6) {
+    return std::nullopt;
+  }
+  net::BufReader body = reader.sub(length - 6);
+  if (!reader.ok()) return std::nullopt;
+
+  switch (static_cast<BmpMsgType>(type)) {
+    case BmpMsgType::kRouteMonitoring: {
+      RouteMonitoringMsg rm;
+      auto peer = decode_per_peer(body);
+      if (!peer) return std::nullopt;
+      rm.peer = *peer;
+      auto update = bgp::wire::decode(body);
+      if (!update || !std::holds_alternative<bgp::UpdateMessage>(*update)) {
+        return std::nullopt;
+      }
+      rm.update = std::get<bgp::UpdateMessage>(*update);
+      return BmpMessage(rm);
+    }
+    case BmpMsgType::kPeerUp: {
+      PeerUpMsg up;
+      auto peer = decode_per_peer(body);
+      if (!peer) return std::nullopt;
+      up.peer = *peer;
+      std::array<std::uint8_t, 16> addr{};
+      body.bytes(addr.data(), addr.size());
+      bool v6 = false;
+      for (int i = 0; i < 12; ++i) v6 = v6 || addr[static_cast<std::size_t>(i)] != 0;
+      up.local_addr =
+          v6 ? net::IpAddr::v6(addr)
+             : net::IpAddr::v4((static_cast<std::uint32_t>(addr[12]) << 24) |
+                               (static_cast<std::uint32_t>(addr[13]) << 16) |
+                               (static_cast<std::uint32_t>(addr[14]) << 8) |
+                               addr[15]);
+      up.local_port = body.u16();
+      up.remote_port = body.u16();
+      // Skip the two OPEN PDUs.
+      for (int i = 0; i < 2; ++i) {
+        auto open = bgp::wire::decode(body);
+        if (!open) return std::nullopt;
+      }
+      while (body.ok() && body.remaining() >= 4) {
+        const std::uint16_t tlv_type = body.u16();
+        const std::uint16_t tlv_len = body.u16();
+        net::BufReader tlv = body.sub(tlv_len);
+        if (!body.ok()) return std::nullopt;
+        if (tlv_type == kInfoTlvString) {
+          std::string value(tlv_len, '\0');
+          tlv.bytes(reinterpret_cast<std::uint8_t*>(value.data()), tlv_len);
+          up.information.push_back(std::move(value));
+        }
+      }
+      return BmpMessage(up);
+    }
+    case BmpMsgType::kPeerDown: {
+      PeerDownMsg down;
+      auto peer = decode_per_peer(body);
+      if (!peer) return std::nullopt;
+      down.peer = *peer;
+      down.reason = static_cast<PeerDownReason>(body.u8());
+      if (!body.ok()) return std::nullopt;
+      return BmpMessage(down);
+    }
+    case BmpMsgType::kInitiation: {
+      InitiationMsg init;
+      while (body.ok() && body.remaining() >= 4) {
+        const std::uint16_t tlv_type = body.u16();
+        const std::uint16_t tlv_len = body.u16();
+        net::BufReader tlv = body.sub(tlv_len);
+        if (!body.ok()) return std::nullopt;
+        std::string value(tlv_len, '\0');
+        tlv.bytes(reinterpret_cast<std::uint8_t*>(value.data()), tlv_len);
+        if (tlv_type == kInfoTlvSysName) init.sys_name = std::move(value);
+        if (tlv_type == kInfoTlvSysDescr) init.sys_descr = std::move(value);
+      }
+      return BmpMessage(init);
+    }
+    case BmpMsgType::kTermination: {
+      TerminationMsg term;
+      if (body.remaining() >= 6) {
+        body.u16();  // TLV type
+        body.u16();  // TLV length
+        term.reason = body.u16();
+      }
+      return BmpMessage(term);
+    }
+    case BmpMsgType::kStatisticsReport:
+      return std::nullopt;  // not modelled
+  }
+  return std::nullopt;
+}
+
+std::optional<BmpMessage> decode(const std::vector<std::uint8_t>& buf) {
+  net::BufReader reader(buf);
+  return decode(reader);
+}
+
+}  // namespace ef::bmp

@@ -1,0 +1,102 @@
+// BMP (BGP Monitoring Protocol, RFC 7854) wire codec — the subset Edge
+// Fabric needs: Initiation, Peer Up, Peer Down, and Route Monitoring
+// (which wraps a verbatim BGP UPDATE PDU).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "bgp/message.h"
+#include "net/bytes.h"
+#include "net/ip.h"
+#include "net/units.h"
+
+namespace ef::bmp {
+
+inline constexpr std::uint8_t kBmpVersion = 3;
+
+enum class BmpMsgType : std::uint8_t {
+  kRouteMonitoring = 0,
+  kStatisticsReport = 1,
+  kPeerDown = 2,
+  kPeerUp = 3,
+  kInitiation = 4,
+  kTermination = 5,
+};
+
+/// RFC 7854 §4.2 per-peer header.
+struct PerPeerHeader {
+  bool post_policy = true;  // L flag: we export the post-policy Adj-RIB-In
+  net::IpAddr peer_addr;
+  std::uint32_t peer_as = 0;
+  std::uint32_t peer_bgp_id = 0;
+  net::SimTime timestamp;
+
+  friend bool operator==(const PerPeerHeader&,
+                         const PerPeerHeader&) = default;
+};
+
+struct RouteMonitoringMsg {
+  PerPeerHeader peer;
+  bgp::UpdateMessage update;  // carried as a full BGP UPDATE PDU
+
+  friend bool operator==(const RouteMonitoringMsg&,
+                         const RouteMonitoringMsg&) = default;
+};
+
+struct PeerUpMsg {
+  PerPeerHeader peer;
+  net::IpAddr local_addr;
+  std::uint16_t local_port = 179;
+  std::uint16_t remote_port = 179;
+  /// Information TLV strings (type 0). Edge Fabric uses one to label the
+  /// peering relationship ("peer-type=<name>"), which real deployments
+  /// configure out-of-band.
+  std::vector<std::string> information;
+
+  friend bool operator==(const PeerUpMsg&, const PeerUpMsg&) = default;
+};
+
+/// Reason codes from RFC 7854 §4.9.
+enum class PeerDownReason : std::uint8_t {
+  kLocalNotification = 1,
+  kLocalNoNotification = 2,
+  kRemoteNotification = 3,
+  kRemoteNoNotification = 4,
+};
+
+struct PeerDownMsg {
+  PerPeerHeader peer;
+  PeerDownReason reason = PeerDownReason::kRemoteNoNotification;
+
+  friend bool operator==(const PeerDownMsg&, const PeerDownMsg&) = default;
+};
+
+struct InitiationMsg {
+  std::string sys_name;
+  std::string sys_descr;
+
+  friend bool operator==(const InitiationMsg&,
+                         const InitiationMsg&) = default;
+};
+
+struct TerminationMsg {
+  std::uint16_t reason = 0;
+
+  friend bool operator==(const TerminationMsg&,
+                         const TerminationMsg&) = default;
+};
+
+using BmpMessage = std::variant<RouteMonitoringMsg, PeerUpMsg, PeerDownMsg,
+                                InitiationMsg, TerminationMsg>;
+
+std::vector<std::uint8_t> encode(const BmpMessage& msg);
+
+/// Decodes one BMP message from the reader; nullopt on malformed input.
+std::optional<BmpMessage> decode(net::BufReader& reader);
+std::optional<BmpMessage> decode(const std::vector<std::uint8_t>& buf);
+
+}  // namespace ef::bmp

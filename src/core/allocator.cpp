@@ -1,0 +1,220 @@
+#include "core/allocator.h"
+
+#include <algorithm>
+#include <functional>
+
+#include "net/log.h"
+
+namespace ef::core {
+
+namespace {
+
+/// Preference tier of a detour target, mirroring the egress ladder:
+/// moving traffic to another peer beats falling back to transit.
+int target_tier(bgp::PeerType type) {
+  switch (type) {
+    case bgp::PeerType::kPrivatePeer:
+      return 0;
+    case bgp::PeerType::kPublicPeer:
+      return 1;
+    case bgp::PeerType::kRouteServer:
+      return 2;
+    default:
+      return 3;
+  }
+}
+
+/// A prefix pinned (by BGP preference) to a specific interface, together
+/// with its ranked non-controller candidate routes.
+struct PinnedPrefix {
+  net::Prefix prefix;
+  net::Bandwidth rate;
+  const bgp::Route* best = nullptr;
+  std::vector<const bgp::Route*> alternates;  // ranked, excluding best
+  int best_alternate_tier = 9;                // tier of first usable alt
+};
+
+}  // namespace
+
+AllocationResult Allocator::allocate(
+    const bgp::Rib& rib, const telemetry::DemandMatrix& demand,
+    const telemetry::InterfaceRegistry& interfaces,
+    const EgressResolver& resolve) const {
+  AllocationResult result;
+
+  // Start every known interface at zero so callers see all of them in the
+  // projection, not only the loaded ones.
+  interfaces.for_each([&](telemetry::InterfaceId id,
+                          const telemetry::InterfaceState&) {
+    result.projected_load[id] = net::Bandwidth::zero();
+  });
+
+  // --- Phase 1: projection --------------------------------------------
+  // Route all demand along BGP-preferred paths (ignoring our own injected
+  // routes) and remember, per interface, which prefixes landed there.
+  std::map<telemetry::InterfaceId, std::vector<PinnedPrefix>> by_interface;
+
+  demand.for_each([&](const net::Prefix& prefix, net::Bandwidth rate) {
+    if (rate <= net::Bandwidth::zero()) return;
+
+    // Rank all candidates with the normal decision process, then drop
+    // controller-injected routes. Filtering after ranking is safe: the
+    // relative order of natural routes does not depend on the injected
+    // ones.
+    const auto all = rib.candidates(prefix);
+    const auto order = bgp::rank_routes(all, rib.decision_config());
+
+    PinnedPrefix pinned;
+    pinned.prefix = prefix;
+    pinned.rate = rate;
+
+    std::vector<const bgp::Route*> ranked;
+    ranked.reserve(order.size());
+    for (std::size_t index : order) {
+      if (all[index].peer_type != bgp::PeerType::kController) {
+        ranked.push_back(&all[index]);
+      }
+    }
+    if (ranked.empty()) {
+      result.unroutable += rate;
+      return;
+    }
+    pinned.best = ranked.front();
+    pinned.alternates.assign(ranked.begin() + 1, ranked.end());
+
+    const auto egress = resolve(*pinned.best);
+    if (!egress || !interfaces.contains(egress->interface)) {
+      result.unroutable += rate;
+      return;
+    }
+    result.projected_load[egress->interface] += rate;
+    by_interface[egress->interface].push_back(std::move(pinned));
+  });
+
+  result.final_load = result.projected_load;
+
+  // --- Phase 2: overload detection and detour selection -----------------
+  auto capacity_of = [&](telemetry::InterfaceId id) {
+    return interfaces.usable_capacity(id);  // zero when drained
+  };
+
+  for (auto& [iface, pinned_prefixes] : by_interface) {
+    const net::Bandwidth capacity = capacity_of(iface);
+    const net::Bandwidth projected = result.projected_load[iface];
+    const net::Bandwidth limit = capacity * config_.overload_threshold;
+    if (projected <= limit && capacity > net::Bandwidth::zero()) continue;
+    ++result.overloaded_interfaces;
+
+    const net::Bandwidth target = capacity * config_.target_utilization;
+    net::Bandwidth to_move = result.final_load[iface] - target;
+
+    // Score each prefix by the tier of its most preferred usable
+    // alternate, so peer-alternate prefixes move before transit-only ones.
+    for (PinnedPrefix& pinned : pinned_prefixes) {
+      pinned.best_alternate_tier = 9;
+      for (const bgp::Route* alt : pinned.alternates) {
+        const auto egress = resolve(*alt);
+        if (!egress || egress->interface == iface) continue;
+        pinned.best_alternate_tier = std::min(
+            pinned.best_alternate_tier, target_tier(egress->type));
+      }
+    }
+
+    std::sort(pinned_prefixes.begin(), pinned_prefixes.end(),
+              [&](const PinnedPrefix& a, const PinnedPrefix& b) {
+                if (config_.order == DetourOrder::kBestAlternateFirst &&
+                    a.best_alternate_tier != b.best_alternate_tier) {
+                  return a.best_alternate_tier < b.best_alternate_tier;
+                }
+                if (a.rate != b.rate) return a.rate > b.rate;
+                return a.prefix < b.prefix;  // determinism
+              });
+
+    // Places (prefix, rate) on the first alternate with room; when
+    // nothing fits and splitting is allowed, recurses into more-specific
+    // halves (injected as finer-grained overrides; LPM at the routers
+    // steers exactly that half of the flows). Returns the rate moved.
+    const std::function<net::Bandwidth(const PinnedPrefix&,
+                                       const net::Prefix&, net::Bandwidth,
+                                       int)>
+        place = [&](const PinnedPrefix& pinned, const net::Prefix& prefix,
+                    net::Bandwidth rate, int depth) -> net::Bandwidth {
+      if (config_.max_overrides != 0 &&
+          result.overrides.size() >= config_.max_overrides) {
+        return net::Bandwidth::zero();
+      }
+      for (const bgp::Route* alt : pinned.alternates) {
+        const auto egress = resolve(*alt);
+        if (!egress || egress->interface == iface) continue;
+        const net::Bandwidth alt_capacity = capacity_of(egress->interface);
+        if (alt_capacity <= net::Bandwidth::zero()) continue;  // drained
+        const net::Bandwidth headroom =
+            alt_capacity * config_.detour_headroom -
+            result.final_load[egress->interface];
+        if (rate > headroom) continue;
+
+        Override override_entry;
+        override_entry.prefix = prefix;
+        override_entry.rate = rate;
+        override_entry.next_hop = alt->attrs.next_hop;
+        override_entry.as_path = alt->attrs.as_path;
+        override_entry.from_interface = iface;
+        override_entry.target_interface = egress->interface;
+        override_entry.from_type = pinned.best->peer_type;
+        override_entry.target_type = egress->type;
+        result.overrides.push_back(std::move(override_entry));
+
+        result.final_load[iface] -= rate;
+        result.final_load[egress->interface] += rate;
+        return rate;
+      }
+      // Nothing holds the whole rate: split into halves and place them
+      // independently (possibly on different alternates).
+      if (config_.allow_prefix_splitting && depth < config_.max_split_depth &&
+          prefix.length() < net::address_bits(prefix.family())) {
+        auto bytes = prefix.address().bytes();
+        const int bit = prefix.length();
+        bytes[static_cast<std::size_t>(bit / 8)] |=
+            static_cast<std::uint8_t>(1u << (7 - bit % 8));
+        const net::Prefix low(prefix.address(), prefix.length() + 1);
+        const net::Prefix high(prefix.family() == net::Family::kV4
+                                   ? net::IpAddr::v4(
+                                         (static_cast<std::uint32_t>(bytes[0])
+                                          << 24) |
+                                         (static_cast<std::uint32_t>(bytes[1])
+                                          << 16) |
+                                         (static_cast<std::uint32_t>(bytes[2])
+                                          << 8) |
+                                         bytes[3])
+                                   : net::IpAddr::v6(bytes),
+                               prefix.length() + 1);
+        net::Bandwidth moved = place(pinned, low, rate / 2, depth + 1);
+        moved += place(pinned, high, rate / 2, depth + 1);
+        return moved;
+      }
+      return net::Bandwidth::zero();
+    };
+
+    for (const PinnedPrefix& pinned : pinned_prefixes) {
+      if (to_move <= net::Bandwidth::zero()) break;
+      if (config_.max_overrides != 0 &&
+          result.overrides.size() >= config_.max_overrides) {
+        break;
+      }
+      to_move -= place(pinned, pinned.prefix, pinned.rate, 0);
+    }
+
+    if (to_move > net::Bandwidth::zero()) {
+      // Only count overload actually above *capacity* as unresolved drops;
+      // the slice between target and capacity is just unmet headroom.
+      const net::Bandwidth excess = result.final_load[iface] - capacity;
+      if (excess > net::Bandwidth::zero()) {
+        result.unresolved_overload += excess;
+      }
+    }
+  }
+
+  return result;
+}
+
+}  // namespace ef::core

@@ -1,0 +1,109 @@
+// The Edge Fabric allocator: one stateless allocation cycle.
+//
+// Inputs: the PoP-wide multi-path RIB (from BMP), per-prefix demand (from
+// sFlow), and interface capacities/drain state (from the interface
+// registry). Output: the set of prefixes to detour and the alternate route
+// each should take, computed from scratch — the controller carries no
+// state between cycles, which is the paper's central robustness choice
+// (a crashed controller leaves nothing stale behind).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "bgp/rib.h"
+#include "telemetry/interface.h"
+#include "telemetry/traffic.h"
+
+namespace ef::core {
+
+/// How the allocator sees an egress option (resolved from a route's
+/// NEXT_HOP by the host environment).
+struct EgressView {
+  telemetry::InterfaceId interface;
+  bgp::PeerType type = bgp::PeerType::kTransit;
+  net::IpAddr address;  // the peer's session address (route NEXT_HOP)
+};
+
+using EgressResolver =
+    std::function<std::optional<EgressView>(const bgp::Route&)>;
+
+/// One override decision: steer `prefix` away from its BGP-preferred
+/// interface onto the alternate route described here.
+struct Override {
+  net::Prefix prefix;
+  net::Bandwidth rate;                     // demand moved
+  net::IpAddr next_hop;                    // alternate peer address
+  bgp::AsPath as_path;                     // alternate route's AS path
+  telemetry::InterfaceId from_interface;   // BGP-preferred egress
+  telemetry::InterfaceId target_interface; // where the detour lands
+  bgp::PeerType from_type = bgp::PeerType::kPrivatePeer;
+  bgp::PeerType target_type = bgp::PeerType::kTransit;
+};
+
+enum class DetourOrder : std::uint8_t {
+  /// Paper behaviour: move the prefixes whose best alternate is most
+  /// preferred (peer before transit), largest demand first within a tier.
+  kBestAlternateFirst = 0,
+  /// Ablation: move the largest prefixes first regardless of where their
+  /// alternate lands.
+  kLargestFirst = 1,
+};
+
+struct AllocatorConfig {
+  /// Detour when projected utilization exceeds this fraction of capacity.
+  double overload_threshold = 0.95;
+  /// Shift prefixes until projected utilization is at or below this.
+  double target_utilization = 0.90;
+  /// Never fill an alternate interface beyond this fraction.
+  double detour_headroom = 0.95;
+  DetourOrder order = DetourOrder::kBestAlternateFirst;
+  /// Safety valve: cap on overrides per cycle (0 = unlimited).
+  std::size_t max_overrides = 0;
+  /// When a prefix's whole demand fits no alternate, split it into
+  /// more-specific halves and place them independently (the paper's
+  /// finer-grained override extension). Traffic is assumed uniform
+  /// within a prefix, so each half carries half the rate.
+  bool allow_prefix_splitting = false;
+  /// Maximum split recursion (1 = halves, 2 = quarters, ...).
+  int max_split_depth = 2;
+};
+
+struct AllocationResult {
+  std::vector<Override> overrides;
+  /// Projected load under pure BGP (no overrides), per interface.
+  std::map<telemetry::InterfaceId, net::Bandwidth> projected_load;
+  /// Load after applying the overrides above.
+  std::map<telemetry::InterfaceId, net::Bandwidth> final_load;
+  /// Interfaces whose projected load exceeded the threshold.
+  std::size_t overloaded_interfaces = 0;
+  /// Demand that had to stay on an overloaded interface because no
+  /// alternate had room (or none existed).
+  net::Bandwidth unresolved_overload;
+  /// Demand with no usable route at all.
+  net::Bandwidth unroutable;
+};
+
+class Allocator {
+ public:
+  explicit Allocator(AllocatorConfig config = {}) : config_(config) {}
+
+  /// Runs one allocation over the given inputs. Routes injected by the
+  /// controller itself (PeerType::kController) are ignored when computing
+  /// preferred paths, so the projection always reflects what vanilla BGP
+  /// would do — the key to statelessness.
+  AllocationResult allocate(const bgp::Rib& rib,
+                            const telemetry::DemandMatrix& demand,
+                            const telemetry::InterfaceRegistry& interfaces,
+                            const EgressResolver& resolve) const;
+
+  const AllocatorConfig& config() const { return config_; }
+
+ private:
+  AllocatorConfig config_;
+};
+
+}  // namespace ef::core

@@ -1,0 +1,211 @@
+#include "core/controller.h"
+
+#include "bgp/policy.h"
+#include "net/log.h"
+
+namespace ef::core {
+
+namespace {
+
+bgp::BgpSpeaker::Config controller_speaker_config(
+    const topology::Pop& pop) {
+  bgp::BgpSpeaker::Config config;
+  config.local_as = pop.world().config().local_as;
+  config.router_id = bgp::RouterId(
+      0x7f010000u | static_cast<std::uint32_t>(pop.index() + 1));
+  config.import_policy.local_as = config.local_as;
+  return config;
+}
+
+}  // namespace
+
+Controller::Controller(topology::Pop& pop, ControllerConfig config)
+    : pop_(&pop),
+      config_(config),
+      allocator_(config.allocator),
+      safety_(config.safety),
+      speaker_(controller_speaker_config(pop)) {}
+
+void Controller::connect(int router_index) {
+  EF_CHECK(sessions_.empty(), "controller already connected");
+  if (config_.enforcement == Enforcement::kHostRouting) {
+    return;  // host routing needs no BGP session
+  }
+  if (config_.inject_all_routers) {
+    for (int r = 0; r < pop_->router_count(); ++r) {
+      sessions_.push_back(pop_->attach_controller(speaker_, r));
+    }
+  } else {
+    sessions_.push_back(pop_->attach_controller(speaker_, router_index));
+  }
+}
+
+bool Controller::connected() const {
+  if (config_.enforcement == Enforcement::kHostRouting) return true;
+  return established_sessions() > 0;
+}
+
+std::size_t Controller::established_sessions() const {
+  std::size_t count = 0;
+  for (bgp::PeerId session_id : sessions_) {
+    const bgp::BgpSession* session = speaker_.session(session_id);
+    if (session != nullptr && session->established()) ++count;
+  }
+  return count;
+}
+
+void Controller::drop_session(std::size_t index, net::SimTime now) {
+  EF_CHECK(index < sessions_.size(), "no such injection session");
+  speaker_.close_session(sessions_[index], now);
+  pop_->pump();
+}
+
+CycleStats Controller::run_cycle(const telemetry::DemandMatrix& demand,
+                                 net::SimTime now) {
+  EF_CHECK(config_.enforcement == Enforcement::kHostRouting ||
+               !sessions_.empty(),
+           "controller not connected");
+  CycleStats stats;
+  stats.when = now;
+
+  // Resolve routes to egress ports through the PoP's address map — the
+  // same resolution the routers' forwarding planes perform.
+  const EgressResolver resolver =
+      [this](const bgp::Route& route) -> std::optional<EgressView> {
+    const auto egress = pop_->egress_of_route(route);
+    if (!egress) return std::nullopt;
+    return EgressView{egress->interface, egress->type,
+                      route.attrs.next_hop};
+  };
+
+  stats.allocation = allocator_.allocate(pop_->collector().rib(), demand,
+                                         pop_->interfaces(), resolver);
+
+  // Fresh override set, keyed by prefix.
+  std::map<net::Prefix, Override> fresh;
+  for (const Override& override_entry : stats.allocation.overrides) {
+    fresh[override_entry.prefix] = override_entry;
+  }
+
+  // Optional hysteresis: retain old overrides whose source interface is
+  // still hot, even though the stateless allocation no longer needs them.
+  // A retained override must still fit on its target — keeping a detour
+  // that overloads the detour target would trade one overload for another.
+  if (config_.restore_threshold > 0) {
+    auto& final_load = stats.allocation.final_load;
+    for (const auto& [prefix, old_override] : active_) {
+      if (fresh.contains(prefix)) continue;
+      const auto it =
+          stats.allocation.projected_load.find(old_override.from_interface);
+      if (it == stats.allocation.projected_load.end()) continue;
+      const net::Bandwidth capacity =
+          pop_->interfaces().usable_capacity(old_override.from_interface);
+      if (capacity <= net::Bandwidth::zero()) continue;
+      if (it->second / capacity <= config_.restore_threshold) continue;
+
+      const net::Bandwidth target_capacity =
+          pop_->interfaces().usable_capacity(old_override.target_interface);
+      if (target_capacity <= net::Bandwidth::zero()) continue;  // drained
+      // Use the override's current demand, not last cycle's snapshot.
+      const net::Bandwidth rate = demand.rate(prefix);
+      const net::Bandwidth headroom =
+          target_capacity * config_.allocator.detour_headroom -
+          final_load[old_override.target_interface];
+      if (rate > headroom) continue;
+
+      Override retained = old_override;
+      retained.rate = rate;
+      final_load[old_override.target_interface] += rate;
+      final_load[old_override.from_interface] -= rate;
+      fresh[prefix] = std::move(retained);
+      ++stats.retained_by_hysteresis;
+    }
+  }
+
+  // Performance-aware extension: accept advised overrides for prefixes
+  // the capacity allocation left alone, as long as the target interface
+  // has headroom.
+  if (advisor_) {
+    auto& final_load = stats.allocation.final_load;
+    for (Override& advised : advisor_(stats.allocation)) {
+      if (fresh.contains(advised.prefix)) continue;
+      const net::Bandwidth capacity =
+          pop_->interfaces().usable_capacity(advised.target_interface);
+      if (capacity <= net::Bandwidth::zero()) continue;
+      const net::Bandwidth headroom =
+          capacity * config_.allocator.detour_headroom -
+          final_load[advised.target_interface];
+      if (advised.rate > headroom) continue;
+      final_load[advised.target_interface] += advised.rate;
+      final_load[advised.from_interface] -= advised.rate;
+      fresh[advised.prefix] = std::move(advised);
+      ++stats.perf_overrides;
+    }
+  }
+
+  // Safety guard rails: drop overrides whose target route vanished and
+  // enforce the detour budget, before anything reaches the routers.
+  stats.safety = safety_.apply(fresh, pop_->collector().rib(), demand.total());
+
+  // Enforce: BGP injection (paper) or direct host programming.
+  if (config_.enforcement == Enforcement::kBgpInjection) {
+    std::map<net::Prefix, bgp::BgpSpeaker::Origination> originations;
+    for (const auto& [prefix, override_entry] : fresh) {
+      bgp::BgpSpeaker::Origination origination;
+      origination.path_tail = override_entry.as_path;
+      origination.local_pref = bgp::LocalPref(config_.override_local_pref);
+      origination.next_hop = override_entry.next_hop;
+      origination.communities = {
+          kOverrideCommunity,
+          bgp::peer_type_community(override_entry.target_type)};
+      originations[prefix] = std::move(origination);
+    }
+    speaker_.set_originations(originations, now);
+    pop_->pump();
+  } else {
+    const net::SimTime lease_until =
+        now + net::SimTime::millis(static_cast<std::int64_t>(
+                  config_.cycle_period.millis_value() *
+                  config_.host_lease_cycles));
+    for (const auto& [prefix, old_override] : active_) {
+      if (!fresh.contains(prefix)) pop_->remove_host_override(prefix);
+    }
+    // (Re)install everything current — refreshing the lease is what keeps
+    // a live controller's entries alive.
+    for (const auto& [prefix, override_entry] : fresh) {
+      pop_->install_host_override(prefix, override_entry.next_hop,
+                                  lease_until);
+    }
+  }
+
+  // Churn accounting.
+  for (const auto& [prefix, override_entry] : fresh) {
+    if (!active_.contains(prefix)) ++stats.added;
+  }
+  for (const auto& [prefix, override_entry] : active_) {
+    if (!fresh.contains(prefix)) ++stats.removed;
+  }
+  active_ = std::move(fresh);
+  stats.overrides_active = active_.size();
+  return stats;
+}
+
+void Controller::tick(net::SimTime now) {
+  speaker_.tick(now);
+  pop_->pump();
+}
+
+void Controller::shutdown(net::SimTime now, bool graceful) {
+  for (bgp::PeerId session_id : sessions_) {
+    speaker_.close_session(session_id, now);
+  }
+  if (graceful && config_.enforcement == Enforcement::kHostRouting) {
+    for (const auto& [prefix, override_entry] : active_) {
+      pop_->remove_host_override(prefix);
+    }
+  }
+  pop_->pump();
+  active_.clear();
+}
+
+}  // namespace ef::core

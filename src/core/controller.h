@@ -1,0 +1,131 @@
+// The Edge Fabric controller: the periodic loop around the allocator.
+//
+// Every cycle it reads the PoP's BMP-assembled RIB, the sFlow demand
+// estimate, and interface state; runs the stateless allocator; and makes
+// the router state match by announcing/withdrawing override routes over
+// an ordinary BGP session with a high LOCAL_PREF. If the controller dies,
+// the session's hold timer expires and the routers discard every
+// override — the system degrades to vanilla BGP, never to a wedged state.
+#pragma once
+
+#include <map>
+#include <optional>
+
+#include "bgp/speaker.h"
+#include "core/allocator.h"
+#include "core/safety.h"
+#include "topology/pop.h"
+
+namespace ef::core {
+
+/// Community stamped on every injected override so analyses (and
+/// operators) can identify Edge Fabric routes at a glance.
+inline constexpr bgp::Community kOverrideCommunity{64998, 1};
+
+/// How overrides reach the forwarding plane.
+enum class Enforcement : std::uint8_t {
+  /// The paper's deployed design: BGP announcements with high LOCAL_PREF.
+  /// Self-reverting — session teardown withdraws everything.
+  kBgpInjection = 0,
+  /// Espresso-style host routing: program hosts/edge directly with the
+  /// egress choice. Faster and finer-grained, but host state survives a
+  /// controller crash, so every entry carries a lease that the running
+  /// controller keeps refreshing; a dead controller's entries persist
+  /// (possibly stale!) until the lease runs out.
+  kHostRouting = 1,
+};
+
+struct ControllerConfig {
+  AllocatorConfig allocator;
+  SafetyConfig safety;
+  Enforcement enforcement = Enforcement::kBgpInjection;
+  /// Lease on host-routing entries, as a multiple of the cycle period.
+  double host_lease_cycles = 3.0;
+  net::SimTime cycle_period = net::SimTime::seconds(30);
+  /// LOCAL_PREF on injected routes; must exceed every import-policy
+  /// default so overrides win the decision process outright.
+  std::uint32_t override_local_pref = 1000;
+  /// Hysteresis ablation: when > 0, an override whose original interface
+  /// is still above this utilization is retained even if the stateless
+  /// allocation would drop it. 0 reproduces the paper's pure stateless
+  /// behaviour.
+  double restore_threshold = 0.0;
+  /// Inject to every peering router at the PoP (paper behaviour), so the
+  /// loss of one injection session does not strand the overrides.
+  bool inject_all_routers = true;
+};
+
+struct CycleStats {
+  AllocationResult allocation;
+  SafetyStats safety;
+  std::size_t overrides_active = 0;
+  std::size_t added = 0;
+  std::size_t removed = 0;
+  std::size_t retained_by_hysteresis = 0;
+  std::size_t perf_overrides = 0;  // accepted from the advisor
+  net::SimTime when;
+};
+
+class Controller {
+ public:
+  Controller(topology::Pop& pop, ControllerConfig config);
+
+  /// Establishes the injection BGP session(s). With
+  /// `inject_all_routers` (default), one session per peering router;
+  /// otherwise a single session to `router_index`.
+  void connect(int router_index = 0);
+
+  /// True while at least one injection session is established.
+  bool connected() const;
+
+  /// Number of currently-established injection sessions.
+  std::size_t established_sessions() const;
+
+  /// Failure injection for tests: closes one injection session (by
+  /// position in the connect order) without touching the others.
+  void drop_session(std::size_t index, net::SimTime now);
+
+  /// Runs one allocation cycle against `demand` and pushes the resulting
+  /// override delta to the routers.
+  CycleStats run_cycle(const telemetry::DemandMatrix& demand,
+                       net::SimTime now);
+
+  /// Drives the injection session's keepalive/hold timers. Must run at
+  /// least every hold/3 of simulated time — a controller that stops
+  /// ticking is indistinguishable from a dead one and loses its session
+  /// (and with it, all overrides). That is the fail-safe, working.
+  void tick(net::SimTime now);
+
+  /// Simulates controller failure. Under BGP injection the session
+  /// teardown flushes every override immediately (fail-safe). Under host
+  /// routing a crash leaves the host entries in place until their leases
+  /// expire — exactly the asymmetry the paper weighs; pass
+  /// `graceful=true` to model an orderly shutdown that cleans up.
+  void shutdown(net::SimTime now, bool graceful = false);
+
+  /// Optional performance-aware extension (paper §6): called each cycle
+  /// after capacity allocation with the allocation result; returns extra
+  /// overrides to steer prefixes whose BGP-preferred path underperforms.
+  /// Advised overrides never displace capacity overrides and are dropped
+  /// when the target interface lacks headroom.
+  using Advisor = std::function<std::vector<Override>(const AllocationResult&)>;
+  void set_advisor(Advisor advisor) { advisor_ = std::move(advisor); }
+
+  const std::map<net::Prefix, Override>& active_overrides() const {
+    return active_;
+  }
+  const ControllerConfig& config() const { return config_; }
+  bgp::BgpSpeaker& speaker() { return speaker_; }
+
+ private:
+  topology::Pop* pop_;
+  ControllerConfig config_;
+  Allocator allocator_;
+  SafetyGuard safety_;
+  bgp::BgpSpeaker speaker_;
+  std::vector<bgp::PeerId> sessions_;
+  std::map<net::Prefix, Override> active_;
+  Advisor advisor_;
+};
+
+}  // namespace ef::core

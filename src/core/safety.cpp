@@ -1,0 +1,75 @@
+#include "core/safety.h"
+
+#include <algorithm>
+#include <vector>
+
+namespace ef::core {
+
+bool SafetyGuard::route_still_valid(const bgp::Rib& rib,
+                                    const net::Prefix& prefix,
+                                    const net::IpAddr& next_hop) {
+  // Split overrides are more-specific than any real route, so walk up
+  // through covering prefixes: the override is valid if ANY aggregate
+  // that contains it is reachable via this next hop.
+  for (int length = prefix.length(); length >= 0; --length) {
+    const net::Prefix covering(prefix.address(), length);
+    for (const bgp::Route& route : rib.candidates(covering)) {
+      if (route.peer_type == bgp::PeerType::kController) continue;
+      if (route.attrs.next_hop == next_hop) return true;
+    }
+  }
+  return false;
+}
+
+SafetyStats SafetyGuard::apply(std::map<net::Prefix, Override>& overrides,
+                               const bgp::Rib& rib,
+                               net::Bandwidth total_demand) const {
+  SafetyStats stats;
+
+  if (config_.validate_routes) {
+    for (auto it = overrides.begin(); it != overrides.end();) {
+      if (!route_still_valid(rib, it->first, it->second.next_hop)) {
+        ++stats.dropped_invalid_route;
+        it = overrides.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  }
+
+  if (config_.max_detour_fraction < 1.0 &&
+      total_demand > net::Bandwidth::zero()) {
+    const double budget_bps =
+        total_demand.bits_per_sec() * config_.max_detour_fraction;
+    double used_bps = 0;
+    for (const auto& [prefix, override_entry] : overrides) {
+      used_bps += override_entry.rate.bits_per_sec();
+    }
+    if (used_bps > budget_bps) {
+      // Shed the smallest movers first: the big overrides are the ones
+      // absorbing the severe overloads, so they are kept.
+      std::vector<const net::Prefix*> by_rate;
+      by_rate.reserve(overrides.size());
+      for (const auto& [prefix, override_entry] : overrides) {
+        by_rate.push_back(&prefix);
+      }
+      std::sort(by_rate.begin(), by_rate.end(),
+                [&](const net::Prefix* a, const net::Prefix* b) {
+                  const auto& ra = overrides.at(*a).rate;
+                  const auto& rb = overrides.at(*b).rate;
+                  if (ra != rb) return ra < rb;
+                  return *a < *b;
+                });
+      for (const net::Prefix* prefix : by_rate) {
+        if (used_bps <= budget_bps) break;
+        used_bps -= overrides.at(*prefix).rate.bits_per_sec();
+        overrides.erase(*prefix);
+        ++stats.dropped_by_budget;
+      }
+    }
+  }
+
+  return stats;
+}
+
+}  // namespace ef::core

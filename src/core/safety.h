@@ -1,0 +1,59 @@
+// Safety guard rails applied to the override set before injection —
+// the operational checks the paper describes for rolling out an
+// automated system that rewrites routing at every PoP:
+//
+//  * route validation: never inject an override whose target route no
+//    longer exists in the RIB (a withdrawn alternate would blackhole);
+//  * detour budget: cap the total fraction of traffic the controller may
+//    move in one cycle (blast-radius limit during rollout);
+//  * override count cap lives in AllocatorConfig::max_overrides.
+#pragma once
+
+#include <cstddef>
+#include <map>
+
+#include "bgp/rib.h"
+#include "core/allocator.h"
+
+namespace ef::core {
+
+struct SafetyConfig {
+  /// Maximum fraction of total demand that may be detoured at once.
+  /// 1.0 disables the budget.
+  double max_detour_fraction = 1.0;
+  /// Drop overrides whose target route has disappeared from the RIB.
+  bool validate_routes = true;
+};
+
+struct SafetyStats {
+  std::size_t dropped_invalid_route = 0;
+  std::size_t dropped_by_budget = 0;
+
+  std::size_t total_dropped() const {
+    return dropped_invalid_route + dropped_by_budget;
+  }
+};
+
+class SafetyGuard {
+ public:
+  explicit SafetyGuard(SafetyConfig config = {}) : config_(config) {}
+
+  /// Filters `overrides` in place. `rib` is the current multi-path view;
+  /// `total_demand` scales the detour budget.
+  SafetyStats apply(std::map<net::Prefix, Override>& overrides,
+                    const bgp::Rib& rib,
+                    net::Bandwidth total_demand) const;
+
+  /// True if a non-controller route for `prefix` with this next hop
+  /// exists in the RIB (i.e. the override still resolves somewhere real).
+  static bool route_still_valid(const bgp::Rib& rib,
+                                const net::Prefix& prefix,
+                                const net::IpAddr& next_hop);
+
+  const SafetyConfig& config() const { return config_; }
+
+ private:
+  SafetyConfig config_;
+};
+
+}  // namespace ef::core

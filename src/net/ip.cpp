@@ -1,0 +1,170 @@
+#include "net/ip.h"
+
+#include <charconv>
+#include <cstdio>
+#include <ostream>
+#include <vector>
+
+namespace ef::net {
+
+namespace {
+
+std::optional<IpAddr> parse_v4(std::string_view text) {
+  std::uint32_t value = 0;
+  int octets = 0;
+  const char* p = text.data();
+  const char* end = text.data() + text.size();
+  while (p < end) {
+    unsigned int octet = 0;
+    auto [next, ec] = std::from_chars(p, end, octet);
+    if (ec != std::errc{} || next == p || octet > 255) return std::nullopt;
+    // Reject leading zeros such as "01" which some parsers read as octal.
+    if (next - p > 1 && *p == '0') return std::nullopt;
+    value = (value << 8) | octet;
+    ++octets;
+    p = next;
+    if (p < end) {
+      if (*p != '.' || octets == 4) return std::nullopt;
+      ++p;
+      if (p == end) return std::nullopt;  // trailing dot
+    }
+  }
+  if (octets != 4) return std::nullopt;
+  return IpAddr::v4(value);
+}
+
+std::optional<int> parse_hex_group(std::string_view group) {
+  if (group.empty() || group.size() > 4) return std::nullopt;
+  unsigned int value = 0;
+  auto [next, ec] =
+      std::from_chars(group.data(), group.data() + group.size(), value, 16);
+  if (ec != std::errc{} || next != group.data() + group.size()) {
+    return std::nullopt;
+  }
+  return static_cast<int>(value);
+}
+
+std::optional<IpAddr> parse_v6(std::string_view text) {
+  // Split on "::" first; each side is a list of ':'-separated hex groups.
+  std::vector<int> head;
+  std::vector<int> tail;
+  bool has_gap = false;
+
+  auto split_groups = [](std::string_view part,
+                         std::vector<int>& out) -> bool {
+    if (part.empty()) return true;
+    std::size_t start = 0;
+    while (true) {
+      std::size_t colon = part.find(':', start);
+      std::string_view group = colon == std::string_view::npos
+                                   ? part.substr(start)
+                                   : part.substr(start, colon - start);
+      auto value = parse_hex_group(group);
+      if (!value) return false;
+      out.push_back(*value);
+      if (colon == std::string_view::npos) break;
+      start = colon + 1;
+    }
+    return true;
+  };
+
+  std::size_t gap = text.find("::");
+  if (gap != std::string_view::npos) {
+    has_gap = true;
+    if (text.find("::", gap + 1) != std::string_view::npos) {
+      return std::nullopt;  // at most one "::"
+    }
+    if (!split_groups(text.substr(0, gap), head)) return std::nullopt;
+    if (!split_groups(text.substr(gap + 2), tail)) return std::nullopt;
+  } else {
+    if (!split_groups(text, head)) return std::nullopt;
+  }
+
+  std::size_t total = head.size() + tail.size();
+  if (has_gap ? total > 7 : total != 8) return std::nullopt;
+
+  std::array<std::uint8_t, 16> bytes{};
+  std::size_t i = 0;
+  for (int group : head) {
+    bytes[i++] = static_cast<std::uint8_t>(group >> 8);
+    bytes[i++] = static_cast<std::uint8_t>(group & 0xff);
+  }
+  i = 16 - tail.size() * 2;
+  for (int group : tail) {
+    bytes[i++] = static_cast<std::uint8_t>(group >> 8);
+    bytes[i++] = static_cast<std::uint8_t>(group & 0xff);
+  }
+  return IpAddr::v6(bytes);
+}
+
+}  // namespace
+
+std::optional<IpAddr> IpAddr::parse(std::string_view text) {
+  if (text.find(':') != std::string_view::npos) return parse_v6(text);
+  return parse_v4(text);
+}
+
+IpAddr IpAddr::masked(int prefix_len) const {
+  IpAddr out = *this;
+  const int total = address_bits(family_);
+  if (prefix_len < 0) prefix_len = 0;
+  if (prefix_len > total) prefix_len = total;
+  for (int bit = prefix_len; bit < total; ++bit) {
+    out.bytes_[static_cast<std::size_t>(bit / 8)] &=
+        static_cast<std::uint8_t>(~(1u << (7 - bit % 8)));
+  }
+  return out;
+}
+
+std::string IpAddr::to_string() const {
+  char buf[64];
+  if (family_ == Family::kV4) {
+    std::snprintf(buf, sizeof(buf), "%u.%u.%u.%u", bytes_[0], bytes_[1],
+                  bytes_[2], bytes_[3]);
+    return buf;
+  }
+  // IPv6: RFC 5952 canonical form — compress the longest run of zero groups.
+  std::uint16_t groups[8];
+  for (int i = 0; i < 8; ++i) {
+    groups[i] = static_cast<std::uint16_t>(
+        (bytes_[static_cast<std::size_t>(i * 2)] << 8) |
+        bytes_[static_cast<std::size_t>(i * 2 + 1)]);
+  }
+  int best_start = -1;
+  int best_len = 0;
+  for (int i = 0; i < 8;) {
+    if (groups[i] != 0) {
+      ++i;
+      continue;
+    }
+    int j = i;
+    while (j < 8 && groups[j] == 0) ++j;
+    if (j - i > best_len) {
+      best_start = i;
+      best_len = j - i;
+    }
+    i = j;
+  }
+  if (best_len < 2) best_start = -1;  // do not compress a single zero group
+
+  std::string out;
+  for (int i = 0; i < 8;) {
+    if (i == best_start) {
+      out += "::";
+      i += best_len;
+      continue;
+    }
+    if (!out.empty() && out.back() != ':') out += ':';
+    std::snprintf(buf, sizeof(buf), "%x", groups[i]);
+    out += buf;
+    ++i;
+  }
+  if (out.empty()) out = "::";
+  return out;
+}
+
+std::ostream& operator<<(std::ostream& os, const IpAddr& addr) {
+  return os << addr.to_string();
+}
+
+}  // namespace ef::net

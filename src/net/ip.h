@@ -1,0 +1,107 @@
+// IP addresses (IPv4 and IPv6) as immutable value types.
+//
+// Both families share one representation: a 128-bit big-endian byte array.
+// IPv4 addresses occupy the first 4 bytes and carry Family::kV4, so bit
+// indexing (needed by the prefix trie) is uniform across families.
+#pragma once
+
+#include <array>
+#include <compare>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace ef::net {
+
+enum class Family : std::uint8_t { kV4 = 4, kV6 = 6 };
+
+/// Number of significant bits in an address of the given family.
+constexpr int address_bits(Family family) {
+  return family == Family::kV4 ? 32 : 128;
+}
+
+/// An immutable IPv4 or IPv6 address.
+class IpAddr {
+ public:
+  /// Default-constructs the IPv4 unspecified address 0.0.0.0.
+  constexpr IpAddr() = default;
+
+  /// Builds an IPv4 address from a host-order 32-bit value.
+  static constexpr IpAddr v4(std::uint32_t host_order) {
+    IpAddr a;
+    a.family_ = Family::kV4;
+    a.bytes_[0] = static_cast<std::uint8_t>(host_order >> 24);
+    a.bytes_[1] = static_cast<std::uint8_t>(host_order >> 16);
+    a.bytes_[2] = static_cast<std::uint8_t>(host_order >> 8);
+    a.bytes_[3] = static_cast<std::uint8_t>(host_order);
+    return a;
+  }
+
+  /// Builds an IPv6 address from 16 big-endian bytes.
+  static constexpr IpAddr v6(const std::array<std::uint8_t, 16>& bytes) {
+    IpAddr a;
+    a.family_ = Family::kV6;
+    a.bytes_ = bytes;
+    return a;
+  }
+
+  /// Parses dotted-quad IPv4 ("192.0.2.1") or RFC 4291 IPv6 ("2001:db8::1").
+  /// Returns nullopt on malformed input.
+  static std::optional<IpAddr> parse(std::string_view text);
+
+  constexpr Family family() const { return family_; }
+  constexpr bool is_v4() const { return family_ == Family::kV4; }
+  constexpr bool is_v6() const { return family_ == Family::kV6; }
+
+  /// Host-order 32-bit value; only meaningful for IPv4 addresses.
+  constexpr std::uint32_t v4_value() const {
+    return (static_cast<std::uint32_t>(bytes_[0]) << 24) |
+           (static_cast<std::uint32_t>(bytes_[1]) << 16) |
+           (static_cast<std::uint32_t>(bytes_[2]) << 8) |
+           static_cast<std::uint32_t>(bytes_[3]);
+  }
+
+  /// Raw big-endian bytes (16 for v6; first 4 significant for v4).
+  constexpr const std::array<std::uint8_t, 16>& bytes() const {
+    return bytes_;
+  }
+
+  /// Bit `index` counted from the most significant bit (0-based).
+  constexpr bool bit(int index) const {
+    return (bytes_[static_cast<std::size_t>(index / 8)] >>
+            (7 - index % 8)) & 1u;
+  }
+
+  /// Returns a copy with all bits at positions >= prefix_len cleared.
+  IpAddr masked(int prefix_len) const;
+
+  std::string to_string() const;
+
+  friend constexpr auto operator<=>(const IpAddr& a, const IpAddr& b) {
+    if (auto c = a.family_ <=> b.family_; c != 0) return c;
+    return a.bytes_ <=> b.bytes_;
+  }
+  friend constexpr bool operator==(const IpAddr&, const IpAddr&) = default;
+
+ private:
+  std::array<std::uint8_t, 16> bytes_{};
+  Family family_ = Family::kV4;
+};
+
+std::ostream& operator<<(std::ostream& os, const IpAddr& addr);
+
+}  // namespace ef::net
+
+template <>
+struct std::hash<ef::net::IpAddr> {
+  std::size_t operator()(const ef::net::IpAddr& a) const noexcept {
+    // FNV-1a over the 17 significant bytes.
+    std::size_t h = 1469598103934665603ull;
+    for (std::uint8_t b : a.bytes()) {
+      h = (h ^ b) * 1099511628211ull;
+    }
+    h = (h ^ static_cast<std::uint8_t>(a.family())) * 1099511628211ull;
+    return h;
+  }
+};

@@ -1,0 +1,38 @@
+#include "net/log.h"
+
+#include <atomic>
+
+namespace ef {
+namespace {
+std::atomic<LogLevel> g_level{LogLevel::kWarn};
+
+constexpr std::string_view level_name(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug:
+      return "DEBUG";
+    case LogLevel::kInfo:
+      return "INFO";
+    case LogLevel::kWarn:
+      return "WARN";
+    case LogLevel::kError:
+      return "ERROR";
+    case LogLevel::kOff:
+      return "OFF";
+  }
+  return "?";
+}
+}  // namespace
+
+LogLevel log_level() { return g_level.load(std::memory_order_relaxed); }
+
+void set_log_level(LogLevel level) {
+  g_level.store(level, std::memory_order_relaxed);
+}
+
+namespace detail {
+void log_emit(LogLevel level, std::string_view msg) {
+  std::cerr << '[' << level_name(level) << "] " << msg << '\n';
+}
+}  // namespace detail
+
+}  // namespace ef

@@ -1,0 +1,52 @@
+// Minimal leveled logger used across the library.
+//
+// Logging is intentionally tiny: benches and simulations run millions of
+// events, so anything below the configured level must cost one branch.
+#pragma once
+
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <string_view>
+
+namespace ef {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+/// Global log threshold; messages below it are suppressed.
+LogLevel log_level();
+void set_log_level(LogLevel level);
+
+namespace detail {
+void log_emit(LogLevel level, std::string_view msg);
+}  // namespace detail
+
+}  // namespace ef
+
+#define EF_LOG(level, expr)                                          \
+  do {                                                               \
+    if (static_cast<int>(level) >= static_cast<int>(ef::log_level())) { \
+      std::ostringstream ef_log_oss_;                                \
+      ef_log_oss_ << expr;                                           \
+      ef::detail::log_emit(level, ef_log_oss_.str());                \
+    }                                                                \
+  } while (0)
+
+#define EF_LOG_DEBUG(expr) EF_LOG(ef::LogLevel::kDebug, expr)
+#define EF_LOG_INFO(expr) EF_LOG(ef::LogLevel::kInfo, expr)
+#define EF_LOG_WARN(expr) EF_LOG(ef::LogLevel::kWarn, expr)
+#define EF_LOG_ERROR(expr) EF_LOG(ef::LogLevel::kError, expr)
+
+// Fatal invariant check. Used for programming errors, not recoverable
+// conditions; recoverable failures are reported through return values.
+#define EF_CHECK(cond, expr)                                          \
+  do {                                                                \
+    if (!(cond)) {                                                    \
+      std::ostringstream ef_chk_oss_;                                 \
+      ef_chk_oss_ << "CHECK failed: " #cond " at " << __FILE__ << ':' \
+                  << __LINE__ << ": " << expr;                        \
+      std::cerr << ef_chk_oss_.str() << std::endl;                    \
+      std::abort();                                                   \
+    }                                                                 \
+  } while (0)

@@ -1,0 +1,56 @@
+#include "net/prefix.h"
+
+#include <charconv>
+#include <ostream>
+
+namespace ef::net {
+
+Prefix::Prefix(const IpAddr& addr, int length) {
+  const int max_len = address_bits(addr.family());
+  if (length < 0) length = 0;
+  if (length > max_len) length = max_len;
+  length_ = length;
+  addr_ = addr.masked(length);
+}
+
+std::optional<Prefix> Prefix::parse(std::string_view text) {
+  std::size_t slash = text.rfind('/');
+  if (slash == std::string_view::npos) {
+    auto addr = IpAddr::parse(text);
+    if (!addr) return std::nullopt;
+    return Prefix(*addr, address_bits(addr->family()));
+  }
+  auto addr = IpAddr::parse(text.substr(0, slash));
+  if (!addr) return std::nullopt;
+  std::string_view len_text = text.substr(slash + 1);
+  int length = -1;
+  auto [next, ec] = std::from_chars(
+      len_text.data(), len_text.data() + len_text.size(), length);
+  if (ec != std::errc{} || next != len_text.data() + len_text.size()) {
+    return std::nullopt;
+  }
+  if (length < 0 || length > address_bits(addr->family())) {
+    return std::nullopt;
+  }
+  return Prefix(*addr, length);
+}
+
+bool Prefix::contains(const IpAddr& addr) const {
+  if (addr.family() != addr_.family()) return false;
+  return addr.masked(length_) == addr_;
+}
+
+bool Prefix::contains(const Prefix& other) const {
+  if (other.family() != family() || other.length_ < length_) return false;
+  return other.addr_.masked(length_) == addr_;
+}
+
+std::string Prefix::to_string() const {
+  return addr_.to_string() + '/' + std::to_string(length_);
+}
+
+std::ostream& operator<<(std::ostream& os, const Prefix& prefix) {
+  return os << prefix.to_string();
+}
+
+}  // namespace ef::net

@@ -1,0 +1,64 @@
+// CIDR prefixes, canonicalized (host bits cleared on construction).
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "net/ip.h"
+
+namespace ef::net {
+
+/// An immutable CIDR prefix such as 203.0.113.0/24 or 2001:db8::/32.
+///
+/// The address is always stored masked to the prefix length, so two
+/// Prefix values compare equal iff they denote the same address block.
+class Prefix {
+ public:
+  /// Default-constructs 0.0.0.0/0.
+  Prefix() = default;
+
+  /// Canonicalizes: host bits beyond `length` are cleared and the length
+  /// is clamped to the family's address width.
+  Prefix(const IpAddr& addr, int length);
+
+  /// Parses "203.0.113.0/24" or "2001:db8::/32". A bare address parses
+  /// as a host prefix (/32 or /128). Returns nullopt on malformed input.
+  static std::optional<Prefix> parse(std::string_view text);
+
+  const IpAddr& address() const { return addr_; }
+  int length() const { return length_; }
+  Family family() const { return addr_.family(); }
+
+  /// True if `addr` falls inside this block (families must match).
+  bool contains(const IpAddr& addr) const;
+
+  /// True if `other` is equal to or more specific than this block.
+  bool contains(const Prefix& other) const;
+
+  std::string to_string() const;
+
+  friend auto operator<=>(const Prefix& a, const Prefix& b) {
+    if (auto c = a.addr_ <=> b.addr_; c != 0) return c;
+    return a.length_ <=> b.length_;
+  }
+  friend bool operator==(const Prefix&, const Prefix&) = default;
+
+ private:
+  IpAddr addr_;
+  int length_ = 0;
+};
+
+std::ostream& operator<<(std::ostream& os, const Prefix& prefix);
+
+}  // namespace ef::net
+
+template <>
+struct std::hash<ef::net::Prefix> {
+  std::size_t operator()(const ef::net::Prefix& p) const noexcept {
+    std::size_t h = std::hash<ef::net::IpAddr>{}(p.address());
+    return h ^ (static_cast<std::size_t>(p.length()) * 0x9e3779b97f4a7c15ull);
+  }
+};

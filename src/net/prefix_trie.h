@@ -1,0 +1,159 @@
+// Binary radix trie keyed by CIDR prefix, with longest-prefix match.
+//
+// The trie is path-uncompressed (one node per bit); for the prefix counts
+// used here (tens of thousands) this is simple and fast enough, and keeps
+// deletion trivial. IPv4 and IPv6 keys live in separate roots.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <utility>
+
+#include "net/ip.h"
+#include "net/prefix.h"
+
+namespace ef::net {
+
+template <typename T>
+class PrefixTrie {
+ public:
+  PrefixTrie() = default;
+
+  /// Inserts or replaces the value at `prefix`. Returns true on insert,
+  /// false on replace.
+  bool insert(const Prefix& prefix, T value) {
+    Node* node = descend_create(prefix);
+    bool inserted = !node->value.has_value();
+    node->value = std::move(value);
+    if (inserted) ++size_;
+    return inserted;
+  }
+
+  /// Exact-match lookup.
+  T* find(const Prefix& prefix) {
+    Node* node = descend(prefix);
+    return (node && node->value) ? &*node->value : nullptr;
+  }
+  const T* find(const Prefix& prefix) const {
+    return const_cast<PrefixTrie*>(this)->find(prefix);
+  }
+
+  /// Longest-prefix match for a host address. Returns the matching
+  /// (prefix, value) with the greatest length, or nullopt.
+  std::optional<std::pair<Prefix, const T*>> longest_match(
+      const IpAddr& addr) const {
+    const Node* node = root_for(addr.family());
+    const Node* best = nullptr;
+    int best_len = -1;
+    int depth = 0;
+    const int max_depth = address_bits(addr.family());
+    while (node) {
+      if (node->value) {
+        best = node;
+        best_len = depth;
+      }
+      if (depth == max_depth) break;
+      node = node->child[addr.bit(depth) ? 1 : 0].get();
+      ++depth;
+    }
+    if (!best) return std::nullopt;
+    return std::make_pair(Prefix(addr, best_len), &*best->value);
+  }
+
+  /// Removes the entry at `prefix` if present. Returns true if removed.
+  /// (Interior nodes are left in place; they are reclaimed on destruction.)
+  bool erase(const Prefix& prefix) {
+    Node* node = descend(prefix);
+    if (!node || !node->value) return false;
+    node->value.reset();
+    --size_;
+    return true;
+  }
+
+  /// Visits every (prefix, value) in unspecified order.
+  void for_each(
+      const std::function<void(const Prefix&, const T&)>& fn) const {
+    walk(v4_root_.get(), Family::kV4, IpAddr::v4(0), 0, fn);
+    std::array<std::uint8_t, 16> zero{};
+    walk(v6_root_.get(), Family::kV6, IpAddr::v6(zero), 0, fn);
+  }
+
+  std::size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+
+  void clear() {
+    v4_root_.reset();
+    v6_root_.reset();
+    size_ = 0;
+  }
+
+ private:
+  struct Node {
+    std::optional<T> value;
+    std::unique_ptr<Node> child[2];
+  };
+
+  const Node* root_for(Family family) const {
+    return family == Family::kV4 ? v4_root_.get() : v6_root_.get();
+  }
+
+  Node* descend(const Prefix& prefix) {
+    std::unique_ptr<Node>& root =
+        prefix.family() == Family::kV4 ? v4_root_ : v6_root_;
+    Node* node = root.get();
+    for (int depth = 0; node && depth < prefix.length(); ++depth) {
+      node = node->child[prefix.address().bit(depth) ? 1 : 0].get();
+    }
+    return node;
+  }
+
+  Node* descend_create(const Prefix& prefix) {
+    std::unique_ptr<Node>& root =
+        prefix.family() == Family::kV4 ? v4_root_ : v6_root_;
+    if (!root) root = std::make_unique<Node>();
+    Node* node = root.get();
+    for (int depth = 0; depth < prefix.length(); ++depth) {
+      auto& slot = node->child[prefix.address().bit(depth) ? 1 : 0];
+      if (!slot) slot = std::make_unique<Node>();
+      node = slot.get();
+    }
+    return node;
+  }
+
+  // Rebuilds the prefix for each visited node by setting bits on the way
+  // down; `addr` carries the bits chosen so far.
+  void walk(const Node* node, Family family, IpAddr addr, int depth,
+            const std::function<void(const Prefix&, const T&)>& fn) const {
+    if (!node) return;
+    if (node->value) fn(Prefix(addr, depth), *node->value);
+    if (depth == address_bits(family)) return;
+    if (node->child[0]) {
+      walk(node->child[0].get(), family, addr, depth + 1, fn);
+    }
+    if (node->child[1]) {
+      walk(node->child[1].get(), family, with_bit(addr, depth), depth + 1,
+           fn);
+    }
+  }
+
+  static IpAddr with_bit(const IpAddr& addr, int index) {
+    auto bytes = addr.bytes();
+    bytes[static_cast<std::size_t>(index / 8)] |=
+        static_cast<std::uint8_t>(1u << (7 - index % 8));
+    return addr.family() == Family::kV4
+               ? IpAddr::v4((static_cast<std::uint32_t>(bytes[0]) << 24) |
+                            (static_cast<std::uint32_t>(bytes[1]) << 16) |
+                            (static_cast<std::uint32_t>(bytes[2]) << 8) |
+                            bytes[3])
+               : IpAddr::v6(bytes);
+  }
+
+  std::unique_ptr<Node> v4_root_;
+  std::unique_ptr<Node> v6_root_;
+  std::size_t size_ = 0;
+};
+
+}  // namespace ef::net

@@ -1,0 +1,132 @@
+#include "net/rng.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "net/log.h"
+
+namespace ef::net {
+
+namespace {
+
+// SplitMix64, used to expand the seed into xoshiro state.
+std::uint64_t splitmix64(std::uint64_t& x) {
+  x += 0x9e3779b97f4a7c15ull;
+  std::uint64_t z = x;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  return z ^ (z >> 31);
+}
+
+constexpr std::uint64_t rotl(std::uint64_t x, int k) {
+  return (x << k) | (x >> (64 - k));
+}
+
+}  // namespace
+
+Rng::Rng(std::uint64_t seed) {
+  std::uint64_t s = seed;
+  for (auto& word : state_) word = splitmix64(s);
+}
+
+std::uint64_t Rng::next_u64() {
+  const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+  const std::uint64_t t = state_[1] << 17;
+  state_[2] ^= state_[0];
+  state_[3] ^= state_[1];
+  state_[1] ^= state_[2];
+  state_[0] ^= state_[3];
+  state_[2] ^= t;
+  state_[3] = rotl(state_[3], 45);
+  return result;
+}
+
+double Rng::next_double() {
+  // 53 high bits -> double in [0,1).
+  return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+}
+
+std::int64_t Rng::uniform_int(std::int64_t lo, std::int64_t hi) {
+  EF_CHECK(lo <= hi, "uniform_int: lo=" << lo << " hi=" << hi);
+  const std::uint64_t range = static_cast<std::uint64_t>(hi - lo) + 1;
+  if (range == 0) return static_cast<std::int64_t>(next_u64());  // full range
+  // Rejection sampling to avoid modulo bias.
+  const std::uint64_t limit = UINT64_MAX - UINT64_MAX % range;
+  std::uint64_t v;
+  do {
+    v = next_u64();
+  } while (v >= limit);
+  return lo + static_cast<std::int64_t>(v % range);
+}
+
+double Rng::uniform(double lo, double hi) {
+  return lo + (hi - lo) * next_double();
+}
+
+bool Rng::bernoulli(double p) {
+  if (p <= 0) return false;
+  if (p >= 1) return true;
+  return next_double() < p;
+}
+
+double Rng::exponential(double mean) {
+  EF_CHECK(mean > 0, "exponential mean must be positive, got " << mean);
+  double u;
+  do {
+    u = next_double();
+  } while (u <= 0);  // avoid log(0)
+  return -mean * std::log(u);
+}
+
+double Rng::normal(double mean, double stddev) {
+  double u1;
+  do {
+    u1 = next_double();
+  } while (u1 <= 0);
+  const double u2 = next_double();
+  const double z =
+      std::sqrt(-2.0 * std::log(u1)) * std::cos(2.0 * M_PI * u2);
+  return mean + stddev * z;
+}
+
+double Rng::lognormal(double mu, double sigma) {
+  return std::exp(normal(mu, sigma));
+}
+
+double Rng::pareto(double xm, double alpha) {
+  EF_CHECK(xm > 0 && alpha > 0,
+           "pareto requires xm>0, alpha>0; got xm=" << xm << " a=" << alpha);
+  double u;
+  do {
+    u = next_double();
+  } while (u <= 0);
+  return xm / std::pow(u, 1.0 / alpha);
+}
+
+Rng Rng::fork() { return Rng(next_u64()); }
+
+ZipfDistribution::ZipfDistribution(std::size_t n, double exponent) {
+  EF_CHECK(n > 0, "Zipf over empty support");
+  cdf_.resize(n);
+  double total = 0;
+  for (std::size_t k = 1; k <= n; ++k) {
+    total += 1.0 / std::pow(static_cast<double>(k), exponent);
+    cdf_[k - 1] = total;
+  }
+  for (auto& v : cdf_) v /= total;
+}
+
+std::size_t ZipfDistribution::sample(Rng& rng) const {
+  const double u = rng.next_double();
+  auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+  if (it == cdf_.end()) --it;
+  return static_cast<std::size_t>(it - cdf_.begin()) + 1;
+}
+
+double ZipfDistribution::pmf(std::size_t rank) const {
+  EF_CHECK(rank >= 1 && rank <= cdf_.size(), "Zipf pmf rank out of range");
+  const double lo = rank == 1 ? 0.0 : cdf_[rank - 2];
+  return cdf_[rank - 1] - lo;
+}
+
+}  // namespace ef::net

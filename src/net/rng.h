@@ -1,0 +1,69 @@
+// Deterministic random number generation.
+//
+// All stochastic behaviour in the library flows through Rng so that every
+// simulation, test, and bench is exactly reproducible from a seed.
+// The core generator is xoshiro256** (public domain, Blackman & Vigna).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace ef::net {
+
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed);
+
+  /// Uniform 64-bit value.
+  std::uint64_t next_u64();
+
+  /// Uniform double in [0, 1).
+  double next_double();
+
+  /// Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi);
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi);
+
+  /// True with probability p (clamped to [0,1]).
+  bool bernoulli(double p);
+
+  /// Exponential with the given mean (> 0).
+  double exponential(double mean);
+
+  /// Normal via Box-Muller.
+  double normal(double mean, double stddev);
+
+  /// Log-normal: exp(normal(mu, sigma)).
+  double lognormal(double mu, double sigma);
+
+  /// Pareto with scale xm > 0 and shape alpha > 0.
+  double pareto(double xm, double alpha);
+
+  /// Derives an independent child generator (for per-component streams).
+  Rng fork();
+
+ private:
+  std::uint64_t state_[4];
+};
+
+/// Zipf distribution over ranks 1..n with exponent s: P(k) ∝ k^-s.
+/// Sampling is O(log n) via binary search over the precomputed CDF.
+class ZipfDistribution {
+ public:
+  ZipfDistribution(std::size_t n, double exponent);
+
+  /// Samples a rank in [1, n].
+  std::size_t sample(Rng& rng) const;
+
+  /// Probability mass of rank k (1-based).
+  double pmf(std::size_t rank) const;
+
+  std::size_t size() const { return cdf_.size(); }
+
+ private:
+  std::vector<double> cdf_;  // cdf_[k-1] = P(rank <= k)
+};
+
+}  // namespace ef::net

@@ -1,0 +1,88 @@
+#include "net/stats.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+#include "net/log.h"
+
+namespace ef::net {
+
+void OnlineStats::add(double x) {
+  if (count_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++count_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (x - mean_);
+}
+
+double OnlineStats::variance() const {
+  if (count_ < 2) return 0;
+  return m2_ / static_cast<double>(count_ - 1);
+}
+
+double OnlineStats::stddev() const { return std::sqrt(variance()); }
+
+void CdfBuilder::ensure_sorted() const {
+  if (!sorted_) {
+    std::sort(samples_.begin(), samples_.end());
+    sorted_ = true;
+  }
+}
+
+double CdfBuilder::percentile(double p) const {
+  EF_CHECK(!samples_.empty(), "percentile of empty sample set");
+  ensure_sorted();
+  if (p <= 0) return samples_.front();
+  if (p >= 100) return samples_.back();
+  // Linear interpolation between closest ranks.
+  const double rank = p / 100.0 * static_cast<double>(samples_.size() - 1);
+  const std::size_t lo = static_cast<std::size_t>(rank);
+  const double frac = rank - static_cast<double>(lo);
+  if (lo + 1 >= samples_.size()) return samples_.back();
+  return samples_[lo] * (1.0 - frac) + samples_[lo + 1] * frac;
+}
+
+double CdfBuilder::fraction_at_most(double x) const {
+  if (samples_.empty()) return 0;
+  ensure_sorted();
+  auto it = std::upper_bound(samples_.begin(), samples_.end(), x);
+  return static_cast<double>(it - samples_.begin()) /
+         static_cast<double>(samples_.size());
+}
+
+std::vector<std::pair<double, double>> CdfBuilder::cdf_points(
+    std::size_t max_points) const {
+  std::vector<std::pair<double, double>> points;
+  if (samples_.empty() || max_points == 0) return points;
+  ensure_sorted();
+  const std::size_t n = samples_.size();
+  const std::size_t step = std::max<std::size_t>(1, n / max_points);
+  for (std::size_t i = 0; i < n; i += step) {
+    points.emplace_back(samples_[i],
+                        static_cast<double>(i + 1) / static_cast<double>(n));
+  }
+  if (points.back().first != samples_.back()) {
+    points.emplace_back(samples_.back(), 1.0);
+  } else {
+    points.back().second = 1.0;
+  }
+  return points;
+}
+
+std::string CdfBuilder::summary() const {
+  if (samples_.empty()) return "(no samples)";
+  char buf[160];
+  std::snprintf(buf, sizeof(buf),
+                "n=%zu p10=%.3f p50=%.3f p90=%.3f p99=%.3f max=%.3f",
+                samples_.size(), percentile(10), percentile(50),
+                percentile(90), percentile(99), percentile(100));
+  return buf;
+}
+
+}  // namespace ef::net

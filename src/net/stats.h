@@ -1,0 +1,95 @@
+// Small statistics toolkit: EWMA, online moments, and an exact
+// percentile/CDF builder used by the analysis and bench layers.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace ef::net {
+
+/// Exponentially weighted moving average. `alpha` is the weight of a new
+/// sample (0 < alpha <= 1); higher alpha reacts faster.
+class Ewma {
+ public:
+  explicit Ewma(double alpha) : alpha_(alpha) {}
+
+  void update(double sample) {
+    if (!initialized_) {
+      value_ = sample;
+      initialized_ = true;
+    } else {
+      value_ += alpha_ * (sample - value_);
+    }
+  }
+
+  double value() const { return value_; }
+  bool initialized() const { return initialized_; }
+  void reset() {
+    value_ = 0;
+    initialized_ = false;
+  }
+
+ private:
+  double alpha_;
+  double value_ = 0;
+  bool initialized_ = false;
+};
+
+/// Welford online mean/variance plus min/max.
+class OnlineStats {
+ public:
+  void add(double x);
+
+  std::size_t count() const { return count_; }
+  double mean() const { return mean_; }
+  double variance() const;
+  double stddev() const;
+  double min() const { return min_; }
+  double max() const { return max_; }
+
+ private:
+  std::size_t count_ = 0;
+  double mean_ = 0;
+  double m2_ = 0;
+  double min_ = 0;
+  double max_ = 0;
+};
+
+/// Collects samples and answers exact percentile queries; also renders
+/// CDF point series for the benches. Sorting is deferred and cached.
+class CdfBuilder {
+ public:
+  void add(double x) {
+    samples_.push_back(x);
+    sorted_ = false;
+  }
+
+  std::size_t count() const { return samples_.size(); }
+  bool empty() const { return samples_.empty(); }
+
+  /// Exact percentile, p in [0, 100]. Requires at least one sample.
+  double percentile(double p) const;
+
+  double median() const { return percentile(50); }
+
+  /// Fraction of samples <= x.
+  double fraction_at_most(double x) const;
+
+  /// Evenly spaced (value, cumulative fraction) points for plotting;
+  /// at most `max_points` entries.
+  std::vector<std::pair<double, double>> cdf_points(
+      std::size_t max_points = 50) const;
+
+  /// "p50=… p90=… p99=… max=…" one-liner for logs and bench output.
+  std::string summary() const;
+
+ private:
+  void ensure_sorted() const;
+
+  mutable std::vector<double> samples_;
+  mutable bool sorted_ = true;
+};
+
+}  // namespace ef::net

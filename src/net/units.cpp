@@ -1,0 +1,30 @@
+#include "net/units.h"
+
+#include <cstdio>
+
+namespace ef::net {
+
+std::string Bandwidth::to_string() const {
+  char buf[64];
+  const double bps = bps_;
+  if (bps >= 1e9 || bps <= -1e9) {
+    std::snprintf(buf, sizeof(buf), "%.2fGbps", bps / 1e9);
+  } else if (bps >= 1e6 || bps <= -1e6) {
+    std::snprintf(buf, sizeof(buf), "%.2fMbps", bps / 1e6);
+  } else if (bps >= 1e3 || bps <= -1e3) {
+    std::snprintf(buf, sizeof(buf), "%.2fKbps", bps / 1e3);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.0fbps", bps);
+  }
+  return buf;
+}
+
+std::ostream& operator<<(std::ostream& os, Bandwidth bw) {
+  return os << bw.to_string();
+}
+
+std::ostream& operator<<(std::ostream& os, SimTime t) {
+  return os << t.seconds_value() << 's';
+}
+
+}  // namespace ef::net

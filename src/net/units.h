@@ -1,0 +1,92 @@
+// Strong numeric types shared across modules: bandwidth, byte counts,
+// simulated time. These exist so an interface cannot silently confuse
+// Mbps with Gbps or seconds with milliseconds.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <ostream>
+#include <string>
+
+namespace ef::net {
+
+/// Bandwidth / traffic rate in bits per second. Value type; arithmetic
+/// keeps the unit.
+class Bandwidth {
+ public:
+  constexpr Bandwidth() = default;
+
+  static constexpr Bandwidth bps(double v) { return Bandwidth(v); }
+  static constexpr Bandwidth kbps(double v) { return Bandwidth(v * 1e3); }
+  static constexpr Bandwidth mbps(double v) { return Bandwidth(v * 1e6); }
+  static constexpr Bandwidth gbps(double v) { return Bandwidth(v * 1e9); }
+  static constexpr Bandwidth zero() { return Bandwidth(0); }
+
+  constexpr double bits_per_sec() const { return bps_; }
+  constexpr double mbps_value() const { return bps_ / 1e6; }
+  constexpr double gbps_value() const { return bps_ / 1e9; }
+
+  constexpr Bandwidth operator+(Bandwidth o) const {
+    return Bandwidth(bps_ + o.bps_);
+  }
+  constexpr Bandwidth operator-(Bandwidth o) const {
+    return Bandwidth(bps_ - o.bps_);
+  }
+  constexpr Bandwidth operator*(double f) const { return Bandwidth(bps_ * f); }
+  constexpr Bandwidth operator/(double f) const { return Bandwidth(bps_ / f); }
+  /// Ratio of two rates (e.g. utilization = demand / capacity).
+  constexpr double operator/(Bandwidth o) const { return bps_ / o.bps_; }
+
+  Bandwidth& operator+=(Bandwidth o) {
+    bps_ += o.bps_;
+    return *this;
+  }
+  Bandwidth& operator-=(Bandwidth o) {
+    bps_ -= o.bps_;
+    return *this;
+  }
+
+  friend constexpr auto operator<=>(Bandwidth, Bandwidth) = default;
+
+  std::string to_string() const;
+
+ private:
+  explicit constexpr Bandwidth(double bps) : bps_(bps) {}
+  double bps_ = 0;
+};
+
+std::ostream& operator<<(std::ostream& os, Bandwidth bw);
+
+/// Simulated time: milliseconds since simulation start.
+class SimTime {
+ public:
+  constexpr SimTime() = default;
+  static constexpr SimTime millis(std::int64_t ms) { return SimTime(ms); }
+  static constexpr SimTime seconds(double s) {
+    return SimTime(static_cast<std::int64_t>(s * 1000.0));
+  }
+  static constexpr SimTime minutes(double m) { return seconds(m * 60.0); }
+  static constexpr SimTime hours(double h) { return seconds(h * 3600.0); }
+
+  constexpr std::int64_t millis_value() const { return ms_; }
+  constexpr double seconds_value() const {
+    return static_cast<double>(ms_) / 1000.0;
+  }
+
+  constexpr SimTime operator+(SimTime o) const { return SimTime(ms_ + o.ms_); }
+  constexpr SimTime operator-(SimTime o) const { return SimTime(ms_ - o.ms_); }
+  SimTime& operator+=(SimTime o) {
+    ms_ += o.ms_;
+    return *this;
+  }
+
+  friend constexpr auto operator<=>(SimTime, SimTime) = default;
+
+ private:
+  explicit constexpr SimTime(std::int64_t ms) : ms_(ms) {}
+  std::int64_t ms_ = 0;
+};
+
+std::ostream& operator<<(std::ostream& os, SimTime t);
+
+}  // namespace ef::net

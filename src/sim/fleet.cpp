@@ -1,0 +1,37 @@
+#include "sim/fleet.h"
+
+namespace ef::sim {
+
+Fleet::Fleet(const topology::World& world, SimulationConfig config) {
+  members_.reserve(world.pops().size());
+  for (std::size_t p = 0; p < world.pops().size(); ++p) {
+    Member member;
+    member.pop = std::make_unique<topology::Pop>(world, p);
+    member.simulation = std::make_unique<Simulation>(*member.pop, config);
+    members_.push_back(std::move(member));
+  }
+}
+
+bool Fleet::advance() {
+  bool any = false;
+  for (Member& member : members_) {
+    any = member.simulation->advance() || any;
+  }
+  return any;
+}
+
+void Fleet::run(
+    const std::function<void(std::size_t, const StepRecord&)>& observer) {
+  while (true) {
+    bool any = false;
+    for (std::size_t i = 0; i < members_.size(); ++i) {
+      if (members_[i].simulation->advance()) {
+        observer(i, members_[i].simulation->last());
+        any = true;
+      }
+    }
+    if (!any) return;
+  }
+}
+
+}  // namespace ef::sim

@@ -1,0 +1,46 @@
+// Fleet: every PoP in the world running its own Edge Fabric controller,
+// advanced in lockstep — the deployment shape from the paper (a
+// controller per PoP, dozens of PoPs, no cross-PoP coordination needed).
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "sim/simulation.h"
+
+namespace ef::sim {
+
+class Fleet {
+ public:
+  /// One Pop + Simulation per PoP in the world, all sharing the same
+  /// per-PoP configuration (each PoP still gets its own demand phase and
+  /// noise streams via its index).
+  Fleet(const topology::World& world, SimulationConfig config);
+
+  /// Advances every PoP by one step. Returns false once all simulations
+  /// have exhausted their duration.
+  bool advance();
+
+  /// Runs to completion; `observer(pop_index, record)` per PoP per step.
+  void run(const std::function<void(std::size_t, const StepRecord&)>&
+               observer);
+
+  std::size_t size() const { return members_.size(); }
+  topology::Pop& pop(std::size_t index) { return *members_[index].pop; }
+  Simulation& simulation(std::size_t index) {
+    return *members_[index].simulation;
+  }
+  core::Controller* controller(std::size_t index) {
+    return members_[index].simulation->controller();
+  }
+
+ private:
+  struct Member {
+    std::unique_ptr<topology::Pop> pop;
+    std::unique_ptr<Simulation> simulation;
+  };
+  std::vector<Member> members_;
+};
+
+}  // namespace ef::sim

@@ -1,0 +1,116 @@
+#include "sim/simulation.h"
+
+#include "net/log.h"
+
+namespace ef::sim {
+
+Simulation::Simulation(topology::Pop& pop, SimulationConfig config)
+    : pop_(&pop),
+      config_(config),
+      demand_gen_(pop.world(), pop.index(), config.demand),
+      smoother_(config.sflow_smoothing_alpha),
+      flap_rng_(config.demand.seed ^ 0xf1a9f1a9u ^ (pop.index() << 8)) {
+  if (config_.controller_enabled) {
+    controller_ = std::make_unique<core::Controller>(pop, config_.controller);
+    controller_->connect();
+  }
+  if (config_.use_sflow_estimate) {
+    flowgen_ =
+        std::make_unique<workload::FlowGenerator>(workload::FlowGenConfig{});
+    aggregator_ = std::make_unique<telemetry::TrafficAggregator>(
+        pop_->prefix_table(), config_.sflow_sample_rate);
+    sampler_ = std::make_unique<telemetry::SflowSampler>(
+        config_.sflow_sample_rate, config_.demand.seed ^ 0xabcdef,
+        [this](const telemetry::FlowSample& sample) {
+          aggregator_->ingest(sample);
+        });
+  }
+}
+
+bool Simulation::advance() {
+  const net::SimTime next = first_step_ ? net::SimTime() : now_ + config_.step;
+  if (next > config_.duration) return false;
+  first_step_ = false;
+  now_ = next;
+
+  // Flap injection: restore sessions whose outage ended, then roll for
+  // new flaps (Poisson-ish: at most one arrival per step).
+  if (config_.peer_flap_rate_per_hour > 0) {
+    for (auto it = down_until_.begin(); it != down_until_.end();) {
+      if (it->second <= now_) {
+        pop_->set_peering_up(it->first, true, now_);
+        it = down_until_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+    const double step_hours = config_.step.seconds_value() / 3600.0;
+    if (flap_rng_.bernoulli(
+            std::min(1.0, config_.peer_flap_rate_per_hour * step_hours))) {
+      const std::size_t victim = static_cast<std::size_t>(
+          flap_rng_.uniform_int(
+              0, static_cast<std::int64_t>(pop_->def().peerings.size()) - 1));
+      if (!down_until_.contains(victim)) {
+        pop_->set_peering_up(victim, false, now_);
+        down_until_[victim] = now_ + config_.peer_flap_duration;
+      }
+    }
+  }
+
+  const telemetry::DemandMatrix demand = demand_gen_.step(now_);
+
+  // Telemetry: what the controller believes the demand is.
+  const telemetry::DemandMatrix* estimate = &demand;
+  if (config_.telemetry_lag_steps > 0) {
+    history_.push_back(demand);
+    while (history_.size() >
+           static_cast<std::size_t>(config_.telemetry_lag_steps) + 1) {
+      history_.pop_front();
+    }
+    estimate = &history_.front();
+  }
+  if (config_.use_sflow_estimate) {
+    flowgen_->generate(
+        demand, now_, config_.step,
+        [this](const net::Prefix& prefix)
+            -> std::optional<telemetry::InterfaceId> {
+          const auto egress = pop_->egress_of(prefix);
+          if (!egress) return std::nullopt;
+          return egress->interface;
+        },
+        [this](const telemetry::FlowSample& packet) {
+          sampler_->offer(packet);
+        });
+    estimate =
+        &smoother_.update(aggregator_->finalize_window(now_ + config_.step));
+  }
+
+  StepRecord record;
+  record.when = now_;
+  record.total_demand = demand.total();
+  record.peerings_down = down_until_.size();
+
+  // Controller cycle when due.
+  if (controller_) controller_->tick(now_);
+  if (controller_ && now_ >= next_cycle_) {
+    record.controller = controller_->run_cycle(*estimate, now_);
+    next_cycle_ = now_ + config_.controller.cycle_period;
+  }
+
+  // Ground truth: forward the *actual* demand along current routes.
+  record.load = pop_->project_load(demand);
+  for (const auto& [iface, load] : record.load) {
+    const net::Bandwidth capacity = pop_->interfaces().capacity(iface);
+    if (load > capacity) record.overload += load - capacity;
+  }
+
+  pop_->tick(now_);
+  last_ = std::move(record);
+  return true;
+}
+
+void Simulation::run(const std::function<void(const StepRecord&)>& observer) {
+  while (advance()) observer(last_);
+}
+
+}  // namespace ef::sim

@@ -1,0 +1,117 @@
+// Simulation harness: steps simulated time, drives the demand generator,
+// telemetry, and (optionally) the Edge Fabric controller against one PoP.
+//
+// Use run() for a whole experiment, or advance() to interleave several
+// simulations (see Fleet).
+#pragma once
+
+#include <deque>
+#include <functional>
+#include <map>
+#include <memory>
+#include <optional>
+
+#include "core/controller.h"
+#include "telemetry/interface.h"
+#include "telemetry/sflow.h"
+#include "topology/pop.h"
+#include "workload/demand.h"
+#include "workload/flowgen.h"
+
+namespace ef::sim {
+
+struct SimulationConfig {
+  net::SimTime duration = net::SimTime::hours(48);
+  net::SimTime step = net::SimTime::seconds(60);
+  workload::DemandConfig demand;
+
+  /// When false, the PoP runs vanilla BGP (the paper's "without Edge
+  /// Fabric" counterfactual).
+  bool controller_enabled = true;
+  core::ControllerConfig controller;
+
+  /// When set, demand fed to the controller goes through the sFlow
+  /// sampling pipeline (sample → aggregate → scale → smooth) instead of
+  /// being the exact matrix, reproducing the estimation error the real
+  /// controller sees. Costs simulation time; the long benches leave it
+  /// off.
+  bool use_sflow_estimate = false;
+  /// Sampling rate applied to the generator's macro packets. The flow
+  /// generator emits at most ~200k aggregated packets per step, so a
+  /// 1-in-N here corresponds to a much higher real-world sFlow rate
+  /// (each macro packet stands for many wire packets).
+  std::uint32_t sflow_sample_rate = 10;
+  /// EWMA weight for smoothing successive sFlow windows before the
+  /// controller sees them.
+  double sflow_smoothing_alpha = 0.4;
+
+  /// Telemetry staleness: the controller sees demand from this many steps
+  /// ago (production collection pipelines lag by a collection window).
+  /// 0 = perfect, instantaneous telemetry.
+  int telemetry_lag_steps = 0;
+
+  /// Peering-session flaps: expected flaps per hour across the PoP
+  /// (0 = stable sessions). Each flap takes one random peering down for
+  /// `peer_flap_duration`, exercising withdrawal/reconvergence and the
+  /// controller's reaction to a changed route set mid-run.
+  double peer_flap_rate_per_hour = 0.0;
+  net::SimTime peer_flap_duration = net::SimTime::minutes(5);
+};
+
+struct StepRecord {
+  net::SimTime when;
+  /// True offered demand per interface along current forwarding.
+  std::map<telemetry::InterfaceId, net::Bandwidth> load;
+  /// Total demand this step.
+  net::Bandwidth total_demand;
+  /// Demand above interface capacity (would be dropped/congested).
+  net::Bandwidth overload;
+  /// Controller cycle stats, when a cycle ran this step.
+  std::optional<core::CycleStats> controller;
+  /// Peering sessions currently down (flap injection).
+  std::size_t peerings_down = 0;
+};
+
+class Simulation {
+ public:
+  Simulation(topology::Pop& pop, SimulationConfig config);
+
+  /// Executes one step. Returns false when the configured duration has
+  /// been exhausted (in which case no step was executed).
+  bool advance();
+
+  /// The record of the most recent step.
+  const StepRecord& last() const { return last_; }
+
+  /// Runs to completion, invoking `observer` once per step.
+  void run(const std::function<void(const StepRecord&)>& observer);
+
+  core::Controller* controller() { return controller_.get(); }
+  topology::Pop& pop() { return *pop_; }
+  net::SimTime now() const { return now_; }
+
+ private:
+  topology::Pop* pop_;
+  SimulationConfig config_;
+  workload::DemandGenerator demand_gen_;
+  std::unique_ptr<core::Controller> controller_;
+  net::SimTime next_cycle_;
+  net::SimTime now_;
+  bool first_step_ = true;
+
+  // sFlow estimation path (optional).
+  std::unique_ptr<workload::FlowGenerator> flowgen_;
+  std::unique_ptr<telemetry::TrafficAggregator> aggregator_;
+  std::unique_ptr<telemetry::SflowSampler> sampler_;
+  telemetry::DemandSmoother smoother_;
+
+  std::deque<telemetry::DemandMatrix> history_;  // staleness model
+
+  // Flap injection state.
+  net::Rng flap_rng_;
+  std::map<std::size_t, net::SimTime> down_until_;  // peering -> restore time
+
+  StepRecord last_;
+};
+
+}  // namespace ef::sim

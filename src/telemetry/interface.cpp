@@ -1,0 +1,87 @@
+#include "telemetry/interface.h"
+
+#include "net/log.h"
+
+namespace ef::telemetry {
+
+void InterfaceRegistry::add(InterfaceId id, net::Bandwidth capacity) {
+  EF_CHECK(!interfaces_.contains(id),
+           "duplicate interface id " << id.value());
+  interfaces_[id] = InterfaceState{capacity, false};
+}
+
+bool InterfaceRegistry::contains(InterfaceId id) const {
+  return interfaces_.contains(id);
+}
+
+const InterfaceState& InterfaceRegistry::get(InterfaceId id) const {
+  auto it = interfaces_.find(id);
+  EF_CHECK(it != interfaces_.end(), "unknown interface " << id.value());
+  return it->second;
+}
+
+net::Bandwidth InterfaceRegistry::capacity(InterfaceId id) const {
+  return get(id).capacity;
+}
+
+net::Bandwidth InterfaceRegistry::usable_capacity(InterfaceId id) const {
+  const InterfaceState& state = get(id);
+  return state.drained ? net::Bandwidth::zero() : state.capacity;
+}
+
+void InterfaceRegistry::set_drained(InterfaceId id, bool drained) {
+  auto it = interfaces_.find(id);
+  EF_CHECK(it != interfaces_.end(), "unknown interface " << id.value());
+  it->second.drained = drained;
+}
+
+bool InterfaceRegistry::drained(InterfaceId id) const {
+  return get(id).drained;
+}
+
+void InterfaceRegistry::for_each(
+    const std::function<void(InterfaceId, const InterfaceState&)>& fn) const {
+  for (const auto& [id, state] : interfaces_) fn(id, state);
+}
+
+void InterfaceCounters::record(InterfaceId iface, std::uint64_t bytes) {
+  counters_[iface].bytes += bytes;
+}
+
+void InterfaceCounters::record_drop(InterfaceId iface, std::uint64_t bytes) {
+  counters_[iface].dropped += bytes;
+}
+
+std::map<InterfaceId, InterfaceCounters::Rates> InterfaceCounters::poll(
+    net::SimTime now) {
+  std::map<InterfaceId, Rates> rates;
+  const double secs = (now - last_poll_).seconds_value();
+  for (auto& [iface, counter] : counters_) {
+    Rates r;
+    if (secs > 0) {
+      r.tx = net::Bandwidth::bps(
+          static_cast<double>(counter.bytes - counter.bytes_at_poll) * 8.0 /
+          secs);
+      r.dropped = net::Bandwidth::bps(
+          static_cast<double>(counter.dropped - counter.dropped_at_poll) *
+          8.0 / secs);
+    }
+    counter.bytes_at_poll = counter.bytes;
+    counter.dropped_at_poll = counter.dropped;
+    rates[iface] = r;
+  }
+  last_poll_ = now;
+  return rates;
+}
+
+std::uint64_t InterfaceCounters::total_bytes(InterfaceId iface) const {
+  auto it = counters_.find(iface);
+  return it == counters_.end() ? 0 : it->second.bytes;
+}
+
+std::uint64_t InterfaceCounters::total_dropped(InterfaceId iface) const {
+  auto it = counters_.find(iface);
+  return it == counters_.end() ? 0 : it->second.dropped;
+}
+
+}  // namespace ef::telemetry

@@ -1,0 +1,102 @@
+// Egress interface identities, capacity/drain registry, and SNMP-style
+// byte counters.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <optional>
+
+#include "net/units.h"
+
+namespace ef::telemetry {
+
+/// Identifies one physical egress interface (a PNI port, an IXP-fabric
+/// port, or a transit port) within a PoP.
+class InterfaceId {
+ public:
+  constexpr InterfaceId() = default;
+  explicit constexpr InterfaceId(std::uint32_t value) : value_(value) {}
+  constexpr std::uint32_t value() const { return value_; }
+  friend constexpr auto operator<=>(InterfaceId, InterfaceId) = default;
+
+ private:
+  std::uint32_t value_ = 0;
+};
+
+struct InterfaceState {
+  net::Bandwidth capacity;
+  /// Drained interfaces accept no new traffic (maintenance); the
+  /// controller must steer everything away from them.
+  bool drained = false;
+};
+
+/// Capacity and drain state for every egress interface in a PoP; the
+/// stand-in for the SNMP/config pipeline the paper's controller reads.
+class InterfaceRegistry {
+ public:
+  void add(InterfaceId id, net::Bandwidth capacity);
+  bool contains(InterfaceId id) const;
+
+  /// Raw configured capacity. Requires the interface to exist.
+  net::Bandwidth capacity(InterfaceId id) const;
+
+  /// Capacity available for allocation: zero when drained.
+  net::Bandwidth usable_capacity(InterfaceId id) const;
+
+  void set_drained(InterfaceId id, bool drained);
+  bool drained(InterfaceId id) const;
+
+  std::size_t size() const { return interfaces_.size(); }
+
+  void for_each(
+      const std::function<void(InterfaceId, const InterfaceState&)>& fn)
+      const;
+
+ private:
+  const InterfaceState& get(InterfaceId id) const;
+  std::map<InterfaceId, InterfaceState> interfaces_;
+};
+
+/// Per-interface transmit counters with periodic rate polling, mimicking
+/// an SNMP if-MIB poller.
+class InterfaceCounters {
+ public:
+  /// Accounts `bytes` transmitted on `iface`.
+  void record(InterfaceId iface, std::uint64_t bytes);
+
+  /// Accounts traffic that could not be transmitted (offered load beyond
+  /// capacity); surfaced by the overload analyses.
+  void record_drop(InterfaceId iface, std::uint64_t bytes);
+
+  struct Rates {
+    net::Bandwidth tx;
+    net::Bandwidth dropped;
+  };
+
+  /// Computes rates since the previous poll and advances the poll epoch.
+  /// The first poll returns rates over (now - SimTime{0}).
+  std::map<InterfaceId, Rates> poll(net::SimTime now);
+
+  std::uint64_t total_bytes(InterfaceId iface) const;
+  std::uint64_t total_dropped(InterfaceId iface) const;
+
+ private:
+  struct Counter {
+    std::uint64_t bytes = 0;
+    std::uint64_t dropped = 0;
+    std::uint64_t bytes_at_poll = 0;
+    std::uint64_t dropped_at_poll = 0;
+  };
+  std::map<InterfaceId, Counter> counters_;
+  net::SimTime last_poll_;
+};
+
+}  // namespace ef::telemetry
+
+template <>
+struct std::hash<ef::telemetry::InterfaceId> {
+  std::size_t operator()(const ef::telemetry::InterfaceId& id) const noexcept {
+    return std::hash<std::uint32_t>{}(id.value());
+  }
+};

@@ -1,0 +1,54 @@
+#include "telemetry/sflow.h"
+
+#include "net/log.h"
+
+namespace ef::telemetry {
+
+SflowSampler::SflowSampler(std::uint32_t sample_rate, std::uint64_t seed,
+                           EmitFn emit)
+    : sample_rate_(sample_rate), rng_(seed), emit_(std::move(emit)) {
+  EF_CHECK(sample_rate_ >= 1, "sample rate must be >= 1");
+  EF_CHECK(emit_ != nullptr, "sampler requires an emit sink");
+}
+
+void SflowSampler::offer(const FlowSample& packet) {
+  ++offered_;
+  if (sample_rate_ == 1 || rng_.bernoulli(1.0 / sample_rate_)) {
+    ++emitted_;
+    emit_(packet);
+  }
+}
+
+TrafficAggregator::TrafficAggregator(
+    const net::PrefixTrie<net::Prefix>& prefix_table,
+    std::uint32_t sample_rate)
+    : prefix_table_(prefix_table), sample_rate_(sample_rate) {
+  EF_CHECK(sample_rate_ >= 1, "sample rate must be >= 1");
+}
+
+void TrafficAggregator::ingest(const FlowSample& sample) {
+  const auto match = prefix_table_.longest_match(sample.dst);
+  if (!match) {
+    ++unmatched_;
+    return;
+  }
+  window_bytes_[*match->second] += sample.packet_bytes;
+}
+
+DemandMatrix TrafficAggregator::finalize_window(net::SimTime now) {
+  DemandMatrix demand;
+  const double secs = (now - window_start_).seconds_value();
+  if (secs > 0) {
+    for (const auto& [prefix, bytes] : window_bytes_) {
+      // Scale sampled bytes back up by the sampling rate.
+      const double bps = static_cast<double>(bytes) *
+                         static_cast<double>(sample_rate_) * 8.0 / secs;
+      demand.set(prefix, net::Bandwidth::bps(bps));
+    }
+  }
+  window_bytes_.clear();
+  window_start_ = now;
+  return demand;
+}
+
+}  // namespace ef::telemetry

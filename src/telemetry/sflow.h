@@ -1,0 +1,84 @@
+// sFlow-style packet sampling and the collector that turns samples back
+// into per-prefix rate estimates.
+//
+// Edge Fabric reads traffic demand from sampled flow records rather than
+// exact counters; the 1-in-N sampling plus scale-up below reproduces the
+// estimation error the controller lives with in production (and the
+// telemetry tests quantify it).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <unordered_map>
+#include <vector>
+
+#include "net/ip.h"
+#include "net/prefix.h"
+#include "net/prefix_trie.h"
+#include "net/rng.h"
+#include "net/units.h"
+#include "telemetry/interface.h"
+#include "telemetry/traffic.h"
+
+namespace ef::telemetry {
+
+/// One sampled packet header, as an sFlow agent would export it.
+struct FlowSample {
+  net::IpAddr src;
+  net::IpAddr dst;
+  InterfaceId egress;
+  std::uint32_t packet_bytes = 0;
+  std::uint8_t dscp = 0;
+  net::SimTime when;
+};
+
+/// Deterministic 1-in-N packet sampler.
+class SflowSampler {
+ public:
+  using EmitFn = std::function<void(const FlowSample&)>;
+
+  SflowSampler(std::uint32_t sample_rate, std::uint64_t seed, EmitFn emit);
+
+  /// Offers one forwarded packet; emits a sample with probability 1/rate.
+  void offer(const FlowSample& packet);
+
+  std::uint32_t sample_rate() const { return sample_rate_; }
+  std::uint64_t packets_offered() const { return offered_; }
+  std::uint64_t samples_emitted() const { return emitted_; }
+
+ private:
+  std::uint32_t sample_rate_;
+  net::Rng rng_;
+  EmitFn emit_;
+  std::uint64_t offered_ = 0;
+  std::uint64_t emitted_ = 0;
+};
+
+/// Aggregates flow samples into per-destination-prefix demand estimates
+/// over fixed windows, scaling by the sampling rate.
+class TrafficAggregator {
+ public:
+  /// `prefix_table` maps a destination address to its routed prefix
+  /// (longest match); the aggregator keeps a reference, so the table must
+  /// outlive it.
+  TrafficAggregator(const net::PrefixTrie<net::Prefix>& prefix_table,
+                    std::uint32_t sample_rate);
+
+  void ingest(const FlowSample& sample);
+
+  /// Closes the window [window_start, now) and returns estimated demand.
+  /// Samples whose destination matches no prefix are counted in
+  /// unmatched_samples() and excluded.
+  DemandMatrix finalize_window(net::SimTime now);
+
+  std::uint64_t unmatched_samples() const { return unmatched_; }
+
+ private:
+  const net::PrefixTrie<net::Prefix>& prefix_table_;
+  std::uint32_t sample_rate_;
+  std::unordered_map<net::Prefix, std::uint64_t> window_bytes_;
+  net::SimTime window_start_;
+  std::uint64_t unmatched_ = 0;
+};
+
+}  // namespace ef::telemetry

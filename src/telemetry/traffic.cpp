@@ -1,0 +1,43 @@
+#include "telemetry/traffic.h"
+
+namespace ef::telemetry {
+
+void DemandMatrix::set(const net::Prefix& prefix, net::Bandwidth rate) {
+  rates_[prefix] = rate;
+}
+
+void DemandMatrix::add(const net::Prefix& prefix, net::Bandwidth rate) {
+  rates_[prefix] += rate;
+}
+
+net::Bandwidth DemandMatrix::rate(const net::Prefix& prefix) const {
+  auto it = rates_.find(prefix);
+  return it == rates_.end() ? net::Bandwidth::zero() : it->second;
+}
+
+net::Bandwidth DemandMatrix::total() const {
+  net::Bandwidth sum;
+  for (const auto& [prefix, rate] : rates_) sum += rate;
+  return sum;
+}
+
+void DemandMatrix::for_each(
+    const std::function<void(const net::Prefix&, net::Bandwidth)>& fn) const {
+  for (const auto& [prefix, rate] : rates_) fn(prefix, rate);
+}
+
+const DemandMatrix& DemandSmoother::update(const DemandMatrix& estimate) {
+  // Decay every existing entry, then blend in the new window. Prefixes
+  // absent from the new estimate decay toward zero rather than sticking.
+  DemandMatrix next;
+  smoothed_.for_each([&](const net::Prefix& prefix, net::Bandwidth rate) {
+    next.set(prefix, rate * (1.0 - alpha_));
+  });
+  estimate.for_each([&](const net::Prefix& prefix, net::Bandwidth rate) {
+    next.add(prefix, rate * alpha_);
+  });
+  smoothed_ = std::move(next);
+  return smoothed_;
+}
+
+}  // namespace ef::telemetry

@@ -1,0 +1,54 @@
+// Per-destination-prefix traffic demand: the common currency between the
+// workload generator, the sFlow pipeline, and the Edge Fabric allocator.
+#pragma once
+
+#include <functional>
+#include <unordered_map>
+
+#include "net/prefix.h"
+#include "net/units.h"
+
+namespace ef::telemetry {
+
+/// Egress demand per destination prefix at one PoP, in bits per second.
+class DemandMatrix {
+ public:
+  void set(const net::Prefix& prefix, net::Bandwidth rate);
+  void add(const net::Prefix& prefix, net::Bandwidth rate);
+
+  /// Zero for unknown prefixes.
+  net::Bandwidth rate(const net::Prefix& prefix) const;
+
+  net::Bandwidth total() const;
+  std::size_t prefix_count() const { return rates_.size(); }
+
+  void for_each(
+      const std::function<void(const net::Prefix&, net::Bandwidth)>& fn)
+      const;
+
+  void clear() { rates_.clear(); }
+
+ private:
+  std::unordered_map<net::Prefix, net::Bandwidth> rates_;
+};
+
+/// Exponentially smooths successive demand estimates. Sampled telemetry
+/// (sFlow) is noisy per window; the controller consumes a smoothed view,
+/// as the production pipeline averages over collection windows.
+class DemandSmoother {
+ public:
+  /// `alpha` is the weight of the newest window (0 < alpha <= 1).
+  explicit DemandSmoother(double alpha) : alpha_(alpha) {}
+
+  /// Folds in one window's estimate and returns the smoothed matrix.
+  const DemandMatrix& update(const DemandMatrix& estimate);
+
+  const DemandMatrix& current() const { return smoothed_; }
+  void reset() { smoothed_.clear(); }
+
+ private:
+  double alpha_;
+  DemandMatrix smoothed_;
+};
+
+}  // namespace ef::telemetry

@@ -1,0 +1,357 @@
+#include "topology/pop.h"
+
+#include <algorithm>
+#include <functional>
+
+#include "net/log.h"
+
+namespace ef::topology {
+
+namespace {
+
+net::IpAddr neighbor_address(std::size_t pop, std::size_t peering) {
+  // 172.(16+pop).0.peering — unique per (pop, peering) for peering < 256.
+  EF_CHECK(peering < 256 && pop < 16, "address plan exceeded");
+  return net::IpAddr::v4(0xac000000u |
+                         ((16u + static_cast<std::uint32_t>(pop)) << 16) |
+                         static_cast<std::uint32_t>(peering));
+}
+
+net::IpAddr router_address(std::size_t pop, int router) {
+  return net::IpAddr::v4(0xac000000u |
+                         ((16u + static_cast<std::uint32_t>(pop)) << 16) |
+                         (128u << 8) | static_cast<std::uint32_t>(router));
+}
+
+}  // namespace
+
+Pop::Pop(const World& world, std::size_t pop_index)
+    : world_(&world), pop_index_(pop_index) {
+  EF_CHECK(pop_index < world.pops().size(), "pop index out of range");
+
+  // Interfaces.
+  const PopDef& def = this->def();
+  for (std::size_t i = 0; i < def.interfaces.size(); ++i) {
+    interfaces_.add(telemetry::InterfaceId(static_cast<std::uint32_t>(i)),
+                    def.interfaces[i].capacity);
+  }
+
+  // Prefix table for LPM (sFlow aggregation, demand routing).
+  for (const ClientAs& client : world.clients()) {
+    for (const net::Prefix& prefix : client.prefixes) {
+      prefix_table_.insert(prefix, prefix);
+    }
+  }
+
+  build_routers();
+  build_peerings();
+
+  // Load the neighbors' originations first so the initial table download
+  // arrives as batched updates when sessions establish, then converge.
+  announce_neighbor_routes();
+  for (auto& rt : peerings_) rt->neighbor->start_all_sessions(now_);
+  for (auto& router : routers_) router->speaker->start_all_sessions(now_);
+  pump();
+}
+
+void Pop::build_routers() {
+  const PopDef& def = this->def();
+  for (int r = 0; r < def.num_routers; ++r) {
+    auto router = std::make_unique<Router>();
+    router->key = static_cast<std::uint32_t>(pop_index_ * 16 +
+                                             static_cast<std::size_t>(r));
+
+    bgp::BgpSpeaker::Config config;
+    config.local_as = world_->config().local_as;
+    config.router_id = bgp::RouterId(router_address(pop_index_, r).v4_value());
+    config.import_policy.local_as = config.local_as;
+    router->speaker = std::make_unique<bgp::BgpSpeaker>(config);
+
+    router->exporter = std::make_unique<bmp::BmpExporter>(
+        def.name + "-pr" + std::to_string(r), router->key,
+        [this, key = router->key](std::vector<std::uint8_t> bytes) {
+          collector_.receive(key, bytes);
+        });
+    router->exporter->start();
+    router->speaker->set_monitor(
+        [exporter = router->exporter.get()](const bgp::MonitorEvent& event) {
+          exporter->on_event(event);
+        });
+    routers_.push_back(std::move(router));
+  }
+}
+
+void Pop::build_peerings() {
+  const PopDef& def = this->def();
+  peerings_.reserve(def.peerings.size());
+
+  for (std::size_t i = 0; i < def.peerings.size(); ++i) {
+    const PeeringDef& peering = def.peerings[i];
+    auto rt = std::make_unique<PeeringRuntime>();
+    rt->router_index = static_cast<int>(i) % def.num_routers;
+    rt->address = neighbor_address(pop_index_, i);
+
+    // The neighbor AS's speaker.
+    bgp::BgpSpeaker::Config neighbor_config;
+    neighbor_config.local_as = peering.as;
+    neighbor_config.router_id = bgp::RouterId(rt->address.v4_value());
+    neighbor_config.import_policy.local_as = peering.as;
+    rt->neighbor = std::make_unique<bgp::BgpSpeaker>(neighbor_config);
+
+    Router& router = *routers_[static_cast<std::size_t>(rt->router_index)];
+    PeeringRuntime* rt_ptr = rt.get();
+
+    // Router-side session.
+    bgp::SessionConfig on_router;
+    on_router.peer_as = peering.as;
+    on_router.peer_type = peering.type;
+    on_router.local_addr = router_address(pop_index_, rt->router_index);
+    rt->on_router = router.speaker->add_neighbor(
+        on_router, [this, rt_ptr](std::vector<std::uint8_t> bytes) {
+          queue_.push_back(QueuedMessage{rt_ptr->neighbor.get(),
+                                         rt_ptr->on_neighbor,
+                                         std::move(bytes)});
+        });
+
+    // Neighbor-side session. Its local address is the NEXT_HOP the PoP
+    // will see on every route from this peering.
+    bgp::SessionConfig on_neighbor;
+    on_neighbor.peer_as = world_->config().local_as;
+    on_neighbor.peer_type = bgp::PeerType::kPrivatePeer;  // us, from outside
+    on_neighbor.local_addr = rt->address;
+    rt->on_neighbor = rt->neighbor->add_neighbor(
+        on_neighbor,
+        [this, rt_ptr, speaker = router.speaker.get()](
+            std::vector<std::uint8_t> bytes) {
+          queue_.push_back(
+              QueuedMessage{speaker, rt_ptr->on_router, std::move(bytes)});
+        });
+
+    egress_by_address_[rt->address] =
+        Egress{telemetry::InterfaceId(
+                   static_cast<std::uint32_t>(peering.interface)),
+               i, peering.type, peering.as};
+    peerings_.push_back(std::move(rt));
+  }
+}
+
+void Pop::announce_neighbor_routes() {
+  const PopDef& def = this->def();
+  for (std::size_t i = 0; i < def.peerings.size(); ++i) {
+    const PeeringDef& peering = def.peerings[i];
+    PeeringRuntime& rt = *peerings_[i];
+    for (const AnnouncedRoute& route : peering.routes) {
+      bgp::BgpSpeaker::Origination origination;
+      origination.path_tail = bgp::AsPath(route.tail);
+      for (const net::Prefix& prefix :
+           world_->clients()[route.client].prefixes) {
+        rt.neighbor->originate(prefix, origination, now_);
+      }
+    }
+  }
+}
+
+void Pop::pump() {
+  // Deliver queued messages until quiescent. Each delivery may enqueue
+  // more (OPEN -> KEEPALIVE -> table download), but the protocol exchange
+  // is acyclic, so this terminates.
+  std::size_t delivered = 0;
+  while (!queue_.empty()) {
+    QueuedMessage msg = std::move(queue_.front());
+    queue_.pop_front();
+    msg.target->receive(msg.peer, msg.bytes, now_);
+    EF_CHECK(++delivered < 10'000'000, "message pump did not quiesce");
+  }
+}
+
+void Pop::resync_collector() {
+  collector_ = bmp::BmpCollector();
+  for (auto& router : routers_) {
+    router->exporter->start();
+    router->speaker->replay_to_monitor(now_);
+  }
+}
+
+void Pop::tick(net::SimTime now) {
+  now_ = std::max(now_, now);
+  for (auto& router : routers_) router->speaker->tick(now_);
+  for (auto& rt : peerings_) rt->neighbor->tick(now_);
+  // Expire host-routing leases: a dead controller's entries drain here.
+  std::erase_if(host_overrides_, [&](const auto& entry) {
+    return entry.second.lease_until <= now_;
+  });
+  pump();
+}
+
+std::optional<Pop::Egress> Pop::egress_of_route(
+    const bgp::Route& route) const {
+  auto it = egress_by_address_.find(route.attrs.next_hop);
+  if (it == egress_by_address_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::optional<Pop::Egress> Pop::egress_of(const net::Prefix& prefix) const {
+  // Host-based overrides take precedence over BGP forwarding (the hosts
+  // encapsulate straight to the chosen egress).
+  auto host_it = host_overrides_.find(prefix);
+  if (host_it != host_overrides_.end() &&
+      host_it->second.lease_until > now_) {
+    auto it = egress_by_address_.find(host_it->second.next_hop);
+    if (it != egress_by_address_.end()) return it->second;
+  }
+  const bgp::Route* best = collector_.rib().best(prefix);
+  if (!best) return std::nullopt;
+  return egress_of_route(*best);
+}
+
+void Pop::install_host_override(const net::Prefix& prefix,
+                                const net::IpAddr& next_hop,
+                                net::SimTime lease_until) {
+  EF_CHECK(egress_by_address_.contains(next_hop),
+           "host override to unknown next hop " << next_hop.to_string());
+  host_overrides_[prefix] = HostOverride{next_hop, lease_until};
+}
+
+void Pop::remove_host_override(const net::Prefix& prefix) {
+  host_overrides_.erase(prefix);
+}
+
+std::vector<const bgp::Route*> Pop::ranked_routes(
+    const net::Prefix& prefix) const {
+  return collector_.rib().ranked(prefix);
+}
+
+std::map<telemetry::InterfaceId, net::Bandwidth> Pop::project_load(
+    const telemetry::DemandMatrix& demand) const {
+  std::map<telemetry::InterfaceId, net::Bandwidth> load;
+  // Longest-prefix-match semantics: a controller-injected more-specific
+  // (prefix split) captures its half of a demand prefix's flows. Splits
+  // are bounded in depth, so probing the half-prefixes directly is cheap.
+  const std::function<void(const net::Prefix&, net::Bandwidth, int)> route =
+      [&](const net::Prefix& prefix, net::Bandwidth rate, int depth) {
+        if (depth < 4 &&
+            prefix.length() < net::address_bits(prefix.family())) {
+          const net::Prefix low(prefix.address(), prefix.length() + 1);
+          auto bytes = prefix.address().bytes();
+          const int bit = prefix.length();
+          bytes[static_cast<std::size_t>(bit / 8)] |=
+              static_cast<std::uint8_t>(1u << (7 - bit % 8));
+          const net::Prefix high(
+              prefix.family() == net::Family::kV4
+                  ? net::IpAddr::v4(
+                        (static_cast<std::uint32_t>(bytes[0]) << 24) |
+                        (static_cast<std::uint32_t>(bytes[1]) << 16) |
+                        (static_cast<std::uint32_t>(bytes[2]) << 8) |
+                        bytes[3])
+                  : net::IpAddr::v6(bytes),
+              prefix.length() + 1);
+          const bool low_specific =
+              !collector_.rib().candidates(low).empty() ||
+              host_overrides_.contains(low);
+          const bool high_specific =
+              !collector_.rib().candidates(high).empty() ||
+              host_overrides_.contains(high);
+          if (low_specific || high_specific) {
+            if (low_specific) {
+              route(low, rate / 2, depth + 1);
+            } else {
+              const auto egress = egress_of(prefix);
+              if (egress) load[egress->interface] += rate / 2;
+            }
+            if (high_specific) {
+              route(high, rate / 2, depth + 1);
+            } else {
+              const auto egress = egress_of(prefix);
+              if (egress) load[egress->interface] += rate / 2;
+            }
+            return;
+          }
+        }
+        const auto egress = egress_of(prefix);
+        if (egress) load[egress->interface] += rate;
+      };
+  demand.for_each([&](const net::Prefix& prefix, net::Bandwidth rate) {
+    route(prefix, rate, 0);
+  });
+  return load;
+}
+
+bgp::PeerId Pop::attach_controller(bgp::BgpSpeaker& controller,
+                                   int router_index) {
+  EF_CHECK(router_index >= 0 && router_index < router_count(),
+           "bad router index");
+  Router& router = *routers_[static_cast<std::size_t>(router_index)];
+
+  // Shared state so the two closures can route to each other's session id
+  // even though the ids are assigned one after the other.
+  auto ids = std::make_shared<std::pair<bgp::PeerId, bgp::PeerId>>();
+
+  bgp::SessionConfig on_router;
+  on_router.peer_as = world_->config().local_as;  // iBGP
+  on_router.peer_type = bgp::PeerType::kController;
+  on_router.local_addr = router_address(pop_index_, router_index);
+  ids->first = router.speaker->add_neighbor(
+      on_router,
+      [this, ids, target = &controller](std::vector<std::uint8_t> bytes) {
+        queue_.push_back(QueuedMessage{target, ids->second, std::move(bytes)});
+      });
+
+  bgp::SessionConfig on_controller;
+  on_controller.peer_as = world_->config().local_as;
+  on_controller.peer_type = bgp::PeerType::kController;
+  on_controller.local_addr = net::IpAddr::v4(
+      0x7f000000u | static_cast<std::uint32_t>(pop_index_ + 1));
+  ids->second = controller.add_neighbor(
+      on_controller,
+      [this, ids, speaker = router.speaker.get()](
+          std::vector<std::uint8_t> bytes) {
+        queue_.push_back(
+            QueuedMessage{speaker, ids->first, std::move(bytes)});
+      });
+
+  router.speaker->start_session(ids->first, now_);
+  controller.start_session(ids->second, now_);
+  pump();
+  return ids->second;
+}
+
+net::IpAddr Pop::peering_address(std::size_t peering_index) const {
+  EF_CHECK(peering_index < peerings_.size(), "bad peering index");
+  return peerings_[peering_index]->address;
+}
+
+void Pop::set_peering_up(std::size_t peering_index, bool up,
+                         net::SimTime now) {
+  EF_CHECK(peering_index < peerings_.size(), "bad peering index");
+  now_ = std::max(now_, now);
+  PeeringRuntime& rt = *peerings_[peering_index];
+  if (!up) {
+    rt.neighbor->close_session(rt.on_neighbor, now_);
+    pump();
+    return;
+  }
+  // Restart both endpoints; Idle sessions ignore duplicate starts.
+  rt.neighbor->start_session(rt.on_neighbor, now_);
+  routers_[static_cast<std::size_t>(rt.router_index)]->speaker->start_session(
+      rt.on_router, now_);
+  pump();  // re-establishment re-announces the neighbor's originations
+}
+
+bool Pop::peering_up(std::size_t peering_index) const {
+  EF_CHECK(peering_index < peerings_.size(), "bad peering index");
+  const PeeringRuntime& rt = *peerings_[peering_index];
+  const bgp::BgpSession* session = rt.neighbor->session(rt.on_neighbor);
+  return session != nullptr && session->established();
+}
+
+std::vector<net::Prefix> Pop::reachable_prefixes() const {
+  std::vector<net::Prefix> prefixes;
+  collector_.rib().for_each_best(
+      [&](const net::Prefix& prefix, const bgp::Route&) {
+        prefixes.push_back(prefix);
+      });
+  std::sort(prefixes.begin(), prefixes.end());
+  return prefixes;
+}
+
+}  // namespace ef::topology

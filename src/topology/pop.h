@@ -1,0 +1,162 @@
+// A live PoP: peering routers, neighbor ASes, BMP feeds, interfaces, and
+// the message plumbing between them.
+//
+// Everything a production PoP would run is instantiated for real here:
+// each peering is a genuine BGP session (wire-encoded messages both ways),
+// each router exports BMP to the PoP collector, and forwarding state is
+// derived from the routers' RIBs — so the Edge Fabric controller on top
+// sees exactly the interfaces the paper's controller saw.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "bgp/speaker.h"
+#include "bmp/collector.h"
+#include "bmp/exporter.h"
+#include "net/prefix_trie.h"
+#include "telemetry/interface.h"
+#include "telemetry/traffic.h"
+#include "topology/world.h"
+
+namespace ef::topology {
+
+class Pop {
+ public:
+  /// Builds the PoP from its definition in the world, brings up every BGP
+  /// session, and converges the initial routing table.
+  Pop(const World& world, std::size_t pop_index);
+
+  const std::string& name() const { return def().name; }
+  std::size_t index() const { return pop_index_; }
+  const World& world() const { return *world_; }
+  const PopDef& def() const { return world_->pops()[pop_index_]; }
+
+  /// PoP-wide multi-path RIB assembled from the routers' BMP feeds.
+  const bmp::BmpCollector& collector() const { return collector_; }
+
+  telemetry::InterfaceRegistry& interfaces() { return interfaces_; }
+  const telemetry::InterfaceRegistry& interfaces() const {
+    return interfaces_;
+  }
+
+  /// Where a given RIB route actually egresses (resolved via NEXT_HOP),
+  /// or nullopt for routes that do not map to an egress port.
+  struct Egress {
+    telemetry::InterfaceId interface;
+    std::size_t peering = 0;  // index into def().peerings
+    bgp::PeerType type = bgp::PeerType::kTransit;
+    bgp::AsNumber peer_as;
+  };
+  std::optional<Egress> egress_of_route(const bgp::Route& route) const;
+
+  /// Egress of the current best route for `prefix` (including any
+  /// controller overrides), or nullopt if unreachable.
+  std::optional<Egress> egress_of(const net::Prefix& prefix) const;
+
+  /// Candidate routes for `prefix`, ranked best-first.
+  std::vector<const bgp::Route*> ranked_routes(
+      const net::Prefix& prefix) const;
+
+  /// Projects per-interface load if `demand` were forwarded along current
+  /// best routes. Unreachable prefixes are skipped.
+  std::map<telemetry::InterfaceId, net::Bandwidth> project_load(
+      const telemetry::DemandMatrix& demand) const;
+
+  /// Attaches an Edge Fabric controller speaker via a BGP session to one
+  /// peering router. Returns the controller-side PeerId (use it to check
+  /// session state). Call pump() after the controller announces.
+  bgp::PeerId attach_controller(bgp::BgpSpeaker& controller,
+                                int router_index = 0);
+
+  /// The address of the peering session `peering_index` — what a
+  /// controller override must use as NEXT_HOP to steer via that peer.
+  net::IpAddr peering_address(std::size_t peering_index) const;
+
+  /// Advances session timers on every router and neighbor.
+  void tick(net::SimTime now);
+
+  /// Delivers queued BGP messages until quiescent.
+  void pump();
+
+  /// Rebuilds the BMP collector from scratch by replaying every router's
+  /// current state (the production "monitoring station restarted" path).
+  /// The resulting view must equal the incrementally-built one; no BGP
+  /// session is disturbed.
+  void resync_collector();
+
+  /// Failure injection: administratively closes / restarts the BGP
+  /// session of one peering.
+  void set_peering_up(std::size_t peering_index, bool up, net::SimTime now);
+  bool peering_up(std::size_t peering_index) const;
+
+  /// --- Host-based routing overrides (Espresso-style enforcement) ------
+  /// Instead of injecting BGP routes, the controller can program the
+  /// hosts/edge directly with an egress choice per prefix. Host state
+  /// does not revert when the controller dies the way a BGP session
+  /// teardown does, so every entry carries a lease and expires unless
+  /// refreshed (purged on tick()).
+  void install_host_override(const net::Prefix& prefix,
+                             const net::IpAddr& next_hop,
+                             net::SimTime lease_until);
+  void remove_host_override(const net::Prefix& prefix);
+  std::size_t host_override_count() const { return host_overrides_.size(); }
+
+  /// Longest-prefix-match table of all prefixes announced to this PoP;
+  /// used by the sFlow aggregation pipeline.
+  const net::PrefixTrie<net::Prefix>& prefix_table() const {
+    return prefix_table_;
+  }
+
+  /// All prefixes with at least one route, per the collector RIB.
+  std::vector<net::Prefix> reachable_prefixes() const;
+
+  bgp::BgpSpeaker& router(int index) { return *routers_[static_cast<std::size_t>(index)]->speaker; }
+  int router_count() const { return static_cast<int>(routers_.size()); }
+
+ private:
+  struct Router {
+    std::unique_ptr<bgp::BgpSpeaker> speaker;
+    std::unique_ptr<bmp::BmpExporter> exporter;
+    std::uint32_t key = 0;
+  };
+  struct PeeringRuntime {
+    std::unique_ptr<bgp::BgpSpeaker> neighbor;  // the remote AS's speaker
+    bgp::PeerId on_router;    // session id at the peering router
+    bgp::PeerId on_neighbor;  // session id at the neighbor
+    int router_index = 0;
+    net::IpAddr address;      // neighbor-side session address (NEXT_HOP)
+  };
+  struct QueuedMessage {
+    bgp::BgpSpeaker* target = nullptr;
+    bgp::PeerId peer;
+    std::vector<std::uint8_t> bytes;
+  };
+
+  void build_routers();
+  void build_peerings();
+  void announce_neighbor_routes();
+
+  const World* world_;
+  std::size_t pop_index_;
+  bmp::BmpCollector collector_;
+  telemetry::InterfaceRegistry interfaces_;
+  std::vector<std::unique_ptr<Router>> routers_;
+  std::vector<std::unique_ptr<PeeringRuntime>> peerings_;
+  struct HostOverride {
+    net::IpAddr next_hop;
+    net::SimTime lease_until;
+  };
+
+  std::deque<QueuedMessage> queue_;
+  std::map<net::IpAddr, Egress> egress_by_address_;
+  std::map<net::Prefix, HostOverride> host_overrides_;
+  net::PrefixTrie<net::Prefix> prefix_table_;
+  net::SimTime now_;
+};
+
+}  // namespace ef::topology

@@ -1,0 +1,342 @@
+#include "topology/world.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "net/log.h"
+
+namespace ef::topology {
+
+namespace {
+
+// Well-known transit ASNs, for flavour.
+constexpr std::uint32_t kTransitAsns[] = {3356, 1299, 174, 6939, 2914};
+
+double hash_jitter(std::uint64_t seed, std::uint64_t a, std::uint64_t b,
+                   std::uint64_t c, double amplitude) {
+  // SplitMix-style mix of the identifiers; deterministic in the seed.
+  std::uint64_t x = seed ^ (a * 0x9e3779b97f4a7c15ull) ^
+                    (b * 0xbf58476d1ce4e5b9ull) ^ (c * 0x94d049bb133111ebull);
+  x ^= x >> 30;
+  x *= 0xbf58476d1ce4e5b9ull;
+  x ^= x >> 27;
+  x *= 0x94d049bb133111ebull;
+  x ^= x >> 31;
+  const double unit = static_cast<double>(x >> 11) * 0x1.0p-53;  // [0,1)
+  return (unit * 2.0 - 1.0) * amplitude;
+}
+
+/// Preference rank of a peer type under the default egress ladder;
+/// lower is better. Mirrors ImportPolicyConfig::type_local_pref.
+int ladder_rank(bgp::PeerType type) {
+  switch (type) {
+    case bgp::PeerType::kPrivatePeer:
+      return 0;
+    case bgp::PeerType::kPublicPeer:
+      return 1;
+    case bgp::PeerType::kRouteServer:
+      return 2;
+    default:
+      return 3;
+  }
+}
+
+}  // namespace
+
+World World::generate(const WorldConfig& config) {
+  EF_CHECK(config.num_clients > config.private_peers_per_pop +
+                                    config.public_peers_per_pop +
+                                    config.route_server_peers_per_pop,
+           "need more clients than per-PoP peer slots");
+  EF_CHECK(config.num_clients <= 200, "client /16 address plan caps at 200");
+  EF_CHECK(config.transits_per_pop <=
+               static_cast<int>(std::size(kTransitAsns)),
+           "at most " << std::size(kTransitAsns) << " transits supported");
+
+  World world;
+  world.config_ = config;
+  net::Rng rng(config.seed);
+
+  // ---- Clients ----------------------------------------------------------
+  const std::size_t C = static_cast<std::size_t>(config.num_clients);
+  net::ZipfDistribution zipf(C, config.client_zipf_exponent);
+  world.clients_.resize(C);
+  for (std::size_t c = 0; c < C; ++c) {
+    ClientAs& client = world.clients_[c];
+    client.as = bgp::AsNumber(30000 + static_cast<std::uint32_t>(c));
+    client.weight = zipf.pmf(c + 1);
+    client.base_rtt_ms = std::clamp(
+        rng.lognormal(config.client_rtt_lognormal_mu,
+                      config.client_rtt_lognormal_sigma),
+        5.0, 300.0);
+    const int prefix_count = static_cast<int>(rng.uniform_int(
+        config.min_prefixes_per_client, config.max_prefixes_per_client));
+    for (int j = 0; j < prefix_count; ++j) {
+      // Client c owns 100.c.0.0/16; its prefixes are /24s inside it.
+      const std::uint32_t base =
+          (100u << 24) | (static_cast<std::uint32_t>(c) << 16) |
+          (static_cast<std::uint32_t>(j) << 8);
+      client.prefixes.emplace_back(net::IpAddr::v4(base), 24);
+      world.prefix_owner_[client.prefixes.back()] = c;
+    }
+    // Dual-stack clients also announce 2001:db8:<c>:<j>::/64 prefixes.
+    if (rng.bernoulli(config.ipv6_client_fraction)) {
+      const int v6_count = static_cast<int>(
+          rng.uniform_int(1, config.max_ipv6_prefixes_per_client));
+      for (int j = 0; j < v6_count; ++j) {
+        std::array<std::uint8_t, 16> bytes{};
+        bytes[0] = 0x20;
+        bytes[1] = 0x01;
+        bytes[2] = 0x0d;
+        bytes[3] = 0xb8;
+        bytes[4] = static_cast<std::uint8_t>(c >> 8);
+        bytes[5] = static_cast<std::uint8_t>(c);
+        bytes[6] = static_cast<std::uint8_t>(j >> 8);
+        bytes[7] = static_cast<std::uint8_t>(j);
+        client.prefixes.emplace_back(net::IpAddr::v6(bytes), 64);
+        world.prefix_owner_[client.prefixes.back()] = c;
+      }
+    }
+  }
+
+  // Per-client per-PoP affinity: one home PoP gets most of the client's
+  // traffic; the rest spreads (users of an eyeball network cluster near
+  // one serving region).
+  const std::size_t P = static_cast<std::size_t>(config.num_pops);
+  std::vector<std::vector<double>> affinity(C, std::vector<double>(P));
+  for (std::size_t c = 0; c < C; ++c) {
+    const std::size_t home =
+        static_cast<std::size_t>(rng.uniform_int(0, static_cast<int>(P) - 1));
+    double total = 0;
+    for (std::size_t p = 0; p < P; ++p) {
+      affinity[c][p] = (p == home ? 1.0 : 0.12) * rng.uniform(0.7, 1.3);
+      total += affinity[c][p];
+    }
+    for (std::size_t p = 0; p < P; ++p) affinity[c][p] /= total;
+  }
+
+  // ---- PoPs --------------------------------------------------------------
+  world.pops_.resize(P);
+  for (std::size_t p = 0; p < P; ++p) {
+    PopDef& pop = world.pops_[p];
+    pop.name = std::string("pop-") + static_cast<char>('a' + p);
+    pop.num_routers = config.routers_per_pop;
+    pop.peak_gbps = config.pop_peak_gbps;
+
+    // Client demand share at this PoP (normalized to 1).
+    pop.client_share.resize(C);
+    double pop_total = 0;
+    for (std::size_t c = 0; c < C; ++c) {
+      pop.client_share[c] = world.clients_[c].weight * affinity[c][p];
+      pop_total += pop.client_share[c];
+    }
+    for (double& share : pop.client_share) share /= pop_total;
+
+    // Rank clients by local share; the heaviest get the closest peerings.
+    std::vector<std::size_t> ranked(C);
+    std::iota(ranked.begin(), ranked.end(), std::size_t{0});
+    std::sort(ranked.begin(), ranked.end(), [&](std::size_t a, std::size_t b) {
+      return pop.client_share[a] > pop.client_share[b];
+    });
+
+    const int n_private = config.private_peers_per_pop;
+    const int n_public = config.public_peers_per_pop;
+    const int n_rs = config.route_server_peers_per_pop;
+    const int n_transit = config.transits_per_pop;
+    const int n_ixp = config.ixp_ports_per_pop;
+
+    // Interfaces: one per private peer, shared IXP ports, one per transit.
+    for (int i = 0; i < n_private; ++i) {
+      pop.interfaces.push_back(InterfaceDef{
+          "pni-" +
+              std::to_string(world.clients_[ranked[static_cast<std::size_t>(
+                                                 i)]]
+                                 .as.value()),
+          net::Bandwidth::zero(), bgp::PeerType::kPrivatePeer});
+    }
+    for (int i = 0; i < n_ixp; ++i) {
+      pop.interfaces.push_back(InterfaceDef{"ixp-" + std::to_string(i),
+                                            net::Bandwidth::zero(),
+                                            bgp::PeerType::kPublicPeer});
+    }
+    for (int i = 0; i < n_transit; ++i) {
+      pop.interfaces.push_back(
+          InterfaceDef{"transit-" + std::to_string(kTransitAsns[i]),
+                       net::Bandwidth::zero(), bgp::PeerType::kTransit});
+    }
+
+    // Peerings.
+    auto self_route = [](std::size_t client) {
+      return AnnouncedRoute{client, {}};
+    };
+    int rank_cursor = 0;
+    for (int i = 0; i < n_private; ++i, ++rank_cursor) {
+      const std::size_t client = ranked[static_cast<std::size_t>(rank_cursor)];
+      PeeringDef peering;
+      peering.as = world.clients_[client].as;
+      peering.type = bgp::PeerType::kPrivatePeer;
+      peering.interface = static_cast<std::size_t>(i);
+      peering.routes.push_back(self_route(client));
+      peering.rtt_penalty_ms = rng.uniform(0.0, 1.5);
+      pop.peerings.push_back(std::move(peering));
+    }
+    for (int i = 0; i < n_public; ++i, ++rank_cursor) {
+      const std::size_t client = ranked[static_cast<std::size_t>(rank_cursor)];
+      PeeringDef peering;
+      peering.as = world.clients_[client].as;
+      peering.type = bgp::PeerType::kPublicPeer;
+      peering.interface = static_cast<std::size_t>(n_private + i % n_ixp);
+      peering.routes.push_back(self_route(client));
+      peering.rtt_penalty_ms = 1.5 + rng.uniform(0.0, 2.0);
+      pop.peerings.push_back(std::move(peering));
+    }
+    for (int i = 0; i < n_rs; ++i, ++rank_cursor) {
+      const std::size_t client = ranked[static_cast<std::size_t>(rank_cursor)];
+      PeeringDef peering;
+      peering.as = world.clients_[client].as;
+      peering.type = bgp::PeerType::kRouteServer;
+      peering.interface = static_cast<std::size_t>(n_private + i % n_ixp);
+      peering.routes.push_back(self_route(client));
+      peering.rtt_penalty_ms = 2.5 + rng.uniform(0.0, 2.0);
+      pop.peerings.push_back(std::move(peering));
+    }
+    for (int t = 0; t < n_transit; ++t) {
+      PeeringDef peering;
+      peering.as = bgp::AsNumber(kTransitAsns[t]);
+      peering.type = bgp::PeerType::kTransit;
+      peering.interface =
+          static_cast<std::size_t>(n_private + n_ixp + t);
+      peering.rtt_penalty_ms = 8.0 + rng.uniform(0.0, 10.0);
+      // Transit reaches every client, through the client's upstream chain.
+      for (std::size_t c = 0; c < C; ++c) {
+        AnnouncedRoute route;
+        route.client = c;
+        if (rng.bernoulli(config.transit_extra_hop_probability)) {
+          route.tail.push_back(
+              bgp::AsNumber(64900 + static_cast<std::uint32_t>(
+                                        rng.uniform_int(0, 9))));
+        }
+        route.tail.push_back(world.clients_[c].as);
+        peering.routes.push_back(std::move(route));
+      }
+      pop.peerings.push_back(std::move(peering));
+    }
+
+    // Customer cones and multihoming for the remaining (remote) clients.
+    const std::size_t n_peer_sessions =
+        static_cast<std::size_t>(n_private + n_public + n_rs);
+    for (std::size_t r = static_cast<std::size_t>(rank_cursor); r < C; ++r) {
+      const std::size_t client = ranked[r];
+      if (rng.bernoulli(config.cone_probability)) {
+        const std::size_t via = static_cast<std::size_t>(rng.uniform_int(
+            0, static_cast<int>(n_peer_sessions) - 1));
+        pop.peerings[via].routes.push_back(
+            AnnouncedRoute{client, {world.clients_[client].as}});
+      }
+    }
+    for (std::size_t c = 0; c < C; ++c) {
+      if (rng.bernoulli(config.multihome_probability)) {
+        const std::size_t via = static_cast<std::size_t>(rng.uniform_int(
+            0, static_cast<int>(n_peer_sessions) - 1));
+        // Skip if `via` already announces this client.
+        bool already = false;
+        for (const AnnouncedRoute& route : pop.peerings[via].routes) {
+          already = already || route.client == c;
+        }
+        if (!already) {
+          // Backup paths are commonly prepended (inbound TE): the client
+          // wants its primary preferred, so the secondary's path is
+          // longer and loses the AS-path tiebreak.
+          AnnouncedRoute route{c, {world.clients_[c].as}};
+          if (rng.bernoulli(0.5)) {
+            route.tail.insert(route.tail.begin(), world.clients_[c].as);
+          }
+          pop.peerings[via].routes.push_back(std::move(route));
+        }
+      }
+    }
+
+    // ---- Capacity planning ----------------------------------------------
+    // Attribute each client's peak share to the interface BGP would pick
+    // by default (preference ladder, then shortest tail), then size each
+    // interface to share × headroom.
+    std::vector<double> iface_share(pop.interfaces.size(), 0.0);
+    for (std::size_t c = 0; c < C; ++c) {
+      int best_rank = 1000;
+      std::size_t best_tail = 1000;
+      std::size_t best_iface = 0;
+      bool found = false;
+      for (const PeeringDef& peering : pop.peerings) {
+        for (const AnnouncedRoute& route : peering.routes) {
+          if (route.client != c) continue;
+          const int rank = ladder_rank(peering.type);
+          if (rank < best_rank ||
+              (rank == best_rank && route.tail.size() < best_tail)) {
+            best_rank = rank;
+            best_tail = route.tail.size();
+            best_iface = peering.interface;
+            found = true;
+          }
+        }
+      }
+      EF_CHECK(found, "client " << c << " unreachable at " << pop.name);
+      iface_share[best_iface] += pop.client_share[c];
+    }
+    for (std::size_t i = 0; i < pop.interfaces.size(); ++i) {
+      InterfaceDef& iface = pop.interfaces[i];
+      double headroom = 1.0;
+      switch (iface.role) {
+        case bgp::PeerType::kPrivatePeer:
+          headroom = std::clamp(
+              rng.normal(config.private_headroom_mean,
+                         config.private_headroom_stddev),
+              config.private_headroom_min, config.private_headroom_max);
+          break;
+        case bgp::PeerType::kPublicPeer:
+          headroom = config.ixp_headroom;
+          break;
+        default:
+          headroom = config.transit_headroom;
+          break;
+      }
+      double gbps =
+          std::max(1.0, config.pop_peak_gbps * iface_share[i] * headroom);
+      if (iface.role == bgp::PeerType::kTransit) {
+        gbps = std::max(
+            gbps, config.pop_peak_gbps * config.transit_min_fraction_of_peak);
+      }
+      iface.capacity = net::Bandwidth::gbps(gbps);
+    }
+  }
+
+  return world;
+}
+
+std::optional<std::size_t> World::client_of_prefix(
+    const net::Prefix& prefix) const {
+  auto it = prefix_owner_.find(prefix);
+  if (it == prefix_owner_.end()) return std::nullopt;
+  return it->second;
+}
+
+double World::path_rtt_ms(std::size_t pop, std::size_t peering,
+                          std::size_t client) const {
+  EF_CHECK(pop < pops_.size() && client < clients_.size() &&
+               peering < pops_[pop].peerings.size(),
+           "path_rtt_ms out of range");
+  const double jitter =
+      hash_jitter(config_.seed, pop + 1, peering + 1, client + 1, 3.0);
+  const double rtt = clients_[client].base_rtt_ms +
+                     pops_[pop].peerings[peering].rtt_penalty_ms + jitter;
+  return std::max(1.0, rtt);
+}
+
+net::Bandwidth World::peak_demand(std::size_t pop, std::size_t client) const {
+  EF_CHECK(pop < pops_.size() && client < clients_.size(),
+           "peak_demand out of range");
+  return net::Bandwidth::gbps(pops_[pop].peak_gbps *
+                              pops_[pop].client_share[client]);
+}
+
+}  // namespace ef::topology

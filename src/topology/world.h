@@ -1,0 +1,152 @@
+// The simulated world: client (eyeball) ASes, PoPs, peerings, interfaces,
+// and ground-truth path performance.
+//
+// This is the substitution for the production environment the paper runs
+// in (real PoPs, thousands of BGP neighbors, measured RTTs). The generator
+// is parameterized so the structural properties that drive Edge Fabric's
+// behaviour are reproduced:
+//   * skewed per-client traffic (Zipf) concentrated on a few heavy eyeballs,
+//   * a preference ladder of route types (PNI > public > route server >
+//     transit) with most prefixes reachable several ways,
+//   * private interconnect capacities planned against *average* demand, so
+//     daily peaks push some interfaces past capacity — the overload Edge
+//     Fabric exists to absorb.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "bgp/types.h"
+#include "net/prefix.h"
+#include "net/rng.h"
+#include "net/units.h"
+
+namespace ef::topology {
+
+struct WorldConfig {
+  std::uint64_t seed = 42;
+
+  // Clients (eyeball networks).
+  int num_clients = 64;
+  int min_prefixes_per_client = 2;
+  int max_prefixes_per_client = 20;
+  double client_zipf_exponent = 1.12;  // traffic skew across clients
+
+  /// Fraction of clients that are dual-stack: they additionally announce
+  /// IPv6 prefixes, which flow through the whole pipeline (MP-BGP wire
+  /// encoding, v6 LPM, v6 overrides).
+  double ipv6_client_fraction = 0.3;
+  int max_ipv6_prefixes_per_client = 6;
+
+  // PoPs and peerings.
+  int num_pops = 4;
+  int private_peers_per_pop = 8;
+  int public_peers_per_pop = 8;
+  int route_server_peers_per_pop = 6;
+  int transits_per_pop = 2;
+  int ixp_ports_per_pop = 2;
+  int routers_per_pop = 2;
+
+  /// Probability a non-peer client is additionally announced by a peer
+  /// (multihoming / customer cone), beyond its transit reachability.
+  double cone_probability = 0.55;
+  /// Probability of one extra announcement via a second peer.
+  double multihome_probability = 0.35;
+  /// Probability a transit path includes an extra intermediate AS.
+  double transit_extra_hop_probability = 0.3;
+
+  // Capacity planning. Interface capacity = expected peak share of the
+  // interface × headroom. Private headroom is noisy and occasionally < 1:
+  // those are the under-provisioned PNIs that overload at daily peak.
+  double pop_peak_gbps = 200.0;
+  double private_headroom_mean = 1.15;
+  double private_headroom_stddev = 0.30;
+  double private_headroom_min = 0.55;
+  double private_headroom_max = 2.0;
+  double ixp_headroom = 1.5;
+  double transit_headroom = 3.0;
+  /// Transit ports are provisioned at least this fraction of the PoP peak
+  /// (transit is the detour-of-last-resort and must be able to absorb
+  /// displaced peer traffic).
+  double transit_min_fraction_of_peak = 0.3;
+
+  // Ground-truth performance model.
+  double client_rtt_lognormal_mu = 3.6;     // exp(3.6) ≈ 37 ms median
+  double client_rtt_lognormal_sigma = 0.45;
+
+  bgp::AsNumber local_as{32934};
+};
+
+struct ClientAs {
+  bgp::AsNumber as;
+  std::vector<net::Prefix> prefixes;
+  double weight = 0;        // global traffic share (sums to 1)
+  double base_rtt_ms = 40;  // geography component of RTT
+};
+
+/// One (client) route a peering announces: the AS-path tail *below* the
+/// peer (excluding the peer's own AS, which the peer prepends on export).
+/// Empty tail means the peer originates the prefix itself.
+struct AnnouncedRoute {
+  std::size_t client = 0;            // index into World::clients
+  std::vector<bgp::AsNumber> tail;   // e.g. {regional, client_as}
+};
+
+struct InterfaceDef {
+  std::string name;
+  net::Bandwidth capacity;
+  bgp::PeerType role = bgp::PeerType::kPrivatePeer;
+};
+
+struct PeeringDef {
+  bgp::AsNumber as;
+  bgp::PeerType type = bgp::PeerType::kPrivatePeer;
+  std::size_t interface = 0;  // index into PopDef::interfaces
+  std::vector<AnnouncedRoute> routes;
+  /// Performance penalty of egressing via this peering, before congestion.
+  double rtt_penalty_ms = 0;
+};
+
+struct PopDef {
+  std::string name;
+  int num_routers = 2;
+  std::vector<InterfaceDef> interfaces;
+  std::vector<PeeringDef> peerings;
+  /// Share of each client's traffic served from this PoP (sums to ~1 per
+  /// client across PoPs); drives the per-PoP demand matrix.
+  std::vector<double> client_share;
+  double peak_gbps = 0;  // planned peak egress demand of the PoP
+};
+
+class World {
+ public:
+  static World generate(const WorldConfig& config);
+
+  const WorldConfig& config() const { return config_; }
+  const std::vector<ClientAs>& clients() const { return clients_; }
+  const std::vector<PopDef>& pops() const { return pops_; }
+
+  /// Index of the client owning `prefix`, or nullopt.
+  std::optional<std::size_t> client_of_prefix(const net::Prefix& prefix)
+      const;
+
+  /// Ground-truth uncongested RTT of egressing traffic for `client` at
+  /// `pop` via `peering` (ms). Deterministic in the world seed.
+  double path_rtt_ms(std::size_t pop, std::size_t peering,
+                     std::size_t client) const;
+
+  /// Expected peak demand of `client` at `pop` in bps
+  /// (pop peak × client share).
+  net::Bandwidth peak_demand(std::size_t pop, std::size_t client) const;
+
+ private:
+  WorldConfig config_;
+  std::vector<ClientAs> clients_;
+  std::vector<PopDef> pops_;
+  std::unordered_map<net::Prefix, std::size_t> prefix_owner_;
+};
+
+}  // namespace ef::topology

@@ -1,0 +1,121 @@
+#include "workload/demand.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "net/log.h"
+
+namespace ef::workload {
+
+DemandGenerator::DemandGenerator(const topology::World& world,
+                                 std::size_t pop_index, DemandConfig config)
+    : world_(&world),
+      pop_index_(pop_index),
+      config_(config),
+      rng_(config.seed ^ (0x9e3779b97f4a7c15ull * (pop_index + 1))) {
+  EF_CHECK(pop_index < world.pops().size(), "pop index out of range");
+  const std::size_t C = world.clients().size();
+  noise_.assign(C, 0.0);
+
+  // Per-prefix weights within each client: Zipf over a shuffled rank order
+  // so the heavy prefix is not always the numerically first one.
+  prefix_weights_.resize(C);
+  for (std::size_t c = 0; c < C; ++c) {
+    const std::size_t n = world.clients()[c].prefixes.size();
+    net::ZipfDistribution zipf(n, config_.prefix_zipf_exponent);
+    std::vector<double> weights(n);
+    for (std::size_t j = 0; j < n; ++j) weights[j] = zipf.pmf(j + 1);
+    for (std::size_t j = n; j > 1; --j) {
+      const std::size_t k = static_cast<std::size_t>(
+          rng_.uniform_int(0, static_cast<std::int64_t>(j) - 1));
+      std::swap(weights[j - 1], weights[k]);
+    }
+    prefix_weights_[c] = std::move(weights);
+  }
+}
+
+double DemandGenerator::diurnal(net::SimTime now) const {
+  const double phase_hours =
+      static_cast<double>(pop_index_) * config_.pop_phase_spread_hours;
+  const double hours = now.seconds_value() / 3600.0 - phase_hours;
+  // Peak at hour 0 mod 24; smooth cosine between peak and trough.
+  const double unit = 0.5 * (1.0 + std::cos(2.0 * M_PI * hours / 24.0));
+  return config_.diurnal_trough_fraction +
+         (1.0 - config_.diurnal_trough_fraction) * unit;
+}
+
+void DemandGenerator::advance_processes(net::SimTime now) {
+  const double dt_minutes =
+      started_ ? (now - last_step_).seconds_value() / 60.0 : 0.0;
+  last_step_ = now;
+  started_ = true;
+  if (dt_minutes <= 0) return;
+
+  // AR(1) noise in log space, step-scaled.
+  const double a = std::pow(config_.noise_ar_coefficient, dt_minutes);
+  const double innovation_sigma =
+      config_.noise_sigma * std::sqrt(std::max(0.0, 1.0 - a * a));
+  for (double& state : noise_) {
+    state = a * state + rng_.normal(0.0, innovation_sigma);
+  }
+
+  if (!config_.enable_events) return;
+  // Expire finished events.
+  std::erase_if(events_, [&](const Event& e) { return e.until <= now; });
+  // New arrivals: Poisson with rate events_per_hour.
+  const double expected = config_.events_per_hour * dt_minutes / 60.0;
+  int arrivals = 0;
+  double threshold = std::exp(-expected);
+  double product = rng_.next_double();
+  while (product > threshold && arrivals < 8) {
+    ++arrivals;
+    product *= rng_.next_double();
+  }
+  for (int i = 0; i < arrivals; ++i) {
+    Event event;
+    event.client = static_cast<std::size_t>(rng_.uniform_int(
+        0, static_cast<std::int64_t>(world_->clients().size()) - 1));
+    event.multiplier = rng_.uniform(config_.event_multiplier_min,
+                                    config_.event_multiplier_max);
+    event.until =
+        now + net::SimTime::minutes(rng_.uniform(
+                  config_.event_duration_minutes_min,
+                  config_.event_duration_minutes_max));
+    events_.push_back(event);
+  }
+}
+
+telemetry::DemandMatrix DemandGenerator::build(net::SimTime now,
+                                               bool stochastic) const {
+  const topology::PopDef& pop = world_->pops()[pop_index_];
+  const double day_factor = diurnal(now);
+  const net::Bandwidth pop_peak = net::Bandwidth::gbps(pop.peak_gbps);
+
+  telemetry::DemandMatrix demand;
+  for (std::size_t c = 0; c < world_->clients().size(); ++c) {
+    double multiplier = day_factor * pop.client_share[c];
+    if (stochastic) {
+      multiplier *= std::exp(noise_[c]);
+      for (const Event& event : events_) {
+        if (event.client == c) multiplier *= event.multiplier;
+      }
+    }
+    const net::Bandwidth client_rate = pop_peak * multiplier;
+    const auto& prefixes = world_->clients()[c].prefixes;
+    for (std::size_t j = 0; j < prefixes.size(); ++j) {
+      demand.set(prefixes[j], client_rate * prefix_weights_[c][j]);
+    }
+  }
+  return demand;
+}
+
+telemetry::DemandMatrix DemandGenerator::step(net::SimTime now) {
+  advance_processes(now);
+  return build(now, /*stochastic=*/true);
+}
+
+telemetry::DemandMatrix DemandGenerator::baseline(net::SimTime now) const {
+  return build(now, /*stochastic=*/false);
+}
+
+}  // namespace ef::workload

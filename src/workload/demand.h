@@ -1,0 +1,86 @@
+// Traffic demand generation: per-prefix egress demand for one PoP over
+// simulated time.
+//
+// The shape matters more than absolute numbers: demand is Zipf-skewed
+// across clients (a few eyeball networks dominate), follows a diurnal
+// curve with a per-PoP phase (PoPs peak at local evening), carries smooth
+// multiplicative noise, and occasionally spikes (flash crowds / events) —
+// the peaks that push under-provisioned PNIs past capacity.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "net/rng.h"
+#include "net/units.h"
+#include "telemetry/traffic.h"
+#include "topology/world.h"
+
+namespace ef::workload {
+
+struct DemandConfig {
+  std::uint64_t seed = 7;
+
+  /// Trough demand as a fraction of peak (diurnal amplitude).
+  double diurnal_trough_fraction = 0.3;
+  /// Hours between successive PoPs' daily peaks.
+  double pop_phase_spread_hours = 6.0;
+
+  /// AR(1) multiplicative noise on each client's demand.
+  double noise_sigma = 0.05;
+  double noise_ar_coefficient = 0.9;
+
+  /// Flash-crowd events: Poisson arrivals per hour (per PoP); each event
+  /// multiplies one client's demand for a bounded duration.
+  double events_per_hour = 0.6;
+  double event_multiplier_min = 1.4;
+  double event_multiplier_max = 2.2;
+  double event_duration_minutes_min = 10;
+  double event_duration_minutes_max = 45;
+  bool enable_events = true;
+
+  /// Skew of traffic across a client's own prefixes.
+  double prefix_zipf_exponent = 0.8;
+};
+
+class DemandGenerator {
+ public:
+  DemandGenerator(const topology::World& world, std::size_t pop_index,
+                  DemandConfig config);
+
+  /// Demand at simulated time `now`. Call with non-decreasing times; the
+  /// noise and event processes advance with the clock.
+  telemetry::DemandMatrix step(net::SimTime now);
+
+  /// Deterministic demand with noise and events disabled — used by tests
+  /// that need exact expectations.
+  telemetry::DemandMatrix baseline(net::SimTime now) const;
+
+  /// Diurnal multiplier in [trough_fraction, 1] for this PoP at `now`.
+  double diurnal(net::SimTime now) const;
+
+  std::size_t active_events() const { return events_.size(); }
+
+ private:
+  struct Event {
+    std::size_t client;
+    double multiplier;
+    net::SimTime until;
+  };
+
+  telemetry::DemandMatrix build(net::SimTime now, bool stochastic) const;
+  void advance_processes(net::SimTime now);
+
+  const topology::World* world_;
+  std::size_t pop_index_;
+  DemandConfig config_;
+  net::Rng rng_;
+  // Per-client: noise state and per-prefix weight split.
+  std::vector<double> noise_;  // log-space AR(1) state
+  std::vector<std::vector<double>> prefix_weights_;
+  std::vector<Event> events_;
+  net::SimTime last_step_;
+  bool started_ = false;
+};
+
+}  // namespace ef::workload

@@ -1,0 +1,60 @@
+#include "workload/flowgen.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace ef::workload {
+
+void FlowGenerator::generate(const telemetry::DemandMatrix& demand,
+                             net::SimTime start, net::SimTime dt,
+                             const ResolveEgress& resolve, const Sink& sink) {
+  const double window_secs = dt.seconds_value();
+  if (window_secs <= 0) return;
+
+  const double total_bytes =
+      demand.total().bits_per_sec() * window_secs / 8.0;
+  if (total_bytes <= 0) return;
+
+  // Scale packet size up if the natural packet count would exceed the cap.
+  const double natural_packets =
+      total_bytes / static_cast<double>(config_.packet_bytes);
+  const double scale = std::max(
+      1.0, natural_packets / static_cast<double>(config_.max_packets_per_step));
+  const double macro_packet_bytes =
+      static_cast<double>(config_.packet_bytes) * scale;
+
+  demand.for_each([&](const net::Prefix& prefix, net::Bandwidth rate) {
+    const double bytes = rate.bits_per_sec() * window_secs / 8.0;
+    if (bytes <= 0) return;
+    const auto egress = resolve(prefix);
+    if (!egress) {
+      unroutable_bytes_ += static_cast<std::uint64_t>(bytes);
+      return;
+    }
+    // Number of macro packets: round stochastically so small prefixes
+    // still contribute the right bytes in expectation.
+    const double exact = bytes / macro_packet_bytes;
+    std::uint64_t count = static_cast<std::uint64_t>(exact);
+    if (rng_.bernoulli(exact - static_cast<double>(count))) ++count;
+
+    telemetry::FlowSample packet;
+    packet.src = config_.source;
+    packet.egress = *egress;
+    packet.packet_bytes = static_cast<std::uint32_t>(
+        std::min(macro_packet_bytes, 4e9));
+    for (std::uint64_t i = 0; i < count; ++i) {
+      // Spread destinations over the /24's hosts (or a hash for v6).
+      const std::uint32_t host =
+          static_cast<std::uint32_t>(rng_.uniform_int(1, 254));
+      packet.dst = prefix.family() == net::Family::kV4
+                       ? net::IpAddr::v4(prefix.address().v4_value() | host)
+                       : prefix.address();
+      packet.when =
+          start + net::SimTime::seconds(rng_.uniform(0.0, window_secs));
+      ++packets_;
+      sink(packet);
+    }
+  });
+}
+
+}  // namespace ef::workload

@@ -1,0 +1,273 @@
+#include <gtest/gtest.h>
+
+#include "altpath/advisor.h"
+#include "altpath/measurer.h"
+#include "altpath/perf_model.h"
+#include "altpath/policy_routing.h"
+#include "core/controller.h"
+#include "workload/demand.h"
+
+namespace ef::altpath {
+namespace {
+
+using net::Bandwidth;
+using net::SimTime;
+
+class AltPathTest : public ::testing::Test {
+ protected:
+  static topology::WorldConfig world_config() {
+    topology::WorldConfig config;
+    config.num_clients = 40;
+    config.num_pops = 2;
+    return config;
+  }
+
+  AltPathTest() : world_(topology::World::generate(world_config())), pop_(world_, 0) {}
+
+  net::Prefix multi_route_prefix(std::size_t min_routes = 3) const {
+    for (const net::Prefix& prefix : pop_.reachable_prefixes()) {
+      if (pop_.ranked_routes(prefix).size() >= min_routes) return prefix;
+    }
+    ADD_FAILURE() << "no prefix with enough routes";
+    return {};
+  }
+
+  topology::World world_;
+  topology::Pop pop_;
+};
+
+TEST_F(AltPathTest, PolicyRouterRankMapping) {
+  PolicyRouter policy(pop_);
+  const net::Prefix prefix = multi_route_prefix();
+  const auto ranked = pop_.ranked_routes(prefix);
+  EXPECT_EQ(policy.route(prefix, 0), pop_.collector().rib().best(prefix));
+  EXPECT_EQ(policy.natural_route(prefix, 0), ranked[0]);
+  EXPECT_EQ(policy.natural_route(prefix, 1), ranked[1]);
+  EXPECT_EQ(policy.route(prefix, 1), ranked[1]);
+  EXPECT_EQ(policy.path_count(prefix), ranked.size());
+  // Beyond the available paths: null.
+  EXPECT_EQ(policy.natural_route(prefix, static_cast<int>(ranked.size())),
+            nullptr);
+}
+
+TEST_F(AltPathTest, PolicyRouterExcludesControllerRoutes) {
+  core::Controller controller(pop_, {});
+  controller.connect();
+  workload::DemandGenerator gen(world_, 0, {});
+  controller.run_cycle(gen.baseline(SimTime::seconds(0)), SimTime::seconds(0));
+  ASSERT_FALSE(controller.active_overrides().empty());
+
+  PolicyRouter policy(pop_);
+  const auto& [prefix, override_entry] = *controller.active_overrides().begin();
+  // dscp 0 follows the override.
+  const bgp::Route* forwarding = policy.route(prefix, 0);
+  ASSERT_NE(forwarding, nullptr);
+  EXPECT_EQ(forwarding->peer_type, bgp::PeerType::kController);
+  // natural rank 0 is the pre-override preferred path.
+  const bgp::Route* natural = policy.natural_route(prefix, 0);
+  ASSERT_NE(natural, nullptr);
+  EXPECT_NE(natural->peer_type, bgp::PeerType::kController);
+}
+
+TEST_F(AltPathTest, DscpMarkerFractions) {
+  DscpMarker marker(0.01, 2, 42);
+  std::map<std::uint8_t, int> counts;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) ++counts[marker.mark()];
+  EXPECT_NEAR(static_cast<double>(counts[1]) / n, 0.01, 0.002);
+  EXPECT_NEAR(static_cast<double>(counts[2]) / n, 0.01, 0.002);
+  EXPECT_NEAR(static_cast<double>(counts[0]) / n, 0.98, 0.004);
+}
+
+TEST_F(AltPathTest, PerfModelBaseRttMatchesWorld) {
+  PerfModel model(pop_);
+  const net::Prefix prefix = multi_route_prefix();
+  const bgp::Route* best = pop_.collector().rib().best(prefix);
+  const auto egress = pop_.egress_of_route(*best);
+  ASSERT_TRUE(egress.has_value());
+  const auto client = world_.client_of_prefix(prefix);
+  ASSERT_TRUE(client.has_value());
+
+  const auto rtt = model.rtt_ms(prefix, *best);
+  ASSERT_TRUE(rtt.has_value());
+  EXPECT_DOUBLE_EQ(*rtt,
+                   world_.path_rtt_ms(0, egress->peering, *client));
+}
+
+TEST_F(AltPathTest, PerfModelCongestionPenalty) {
+  PerfModelConfig config;
+  config.congestion_knee = 0.9;
+  config.congestion_slope_ms = 400;
+  PerfModel model(pop_, config);
+
+  const net::Prefix prefix = multi_route_prefix();
+  const bgp::Route* best = pop_.collector().rib().best(prefix);
+  const auto egress = pop_.egress_of_route(*best);
+  ASSERT_TRUE(egress.has_value());
+  const double base = *model.rtt_ms(prefix, *best);
+
+  // Load the egress interface to 100%: penalty = (1.0-0.9)*400 = 40ms.
+  std::map<telemetry::InterfaceId, Bandwidth> load;
+  load[egress->interface] = pop_.interfaces().capacity(egress->interface);
+  model.set_interface_load(load);
+  EXPECT_NEAR(*model.rtt_ms(prefix, *best), base + 40.0, 1e-6);
+  EXPECT_NEAR(model.utilization(egress->interface), 1.0, 1e-12);
+  EXPECT_DOUBLE_EQ(model.loss_rate(egress->interface), 0);
+
+  // 25% over capacity: loss appears.
+  load[egress->interface] =
+      pop_.interfaces().capacity(egress->interface) * 1.25;
+  model.set_interface_load(load);
+  EXPECT_NEAR(model.loss_rate(egress->interface), 0.2, 1e-12);
+}
+
+TEST_F(AltPathTest, PenaltyIsCapped) {
+  PerfModelConfig config;
+  config.max_penalty_ms = 50;
+  PerfModel model(pop_, config);
+  const net::Prefix prefix = multi_route_prefix();
+  const bgp::Route* best = pop_.collector().rib().best(prefix);
+  const auto egress = pop_.egress_of_route(*best);
+  const double base = *model.rtt_ms(prefix, *best);
+  std::map<telemetry::InterfaceId, Bandwidth> load;
+  load[egress->interface] = pop_.interfaces().capacity(egress->interface) * 5;
+  model.set_interface_load(load);
+  EXPECT_NEAR(*model.rtt_ms(prefix, *best), base + 50.0, 1e-6);
+}
+
+TEST_F(AltPathTest, MeasurerMediansTrackGroundTruth) {
+  PerfModel model(pop_);
+  MeasurerConfig config;
+  config.noise_ms = 1.0;
+  AltPathMeasurer measurer(pop_, model, config);
+
+  const net::Prefix prefix = multi_route_prefix();
+  telemetry::DemandMatrix demand;
+  demand.set(prefix, Bandwidth::mbps(100));
+  for (int round = 0; round < 8; ++round) {
+    measurer.run_round(demand, SimTime::seconds(round * 30));
+  }
+  EXPECT_GT(measurer.observations(), 0u);
+
+  for (int rank = 0; rank < 2; ++rank) {
+    const bgp::Route* route = PolicyRouter(pop_).natural_route(prefix, rank);
+    ASSERT_NE(route, nullptr);
+    const double truth = *model.rtt_ms(prefix, *route);
+    const auto report = measurer.report(prefix, rank);
+    ASSERT_TRUE(report.has_value()) << "rank " << rank;
+    EXPECT_NEAR(report->median_rtt_ms, truth, 1.5) << "rank " << rank;
+    EXPECT_GE(report->p90_rtt_ms, report->median_rtt_ms);
+  }
+}
+
+TEST_F(AltPathTest, AltMinusPrimaryMostlyPositiveUncongested) {
+  // Without congestion, the preferred path is usually also the faster
+  // one (peers beat transit in the ground-truth model).
+  PerfModel model(pop_);
+  AltPathMeasurer measurer(pop_, model, {});
+  telemetry::DemandMatrix demand;
+  for (const net::Prefix& prefix : pop_.reachable_prefixes()) {
+    demand.set(prefix, Bandwidth::mbps(50));
+  }
+  for (int round = 0; round < 4; ++round) {
+    measurer.run_round(demand, SimTime::seconds(round * 30));
+  }
+  const auto diffs = measurer.alt_minus_primary(1, 4);
+  ASSERT_GT(diffs.size(), 10u);
+  std::size_t positive = 0;
+  for (const auto& [prefix, diff] : diffs) {
+    if (diff > 0) ++positive;
+  }
+  EXPECT_GT(static_cast<double>(positive) / static_cast<double>(diffs.size()),
+            0.5);
+}
+
+TEST_F(AltPathTest, AdvisorSilentWithoutCongestion) {
+  PerfModel model(pop_);
+  AltPathMeasurer measurer(pop_, model, {});
+  telemetry::DemandMatrix demand;
+  const net::Prefix prefix = multi_route_prefix();
+  demand.set(prefix, Bandwidth::mbps(100));
+  for (int round = 0; round < 8; ++round) {
+    measurer.run_round(demand, SimTime::seconds(round * 30));
+  }
+  PerfAwareAdvisor advisor(pop_, measurer, {});
+  // Peers beat alternates on base RTT, so no recommendation expected for
+  // this (uncongested, peer-preferred) prefix.
+  const auto recommendations = advisor.advise(demand);
+  for (const auto& rec : recommendations) {
+    EXPECT_NE(rec.prefix, prefix);
+  }
+}
+
+TEST_F(AltPathTest, AdvisorSteersAwayFromCongestedPrimary) {
+  PerfModel model(pop_);
+  MeasurerConfig mconfig;
+  mconfig.noise_ms = 0.5;
+  AltPathMeasurer measurer(pop_, model, mconfig);
+
+  const net::Prefix prefix = multi_route_prefix();
+  const bgp::Route* primary = PolicyRouter(pop_).natural_route(prefix, 0);
+  const auto egress = pop_.egress_of_route(*primary);
+  ASSERT_TRUE(egress.has_value());
+
+  // Congest the primary's interface hard: +100ms queueing.
+  std::map<telemetry::InterfaceId, Bandwidth> load;
+  load[egress->interface] =
+      pop_.interfaces().capacity(egress->interface) * 1.15;
+  model.set_interface_load(load);
+
+  telemetry::DemandMatrix demand;
+  demand.set(prefix, Bandwidth::mbps(100));
+  for (int round = 0; round < 8; ++round) {
+    measurer.run_round(demand, SimTime::seconds(round * 30));
+  }
+
+  PerfAwareAdvisor advisor(pop_, measurer, {});
+  const auto recommendations = advisor.advise(demand);
+  ASSERT_EQ(recommendations.size(), 1u);
+  EXPECT_EQ(recommendations[0].prefix, prefix);
+  EXPECT_NE(recommendations[0].target_interface, egress->interface);
+  EXPECT_EQ(recommendations[0].from_interface, egress->interface);
+}
+
+TEST_F(AltPathTest, EndToEndPerfAwareControllerImprovesRtt) {
+  PerfModel model(pop_);
+  MeasurerConfig mconfig;
+  mconfig.noise_ms = 0.5;
+  AltPathMeasurer measurer(pop_, model, mconfig);
+
+  const net::Prefix prefix = multi_route_prefix();
+  const bgp::Route* primary = PolicyRouter(pop_).natural_route(prefix, 0);
+  const auto primary_egress = pop_.egress_of_route(*primary);
+  std::map<telemetry::InterfaceId, Bandwidth> load;
+  load[primary_egress->interface] =
+      pop_.interfaces().capacity(primary_egress->interface) * 1.2;
+  model.set_interface_load(load);
+
+  telemetry::DemandMatrix demand;
+  demand.set(prefix, Bandwidth::mbps(100));
+  for (int round = 0; round < 8; ++round) {
+    measurer.run_round(demand, SimTime::seconds(round * 30));
+  }
+
+  core::Controller controller(pop_, {});
+  controller.connect();
+  PerfAwareAdvisor advisor(pop_, measurer, {});
+  controller.set_advisor([&](const core::AllocationResult&) {
+    return advisor.advise(demand);
+  });
+  const auto stats = controller.run_cycle(demand, SimTime::seconds(300));
+  EXPECT_EQ(stats.perf_overrides, 1u);
+
+  // Forwarding now uses a faster path than the congested primary.
+  const bgp::Route* now = pop_.collector().rib().best(prefix);
+  ASSERT_NE(now, nullptr);
+  EXPECT_EQ(now->peer_type, bgp::PeerType::kController);
+  const double rtt_now = *model.rtt_ms(prefix, *now);
+  const double rtt_primary = *model.rtt_ms(prefix, *primary);
+  EXPECT_LT(rtt_now, rtt_primary);
+}
+
+}  // namespace
+}  // namespace ef::altpath

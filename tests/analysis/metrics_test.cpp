@@ -1,0 +1,200 @@
+#include "analysis/metrics.h"
+#include "analysis/cost.h"
+
+#include <gtest/gtest.h>
+
+namespace ef::analysis {
+namespace {
+
+using net::Bandwidth;
+using net::SimTime;
+using telemetry::InterfaceId;
+
+telemetry::InterfaceRegistry two_interfaces() {
+  telemetry::InterfaceRegistry registry;
+  registry.add(InterfaceId(0), Bandwidth::gbps(10));
+  registry.add(InterfaceId(1), Bandwidth::gbps(10));
+  return registry;
+}
+
+TEST(UtilizationTracker, RecordsSamplesForAllInterfaces) {
+  const auto registry = two_interfaces();
+  UtilizationTracker tracker(registry);
+  std::map<InterfaceId, Bandwidth> load;
+  load[InterfaceId(0)] = Bandwidth::gbps(5);
+  // Interface 1 absent from the map -> treated as idle.
+  tracker.record(SimTime::seconds(0), load);
+  EXPECT_EQ(tracker.utilization_samples().count(), 2u);
+  EXPECT_DOUBLE_EQ(tracker.utilization_samples().percentile(100), 0.5);
+  EXPECT_DOUBLE_EQ(tracker.peak_utilization().at(InterfaceId(1)), 0.0);
+}
+
+TEST(UtilizationTracker, OverloadedFraction) {
+  const auto registry = two_interfaces();
+  UtilizationTracker tracker(registry);
+  for (int step = 0; step < 10; ++step) {
+    std::map<InterfaceId, Bandwidth> load;
+    // Interface 0 overloads in 3 of 10 steps; interface 1 never.
+    load[InterfaceId(0)] = Bandwidth::gbps(step < 3 ? 12 : 5);
+    load[InterfaceId(1)] = Bandwidth::gbps(1);
+    tracker.record(SimTime::seconds(step * 60), load);
+  }
+  EXPECT_NEAR(tracker.overloaded_fraction(1.0), 3.0 / 20.0, 1e-9);
+}
+
+TEST(UtilizationTracker, EpisodesCoalesceContiguousOverload) {
+  const auto registry = two_interfaces();
+  UtilizationTracker tracker(registry);
+  // Pattern on iface 0: over in steps 1,2,3 and 6; iface 1 quiet.
+  const double gbps_by_step[] = {5, 12, 13, 12, 5, 5, 11, 5};
+  for (int step = 0; step < 8; ++step) {
+    std::map<InterfaceId, Bandwidth> load;
+    load[InterfaceId(0)] = Bandwidth::gbps(gbps_by_step[step]);
+    tracker.record(SimTime::seconds(step * 60), load);
+  }
+  const auto episodes = tracker.episodes(1.0);
+  ASSERT_EQ(episodes.size(), 2u);
+  EXPECT_EQ(episodes[0].start, SimTime::seconds(60));
+  EXPECT_EQ(episodes[0].end, SimTime::seconds(240));
+  EXPECT_NEAR(episodes[0].peak_utilization, 1.3, 1e-9);
+  EXPECT_GT(episodes[0].excess_bits, 0);
+  EXPECT_EQ(episodes[1].start, SimTime::seconds(360));
+}
+
+TEST(UtilizationTracker, EpisodeOpenAtEndIsClosed) {
+  const auto registry = two_interfaces();
+  UtilizationTracker tracker(registry);
+  for (int step = 0; step < 3; ++step) {
+    std::map<InterfaceId, Bandwidth> load;
+    load[InterfaceId(0)] = Bandwidth::gbps(12);  // always over
+    tracker.record(SimTime::seconds(step * 60), load);
+  }
+  const auto episodes = tracker.episodes(1.0);
+  ASSERT_EQ(episodes.size(), 1u);
+  EXPECT_EQ(episodes[0].start, SimTime::seconds(0));
+}
+
+TEST(UtilizationTracker, ExcessTrafficFraction) {
+  const auto registry = two_interfaces();
+  UtilizationTracker tracker(registry);
+  std::map<InterfaceId, Bandwidth> load;
+  load[InterfaceId(0)] = Bandwidth::gbps(12);  // 2G over a 10G port
+  tracker.record(SimTime::seconds(0), load);
+  tracker.record(SimTime::seconds(60), load);
+  // One 60s interval of 12G offered, 2G excess.
+  EXPECT_NEAR(tracker.excess_traffic_fraction(), 2.0 / 12.0, 1e-9);
+}
+
+core::CycleStats cycle_with(std::size_t active) {
+  core::CycleStats stats;
+  stats.overrides_active = active;
+  return stats;
+}
+
+core::Override make_override(const char* prefix, double gbps,
+                             bgp::PeerType target) {
+  core::Override override_entry;
+  override_entry.prefix = *net::Prefix::parse(prefix);
+  override_entry.rate = Bandwidth::gbps(gbps);
+  override_entry.target_type = target;
+  return override_entry;
+}
+
+TEST(DetourTracker, FractionAndTargets) {
+  DetourTracker tracker;
+  std::map<net::Prefix, core::Override> active;
+  active[*net::Prefix::parse("100.1.0.0/24")] =
+      make_override("100.1.0.0/24", 1.0, bgp::PeerType::kTransit);
+  active[*net::Prefix::parse("100.2.0.0/24")] =
+      make_override("100.2.0.0/24", 1.0, bgp::PeerType::kPublicPeer);
+  tracker.record_cycle(cycle_with(2), active, Bandwidth::gbps(10));
+
+  EXPECT_DOUBLE_EQ(tracker.detoured_fraction().percentile(50), 0.2);
+  EXPECT_DOUBLE_EQ(tracker.override_counts().percentile(50), 2.0);
+  EXPECT_EQ(tracker.target_counts().at(bgp::PeerType::kTransit), 1u);
+  EXPECT_EQ(tracker.target_counts().at(bgp::PeerType::kPublicPeer), 1u);
+  EXPECT_EQ(tracker.cycles(), 1u);
+}
+
+TEST(DetourTracker, LifetimesAndFlaps) {
+  DetourTracker tracker;
+  const net::Prefix prefix = *net::Prefix::parse("100.1.0.0/24");
+  std::map<net::Prefix, core::Override> with;
+  with[prefix] = make_override("100.1.0.0/24", 1.0, bgp::PeerType::kTransit);
+  std::map<net::Prefix, core::Override> without;
+
+  // Active for cycles 1-3, gone in 4, back in 5, gone in 6.
+  tracker.record_cycle(cycle_with(1), with, Bandwidth::gbps(10));
+  tracker.record_cycle(cycle_with(1), with, Bandwidth::gbps(10));
+  tracker.record_cycle(cycle_with(1), with, Bandwidth::gbps(10));
+  tracker.record_cycle(cycle_with(0), without, Bandwidth::gbps(10));
+  tracker.record_cycle(cycle_with(1), with, Bandwidth::gbps(10));
+  tracker.record_cycle(cycle_with(0), without, Bandwidth::gbps(10));
+
+  EXPECT_EQ(tracker.override_lifetime_cycles().count(), 2u);
+  EXPECT_DOUBLE_EQ(tracker.override_lifetime_cycles().percentile(100), 3.0);
+  EXPECT_DOUBLE_EQ(tracker.override_lifetime_cycles().percentile(0), 1.0);
+  EXPECT_EQ(tracker.flapping_prefixes(), 1u);
+  EXPECT_EQ(tracker.total_overridden_prefixes(), 1u);
+}
+
+TEST(DetourTracker, NoFlapsForStableOverride) {
+  DetourTracker tracker;
+  std::map<net::Prefix, core::Override> active;
+  active[*net::Prefix::parse("100.1.0.0/24")] =
+      make_override("100.1.0.0/24", 1.0, bgp::PeerType::kTransit);
+  for (int cycle = 0; cycle < 5; ++cycle) {
+    tracker.record_cycle(cycle_with(1), active, Bandwidth::gbps(10));
+  }
+  EXPECT_EQ(tracker.flapping_prefixes(), 0u);
+  EXPECT_EQ(tracker.override_lifetime_cycles().count(), 0u);  // still open
+}
+
+TEST(CostModel, P95Billing) {
+  std::map<InterfaceId, bgp::PeerType> roles;
+  roles[InterfaceId(0)] = bgp::PeerType::kTransit;
+  roles[InterfaceId(1)] = bgp::PeerType::kPrivatePeer;
+  roles[InterfaceId(2)] = bgp::PeerType::kPublicPeer;
+  CostConfig config;
+  config.transit_dollars_per_mbps = 1.0;
+  config.pni_port_dollars = 100;
+  config.ixp_port_dollars = 200;
+  CostModel cost(config, roles);
+
+  // 100 samples: transit at 1000 Mbps for 96 samples, 9000 Mbps for 4 —
+  // a burst in under 5% of samples escapes 95th-percentile billing
+  // (that is the point of p95 billing).
+  for (int i = 0; i < 100; ++i) {
+    std::map<InterfaceId, net::Bandwidth> load;
+    load[InterfaceId(0)] =
+        i < 96 ? net::Bandwidth::mbps(1000) : net::Bandwidth::mbps(9000);
+    load[InterfaceId(1)] = net::Bandwidth::gbps(50);  // peering is flat-fee
+    cost.sample(load);
+  }
+  EXPECT_EQ(cost.samples(), 100u);
+  const auto bill = cost.bill();
+  EXPECT_LT(bill.transit_p95_mbps, 6000);  // burst largely escapes billing
+  EXPECT_GE(bill.transit_p95_mbps, 1000);
+  EXPECT_DOUBLE_EQ(bill.port_dollars, 300);  // 100 PNI + 200 IXP
+  EXPECT_DOUBLE_EQ(bill.total_dollars(),
+                   bill.transit_dollars + bill.port_dollars);
+}
+
+TEST(CostModel, MissingInterfaceSamplesAsZero) {
+  std::map<InterfaceId, bgp::PeerType> roles;
+  roles[InterfaceId(0)] = bgp::PeerType::kTransit;
+  CostModel cost({}, roles);
+  cost.sample({});  // no load entry for the transit port
+  EXPECT_DOUBLE_EQ(cost.p95_mbps(InterfaceId(0)), 0);
+  EXPECT_DOUBLE_EQ(cost.bill().transit_dollars, 0);
+}
+
+TEST(TablePrinter, Formatting) {
+  EXPECT_EQ(TablePrinter::fmt(3.14159, 2), "3.14");
+  EXPECT_EQ(TablePrinter::fmt(3.0, 0), "3");
+  EXPECT_EQ(TablePrinter::pct(0.123, 1), "12.3%");
+  EXPECT_EQ(TablePrinter::pct(1.0, 0), "100%");
+}
+
+}  // namespace
+}  // namespace ef::analysis

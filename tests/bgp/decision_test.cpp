@@ -1,0 +1,209 @@
+#include "bgp/decision.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "net/rng.h"
+
+namespace ef::bgp {
+namespace {
+
+Route make_route(std::uint32_t peer, std::uint32_t local_pref,
+                 std::size_t path_len) {
+  Route route;
+  route.prefix = *net::Prefix::parse("203.0.113.0/24");
+  route.learned_from = PeerId(peer);
+  route.neighbor_as = AsNumber(1000 + peer);
+  route.neighbor_router_id = RouterId(peer);
+  route.attrs.local_pref = LocalPref(local_pref);
+  route.attrs.has_local_pref = true;
+  std::vector<AsNumber> path;
+  for (std::size_t i = 0; i < path_len; ++i) {
+    path.emplace_back(static_cast<std::uint32_t>(100 + i));
+  }
+  route.attrs.as_path = AsPath(path);
+  route.learned_at = net::SimTime::seconds(static_cast<double>(peer));
+  return route;
+}
+
+TEST(Decision, HigherLocalPrefWins) {
+  Route a = make_route(1, 300, 5);
+  Route b = make_route(2, 200, 1);  // shorter path but lower pref
+  DecisionStep step;
+  EXPECT_LT(compare_routes(a, b, {}, &step), 0);
+  EXPECT_EQ(step, DecisionStep::kLocalPref);
+}
+
+TEST(Decision, ShorterAsPathBreaksTie) {
+  Route a = make_route(1, 300, 2);
+  Route b = make_route(2, 300, 3);
+  DecisionStep step;
+  EXPECT_LT(compare_routes(a, b, {}, &step), 0);
+  EXPECT_EQ(step, DecisionStep::kAsPathLength);
+}
+
+TEST(Decision, LowerOriginBreaksTie) {
+  Route a = make_route(1, 300, 2);
+  Route b = make_route(2, 300, 2);
+  a.attrs.origin = Origin::kIgp;
+  b.attrs.origin = Origin::kIncomplete;
+  DecisionStep step;
+  EXPECT_LT(compare_routes(a, b, {}, &step), 0);
+  EXPECT_EQ(step, DecisionStep::kOrigin);
+}
+
+TEST(Decision, MedComparedOnlyWithinSameNeighborAs) {
+  Route a = make_route(1, 300, 2);
+  Route b = make_route(2, 300, 2);
+  a.attrs.med = Med(10);
+  a.attrs.has_med = true;
+  b.attrs.med = Med(5);
+  b.attrs.has_med = true;
+
+  // Different neighbor AS: MED skipped, falls through to route age.
+  DecisionStep step;
+  compare_routes(a, b, {}, &step);
+  EXPECT_NE(step, DecisionStep::kMed);
+
+  // Same neighbor AS: lower MED wins.
+  b.neighbor_as = a.neighbor_as;
+  EXPECT_GT(compare_routes(a, b, {}, &step), 0);  // b (med 5) is better
+  EXPECT_EQ(step, DecisionStep::kMed);
+}
+
+TEST(Decision, AlwaysCompareMedConfig) {
+  Route a = make_route(1, 300, 2);
+  Route b = make_route(2, 300, 2);
+  a.attrs.med = Med(10);
+  a.attrs.has_med = true;
+  b.attrs.med = Med(5);
+  b.attrs.has_med = true;
+  DecisionConfig config;
+  config.compare_med_across_as = true;
+  DecisionStep step;
+  EXPECT_GT(compare_routes(a, b, config, &step), 0);
+  EXPECT_EQ(step, DecisionStep::kMed);
+}
+
+TEST(Decision, MissingMedTreatedAsZero) {
+  Route a = make_route(1, 300, 2);
+  Route b = make_route(2, 300, 2);
+  b.neighbor_as = a.neighbor_as;
+  b.attrs.med = Med(5);
+  b.attrs.has_med = true;  // a has no MED -> 0 -> a wins
+  DecisionStep step;
+  EXPECT_LT(compare_routes(a, b, {}, &step), 0);
+  EXPECT_EQ(step, DecisionStep::kMed);
+}
+
+TEST(Decision, OlderRouteWins) {
+  Route a = make_route(1, 300, 2);
+  Route b = make_route(2, 300, 2);
+  a.learned_at = net::SimTime::seconds(100);
+  b.learned_at = net::SimTime::seconds(10);
+  DecisionStep step;
+  EXPECT_GT(compare_routes(a, b, {}, &step), 0);  // b is older
+  EXPECT_EQ(step, DecisionStep::kRouteAge);
+}
+
+TEST(Decision, RouteAgeCanBeDisabled) {
+  Route a = make_route(1, 300, 2);
+  Route b = make_route(2, 300, 2);
+  a.learned_at = net::SimTime::seconds(100);
+  b.learned_at = net::SimTime::seconds(10);
+  a.neighbor_router_id = RouterId(1);
+  b.neighbor_router_id = RouterId(2);
+  DecisionConfig config;
+  config.prefer_oldest = false;
+  DecisionStep step;
+  EXPECT_LT(compare_routes(a, b, config, &step), 0);  // lower router id
+  EXPECT_EQ(step, DecisionStep::kRouterId);
+}
+
+TEST(Decision, RouterIdThenPeerIdAreFinalTiebreaks) {
+  Route a = make_route(1, 300, 2);
+  Route b = make_route(2, 300, 2);
+  a.learned_at = b.learned_at;
+  a.neighbor_router_id = RouterId(5);
+  b.neighbor_router_id = RouterId(9);
+  DecisionStep step;
+  EXPECT_LT(compare_routes(a, b, {}, &step), 0);
+  EXPECT_EQ(step, DecisionStep::kRouterId);
+
+  b.neighbor_router_id = a.neighbor_router_id;
+  EXPECT_LT(compare_routes(a, b, {}, &step), 0);  // peer 1 < peer 2
+  EXPECT_EQ(step, DecisionStep::kPeerId);
+}
+
+TEST(Decision, ComparisonIsAntisymmetric) {
+  Route a = make_route(1, 300, 2);
+  Route b = make_route(2, 250, 1);
+  EXPECT_LT(compare_routes(a, b, {}), 0);
+  EXPECT_GT(compare_routes(b, a, {}), 0);
+}
+
+TEST(Decision, SelectBestEmptyAndSingle) {
+  EXPECT_FALSE(select_best({}, {}).has_best());
+  std::vector<Route> one{make_route(1, 100, 1)};
+  const auto result = select_best(one, {});
+  EXPECT_EQ(result.best_index, 0u);
+  EXPECT_EQ(result.deciding_step, DecisionStep::kNoChoice);
+}
+
+TEST(Decision, SelectBestReportsDeepestStep) {
+  std::vector<Route> routes{make_route(1, 300, 2), make_route(2, 300, 2),
+                            make_route(3, 200, 1)};
+  routes[0].learned_at = routes[1].learned_at;
+  routes[0].neighbor_router_id = RouterId(1);
+  routes[1].neighbor_router_id = RouterId(2);
+  const auto result = select_best(routes, {});
+  EXPECT_EQ(result.best_index, 0u);
+  // Beating route 2 required the router-id step.
+  EXPECT_GE(result.deciding_step, DecisionStep::kRouterId);
+}
+
+TEST(Decision, RankRoutesOrdersBestFirst) {
+  std::vector<Route> routes{make_route(1, 200, 1), make_route(2, 340, 4),
+                            make_route(3, 340, 2), make_route(4, 320, 1)};
+  const auto order = rank_routes(routes, {});
+  ASSERT_EQ(order.size(), 4u);
+  EXPECT_EQ(order[0], 2u);  // lp 340, shorter path
+  EXPECT_EQ(order[1], 1u);  // lp 340, longer path
+  EXPECT_EQ(order[2], 3u);  // lp 320
+  EXPECT_EQ(order[3], 0u);  // lp 200
+}
+
+// Property: the winner must not depend on candidate order.
+class OrderIndependence : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(OrderIndependence, SelectBestStable) {
+  net::Rng rng(GetParam());
+  std::vector<Route> routes;
+  for (std::uint32_t i = 1; i <= 8; ++i) {
+    Route route = make_route(
+        i, static_cast<std::uint32_t>(rng.uniform_int(1, 4)) * 100,
+        static_cast<std::size_t>(rng.uniform_int(1, 4)));
+    route.learned_at =
+        net::SimTime::seconds(static_cast<double>(rng.uniform_int(0, 3)));
+    routes.push_back(route);
+  }
+  const auto baseline = select_best(routes, {});
+  const PeerId winner = routes[baseline.best_index].learned_from;
+
+  for (int shuffle = 0; shuffle < 20; ++shuffle) {
+    for (std::size_t j = routes.size(); j > 1; --j) {
+      const std::size_t k = static_cast<std::size_t>(
+          rng.uniform_int(0, static_cast<std::int64_t>(j) - 1));
+      std::swap(routes[j - 1], routes[k]);
+    }
+    const auto result = select_best(routes, {});
+    EXPECT_EQ(routes[result.best_index].learned_from, winner);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, OrderIndependence,
+                         ::testing::Values(11, 22, 33, 44, 55, 66));
+
+}  // namespace
+}  // namespace ef::bgp

@@ -1,0 +1,228 @@
+#include "bgp/policy.h"
+
+#include <gtest/gtest.h>
+
+namespace ef::bgp {
+namespace {
+
+constexpr AsNumber kLocalAs{32934};
+
+Route incoming(PeerType type, std::vector<AsNumber> path) {
+  Route route;
+  route.prefix = *net::Prefix::parse("100.1.0.0/24");
+  route.peer_type = type;
+  route.neighbor_as = path.empty() ? AsNumber(65000) : path.front();
+  route.attrs.as_path = AsPath(std::move(path));
+  return route;
+}
+
+ImportPolicyConfig default_config() {
+  ImportPolicyConfig config;
+  config.local_as = kLocalAs;
+  return config;
+}
+
+TEST(ImportPolicy, StampsLadderLocalPref) {
+  ImportPolicy policy(default_config());
+  auto is_lp = [&](PeerType type, std::uint32_t expected) {
+    auto route = policy.apply(incoming(type, {AsNumber(65000)}));
+    ASSERT_TRUE(route.has_value());
+    EXPECT_EQ(route->attrs.local_pref.value(), expected)
+        << peer_type_name(type);
+    EXPECT_TRUE(route->attrs.has_local_pref);
+  };
+  is_lp(PeerType::kPrivatePeer, 340);
+  is_lp(PeerType::kPublicPeer, 320);
+  is_lp(PeerType::kRouteServer, 300);
+  is_lp(PeerType::kTransit, 200);
+}
+
+TEST(ImportPolicy, LadderOrderMakesPeersBeatTransit) {
+  const ImportPolicyConfig config = default_config();
+  for (int i = 0; i + 1 < kNumEgressPeerTypes; ++i) {
+    EXPECT_GT(config.type_local_pref[i], config.type_local_pref[i + 1])
+        << "ladder must strictly prefer type " << i;
+  }
+}
+
+TEST(ImportPolicy, TagsIngressTypeCommunity) {
+  ImportPolicy policy(default_config());
+  auto route = policy.apply(incoming(PeerType::kTransit, {AsNumber(3356)}));
+  ASSERT_TRUE(route.has_value());
+  EXPECT_TRUE(route->attrs.has_community(
+      peer_type_community(PeerType::kTransit)));
+  EXPECT_EQ(tagged_peer_type(route->attrs), PeerType::kTransit);
+}
+
+TEST(ImportPolicy, RejectsAsPathLoop) {
+  ImportPolicy policy(default_config());
+  auto route =
+      policy.apply(incoming(PeerType::kTransit, {AsNumber(3356), kLocalAs}));
+  EXPECT_FALSE(route.has_value());
+}
+
+TEST(ImportPolicy, StripsLocalPrefFromEbgpNeighbors) {
+  ImportPolicy policy(default_config());
+  Route route = incoming(PeerType::kPrivatePeer, {AsNumber(65000)});
+  route.attrs.local_pref = LocalPref(9999);  // neighbor tries to cheat
+  route.attrs.has_local_pref = true;
+  auto accepted = policy.apply(route);
+  ASSERT_TRUE(accepted.has_value());
+  EXPECT_EQ(accepted->attrs.local_pref.value(), 340u);
+}
+
+TEST(ImportPolicy, ControllerSessionKeepsLocalPref) {
+  ImportPolicy policy(default_config());
+  Route route = incoming(PeerType::kController, {AsNumber(65000)});
+  route.attrs.local_pref = LocalPref(1000);
+  route.attrs.has_local_pref = true;
+  auto accepted = policy.apply(route);
+  ASSERT_TRUE(accepted.has_value());
+  EXPECT_EQ(accepted->attrs.local_pref.value(), 1000u);
+}
+
+TEST(ImportPolicy, ControllerLocalPrefCanBeDisallowed) {
+  ImportPolicyConfig config = default_config();
+  config.accept_controller_local_pref = false;
+  ImportPolicy policy(config);
+  Route route = incoming(PeerType::kController, {AsNumber(65000)});
+  route.attrs.local_pref = LocalPref(1000);
+  route.attrs.has_local_pref = true;
+  auto accepted = policy.apply(route);
+  ASSERT_TRUE(accepted.has_value());
+  EXPECT_EQ(accepted->attrs.local_pref.value(), 100u);
+}
+
+TEST(ImportPolicy, RejectRuleDropsRoute) {
+  ImportPolicyConfig config = default_config();
+  PolicyRule rule;
+  rule.match.peer_type = PeerType::kTransit;
+  rule.action.reject = true;
+  config.rules.push_back(rule);
+  ImportPolicy policy(config);
+  EXPECT_FALSE(policy.apply(incoming(PeerType::kTransit, {AsNumber(3356)}))
+                   .has_value());
+  EXPECT_TRUE(policy.apply(incoming(PeerType::kPublicPeer, {AsNumber(65000)}))
+                  .has_value());
+}
+
+TEST(ImportPolicy, PrefixScopedRule) {
+  ImportPolicyConfig config = default_config();
+  PolicyRule rule;
+  rule.match.prefix_within = *net::Prefix::parse("100.0.0.0/8");
+  rule.action.set_local_pref = LocalPref(50);
+  config.rules.push_back(rule);
+  ImportPolicy policy(config);
+
+  auto inside = policy.apply(incoming(PeerType::kTransit, {AsNumber(3356)}));
+  ASSERT_TRUE(inside.has_value());
+  EXPECT_EQ(inside->attrs.local_pref.value(), 50u);
+
+  Route outside = incoming(PeerType::kTransit, {AsNumber(3356)});
+  outside.prefix = *net::Prefix::parse("200.1.0.0/24");
+  auto accepted = policy.apply(outside);
+  ASSERT_TRUE(accepted.has_value());
+  EXPECT_EQ(accepted->attrs.local_pref.value(), 200u);  // default transit
+}
+
+TEST(ImportPolicy, CommunityMatchAndAdd) {
+  ImportPolicyConfig config = default_config();
+  const Community trigger(65000, 666);
+  const Community added(32934, 42);
+  PolicyRule rule;
+  rule.match.has_community = trigger;
+  rule.action.add_communities = {added};
+  config.rules.push_back(rule);
+  ImportPolicy policy(config);
+
+  Route route = incoming(PeerType::kPublicPeer, {AsNumber(65000)});
+  route.attrs.communities.push_back(trigger);
+  auto accepted = policy.apply(route);
+  ASSERT_TRUE(accepted.has_value());
+  EXPECT_TRUE(accepted->attrs.has_community(added));
+}
+
+TEST(ImportPolicy, PrependRule) {
+  ImportPolicyConfig config = default_config();
+  PolicyRule rule;
+  rule.match.peer_type = PeerType::kPublicPeer;
+  rule.action.prepend_count = 2;
+  config.rules.push_back(rule);
+  ImportPolicy policy(config);
+  auto route =
+      policy.apply(incoming(PeerType::kPublicPeer, {AsNumber(65000)}));
+  ASSERT_TRUE(route.has_value());
+  EXPECT_EQ(route->attrs.as_path.length(), 3u);
+  EXPECT_EQ(route->attrs.as_path.first(), AsNumber(65000));
+}
+
+TEST(ExportPolicy, StubNetworkNeverReExportsToEbgp) {
+  ExportPolicy policy(ExportPolicyConfig{kLocalAs, {}});
+  Route learned = incoming(PeerType::kPrivatePeer, {AsNumber(65000)});
+  EXPECT_FALSE(policy.should_export(learned, PeerType::kPrivatePeer));
+  EXPECT_FALSE(policy.should_export(learned, PeerType::kTransit));
+  EXPECT_TRUE(policy.should_export(learned, PeerType::kInternal));
+  EXPECT_TRUE(policy.should_export(learned, PeerType::kController));
+}
+
+TEST(ExportPolicy, OriginatedPrefixesGoEverywhere) {
+  const net::Prefix own = *net::Prefix::parse("157.240.0.0/16");
+  ExportPolicy policy(ExportPolicyConfig{kLocalAs, {own}});
+  Route route;
+  route.prefix = own;
+  EXPECT_TRUE(policy.should_export(route, PeerType::kTransit));
+  EXPECT_TRUE(policy.should_export(route, PeerType::kPrivatePeer));
+}
+
+TEST(ExportPolicy, EbgpTransformPrependsAndStrips) {
+  ExportPolicy policy(ExportPolicyConfig{kLocalAs, {}});
+  PathAttributes attrs;
+  attrs.as_path = AsPath{AsNumber(65000)};
+  attrs.local_pref = LocalPref(340);
+  attrs.has_local_pref = true;
+  attrs.med = Med(5);
+  attrs.has_med = true;
+  attrs.communities = {peer_type_community(PeerType::kPrivatePeer),
+                       Community(65000, 7)};
+
+  const PathAttributes out = policy.transform_for_ebgp(attrs);
+  EXPECT_EQ(out.as_path.length(), 2u);
+  EXPECT_EQ(out.as_path.first(), kLocalAs);
+  EXPECT_FALSE(out.has_local_pref);
+  EXPECT_FALSE(out.has_med);
+  // Bookkeeping community stripped, foreign community kept.
+  EXPECT_FALSE(out.has_community(peer_type_community(PeerType::kPrivatePeer)));
+  EXPECT_TRUE(out.has_community(Community(65000, 7)));
+}
+
+TEST(AsPath, PrependAndContains) {
+  AsPath path{AsNumber(2), AsNumber(3)};
+  const AsPath prepended = path.prepended(AsNumber(1), 2);
+  EXPECT_EQ(prepended.length(), 4u);
+  EXPECT_EQ(prepended.first(), AsNumber(1));
+  EXPECT_EQ(prepended.origin_as(), AsNumber(3));
+  EXPECT_TRUE(prepended.contains(AsNumber(1)));
+  EXPECT_FALSE(path.contains(AsNumber(1)));
+  EXPECT_EQ(prepended.to_string(), "1 1 2 3");
+}
+
+TEST(Community, Encoding) {
+  Community c(32934, 100);
+  EXPECT_EQ(c.asn(), 32934);
+  EXPECT_EQ(c.value(), 100);
+  EXPECT_EQ(c.to_string(), "32934:100");
+  EXPECT_EQ(Community(c.raw()), c);
+}
+
+TEST(TaggedPeerType, IgnoresForeignAndBadValues) {
+  PathAttributes attrs;
+  attrs.communities = {Community(12345, 0)};  // foreign ASN
+  EXPECT_FALSE(tagged_peer_type(attrs).has_value());
+  attrs.communities = {Community(kTagAsn, 200)};  // out-of-range value
+  EXPECT_FALSE(tagged_peer_type(attrs).has_value());
+  attrs.communities = {Community(kTagAsn, 1)};
+  EXPECT_EQ(tagged_peer_type(attrs), PeerType::kPublicPeer);
+}
+
+}  // namespace
+}  // namespace ef::bgp

@@ -1,0 +1,149 @@
+// Model-based property test: drive the RIB with random sequences of
+// announce / withdraw / remove_peer and check, after every operation,
+// that its state matches a brute-force reference model (a plain map of
+// route lists with best re-elected from scratch).
+#include <gtest/gtest.h>
+
+#include <map>
+#include <vector>
+
+#include "bgp/rib.h"
+#include "net/rng.h"
+
+namespace ef::bgp {
+namespace {
+
+struct ReferenceModel {
+  std::map<net::Prefix, std::vector<Route>> routes;
+  DecisionConfig config;
+
+  void announce(const Route& route) {
+    auto& list = routes[route.prefix];
+    for (Route& existing : list) {
+      if (existing.learned_from == route.learned_from) {
+        existing = route;
+        return;
+      }
+    }
+    list.push_back(route);
+  }
+
+  void withdraw(PeerId peer, const net::Prefix& prefix) {
+    auto it = routes.find(prefix);
+    if (it == routes.end()) return;
+    std::erase_if(it->second,
+                  [&](const Route& r) { return r.learned_from == peer; });
+    if (it->second.empty()) routes.erase(it);
+  }
+
+  void remove_peer(PeerId peer) {
+    for (auto it = routes.begin(); it != routes.end();) {
+      std::erase_if(it->second,
+                    [&](const Route& r) { return r.learned_from == peer; });
+      it = it->second.empty() ? routes.erase(it) : std::next(it);
+    }
+  }
+
+  const Route* best(const net::Prefix& prefix) const {
+    auto it = routes.find(prefix);
+    if (it == routes.end()) return nullptr;
+    const Route* winner = nullptr;
+    for (const Route& route : it->second) {
+      if (!winner || compare_routes(route, *winner, config) < 0) {
+        winner = &route;
+      }
+    }
+    return winner;
+  }
+
+  std::size_t route_count() const {
+    std::size_t count = 0;
+    for (const auto& [prefix, list] : routes) count += list.size();
+    return count;
+  }
+};
+
+class RibModelProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(RibModelProperty, AgreesWithReference) {
+  net::Rng rng(GetParam());
+  Rib rib;
+  ReferenceModel model;
+
+  std::vector<net::Prefix> prefixes;
+  for (int i = 0; i < 12; ++i) {
+    prefixes.emplace_back(
+        net::IpAddr::v4((100u << 24) | (static_cast<std::uint32_t>(i) << 8)),
+        24);
+  }
+  const int num_peers = 6;
+
+  auto random_route = [&](const net::Prefix& prefix,
+                          std::uint32_t peer) {
+    Route route;
+    route.prefix = prefix;
+    route.learned_from = PeerId(peer);
+    route.neighbor_as = AsNumber(65000 + peer);
+    route.neighbor_router_id = RouterId(peer);
+    route.attrs.local_pref = LocalPref(
+        static_cast<std::uint32_t>(rng.uniform_int(1, 4)) * 100);
+    route.attrs.has_local_pref = true;
+    std::vector<AsNumber> path;
+    const auto len = rng.uniform_int(1, 4);
+    for (std::int64_t j = 0; j < len; ++j) {
+      path.emplace_back(static_cast<std::uint32_t>(65000 + peer + j));
+    }
+    route.attrs.as_path = AsPath(path);
+    route.attrs.next_hop = net::IpAddr::v4(0x0a000000u + peer);
+    route.learned_at = net::SimTime::seconds(
+        static_cast<double>(rng.uniform_int(0, 5)));
+    return route;
+  };
+
+  for (int op = 0; op < 600; ++op) {
+    const auto roll = rng.uniform_int(0, 99);
+    const auto prefix = prefixes[static_cast<std::size_t>(
+        rng.uniform_int(0, static_cast<std::int64_t>(prefixes.size()) - 1))];
+    const auto peer =
+        static_cast<std::uint32_t>(rng.uniform_int(1, num_peers));
+
+    if (roll < 60) {
+      const Route route = random_route(prefix, peer);
+      rib.announce(route);
+      model.announce(route);
+    } else if (roll < 90) {
+      rib.withdraw(PeerId(peer), prefix);
+      model.withdraw(PeerId(peer), prefix);
+    } else {
+      rib.remove_peer(PeerId(peer));
+      model.remove_peer(PeerId(peer));
+    }
+
+    // Full-state comparison after every operation.
+    ASSERT_EQ(rib.prefix_count(), model.routes.size()) << "op " << op;
+    ASSERT_EQ(rib.route_count(), model.route_count()) << "op " << op;
+    for (const net::Prefix& probe : prefixes) {
+      const Route* expected = model.best(probe);
+      const Route* actual = rib.best(probe);
+      ASSERT_EQ(actual == nullptr, expected == nullptr)
+          << "op " << op << " prefix " << probe.to_string();
+      if (expected) {
+        ASSERT_EQ(actual->learned_from, expected->learned_from)
+            << "op " << op << " prefix " << probe.to_string();
+        ASSERT_EQ(actual->attrs, expected->attrs);
+      }
+      // Candidate sets agree as sets (order unspecified).
+      auto candidates = rib.candidates(probe);
+      const auto model_it = model.routes.find(probe);
+      const std::size_t model_count =
+          model_it == model.routes.end() ? 0 : model_it->second.size();
+      ASSERT_EQ(candidates.size(), model_count);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RibModelProperty,
+                         ::testing::Values(3, 14, 159, 2653, 58979));
+
+}  // namespace
+}  // namespace ef::bgp

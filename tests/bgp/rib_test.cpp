@@ -1,0 +1,165 @@
+#include "bgp/rib.h"
+
+#include <gtest/gtest.h>
+
+namespace ef::bgp {
+namespace {
+
+const net::Prefix kPrefix = *net::Prefix::parse("100.1.0.0/24");
+const net::Prefix kOther = *net::Prefix::parse("100.2.0.0/24");
+
+Route make_route(std::uint32_t peer, std::uint32_t local_pref,
+                 const net::Prefix& prefix = kPrefix) {
+  Route route;
+  route.prefix = prefix;
+  route.learned_from = PeerId(peer);
+  route.neighbor_as = AsNumber(1000 + peer);
+  route.neighbor_router_id = RouterId(peer);
+  route.attrs.local_pref = LocalPref(local_pref);
+  route.attrs.has_local_pref = true;
+  route.attrs.as_path = AsPath{AsNumber(1000 + peer)};
+  return route;
+}
+
+TEST(Rib, AnnounceMakesBest) {
+  Rib rib;
+  const auto change = rib.announce(make_route(1, 100));
+  EXPECT_TRUE(change.best_changed);
+  ASSERT_NE(rib.best(kPrefix), nullptr);
+  EXPECT_EQ(rib.best(kPrefix)->learned_from, PeerId(1));
+  EXPECT_EQ(rib.prefix_count(), 1u);
+  EXPECT_EQ(rib.route_count(), 1u);
+}
+
+TEST(Rib, BetterRouteDisplacesBest) {
+  Rib rib;
+  rib.announce(make_route(1, 100));
+  const auto change = rib.announce(make_route(2, 300));
+  EXPECT_TRUE(change.best_changed);
+  EXPECT_EQ(rib.best(kPrefix)->learned_from, PeerId(2));
+  EXPECT_EQ(rib.route_count(), 2u);
+}
+
+TEST(Rib, WorseRouteDoesNotChangeBest) {
+  Rib rib;
+  rib.announce(make_route(1, 300));
+  const auto change = rib.announce(make_route(2, 100));
+  EXPECT_FALSE(change.best_changed);
+  EXPECT_EQ(rib.best(kPrefix)->learned_from, PeerId(1));
+}
+
+TEST(Rib, ImplicitReplaceFromSamePeer) {
+  Rib rib;
+  rib.announce(make_route(1, 300));
+  Route replacement = make_route(1, 100);
+  const auto change = rib.announce(replacement);
+  EXPECT_TRUE(change.best_changed);  // attributes of the best changed
+  EXPECT_EQ(rib.route_count(), 1u);  // still one route from peer 1
+  EXPECT_EQ(rib.best(kPrefix)->attrs.local_pref.value(), 100u);
+}
+
+TEST(Rib, ReplaceWithIdenticalRouteReportsNoChange) {
+  Rib rib;
+  Route route = make_route(1, 300);
+  rib.announce(route);
+  const auto change = rib.announce(route);
+  EXPECT_FALSE(change.best_changed);
+}
+
+TEST(Rib, WithdrawBestPromotesRunnerUp) {
+  Rib rib;
+  rib.announce(make_route(1, 300));
+  rib.announce(make_route(2, 200));
+  const auto change = rib.withdraw(PeerId(1), kPrefix);
+  EXPECT_TRUE(change.best_changed);
+  EXPECT_FALSE(change.prefix_removed);
+  EXPECT_EQ(rib.best(kPrefix)->learned_from, PeerId(2));
+}
+
+TEST(Rib, WithdrawNonBestIsQuiet) {
+  Rib rib;
+  rib.announce(make_route(1, 300));
+  rib.announce(make_route(2, 200));
+  const auto change = rib.withdraw(PeerId(2), kPrefix);
+  EXPECT_FALSE(change.best_changed);
+  EXPECT_EQ(rib.route_count(), 1u);
+}
+
+TEST(Rib, WithdrawLastRemovesPrefix) {
+  Rib rib;
+  rib.announce(make_route(1, 300));
+  const auto change = rib.withdraw(PeerId(1), kPrefix);
+  EXPECT_TRUE(change.best_changed);
+  EXPECT_TRUE(change.prefix_removed);
+  EXPECT_EQ(rib.best(kPrefix), nullptr);
+  EXPECT_EQ(rib.prefix_count(), 0u);
+}
+
+TEST(Rib, WithdrawUnknownIsNoop) {
+  Rib rib;
+  rib.announce(make_route(1, 300));
+  EXPECT_FALSE(rib.withdraw(PeerId(9), kPrefix).best_changed);
+  EXPECT_FALSE(rib.withdraw(PeerId(1), kOther).best_changed);
+}
+
+TEST(Rib, RemovePeerFlushesEverything) {
+  Rib rib;
+  rib.announce(make_route(1, 300, kPrefix));
+  rib.announce(make_route(1, 300, kOther));
+  rib.announce(make_route(2, 200, kPrefix));
+
+  const auto affected = rib.remove_peer(PeerId(1));
+  // kPrefix: best changed (2 promoted); kOther: prefix removed.
+  EXPECT_EQ(affected.size(), 2u);
+  EXPECT_EQ(rib.best(kPrefix)->learned_from, PeerId(2));
+  EXPECT_EQ(rib.best(kOther), nullptr);
+  EXPECT_EQ(rib.route_count(), 1u);
+}
+
+TEST(Rib, RemovePeerReportsOnlyAffectedPrefixes) {
+  Rib rib;
+  rib.announce(make_route(1, 100, kPrefix));  // non-best once 2 arrives
+  rib.announce(make_route(2, 300, kPrefix));
+  const auto affected = rib.remove_peer(PeerId(1));
+  EXPECT_TRUE(affected.empty());  // best (peer 2) untouched
+}
+
+TEST(Rib, CandidatesAndRanked) {
+  Rib rib;
+  rib.announce(make_route(1, 200));
+  rib.announce(make_route(2, 340));
+  rib.announce(make_route(3, 320));
+  EXPECT_EQ(rib.candidates(kPrefix).size(), 3u);
+  const auto ranked = rib.ranked(kPrefix);
+  ASSERT_EQ(ranked.size(), 3u);
+  EXPECT_EQ(ranked[0]->learned_from, PeerId(2));
+  EXPECT_EQ(ranked[1]->learned_from, PeerId(3));
+  EXPECT_EQ(ranked[2]->learned_from, PeerId(1));
+  EXPECT_TRUE(rib.candidates(kOther).empty());
+  EXPECT_TRUE(rib.ranked(kOther).empty());
+}
+
+TEST(Rib, DecidingStepExposed) {
+  Rib rib;
+  rib.announce(make_route(1, 300));
+  EXPECT_EQ(rib.deciding_step(kPrefix), DecisionStep::kNoChoice);
+  rib.announce(make_route(2, 200));
+  EXPECT_EQ(rib.deciding_step(kPrefix), DecisionStep::kLocalPref);
+  EXPECT_FALSE(rib.deciding_step(kOther).has_value());
+}
+
+TEST(Rib, ForEachBestVisitsReachablePrefixes) {
+  Rib rib;
+  rib.announce(make_route(1, 300, kPrefix));
+  rib.announce(make_route(2, 200, kPrefix));
+  rib.announce(make_route(1, 300, kOther));
+  std::size_t count = 0;
+  rib.for_each_best([&](const net::Prefix&, const Route& best) {
+    ++count;
+    EXPECT_EQ(best.learned_from, PeerId(1));
+  });
+  EXPECT_EQ(count, 2u);
+}
+
+}  // namespace
+}  // namespace ef::bgp

@@ -1,0 +1,202 @@
+#include "bgp/session.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+namespace ef::bgp {
+namespace {
+
+using net::SimTime;
+
+/// Two sessions wired back-to-back through queues, so tests control
+/// delivery timing explicitly.
+struct Pair {
+  std::unique_ptr<BgpSession> a;
+  std::unique_ptr<BgpSession> b;
+  std::vector<std::vector<std::uint8_t>> to_a;
+  std::vector<std::vector<std::uint8_t>> to_b;
+  std::vector<UpdateMessage> a_updates;
+  std::vector<UpdateMessage> b_updates;
+  std::vector<SessionEventType> a_events;
+  std::vector<SessionEventType> b_events;
+
+  Pair(std::uint16_t hold_a = 90, std::uint16_t hold_b = 90) {
+    SessionConfig ca;
+    ca.local_as = AsNumber(32934);
+    ca.local_id = RouterId(1);
+    ca.peer_as = AsNumber(65001);
+    ca.hold_time_secs = hold_a;
+    SessionConfig cb;
+    cb.local_as = AsNumber(65001);
+    cb.local_id = RouterId(2);
+    cb.peer_as = AsNumber(32934);
+    cb.hold_time_secs = hold_b;
+    a = std::make_unique<BgpSession>(
+        ca, [this](std::vector<std::uint8_t> bytes) {
+          to_b.push_back(std::move(bytes));
+        });
+    b = std::make_unique<BgpSession>(
+        cb, [this](std::vector<std::uint8_t> bytes) {
+          to_a.push_back(std::move(bytes));
+        });
+    a->set_update_handler(
+        [this](const UpdateMessage& u) { a_updates.push_back(u); });
+    b->set_update_handler(
+        [this](const UpdateMessage& u) { b_updates.push_back(u); });
+    a->set_event_handler(
+        [this](SessionEventType e) { a_events.push_back(e); });
+    b->set_event_handler(
+        [this](SessionEventType e) { b_events.push_back(e); });
+  }
+
+  void pump(SimTime now) {
+    while (!to_a.empty() || !to_b.empty()) {
+      if (!to_a.empty()) {
+        auto bytes = std::move(to_a.front());
+        to_a.erase(to_a.begin());
+        a->receive(bytes, now);
+      }
+      if (!to_b.empty()) {
+        auto bytes = std::move(to_b.front());
+        to_b.erase(to_b.begin());
+        b->receive(bytes, now);
+      }
+    }
+  }
+
+  void establish(SimTime now = SimTime::seconds(0)) {
+    a->start(now);
+    b->start(now);
+    pump(now);
+  }
+};
+
+TEST(Session, HandshakeEstablishesBothSides) {
+  Pair pair;
+  EXPECT_EQ(pair.a->state(), SessionState::kIdle);
+  pair.establish();
+  EXPECT_TRUE(pair.a->established());
+  EXPECT_TRUE(pair.b->established());
+  ASSERT_EQ(pair.a_events.size(), 1u);
+  EXPECT_EQ(pair.a_events[0], SessionEventType::kEstablished);
+  EXPECT_EQ(pair.a->peer_as(), AsNumber(65001));
+  EXPECT_EQ(pair.a->peer_router_id(), RouterId(2));
+  EXPECT_EQ(pair.b->peer_as(), AsNumber(32934));
+}
+
+TEST(Session, NegotiatesMinimumHoldTime) {
+  Pair pair(90, 30);
+  pair.establish();
+  EXPECT_EQ(pair.a->negotiated_hold_secs(), 30);
+  EXPECT_EQ(pair.b->negotiated_hold_secs(), 30);
+}
+
+TEST(Session, RejectsUnexpectedPeerAs) {
+  Pair pair;
+  // Reconfigure b to expect a different AS than a's.
+  SessionConfig cb;
+  cb.local_as = AsNumber(65001);
+  cb.local_id = RouterId(2);
+  cb.peer_as = AsNumber(99999);  // wrong
+  pair.b = std::make_unique<BgpSession>(
+      cb, [&pair](std::vector<std::uint8_t> bytes) {
+        pair.to_a.push_back(std::move(bytes));
+      });
+  pair.a->start(SimTime::seconds(0));
+  pair.b->start(SimTime::seconds(0));
+  pair.pump(SimTime::seconds(0));
+  EXPECT_EQ(pair.b->state(), SessionState::kIdle);
+  EXPECT_EQ(pair.a->state(), SessionState::kIdle);  // got NOTIFICATION
+}
+
+TEST(Session, UpdateDeliveredWhenEstablished) {
+  Pair pair;
+  pair.establish();
+  UpdateMessage update;
+  update.nlri = {*net::Prefix::parse("100.1.0.0/24")};
+  update.attrs.next_hop = net::IpAddr::v4(0x0a000001);
+  update.attrs.as_path = AsPath{AsNumber(32934)};
+  pair.a->send_update(update);
+  pair.pump(SimTime::seconds(1));
+  ASSERT_EQ(pair.b_updates.size(), 1u);
+  EXPECT_EQ(pair.b_updates[0].nlri, update.nlri);
+  EXPECT_EQ(pair.a->stats().updates_sent, 1u);
+  EXPECT_EQ(pair.b->stats().updates_received, 1u);
+}
+
+TEST(Session, KeepalivesMaintainSession) {
+  Pair pair;
+  pair.establish();
+  // Tick both sides every 20s for 10 simulated minutes.
+  for (int t = 20; t <= 600; t += 20) {
+    pair.a->tick(SimTime::seconds(t));
+    pair.b->tick(SimTime::seconds(t));
+    pair.pump(SimTime::seconds(t));
+  }
+  EXPECT_TRUE(pair.a->established());
+  EXPECT_TRUE(pair.b->established());
+  EXPECT_GT(pair.a->stats().keepalives_sent, 5u);
+}
+
+TEST(Session, HoldTimerExpiryDropsSession) {
+  Pair pair;
+  pair.establish();
+  // Only a ticks; b goes silent. After hold (90s), a must drop.
+  pair.a->tick(SimTime::seconds(91));
+  EXPECT_EQ(pair.a->state(), SessionState::kIdle);
+  ASSERT_EQ(pair.a_events.size(), 2u);  // established, then down
+  EXPECT_EQ(pair.a_events[1], SessionEventType::kDown);
+  EXPECT_EQ(pair.a->stats().session_drops, 1u);
+}
+
+TEST(Session, AdministrativeCloseNotifiesPeer) {
+  Pair pair;
+  pair.establish();
+  pair.a->close(NotifyCode::kCease, SimTime::seconds(5));
+  pair.pump(SimTime::seconds(5));
+  EXPECT_EQ(pair.a->state(), SessionState::kIdle);
+  EXPECT_EQ(pair.b->state(), SessionState::kIdle);
+  EXPECT_EQ(pair.b_events.back(), SessionEventType::kDown);
+}
+
+TEST(Session, MalformedBytesDropSession) {
+  Pair pair;
+  pair.establish();
+  std::vector<std::uint8_t> garbage(32, 0x42);
+  pair.b->receive(garbage, SimTime::seconds(1));
+  EXPECT_EQ(pair.b->state(), SessionState::kIdle);
+  EXPECT_EQ(pair.b->stats().malformed_received, 1u);
+}
+
+TEST(Session, CanRestartAfterDown) {
+  Pair pair;
+  pair.establish();
+  pair.a->close(NotifyCode::kCease, SimTime::seconds(5));
+  pair.pump(SimTime::seconds(5));
+  ASSERT_EQ(pair.a->state(), SessionState::kIdle);
+  pair.establish(SimTime::seconds(10));
+  EXPECT_TRUE(pair.a->established());
+  EXPECT_TRUE(pair.b->established());
+}
+
+TEST(Session, UpdateBeforeEstablishedIsFsmError) {
+  Pair pair;
+  pair.a->start(SimTime::seconds(0));
+  // Craft an UPDATE and deliver it to b, which is still Idle->OpenSent.
+  pair.b->start(SimTime::seconds(0));
+  UpdateMessage update;
+  auto bytes = wire::encode(Message(update));
+  pair.b->receive(bytes, SimTime::seconds(0));
+  EXPECT_EQ(pair.b->state(), SessionState::kIdle);
+}
+
+TEST(Session, StartIsIdempotentWhileRunning) {
+  Pair pair;
+  pair.establish();
+  pair.a->start(SimTime::seconds(1));  // should be ignored
+  EXPECT_TRUE(pair.a->established());
+}
+
+}  // namespace
+}  // namespace ef::bgp

@@ -1,0 +1,248 @@
+#include "bgp/speaker.h"
+
+#include <gtest/gtest.h>
+
+#include <deque>
+#include <memory>
+
+namespace ef::bgp {
+namespace {
+
+using net::SimTime;
+
+net::Prefix P(const char* text) { return *net::Prefix::parse(text); }
+
+/// Two speakers joined by one session each, with a shared message queue
+/// (mirrors how the Pop wires transports).
+struct Testbed {
+  BgpSpeaker provider;  // the content provider's router
+  BgpSpeaker neighbor;  // a peer AS
+  PeerId on_provider;
+  PeerId on_neighbor;
+  std::deque<std::tuple<BgpSpeaker*, PeerId, std::vector<std::uint8_t>>> queue;
+  std::vector<MonitorEvent> monitor_events;
+  std::vector<net::Prefix> best_changes;
+
+  static BgpSpeaker::Config speaker_config(std::uint32_t as,
+                                           std::uint32_t id) {
+    BgpSpeaker::Config config;
+    config.local_as = AsNumber(as);
+    config.router_id = RouterId(id);
+    config.import_policy.local_as = AsNumber(as);
+    return config;
+  }
+
+  explicit Testbed(PeerType neighbor_type = PeerType::kPrivatePeer)
+      : provider(speaker_config(32934, 1)),
+        neighbor(speaker_config(65001, 2)) {
+    provider.set_monitor([this](const MonitorEvent& event) {
+      monitor_events.push_back(event);
+    });
+    provider.set_best_change_handler(
+        [this](const net::Prefix& prefix) { best_changes.push_back(prefix); });
+
+    SessionConfig on_provider_config;
+    on_provider_config.peer_as = AsNumber(65001);
+    on_provider_config.peer_type = neighbor_type;
+    on_provider_config.local_addr = *net::IpAddr::parse("10.0.0.1");
+    on_provider = provider.add_neighbor(
+        on_provider_config, [this](std::vector<std::uint8_t> bytes) {
+          queue.emplace_back(&neighbor, on_neighbor, std::move(bytes));
+        });
+
+    SessionConfig on_neighbor_config;
+    on_neighbor_config.peer_as = AsNumber(32934);
+    // The sender-side session type drives iBGP-vs-eBGP announcement
+    // semantics, so it must match the receiver's view.
+    on_neighbor_config.peer_type = neighbor_type == PeerType::kController
+                                       ? PeerType::kController
+                                       : PeerType::kPrivatePeer;
+    on_neighbor_config.local_addr = *net::IpAddr::parse("10.0.0.2");
+    on_neighbor = neighbor.add_neighbor(
+        on_neighbor_config, [this](std::vector<std::uint8_t> bytes) {
+          queue.emplace_back(&provider, on_provider, std::move(bytes));
+        });
+  }
+
+  void pump(SimTime now = SimTime::seconds(0)) {
+    while (!queue.empty()) {
+      auto [target, peer, bytes] = std::move(queue.front());
+      queue.pop_front();
+      target->receive(peer, bytes, now);
+    }
+  }
+
+  void establish() {
+    provider.start_all_sessions(SimTime::seconds(0));
+    neighbor.start_all_sessions(SimTime::seconds(0));
+    pump();
+  }
+};
+
+TEST(Speaker, OriginationsAnnouncedOnEstablish) {
+  Testbed bed;
+  BgpSpeaker::Origination origination;
+  origination.path_tail = AsPath{AsNumber(30001)};
+  bed.neighbor.originate(P("100.1.0.0/24"), origination, SimTime::seconds(0));
+  bed.neighbor.originate(P("100.1.1.0/24"), origination, SimTime::seconds(0));
+  bed.establish();
+
+  EXPECT_EQ(bed.provider.rib().prefix_count(), 2u);
+  const Route* best = bed.provider.rib().best(P("100.1.0.0/24"));
+  ASSERT_NE(best, nullptr);
+  // Neighbor prepended its own AS on export.
+  EXPECT_EQ(best->attrs.as_path.to_string(), "65001 30001");
+  EXPECT_EQ(best->neighbor_as, AsNumber(65001));
+  EXPECT_EQ(best->peer_type, PeerType::kPrivatePeer);
+  // Import policy stamped the ladder pref.
+  EXPECT_EQ(best->attrs.local_pref.value(), 340u);
+  // Next hop is the neighbor's session address.
+  EXPECT_EQ(best->attrs.next_hop, *net::IpAddr::parse("10.0.0.2"));
+}
+
+TEST(Speaker, LateOriginationPropagates) {
+  Testbed bed;
+  bed.establish();
+  EXPECT_EQ(bed.provider.rib().prefix_count(), 0u);
+  bed.neighbor.originate(P("100.9.0.0/24"), {}, SimTime::seconds(1));
+  bed.pump(SimTime::seconds(1));
+  EXPECT_EQ(bed.provider.rib().prefix_count(), 1u);
+}
+
+TEST(Speaker, WithdrawOriginationRemovesRoute) {
+  Testbed bed;
+  bed.neighbor.originate(P("100.1.0.0/24"), {}, SimTime::seconds(0));
+  bed.establish();
+  ASSERT_EQ(bed.provider.rib().prefix_count(), 1u);
+  bed.neighbor.withdraw_origination(P("100.1.0.0/24"), SimTime::seconds(2));
+  bed.pump(SimTime::seconds(2));
+  EXPECT_EQ(bed.provider.rib().prefix_count(), 0u);
+}
+
+TEST(Speaker, SetOriginationsSendsDeltasOnly) {
+  Testbed bed;
+  bed.establish();
+  std::map<net::Prefix, BgpSpeaker::Origination> set1;
+  set1[P("100.1.0.0/24")] = {};
+  set1[P("100.2.0.0/24")] = {};
+  bed.neighbor.set_originations(set1, SimTime::seconds(1));
+  bed.pump(SimTime::seconds(1));
+  EXPECT_EQ(bed.provider.rib().prefix_count(), 2u);
+
+  const auto updates_before =
+      bed.neighbor.session(bed.on_neighbor)->stats().updates_sent;
+
+  // Keep 100.1, drop 100.2, add 100.3.
+  std::map<net::Prefix, BgpSpeaker::Origination> set2;
+  set2[P("100.1.0.0/24")] = {};
+  set2[P("100.3.0.0/24")] = {};
+  bed.neighbor.set_originations(set2, SimTime::seconds(2));
+  bed.pump(SimTime::seconds(2));
+
+  EXPECT_EQ(bed.provider.rib().prefix_count(), 2u);
+  EXPECT_NE(bed.provider.rib().best(P("100.3.0.0/24")), nullptr);
+  EXPECT_EQ(bed.provider.rib().best(P("100.2.0.0/24")), nullptr);
+  // Exactly two updates: one withdraw, one announce (unchanged not resent).
+  EXPECT_EQ(bed.neighbor.session(bed.on_neighbor)->stats().updates_sent,
+            updates_before + 2);
+}
+
+TEST(Speaker, MonitorSeesPeerUpAndRoutes) {
+  Testbed bed;
+  bed.neighbor.originate(P("100.1.0.0/24"), {}, SimTime::seconds(0));
+  bed.establish();
+  ASSERT_GE(bed.monitor_events.size(), 2u);
+  EXPECT_EQ(bed.monitor_events[0].kind, MonitorEvent::Kind::kPeerUp);
+  EXPECT_EQ(bed.monitor_events[0].peer_as, AsNumber(65001));
+  bool saw_route = false;
+  for (const auto& event : bed.monitor_events) {
+    if (event.kind == MonitorEvent::Kind::kRoute) {
+      saw_route = true;
+      EXPECT_FALSE(event.update.nlri.empty());
+      // Post-policy view carries the stamped LOCAL_PREF.
+      EXPECT_TRUE(event.update.attrs.has_local_pref);
+    }
+  }
+  EXPECT_TRUE(saw_route);
+}
+
+TEST(Speaker, SessionDownFlushesRibAndNotifies) {
+  Testbed bed;
+  bed.neighbor.originate(P("100.1.0.0/24"), {}, SimTime::seconds(0));
+  bed.establish();
+  ASSERT_EQ(bed.provider.rib().prefix_count(), 1u);
+  bed.best_changes.clear();
+
+  bed.neighbor.close_session(bed.on_neighbor, SimTime::seconds(5));
+  bed.pump(SimTime::seconds(5));
+
+  EXPECT_EQ(bed.provider.rib().prefix_count(), 0u);
+  EXPECT_EQ(bed.best_changes.size(), 1u);
+  EXPECT_EQ(bed.monitor_events.back().kind, MonitorEvent::Kind::kPeerDown);
+}
+
+TEST(Speaker, LoopedPathRejectedByImport) {
+  Testbed bed;
+  BgpSpeaker::Origination looped;
+  looped.path_tail = AsPath{AsNumber(32934)};  // provider's own AS in tail
+  bed.neighbor.originate(P("100.1.0.0/24"), looped, SimTime::seconds(0));
+  bed.establish();
+  EXPECT_EQ(bed.provider.rib().prefix_count(), 0u);
+}
+
+TEST(Speaker, ControllerSessionKeepsLocalPrefAndNextHop) {
+  Testbed bed(PeerType::kController);
+  BgpSpeaker::Origination override_route;
+  override_route.local_pref = LocalPref(1000);
+  override_route.next_hop = *net::IpAddr::parse("172.16.0.9");
+  override_route.path_tail = AsPath{AsNumber(65001), AsNumber(30001)};
+  bed.neighbor.originate(P("100.1.0.0/24"), override_route,
+                         SimTime::seconds(0));
+  bed.establish();
+
+  const Route* best = bed.provider.rib().best(P("100.1.0.0/24"));
+  ASSERT_NE(best, nullptr);
+  EXPECT_EQ(best->peer_type, PeerType::kController);
+  EXPECT_EQ(best->attrs.local_pref.value(), 1000u);
+  // iBGP semantics: no prepend, explicit next hop preserved.
+  EXPECT_EQ(best->attrs.as_path.to_string(), "65001 30001");
+  EXPECT_EQ(best->attrs.next_hop, *net::IpAddr::parse("172.16.0.9"));
+}
+
+TEST(Speaker, MedForwardedToEbgpNeighbors) {
+  Testbed bed;
+  BgpSpeaker::Origination origination;
+  origination.med = Med(77);
+  bed.neighbor.originate(P("100.1.0.0/24"), origination, SimTime::seconds(0));
+  bed.establish();
+  const Route* best = bed.provider.rib().best(P("100.1.0.0/24"));
+  ASSERT_NE(best, nullptr);
+  EXPECT_TRUE(best->attrs.has_med);
+  EXPECT_EQ(best->attrs.med.value(), 77u);
+}
+
+TEST(Speaker, BatchedTableDownloadUsesFewUpdates) {
+  Testbed bed;
+  // 250 prefixes sharing one attribute set must not need 250 updates.
+  for (int i = 0; i < 250; ++i) {
+    const std::uint32_t base =
+        (100u << 24) | (1u << 16) | (static_cast<std::uint32_t>(i) << 8);
+    bed.neighbor.originate(net::Prefix(net::IpAddr::v4(base), 24), {},
+                           SimTime::seconds(0));
+  }
+  bed.establish();
+  EXPECT_EQ(bed.provider.rib().prefix_count(), 250u);
+  EXPECT_LE(bed.neighbor.session(bed.on_neighbor)->stats().updates_sent, 5u);
+}
+
+TEST(Speaker, PeerIdsAreStableAndListed) {
+  Testbed bed;
+  const auto ids = bed.neighbor.peer_ids();
+  ASSERT_EQ(ids.size(), 1u);
+  EXPECT_EQ(ids[0], bed.on_neighbor);
+  EXPECT_NE(bed.neighbor.session(ids[0]), nullptr);
+  EXPECT_EQ(bed.neighbor.session(PeerId(999)), nullptr);
+}
+
+}  // namespace
+}  // namespace ef::bgp

@@ -1,0 +1,306 @@
+#include "bgp/wire.h"
+
+#include <gtest/gtest.h>
+
+#include "net/rng.h"
+
+namespace ef::bgp {
+namespace {
+
+net::Prefix P(const char* text) { return *net::Prefix::parse(text); }
+
+UpdateMessage decode_update(const std::vector<std::uint8_t>& bytes) {
+  auto msg = wire::decode(bytes);
+  EXPECT_TRUE(msg.has_value());
+  EXPECT_TRUE(std::holds_alternative<UpdateMessage>(*msg));
+  return std::get<UpdateMessage>(*msg);
+}
+
+TEST(Wire, KeepaliveRoundTrip) {
+  const auto bytes = wire::encode(Message(KeepaliveMessage{}));
+  EXPECT_EQ(bytes.size(), wire::kHeaderSize);
+  auto msg = wire::decode(bytes);
+  ASSERT_TRUE(msg.has_value());
+  EXPECT_TRUE(std::holds_alternative<KeepaliveMessage>(*msg));
+}
+
+TEST(Wire, OpenRoundTripSmallAs) {
+  OpenMessage open;
+  open.as = AsNumber(65001);
+  open.router_id = RouterId(0x0A000001);
+  open.hold_time_secs = 90;
+  auto msg = wire::decode(wire::encode(Message(open)));
+  ASSERT_TRUE(msg.has_value());
+  EXPECT_EQ(std::get<OpenMessage>(*msg), open);
+}
+
+TEST(Wire, OpenRoundTripFourOctetAs) {
+  OpenMessage open;
+  open.as = AsNumber(4200000001);  // > 65535, needs the capability
+  open.router_id = RouterId(7);
+  open.hold_time_secs = 30;
+  auto msg = wire::decode(wire::encode(Message(open)));
+  ASSERT_TRUE(msg.has_value());
+  EXPECT_EQ(std::get<OpenMessage>(*msg).as, open.as);
+}
+
+TEST(Wire, NotificationRoundTrip) {
+  NotificationMessage notify;
+  notify.code = NotifyCode::kHoldTimerExpired;
+  notify.subcode = 2;
+  auto msg = wire::decode(wire::encode(Message(notify)));
+  ASSERT_TRUE(msg.has_value());
+  EXPECT_EQ(std::get<NotificationMessage>(*msg), notify);
+}
+
+TEST(Wire, UpdateV4RoundTrip) {
+  UpdateMessage update;
+  update.nlri = {P("203.0.113.0/24"), P("198.51.100.0/25")};
+  update.withdrawn = {P("192.0.2.0/24")};
+  update.attrs.origin = Origin::kEgp;
+  update.attrs.as_path = AsPath{AsNumber(64512), AsNumber(3356)};
+  update.attrs.next_hop = *net::IpAddr::parse("10.1.2.3");
+  update.attrs.med = Med(50);
+  update.attrs.has_med = true;
+  update.attrs.communities = {Community(64999, 1), Community(32934, 200)};
+
+  const UpdateMessage got = decode_update(wire::encode(Message(update)));
+  EXPECT_EQ(got.nlri, update.nlri);
+  EXPECT_EQ(got.withdrawn, update.withdrawn);
+  EXPECT_EQ(got.attrs.origin, update.attrs.origin);
+  EXPECT_EQ(got.attrs.as_path, update.attrs.as_path);
+  EXPECT_EQ(got.attrs.next_hop, update.attrs.next_hop);
+  EXPECT_TRUE(got.attrs.has_med);
+  EXPECT_EQ(got.attrs.med, update.attrs.med);
+  EXPECT_EQ(got.attrs.communities, update.attrs.communities);
+}
+
+TEST(Wire, UpdateLocalPrefRoundTrip) {
+  UpdateMessage update;
+  update.nlri = {P("100.1.0.0/24")};
+  update.attrs.next_hop = net::IpAddr::v4(1);
+  update.attrs.local_pref = LocalPref(1000);
+  update.attrs.has_local_pref = true;
+  const UpdateMessage got = decode_update(wire::encode(Message(update)));
+  EXPECT_TRUE(got.attrs.has_local_pref);
+  EXPECT_EQ(got.attrs.local_pref, LocalPref(1000));
+}
+
+TEST(Wire, LocalPrefOmittedWhenUnset) {
+  UpdateMessage update;
+  update.nlri = {P("100.1.0.0/24")};
+  update.attrs.next_hop = net::IpAddr::v4(1);
+  update.attrs.has_local_pref = false;
+  const UpdateMessage got = decode_update(wire::encode(Message(update)));
+  EXPECT_FALSE(got.attrs.has_local_pref);
+}
+
+TEST(Wire, UpdateV6ViaMpReach) {
+  UpdateMessage update;
+  update.nlri = {P("2001:db8:1::/48"), P("2001:db8:2::/48")};
+  update.attrs.next_hop = *net::IpAddr::parse("2001:db8::ff");
+  update.attrs.as_path = AsPath{AsNumber(3356)};
+
+  const UpdateMessage got = decode_update(wire::encode(Message(update)));
+  EXPECT_EQ(got.nlri, update.nlri);
+  EXPECT_EQ(got.attrs.next_hop, update.attrs.next_hop);
+  EXPECT_EQ(got.attrs.as_path, update.attrs.as_path);
+}
+
+TEST(Wire, UpdateV6WithdrawViaMpUnreach) {
+  UpdateMessage update;
+  update.withdrawn = {P("2001:db8:dead::/48")};
+  const UpdateMessage got = decode_update(wire::encode(Message(update)));
+  EXPECT_EQ(got.withdrawn, update.withdrawn);
+}
+
+TEST(Wire, V4NextHopOnV6SessionUsesMappedForm) {
+  UpdateMessage update;
+  update.nlri = {P("2001:db8::/32")};
+  update.attrs.next_hop = *net::IpAddr::parse("10.0.0.1");  // v4 NH, v6 NLRI
+  const UpdateMessage got = decode_update(wire::encode(Message(update)));
+  EXPECT_EQ(got.attrs.next_hop, update.attrs.next_hop);  // decoded back to v4
+}
+
+TEST(Wire, MixedFamilyUpdate) {
+  UpdateMessage update;
+  update.nlri = {P("100.1.0.0/24"), P("2001:db8::/32")};
+  update.withdrawn = {P("100.2.0.0/24"), P("2001:db8:f::/48")};
+  update.attrs.next_hop = *net::IpAddr::parse("10.0.0.1");
+  update.attrs.as_path = AsPath{AsNumber(1)};
+
+  UpdateMessage got = decode_update(wire::encode(Message(update)));
+  // Order within the families is preserved; across families v4 precedes
+  // (classic fields decode before MP attributes are merged). Compare sets.
+  auto sort_all = [](UpdateMessage& m) {
+    std::sort(m.nlri.begin(), m.nlri.end());
+    std::sort(m.withdrawn.begin(), m.withdrawn.end());
+  };
+  sort_all(got);
+  sort_all(update);
+  EXPECT_EQ(got.nlri, update.nlri);
+  EXPECT_EQ(got.withdrawn, update.withdrawn);
+}
+
+TEST(Wire, EmptyUpdateIsEndOfRib) {
+  UpdateMessage update;  // no NLRI, no withdrawals: EoR marker
+  const UpdateMessage got = decode_update(wire::encode(Message(update)));
+  EXPECT_TRUE(got.empty());
+}
+
+TEST(Wire, ZeroLengthPrefix) {
+  UpdateMessage update;
+  update.nlri = {P("0.0.0.0/0")};
+  update.attrs.next_hop = net::IpAddr::v4(1);
+  const UpdateMessage got = decode_update(wire::encode(Message(update)));
+  ASSERT_EQ(got.nlri.size(), 1u);
+  EXPECT_EQ(got.nlri[0], P("0.0.0.0/0"));
+}
+
+TEST(Wire, ExtendedLengthAttributes) {
+  // >255 bytes of communities forces the extended-length attribute flag.
+  UpdateMessage update;
+  update.nlri = {P("100.1.0.0/24")};
+  update.attrs.next_hop = net::IpAddr::v4(1);
+  for (std::uint32_t i = 0; i < 100; ++i) {
+    update.attrs.communities.emplace_back(i);
+  }
+  const UpdateMessage got = decode_update(wire::encode(Message(update)));
+  EXPECT_EQ(got.attrs.communities, update.attrs.communities);
+}
+
+TEST(Wire, LongAsPathNearSegmentLimit) {
+  UpdateMessage update;
+  update.nlri = {P("100.1.0.0/24")};
+  update.attrs.next_hop = net::IpAddr::v4(1);
+  std::vector<AsNumber> path;
+  for (std::uint32_t i = 0; i < 255; ++i) path.emplace_back(1000 + i);
+  update.attrs.as_path = AsPath(path);
+  const UpdateMessage got = decode_update(wire::encode(Message(update)));
+  EXPECT_EQ(got.attrs.as_path, update.attrs.as_path);
+}
+
+TEST(WireDeath, AsPathBeyondSegmentLimitAborts) {
+  UpdateMessage update;
+  update.nlri = {P("100.1.0.0/24")};
+  update.attrs.next_hop = net::IpAddr::v4(1);
+  std::vector<AsNumber> path;
+  for (std::uint32_t i = 0; i < 256; ++i) path.emplace_back(1000 + i);
+  update.attrs.as_path = AsPath(path);
+  EXPECT_DEATH((void)wire::encode(Message(update)), "AS_PATH too long");
+}
+
+TEST(Wire, RejectsBadMarker) {
+  auto bytes = wire::encode(Message(KeepaliveMessage{}));
+  bytes[3] = 0x00;
+  EXPECT_FALSE(wire::decode(bytes).has_value());
+}
+
+TEST(Wire, RejectsTruncated) {
+  auto bytes = wire::encode(Message(OpenMessage{}));
+  bytes.resize(bytes.size() - 3);
+  EXPECT_FALSE(wire::decode(bytes).has_value());
+}
+
+TEST(Wire, RejectsBadLengthField) {
+  auto bytes = wire::encode(Message(KeepaliveMessage{}));
+  bytes[16] = 0;
+  bytes[17] = 5;  // length 5 < header size
+  EXPECT_FALSE(wire::decode(bytes).has_value());
+}
+
+TEST(Wire, RejectsAsSetSegment) {
+  // Build an update whose AS_PATH carries an AS_SET (type 1) segment.
+  UpdateMessage update;
+  update.nlri = {P("100.1.0.0/24")};
+  update.attrs.next_hop = net::IpAddr::v4(1);
+  update.attrs.as_path = AsPath{AsNumber(64512)};
+  auto bytes = wire::encode(Message(update));
+  // Locate the AS_PATH segment type byte and flip AS_SEQUENCE(2)->AS_SET(1).
+  bool patched = false;
+  for (std::size_t i = wire::kHeaderSize; i + 6 < bytes.size(); ++i) {
+    if (bytes[i] == 0x40 && bytes[i + 1] == 2 && bytes[i + 2] == 6 &&
+        bytes[i + 3] == 2 && bytes[i + 4] == 1) {
+      bytes[i + 3] = 1;
+      patched = true;
+      break;
+    }
+  }
+  ASSERT_TRUE(patched) << "could not locate AS_PATH in encoding";
+  EXPECT_FALSE(wire::decode(bytes).has_value());
+}
+
+TEST(Wire, MultipleMessagesInOneBuffer) {
+  auto a = wire::encode(Message(KeepaliveMessage{}));
+  auto b = wire::encode(Message(NotificationMessage{}));
+  std::vector<std::uint8_t> joined(a);
+  joined.insert(joined.end(), b.begin(), b.end());
+  net::BufReader reader(joined);
+  auto first = wire::decode(reader);
+  auto second = wire::decode(reader);
+  ASSERT_TRUE(first.has_value());
+  ASSERT_TRUE(second.has_value());
+  EXPECT_TRUE(std::holds_alternative<KeepaliveMessage>(*first));
+  EXPECT_TRUE(std::holds_alternative<NotificationMessage>(*second));
+  EXPECT_EQ(reader.remaining(), 0u);
+}
+
+// Property: randomized updates survive an encode/decode round trip.
+class WireRoundTripProperty : public ::testing::TestWithParam<std::uint64_t> {
+};
+
+TEST_P(WireRoundTripProperty, RandomUpdates) {
+  net::Rng rng(GetParam());
+  for (int iteration = 0; iteration < 50; ++iteration) {
+    UpdateMessage update;
+    const int nlri_count = static_cast<int>(rng.uniform_int(0, 12));
+    for (int i = 0; i < nlri_count; ++i) {
+      const int len = static_cast<int>(rng.uniform_int(8, 32));
+      update.nlri.emplace_back(
+          net::IpAddr::v4(static_cast<std::uint32_t>(rng.next_u64())), len);
+    }
+    const int withdraw_count = static_cast<int>(rng.uniform_int(0, 5));
+    for (int i = 0; i < withdraw_count; ++i) {
+      const int len = static_cast<int>(rng.uniform_int(8, 32));
+      update.withdrawn.emplace_back(
+          net::IpAddr::v4(static_cast<std::uint32_t>(rng.next_u64())), len);
+    }
+    update.attrs.origin =
+        static_cast<Origin>(rng.uniform_int(0, 2));
+    const int path_len = static_cast<int>(rng.uniform_int(0, 6));
+    std::vector<AsNumber> path;
+    for (int i = 0; i < path_len; ++i) {
+      path.emplace_back(static_cast<std::uint32_t>(rng.uniform_int(1, 400000)));
+    }
+    update.attrs.as_path = AsPath(path);
+    update.attrs.next_hop =
+        net::IpAddr::v4(static_cast<std::uint32_t>(rng.next_u64()));
+    if (rng.bernoulli(0.5)) {
+      update.attrs.med = Med(static_cast<std::uint32_t>(rng.uniform_int(0, 1000)));
+      update.attrs.has_med = true;
+    }
+    if (rng.bernoulli(0.5)) {
+      update.attrs.local_pref =
+          LocalPref(static_cast<std::uint32_t>(rng.uniform_int(0, 2000)));
+      update.attrs.has_local_pref = true;
+    }
+    const int comm_count = static_cast<int>(rng.uniform_int(0, 4));
+    for (int i = 0; i < comm_count; ++i) {
+      update.attrs.communities.emplace_back(
+          static_cast<std::uint32_t>(rng.next_u64()));
+    }
+
+    const UpdateMessage got = decode_update(wire::encode(Message(update)));
+    EXPECT_EQ(got.nlri, update.nlri);
+    EXPECT_EQ(got.withdrawn, update.withdrawn);
+    if (!update.nlri.empty()) {
+      EXPECT_EQ(got.attrs, update.attrs);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, WireRoundTripProperty,
+                         ::testing::Values(101, 202, 303, 404, 505));
+
+}  // namespace
+}  // namespace ef::bgp

@@ -1,0 +1,184 @@
+#include "bmp/collector.h"
+
+#include <gtest/gtest.h>
+
+#include "bmp/exporter.h"
+
+namespace ef::bmp {
+namespace {
+
+using net::SimTime;
+
+net::Prefix P(const char* text) { return *net::Prefix::parse(text); }
+
+/// Drives a collector through an exporter fed with synthetic monitor
+/// events, as the speaker would produce them.
+struct Feed {
+  BmpCollector collector;
+  BmpExporter exporter;
+
+  explicit Feed(std::uint32_t router_key = 1)
+      : exporter("pr" + std::to_string(router_key), router_key,
+                 [this, router_key](std::vector<std::uint8_t> bytes) {
+                   collector.receive(router_key, bytes);
+                 }) {
+    exporter.start();
+  }
+
+  bgp::MonitorEvent peer_up(std::uint32_t peer, std::uint32_t as,
+                            bgp::PeerType type) {
+    bgp::MonitorEvent event;
+    event.kind = bgp::MonitorEvent::Kind::kPeerUp;
+    event.peer = bgp::PeerId(peer);
+    event.peer_as = bgp::AsNumber(as);
+    event.peer_router_id = bgp::RouterId(peer);
+    event.peer_type = type;
+    event.when = SimTime::seconds(1);
+    return event;
+  }
+
+  bgp::MonitorEvent route(std::uint32_t peer, std::uint32_t as,
+                          bgp::PeerType type, const net::Prefix& prefix,
+                          std::uint32_t local_pref = 340) {
+    bgp::MonitorEvent event;
+    event.kind = bgp::MonitorEvent::Kind::kRoute;
+    event.peer = bgp::PeerId(peer);
+    event.peer_as = bgp::AsNumber(as);
+    event.peer_router_id = bgp::RouterId(peer);
+    event.peer_type = type;
+    event.update.nlri = {prefix};
+    event.update.attrs.as_path = bgp::AsPath{bgp::AsNumber(as)};
+    event.update.attrs.next_hop = *net::IpAddr::parse("172.16.0.1");
+    event.update.attrs.local_pref = bgp::LocalPref(local_pref);
+    event.update.attrs.has_local_pref = true;
+    event.when = SimTime::seconds(2);
+    return event;
+  }
+};
+
+TEST(Collector, RecordsInitiationName) {
+  Feed feed;
+  feed.exporter.on_event(feed.peer_up(1, 65001, bgp::PeerType::kTransit));
+  const auto peers = feed.collector.peers();
+  ASSERT_EQ(peers.size(), 1u);
+  EXPECT_EQ(feed.collector.peer(peers[0])->router_name, "pr1");
+  EXPECT_EQ(feed.collector.stats().initiations, 1u);
+}
+
+TEST(Collector, PeerUpCarriesTypeTlv) {
+  Feed feed;
+  feed.exporter.on_event(feed.peer_up(1, 65001, bgp::PeerType::kRouteServer));
+  const auto peers = feed.collector.peers();
+  ASSERT_EQ(peers.size(), 1u);
+  const auto* info = feed.collector.peer(peers[0]);
+  ASSERT_NE(info, nullptr);
+  EXPECT_TRUE(info->up);
+  EXPECT_EQ(info->type, bgp::PeerType::kRouteServer);
+  EXPECT_EQ(info->as, bgp::AsNumber(65001));
+}
+
+TEST(Collector, RoutesEnterMergedRib) {
+  Feed feed;
+  feed.exporter.on_event(feed.peer_up(1, 65001, bgp::PeerType::kPrivatePeer));
+  feed.exporter.on_event(
+      feed.route(1, 65001, bgp::PeerType::kPrivatePeer, P("100.1.0.0/24")));
+  EXPECT_EQ(feed.collector.rib().prefix_count(), 1u);
+  const bgp::Route* best = feed.collector.rib().best(P("100.1.0.0/24"));
+  ASSERT_NE(best, nullptr);
+  EXPECT_EQ(best->peer_type, bgp::PeerType::kPrivatePeer);
+  EXPECT_EQ(best->neighbor_as, bgp::AsNumber(65001));
+  EXPECT_EQ(best->attrs.local_pref.value(), 340u);
+}
+
+TEST(Collector, MergesRoutesAcrossRouters) {
+  BmpCollector collector;
+  BmpExporter exp0("pr0", 0, [&](std::vector<std::uint8_t> bytes) {
+    collector.receive(0, bytes);
+  });
+  BmpExporter exp1("pr1", 1, [&](std::vector<std::uint8_t> bytes) {
+    collector.receive(1, bytes);
+  });
+  exp0.start();
+  exp1.start();
+
+  Feed helper;  // only to build events
+  exp0.on_event(helper.peer_up(1, 65001, bgp::PeerType::kPrivatePeer));
+  exp0.on_event(helper.route(1, 65001, bgp::PeerType::kPrivatePeer,
+                             P("100.1.0.0/24"), 340));
+  exp1.on_event(helper.peer_up(1, 3356, bgp::PeerType::kTransit));
+  exp1.on_event(helper.route(1, 3356, bgp::PeerType::kTransit,
+                             P("100.1.0.0/24"), 200));
+
+  // Same prefix via two routers: two candidates, best by LOCAL_PREF.
+  EXPECT_EQ(collector.rib().prefix_count(), 1u);
+  EXPECT_EQ(collector.rib().candidates(P("100.1.0.0/24")).size(), 2u);
+  EXPECT_EQ(collector.rib().best(P("100.1.0.0/24"))->neighbor_as,
+            bgp::AsNumber(65001));
+  // Peers on different routers are distinct even with the same session id.
+  EXPECT_EQ(collector.peers().size(), 2u);
+}
+
+TEST(Collector, PeerDownFlushesRoutes) {
+  Feed feed;
+  feed.exporter.on_event(feed.peer_up(1, 65001, bgp::PeerType::kPrivatePeer));
+  feed.exporter.on_event(
+      feed.route(1, 65001, bgp::PeerType::kPrivatePeer, P("100.1.0.0/24")));
+  ASSERT_EQ(feed.collector.rib().prefix_count(), 1u);
+
+  bgp::MonitorEvent down = feed.peer_up(1, 65001, bgp::PeerType::kPrivatePeer);
+  down.kind = bgp::MonitorEvent::Kind::kPeerDown;
+  feed.exporter.on_event(down);
+
+  EXPECT_EQ(feed.collector.rib().prefix_count(), 0u);
+  EXPECT_FALSE(feed.collector.peer(feed.collector.peers()[0])->up);
+  EXPECT_EQ(feed.collector.stats().peer_downs, 1u);
+}
+
+TEST(Collector, WithdrawRemovesSingleRoute) {
+  Feed feed;
+  feed.exporter.on_event(feed.peer_up(1, 65001, bgp::PeerType::kPrivatePeer));
+  feed.exporter.on_event(
+      feed.route(1, 65001, bgp::PeerType::kPrivatePeer, P("100.1.0.0/24")));
+  feed.exporter.on_event(
+      feed.route(1, 65001, bgp::PeerType::kPrivatePeer, P("100.2.0.0/24")));
+
+  bgp::MonitorEvent withdraw =
+      feed.peer_up(1, 65001, bgp::PeerType::kPrivatePeer);
+  withdraw.kind = bgp::MonitorEvent::Kind::kRoute;
+  withdraw.update.withdrawn = {P("100.1.0.0/24")};
+  feed.exporter.on_event(withdraw);
+
+  EXPECT_EQ(feed.collector.rib().prefix_count(), 1u);
+  EXPECT_EQ(feed.collector.rib().best(P("100.1.0.0/24")), nullptr);
+  EXPECT_NE(feed.collector.rib().best(P("100.2.0.0/24")), nullptr);
+}
+
+TEST(Collector, MalformedBytesCounted) {
+  BmpCollector collector;
+  collector.receive(0, std::vector<std::uint8_t>(16, 0xFF));
+  EXPECT_EQ(collector.stats().malformed, 1u);
+  EXPECT_EQ(collector.rib().prefix_count(), 0u);
+}
+
+TEST(Collector, PeerTypeNames) {
+  EXPECT_EQ(peer_type_from_name("private"), bgp::PeerType::kPrivatePeer);
+  EXPECT_EQ(peer_type_from_name("public"), bgp::PeerType::kPublicPeer);
+  EXPECT_EQ(peer_type_from_name("route-server"), bgp::PeerType::kRouteServer);
+  EXPECT_EQ(peer_type_from_name("transit"), bgp::PeerType::kTransit);
+  EXPECT_EQ(peer_type_from_name("controller"), bgp::PeerType::kController);
+  EXPECT_EQ(peer_type_from_name("internal"), bgp::PeerType::kInternal);
+  EXPECT_FALSE(peer_type_from_name("bogus").has_value());
+}
+
+TEST(Exporter, PeerAddressesAreUniquePerRouterAndPeer) {
+  std::set<net::IpAddr> addresses;
+  for (std::uint32_t router = 0; router < 8; ++router) {
+    for (std::uint32_t peer = 1; peer < 64; ++peer) {
+      addresses.insert(BmpExporter::peer_address(router, bgp::PeerId(peer)));
+    }
+  }
+  EXPECT_EQ(addresses.size(), 8u * 63u);
+}
+
+}  // namespace
+}  // namespace ef::bmp

@@ -1,0 +1,143 @@
+#include "bmp/wire.h"
+
+#include <gtest/gtest.h>
+
+namespace ef::bmp {
+namespace {
+
+PerPeerHeader make_peer() {
+  PerPeerHeader peer;
+  peer.post_policy = true;
+  peer.peer_addr = *net::IpAddr::parse("10.1.2.3");
+  peer.peer_as = 65001;
+  peer.peer_bgp_id = 0x0A010203;
+  peer.timestamp = net::SimTime::millis(1234567);
+  return peer;
+}
+
+TEST(BmpWire, InitiationRoundTrip) {
+  InitiationMsg init;
+  init.sys_name = "pop-a-pr0";
+  init.sys_descr = "edgefabric peering router";
+  auto msg = decode(encode(BmpMessage(init)));
+  ASSERT_TRUE(msg.has_value());
+  EXPECT_EQ(std::get<InitiationMsg>(*msg), init);
+}
+
+TEST(BmpWire, TerminationRoundTrip) {
+  TerminationMsg term;
+  term.reason = 1;
+  auto msg = decode(encode(BmpMessage(term)));
+  ASSERT_TRUE(msg.has_value());
+  EXPECT_EQ(std::get<TerminationMsg>(*msg), term);
+}
+
+TEST(BmpWire, PeerUpRoundTrip) {
+  PeerUpMsg up;
+  up.peer = make_peer();
+  up.local_addr = *net::IpAddr::parse("10.128.0.1");
+  up.local_port = 179;
+  up.remote_port = 40000;
+  up.information = {"peer-type=transit", "note=test"};
+  auto msg = decode(encode(BmpMessage(up)));
+  ASSERT_TRUE(msg.has_value());
+  const auto& got = std::get<PeerUpMsg>(*msg);
+  EXPECT_EQ(got.peer, up.peer);
+  EXPECT_EQ(got.local_addr, up.local_addr);
+  EXPECT_EQ(got.remote_port, up.remote_port);
+  EXPECT_EQ(got.information, up.information);
+}
+
+TEST(BmpWire, PeerDownRoundTrip) {
+  PeerDownMsg down;
+  down.peer = make_peer();
+  down.reason = PeerDownReason::kLocalNotification;
+  auto msg = decode(encode(BmpMessage(down)));
+  ASSERT_TRUE(msg.has_value());
+  EXPECT_EQ(std::get<PeerDownMsg>(*msg), down);
+}
+
+TEST(BmpWire, RouteMonitoringRoundTrip) {
+  RouteMonitoringMsg rm;
+  rm.peer = make_peer();
+  rm.update.nlri = {*net::Prefix::parse("100.1.0.0/24")};
+  rm.update.attrs.as_path = bgp::AsPath{bgp::AsNumber(65001)};
+  rm.update.attrs.next_hop = *net::IpAddr::parse("172.16.0.1");
+  rm.update.attrs.local_pref = bgp::LocalPref(340);
+  rm.update.attrs.has_local_pref = true;
+  rm.update.attrs.communities = {bgp::Community(64999, 0)};
+
+  auto msg = decode(encode(BmpMessage(rm)));
+  ASSERT_TRUE(msg.has_value());
+  const auto& got = std::get<RouteMonitoringMsg>(*msg);
+  EXPECT_EQ(got.peer, rm.peer);
+  EXPECT_EQ(got.update.nlri, rm.update.nlri);
+  EXPECT_EQ(got.update.attrs, rm.update.attrs);
+}
+
+TEST(BmpWire, RouteMonitoringWithdraw) {
+  RouteMonitoringMsg rm;
+  rm.peer = make_peer();
+  rm.update.withdrawn = {*net::Prefix::parse("100.2.0.0/24")};
+  auto msg = decode(encode(BmpMessage(rm)));
+  ASSERT_TRUE(msg.has_value());
+  EXPECT_EQ(std::get<RouteMonitoringMsg>(*msg).update.withdrawn,
+            rm.update.withdrawn);
+}
+
+TEST(BmpWire, V6PeerAddress) {
+  PerPeerHeader peer = make_peer();
+  peer.peer_addr = *net::IpAddr::parse("2001:db8::5");
+  PeerDownMsg down;
+  down.peer = peer;
+  auto msg = decode(encode(BmpMessage(down)));
+  ASSERT_TRUE(msg.has_value());
+  EXPECT_EQ(std::get<PeerDownMsg>(*msg).peer.peer_addr, peer.peer_addr);
+}
+
+TEST(BmpWire, PrePolicyFlagPreserved) {
+  PerPeerHeader peer = make_peer();
+  peer.post_policy = false;
+  PeerDownMsg down;
+  down.peer = peer;
+  auto msg = decode(encode(BmpMessage(down)));
+  ASSERT_TRUE(msg.has_value());
+  EXPECT_FALSE(std::get<PeerDownMsg>(*msg).peer.post_policy);
+}
+
+TEST(BmpWire, TimestampMillisecondPrecision) {
+  PerPeerHeader peer = make_peer();
+  peer.timestamp = net::SimTime::millis(98765432);
+  PeerDownMsg down;
+  down.peer = peer;
+  auto msg = decode(encode(BmpMessage(down)));
+  ASSERT_TRUE(msg.has_value());
+  EXPECT_EQ(std::get<PeerDownMsg>(*msg).peer.timestamp.millis_value(),
+            98765432);
+}
+
+TEST(BmpWire, RejectsWrongVersion) {
+  auto bytes = encode(BmpMessage(InitiationMsg{}));
+  bytes[0] = 2;  // BMPv2
+  EXPECT_FALSE(decode(bytes).has_value());
+}
+
+TEST(BmpWire, RejectsTruncated) {
+  auto bytes = encode(BmpMessage(PeerDownMsg{make_peer(), {}}));
+  bytes.resize(bytes.size() - 5);
+  EXPECT_FALSE(decode(bytes).has_value());
+}
+
+TEST(BmpWire, MultipleMessagesStream) {
+  auto a = encode(BmpMessage(InitiationMsg{"r1", "d"}));
+  auto b = encode(BmpMessage(PeerDownMsg{make_peer(), {}}));
+  std::vector<std::uint8_t> joined(a);
+  joined.insert(joined.end(), b.begin(), b.end());
+  net::BufReader reader(joined);
+  EXPECT_TRUE(decode(reader).has_value());
+  EXPECT_TRUE(decode(reader).has_value());
+  EXPECT_EQ(reader.remaining(), 0u);
+}
+
+}  // namespace
+}  // namespace ef::bmp

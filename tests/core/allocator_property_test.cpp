@@ -1,0 +1,201 @@
+// Property tests: allocator invariants over randomized environments.
+// Each seed builds a random PoP-like environment (interfaces, peers,
+// routes, demand) and checks structural guarantees that must hold for
+// ANY input — conservation, headroom, drain rules, determinism.
+#include <gtest/gtest.h>
+
+#include "core/allocator.h"
+#include "net/rng.h"
+
+namespace ef::core {
+namespace {
+
+using net::Bandwidth;
+
+struct RandomEnv {
+  bgp::Rib rib;
+  telemetry::InterfaceRegistry interfaces;
+  telemetry::DemandMatrix demand;
+  std::map<net::IpAddr, EgressView> egress;
+  std::vector<net::IpAddr> peers;
+  std::vector<net::Prefix> prefixes;
+
+  explicit RandomEnv(std::uint64_t seed) {
+    net::Rng rng(seed);
+    const int interface_count = static_cast<int>(rng.uniform_int(4, 12));
+    for (int i = 0; i < interface_count; ++i) {
+      interfaces.add(telemetry::InterfaceId(static_cast<std::uint32_t>(i)),
+                     Bandwidth::gbps(rng.uniform(2.0, 40.0)));
+    }
+    // Randomly drain one interface sometimes.
+    if (rng.bernoulli(0.3)) {
+      interfaces.set_drained(
+          telemetry::InterfaceId(static_cast<std::uint32_t>(
+              rng.uniform_int(0, interface_count - 1))),
+          true);
+    }
+
+    for (int i = 0; i < interface_count; ++i) {
+      const net::IpAddr addr =
+          net::IpAddr::v4(0xac100000u + static_cast<std::uint32_t>(i));
+      const int type_roll = static_cast<int>(rng.uniform_int(0, 3));
+      egress[addr] = EgressView{
+          telemetry::InterfaceId(static_cast<std::uint32_t>(i)),
+          static_cast<bgp::PeerType>(type_roll), addr};
+      peers.push_back(addr);
+    }
+
+    const int prefix_count = static_cast<int>(rng.uniform_int(20, 120));
+    for (int p = 0; p < prefix_count; ++p) {
+      const net::Prefix prefix(
+          net::IpAddr::v4(0x64000000u +
+                          (static_cast<std::uint32_t>(p) << 8)),
+          24);
+      prefixes.push_back(prefix);
+      const int route_count = static_cast<int>(
+          rng.uniform_int(1, std::min(interface_count, 5)));
+      for (int r = 0; r < route_count; ++r) {
+        const std::size_t peer_index = static_cast<std::size_t>(
+            rng.uniform_int(0, interface_count - 1));
+        bgp::Route route;
+        route.prefix = prefix;
+        route.learned_from = bgp::PeerId(
+            static_cast<std::uint32_t>(peer_index * 1000 +
+                                       static_cast<std::size_t>(r)));
+        const EgressView& view = egress.at(peers[peer_index]);
+        route.peer_type = view.type;
+        route.neighbor_as =
+            bgp::AsNumber(60000 + static_cast<std::uint32_t>(peer_index));
+        route.neighbor_router_id =
+            bgp::RouterId(static_cast<std::uint32_t>(peer_index));
+        route.attrs.next_hop = peers[peer_index];
+        route.attrs.local_pref = bgp::LocalPref(
+            static_cast<std::uint32_t>(rng.uniform_int(100, 400)));
+        route.attrs.has_local_pref = true;
+        route.attrs.as_path = bgp::AsPath{route.neighbor_as};
+        rib.announce(route);
+      }
+      demand.set(prefix, Bandwidth::gbps(rng.uniform(0.01, 4.0)));
+    }
+  }
+
+  EgressResolver resolver() const {
+    return [this](const bgp::Route& route) -> std::optional<EgressView> {
+      auto it = egress.find(route.attrs.next_hop);
+      if (it == egress.end()) return std::nullopt;
+      return it->second;
+    };
+  }
+};
+
+class AllocatorProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(AllocatorProperty, Invariants) {
+  RandomEnv env(GetParam());
+  AllocatorConfig config;
+  Allocator allocator(config);
+  const AllocationResult result =
+      allocator.allocate(env.rib, env.demand, env.interfaces, env.resolver());
+
+  // 1. Conservation: detours move traffic, they never create or destroy
+  //    it. Sum of final == sum of projected.
+  double projected_total = 0;
+  double final_total = 0;
+  for (const auto& [iface, load] : result.projected_load) {
+    projected_total += load.bits_per_sec();
+  }
+  for (const auto& [iface, load] : result.final_load) {
+    final_total += load.bits_per_sec();
+  }
+  EXPECT_NEAR(final_total, projected_total, 1.0);
+
+  // 2. Projected + unroutable == total demand.
+  EXPECT_NEAR(projected_total + result.unroutable.bits_per_sec(),
+              env.demand.total().bits_per_sec(), 1.0);
+
+  for (const Override& override_entry : result.overrides) {
+    // 3. Overrides only move traffic between distinct interfaces.
+    EXPECT_NE(override_entry.from_interface,
+              override_entry.target_interface);
+
+    // 4. Never onto a drained interface.
+    EXPECT_FALSE(env.interfaces.drained(override_entry.target_interface));
+
+    // 5. The override's next hop is a real route of that prefix.
+    bool route_exists = false;
+    for (const bgp::Route& route :
+         env.rib.candidates(override_entry.prefix)) {
+      route_exists = route_exists ||
+                     route.attrs.next_hop == override_entry.next_hop;
+    }
+    EXPECT_TRUE(route_exists) << override_entry.prefix.to_string();
+
+    // 6. The override's rate matches the prefix demand exactly (whole
+    //    prefixes move; BGP cannot split).
+    EXPECT_DOUBLE_EQ(override_entry.rate.bits_per_sec(),
+                     env.demand.rate(override_entry.prefix).bits_per_sec());
+  }
+
+  // 7. At most one override per prefix.
+  std::set<net::Prefix> seen;
+  for (const Override& override_entry : result.overrides) {
+    EXPECT_TRUE(seen.insert(override_entry.prefix).second);
+  }
+
+  // 8. Detour targets never pushed past the headroom cap *by detours*:
+  //    final <= max(projected, headroom-cap).
+  for (const auto& [iface, final_load] : result.final_load) {
+    const double projected =
+        result.projected_load.at(iface).bits_per_sec();
+    const double cap =
+        env.interfaces.usable_capacity(iface).bits_per_sec() *
+        config.detour_headroom;
+    EXPECT_LE(final_load.bits_per_sec(),
+              std::max(projected, cap) + 1.0)
+        << "interface " << iface.value();
+  }
+
+  // 9. Drained interfaces end at zero, or every bit of leftover load is
+  //    accounted as unresolved (nowhere to put it).
+  env.interfaces.for_each([&](telemetry::InterfaceId id,
+                              const telemetry::InterfaceState& state) {
+    if (!state.drained) return;
+    const double leftover = result.final_load.at(id).bits_per_sec();
+    if (leftover > 1.0) {
+      EXPECT_GE(result.unresolved_overload.bits_per_sec(), leftover - 1.0);
+    }
+  });
+
+  // 10. Determinism: the same inputs give byte-identical decisions.
+  const AllocationResult again =
+      allocator.allocate(env.rib, env.demand, env.interfaces, env.resolver());
+  ASSERT_EQ(again.overrides.size(), result.overrides.size());
+  for (std::size_t i = 0; i < result.overrides.size(); ++i) {
+    EXPECT_EQ(again.overrides[i].prefix, result.overrides[i].prefix);
+    EXPECT_EQ(again.overrides[i].target_interface,
+              result.overrides[i].target_interface);
+  }
+}
+
+TEST_P(AllocatorProperty, OrderAblationStillSatisfiesCapacityRules) {
+  RandomEnv env(GetParam());
+  AllocatorConfig config;
+  config.order = DetourOrder::kLargestFirst;
+  Allocator allocator(config);
+  const AllocationResult result =
+      allocator.allocate(env.rib, env.demand, env.interfaces, env.resolver());
+  for (const auto& [iface, final_load] : result.final_load) {
+    const double projected =
+        result.projected_load.at(iface).bits_per_sec();
+    const double cap =
+        env.interfaces.usable_capacity(iface).bits_per_sec() *
+        config.detour_headroom;
+    EXPECT_LE(final_load.bits_per_sec(), std::max(projected, cap) + 1.0);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, AllocatorProperty,
+                         ::testing::Range<std::uint64_t>(1, 25));
+
+}  // namespace
+}  // namespace ef::core

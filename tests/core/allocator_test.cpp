@@ -1,0 +1,365 @@
+#include "core/allocator.h"
+
+#include <gtest/gtest.h>
+
+namespace ef::core {
+namespace {
+
+using net::Bandwidth;
+
+net::Prefix P(const char* text) { return *net::Prefix::parse(text); }
+
+/// Hand-built allocation environment: interfaces, peers (address ->
+/// interface), a RIB, and demand — no Pop machinery, so each scenario is
+/// exactly controlled.
+struct Env {
+  bgp::Rib rib;
+  telemetry::InterfaceRegistry interfaces;
+  telemetry::DemandMatrix demand;
+  std::map<net::IpAddr, EgressView> egress;
+  std::uint32_t next_peer = 1;
+
+  void add_interface(std::uint32_t id, double gbps) {
+    interfaces.add(telemetry::InterfaceId(id), Bandwidth::gbps(gbps));
+  }
+
+  /// Adds a peer on `iface` and returns its next-hop address.
+  net::IpAddr add_peer(std::uint32_t iface, bgp::PeerType type) {
+    const net::IpAddr addr = net::IpAddr::v4(0xac100000u + next_peer);
+    egress[addr] = EgressView{telemetry::InterfaceId(iface), type, addr};
+    ++next_peer;
+    return addr;
+  }
+
+  /// Announces `prefix` via the peer at `addr` with the ladder LOCAL_PREF
+  /// for its type and the given path length.
+  void announce(const net::Prefix& prefix, const net::IpAddr& addr,
+                std::size_t path_len = 1) {
+    const EgressView& view = egress.at(addr);
+    bgp::Route route;
+    route.prefix = prefix;
+    route.learned_from = bgp::PeerId(addr.v4_value());
+    route.peer_type = view.type;
+    route.neighbor_as = bgp::AsNumber(60000 + addr.v4_value() % 1000);
+    route.neighbor_router_id = bgp::RouterId(addr.v4_value());
+    route.attrs.next_hop = addr;
+    std::vector<bgp::AsNumber> path;
+    for (std::size_t i = 0; i < path_len; ++i) {
+      path.push_back(route.neighbor_as);
+    }
+    route.attrs.as_path = bgp::AsPath(path);
+    std::uint32_t lp = 200;
+    switch (view.type) {
+      case bgp::PeerType::kPrivatePeer: lp = 340; break;
+      case bgp::PeerType::kPublicPeer: lp = 320; break;
+      case bgp::PeerType::kRouteServer: lp = 300; break;
+      default: lp = 200; break;
+    }
+    route.attrs.local_pref = bgp::LocalPref(lp);
+    route.attrs.has_local_pref = true;
+    rib.announce(route);
+  }
+
+  EgressResolver resolver() const {
+    return [this](const bgp::Route& route) -> std::optional<EgressView> {
+      auto it = egress.find(route.attrs.next_hop);
+      if (it == egress.end()) return std::nullopt;
+      return it->second;
+    };
+  }
+
+  AllocationResult allocate(AllocatorConfig config = {}) {
+    Allocator allocator(config);
+    return allocator.allocate(rib, demand, interfaces, resolver());
+  }
+};
+
+TEST(Allocator, NoOverloadNoOverrides) {
+  Env env;
+  env.add_interface(0, 10);
+  const auto peer = env.add_peer(0, bgp::PeerType::kPrivatePeer);
+  env.announce(P("100.1.0.0/24"), peer);
+  env.demand.set(P("100.1.0.0/24"), Bandwidth::gbps(5));
+
+  const auto result = env.allocate();
+  EXPECT_TRUE(result.overrides.empty());
+  EXPECT_EQ(result.overloaded_interfaces, 0u);
+  EXPECT_DOUBLE_EQ(
+      result.projected_load.at(telemetry::InterfaceId(0)).gbps_value(), 5.0);
+  EXPECT_DOUBLE_EQ(result.unresolved_overload.bits_per_sec(), 0);
+}
+
+TEST(Allocator, DetoursToAlternateWhenOverloaded) {
+  Env env;
+  env.add_interface(0, 10);  // overloaded PNI
+  env.add_interface(1, 100);  // roomy transit
+  const auto pni = env.add_peer(0, bgp::PeerType::kPrivatePeer);
+  const auto transit = env.add_peer(1, bgp::PeerType::kTransit);
+  for (int i = 0; i < 4; ++i) {
+    const net::Prefix prefix = net::Prefix(
+        net::IpAddr::v4((100u << 24) | (static_cast<std::uint32_t>(i) << 8)),
+        24);
+    env.announce(prefix, pni);
+    env.announce(prefix, transit, 2);
+    env.demand.set(prefix, Bandwidth::gbps(3));  // total 12 on a 10G port
+  }
+
+  const auto result = env.allocate();
+  EXPECT_EQ(result.overloaded_interfaces, 1u);
+  ASSERT_FALSE(result.overrides.empty());
+  for (const Override& override_entry : result.overrides) {
+    EXPECT_EQ(override_entry.from_interface, telemetry::InterfaceId(0));
+    EXPECT_EQ(override_entry.target_interface, telemetry::InterfaceId(1));
+    EXPECT_EQ(override_entry.target_type, bgp::PeerType::kTransit);
+    EXPECT_EQ(override_entry.next_hop, transit);
+  }
+  // Final load on the PNI must be at or below target utilization.
+  EXPECT_LE(result.final_load.at(telemetry::InterfaceId(0)).gbps_value(),
+            10 * 0.90 + 1e-9);
+  EXPECT_DOUBLE_EQ(result.unresolved_overload.bits_per_sec(), 0);
+}
+
+TEST(Allocator, PrefersPeerAlternateOverTransit) {
+  Env env;
+  env.add_interface(0, 1);    // overloaded
+  env.add_interface(1, 100);  // alternate public peer
+  env.add_interface(2, 100);  // transit
+  const auto pni = env.add_peer(0, bgp::PeerType::kPrivatePeer);
+  const auto pub = env.add_peer(1, bgp::PeerType::kPublicPeer);
+  const auto transit = env.add_peer(2, bgp::PeerType::kTransit);
+
+  env.announce(P("100.1.0.0/24"), pni);
+  env.announce(P("100.1.0.0/24"), pub);
+  env.announce(P("100.1.0.0/24"), transit, 2);
+  env.demand.set(P("100.1.0.0/24"), Bandwidth::gbps(2));
+
+  const auto result = env.allocate();
+  ASSERT_EQ(result.overrides.size(), 1u);
+  EXPECT_EQ(result.overrides[0].target_interface, telemetry::InterfaceId(1));
+  EXPECT_EQ(result.overrides[0].target_type, bgp::PeerType::kPublicPeer);
+}
+
+TEST(Allocator, RespectsDetourHeadroom) {
+  Env env;
+  env.add_interface(0, 1);   // overloaded
+  env.add_interface(1, 2);   // small alternate: must not be overfilled
+  env.add_interface(2, 100); // big transit
+  const auto pni = env.add_peer(0, bgp::PeerType::kPrivatePeer);
+  const auto pub = env.add_peer(1, bgp::PeerType::kPublicPeer);
+  const auto transit = env.add_peer(2, bgp::PeerType::kTransit);
+
+  // Three 1G prefixes on a 1G port; the 2G public alternate can hold one
+  // (headroom 0.95 -> 1.9G) but not all.
+  for (int i = 0; i < 3; ++i) {
+    const net::Prefix prefix = net::Prefix(
+        net::IpAddr::v4((100u << 24) | (static_cast<std::uint32_t>(i) << 8)),
+        24);
+    env.announce(prefix, pni);
+    env.announce(prefix, pub);
+    env.announce(prefix, transit, 2);
+    env.demand.set(prefix, Bandwidth::gbps(1));
+  }
+
+  const auto result = env.allocate();
+  // The public port must end at or below its headroom cap.
+  EXPECT_LE(result.final_load.at(telemetry::InterfaceId(1)).gbps_value(),
+            2 * 0.95 + 1e-9);
+  // Everything still moved somewhere (transit took the rest).
+  EXPECT_LE(result.final_load.at(telemetry::InterfaceId(0)).gbps_value(),
+            1 * 0.90 + 1e-9);
+  EXPECT_DOUBLE_EQ(result.unresolved_overload.bits_per_sec(), 0);
+}
+
+TEST(Allocator, DrainedInterfaceFullyEvacuated) {
+  Env env;
+  env.add_interface(0, 10);
+  env.add_interface(1, 100);
+  const auto pni = env.add_peer(0, bgp::PeerType::kPrivatePeer);
+  const auto transit = env.add_peer(1, bgp::PeerType::kTransit);
+  env.announce(P("100.1.0.0/24"), pni);
+  env.announce(P("100.1.0.0/24"), transit, 2);
+  env.demand.set(P("100.1.0.0/24"), Bandwidth::gbps(1));  // well under cap
+
+  env.interfaces.set_drained(telemetry::InterfaceId(0), true);
+  const auto result = env.allocate();
+  ASSERT_EQ(result.overrides.size(), 1u);
+  EXPECT_EQ(result.overrides[0].target_interface, telemetry::InterfaceId(1));
+  EXPECT_DOUBLE_EQ(
+      result.final_load.at(telemetry::InterfaceId(0)).bits_per_sec(), 0);
+}
+
+TEST(Allocator, NeverDetoursOntoDrainedInterface) {
+  Env env;
+  env.add_interface(0, 1);
+  env.add_interface(1, 100);  // drained alternate
+  env.add_interface(2, 100);  // live transit
+  const auto pni = env.add_peer(0, bgp::PeerType::kPrivatePeer);
+  const auto pub = env.add_peer(1, bgp::PeerType::kPublicPeer);
+  const auto transit = env.add_peer(2, bgp::PeerType::kTransit);
+  env.announce(P("100.1.0.0/24"), pni);
+  env.announce(P("100.1.0.0/24"), pub);
+  env.announce(P("100.1.0.0/24"), transit, 2);
+  env.demand.set(P("100.1.0.0/24"), Bandwidth::gbps(2));
+  env.interfaces.set_drained(telemetry::InterfaceId(1), true);
+
+  const auto result = env.allocate();
+  ASSERT_EQ(result.overrides.size(), 1u);
+  EXPECT_EQ(result.overrides[0].target_interface, telemetry::InterfaceId(2));
+}
+
+TEST(Allocator, UnresolvedOverloadWhenNoAlternateFits) {
+  Env env;
+  env.add_interface(0, 1);
+  const auto pni = env.add_peer(0, bgp::PeerType::kPrivatePeer);
+  env.announce(P("100.1.0.0/24"), pni);  // only route
+  env.demand.set(P("100.1.0.0/24"), Bandwidth::gbps(2));
+
+  const auto result = env.allocate();
+  EXPECT_TRUE(result.overrides.empty());
+  EXPECT_NEAR(result.unresolved_overload.gbps_value(), 1.0, 1e-9);
+}
+
+TEST(Allocator, UnroutableDemandCounted) {
+  Env env;
+  env.add_interface(0, 10);
+  env.demand.set(P("100.1.0.0/24"), Bandwidth::gbps(1));  // no route at all
+  const auto result = env.allocate();
+  EXPECT_NEAR(result.unroutable.gbps_value(), 1.0, 1e-9);
+}
+
+TEST(Allocator, IgnoresControllerRoutesInProjection) {
+  Env env;
+  env.add_interface(0, 10);
+  env.add_interface(1, 100);
+  const auto pni = env.add_peer(0, bgp::PeerType::kPrivatePeer);
+  const auto transit = env.add_peer(1, bgp::PeerType::kTransit);
+  env.announce(P("100.1.0.0/24"), pni);
+  env.announce(P("100.1.0.0/24"), transit, 2);
+  env.demand.set(P("100.1.0.0/24"), Bandwidth::gbps(1));
+
+  // A previous cycle's override is in the RIB, pointing at transit with
+  // a towering LOCAL_PREF. Projection must still see the PNI as preferred.
+  bgp::Route injected;
+  injected.prefix = P("100.1.0.0/24");
+  injected.learned_from = bgp::PeerId(999999);
+  injected.peer_type = bgp::PeerType::kController;
+  injected.attrs.next_hop = transit;
+  injected.attrs.local_pref = bgp::LocalPref(1000);
+  injected.attrs.has_local_pref = true;
+  env.rib.announce(injected);
+
+  const auto result = env.allocate();
+  EXPECT_DOUBLE_EQ(
+      result.projected_load.at(telemetry::InterfaceId(0)).gbps_value(), 1.0);
+  EXPECT_DOUBLE_EQ(
+      result.projected_load.at(telemetry::InterfaceId(1)).gbps_value(), 0.0);
+  EXPECT_TRUE(result.overrides.empty());  // no overload -> override lapses
+}
+
+TEST(Allocator, MaxOverridesCap) {
+  Env env;
+  env.add_interface(0, 1);
+  env.add_interface(1, 100);
+  const auto pni = env.add_peer(0, bgp::PeerType::kPrivatePeer);
+  const auto transit = env.add_peer(1, bgp::PeerType::kTransit);
+  for (int i = 0; i < 10; ++i) {
+    const net::Prefix prefix = net::Prefix(
+        net::IpAddr::v4((100u << 24) | (static_cast<std::uint32_t>(i) << 8)),
+        24);
+    env.announce(prefix, pni);
+    env.announce(prefix, transit, 2);
+    env.demand.set(prefix, Bandwidth::gbps(1));
+  }
+  AllocatorConfig config;
+  config.max_overrides = 3;
+  const auto result = env.allocate(config);
+  EXPECT_EQ(result.overrides.size(), 3u);
+  EXPECT_GT(result.unresolved_overload.gbps_value(), 0);
+}
+
+TEST(Allocator, BestAlternateOrderMovesPeerBackedPrefixesFirst) {
+  Env env;
+  env.add_interface(0, 10);
+  env.add_interface(1, 100);  // public alternate
+  env.add_interface(2, 100);  // transit
+  const auto pni = env.add_peer(0, bgp::PeerType::kPrivatePeer);
+  const auto pub = env.add_peer(1, bgp::PeerType::kPublicPeer);
+  const auto transit = env.add_peer(2, bgp::PeerType::kTransit);
+
+  // Prefix A (5G): alternate is only transit. Prefix B (5G): alternate is
+  // a public peer. Port has 10G capacity, threshold 0.95 -> must move ~1G;
+  // moving B (peer-backed) suffices and is preferred by the paper's order.
+  env.announce(P("100.1.0.0/24"), pni);
+  env.announce(P("100.1.0.0/24"), transit, 2);
+  env.announce(P("100.2.0.0/24"), pni);
+  env.announce(P("100.2.0.0/24"), pub);
+  env.announce(P("100.2.0.0/24"), transit, 2);
+  env.demand.set(P("100.1.0.0/24"), Bandwidth::gbps(5));
+  env.demand.set(P("100.2.0.0/24"), Bandwidth::gbps(5));
+
+  const auto result = env.allocate();
+  ASSERT_EQ(result.overrides.size(), 1u);
+  EXPECT_EQ(result.overrides[0].prefix, P("100.2.0.0/24"));
+  EXPECT_EQ(result.overrides[0].target_type, bgp::PeerType::kPublicPeer);
+}
+
+TEST(Allocator, LargestFirstOrderMovesBigPrefix) {
+  Env env;
+  env.add_interface(0, 10);
+  env.add_interface(1, 100);
+  env.add_interface(2, 100);
+  const auto pni = env.add_peer(0, bgp::PeerType::kPrivatePeer);
+  const auto pub = env.add_peer(1, bgp::PeerType::kPublicPeer);
+  const auto transit = env.add_peer(2, bgp::PeerType::kTransit);
+
+  env.announce(P("100.1.0.0/24"), pni);
+  env.announce(P("100.1.0.0/24"), transit, 2);  // big, transit-only alt
+  env.announce(P("100.2.0.0/24"), pni);
+  env.announce(P("100.2.0.0/24"), pub);
+  env.announce(P("100.2.0.0/24"), transit, 2);
+  env.demand.set(P("100.1.0.0/24"), Bandwidth::gbps(7));
+  env.demand.set(P("100.2.0.0/24"), Bandwidth::gbps(4));
+
+  AllocatorConfig config;
+  config.order = DetourOrder::kLargestFirst;
+  const auto result = env.allocate(config);
+  ASSERT_FALSE(result.overrides.empty());
+  EXPECT_EQ(result.overrides[0].prefix, P("100.1.0.0/24"));
+}
+
+TEST(Allocator, ProjectionListsIdleInterfaces) {
+  Env env;
+  env.add_interface(0, 10);
+  env.add_interface(1, 10);
+  const auto result = env.allocate();
+  EXPECT_EQ(result.projected_load.size(), 2u);
+  EXPECT_DOUBLE_EQ(
+      result.projected_load.at(telemetry::InterfaceId(1)).bits_per_sec(), 0);
+}
+
+TEST(Allocator, DeterministicTieBreakByPrefix) {
+  // Two identical-rate prefixes; the allocator must pick deterministically
+  // (by prefix order) so repeated cycles agree.
+  Env env;
+  env.add_interface(0, 1);
+  env.add_interface(1, 100);
+  const auto pni = env.add_peer(0, bgp::PeerType::kPrivatePeer);
+  const auto transit = env.add_peer(1, bgp::PeerType::kTransit);
+  for (int i = 0; i < 2; ++i) {
+    const net::Prefix prefix = net::Prefix(
+        net::IpAddr::v4((100u << 24) | (static_cast<std::uint32_t>(i) << 8)),
+        24);
+    env.announce(prefix, pni);
+    env.announce(prefix, transit, 2);
+    env.demand.set(prefix, Bandwidth::mbps(600));
+  }
+  const auto first = env.allocate();
+  const auto second = env.allocate();
+  ASSERT_EQ(first.overrides.size(), second.overrides.size());
+  for (std::size_t i = 0; i < first.overrides.size(); ++i) {
+    EXPECT_EQ(first.overrides[i].prefix, second.overrides[i].prefix);
+  }
+}
+
+}  // namespace
+}  // namespace ef::core

@@ -1,0 +1,367 @@
+#include "core/controller.h"
+
+#include <gtest/gtest.h>
+
+#include "workload/demand.h"
+
+namespace ef::core {
+namespace {
+
+using net::Bandwidth;
+using net::SimTime;
+
+class ControllerTest : public ::testing::Test {
+ protected:
+  static topology::WorldConfig world_config() {
+    topology::WorldConfig config;
+    config.num_clients = 40;
+    config.num_pops = 2;
+    return config;
+  }
+
+  ControllerTest()
+      : world_(topology::World::generate(world_config())),
+        pop_(world_, 0),
+        demand_gen_(world_, 0, no_noise()) {}
+
+  static workload::DemandConfig no_noise() {
+    workload::DemandConfig config;
+    config.enable_events = false;
+    config.noise_sigma = 0;
+    return config;
+  }
+
+  telemetry::DemandMatrix peak_demand() {
+    return demand_gen_.baseline(SimTime::seconds(0));
+  }
+
+  topology::World world_;
+  topology::Pop pop_;
+  workload::DemandGenerator demand_gen_;
+};
+
+TEST_F(ControllerTest, ConnectEstablishesSession) {
+  Controller controller(pop_, {});
+  EXPECT_FALSE(controller.connected());
+  controller.connect();
+  EXPECT_TRUE(controller.connected());
+}
+
+TEST_F(ControllerTest, PeakCycleEliminatesOverload) {
+  Controller controller(pop_, {});
+  controller.connect();
+  const auto demand = peak_demand();
+
+  const auto stats = controller.run_cycle(demand, SimTime::seconds(0));
+  EXPECT_GT(stats.allocation.overloaded_interfaces, 0u);
+  EXPECT_GT(stats.overrides_active, 0u);
+  EXPECT_DOUBLE_EQ(stats.allocation.unresolved_overload.bits_per_sec(), 0);
+
+  // Ground truth: forwarding the same demand must now fit every interface.
+  const auto load = pop_.project_load(demand);
+  for (const auto& [iface, rate] : load) {
+    EXPECT_LE(rate.bits_per_sec(),
+              pop_.interfaces().capacity(iface).bits_per_sec() + 1.0)
+        << "interface " << iface.value();
+  }
+}
+
+TEST_F(ControllerTest, OverridesVisibleInRibWithCommunity) {
+  Controller controller(pop_, {});
+  controller.connect();
+  controller.run_cycle(peak_demand(), SimTime::seconds(0));
+  ASSERT_FALSE(controller.active_overrides().empty());
+
+  for (const auto& [prefix, override_entry] : controller.active_overrides()) {
+    const bgp::Route* best = pop_.collector().rib().best(prefix);
+    ASSERT_NE(best, nullptr);
+    EXPECT_EQ(best->peer_type, bgp::PeerType::kController);
+    EXPECT_TRUE(best->attrs.has_community(kOverrideCommunity));
+    EXPECT_EQ(best->attrs.local_pref.value(), 1000u);
+    // Forwarding follows the override's target.
+    const auto egress = pop_.egress_of(prefix);
+    ASSERT_TRUE(egress.has_value());
+    EXPECT_EQ(egress->interface, override_entry.target_interface);
+  }
+}
+
+TEST_F(ControllerTest, StatelessCyclesAreIdempotent) {
+  Controller controller(pop_, {});
+  controller.connect();
+  const auto demand = peak_demand();
+  const auto first = controller.run_cycle(demand, SimTime::seconds(0));
+  const auto second = controller.run_cycle(demand, SimTime::seconds(30));
+  EXPECT_EQ(first.overrides_active, second.overrides_active);
+  EXPECT_EQ(second.added, 0u);
+  EXPECT_EQ(second.removed, 0u);
+  // Same prefixes, same targets.
+  const auto third = controller.run_cycle(demand, SimTime::seconds(60));
+  EXPECT_EQ(third.added, 0u);
+  EXPECT_EQ(third.removed, 0u);
+}
+
+TEST_F(ControllerTest, OverridesLapseWhenDemandFalls) {
+  Controller controller(pop_, {});
+  controller.connect();
+  controller.run_cycle(peak_demand(), SimTime::seconds(0));
+  ASSERT_GT(controller.active_overrides().size(), 0u);
+
+  // Trough demand: nothing overloads, all overrides withdrawn.
+  const auto trough = demand_gen_.baseline(SimTime::hours(12));
+  const auto stats = controller.run_cycle(trough, SimTime::seconds(30));
+  EXPECT_EQ(stats.overrides_active, 0u);
+  EXPECT_GT(stats.removed, 0u);
+
+  // The routers actually withdrew the injected routes.
+  std::size_t injected = 0;
+  pop_.collector().rib().for_each(
+      [&](const net::Prefix&, std::span<const bgp::Route> routes) {
+        for (const bgp::Route& route : routes) {
+          if (route.peer_type == bgp::PeerType::kController) ++injected;
+        }
+      });
+  EXPECT_EQ(injected, 0u);
+}
+
+TEST_F(ControllerTest, ShutdownFlushesOverrides) {
+  Controller controller(pop_, {});
+  controller.connect();
+  const auto demand = peak_demand();
+  controller.run_cycle(demand, SimTime::seconds(0));
+  const auto with_ef = pop_.project_load(demand);
+
+  controller.shutdown(SimTime::seconds(10));
+  EXPECT_FALSE(controller.connected());
+
+  // Forwarding reverts to BGP: overload returns.
+  const auto after = pop_.project_load(demand);
+  int over = 0;
+  for (const auto& [iface, rate] : after) {
+    if (rate > pop_.interfaces().capacity(iface)) ++over;
+  }
+  EXPECT_GT(over, 0);
+  (void)with_ef;
+}
+
+TEST_F(ControllerTest, HoldTimerFailsafeFlushesOverrides) {
+  Controller controller(pop_, {});
+  controller.connect();
+  const auto demand = peak_demand();
+  controller.run_cycle(demand, SimTime::seconds(0));
+  ASSERT_GT(controller.active_overrides().size(), 0u);
+
+  // The controller "hangs": it never ticks again. The routers keep
+  // ticking; after the hold time the session dies and the overrides go.
+  for (int t = 30; t <= 200; t += 30) {
+    pop_.tick(SimTime::seconds(t));
+  }
+  EXPECT_FALSE(controller.connected());
+  std::size_t injected = 0;
+  pop_.collector().rib().for_each(
+      [&](const net::Prefix&, std::span<const bgp::Route> routes) {
+        for (const bgp::Route& route : routes) {
+          if (route.peer_type == bgp::PeerType::kController) ++injected;
+        }
+      });
+  EXPECT_EQ(injected, 0u);
+}
+
+TEST_F(ControllerTest, TickKeepsSessionAlive) {
+  Controller controller(pop_, {});
+  controller.connect();
+  for (int t = 30; t <= 600; t += 30) {
+    controller.tick(SimTime::seconds(t));
+    pop_.tick(SimTime::seconds(t));
+  }
+  EXPECT_TRUE(controller.connected());
+}
+
+TEST_F(ControllerTest, HysteresisRetainsOverrides) {
+  // Find a demand dip where the stateless controller withdraws overrides
+  // (the interface fell below the detour trigger) but the interface is
+  // still above the restore threshold — there, hysteresis must retain.
+  const auto peak = peak_demand();
+  bool demonstrated = false;
+
+  for (double factor = 0.70; factor < 0.95 && !demonstrated;
+       factor += 0.02) {
+    telemetry::DemandMatrix dipped;
+    peak.for_each([&](const net::Prefix& prefix, Bandwidth rate) {
+      dipped.set(prefix, rate * factor);
+    });
+
+    topology::Pop stateless_pop(world_, 0);
+    Controller stateless(stateless_pop, {});
+    stateless.connect();
+    const auto stateless_first = stateless.run_cycle(peak, SimTime::seconds(0));
+    if (stateless_first.overrides_active == 0) continue;
+    const auto stateless_second =
+        stateless.run_cycle(dipped, SimTime::seconds(30));
+    if (stateless_second.removed == 0) continue;  // dip did not release
+
+    ControllerConfig sticky;
+    sticky.restore_threshold = 0.80;
+    topology::Pop sticky_pop(world_, 0);
+    Controller hysteresis(sticky_pop, sticky);
+    hysteresis.connect();
+    hysteresis.run_cycle(peak, SimTime::seconds(0));
+    const auto second = hysteresis.run_cycle(dipped, SimTime::seconds(30));
+    if (second.retained_by_hysteresis > 0) {
+      EXPECT_GE(second.overrides_active, stateless_second.overrides_active);
+      demonstrated = true;
+    }
+  }
+  EXPECT_TRUE(demonstrated)
+      << "no dip factor demonstrated hysteresis retention";
+}
+
+TEST_F(ControllerTest, AdvisorOverridesMergedWithHeadroomCheck) {
+  Controller controller(pop_, {});
+  controller.connect();
+
+  // Advise steering one un-overridden prefix to its transit route.
+  const auto demand = peak_demand();
+  net::Prefix candidate;
+  Override advised;
+  bool found = false;
+  demand.for_each([&](const net::Prefix& prefix, Bandwidth rate) {
+    if (found || rate <= Bandwidth::zero()) return;
+    const auto routes = pop_.ranked_routes(prefix);
+    if (routes.size() < 2) return;
+    const auto from = pop_.egress_of_route(*routes[0]);
+    const auto target = pop_.egress_of_route(*routes[1]);
+    if (!from || !target || from->interface == target->interface) return;
+    // Pick a small prefix so capacity is not the issue.
+    if (rate > Bandwidth::mbps(200)) return;
+    advised.prefix = prefix;
+    advised.rate = rate;
+    advised.next_hop = routes[1]->attrs.next_hop;
+    advised.as_path = routes[1]->attrs.as_path;
+    advised.from_interface = from->interface;
+    advised.target_interface = target->interface;
+    advised.from_type = from->type;
+    advised.target_type = target->type;
+    candidate = prefix;
+    found = true;
+  });
+  ASSERT_TRUE(found);
+
+  controller.set_advisor(
+      [&](const AllocationResult&) { return std::vector<Override>{advised}; });
+  const auto stats = controller.run_cycle(demand, SimTime::seconds(0));
+  EXPECT_EQ(stats.perf_overrides, 1u);
+  EXPECT_TRUE(controller.active_overrides().contains(candidate));
+  const auto egress = pop_.egress_of(candidate);
+  ASSERT_TRUE(egress.has_value());
+  EXPECT_EQ(egress->interface, advised.target_interface);
+}
+
+TEST_F(ControllerTest, InjectsToAllRoutersByDefault) {
+  Controller controller(pop_, {});
+  controller.connect();
+  EXPECT_EQ(controller.established_sessions(),
+            static_cast<std::size_t>(pop_.router_count()));
+}
+
+TEST_F(ControllerTest, SurvivesSingleInjectionSessionLoss) {
+  Controller controller(pop_, {});
+  controller.connect();
+  ASSERT_GE(controller.established_sessions(), 2u);
+
+  const auto demand = peak_demand();
+  controller.run_cycle(demand, SimTime::seconds(0));
+  ASSERT_FALSE(controller.active_overrides().empty());
+
+  // Lose the session to router 0: overrides must persist via the others.
+  controller.drop_session(0, SimTime::seconds(10));
+  EXPECT_EQ(controller.established_sessions(),
+            static_cast<std::size_t>(pop_.router_count()) - 1);
+  EXPECT_TRUE(controller.connected());
+
+  const auto load = pop_.project_load(demand);
+  for (const auto& [iface, rate] : load) {
+    EXPECT_LE(rate.bits_per_sec(),
+              pop_.interfaces().capacity(iface).bits_per_sec() + 1.0)
+        << "override lost with one session down";
+  }
+}
+
+TEST_F(ControllerTest, SingleRouterModeStillWorks) {
+  ControllerConfig config;
+  config.inject_all_routers = false;
+  Controller controller(pop_, config);
+  controller.connect(1);
+  EXPECT_EQ(controller.established_sessions(), 1u);
+  const auto stats = controller.run_cycle(peak_demand(), SimTime::seconds(0));
+  EXPECT_GT(stats.overrides_active, 0u);
+}
+
+TEST_F(ControllerTest, DetourBudgetLimitsBlastRadius) {
+  ControllerConfig config;
+  config.safety.max_detour_fraction = 0.01;  // almost nothing may move
+  Controller controller(pop_, config);
+  controller.connect();
+  const auto demand = peak_demand();
+  const auto stats = controller.run_cycle(demand, SimTime::seconds(0));
+  EXPECT_GT(stats.safety.dropped_by_budget, 0u);
+
+  net::Bandwidth detoured;
+  for (const auto& [prefix, override_entry] : controller.active_overrides()) {
+    detoured += override_entry.rate;
+  }
+  EXPECT_LE(detoured.bits_per_sec(), demand.total().bits_per_sec() * 0.01 + 1);
+}
+
+TEST_F(ControllerTest, SafetyDropsOverrideWhoseAlternateVanished) {
+  // Hysteresis can retain an override across cycles; if the alternate
+  // route is withdrawn in between, the safety guard must drop it rather
+  // than blackhole.
+  ControllerConfig config;
+  config.restore_threshold = 0.5;
+  Controller controller(pop_, config);
+  controller.connect();
+  const auto demand = peak_demand();
+  controller.run_cycle(demand, SimTime::seconds(0));
+  ASSERT_FALSE(controller.active_overrides().empty());
+
+  // Find an override and take down the peering its detour uses.
+  const auto& [prefix, override_entry] = *controller.active_overrides().begin();
+  std::size_t target_peering = 0;
+  bool found = false;
+  for (std::size_t i = 0; i < pop_.def().peerings.size(); ++i) {
+    if (pop_.peering_address(i) == override_entry.next_hop) {
+      target_peering = i;
+      found = true;
+    }
+  }
+  ASSERT_TRUE(found);
+  pop_.set_peering_up(target_peering, false, SimTime::seconds(20));
+
+  const auto stats = controller.run_cycle(demand, SimTime::seconds(30));
+  // Either the allocator chose a different live alternate, or the safety
+  // guard dropped the stale one — in no case does the dead next hop
+  // remain injected.
+  for (const auto& [p, ov] : controller.active_overrides()) {
+    EXPECT_NE(ov.next_hop, override_entry.next_hop);
+  }
+  (void)stats;
+}
+
+TEST_F(ControllerTest, DrainedInterfaceEvacuatedEndToEnd) {
+  Controller controller(pop_, {});
+  controller.connect();
+  const telemetry::InterfaceId drained(0);
+  pop_.interfaces().set_drained(drained, true);
+
+  const auto demand = demand_gen_.baseline(SimTime::hours(12));  // trough
+  controller.run_cycle(demand, SimTime::seconds(0));
+
+  const auto load = pop_.project_load(demand);
+  auto it = load.find(drained);
+  const double leftover =
+      it == load.end() ? 0.0 : it->second.bits_per_sec();
+  EXPECT_NEAR(leftover, 0.0, 1.0);
+}
+
+}  // namespace
+}  // namespace ef::core

@@ -1,0 +1,175 @@
+// Enforcement backends: BGP injection (the paper's deployed design) vs
+// Espresso-style host routing — same allocation, different failure
+// semantics.
+#include <gtest/gtest.h>
+
+#include "core/controller.h"
+#include "workload/demand.h"
+
+namespace ef::core {
+namespace {
+
+using net::Bandwidth;
+using net::SimTime;
+
+class EnforcementTest : public ::testing::Test {
+ protected:
+  static topology::WorldConfig world_config() {
+    topology::WorldConfig config;
+    config.num_clients = 40;
+    config.num_pops = 2;
+    return config;
+  }
+
+  EnforcementTest()
+      : world_(topology::World::generate(world_config())),
+        pop_(world_, 0),
+        demand_gen_(world_, 0, quiet()) {}
+
+  static workload::DemandConfig quiet() {
+    workload::DemandConfig config;
+    config.enable_events = false;
+    config.noise_sigma = 0;
+    return config;
+  }
+
+  telemetry::DemandMatrix peak() {
+    return demand_gen_.baseline(SimTime::seconds(0));
+  }
+
+  int over_capacity(const telemetry::DemandMatrix& demand) {
+    int over = 0;
+    for (const auto& [iface, rate] : pop_.project_load(demand)) {
+      if (rate > pop_.interfaces().capacity(iface)) ++over;
+    }
+    return over;
+  }
+
+  static ControllerConfig host_config() {
+    ControllerConfig config;
+    config.enforcement = Enforcement::kHostRouting;
+    config.cycle_period = SimTime::seconds(30);
+    config.host_lease_cycles = 3.0;
+    return config;
+  }
+
+  topology::World world_;
+  topology::Pop pop_;
+  workload::DemandGenerator demand_gen_;
+};
+
+TEST_F(EnforcementTest, HostRoutingNeedsNoBgpSession) {
+  Controller controller(pop_, host_config());
+  controller.connect();
+  EXPECT_TRUE(controller.connected());
+  EXPECT_EQ(controller.established_sessions(), 0u);
+}
+
+TEST_F(EnforcementTest, HostRoutingAbsorbsOverloadLikeInjection) {
+  Controller controller(pop_, host_config());
+  controller.connect();
+  const auto demand = peak();
+  ASSERT_GT(over_capacity(demand), 0);
+
+  const auto stats = controller.run_cycle(demand, SimTime::seconds(0));
+  EXPECT_GT(stats.overrides_active, 0u);
+  EXPECT_EQ(pop_.host_override_count(), stats.overrides_active);
+  EXPECT_EQ(over_capacity(demand), 0);
+
+  // No controller routes in the RIB — host routing bypasses BGP entirely.
+  std::size_t injected = 0;
+  pop_.collector().rib().for_each(
+      [&](const net::Prefix&, std::span<const bgp::Route> routes) {
+        for (const bgp::Route& route : routes) {
+          if (route.peer_type == bgp::PeerType::kController) ++injected;
+        }
+      });
+  EXPECT_EQ(injected, 0u);
+}
+
+TEST_F(EnforcementTest, BothBackendsMakeTheSameAllocation) {
+  const auto demand = peak();
+  Controller bgp_controller(pop_, {});
+  bgp_controller.connect();
+  const auto bgp_stats = bgp_controller.run_cycle(demand, SimTime::seconds(0));
+  bgp_controller.shutdown(SimTime::seconds(1));
+
+  topology::Pop fresh_pop(world_, 0);
+  Controller host_controller(fresh_pop, host_config());
+  host_controller.connect();
+  const auto host_stats =
+      host_controller.run_cycle(demand, SimTime::seconds(0));
+
+  ASSERT_EQ(bgp_stats.allocation.overrides.size(),
+            host_stats.allocation.overrides.size());
+  for (std::size_t i = 0; i < bgp_stats.allocation.overrides.size(); ++i) {
+    EXPECT_EQ(bgp_stats.allocation.overrides[i].prefix,
+              host_stats.allocation.overrides[i].prefix);
+    EXPECT_EQ(bgp_stats.allocation.overrides[i].target_interface,
+              host_stats.allocation.overrides[i].target_interface);
+  }
+}
+
+TEST_F(EnforcementTest, CrashLeavesHostEntriesUntilLeaseExpiry) {
+  Controller controller(pop_, host_config());
+  controller.connect();
+  const auto demand = peak();
+  controller.run_cycle(demand, SimTime::seconds(0));
+  const std::size_t installed = pop_.host_override_count();
+  ASSERT_GT(installed, 0u);
+
+  // Crash (no cleanup). Unlike BGP injection, the overrides remain...
+  controller.shutdown(SimTime::seconds(10));
+  EXPECT_EQ(pop_.host_override_count(), installed);
+  EXPECT_EQ(over_capacity(demand), 0) << "entries still forwarding";
+
+  // ...until the lease (3 cycles = 90 s) expires.
+  pop_.tick(SimTime::seconds(60));
+  EXPECT_EQ(pop_.host_override_count(), installed) << "lease not yet up";
+  pop_.tick(SimTime::seconds(91));
+  EXPECT_EQ(pop_.host_override_count(), 0u);
+  EXPECT_GT(over_capacity(demand), 0) << "reverted to BGP after lease";
+}
+
+TEST_F(EnforcementTest, GracefulShutdownCleansHostEntries) {
+  Controller controller(pop_, host_config());
+  controller.connect();
+  controller.run_cycle(peak(), SimTime::seconds(0));
+  ASSERT_GT(pop_.host_override_count(), 0u);
+  controller.shutdown(SimTime::seconds(10), /*graceful=*/true);
+  EXPECT_EQ(pop_.host_override_count(), 0u);
+}
+
+TEST_F(EnforcementTest, RunningControllerRefreshesLeases) {
+  Controller controller(pop_, host_config());
+  controller.connect();
+  const auto demand = peak();
+  // Cycle every 30 s for 10 simulated minutes — far beyond one lease.
+  for (int t = 0; t <= 600; t += 30) {
+    controller.run_cycle(demand, SimTime::seconds(t));
+    pop_.tick(SimTime::seconds(t));
+  }
+  EXPECT_GT(pop_.host_override_count(), 0u);
+  EXPECT_EQ(over_capacity(demand), 0);
+}
+
+TEST_F(EnforcementTest, BgpInjectionRevertsImmediatelyOnCrash) {
+  // The contrast case: same crash, opposite timing.
+  Controller controller(pop_, {});
+  controller.connect();
+  const auto demand = peak();
+  controller.run_cycle(demand, SimTime::seconds(0));
+  ASSERT_EQ(over_capacity(demand), 0);
+  controller.shutdown(SimTime::seconds(10));
+  EXPECT_GT(over_capacity(demand), 0) << "BGP reverts at session teardown";
+}
+
+TEST_F(EnforcementTest, HostOverrideToUnknownNextHopRejected) {
+  EXPECT_DEATH(pop_.install_host_override(
+                   *net::Prefix::parse("100.1.0.0/24"),
+                   *net::IpAddr::parse("203.0.113.99"), SimTime::seconds(60)),
+               "unknown next hop");
+}
+
+}  // namespace
+}  // namespace ef::core

@@ -1,0 +1,142 @@
+#include "core/safety.h"
+
+#include <gtest/gtest.h>
+
+namespace ef::core {
+namespace {
+
+using net::Bandwidth;
+
+net::Prefix P(const char* text) { return *net::Prefix::parse(text); }
+
+bgp::Route route_via(const net::Prefix& prefix, const net::IpAddr& next_hop,
+                     bgp::PeerType type, std::uint32_t peer) {
+  bgp::Route route;
+  route.prefix = prefix;
+  route.learned_from = bgp::PeerId(peer);
+  route.peer_type = type;
+  route.attrs.next_hop = next_hop;
+  route.attrs.local_pref = bgp::LocalPref(300);
+  route.attrs.has_local_pref = true;
+  return route;
+}
+
+Override make_override(const net::Prefix& prefix, const net::IpAddr& next_hop,
+                       double gbps) {
+  Override override_entry;
+  override_entry.prefix = prefix;
+  override_entry.next_hop = next_hop;
+  override_entry.rate = Bandwidth::gbps(gbps);
+  return override_entry;
+}
+
+TEST(SafetyGuard, RouteStillValid) {
+  bgp::Rib rib;
+  const net::IpAddr hop = *net::IpAddr::parse("172.16.0.1");
+  rib.announce(route_via(P("100.1.0.0/24"), hop,
+                         bgp::PeerType::kPrivatePeer, 1));
+  EXPECT_TRUE(SafetyGuard::route_still_valid(rib, P("100.1.0.0/24"), hop));
+  EXPECT_FALSE(SafetyGuard::route_still_valid(
+      rib, P("100.1.0.0/24"), *net::IpAddr::parse("172.16.0.99")));
+  EXPECT_FALSE(SafetyGuard::route_still_valid(rib, P("100.2.0.0/24"), hop));
+}
+
+TEST(SafetyGuard, ControllerRoutesDoNotValidateThemselves) {
+  // An override must be backed by a *real* route: the controller's own
+  // injected copy (same next hop) must not count as evidence.
+  bgp::Rib rib;
+  const net::IpAddr hop = *net::IpAddr::parse("172.16.0.1");
+  rib.announce(route_via(P("100.1.0.0/24"), hop,
+                         bgp::PeerType::kController, 1));
+  EXPECT_FALSE(SafetyGuard::route_still_valid(rib, P("100.1.0.0/24"), hop));
+}
+
+TEST(SafetyGuard, DropsOverridesWithVanishedRoutes) {
+  bgp::Rib rib;
+  const net::IpAddr live = *net::IpAddr::parse("172.16.0.1");
+  const net::IpAddr gone = *net::IpAddr::parse("172.16.0.2");
+  rib.announce(route_via(P("100.1.0.0/24"), live,
+                         bgp::PeerType::kPrivatePeer, 1));
+
+  std::map<net::Prefix, Override> overrides;
+  overrides[P("100.1.0.0/24")] = make_override(P("100.1.0.0/24"), live, 1);
+  overrides[P("100.2.0.0/24")] = make_override(P("100.2.0.0/24"), gone, 1);
+
+  SafetyGuard guard;
+  const auto stats = guard.apply(overrides, rib, Bandwidth::gbps(100));
+  EXPECT_EQ(stats.dropped_invalid_route, 1u);
+  EXPECT_EQ(overrides.size(), 1u);
+  EXPECT_TRUE(overrides.contains(P("100.1.0.0/24")));
+}
+
+TEST(SafetyGuard, ValidationCanBeDisabled) {
+  bgp::Rib rib;  // empty: nothing validates
+  std::map<net::Prefix, Override> overrides;
+  overrides[P("100.1.0.0/24")] = make_override(
+      P("100.1.0.0/24"), *net::IpAddr::parse("172.16.0.1"), 1);
+  SafetyConfig config;
+  config.validate_routes = false;
+  SafetyGuard guard(config);
+  const auto stats = guard.apply(overrides, rib, Bandwidth::gbps(100));
+  EXPECT_EQ(stats.total_dropped(), 0u);
+  EXPECT_EQ(overrides.size(), 1u);
+}
+
+TEST(SafetyGuard, DetourBudgetShedsSmallestFirst) {
+  bgp::Rib rib;
+  std::map<net::Prefix, Override> overrides;
+  const net::IpAddr hop = *net::IpAddr::parse("172.16.0.1");
+  // 3 + 2 + 1 = 6 Gbps of detours against a 10 Gbps total and a 40% cap
+  // (4 Gbps budget): the 1G and 2G overrides go, the 3G one stays.
+  struct Item {
+    const char* prefix;
+    double gbps;
+  };
+  for (const Item& item : {Item{"100.1.0.0/24", 3.0}, Item{"100.2.0.0/24", 2.0},
+                           Item{"100.3.0.0/24", 1.0}}) {
+    rib.announce(route_via(P(item.prefix), hop,
+                           bgp::PeerType::kPrivatePeer,
+                           static_cast<std::uint32_t>(item.gbps * 10)));
+    overrides[P(item.prefix)] = make_override(P(item.prefix), hop, item.gbps);
+  }
+
+  SafetyConfig config;
+  config.max_detour_fraction = 0.4;
+  SafetyGuard guard(config);
+  const auto stats = guard.apply(overrides, rib, Bandwidth::gbps(10));
+  EXPECT_EQ(stats.dropped_by_budget, 2u);
+  ASSERT_EQ(overrides.size(), 1u);
+  EXPECT_TRUE(overrides.contains(P("100.1.0.0/24")));
+}
+
+TEST(SafetyGuard, BudgetInactiveWhenUnderCap) {
+  bgp::Rib rib;
+  const net::IpAddr hop = *net::IpAddr::parse("172.16.0.1");
+  rib.announce(route_via(P("100.1.0.0/24"), hop,
+                         bgp::PeerType::kPrivatePeer, 1));
+  std::map<net::Prefix, Override> overrides;
+  overrides[P("100.1.0.0/24")] = make_override(P("100.1.0.0/24"), hop, 1);
+  SafetyConfig config;
+  config.max_detour_fraction = 0.5;
+  SafetyGuard guard(config);
+  const auto stats = guard.apply(overrides, rib, Bandwidth::gbps(10));
+  EXPECT_EQ(stats.total_dropped(), 0u);
+  EXPECT_EQ(overrides.size(), 1u);
+}
+
+TEST(SafetyGuard, ZeroDemandSkipsBudget) {
+  bgp::Rib rib;
+  const net::IpAddr hop = *net::IpAddr::parse("172.16.0.1");
+  rib.announce(route_via(P("100.1.0.0/24"), hop,
+                         bgp::PeerType::kPrivatePeer, 1));
+  std::map<net::Prefix, Override> overrides;
+  overrides[P("100.1.0.0/24")] = make_override(P("100.1.0.0/24"), hop, 1);
+  SafetyConfig config;
+  config.max_detour_fraction = 0.1;
+  SafetyGuard guard(config);
+  const auto stats = guard.apply(overrides, rib, Bandwidth::zero());
+  EXPECT_EQ(stats.dropped_by_budget, 0u);
+}
+
+}  // namespace
+}  // namespace ef::core

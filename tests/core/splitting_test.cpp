@@ -1,0 +1,236 @@
+// Prefix splitting: when one prefix's demand exceeds every alternate's
+// headroom, the allocator injects more-specific halves and places them
+// independently — and the routers' LPM forwarding honors them.
+#include <gtest/gtest.h>
+
+#include "core/allocator.h"
+#include "core/controller.h"
+#include "workload/demand.h"
+
+namespace ef::core {
+namespace {
+
+using net::Bandwidth;
+using net::SimTime;
+
+net::Prefix P(const char* text) { return *net::Prefix::parse(text); }
+
+/// Same hand-built environment as allocator_test.
+struct Env {
+  bgp::Rib rib;
+  telemetry::InterfaceRegistry interfaces;
+  telemetry::DemandMatrix demand;
+  std::map<net::IpAddr, EgressView> egress;
+  std::uint32_t next_peer = 1;
+
+  void add_interface(std::uint32_t id, double gbps) {
+    interfaces.add(telemetry::InterfaceId(id), Bandwidth::gbps(gbps));
+  }
+  net::IpAddr add_peer(std::uint32_t iface, bgp::PeerType type) {
+    const net::IpAddr addr = net::IpAddr::v4(0xac100000u + next_peer);
+    egress[addr] = EgressView{telemetry::InterfaceId(iface), type, addr};
+    ++next_peer;
+    return addr;
+  }
+  void announce(const net::Prefix& prefix, const net::IpAddr& addr,
+                std::uint32_t local_pref) {
+    bgp::Route route;
+    route.prefix = prefix;
+    route.learned_from = bgp::PeerId(addr.v4_value());
+    route.peer_type = egress.at(addr).type;
+    route.neighbor_as = bgp::AsNumber(65000 + addr.v4_value() % 100);
+    route.attrs.next_hop = addr;
+    route.attrs.local_pref = bgp::LocalPref(local_pref);
+    route.attrs.has_local_pref = true;
+    route.attrs.as_path = bgp::AsPath{route.neighbor_as};
+    rib.announce(route);
+  }
+  EgressResolver resolver() const {
+    return [this](const bgp::Route& route) -> std::optional<EgressView> {
+      auto it = egress.find(route.attrs.next_hop);
+      if (it == egress.end()) return std::nullopt;
+      return it->second;
+    };
+  }
+};
+
+TEST(PrefixSplitting, WithoutSplittingBigPrefixIsStuck) {
+  Env env;
+  env.add_interface(0, 10);  // overloaded
+  env.add_interface(1, 7);   // each alternate fits half but not all
+  env.add_interface(2, 7);
+  const auto pni = env.add_peer(0, bgp::PeerType::kPrivatePeer);
+  const auto alt1 = env.add_peer(1, bgp::PeerType::kTransit);
+  const auto alt2 = env.add_peer(2, bgp::PeerType::kTransit);
+  env.announce(P("100.1.0.0/24"), pni, 340);
+  env.announce(P("100.1.0.0/24"), alt1, 200);
+  env.announce(P("100.1.0.0/24"), alt2, 200);
+  env.demand.set(P("100.1.0.0/24"), Bandwidth::gbps(11));
+
+  Allocator no_split{AllocatorConfig{}};
+  const auto stuck =
+      no_split.allocate(env.rib, env.demand, env.interfaces, env.resolver());
+  EXPECT_TRUE(stuck.overrides.empty());
+  EXPECT_GT(stuck.unresolved_overload.gbps_value(), 0.9);
+}
+
+TEST(PrefixSplitting, HalvesPlacedOnDistinctAlternates) {
+  Env env;
+  env.add_interface(0, 10);
+  env.add_interface(1, 7);
+  env.add_interface(2, 7);
+  const auto pni = env.add_peer(0, bgp::PeerType::kPrivatePeer);
+  const auto alt1 = env.add_peer(1, bgp::PeerType::kTransit);
+  const auto alt2 = env.add_peer(2, bgp::PeerType::kTransit);
+  env.announce(P("100.1.0.0/24"), pni, 340);
+  env.announce(P("100.1.0.0/24"), alt1, 200);
+  env.announce(P("100.1.0.0/24"), alt2, 200);
+  env.demand.set(P("100.1.0.0/24"), Bandwidth::gbps(11));
+
+  AllocatorConfig config;
+  config.allow_prefix_splitting = true;
+  Allocator allocator(config);
+  const auto result =
+      allocator.allocate(env.rib, env.demand, env.interfaces, env.resolver());
+
+  ASSERT_EQ(result.overrides.size(), 2u);
+  EXPECT_EQ(result.overrides[0].prefix, P("100.1.0.0/25"));
+  EXPECT_EQ(result.overrides[1].prefix, P("100.1.0.128/25"));
+  EXPECT_NE(result.overrides[0].target_interface,
+            result.overrides[1].target_interface);
+  for (const Override& override_entry : result.overrides) {
+    EXPECT_NEAR(override_entry.rate.gbps_value(), 5.5, 1e-9);
+  }
+  EXPECT_DOUBLE_EQ(result.unresolved_overload.bits_per_sec(), 0);
+  // Halves never exceed the alternates' headroom.
+  EXPECT_LE(result.final_load.at(telemetry::InterfaceId(1)).gbps_value(),
+            7 * 0.95 + 1e-9);
+}
+
+TEST(PrefixSplitting, RecursesToQuarters) {
+  Env env;
+  env.add_interface(0, 10);
+  // Four small alternates: only a quarter (2.75G) fits each.
+  for (std::uint32_t i = 1; i <= 4; ++i) env.add_interface(i, 3.2);
+  const auto pni = env.add_peer(0, bgp::PeerType::kPrivatePeer);
+  std::vector<net::IpAddr> alternates;
+  for (std::uint32_t i = 1; i <= 4; ++i) {
+    alternates.push_back(env.add_peer(i, bgp::PeerType::kTransit));
+  }
+  env.announce(P("100.1.0.0/24"), pni, 340);
+  for (const auto& alt : alternates) env.announce(P("100.1.0.0/24"), alt, 200);
+  env.demand.set(P("100.1.0.0/24"), Bandwidth::gbps(11));
+
+  AllocatorConfig config;
+  config.allow_prefix_splitting = true;
+  config.max_split_depth = 2;
+  Allocator allocator(config);
+  const auto result =
+      allocator.allocate(env.rib, env.demand, env.interfaces, env.resolver());
+
+  ASSERT_EQ(result.overrides.size(), 4u);
+  for (const Override& override_entry : result.overrides) {
+    EXPECT_EQ(override_entry.prefix.length(), 26);
+    EXPECT_NEAR(override_entry.rate.gbps_value(), 2.75, 1e-9);
+  }
+  EXPECT_DOUBLE_EQ(result.unresolved_overload.bits_per_sec(), 0);
+}
+
+TEST(PrefixSplitting, DepthLimitRespected) {
+  Env env;
+  env.add_interface(0, 10);
+  env.add_interface(1, 3.2);  // only a quarter would fit
+  const auto pni = env.add_peer(0, bgp::PeerType::kPrivatePeer);
+  const auto alt = env.add_peer(1, bgp::PeerType::kTransit);
+  env.announce(P("100.1.0.0/24"), pni, 340);
+  env.announce(P("100.1.0.0/24"), alt, 200);
+  env.demand.set(P("100.1.0.0/24"), Bandwidth::gbps(11));
+
+  AllocatorConfig config;
+  config.allow_prefix_splitting = true;
+  config.max_split_depth = 1;  // halves only; 5.5G half does not fit 3.2G
+  Allocator allocator(config);
+  const auto result =
+      allocator.allocate(env.rib, env.demand, env.interfaces, env.resolver());
+  EXPECT_TRUE(result.overrides.empty());
+}
+
+TEST(PrefixSplitting, SafetyGuardAcceptsSplitOverrides) {
+  Env env;
+  env.add_interface(0, 10);
+  env.add_interface(1, 7);
+  env.add_interface(2, 7);
+  const auto pni = env.add_peer(0, bgp::PeerType::kPrivatePeer);
+  const auto alt1 = env.add_peer(1, bgp::PeerType::kTransit);
+  const auto alt2 = env.add_peer(2, bgp::PeerType::kTransit);
+  env.announce(P("100.1.0.0/24"), pni, 340);
+  env.announce(P("100.1.0.0/24"), alt1, 200);
+  env.announce(P("100.1.0.0/24"), alt2, 200);
+  env.demand.set(P("100.1.0.0/24"), Bandwidth::gbps(11));
+
+  AllocatorConfig config;
+  config.allow_prefix_splitting = true;
+  const auto result = Allocator(config).allocate(
+      env.rib, env.demand, env.interfaces, env.resolver());
+  ASSERT_EQ(result.overrides.size(), 2u);
+
+  std::map<net::Prefix, Override> overrides;
+  for (const Override& override_entry : result.overrides) {
+    overrides[override_entry.prefix] = override_entry;
+  }
+  SafetyGuard guard;
+  const auto stats = guard.apply(overrides, env.rib, env.demand.total());
+  EXPECT_EQ(stats.dropped_invalid_route, 0u)
+      << "split overrides must validate against their covering aggregate";
+}
+
+TEST(PrefixSplitting, EndToEndForwardingSplitsTraffic) {
+  // Full stack: a world where one client's single prefix dominates an
+  // under-provisioned PNI; splitting detours half of it via BGP LPM.
+  topology::WorldConfig world_config;
+  world_config.num_clients = 40;
+  world_config.num_pops = 2;
+  world_config.min_prefixes_per_client = 1;
+  world_config.max_prefixes_per_client = 2;  // fat prefixes
+  const topology::World world = topology::World::generate(world_config);
+  topology::Pop pop(world, 0);
+
+  ControllerConfig config;
+  config.allocator.allow_prefix_splitting = true;
+  Controller controller(pop, config);
+  controller.connect();
+
+  // Overload the busiest PNI with demand on a single prefix.
+  const topology::PeeringDef& peering = pop.def().peerings[0];
+  const std::size_t client = peering.routes.front().client;
+  const net::Prefix fat = world.clients()[client].prefixes.front();
+  const net::Bandwidth capacity =
+      pop.interfaces().capacity(telemetry::InterfaceId(0));
+
+  telemetry::DemandMatrix demand;
+  demand.set(fat, capacity * 1.6);
+
+  const auto stats = controller.run_cycle(demand, SimTime::seconds(0));
+  ASSERT_GT(stats.overrides_active, 0u);
+  bool has_more_specific = false;
+  for (const auto& [prefix, override_entry] : controller.active_overrides()) {
+    if (prefix.length() > fat.length()) {
+      has_more_specific = true;
+      EXPECT_TRUE(fat.contains(prefix));
+    }
+  }
+  EXPECT_TRUE(has_more_specific);
+
+  // Ground-truth forwarding (LPM) must respect the split: the PNI load
+  // drops to a fraction of the demand and nothing exceeds capacity.
+  const auto load = pop.project_load(demand);
+  for (const auto& [iface, rate] : load) {
+    EXPECT_LE(rate.bits_per_sec(),
+              pop.interfaces().capacity(iface).bits_per_sec() + 1.0)
+        << "interface " << iface.value();
+  }
+  EXPECT_DOUBLE_EQ(stats.allocation.unresolved_overload.bits_per_sec(), 0);
+}
+
+}  // namespace
+}  // namespace ef::core

@@ -1,0 +1,171 @@
+// Dual-stack end-to-end: IPv6 prefixes ride the same machinery as IPv4 —
+// MP-BGP wire encoding on sessions, v6 keys in the BMP-assembled RIB,
+// v6 longest-prefix match, and v6 overrides injected by the controller.
+#include <gtest/gtest.h>
+
+#include "core/controller.h"
+#include "workload/demand.h"
+
+namespace ef {
+namespace {
+
+using net::SimTime;
+
+topology::World dual_stack_world() {
+  topology::WorldConfig config;
+  config.num_clients = 40;
+  config.num_pops = 2;
+  config.ipv6_client_fraction = 1.0;  // every client dual-stack
+  return topology::World::generate(config);
+}
+
+class DualStackTest : public ::testing::Test {
+ protected:
+  DualStackTest() : world_(dual_stack_world()), pop_(world_, 0) {}
+  topology::World world_;
+  topology::Pop pop_;
+};
+
+TEST_F(DualStackTest, EveryClientHasV6Prefixes) {
+  for (const topology::ClientAs& client : world_.clients()) {
+    bool has_v6 = false;
+    for (const net::Prefix& prefix : client.prefixes) {
+      has_v6 = has_v6 || prefix.family() == net::Family::kV6;
+    }
+    EXPECT_TRUE(has_v6) << client.as.value();
+  }
+}
+
+TEST_F(DualStackTest, V6PrefixesConvergeThroughMpBgp) {
+  std::size_t v6_reachable = 0;
+  std::size_t v6_expected = 0;
+  for (const topology::ClientAs& client : world_.clients()) {
+    for (const net::Prefix& prefix : client.prefixes) {
+      if (prefix.family() != net::Family::kV6) continue;
+      ++v6_expected;
+      if (pop_.collector().rib().best(prefix) != nullptr) ++v6_reachable;
+    }
+  }
+  EXPECT_GT(v6_expected, 0u);
+  EXPECT_EQ(v6_reachable, v6_expected);
+}
+
+TEST_F(DualStackTest, V6RoutesResolveToEgressPorts) {
+  for (const net::Prefix& prefix : pop_.reachable_prefixes()) {
+    if (prefix.family() != net::Family::kV6) continue;
+    const auto egress = pop_.egress_of(prefix);
+    ASSERT_TRUE(egress.has_value()) << prefix.to_string();
+    // v6 announcements from a session share the session's next hop, so
+    // both families of one peering egress on the same port.
+    EXPECT_LT(egress->peering, pop_.def().peerings.size());
+  }
+}
+
+TEST_F(DualStackTest, V6AndV4OfSameClientShareEgressPreference) {
+  for (const topology::ClientAs& client : world_.clients()) {
+    std::optional<std::size_t> v4_peering;
+    std::optional<std::size_t> v6_peering;
+    for (const net::Prefix& prefix : client.prefixes) {
+      const auto egress = pop_.egress_of(prefix);
+      if (!egress) continue;
+      if (prefix.family() == net::Family::kV4) v4_peering = egress->peering;
+      if (prefix.family() == net::Family::kV6) v6_peering = egress->peering;
+    }
+    if (v4_peering && v6_peering) {
+      EXPECT_EQ(*v4_peering, *v6_peering) << "client " << client.as.value();
+    }
+  }
+}
+
+TEST_F(DualStackTest, V6LongestPrefixMatchWorks) {
+  for (const topology::ClientAs& client : world_.clients()) {
+    for (const net::Prefix& prefix : client.prefixes) {
+      if (prefix.family() != net::Family::kV6) continue;
+      // A host inside the /64.
+      auto bytes = prefix.address().bytes();
+      bytes[15] = 0x42;
+      const auto match =
+          pop_.prefix_table().longest_match(net::IpAddr::v6(bytes));
+      ASSERT_TRUE(match.has_value());
+      EXPECT_EQ(*match->second, prefix);
+      return;  // one is enough
+    }
+  }
+  FAIL() << "no v6 prefix found";
+}
+
+TEST_F(DualStackTest, ControllerDetoursV6Prefixes) {
+  core::Controller controller(pop_, {});
+  controller.connect();
+
+  // Force an overload composed purely of v6 demand on the busiest PNI.
+  const topology::PeeringDef& peering = pop_.def().peerings[0];
+  ASSERT_EQ(peering.type, bgp::PeerType::kPrivatePeer);
+  const std::size_t client = peering.routes.front().client;
+
+  telemetry::DemandMatrix demand;
+  const net::Bandwidth capacity =
+      pop_.interfaces().capacity(telemetry::InterfaceId(0));
+  std::vector<net::Prefix> v6_prefixes;
+  for (const net::Prefix& prefix : world_.clients()[client].prefixes) {
+    if (prefix.family() == net::Family::kV6) v6_prefixes.push_back(prefix);
+  }
+  ASSERT_FALSE(v6_prefixes.empty());
+  for (const net::Prefix& prefix : v6_prefixes) {
+    demand.set(prefix, capacity * (1.5 / static_cast<double>(
+                                             v6_prefixes.size())));
+  }
+
+  const auto stats = controller.run_cycle(demand, SimTime::seconds(0));
+  EXPECT_GT(stats.overrides_active, 0u);
+  bool v6_override = false;
+  for (const auto& [prefix, override_entry] : controller.active_overrides()) {
+    if (prefix.family() == net::Family::kV6) {
+      v6_override = true;
+      // The injected v6 route is honored by forwarding.
+      const auto egress = pop_.egress_of(prefix);
+      ASSERT_TRUE(egress.has_value());
+      EXPECT_EQ(egress->interface, override_entry.target_interface);
+    }
+  }
+  EXPECT_TRUE(v6_override);
+  EXPECT_DOUBLE_EQ(stats.allocation.unresolved_overload.bits_per_sec(), 0);
+}
+
+TEST_F(DualStackTest, V6OverridesWithdrawCleanly) {
+  core::Controller controller(pop_, {});
+  controller.connect();
+  const topology::PeeringDef& peering = pop_.def().peerings[0];
+  const std::size_t client = peering.routes.front().client;
+  const net::Bandwidth capacity =
+      pop_.interfaces().capacity(telemetry::InterfaceId(0));
+
+  telemetry::DemandMatrix hot;
+  std::vector<net::Prefix> v6_prefixes;
+  for (const net::Prefix& prefix : world_.clients()[client].prefixes) {
+    if (prefix.family() == net::Family::kV6) v6_prefixes.push_back(prefix);
+  }
+  for (const net::Prefix& prefix : v6_prefixes) {
+    hot.set(prefix,
+            capacity * (1.5 / static_cast<double>(v6_prefixes.size())));
+  }
+  controller.run_cycle(hot, SimTime::seconds(0));
+  ASSERT_FALSE(controller.active_overrides().empty());
+
+  telemetry::DemandMatrix cool;
+  for (const net::Prefix& prefix : v6_prefixes) {
+    cool.set(prefix,
+             capacity * (0.2 / static_cast<double>(v6_prefixes.size())));
+  }
+  const auto stats = controller.run_cycle(cool, SimTime::seconds(30));
+  EXPECT_EQ(stats.overrides_active, 0u);
+  // No stale controller routes remain for any v6 prefix.
+  for (const net::Prefix& prefix : v6_prefixes) {
+    const bgp::Route* best = pop_.collector().rib().best(prefix);
+    ASSERT_NE(best, nullptr);
+    EXPECT_NE(best->peer_type, bgp::PeerType::kController);
+  }
+}
+
+}  // namespace
+}  // namespace ef

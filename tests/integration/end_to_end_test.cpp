@@ -1,0 +1,333 @@
+// End-to-end integration: multiple PoPs with live controllers under a
+// realistic workload, failure injection, and cross-layer consistency
+// (BMP mirror vs router state, forwarding vs overrides).
+#include <gtest/gtest.h>
+
+#include "analysis/metrics.h"
+#include "baseline/baselines.h"
+#include "sim/simulation.h"
+
+namespace ef {
+namespace {
+
+using net::Bandwidth;
+using net::SimTime;
+
+topology::World big_world() {
+  topology::WorldConfig config;
+  config.num_clients = 56;
+  config.num_pops = 4;
+  return topology::World::generate(config);
+}
+
+TEST(Integration, AllPopsControlledSimultaneously) {
+  const auto world = big_world();
+  for (std::size_t p = 0; p < world.pops().size(); ++p) {
+    topology::Pop pop(world, p);
+    sim::SimulationConfig config;
+    config.duration = SimTime::hours(12);
+    config.step = SimTime::seconds(60);
+    config.controller.cycle_period = SimTime::seconds(60);
+    sim::Simulation sim(pop, config);
+    Bandwidth overload;
+    sim.run([&](const sim::StepRecord& r) { overload += r.overload; });
+    EXPECT_NEAR(overload.bits_per_sec(), 0, 1.0)
+        << "pop " << world.pops()[p].name;
+  }
+}
+
+TEST(Integration, BmpMirrorMatchesRouterRibs) {
+  const auto world = big_world();
+  topology::Pop pop(world, 0);
+  // Every route in every router's RIB must appear in the collector's
+  // merged view, and the totals must line up.
+  std::size_t router_routes = 0;
+  for (int r = 0; r < pop.router_count(); ++r) {
+    router_routes += pop.router(r).rib().route_count();
+  }
+  EXPECT_EQ(pop.collector().rib().route_count(), router_routes);
+
+  for (int r = 0; r < pop.router_count(); ++r) {
+    pop.router(r).rib().for_each(
+        [&](const net::Prefix& prefix, std::span<const bgp::Route> routes) {
+          for (const bgp::Route& route : routes) {
+            // The collector must have a route for this prefix with the
+            // same next hop and AS path.
+            bool found = false;
+            for (const bgp::Route& merged :
+                 pop.collector().rib().candidates(prefix)) {
+              found = found ||
+                      (merged.attrs.next_hop == route.attrs.next_hop &&
+                       merged.attrs.as_path == route.attrs.as_path);
+            }
+            EXPECT_TRUE(found) << prefix.to_string();
+          }
+        });
+  }
+}
+
+TEST(Integration, PeerFailureDuringRunIsAbsorbed) {
+  const auto world = big_world();
+  topology::Pop pop(world, 0);
+  core::Controller controller(pop, {});
+  controller.connect();
+  workload::DemandGenerator gen(world, 0, {});
+
+  // Warm up at mid demand.
+  auto demand = gen.step(SimTime::hours(6));
+  controller.run_cycle(demand, SimTime::hours(6));
+
+  // Kill the busiest private peering mid-run.
+  pop.set_peering_up(0, false, SimTime::hours(6) + SimTime::seconds(10));
+  demand = gen.step(SimTime::hours(6) + SimTime::seconds(30));
+  const auto stats =
+      controller.run_cycle(demand, SimTime::hours(6) + SimTime::seconds(30));
+
+  // Every prefix must still be routable and no interface overloaded
+  // beyond capacity (the failed peer's traffic lands elsewhere).
+  EXPECT_DOUBLE_EQ(stats.allocation.unroutable.bits_per_sec(), 0);
+  const auto load = pop.project_load(demand);
+  for (const auto& [iface, rate] : load) {
+    EXPECT_LE(rate.bits_per_sec(),
+              pop.interfaces().capacity(iface).bits_per_sec() * 1.0 + 1.0);
+  }
+
+  // Recovery: bring the peer back; BGP re-prefers it.
+  pop.set_peering_up(0, true, SimTime::hours(6) + SimTime::seconds(60));
+  const std::size_t client = world.pops()[0].peerings[0].routes[0].client;
+  const auto egress =
+      pop.egress_of(world.clients()[client].prefixes.front());
+  ASSERT_TRUE(egress.has_value());
+  EXPECT_EQ(egress->peering, 0u);
+}
+
+TEST(Integration, ControllerCrashMidRunRevertsAndRecovers) {
+  const auto world = big_world();
+  topology::Pop pop(world, 0);
+  workload::DemandGenerator gen(world, 0, {});
+  const auto peak = gen.baseline(SimTime::seconds(0));
+
+  auto overloaded_count = [&](const telemetry::DemandMatrix& demand) {
+    int over = 0;
+    for (const auto& [iface, rate] : pop.project_load(demand)) {
+      if (rate > pop.interfaces().capacity(iface)) ++over;
+    }
+    return over;
+  };
+
+  ASSERT_GT(overloaded_count(peak), 0);
+  {
+    core::Controller controller(pop, {});
+    controller.connect();
+    controller.run_cycle(peak, SimTime::seconds(0));
+    EXPECT_EQ(overloaded_count(peak), 0);
+    controller.shutdown(SimTime::seconds(60));
+  }
+  // Crash: back to BGP-only overload.
+  EXPECT_GT(overloaded_count(peak), 0);
+
+  // A replacement controller instance takes over cleanly.
+  core::Controller replacement(pop, {});
+  replacement.connect();
+  replacement.run_cycle(peak, SimTime::seconds(120));
+  EXPECT_EQ(overloaded_count(peak), 0);
+}
+
+TEST(Integration, DetourVolumeIsSmallShareOfTraffic) {
+  // The paper's proportionality claim: Edge Fabric moves a small slice of
+  // total traffic even while fully absorbing overload.
+  const auto world = big_world();
+  topology::Pop pop(world, 0);
+  sim::SimulationConfig config;
+  config.duration = SimTime::hours(24);
+  config.step = SimTime::seconds(60);
+  config.controller.cycle_period = SimTime::seconds(60);
+  sim::Simulation sim(pop, config);
+
+  analysis::DetourTracker detours;
+  sim.run([&](const sim::StepRecord& record) {
+    if (record.controller) {
+      detours.record_cycle(*record.controller,
+                           sim.controller()->active_overrides(),
+                           record.total_demand);
+    }
+  });
+  ASSERT_GT(detours.cycles(), 100u);
+  EXPECT_LT(detours.detoured_fraction().percentile(99), 0.30);
+  EXPECT_LT(detours.detoured_fraction().percentile(50), 0.10);
+}
+
+TEST(Integration, OverrideChurnBoundedByHysteresis) {
+  const auto world = big_world();
+
+  auto flap_count = [&](double restore_threshold) {
+    topology::Pop pop(world, 0);
+    sim::SimulationConfig config;
+    config.duration = SimTime::hours(24);
+    config.step = SimTime::seconds(60);
+    config.controller.cycle_period = SimTime::seconds(60);
+    config.controller.restore_threshold = restore_threshold;
+    sim::Simulation sim(pop, config);
+    analysis::DetourTracker detours;
+    sim.run([&](const sim::StepRecord& record) {
+      if (record.controller) {
+        detours.record_cycle(*record.controller,
+                             sim.controller()->active_overrides(),
+                             record.total_demand);
+      }
+    });
+    return detours.flapping_prefixes();
+  };
+
+  const std::size_t stateless_flaps = flap_count(0.0);
+  const std::size_t hysteresis_flaps = flap_count(0.75);
+  EXPECT_LE(hysteresis_flaps, stateless_flaps);
+}
+
+TEST(Integration, CollectorResyncReproducesIncrementalView) {
+  // A restarted monitoring station must converge to the exact same
+  // multi-path view via BMP replay, without touching any BGP session —
+  // including controller-injected overrides.
+  const auto world = big_world();
+  topology::Pop pop(world, 0);
+  core::Controller controller(pop, {});
+  controller.connect();
+  workload::DemandGenerator gen(world, 0, {});
+  controller.run_cycle(gen.baseline(SimTime::hours(0)), SimTime::seconds(0));
+  ASSERT_FALSE(controller.active_overrides().empty());
+
+  // Snapshot the incrementally-built view.
+  const std::size_t prefixes = pop.collector().rib().prefix_count();
+  const std::size_t routes = pop.collector().rib().route_count();
+  std::map<net::Prefix, net::IpAddr> best_next_hops;
+  pop.collector().rib().for_each_best(
+      [&](const net::Prefix& prefix, const bgp::Route& best) {
+        best_next_hops[prefix] = best.attrs.next_hop;
+      });
+
+  pop.resync_collector();
+
+  EXPECT_EQ(pop.collector().rib().prefix_count(), prefixes);
+  EXPECT_EQ(pop.collector().rib().route_count(), routes);
+  std::size_t same = 0;
+  pop.collector().rib().for_each_best(
+      [&](const net::Prefix& prefix, const bgp::Route& best) {
+        auto it = best_next_hops.find(prefix);
+        ASSERT_NE(it, best_next_hops.end());
+        if (it->second == best.attrs.next_hop) ++same;
+      });
+  EXPECT_EQ(same, best_next_hops.size());
+
+  // And the controller keeps working against the resynced view.
+  const auto stats = controller.run_cycle(gen.baseline(SimTime::hours(0)),
+                                          SimTime::seconds(60));
+  EXPECT_EQ(stats.added, 0u);
+  EXPECT_EQ(stats.removed, 0u);
+}
+
+TEST(Integration, IxpFabricOutageAbsorbed) {
+  // A shared IXP port dies: every public and route-server session riding
+  // it drops at once (the blast-radius scenario that makes shared fabrics
+  // riskier than PNIs). Edge Fabric plus plain BGP reconvergence must
+  // reroute all of it without stranding traffic.
+  const auto world = big_world();
+  topology::Pop pop(world, 0);
+  core::Controller controller(pop, {});
+  controller.connect();
+  workload::DemandGenerator gen(world, 0, {});
+  const auto demand = gen.baseline(SimTime::hours(3));
+
+  // Find the first IXP interface and all peerings on it.
+  std::size_t ixp_iface = 0;
+  for (std::size_t i = 0; i < pop.def().interfaces.size(); ++i) {
+    if (pop.def().interfaces[i].role == bgp::PeerType::kPublicPeer) {
+      ixp_iface = i;
+      break;
+    }
+  }
+  std::vector<std::size_t> on_port;
+  for (std::size_t i = 0; i < pop.def().peerings.size(); ++i) {
+    if (pop.def().peerings[i].interface == ixp_iface) on_port.push_back(i);
+  }
+  ASSERT_GT(on_port.size(), 2u) << "IXP port must be shared";
+
+  controller.run_cycle(demand, SimTime::seconds(0));
+  for (std::size_t peering : on_port) {
+    pop.set_peering_up(peering, false, SimTime::seconds(10));
+  }
+  const auto stats = controller.run_cycle(demand, SimTime::seconds(30));
+
+  EXPECT_DOUBLE_EQ(stats.allocation.unroutable.bits_per_sec(), 0);
+  const auto load = pop.project_load(demand);
+  // Nothing lands on the dead port, and no surviving port overloads.
+  auto it = load.find(telemetry::InterfaceId(
+      static_cast<std::uint32_t>(ixp_iface)));
+  if (it != load.end()) {
+    EXPECT_NEAR(it->second.bits_per_sec(), 0, 1.0);
+  }
+  for (const auto& [iface, rate] : load) {
+    EXPECT_LE(rate.bits_per_sec(),
+              pop.interfaces().capacity(iface).bits_per_sec() + 1.0);
+  }
+
+  // Recovery.
+  for (std::size_t peering : on_port) {
+    pop.set_peering_up(peering, true, SimTime::seconds(60));
+  }
+  controller.run_cycle(demand, SimTime::seconds(90));
+  std::size_t expected = 0;
+  for (const auto& client : world.clients()) {
+    expected += client.prefixes.size();
+  }
+  EXPECT_EQ(pop.collector().rib().prefix_count(), expected);
+}
+
+TEST(Integration, LargeWorldStress) {
+  // 3x the standard client count on one PoP: the full pipeline (BGP
+  // convergence, BMP mirroring, allocation, injection) must stay correct
+  // and fast at a couple thousand prefixes.
+  topology::WorldConfig config;
+  config.num_clients = 160;
+  config.num_pops = 1;
+  config.private_peers_per_pop = 16;
+  config.public_peers_per_pop = 16;
+  config.route_server_peers_per_pop = 12;
+  config.routers_per_pop = 4;
+  const topology::World world = topology::World::generate(config);
+  topology::Pop pop(world, 0);
+
+  std::size_t expected = 0;
+  for (const auto& client : world.clients()) {
+    expected += client.prefixes.size();
+  }
+  ASSERT_GT(expected, 1500u);
+  EXPECT_EQ(pop.collector().rib().prefix_count(), expected);
+
+  core::Controller controller(pop, {});
+  controller.connect();
+  workload::DemandGenerator gen(world, 0, {});
+  const auto demand = gen.baseline(SimTime::hours(0));
+  const auto stats = controller.run_cycle(demand, SimTime::seconds(0));
+  EXPECT_DOUBLE_EQ(stats.allocation.unresolved_overload.bits_per_sec(), 0);
+  EXPECT_DOUBLE_EQ(stats.allocation.unroutable.bits_per_sec(), 0);
+
+  const auto load = pop.project_load(demand);
+  for (const auto& [iface, rate] : load) {
+    EXPECT_LE(rate.bits_per_sec(),
+              pop.interfaces().capacity(iface).bits_per_sec() + 1.0);
+  }
+}
+
+TEST(Integration, WireTrafficIsWellFormed) {
+  // Everything the routers exchanged during convergence decoded cleanly:
+  // no malformed BMP at the collector, no malformed BGP at any session.
+  const auto world = big_world();
+  topology::Pop pop(world, 0);
+  EXPECT_EQ(pop.collector().stats().malformed, 0u);
+  EXPECT_GT(pop.collector().stats().route_monitorings, 0u);
+  EXPECT_EQ(pop.collector().stats().peer_ups,
+            pop.def().peerings.size());
+}
+
+}  // namespace
+}  // namespace ef

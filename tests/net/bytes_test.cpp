@@ -1,0 +1,113 @@
+#include "net/bytes.h"
+
+#include <gtest/gtest.h>
+
+namespace ef::net {
+namespace {
+
+TEST(BufWriter, BigEndianEncoding) {
+  BufWriter w;
+  w.u8(0x01);
+  w.u16(0x0203);
+  w.u32(0x04050607);
+  w.u64(0x08090a0b0c0d0e0full);
+  const auto& buf = w.data();
+  ASSERT_EQ(buf.size(), 15u);
+  for (std::size_t i = 0; i < buf.size(); ++i) {
+    EXPECT_EQ(buf[i], i + 1) << "offset " << i;
+  }
+}
+
+TEST(BufWriter, PatchFields) {
+  BufWriter w;
+  w.u16(0);
+  w.u32(0);
+  w.patch_u16(0, 0xBEEF);
+  w.patch_u32(2, 0xDEADBEEF);
+  BufReader r(w.data());
+  EXPECT_EQ(r.u16(), 0xBEEF);
+  EXPECT_EQ(r.u32(), 0xDEADBEEFu);
+}
+
+TEST(BufReaderWriter, RoundTrip) {
+  BufWriter w;
+  w.u8(7);
+  w.u16(65535);
+  w.u32(0x12345678);
+  w.u64(0xFFFFFFFFFFFFFFFFull);
+  const std::uint8_t blob[] = {9, 8, 7};
+  w.bytes(blob, 3);
+
+  BufReader r(w.data());
+  EXPECT_EQ(r.u8(), 7);
+  EXPECT_EQ(r.u16(), 65535);
+  EXPECT_EQ(r.u32(), 0x12345678u);
+  EXPECT_EQ(r.u64(), 0xFFFFFFFFFFFFFFFFull);
+  std::uint8_t out[3];
+  r.bytes(out, 3);
+  EXPECT_EQ(out[0], 9);
+  EXPECT_EQ(out[2], 7);
+  EXPECT_TRUE(r.ok());
+  EXPECT_EQ(r.remaining(), 0u);
+}
+
+TEST(BufReader, UnderflowSetsStickyError) {
+  std::vector<std::uint8_t> buf{1, 2};
+  BufReader r(buf);
+  EXPECT_EQ(r.u32(), 0u);  // needs 4, has 2
+  EXPECT_FALSE(r.ok());
+  // Error is sticky: even a 1-byte read now fails.
+  EXPECT_EQ(r.u8(), 0);
+  EXPECT_FALSE(r.ok());
+}
+
+TEST(BufReader, UnderflowZeroFillsBytes) {
+  std::vector<std::uint8_t> buf{0xAA};
+  BufReader r(buf);
+  std::uint8_t out[4] = {1, 1, 1, 1};
+  r.bytes(out, 4);
+  EXPECT_FALSE(r.ok());
+  for (std::uint8_t b : out) EXPECT_EQ(b, 0);
+}
+
+TEST(BufReader, SubReaderConsumesParent) {
+  BufWriter w;
+  w.u16(0x1122);
+  w.u16(0x3344);
+  w.u16(0x5566);
+  BufReader r(w.data());
+  r.u16();
+  BufReader sub = r.sub(2);
+  EXPECT_EQ(sub.u16(), 0x3344);
+  EXPECT_EQ(sub.remaining(), 0u);
+  EXPECT_EQ(r.u16(), 0x5566);  // parent advanced past the sub
+  EXPECT_TRUE(r.ok());
+}
+
+TEST(BufReader, SubReaderOverflowFails) {
+  std::vector<std::uint8_t> buf{1, 2};
+  BufReader r(buf);
+  BufReader sub = r.sub(10);
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(sub.remaining(), 0u);
+}
+
+TEST(BufReader, SkipAndFail) {
+  std::vector<std::uint8_t> buf{1, 2, 3, 4};
+  BufReader r(buf);
+  r.skip(3);
+  EXPECT_EQ(r.u8(), 4);
+  EXPECT_TRUE(r.ok());
+  r.fail();
+  EXPECT_FALSE(r.ok());
+}
+
+TEST(BufWriter, TakeMovesBuffer) {
+  BufWriter w;
+  w.u32(5);
+  auto buf = w.take();
+  EXPECT_EQ(buf.size(), 4u);
+}
+
+}  // namespace
+}  // namespace ef::net

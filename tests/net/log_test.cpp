@@ -1,0 +1,63 @@
+#include "net/log.h"
+
+#include <gtest/gtest.h>
+
+namespace ef {
+namespace {
+
+class LogLevelGuard {
+ public:
+  LogLevelGuard() : saved_(log_level()) {}
+  ~LogLevelGuard() { set_log_level(saved_); }
+
+ private:
+  LogLevel saved_;
+};
+
+TEST(Log, LevelRoundTrip) {
+  LogLevelGuard guard;
+  set_log_level(LogLevel::kDebug);
+  EXPECT_EQ(log_level(), LogLevel::kDebug);
+  set_log_level(LogLevel::kError);
+  EXPECT_EQ(log_level(), LogLevel::kError);
+}
+
+TEST(Log, SuppressedMessagesDoNotEvaluateStream) {
+  LogLevelGuard guard;
+  set_log_level(LogLevel::kError);
+  int evaluations = 0;
+  auto expensive = [&]() {
+    ++evaluations;
+    return "payload";
+  };
+  EF_LOG_DEBUG("value: " << expensive());
+  EF_LOG_INFO("value: " << expensive());
+  EF_LOG_WARN("value: " << expensive());
+  EXPECT_EQ(evaluations, 0) << "stream args must be lazy below the level";
+  EF_LOG_ERROR("value: " << expensive());
+  EXPECT_EQ(evaluations, 1);
+}
+
+TEST(Log, OffSilencesEverything) {
+  LogLevelGuard guard;
+  set_log_level(LogLevel::kOff);
+  int evaluations = 0;
+  auto probe = [&]() {
+    ++evaluations;
+    return 0;
+  };
+  EF_LOG_ERROR("x" << probe());
+  EXPECT_EQ(evaluations, 0);
+}
+
+TEST(LogCheck, PassingCheckIsSilent) {
+  EF_CHECK(1 + 1 == 2, "math works");
+}
+
+TEST(LogCheckDeath, FailingCheckAborts) {
+  EXPECT_DEATH(EF_CHECK(false, "expected failure " << 42),
+               "CHECK failed.*expected failure 42");
+}
+
+}  // namespace
+}  // namespace ef

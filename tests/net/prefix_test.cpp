@@ -1,0 +1,99 @@
+#include "net/prefix.h"
+
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+
+namespace ef::net {
+namespace {
+
+TEST(Prefix, ParseBasic) {
+  auto p = Prefix::parse("203.0.113.0/24");
+  ASSERT_TRUE(p.has_value());
+  EXPECT_EQ(p->length(), 24);
+  EXPECT_EQ(p->to_string(), "203.0.113.0/24");
+}
+
+TEST(Prefix, BareAddressIsHostPrefix) {
+  auto v4 = Prefix::parse("10.0.0.1");
+  ASSERT_TRUE(v4.has_value());
+  EXPECT_EQ(v4->length(), 32);
+  auto v6 = Prefix::parse("2001:db8::1");
+  ASSERT_TRUE(v6.has_value());
+  EXPECT_EQ(v6->length(), 128);
+}
+
+TEST(Prefix, CanonicalizesHostBits) {
+  Prefix p(*IpAddr::parse("203.0.113.99"), 24);
+  EXPECT_EQ(p.address().to_string(), "203.0.113.0");
+  EXPECT_EQ(p, *Prefix::parse("203.0.113.0/24"));
+}
+
+TEST(Prefix, ParseRejectsBadLengths) {
+  EXPECT_FALSE(Prefix::parse("10.0.0.0/33").has_value());
+  EXPECT_FALSE(Prefix::parse("10.0.0.0/-1").has_value());
+  EXPECT_FALSE(Prefix::parse("10.0.0.0/").has_value());
+  EXPECT_FALSE(Prefix::parse("10.0.0.0/abc").has_value());
+  EXPECT_FALSE(Prefix::parse("2001:db8::/129").has_value());
+  EXPECT_FALSE(Prefix::parse("not-an-ip/24").has_value());
+}
+
+TEST(Prefix, V6LengthsAccepted) {
+  EXPECT_TRUE(Prefix::parse("2001:db8::/32").has_value());
+  EXPECT_TRUE(Prefix::parse("::/0").has_value());
+  EXPECT_TRUE(Prefix::parse("2001:db8::1/128").has_value());
+}
+
+TEST(Prefix, ContainsAddress) {
+  Prefix p = *Prefix::parse("203.0.113.0/24");
+  EXPECT_TRUE(p.contains(*IpAddr::parse("203.0.113.0")));
+  EXPECT_TRUE(p.contains(*IpAddr::parse("203.0.113.255")));
+  EXPECT_FALSE(p.contains(*IpAddr::parse("203.0.114.0")));
+  EXPECT_FALSE(p.contains(*IpAddr::parse("2001:db8::1")));  // family mismatch
+}
+
+TEST(Prefix, ContainsPrefix) {
+  Prefix p16 = *Prefix::parse("10.1.0.0/16");
+  Prefix p24 = *Prefix::parse("10.1.2.0/24");
+  EXPECT_TRUE(p16.contains(p24));
+  EXPECT_FALSE(p24.contains(p16));
+  EXPECT_TRUE(p16.contains(p16));
+  EXPECT_FALSE(p16.contains(*Prefix::parse("10.2.0.0/24")));
+}
+
+TEST(Prefix, DefaultRouteContainsEverything) {
+  Prefix def = *Prefix::parse("0.0.0.0/0");
+  EXPECT_TRUE(def.contains(*IpAddr::parse("255.255.255.255")));
+  EXPECT_TRUE(def.contains(*Prefix::parse("10.0.0.0/8")));
+  EXPECT_FALSE(def.contains(*Prefix::parse("::/0")));  // family mismatch
+}
+
+TEST(Prefix, OrderingIsTotal) {
+  Prefix a = *Prefix::parse("10.0.0.0/8");
+  Prefix b = *Prefix::parse("10.0.0.0/16");
+  Prefix c = *Prefix::parse("11.0.0.0/8");
+  EXPECT_LT(a, b);  // same address, shorter length first
+  EXPECT_LT(a, c);
+  EXPECT_LT(b, c);
+}
+
+TEST(Prefix, HashUsableInSets) {
+  std::unordered_set<Prefix> set;
+  set.insert(*Prefix::parse("10.0.0.0/8"));
+  set.insert(*Prefix::parse("10.0.0.0/16"));
+  set.insert(*Prefix::parse("10.0.0.0/8"));  // duplicate
+  EXPECT_EQ(set.size(), 2u);
+  EXPECT_TRUE(set.contains(*Prefix::parse("10.0.0.0/16")));
+}
+
+TEST(Prefix, RoundTripFormatParse) {
+  for (const char* text : {"0.0.0.0/0", "10.0.0.0/8", "203.0.113.128/25",
+                           "2001:db8::/32", "::/0", "100.64.0.0/10"}) {
+    auto p = Prefix::parse(text);
+    ASSERT_TRUE(p.has_value()) << text;
+    EXPECT_EQ(Prefix::parse(p->to_string()), p) << text;
+  }
+}
+
+}  // namespace
+}  // namespace ef::net

@@ -1,0 +1,162 @@
+#include "net/prefix_trie.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <optional>
+
+#include "net/rng.h"
+
+namespace ef::net {
+namespace {
+
+Prefix P(const char* text) { return *Prefix::parse(text); }
+IpAddr A(const char* text) { return *IpAddr::parse(text); }
+
+TEST(PrefixTrie, InsertFindErase) {
+  PrefixTrie<int> trie;
+  EXPECT_TRUE(trie.insert(P("10.0.0.0/8"), 1));
+  EXPECT_TRUE(trie.insert(P("10.1.0.0/16"), 2));
+  EXPECT_FALSE(trie.insert(P("10.0.0.0/8"), 3));  // replace
+  EXPECT_EQ(trie.size(), 2u);
+  ASSERT_NE(trie.find(P("10.0.0.0/8")), nullptr);
+  EXPECT_EQ(*trie.find(P("10.0.0.0/8")), 3);
+  EXPECT_EQ(trie.find(P("10.0.0.0/9")), nullptr);  // no exact entry
+  EXPECT_TRUE(trie.erase(P("10.0.0.0/8")));
+  EXPECT_FALSE(trie.erase(P("10.0.0.0/8")));
+  EXPECT_EQ(trie.size(), 1u);
+}
+
+TEST(PrefixTrie, LongestMatchPicksMostSpecific) {
+  PrefixTrie<int> trie;
+  trie.insert(P("0.0.0.0/0"), 0);
+  trie.insert(P("10.0.0.0/8"), 8);
+  trie.insert(P("10.1.0.0/16"), 16);
+  trie.insert(P("10.1.2.0/24"), 24);
+
+  auto m = trie.longest_match(A("10.1.2.3"));
+  ASSERT_TRUE(m.has_value());
+  EXPECT_EQ(*m->second, 24);
+  EXPECT_EQ(m->first, P("10.1.2.0/24"));
+
+  m = trie.longest_match(A("10.1.9.9"));
+  ASSERT_TRUE(m.has_value());
+  EXPECT_EQ(*m->second, 16);
+
+  m = trie.longest_match(A("10.9.9.9"));
+  ASSERT_TRUE(m.has_value());
+  EXPECT_EQ(*m->second, 8);
+
+  m = trie.longest_match(A("192.0.2.1"));
+  ASSERT_TRUE(m.has_value());
+  EXPECT_EQ(*m->second, 0);
+}
+
+TEST(PrefixTrie, NoMatchWithoutDefault) {
+  PrefixTrie<int> trie;
+  trie.insert(P("10.0.0.0/8"), 1);
+  EXPECT_FALSE(trie.longest_match(A("192.0.2.1")).has_value());
+}
+
+TEST(PrefixTrie, FamiliesAreIndependent) {
+  PrefixTrie<int> trie;
+  trie.insert(P("::/0"), 6);
+  trie.insert(P("0.0.0.0/0"), 4);
+  EXPECT_EQ(*trie.longest_match(A("10.0.0.1"))->second, 4);
+  EXPECT_EQ(*trie.longest_match(A("2001:db8::1"))->second, 6);
+  EXPECT_EQ(trie.size(), 2u);
+}
+
+TEST(PrefixTrie, V6LongestMatch) {
+  PrefixTrie<int> trie;
+  trie.insert(P("2001:db8::/32"), 32);
+  trie.insert(P("2001:db8:1::/48"), 48);
+  EXPECT_EQ(*trie.longest_match(A("2001:db8:1::5"))->second, 48);
+  EXPECT_EQ(*trie.longest_match(A("2001:db8:2::5"))->second, 32);
+}
+
+TEST(PrefixTrie, HostRoutes) {
+  PrefixTrie<int> trie;
+  trie.insert(P("10.0.0.1/32"), 1);
+  trie.insert(P("10.0.0.0/24"), 2);
+  EXPECT_EQ(*trie.longest_match(A("10.0.0.1"))->second, 1);
+  EXPECT_EQ(*trie.longest_match(A("10.0.0.2"))->second, 2);
+}
+
+TEST(PrefixTrie, ForEachVisitsAll) {
+  PrefixTrie<int> trie;
+  std::map<Prefix, int> expected{{P("10.0.0.0/8"), 1},
+                                 {P("10.128.0.0/9"), 2},
+                                 {P("2001:db8::/32"), 3},
+                                 {P("0.0.0.0/0"), 4}};
+  for (const auto& [prefix, value] : expected) trie.insert(prefix, value);
+  std::map<Prefix, int> seen;
+  trie.for_each([&](const Prefix& prefix, const int& value) {
+    seen[prefix] = value;
+  });
+  EXPECT_EQ(seen, expected);
+}
+
+TEST(PrefixTrie, ClearEmptiesEverything) {
+  PrefixTrie<int> trie;
+  trie.insert(P("10.0.0.0/8"), 1);
+  trie.clear();
+  EXPECT_TRUE(trie.empty());
+  EXPECT_FALSE(trie.longest_match(A("10.0.0.1")).has_value());
+}
+
+// Property test: trie LPM must agree with a brute-force scan over a
+// randomly generated table for random lookups.
+class TrieLpmProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(TrieLpmProperty, MatchesBruteForce) {
+  Rng rng(GetParam());
+  PrefixTrie<int> trie;
+  std::map<Prefix, int> table;
+  for (int i = 0; i < 300; ++i) {
+    const int len = static_cast<int>(rng.uniform_int(8, 28));
+    const IpAddr addr =
+        IpAddr::v4(static_cast<std::uint32_t>(rng.next_u64()));
+    Prefix prefix(addr, len);
+    trie.insert(prefix, i);
+    table[prefix] = i;
+  }
+  ASSERT_EQ(trie.size(), table.size());
+
+  for (int q = 0; q < 500; ++q) {
+    // Half the queries hit near existing prefixes, half are random.
+    IpAddr target;
+    if (q % 2 == 0 && !table.empty()) {
+      auto it = table.begin();
+      std::advance(it, static_cast<long>(rng.uniform_int(
+                            0, static_cast<std::int64_t>(table.size()) - 1)));
+      target = IpAddr::v4(it->first.address().v4_value() |
+                          static_cast<std::uint32_t>(rng.uniform_int(0, 255)));
+    } else {
+      target = IpAddr::v4(static_cast<std::uint32_t>(rng.next_u64()));
+    }
+
+    // Brute force.
+    std::optional<std::pair<Prefix, int>> best;
+    for (const auto& [prefix, value] : table) {
+      if (prefix.contains(target) &&
+          (!best || prefix.length() > best->first.length())) {
+        best = {prefix, value};
+      }
+    }
+
+    auto got = trie.longest_match(target);
+    ASSERT_EQ(got.has_value(), best.has_value())
+        << "target " << target.to_string();
+    if (best) {
+      EXPECT_EQ(got->first, best->first) << "target " << target.to_string();
+      EXPECT_EQ(*got->second, best->second);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TrieLpmProperty,
+                         ::testing::Values(1, 2, 3, 5, 8, 13, 21, 42));
+
+}  // namespace
+}  // namespace ef::net

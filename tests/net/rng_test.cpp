@@ -1,0 +1,158 @@
+#include "net/rng.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace ef::net {
+namespace {
+
+TEST(Rng, DeterministicBySeed) {
+  Rng a(123), b(123), c(124);
+  bool all_equal = true;
+  bool any_differs_from_c = false;
+  for (int i = 0; i < 100; ++i) {
+    const auto va = a.next_u64();
+    const auto vb = b.next_u64();
+    const auto vc = c.next_u64();
+    all_equal = all_equal && (va == vb);
+    any_differs_from_c = any_differs_from_c || (va != vc);
+  }
+  EXPECT_TRUE(all_equal);
+  EXPECT_TRUE(any_differs_from_c);
+}
+
+TEST(Rng, DoubleInUnitInterval) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double v = rng.next_double();
+    EXPECT_GE(v, 0.0);
+    EXPECT_LT(v, 1.0);
+  }
+}
+
+class UniformIntBounds
+    : public ::testing::TestWithParam<std::pair<std::int64_t, std::int64_t>> {
+};
+
+TEST_P(UniformIntBounds, StaysInRangeAndHitsEnds) {
+  const auto [lo, hi] = GetParam();
+  Rng rng(99);
+  bool hit_lo = false, hit_hi = false;
+  for (int i = 0; i < 20000; ++i) {
+    const auto v = rng.uniform_int(lo, hi);
+    ASSERT_GE(v, lo);
+    ASSERT_LE(v, hi);
+    hit_lo = hit_lo || v == lo;
+    hit_hi = hit_hi || v == hi;
+  }
+  if (hi - lo < 1000) {
+    EXPECT_TRUE(hit_lo);
+    EXPECT_TRUE(hit_hi);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Ranges, UniformIntBounds,
+    ::testing::Values(std::pair<std::int64_t, std::int64_t>{0, 0},
+                      std::pair<std::int64_t, std::int64_t>{0, 1},
+                      std::pair<std::int64_t, std::int64_t>{-5, 5},
+                      std::pair<std::int64_t, std::int64_t>{0, 255},
+                      std::pair<std::int64_t, std::int64_t>{1, 1000000}));
+
+TEST(Rng, BernoulliEdges) {
+  Rng rng(5);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.bernoulli(0.0));
+    EXPECT_TRUE(rng.bernoulli(1.0));
+  }
+}
+
+TEST(Rng, BernoulliFrequency) {
+  Rng rng(6);
+  int hits = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) hits += rng.bernoulli(0.3) ? 1 : 0;
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.01);
+}
+
+TEST(Rng, ExponentialMean) {
+  Rng rng(8);
+  double sum = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) sum += rng.exponential(5.0);
+  EXPECT_NEAR(sum / n, 5.0, 0.1);
+}
+
+TEST(Rng, NormalMoments) {
+  Rng rng(9);
+  double sum = 0, sq = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) {
+    const double v = rng.normal(10.0, 2.0);
+    sum += v;
+    sq += v * v;
+  }
+  const double mean = sum / n;
+  const double var = sq / n - mean * mean;
+  EXPECT_NEAR(mean, 10.0, 0.05);
+  EXPECT_NEAR(std::sqrt(var), 2.0, 0.05);
+}
+
+TEST(Rng, ParetoLowerBound) {
+  Rng rng(10);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_GE(rng.pareto(2.0, 1.5), 2.0);
+  }
+}
+
+TEST(Rng, ForkIsIndependentAndDeterministic) {
+  Rng a(42);
+  Rng child1 = a.fork();
+  Rng b(42);
+  Rng child2 = b.fork();
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(child1.next_u64(), child2.next_u64());
+  }
+}
+
+TEST(Zipf, PmfSumsToOne) {
+  ZipfDistribution zipf(100, 1.1);
+  double total = 0;
+  for (std::size_t k = 1; k <= 100; ++k) total += zipf.pmf(k);
+  EXPECT_NEAR(total, 1.0, 1e-9);
+}
+
+TEST(Zipf, PmfIsDecreasing) {
+  ZipfDistribution zipf(50, 1.2);
+  for (std::size_t k = 2; k <= 50; ++k) {
+    EXPECT_GT(zipf.pmf(k - 1), zipf.pmf(k));
+  }
+}
+
+TEST(Zipf, SampleMatchesPmf) {
+  ZipfDistribution zipf(10, 1.0);
+  Rng rng(11);
+  std::vector<int> counts(11, 0);
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) {
+    const std::size_t k = zipf.sample(rng);
+    ASSERT_GE(k, 1u);
+    ASSERT_LE(k, 10u);
+    ++counts[k];
+  }
+  for (std::size_t k = 1; k <= 10; ++k) {
+    EXPECT_NEAR(static_cast<double>(counts[k]) / n, zipf.pmf(k), 0.01)
+        << "rank " << k;
+  }
+}
+
+TEST(Zipf, SingleElement) {
+  ZipfDistribution zipf(1, 1.5);
+  Rng rng(12);
+  EXPECT_EQ(zipf.sample(rng), 1u);
+  EXPECT_NEAR(zipf.pmf(1), 1.0, 1e-12);
+}
+
+}  // namespace
+}  // namespace ef::net

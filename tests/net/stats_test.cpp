@@ -1,0 +1,166 @@
+#include "net/stats.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "net/rng.h"
+#include "net/units.h"
+
+namespace ef::net {
+namespace {
+
+TEST(Ewma, FirstSampleInitializes) {
+  Ewma ewma(0.5);
+  EXPECT_FALSE(ewma.initialized());
+  ewma.update(10.0);
+  EXPECT_TRUE(ewma.initialized());
+  EXPECT_DOUBLE_EQ(ewma.value(), 10.0);
+}
+
+TEST(Ewma, ConvergesToConstantInput) {
+  Ewma ewma(0.3);
+  for (int i = 0; i < 100; ++i) ewma.update(42.0);
+  EXPECT_NEAR(ewma.value(), 42.0, 1e-9);
+}
+
+TEST(Ewma, HigherAlphaReactsFaster) {
+  Ewma slow(0.1), fast(0.9);
+  slow.update(0);
+  fast.update(0);
+  slow.update(100);
+  fast.update(100);
+  EXPECT_GT(fast.value(), slow.value());
+}
+
+TEST(Ewma, ResetClears) {
+  Ewma ewma(0.5);
+  ewma.update(5);
+  ewma.reset();
+  EXPECT_FALSE(ewma.initialized());
+}
+
+TEST(OnlineStats, MatchesDirectComputation) {
+  OnlineStats stats;
+  const std::vector<double> xs{3, 1, 4, 1, 5, 9, 2, 6};
+  double sum = 0;
+  for (double x : xs) {
+    stats.add(x);
+    sum += x;
+  }
+  const double mean = sum / static_cast<double>(xs.size());
+  double ss = 0;
+  for (double x : xs) ss += (x - mean) * (x - mean);
+  EXPECT_EQ(stats.count(), xs.size());
+  EXPECT_NEAR(stats.mean(), mean, 1e-12);
+  EXPECT_NEAR(stats.variance(), ss / static_cast<double>(xs.size() - 1), 1e-12);
+  EXPECT_DOUBLE_EQ(stats.min(), 1);
+  EXPECT_DOUBLE_EQ(stats.max(), 9);
+}
+
+TEST(OnlineStats, SingleSampleHasZeroVariance) {
+  OnlineStats stats;
+  stats.add(7);
+  EXPECT_DOUBLE_EQ(stats.variance(), 0);
+  EXPECT_DOUBLE_EQ(stats.min(), 7);
+  EXPECT_DOUBLE_EQ(stats.max(), 7);
+}
+
+TEST(CdfBuilder, ExactPercentilesSmall) {
+  CdfBuilder cdf;
+  for (double x : {10.0, 20.0, 30.0, 40.0, 50.0}) cdf.add(x);
+  EXPECT_DOUBLE_EQ(cdf.percentile(0), 10);
+  EXPECT_DOUBLE_EQ(cdf.percentile(50), 30);
+  EXPECT_DOUBLE_EQ(cdf.percentile(100), 50);
+  EXPECT_DOUBLE_EQ(cdf.percentile(25), 20);
+}
+
+TEST(CdfBuilder, InterpolatesBetweenRanks) {
+  CdfBuilder cdf;
+  cdf.add(0);
+  cdf.add(10);
+  EXPECT_NEAR(cdf.percentile(50), 5.0, 1e-12);
+  EXPECT_NEAR(cdf.percentile(90), 9.0, 1e-12);
+}
+
+TEST(CdfBuilder, FractionAtMost) {
+  CdfBuilder cdf;
+  for (int i = 1; i <= 10; ++i) cdf.add(i);
+  EXPECT_DOUBLE_EQ(cdf.fraction_at_most(5), 0.5);
+  EXPECT_DOUBLE_EQ(cdf.fraction_at_most(0), 0.0);
+  EXPECT_DOUBLE_EQ(cdf.fraction_at_most(10), 1.0);
+  EXPECT_DOUBLE_EQ(cdf.fraction_at_most(100), 1.0);
+}
+
+TEST(CdfBuilder, CdfPointsMonotonic) {
+  CdfBuilder cdf;
+  Rng rng(3);
+  for (int i = 0; i < 1000; ++i) cdf.add(rng.uniform(0, 100));
+  const auto points = cdf.cdf_points(20);
+  ASSERT_FALSE(points.empty());
+  for (std::size_t i = 1; i < points.size(); ++i) {
+    EXPECT_GE(points[i].first, points[i - 1].first);
+    EXPECT_GE(points[i].second, points[i - 1].second);
+  }
+  EXPECT_DOUBLE_EQ(points.back().second, 1.0);
+}
+
+TEST(CdfBuilder, AddAfterQueryResorts) {
+  CdfBuilder cdf;
+  cdf.add(10);
+  EXPECT_DOUBLE_EQ(cdf.percentile(50), 10);
+  cdf.add(0);  // would be out of order if sort were not refreshed
+  EXPECT_DOUBLE_EQ(cdf.percentile(0), 0);
+}
+
+TEST(CdfBuilder, SummaryMentionsCount) {
+  CdfBuilder cdf;
+  cdf.add(1);
+  EXPECT_NE(cdf.summary().find("n=1"), std::string::npos);
+  CdfBuilder empty;
+  EXPECT_EQ(empty.summary(), "(no samples)");
+}
+
+// Percentile property: for large uniform samples, percentile(p) ≈ p.
+class PercentileProperty : public ::testing::TestWithParam<double> {};
+
+TEST_P(PercentileProperty, UniformQuantiles) {
+  CdfBuilder cdf;
+  Rng rng(17);
+  for (int i = 0; i < 50000; ++i) cdf.add(rng.uniform(0, 100));
+  const double p = GetParam();
+  EXPECT_NEAR(cdf.percentile(p), p, 1.5) << "p=" << p;
+}
+
+INSTANTIATE_TEST_SUITE_P(Quantiles, PercentileProperty,
+                         ::testing::Values(1.0, 10.0, 25.0, 50.0, 75.0, 90.0,
+                                           99.0));
+
+TEST(Bandwidth, UnitsAndArithmetic) {
+  const Bandwidth g = Bandwidth::gbps(1);
+  EXPECT_DOUBLE_EQ(g.bits_per_sec(), 1e9);
+  EXPECT_DOUBLE_EQ(g.mbps_value(), 1000);
+  EXPECT_DOUBLE_EQ((g + Bandwidth::mbps(500)).gbps_value(), 1.5);
+  EXPECT_DOUBLE_EQ((g * 2).gbps_value(), 2.0);
+  EXPECT_DOUBLE_EQ(g / Bandwidth::mbps(500), 2.0);
+  EXPECT_LT(Bandwidth::mbps(1), g);
+}
+
+TEST(Bandwidth, ToStringPicksUnit) {
+  EXPECT_EQ(Bandwidth::gbps(2.5).to_string(), "2.50Gbps");
+  EXPECT_EQ(Bandwidth::mbps(3).to_string(), "3.00Mbps");
+  EXPECT_EQ(Bandwidth::kbps(9).to_string(), "9.00Kbps");
+  EXPECT_EQ(Bandwidth::bps(42).to_string(), "42bps");
+}
+
+TEST(SimTime, ConversionsAndArithmetic) {
+  EXPECT_EQ(SimTime::seconds(1.5).millis_value(), 1500);
+  EXPECT_EQ(SimTime::minutes(2).millis_value(), 120000);
+  EXPECT_EQ(SimTime::hours(1).millis_value(), 3600000);
+  EXPECT_DOUBLE_EQ((SimTime::seconds(90) - SimTime::seconds(30)).seconds_value(),
+                   60.0);
+  EXPECT_LT(SimTime::seconds(1), SimTime::seconds(2));
+}
+
+}  // namespace
+}  // namespace ef::net

@@ -1,0 +1,93 @@
+#include "sim/fleet.h"
+
+#include <gtest/gtest.h>
+
+namespace ef::sim {
+namespace {
+
+using net::Bandwidth;
+using net::SimTime;
+
+topology::World test_world() {
+  topology::WorldConfig config;
+  config.num_clients = 40;
+  config.num_pops = 3;
+  return topology::World::generate(config);
+}
+
+TEST(Fleet, OneSimulationPerPop) {
+  const auto world = test_world();
+  SimulationConfig config;
+  config.duration = SimTime::hours(1);
+  Fleet fleet(world, config);
+  EXPECT_EQ(fleet.size(), world.pops().size());
+  for (std::size_t i = 0; i < fleet.size(); ++i) {
+    EXPECT_EQ(fleet.pop(i).index(), i);
+    EXPECT_NE(fleet.controller(i), nullptr);
+    EXPECT_TRUE(fleet.controller(i)->connected());
+  }
+}
+
+TEST(Fleet, RunVisitsEveryPopEveryStep) {
+  const auto world = test_world();
+  SimulationConfig config;
+  config.duration = SimTime::hours(2);
+  config.step = SimTime::seconds(60);
+  Fleet fleet(world, config);
+
+  std::vector<std::size_t> steps(fleet.size(), 0);
+  fleet.run([&](std::size_t pop_index, const StepRecord& record) {
+    ++steps[pop_index];
+    EXPECT_GT(record.total_demand.bits_per_sec(), 0);
+  });
+  for (std::size_t count : steps) {
+    EXPECT_EQ(count, 2u * 60 + 1);
+  }
+}
+
+TEST(Fleet, PopsPeakAtDifferentTimes) {
+  // The diurnal phase spread means the fleet's aggregate peak is flatter
+  // than any single PoP's (the point of geographic distribution).
+  const auto world = test_world();
+  SimulationConfig config;
+  config.duration = SimTime::hours(24);
+  config.step = SimTime::minutes(10);
+  config.controller_enabled = false;
+  config.demand.enable_events = false;
+  config.demand.noise_sigma = 0;
+  Fleet fleet(world, config);
+
+  std::vector<double> pop_peak(fleet.size(), 0);
+  double fleet_peak = 0;
+  std::map<std::int64_t, double> fleet_by_time;
+  fleet.run([&](std::size_t pop_index, const StepRecord& record) {
+    pop_peak[pop_index] =
+        std::max(pop_peak[pop_index], record.total_demand.bits_per_sec());
+    fleet_by_time[record.when.millis_value()] +=
+        record.total_demand.bits_per_sec();
+  });
+  for (const auto& [when, total] : fleet_by_time) {
+    fleet_peak = std::max(fleet_peak, total);
+  }
+  double sum_of_peaks = 0;
+  for (double peak : pop_peak) sum_of_peaks += peak;
+  EXPECT_LT(fleet_peak, sum_of_peaks * 0.95);
+}
+
+TEST(Fleet, ControllersKeepEveryPopUnderCapacity) {
+  const auto world = test_world();
+  SimulationConfig config;
+  config.duration = SimTime::hours(6);
+  config.step = SimTime::seconds(60);
+  config.controller.cycle_period = SimTime::seconds(60);
+  Fleet fleet(world, config);
+
+  Bandwidth total_overload;
+  fleet.run([&](std::size_t, const StepRecord& record) {
+    total_overload += record.overload;
+  });
+  EXPECT_NEAR(total_overload.bits_per_sec(), 0, 1.0);
+}
+
+}  // namespace
+}  // namespace ef::sim

@@ -1,0 +1,218 @@
+#include "sim/simulation.h"
+
+#include <gtest/gtest.h>
+
+#include "analysis/metrics.h"
+#include "baseline/baselines.h"
+
+namespace ef::sim {
+namespace {
+
+using net::Bandwidth;
+using net::SimTime;
+
+topology::World test_world() {
+  topology::WorldConfig config;
+  config.num_clients = 40;
+  config.num_pops = 2;
+  return topology::World::generate(config);
+}
+
+SimulationConfig short_run(bool controller) {
+  SimulationConfig config;
+  config.duration = SimTime::hours(24);
+  config.step = SimTime::seconds(60);
+  config.controller_enabled = controller;
+  config.controller.cycle_period = SimTime::seconds(60);
+  return config;
+}
+
+TEST(Simulation, BaselineOverloadsAtPeaks) {
+  const auto world = test_world();
+  topology::Pop pop(world, 0);
+  Simulation sim(pop, short_run(false));
+
+  double max_overload = 0;
+  std::size_t steps = 0;
+  sim.run([&](const StepRecord& record) {
+    ++steps;
+    max_overload = std::max(max_overload, record.overload.gbps_value());
+  });
+  EXPECT_EQ(steps, 24 * 60 + 1u);
+  EXPECT_GT(max_overload, 0) << "world must overload without Edge Fabric";
+}
+
+TEST(Simulation, EdgeFabricEliminatesOverload) {
+  const auto world = test_world();
+  topology::Pop pop(world, 0);
+  Simulation sim(pop, short_run(true));
+
+  Bandwidth total_overload;
+  bool saw_overrides = false;
+  sim.run([&](const StepRecord& record) {
+    total_overload += record.overload;
+    if (record.controller && record.controller->overrides_active > 0) {
+      saw_overrides = true;
+    }
+  });
+  EXPECT_TRUE(saw_overrides);
+  EXPECT_NEAR(total_overload.bits_per_sec(), 0, 1.0);
+}
+
+TEST(Simulation, RunsAreDeterministic) {
+  const auto world = test_world();
+  std::vector<double> first, second;
+  for (auto* sink : {&first, &second}) {
+    topology::Pop pop(world, 0);
+    Simulation sim(pop, short_run(true));
+    sim.run([&](const StepRecord& record) {
+      sink->push_back(record.total_demand.bits_per_sec());
+      sink->push_back(record.overload.bits_per_sec());
+    });
+  }
+  EXPECT_EQ(first, second);
+}
+
+TEST(Simulation, SflowEstimateModeStillControlsOverload) {
+  const auto world = test_world();
+  topology::Pop pop(world, 0);
+  SimulationConfig config = short_run(true);
+  config.duration = SimTime::hours(4);  // keep packet generation affordable
+  config.use_sflow_estimate = true;
+  config.sflow_sample_rate = 10;
+  Simulation sim(pop, config);
+
+  Bandwidth total_overload;
+  Bandwidth total_demand;
+  sim.run([&](const StepRecord& record) {
+    total_overload += record.overload;
+    total_demand += record.total_demand;
+  });
+  // Sampling noise allows brief slips, but overload must stay small
+  // compared to the fraction the BGP-only baseline would drop (~2%).
+  EXPECT_LT(total_overload.bits_per_sec(),
+            total_demand.bits_per_sec() * 0.002);
+}
+
+TEST(Simulation, TelemetryLagDegradesButDoesNotBreak) {
+  const auto world = test_world();
+
+  auto run_with_lag = [&](int lag) {
+    topology::Pop pop(world, 0);
+    SimulationConfig config = short_run(true);
+    config.duration = SimTime::hours(12);
+    config.telemetry_lag_steps = lag;
+    Simulation sim(pop, config);
+    Bandwidth overload;
+    sim.run([&](const StepRecord& r) { overload += r.overload; });
+    return overload.bits_per_sec();
+  };
+
+  const double fresh = run_with_lag(0);
+  const double stale = run_with_lag(5);
+  EXPECT_GE(stale, fresh);  // staleness can only hurt
+}
+
+TEST(Simulation, PeerFlapsAreAbsorbed) {
+  const auto world = test_world();
+  topology::Pop pop(world, 0);
+  SimulationConfig config = short_run(true);
+  config.duration = SimTime::hours(12);
+  config.peer_flap_rate_per_hour = 3.0;  // aggressive churn
+  config.peer_flap_duration = SimTime::minutes(10);
+  Simulation sim(pop, config);
+
+  std::size_t steps_with_down = 0;
+  std::size_t steps = 0;
+  sim.run([&](const StepRecord& record) {
+    ++steps;
+    if (record.peerings_down > 0) ++steps_with_down;
+  });
+  EXPECT_GT(steps_with_down, 0u) << "flaps must actually occur";
+  EXPECT_LT(steps_with_down, steps) << "and must heal";
+
+  // After the run, every peering is back up and the table is complete.
+  for (std::size_t i = 0; i < pop.def().peerings.size(); ++i) {
+    EXPECT_TRUE(pop.peering_up(i)) << "peering " << i;
+  }
+  std::size_t expected = 0;
+  for (const auto& client : world.clients()) {
+    expected += client.prefixes.size();
+  }
+  EXPECT_EQ(pop.collector().rib().prefix_count(), expected);
+}
+
+TEST(Simulation, FlapsWithControllerNeverStrandTraffic) {
+  const auto world = test_world();
+  topology::Pop pop(world, 0);
+  SimulationConfig config = short_run(true);
+  config.duration = SimTime::hours(6);
+  config.peer_flap_rate_per_hour = 2.0;
+  Simulation sim(pop, config);
+  sim.run([&](const StepRecord& record) {
+    if (record.controller) {
+      EXPECT_DOUBLE_EQ(
+          record.controller->allocation.unroutable.bits_per_sec(), 0)
+          << "transit must always cover flapped peers";
+    }
+  });
+}
+
+TEST(Baseline, BgpOnlyLoadIgnoresOverrides) {
+  const auto world = test_world();
+  topology::Pop pop(world, 0);
+  core::Controller controller(pop, {});
+  controller.connect();
+  workload::DemandGenerator gen(world, 0, {});
+  const auto demand = gen.baseline(SimTime::seconds(0));
+  controller.run_cycle(demand, SimTime::seconds(0));
+  ASSERT_FALSE(controller.active_overrides().empty());
+
+  // With overrides active, actual forwarding differs from the BGP-only
+  // projection on the overridden interfaces.
+  const auto actual = pop.project_load(demand);
+  const auto counterfactual = baseline::bgp_only_load(pop, demand);
+  const auto& [prefix, override_entry] = *controller.active_overrides().begin();
+  EXPECT_GT(
+      counterfactual.at(override_entry.from_interface).bits_per_sec(),
+      actual.at(override_entry.from_interface).bits_per_sec());
+}
+
+TEST(Baseline, StaticTeHelpsAtPlanningPointOnly) {
+  const auto world = test_world();
+  workload::DemandConfig quiet;
+  quiet.enable_events = false;
+  quiet.noise_sigma = 0;
+
+  topology::Pop pop(world, 0);
+  workload::DemandGenerator gen(world, 0, quiet);
+  baseline::StaticTe static_te(pop);
+
+  // Plan at 80% of peak.
+  telemetry::DemandMatrix planning;
+  gen.baseline(SimTime::seconds(0))
+      .for_each([&](const net::Prefix& prefix, Bandwidth rate) {
+        planning.set(prefix, rate * 0.8);
+      });
+  static_te.install(planning, SimTime::seconds(0));
+
+  // At the planning point, static TE fits.
+  auto load = pop.project_load(planning);
+  for (const auto& [iface, rate] : load) {
+    EXPECT_LE(rate.bits_per_sec(),
+              pop.interfaces().capacity(iface).bits_per_sec() + 1.0);
+  }
+
+  // At full peak, the static configuration no longer suffices (while the
+  // adaptive controller handled exactly this case in ControllerTest).
+  const auto peak = gen.baseline(SimTime::seconds(0));
+  load = pop.project_load(peak);
+  int over = 0;
+  for (const auto& [iface, rate] : load) {
+    if (rate > pop.interfaces().capacity(iface)) ++over;
+  }
+  EXPECT_GT(over, 0);
+}
+
+}  // namespace
+}  // namespace ef::sim

@@ -1,0 +1,222 @@
+#include <gtest/gtest.h>
+#include <cmath>
+
+#include "net/rng.h"
+#include "telemetry/interface.h"
+#include "telemetry/sflow.h"
+#include "telemetry/traffic.h"
+
+namespace ef::telemetry {
+namespace {
+
+using net::Bandwidth;
+using net::SimTime;
+
+net::Prefix P(const char* text) { return *net::Prefix::parse(text); }
+
+TEST(InterfaceRegistry, AddAndQuery) {
+  InterfaceRegistry registry;
+  registry.add(InterfaceId(1), Bandwidth::gbps(10));
+  registry.add(InterfaceId(2), Bandwidth::gbps(100));
+  EXPECT_TRUE(registry.contains(InterfaceId(1)));
+  EXPECT_FALSE(registry.contains(InterfaceId(3)));
+  EXPECT_DOUBLE_EQ(registry.capacity(InterfaceId(1)).gbps_value(), 10);
+  EXPECT_EQ(registry.size(), 2u);
+}
+
+TEST(InterfaceRegistry, DrainZeroesUsableCapacity) {
+  InterfaceRegistry registry;
+  registry.add(InterfaceId(1), Bandwidth::gbps(10));
+  EXPECT_DOUBLE_EQ(registry.usable_capacity(InterfaceId(1)).gbps_value(), 10);
+  registry.set_drained(InterfaceId(1), true);
+  EXPECT_TRUE(registry.drained(InterfaceId(1)));
+  EXPECT_DOUBLE_EQ(registry.usable_capacity(InterfaceId(1)).gbps_value(), 0);
+  // Raw capacity is unchanged (drain is operational state, not hardware).
+  EXPECT_DOUBLE_EQ(registry.capacity(InterfaceId(1)).gbps_value(), 10);
+  registry.set_drained(InterfaceId(1), false);
+  EXPECT_DOUBLE_EQ(registry.usable_capacity(InterfaceId(1)).gbps_value(), 10);
+}
+
+TEST(InterfaceRegistry, ForEachVisitsAll) {
+  InterfaceRegistry registry;
+  registry.add(InterfaceId(1), Bandwidth::gbps(1));
+  registry.add(InterfaceId(2), Bandwidth::gbps(2));
+  double total = 0;
+  registry.for_each([&](InterfaceId, const InterfaceState& state) {
+    total += state.capacity.gbps_value();
+  });
+  EXPECT_DOUBLE_EQ(total, 3.0);
+}
+
+TEST(InterfaceCounters, PollComputesRates) {
+  InterfaceCounters counters;
+  // 125 MB over 10s = 100 Mbps.
+  counters.record(InterfaceId(1), 125'000'000);
+  auto rates = counters.poll(SimTime::seconds(10));
+  EXPECT_NEAR(rates[InterfaceId(1)].tx.mbps_value(), 100.0, 1e-9);
+
+  // Second window: nothing sent -> zero rate.
+  rates = counters.poll(SimTime::seconds(20));
+  EXPECT_DOUBLE_EQ(rates[InterfaceId(1)].tx.bits_per_sec(), 0);
+}
+
+TEST(InterfaceCounters, DropAccounting) {
+  InterfaceCounters counters;
+  counters.record(InterfaceId(1), 1000);
+  counters.record_drop(InterfaceId(1), 500);
+  counters.record_drop(InterfaceId(1), 500);
+  EXPECT_EQ(counters.total_bytes(InterfaceId(1)), 1000u);
+  EXPECT_EQ(counters.total_dropped(InterfaceId(1)), 1000u);
+  auto rates = counters.poll(SimTime::seconds(1));
+  EXPECT_NEAR(rates[InterfaceId(1)].dropped.bits_per_sec(), 8000.0, 1e-9);
+}
+
+TEST(InterfaceCounters, UnknownInterfaceIsZero) {
+  InterfaceCounters counters;
+  EXPECT_EQ(counters.total_bytes(InterfaceId(9)), 0u);
+  EXPECT_EQ(counters.total_dropped(InterfaceId(9)), 0u);
+}
+
+TEST(DemandMatrix, SetAddTotal) {
+  DemandMatrix demand;
+  demand.set(P("100.1.0.0/24"), Bandwidth::mbps(100));
+  demand.add(P("100.1.0.0/24"), Bandwidth::mbps(50));
+  demand.set(P("100.2.0.0/24"), Bandwidth::mbps(10));
+  EXPECT_DOUBLE_EQ(demand.rate(P("100.1.0.0/24")).mbps_value(), 150);
+  EXPECT_DOUBLE_EQ(demand.rate(P("100.9.0.0/24")).mbps_value(), 0);
+  EXPECT_DOUBLE_EQ(demand.total().mbps_value(), 160);
+  EXPECT_EQ(demand.prefix_count(), 2u);
+  demand.clear();
+  EXPECT_EQ(demand.prefix_count(), 0u);
+}
+
+TEST(SflowSampler, RateOneSamplesEverything) {
+  std::size_t emitted = 0;
+  SflowSampler sampler(1, 42, [&](const FlowSample&) { ++emitted; });
+  FlowSample packet;
+  for (int i = 0; i < 100; ++i) sampler.offer(packet);
+  EXPECT_EQ(emitted, 100u);
+  EXPECT_EQ(sampler.packets_offered(), 100u);
+  EXPECT_EQ(sampler.samples_emitted(), 100u);
+}
+
+TEST(SflowSampler, SamplingRateApproximatelyHonored) {
+  std::size_t emitted = 0;
+  SflowSampler sampler(100, 42, [&](const FlowSample&) { ++emitted; });
+  FlowSample packet;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) sampler.offer(packet);
+  // Expected 2000 ± a few standard deviations (sd ≈ 44.7).
+  EXPECT_NEAR(static_cast<double>(emitted), 2000.0, 250.0);
+}
+
+TEST(TrafficAggregator, RecoversRatesWithoutSampling) {
+  net::PrefixTrie<net::Prefix> table;
+  table.insert(P("100.1.0.0/24"), P("100.1.0.0/24"));
+
+  TrafficAggregator aggregator(table, 1);
+  FlowSample sample;
+  sample.dst = *net::IpAddr::parse("100.1.0.7");
+  sample.packet_bytes = 1250;
+  // 1000 packets × 1250 B over 10 s = 1 Mbps.
+  for (int i = 0; i < 1000; ++i) aggregator.ingest(sample);
+  const DemandMatrix demand = aggregator.finalize_window(SimTime::seconds(10));
+  EXPECT_NEAR(demand.rate(P("100.1.0.0/24")).mbps_value(), 1.0, 1e-9);
+  EXPECT_EQ(aggregator.unmatched_samples(), 0u);
+}
+
+TEST(TrafficAggregator, UnmatchedSamplesCounted) {
+  net::PrefixTrie<net::Prefix> table;
+  table.insert(P("100.1.0.0/24"), P("100.1.0.0/24"));
+  TrafficAggregator aggregator(table, 1);
+  FlowSample sample;
+  sample.dst = *net::IpAddr::parse("9.9.9.9");
+  sample.packet_bytes = 100;
+  aggregator.ingest(sample);
+  EXPECT_EQ(aggregator.unmatched_samples(), 1u);
+  EXPECT_EQ(aggregator.finalize_window(SimTime::seconds(1)).prefix_count(),
+            0u);
+}
+
+TEST(TrafficAggregator, WindowResetsAfterFinalize) {
+  net::PrefixTrie<net::Prefix> table;
+  table.insert(P("100.1.0.0/24"), P("100.1.0.0/24"));
+  TrafficAggregator aggregator(table, 1);
+  FlowSample sample;
+  sample.dst = *net::IpAddr::parse("100.1.0.7");
+  sample.packet_bytes = 1000;
+  aggregator.ingest(sample);
+  aggregator.finalize_window(SimTime::seconds(1));
+  // Next window with no samples: zero demand.
+  const DemandMatrix empty = aggregator.finalize_window(SimTime::seconds(2));
+  EXPECT_EQ(empty.prefix_count(), 0u);
+}
+
+TEST(DemandSmoother, ConvergesToSteadyInput) {
+  DemandSmoother smoother(0.5);
+  DemandMatrix window;
+  window.set(P("100.1.0.0/24"), Bandwidth::mbps(100));
+  for (int i = 0; i < 20; ++i) smoother.update(window);
+  EXPECT_NEAR(smoother.current().rate(P("100.1.0.0/24")).mbps_value(), 100.0,
+              0.01);
+}
+
+TEST(DemandSmoother, DampsSingleWindowSpike) {
+  DemandSmoother smoother(0.25);
+  DemandMatrix steady;
+  steady.set(P("100.1.0.0/24"), Bandwidth::mbps(100));
+  for (int i = 0; i < 20; ++i) smoother.update(steady);
+  DemandMatrix spike;
+  spike.set(P("100.1.0.0/24"), Bandwidth::mbps(1000));
+  smoother.update(spike);
+  const double after = smoother.current().rate(P("100.1.0.0/24")).mbps_value();
+  EXPECT_GT(after, 100.0);
+  EXPECT_LT(after, 400.0);  // far below the raw spike
+}
+
+TEST(DemandSmoother, MissingPrefixDecaysTowardZero) {
+  DemandSmoother smoother(0.5);
+  DemandMatrix window;
+  window.set(P("100.1.0.0/24"), Bandwidth::mbps(100));
+  smoother.update(window);
+  const DemandMatrix empty;
+  for (int i = 0; i < 10; ++i) smoother.update(empty);
+  EXPECT_LT(smoother.current().rate(P("100.1.0.0/24")).mbps_value(), 0.2);
+}
+
+// Property: sampled estimation converges to the true rate within a few
+// percent once enough packets flow through.
+class SflowEstimationProperty : public ::testing::TestWithParam<std::uint32_t> {
+};
+
+TEST_P(SflowEstimationProperty, EstimatesTrueRate) {
+  const std::uint32_t rate = GetParam();
+  net::PrefixTrie<net::Prefix> table;
+  table.insert(P("100.1.0.0/24"), P("100.1.0.0/24"));
+  TrafficAggregator aggregator(table, rate);
+  SflowSampler sampler(rate, 7,
+                       [&](const FlowSample& s) { aggregator.ingest(s); });
+
+  FlowSample packet;
+  packet.dst = *net::IpAddr::parse("100.1.0.9");
+  packet.packet_bytes = 1000;
+  const int packets = 2'000'000;
+  for (int i = 0; i < packets; ++i) sampler.offer(packet);
+
+  const double true_mbps =
+      static_cast<double>(packets) * 1000 * 8 / 10.0 / 1e6;
+  const DemandMatrix demand = aggregator.finalize_window(SimTime::seconds(10));
+  // Sampling error scales as 1/sqrt(expected samples); allow 4 sigma.
+  const double expected_samples = static_cast<double>(packets) / rate;
+  const double tolerance =
+      true_mbps * (0.01 + 4.0 / std::sqrt(expected_samples));
+  EXPECT_NEAR(demand.rate(P("100.1.0.0/24")).mbps_value(), true_mbps,
+              tolerance)
+      << "sampling rate " << rate;
+}
+
+INSTANTIATE_TEST_SUITE_P(Rates, SflowEstimationProperty,
+                         ::testing::Values(1, 10, 100, 1000));
+
+}  // namespace
+}  // namespace ef::telemetry

@@ -1,0 +1,204 @@
+#include "topology/pop.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace ef::topology {
+namespace {
+
+using net::SimTime;
+
+class PopTest : public ::testing::Test {
+ protected:
+  static WorldConfig config() {
+    WorldConfig config;
+    config.num_clients = 40;
+    config.num_pops = 2;
+    return config;
+  }
+
+  PopTest() : world_(World::generate(config())), pop_(world_, 0) {}
+
+  World world_;
+  Pop pop_;
+};
+
+TEST_F(PopTest, AllClientPrefixesConverge) {
+  std::size_t expected = 0;
+  for (const ClientAs& client : world_.clients()) {
+    expected += client.prefixes.size();
+  }
+  EXPECT_EQ(pop_.collector().rib().prefix_count(), expected);
+  EXPECT_EQ(pop_.reachable_prefixes().size(), expected);
+}
+
+TEST_F(PopTest, EveryPrefixHasTransitRoute) {
+  // Transit announces everything, so every prefix must have >= 2 routes
+  // (its preferred one plus at least the transit options).
+  pop_.collector().rib().for_each(
+      [&](const net::Prefix& prefix, std::span<const bgp::Route> routes) {
+        EXPECT_GE(routes.size(), 2u) << prefix.to_string();
+        bool has_transit = false;
+        for (const bgp::Route& route : routes) {
+          has_transit =
+              has_transit || route.peer_type == bgp::PeerType::kTransit;
+        }
+        EXPECT_TRUE(has_transit) << prefix.to_string();
+      });
+}
+
+TEST_F(PopTest, BestRouteFollowsPreferenceLadder) {
+  // For each prefix, the best route's type must be the most preferred
+  // type among its candidates.
+  auto rank = [](bgp::PeerType type) {
+    switch (type) {
+      case bgp::PeerType::kPrivatePeer: return 0;
+      case bgp::PeerType::kPublicPeer: return 1;
+      case bgp::PeerType::kRouteServer: return 2;
+      default: return 3;
+    }
+  };
+  pop_.collector().rib().for_each(
+      [&](const net::Prefix& prefix, std::span<const bgp::Route> routes) {
+        const bgp::Route* best = pop_.collector().rib().best(prefix);
+        ASSERT_NE(best, nullptr);
+        for (const bgp::Route& route : routes) {
+          EXPECT_LE(rank(best->peer_type), rank(route.peer_type))
+              << prefix.to_string();
+        }
+      });
+}
+
+TEST_F(PopTest, EgressResolutionMatchesPeeringTable) {
+  for (const net::Prefix& prefix : pop_.reachable_prefixes()) {
+    const auto egress = pop_.egress_of(prefix);
+    ASSERT_TRUE(egress.has_value()) << prefix.to_string();
+    const PeeringDef& peering = pop_.def().peerings[egress->peering];
+    EXPECT_EQ(egress->type, peering.type);
+    EXPECT_EQ(egress->peer_as, peering.as);
+    EXPECT_EQ(egress->interface.value(),
+              static_cast<std::uint32_t>(peering.interface));
+  }
+}
+
+TEST_F(PopTest, InterfaceRegistryMatchesDefinition) {
+  EXPECT_EQ(pop_.interfaces().size(), pop_.def().interfaces.size());
+  for (std::size_t i = 0; i < pop_.def().interfaces.size(); ++i) {
+    EXPECT_EQ(pop_.interfaces().capacity(
+                  telemetry::InterfaceId(static_cast<std::uint32_t>(i))),
+              pop_.def().interfaces[i].capacity);
+  }
+}
+
+TEST_F(PopTest, ProjectLoadConservesDemand) {
+  telemetry::DemandMatrix demand;
+  net::Bandwidth total;
+  for (const ClientAs& client : world_.clients()) {
+    for (const net::Prefix& prefix : client.prefixes) {
+      demand.set(prefix, net::Bandwidth::mbps(10));
+      total += net::Bandwidth::mbps(10);
+    }
+  }
+  const auto load = pop_.project_load(demand);
+  net::Bandwidth sum;
+  for (const auto& [iface, rate] : load) sum += rate;
+  EXPECT_NEAR(sum.bits_per_sec(), total.bits_per_sec(), 1.0);
+}
+
+TEST_F(PopTest, PeeringDownRemovesRoutesAndReroutes) {
+  // Take down peering 0 (a private peer announcing itself).
+  const PeeringDef& peering = pop_.def().peerings[0];
+  ASSERT_EQ(peering.type, bgp::PeerType::kPrivatePeer);
+  const std::size_t client = peering.routes.front().client;
+  const net::Prefix probe = world_.clients()[client].prefixes.front();
+
+  const auto before = pop_.egress_of(probe);
+  ASSERT_TRUE(before.has_value());
+  ASSERT_EQ(before->peering, 0u);
+
+  pop_.set_peering_up(0, false, SimTime::seconds(10));
+  EXPECT_FALSE(pop_.peering_up(0));
+  const auto after = pop_.egress_of(probe);
+  ASSERT_TRUE(after.has_value()) << "must reroute, not blackhole";
+  EXPECT_NE(after->peering, 0u);
+
+  // Bring it back; BGP should return to the preferred peer.
+  pop_.set_peering_up(0, true, SimTime::seconds(20));
+  EXPECT_TRUE(pop_.peering_up(0));
+  const auto restored = pop_.egress_of(probe);
+  ASSERT_TRUE(restored.has_value());
+  EXPECT_EQ(restored->peering, 0u);
+}
+
+TEST_F(PopTest, TickKeepsSessionsAlive) {
+  for (int t = 30; t <= 600; t += 30) {
+    pop_.tick(SimTime::seconds(t));
+  }
+  for (std::size_t i = 0; i < pop_.def().peerings.size(); ++i) {
+    EXPECT_TRUE(pop_.peering_up(i)) << "peering " << i;
+  }
+}
+
+TEST_F(PopTest, PrefixTableResolvesClients) {
+  const auto& table = pop_.prefix_table();
+  const ClientAs& client = world_.clients()[0];
+  const net::Prefix prefix = client.prefixes[0];
+  // A host inside the prefix must LPM to it.
+  const net::IpAddr host =
+      net::IpAddr::v4(prefix.address().v4_value() | 0x7);
+  const auto match = table.longest_match(host);
+  ASSERT_TRUE(match.has_value());
+  EXPECT_EQ(*match->second, prefix);
+}
+
+TEST_F(PopTest, RankedRoutesBestFirst) {
+  const net::Prefix probe = pop_.reachable_prefixes().front();
+  const auto ranked = pop_.ranked_routes(probe);
+  ASSERT_FALSE(ranked.empty());
+  EXPECT_EQ(ranked.front(), pop_.collector().rib().best(probe));
+}
+
+TEST_F(PopTest, BmpPeersMatchPeerings) {
+  // Every peering session must be visible at the collector as "up".
+  std::size_t up = 0;
+  for (bgp::PeerId id : pop_.collector().peers()) {
+    if (pop_.collector().peer(id)->up) ++up;
+  }
+  EXPECT_EQ(up, pop_.def().peerings.size());
+}
+
+TEST_F(PopTest, PeeringAddressesMatchNextHops) {
+  for (const net::Prefix& prefix : pop_.reachable_prefixes()) {
+    const bgp::Route* best = pop_.collector().rib().best(prefix);
+    ASSERT_NE(best, nullptr);
+    const auto egress = pop_.egress_of_route(*best);
+    ASSERT_TRUE(egress.has_value());
+    EXPECT_EQ(pop_.peering_address(egress->peering), best->attrs.next_hop);
+  }
+}
+
+TEST(PopMultiple, PopsAreIndependent) {
+  const World world = World::generate([] {
+    WorldConfig config;
+    config.num_clients = 40;
+    config.num_pops = 2;
+    return config;
+  }());
+  Pop pop_a(world, 0);
+  Pop pop_b(world, 1);
+  EXPECT_EQ(pop_a.collector().rib().prefix_count(),
+            pop_b.collector().rib().prefix_count());
+  // Different peer sets generally yield different egress choices for at
+  // least some prefixes.
+  std::size_t different = 0;
+  for (const net::Prefix& prefix : pop_a.reachable_prefixes()) {
+    const auto ea = pop_a.egress_of(prefix);
+    const auto eb = pop_b.egress_of(prefix);
+    if (ea && eb && ea->peer_as != eb->peer_as) ++different;
+  }
+  EXPECT_GT(different, 0u);
+}
+
+}  // namespace
+}  // namespace ef::topology

@@ -1,0 +1,254 @@
+#include "topology/world.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace ef::topology {
+namespace {
+
+WorldConfig small_config() {
+  WorldConfig config;
+  config.num_clients = 40;
+  config.num_pops = 2;
+  return config;
+}
+
+TEST(World, GenerationIsDeterministic) {
+  const World a = World::generate(small_config());
+  const World b = World::generate(small_config());
+  ASSERT_EQ(a.clients().size(), b.clients().size());
+  for (std::size_t i = 0; i < a.clients().size(); ++i) {
+    EXPECT_EQ(a.clients()[i].as, b.clients()[i].as);
+    EXPECT_EQ(a.clients()[i].prefixes, b.clients()[i].prefixes);
+    EXPECT_DOUBLE_EQ(a.clients()[i].weight, b.clients()[i].weight);
+  }
+  for (std::size_t p = 0; p < a.pops().size(); ++p) {
+    ASSERT_EQ(a.pops()[p].peerings.size(), b.pops()[p].peerings.size());
+    for (std::size_t i = 0; i < a.pops()[p].interfaces.size(); ++i) {
+      EXPECT_EQ(a.pops()[p].interfaces[i].capacity,
+                b.pops()[p].interfaces[i].capacity);
+    }
+  }
+}
+
+TEST(World, DifferentSeedsDiffer) {
+  WorldConfig config = small_config();
+  const World a = World::generate(config);
+  config.seed = 777;
+  const World b = World::generate(config);
+  bool any_difference = false;
+  for (std::size_t i = 0; i < a.clients().size(); ++i) {
+    any_difference =
+        any_difference ||
+        a.clients()[i].prefixes.size() != b.clients()[i].prefixes.size();
+  }
+  EXPECT_TRUE(any_difference);
+}
+
+TEST(World, ClientWeightsSumToOne) {
+  const World world = World::generate(small_config());
+  double total = 0;
+  for (const ClientAs& client : world.clients()) total += client.weight;
+  EXPECT_NEAR(total, 1.0, 1e-9);
+}
+
+TEST(World, ClientSharePerPopSumsToOne) {
+  const World world = World::generate(small_config());
+  for (const PopDef& pop : world.pops()) {
+    double total = 0;
+    for (double share : pop.client_share) total += share;
+    EXPECT_NEAR(total, 1.0, 1e-9) << pop.name;
+  }
+}
+
+TEST(World, PrefixOwnershipIsConsistent) {
+  const World world = World::generate(small_config());
+  for (std::size_t c = 0; c < world.clients().size(); ++c) {
+    for (const net::Prefix& prefix : world.clients()[c].prefixes) {
+      EXPECT_EQ(world.client_of_prefix(prefix), c);
+    }
+  }
+  EXPECT_FALSE(
+      world.client_of_prefix(*net::Prefix::parse("9.9.9.0/24")).has_value());
+}
+
+TEST(World, PrefixesAreGloballyUnique) {
+  const World world = World::generate(small_config());
+  std::set<net::Prefix> seen;
+  for (const ClientAs& client : world.clients()) {
+    for (const net::Prefix& prefix : client.prefixes) {
+      EXPECT_TRUE(seen.insert(prefix).second)
+          << "duplicate " << prefix.to_string();
+    }
+  }
+}
+
+TEST(World, EveryClientReachableAtEveryPop) {
+  const World world = World::generate(small_config());
+  for (const PopDef& pop : world.pops()) {
+    std::set<std::size_t> reachable;
+    for (const PeeringDef& peering : pop.peerings) {
+      for (const AnnouncedRoute& route : peering.routes) {
+        reachable.insert(route.client);
+      }
+    }
+    EXPECT_EQ(reachable.size(), world.clients().size()) << pop.name;
+  }
+}
+
+TEST(World, TransitAnnouncesEverything) {
+  const World world = World::generate(small_config());
+  for (const PopDef& pop : world.pops()) {
+    for (const PeeringDef& peering : pop.peerings) {
+      if (peering.type != bgp::PeerType::kTransit) continue;
+      std::set<std::size_t> clients;
+      for (const AnnouncedRoute& route : peering.routes) {
+        clients.insert(route.client);
+        // Transit paths always go through at least the client AS.
+        EXPECT_FALSE(route.tail.empty());
+        EXPECT_EQ(route.tail.back(), world.clients()[route.client].as);
+      }
+      EXPECT_EQ(clients.size(), world.clients().size());
+    }
+  }
+}
+
+TEST(World, PeerCountsMatchConfig) {
+  const WorldConfig config = small_config();
+  const World world = World::generate(config);
+  for (const PopDef& pop : world.pops()) {
+    int privates = 0, publics = 0, route_servers = 0, transits = 0;
+    for (const PeeringDef& peering : pop.peerings) {
+      switch (peering.type) {
+        case bgp::PeerType::kPrivatePeer: ++privates; break;
+        case bgp::PeerType::kPublicPeer: ++publics; break;
+        case bgp::PeerType::kRouteServer: ++route_servers; break;
+        case bgp::PeerType::kTransit: ++transits; break;
+        default: break;
+      }
+    }
+    EXPECT_EQ(privates, config.private_peers_per_pop);
+    EXPECT_EQ(publics, config.public_peers_per_pop);
+    EXPECT_EQ(route_servers, config.route_server_peers_per_pop);
+    EXPECT_EQ(transits, config.transits_per_pop);
+  }
+}
+
+TEST(World, InterfaceRolesAndSharing) {
+  const WorldConfig config = small_config();
+  const World world = World::generate(config);
+  for (const PopDef& pop : world.pops()) {
+    // Private peers each own their interface; public + RS share IXP ports.
+    for (const PeeringDef& peering : pop.peerings) {
+      ASSERT_LT(peering.interface, pop.interfaces.size());
+      const InterfaceDef& iface = pop.interfaces[peering.interface];
+      switch (peering.type) {
+        case bgp::PeerType::kPrivatePeer:
+          EXPECT_EQ(iface.role, bgp::PeerType::kPrivatePeer);
+          break;
+        case bgp::PeerType::kPublicPeer:
+        case bgp::PeerType::kRouteServer:
+          EXPECT_EQ(iface.role, bgp::PeerType::kPublicPeer);
+          break;
+        case bgp::PeerType::kTransit:
+          EXPECT_EQ(iface.role, bgp::PeerType::kTransit);
+          break;
+        default:
+          FAIL();
+      }
+    }
+  }
+}
+
+TEST(World, TransitCapacityFloorApplied) {
+  const WorldConfig config = small_config();
+  const World world = World::generate(config);
+  for (const PopDef& pop : world.pops()) {
+    for (const InterfaceDef& iface : pop.interfaces) {
+      if (iface.role == bgp::PeerType::kTransit) {
+        EXPECT_GE(iface.capacity.gbps_value(),
+                  config.pop_peak_gbps * config.transit_min_fraction_of_peak -
+                      1e-9);
+      }
+      EXPECT_GE(iface.capacity.gbps_value(), 1.0);
+    }
+  }
+}
+
+TEST(World, SomePrivateInterfacesUnderProvisioned) {
+  // The point of the exercise: with default headroom parameters, at least
+  // one PNI must be too small for its peak share, or there is nothing for
+  // Edge Fabric to do.
+  WorldConfig config = small_config();
+  config.num_pops = 4;
+  const World world = World::generate(config);
+  int under = 0;
+  for (std::size_t p = 0; p < world.pops().size(); ++p) {
+    const PopDef& pop = world.pops()[p];
+    // Recompute each private interface's peak share of demand.
+    std::vector<double> share(pop.interfaces.size(), 0.0);
+    for (const PeeringDef& peering : pop.peerings) {
+      if (peering.type != bgp::PeerType::kPrivatePeer) continue;
+      for (const AnnouncedRoute& route : peering.routes) {
+        if (route.tail.empty()) {
+          share[peering.interface] += pop.client_share[route.client];
+        }
+      }
+    }
+    for (std::size_t i = 0; i < pop.interfaces.size(); ++i) {
+      if (pop.interfaces[i].role != bgp::PeerType::kPrivatePeer) continue;
+      const double peak_gbps = pop.peak_gbps * share[i];
+      if (pop.interfaces[i].capacity.gbps_value() < peak_gbps) ++under;
+    }
+  }
+  EXPECT_GT(under, 0);
+}
+
+TEST(World, PathRttDeterministicAndPositive) {
+  const World world = World::generate(small_config());
+  for (std::size_t p = 0; p < world.pops().size(); ++p) {
+    for (std::size_t peering = 0;
+         peering < world.pops()[p].peerings.size() && peering < 5; ++peering) {
+      for (std::size_t c = 0; c < 5; ++c) {
+        const double rtt = world.path_rtt_ms(p, peering, c);
+        EXPECT_GT(rtt, 0);
+        EXPECT_LT(rtt, 500);
+        EXPECT_DOUBLE_EQ(rtt, world.path_rtt_ms(p, peering, c));
+      }
+    }
+  }
+}
+
+TEST(World, TransitRttPenaltyExceedsPeers) {
+  const World world = World::generate(small_config());
+  for (const PopDef& pop : world.pops()) {
+    double max_private = 0, min_transit = 1e9;
+    for (const PeeringDef& peering : pop.peerings) {
+      if (peering.type == bgp::PeerType::kPrivatePeer) {
+        max_private = std::max(max_private, peering.rtt_penalty_ms);
+      }
+      if (peering.type == bgp::PeerType::kTransit) {
+        min_transit = std::min(min_transit, peering.rtt_penalty_ms);
+      }
+    }
+    EXPECT_GT(min_transit, max_private);
+  }
+}
+
+TEST(World, PeakDemandMatchesShare) {
+  const World world = World::generate(small_config());
+  const net::Bandwidth peak = world.peak_demand(0, 3);
+  EXPECT_NEAR(peak.gbps_value(),
+              world.pops()[0].peak_gbps * world.pops()[0].client_share[3],
+              1e-9);
+}
+
+TEST(World, RejectsTooFewClients) {
+  WorldConfig config;
+  config.num_clients = 5;  // fewer than the per-PoP peer slots
+  EXPECT_DEATH(World::generate(config), "need more clients");
+}
+
+}  // namespace
+}  // namespace ef::topology

@@ -1,0 +1,328 @@
+// eftool — operator CLI for the edgefabric library.
+//
+//   eftool world      [--clients N] [--pops N] [--seed S]
+//   eftool interfaces --pop K
+//   eftool rib        --pop K [--prefix P] [--limit N]
+//   eftool cycle      --pop K [--hour H] [--split]
+//   eftool run        --pop K [--hours H] [--no-controller] [--flaps R]
+//   eftool mrt        --pop K --out FILE
+//
+// Everything is generated/deterministic: the same flags print the same
+// bytes, which makes eftool output diff-able in change reviews.
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <map>
+#include <string>
+
+#include "analysis/metrics.h"
+#include "bgp/mrt.h"
+#include "core/controller.h"
+#include "sim/fleet.h"
+#include "sim/simulation.h"
+#include "workload/demand.h"
+
+namespace {
+
+using namespace ef;
+
+struct Args {
+  std::string command;
+  std::map<std::string, std::string> options;
+
+  bool has(const std::string& key) const { return options.contains(key); }
+  std::string get(const std::string& key, const std::string& fallback) const {
+    auto it = options.find(key);
+    return it == options.end() ? fallback : it->second;
+  }
+  long num(const std::string& key, long fallback) const {
+    auto it = options.find(key);
+    return it == options.end() ? fallback : std::stol(it->second);
+  }
+  double real(const std::string& key, double fallback) const {
+    auto it = options.find(key);
+    return it == options.end() ? fallback : std::stod(it->second);
+  }
+};
+
+Args parse_args(int argc, char** argv) {
+  Args args;
+  if (argc >= 2) args.command = argv[1];
+  for (int i = 2; i < argc; ++i) {
+    std::string key = argv[i];
+    if (key.rfind("--", 0) != 0) continue;
+    key = key.substr(2);
+    if (i + 1 < argc && std::strncmp(argv[i + 1], "--", 2) != 0) {
+      args.options[key] = argv[++i];
+    } else {
+      args.options[key] = "1";  // boolean flag
+    }
+  }
+  return args;
+}
+
+topology::World make_world(const Args& args) {
+  topology::WorldConfig config;
+  config.num_clients = static_cast<int>(args.num("clients", 56));
+  config.num_pops = static_cast<int>(args.num("pops", 4));
+  config.seed = static_cast<std::uint64_t>(args.num("seed", 42));
+  return topology::World::generate(config);
+}
+
+int cmd_world(const Args& args) {
+  const topology::World world = make_world(args);
+  std::printf("world: %zu clients, %zu PoPs (seed %llu)\n\n",
+              world.clients().size(), world.pops().size(),
+              static_cast<unsigned long long>(world.config().seed));
+  analysis::TablePrinter clients({"client", "weight", "prefixes", "rtt-base"},
+                                 {10, 10, 10, 10});
+  clients.print_header();
+  for (std::size_t c = 0; c < std::min<std::size_t>(10, world.clients().size());
+       ++c) {
+    const topology::ClientAs& client = world.clients()[c];
+    clients.print_row({"AS" + std::to_string(client.as.value()),
+                       analysis::TablePrinter::pct(client.weight, 1),
+                       std::to_string(client.prefixes.size()),
+                       analysis::TablePrinter::fmt(client.base_rtt_ms, 0) +
+                           " ms"});
+  }
+  std::printf("  (top 10 of %zu clients by traffic share)\n\n",
+              world.clients().size());
+  for (const topology::PopDef& pop : world.pops()) {
+    net::Bandwidth total;
+    for (const auto& iface : pop.interfaces) total += iface.capacity;
+    std::printf("  %-8s %2zu peerings, %2zu interfaces, %s egress capacity\n",
+                pop.name.c_str(), pop.peerings.size(), pop.interfaces.size(),
+                total.to_string().c_str());
+  }
+  return 0;
+}
+
+int cmd_interfaces(const Args& args) {
+  const topology::World world = make_world(args);
+  const std::size_t p = static_cast<std::size_t>(args.num("pop", 0));
+  topology::Pop pop(world, p);
+  analysis::TablePrinter table({"id", "name", "role", "capacity", "drained"},
+                               {6, 18, 14, 12, 8});
+  table.print_header();
+  for (std::size_t i = 0; i < pop.def().interfaces.size(); ++i) {
+    const topology::InterfaceDef& iface = pop.def().interfaces[i];
+    table.print_row({std::to_string(i), iface.name,
+                     bgp::peer_type_name(iface.role),
+                     iface.capacity.to_string(),
+                     pop.interfaces().drained(telemetry::InterfaceId(
+                         static_cast<std::uint32_t>(i)))
+                         ? "yes"
+                         : "no"});
+  }
+  return 0;
+}
+
+int cmd_rib(const Args& args) {
+  const topology::World world = make_world(args);
+  const std::size_t p = static_cast<std::size_t>(args.num("pop", 0));
+  topology::Pop pop(world, p);
+
+  if (args.has("prefix")) {
+    const auto prefix = net::Prefix::parse(args.get("prefix", ""));
+    if (!prefix) {
+      std::fprintf(stderr, "bad prefix\n");
+      return 2;
+    }
+    const auto ranked = pop.ranked_routes(*prefix);
+    if (ranked.empty()) {
+      std::printf("%s: no routes\n", prefix->to_string().c_str());
+      return 0;
+    }
+    std::printf("%s: %zu route(s), best first\n", prefix->to_string().c_str(),
+                ranked.size());
+    for (const bgp::Route* route : ranked) {
+      std::printf("  %s\n", route->to_string().c_str());
+    }
+    return 0;
+  }
+
+  const long limit = args.num("limit", 20);
+  std::printf("%zu prefixes, %zu routes total; first %ld best routes:\n",
+              pop.collector().rib().prefix_count(),
+              pop.collector().rib().route_count(), limit);
+  long shown = 0;
+  for (const net::Prefix& prefix : pop.reachable_prefixes()) {
+    if (shown++ >= limit) break;
+    const bgp::Route* best = pop.collector().rib().best(prefix);
+    std::printf("  %s\n", best->to_string().c_str());
+  }
+  return 0;
+}
+
+int cmd_cycle(const Args& args) {
+  const topology::World world = make_world(args);
+  const std::size_t p = static_cast<std::size_t>(args.num("pop", 0));
+  topology::Pop pop(world, p);
+
+  core::ControllerConfig config;
+  config.allocator.allow_prefix_splitting = args.has("split");
+  core::Controller controller(pop, config);
+  controller.connect();
+
+  workload::DemandGenerator gen(world, p, {});
+  const double hour = args.real("hour", 0);
+  const telemetry::DemandMatrix demand =
+      gen.baseline(net::SimTime::hours(hour));
+
+  const core::CycleStats stats =
+      controller.run_cycle(demand, net::SimTime::hours(hour));
+  std::printf(
+      "cycle at t=%gh: demand %s, %zu overloaded interface(s), %zu "
+      "override(s), unresolved %s\n",
+      hour, demand.total().to_string().c_str(),
+      stats.allocation.overloaded_interfaces, stats.overrides_active,
+      stats.allocation.unresolved_overload.to_string().c_str());
+  for (const auto& [prefix, override_entry] : controller.active_overrides()) {
+    std::printf("  %-20s %-9s %s -> %s path=[%s] nh=%s\n",
+                prefix.to_string().c_str(),
+                override_entry.rate.to_string().c_str(),
+                bgp::peer_type_name(override_entry.from_type),
+                bgp::peer_type_name(override_entry.target_type),
+                override_entry.as_path.to_string().c_str(),
+                override_entry.next_hop.to_string().c_str());
+  }
+  return 0;
+}
+
+int cmd_run(const Args& args) {
+  const topology::World world = make_world(args);
+  const std::size_t p = static_cast<std::size_t>(args.num("pop", 0));
+  topology::Pop pop(world, p);
+
+  sim::SimulationConfig config;
+  config.duration = net::SimTime::hours(args.real("hours", 24));
+  config.step = net::SimTime::seconds(60);
+  config.controller_enabled = !args.has("no-controller");
+  config.controller.cycle_period = net::SimTime::seconds(60);
+  config.peer_flap_rate_per_hour = args.real("flaps", 0);
+
+  analysis::UtilizationTracker tracker(pop.interfaces());
+  analysis::DetourTracker detours;
+  sim::Simulation simulation(pop, config);
+  simulation.run([&](const sim::StepRecord& record) {
+    tracker.record(record.when, record.load);
+    if (record.controller) {
+      detours.record_cycle(*record.controller,
+                           simulation.controller()->active_overrides(),
+                           record.total_demand);
+    }
+  });
+
+  std::printf("ran %zu steps (%s, %s)\n", tracker.steps(),
+              config.controller_enabled ? "Edge Fabric" : "BGP only",
+              pop.name().c_str());
+  std::printf("  utilization samples: %s\n",
+              tracker.utilization_samples().summary().c_str());
+  std::printf("  overloaded sample fraction: %s\n",
+              analysis::TablePrinter::pct(tracker.overloaded_fraction(1.0), 2)
+                  .c_str());
+  std::printf("  would-drop traffic fraction: %s\n",
+              analysis::TablePrinter::pct(tracker.excess_traffic_fraction(), 3)
+                  .c_str());
+  std::printf("  overload episodes: %zu\n", tracker.episodes(1.0).size());
+  if (config.controller_enabled && detours.cycles() > 0) {
+    std::printf("  detoured fraction: %s\n",
+                detours.detoured_fraction().summary().c_str());
+    std::printf("  overridden prefixes: %zu (%zu flapping)\n",
+                detours.total_overridden_prefixes(),
+                detours.flapping_prefixes());
+  }
+  return 0;
+}
+
+int cmd_fleet(const Args& args) {
+  const topology::World world = make_world(args);
+  sim::SimulationConfig config;
+  config.duration = net::SimTime::hours(args.real("hours", 24));
+  config.step = net::SimTime::seconds(60);
+  config.controller_enabled = !args.has("no-controller");
+  config.controller.cycle_period = net::SimTime::seconds(60);
+
+  sim::Fleet fleet(world, config);
+  std::vector<net::Bandwidth> overload(fleet.size());
+  std::vector<net::Bandwidth> peak(fleet.size());
+  std::vector<std::size_t> max_overrides(fleet.size(), 0);
+  fleet.run([&](std::size_t p, const sim::StepRecord& record) {
+    overload[p] += record.overload;
+    peak[p] = std::max(peak[p], record.total_demand);
+    if (record.controller) {
+      max_overrides[p] =
+          std::max(max_overrides[p], record.controller->overrides_active);
+    }
+  });
+
+  analysis::TablePrinter table(
+      {"pop", "peak-demand", "max-overrides", "overload-sum"}, {8, 13, 14, 14});
+  table.print_header();
+  for (std::size_t p = 0; p < fleet.size(); ++p) {
+    table.print_row({world.pops()[p].name, peak[p].to_string(),
+                     std::to_string(max_overrides[p]),
+                     overload[p].to_string()});
+  }
+  return 0;
+}
+
+int cmd_mrt(const Args& args) {
+  const topology::World world = make_world(args);
+  const std::size_t p = static_cast<std::size_t>(args.num("pop", 0));
+  topology::Pop pop(world, p);
+  const std::string path = args.get("out", "");
+  if (path.empty()) {
+    std::fprintf(stderr, "mrt requires --out FILE\n");
+    return 2;
+  }
+
+  const bgp::mrt::TableDump dump = bgp::mrt::from_rib(
+      pop.collector().rib(),
+      [&](bgp::PeerId peer) {
+        const auto* info = pop.collector().peer(peer);
+        return bgp::mrt::PeerEntry{info->bgp_id, info->address, info->as};
+      },
+      bgp::RouterId(1), "edgefabric-" + pop.name());
+  const auto bytes = bgp::mrt::encode(dump, net::SimTime::seconds(0));
+
+  std::ofstream out(path, std::ios::binary);
+  if (!out) {
+    std::fprintf(stderr, "cannot open %s\n", path.c_str());
+    return 2;
+  }
+  out.write(reinterpret_cast<const char*>(bytes.data()),
+            static_cast<std::streamsize>(bytes.size()));
+  std::printf("wrote %zu bytes: %zu peers, %zu prefixes (TABLE_DUMP_V2)\n",
+              bytes.size(), dump.peers.size(), dump.records.size());
+  return 0;
+}
+
+int usage() {
+  std::fprintf(
+      stderr,
+      "usage: eftool <command> [options]\n"
+      "  world      [--clients N] [--pops N] [--seed S]\n"
+      "  interfaces --pop K\n"
+      "  rib        --pop K [--prefix P] [--limit N]\n"
+      "  cycle      --pop K [--hour H] [--split]\n"
+      "  run        --pop K [--hours H] [--no-controller] [--flaps R]\n"
+      "  fleet      [--hours H] [--no-controller]\n"
+      "  mrt        --pop K --out FILE\n");
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Args args = parse_args(argc, argv);
+  if (args.command == "world") return cmd_world(args);
+  if (args.command == "interfaces") return cmd_interfaces(args);
+  if (args.command == "rib") return cmd_rib(args);
+  if (args.command == "cycle") return cmd_cycle(args);
+  if (args.command == "run") return cmd_run(args);
+  if (args.command == "fleet") return cmd_fleet(args);
+  if (args.command == "mrt") return cmd_mrt(args);
+  return usage();
+}
