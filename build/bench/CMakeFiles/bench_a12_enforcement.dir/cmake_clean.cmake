@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_a12_enforcement.dir/bench_a12_enforcement.cpp.o"
+  "CMakeFiles/bench_a12_enforcement.dir/bench_a12_enforcement.cpp.o.d"
+  "bench_a12_enforcement"
+  "bench_a12_enforcement.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_a12_enforcement.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_a13_transit_cost.dir/bench_a13_transit_cost.cpp.o"
+  "CMakeFiles/bench_a13_transit_cost.dir/bench_a13_transit_cost.cpp.o.d"
+  "bench_a13_transit_cost"
+  "bench_a13_transit_cost.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_a13_transit_cost.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

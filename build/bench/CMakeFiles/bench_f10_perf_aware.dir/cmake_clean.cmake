@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_f10_perf_aware.dir/bench_f10_perf_aware.cpp.o"
+  "CMakeFiles/bench_f10_perf_aware.dir/bench_f10_perf_aware.cpp.o.d"
+  "bench_f10_perf_aware"
+  "bench_f10_perf_aware.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_f10_perf_aware.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_f2_route_multiplicity.dir/bench_f2_route_multiplicity.cpp.o"
+  "CMakeFiles/bench_f2_route_multiplicity.dir/bench_f2_route_multiplicity.cpp.o.d"
+  "bench_f2_route_multiplicity"
+  "bench_f2_route_multiplicity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_f2_route_multiplicity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_f3_overload_no_ef.dir/bench_f3_overload_no_ef.cpp.o"
+  "CMakeFiles/bench_f3_overload_no_ef.dir/bench_f3_overload_no_ef.cpp.o.d"
+  "bench_f3_overload_no_ef"
+  "bench_f3_overload_no_ef.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_f3_overload_no_ef.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_f4_overload_episodes.dir/bench_f4_overload_episodes.cpp.o"
+  "CMakeFiles/bench_f4_overload_episodes.dir/bench_f4_overload_episodes.cpp.o.d"
+  "bench_f4_overload_episodes"
+  "bench_f4_overload_episodes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_f4_overload_episodes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_f4_overload_episodes.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_f6_detour_volume.dir/bench_f6_detour_volume.cpp.o"
+  "CMakeFiles/bench_f6_detour_volume.dir/bench_f6_detour_volume.cpp.o.d"
+  "bench_f6_detour_volume"
+  "bench_f6_detour_volume.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_f6_detour_volume.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_f7_detour_targets.dir/bench_f7_detour_targets.cpp.o"
+  "CMakeFiles/bench_f7_detour_targets.dir/bench_f7_detour_targets.cpp.o.d"
+  "bench_f7_detour_targets"
+  "bench_f7_detour_targets.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_f7_detour_targets.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_f8_override_churn.dir/bench_f8_override_churn.cpp.o"
+  "CMakeFiles/bench_f8_override_churn.dir/bench_f8_override_churn.cpp.o.d"
+  "bench_f8_override_churn"
+  "bench_f8_override_churn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_f8_override_churn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_f9_altpath_perf.dir/bench_f9_altpath_perf.cpp.o"
+  "CMakeFiles/bench_f9_altpath_perf.dir/bench_f9_altpath_perf.cpp.o.d"
+  "bench_f9_altpath_perf"
+  "bench_f9_altpath_perf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_f9_altpath_perf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_m11_allocator_scale.dir/bench_m11_allocator_scale.cpp.o"
+  "CMakeFiles/bench_m11_allocator_scale.dir/bench_m11_allocator_scale.cpp.o.d"
+  "bench_m11_allocator_scale"
+  "bench_m11_allocator_scale.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_m11_allocator_scale.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

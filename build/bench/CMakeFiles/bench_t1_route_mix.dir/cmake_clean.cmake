@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_t1_route_mix.dir/bench_t1_route_mix.cpp.o"
+  "CMakeFiles/bench_t1_route_mix.dir/bench_t1_route_mix.cpp.o.d"
+  "bench_t1_route_mix"
+  "bench_t1_route_mix.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_t1_route_mix.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/drain_maintenance.dir/drain_maintenance.cpp.o"
+  "CMakeFiles/drain_maintenance.dir/drain_maintenance.cpp.o.d"
+  "drain_maintenance"
+  "drain_maintenance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/drain_maintenance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/perf_aware_steering.dir/perf_aware_steering.cpp.o"
+  "CMakeFiles/perf_aware_steering.dir/perf_aware_steering.cpp.o.d"
+  "perf_aware_steering"
+  "perf_aware_steering.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/perf_aware_steering.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

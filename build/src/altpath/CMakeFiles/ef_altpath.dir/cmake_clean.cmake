@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ef_altpath.dir/advisor.cpp.o"
+  "CMakeFiles/ef_altpath.dir/advisor.cpp.o.d"
+  "CMakeFiles/ef_altpath.dir/measurer.cpp.o"
+  "CMakeFiles/ef_altpath.dir/measurer.cpp.o.d"
+  "CMakeFiles/ef_altpath.dir/perf_model.cpp.o"
+  "CMakeFiles/ef_altpath.dir/perf_model.cpp.o.d"
+  "CMakeFiles/ef_altpath.dir/policy_routing.cpp.o"
+  "CMakeFiles/ef_altpath.dir/policy_routing.cpp.o.d"
+  "libef_altpath.a"
+  "libef_altpath.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ef_altpath.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ef_analysis.dir/cost.cpp.o"
+  "CMakeFiles/ef_analysis.dir/cost.cpp.o.d"
+  "CMakeFiles/ef_analysis.dir/metrics.cpp.o"
+  "CMakeFiles/ef_analysis.dir/metrics.cpp.o.d"
+  "libef_analysis.a"
+  "libef_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ef_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ef_baseline.dir/baselines.cpp.o"
+  "CMakeFiles/ef_baseline.dir/baselines.cpp.o.d"
+  "libef_baseline.a"
+  "libef_baseline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ef_baseline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

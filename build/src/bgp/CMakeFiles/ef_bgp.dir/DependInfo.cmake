@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/bgp/as_path.cpp" "src/bgp/CMakeFiles/ef_bgp.dir/as_path.cpp.o" "gcc" "src/bgp/CMakeFiles/ef_bgp.dir/as_path.cpp.o.d"
+  "/root/repo/src/bgp/decision.cpp" "src/bgp/CMakeFiles/ef_bgp.dir/decision.cpp.o" "gcc" "src/bgp/CMakeFiles/ef_bgp.dir/decision.cpp.o.d"
+  "/root/repo/src/bgp/message.cpp" "src/bgp/CMakeFiles/ef_bgp.dir/message.cpp.o" "gcc" "src/bgp/CMakeFiles/ef_bgp.dir/message.cpp.o.d"
+  "/root/repo/src/bgp/mrt.cpp" "src/bgp/CMakeFiles/ef_bgp.dir/mrt.cpp.o" "gcc" "src/bgp/CMakeFiles/ef_bgp.dir/mrt.cpp.o.d"
+  "/root/repo/src/bgp/policy.cpp" "src/bgp/CMakeFiles/ef_bgp.dir/policy.cpp.o" "gcc" "src/bgp/CMakeFiles/ef_bgp.dir/policy.cpp.o.d"
+  "/root/repo/src/bgp/rib.cpp" "src/bgp/CMakeFiles/ef_bgp.dir/rib.cpp.o" "gcc" "src/bgp/CMakeFiles/ef_bgp.dir/rib.cpp.o.d"
+  "/root/repo/src/bgp/route.cpp" "src/bgp/CMakeFiles/ef_bgp.dir/route.cpp.o" "gcc" "src/bgp/CMakeFiles/ef_bgp.dir/route.cpp.o.d"
+  "/root/repo/src/bgp/session.cpp" "src/bgp/CMakeFiles/ef_bgp.dir/session.cpp.o" "gcc" "src/bgp/CMakeFiles/ef_bgp.dir/session.cpp.o.d"
+  "/root/repo/src/bgp/speaker.cpp" "src/bgp/CMakeFiles/ef_bgp.dir/speaker.cpp.o" "gcc" "src/bgp/CMakeFiles/ef_bgp.dir/speaker.cpp.o.d"
+  "/root/repo/src/bgp/wire.cpp" "src/bgp/CMakeFiles/ef_bgp.dir/wire.cpp.o" "gcc" "src/bgp/CMakeFiles/ef_bgp.dir/wire.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/net/CMakeFiles/ef_net.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

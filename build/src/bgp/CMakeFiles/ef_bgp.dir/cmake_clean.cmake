@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ef_bgp.dir/as_path.cpp.o"
+  "CMakeFiles/ef_bgp.dir/as_path.cpp.o.d"
+  "CMakeFiles/ef_bgp.dir/decision.cpp.o"
+  "CMakeFiles/ef_bgp.dir/decision.cpp.o.d"
+  "CMakeFiles/ef_bgp.dir/message.cpp.o"
+  "CMakeFiles/ef_bgp.dir/message.cpp.o.d"
+  "CMakeFiles/ef_bgp.dir/mrt.cpp.o"
+  "CMakeFiles/ef_bgp.dir/mrt.cpp.o.d"
+  "CMakeFiles/ef_bgp.dir/policy.cpp.o"
+  "CMakeFiles/ef_bgp.dir/policy.cpp.o.d"
+  "CMakeFiles/ef_bgp.dir/rib.cpp.o"
+  "CMakeFiles/ef_bgp.dir/rib.cpp.o.d"
+  "CMakeFiles/ef_bgp.dir/route.cpp.o"
+  "CMakeFiles/ef_bgp.dir/route.cpp.o.d"
+  "CMakeFiles/ef_bgp.dir/session.cpp.o"
+  "CMakeFiles/ef_bgp.dir/session.cpp.o.d"
+  "CMakeFiles/ef_bgp.dir/speaker.cpp.o"
+  "CMakeFiles/ef_bgp.dir/speaker.cpp.o.d"
+  "CMakeFiles/ef_bgp.dir/wire.cpp.o"
+  "CMakeFiles/ef_bgp.dir/wire.cpp.o.d"
+  "libef_bgp.a"
+  "libef_bgp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ef_bgp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

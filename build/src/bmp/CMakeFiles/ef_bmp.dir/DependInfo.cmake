@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/bmp/collector.cpp" "src/bmp/CMakeFiles/ef_bmp.dir/collector.cpp.o" "gcc" "src/bmp/CMakeFiles/ef_bmp.dir/collector.cpp.o.d"
+  "/root/repo/src/bmp/exporter.cpp" "src/bmp/CMakeFiles/ef_bmp.dir/exporter.cpp.o" "gcc" "src/bmp/CMakeFiles/ef_bmp.dir/exporter.cpp.o.d"
+  "/root/repo/src/bmp/wire.cpp" "src/bmp/CMakeFiles/ef_bmp.dir/wire.cpp.o" "gcc" "src/bmp/CMakeFiles/ef_bmp.dir/wire.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/bgp/CMakeFiles/ef_bgp.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/ef_net.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

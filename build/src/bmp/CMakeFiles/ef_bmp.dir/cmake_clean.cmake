@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ef_bmp.dir/collector.cpp.o"
+  "CMakeFiles/ef_bmp.dir/collector.cpp.o.d"
+  "CMakeFiles/ef_bmp.dir/exporter.cpp.o"
+  "CMakeFiles/ef_bmp.dir/exporter.cpp.o.d"
+  "CMakeFiles/ef_bmp.dir/wire.cpp.o"
+  "CMakeFiles/ef_bmp.dir/wire.cpp.o.d"
+  "libef_bmp.a"
+  "libef_bmp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ef_bmp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

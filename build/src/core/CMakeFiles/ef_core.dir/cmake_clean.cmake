@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ef_core.dir/allocator.cpp.o"
+  "CMakeFiles/ef_core.dir/allocator.cpp.o.d"
+  "CMakeFiles/ef_core.dir/controller.cpp.o"
+  "CMakeFiles/ef_core.dir/controller.cpp.o.d"
+  "CMakeFiles/ef_core.dir/safety.cpp.o"
+  "CMakeFiles/ef_core.dir/safety.cpp.o.d"
+  "libef_core.a"
+  "libef_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ef_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ef_net.dir/ip.cpp.o"
+  "CMakeFiles/ef_net.dir/ip.cpp.o.d"
+  "CMakeFiles/ef_net.dir/log.cpp.o"
+  "CMakeFiles/ef_net.dir/log.cpp.o.d"
+  "CMakeFiles/ef_net.dir/prefix.cpp.o"
+  "CMakeFiles/ef_net.dir/prefix.cpp.o.d"
+  "CMakeFiles/ef_net.dir/rng.cpp.o"
+  "CMakeFiles/ef_net.dir/rng.cpp.o.d"
+  "CMakeFiles/ef_net.dir/stats.cpp.o"
+  "CMakeFiles/ef_net.dir/stats.cpp.o.d"
+  "CMakeFiles/ef_net.dir/units.cpp.o"
+  "CMakeFiles/ef_net.dir/units.cpp.o.d"
+  "libef_net.a"
+  "libef_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ef_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ef_sim.dir/fleet.cpp.o"
+  "CMakeFiles/ef_sim.dir/fleet.cpp.o.d"
+  "CMakeFiles/ef_sim.dir/simulation.cpp.o"
+  "CMakeFiles/ef_sim.dir/simulation.cpp.o.d"
+  "libef_sim.a"
+  "libef_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ef_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

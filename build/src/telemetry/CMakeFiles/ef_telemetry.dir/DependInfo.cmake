@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/telemetry/interface.cpp" "src/telemetry/CMakeFiles/ef_telemetry.dir/interface.cpp.o" "gcc" "src/telemetry/CMakeFiles/ef_telemetry.dir/interface.cpp.o.d"
+  "/root/repo/src/telemetry/sflow.cpp" "src/telemetry/CMakeFiles/ef_telemetry.dir/sflow.cpp.o" "gcc" "src/telemetry/CMakeFiles/ef_telemetry.dir/sflow.cpp.o.d"
+  "/root/repo/src/telemetry/traffic.cpp" "src/telemetry/CMakeFiles/ef_telemetry.dir/traffic.cpp.o" "gcc" "src/telemetry/CMakeFiles/ef_telemetry.dir/traffic.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/net/CMakeFiles/ef_net.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

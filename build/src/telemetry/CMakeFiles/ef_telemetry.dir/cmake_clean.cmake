@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ef_telemetry.dir/interface.cpp.o"
+  "CMakeFiles/ef_telemetry.dir/interface.cpp.o.d"
+  "CMakeFiles/ef_telemetry.dir/sflow.cpp.o"
+  "CMakeFiles/ef_telemetry.dir/sflow.cpp.o.d"
+  "CMakeFiles/ef_telemetry.dir/traffic.cpp.o"
+  "CMakeFiles/ef_telemetry.dir/traffic.cpp.o.d"
+  "libef_telemetry.a"
+  "libef_telemetry.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ef_telemetry.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

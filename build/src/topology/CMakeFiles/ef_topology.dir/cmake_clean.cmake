@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ef_topology.dir/pop.cpp.o"
+  "CMakeFiles/ef_topology.dir/pop.cpp.o.d"
+  "CMakeFiles/ef_topology.dir/world.cpp.o"
+  "CMakeFiles/ef_topology.dir/world.cpp.o.d"
+  "libef_topology.a"
+  "libef_topology.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ef_topology.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workload/demand.cpp" "src/workload/CMakeFiles/ef_workload.dir/demand.cpp.o" "gcc" "src/workload/CMakeFiles/ef_workload.dir/demand.cpp.o.d"
+  "/root/repo/src/workload/flowgen.cpp" "src/workload/CMakeFiles/ef_workload.dir/flowgen.cpp.o" "gcc" "src/workload/CMakeFiles/ef_workload.dir/flowgen.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/topology/CMakeFiles/ef_topology.dir/DependInfo.cmake"
+  "/root/repo/build/src/telemetry/CMakeFiles/ef_telemetry.dir/DependInfo.cmake"
+  "/root/repo/build/src/bmp/CMakeFiles/ef_bmp.dir/DependInfo.cmake"
+  "/root/repo/build/src/bgp/CMakeFiles/ef_bgp.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/ef_net.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ef_workload.dir/demand.cpp.o"
+  "CMakeFiles/ef_workload.dir/demand.cpp.o.d"
+  "CMakeFiles/ef_workload.dir/flowgen.cpp.o"
+  "CMakeFiles/ef_workload.dir/flowgen.cpp.o.d"
+  "libef_workload.a"
+  "libef_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ef_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

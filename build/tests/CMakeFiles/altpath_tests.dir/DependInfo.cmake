@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/altpath/altpath_test.cpp" "tests/CMakeFiles/altpath_tests.dir/altpath/altpath_test.cpp.o" "gcc" "tests/CMakeFiles/altpath_tests.dir/altpath/altpath_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/ef_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/ef_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/baseline/CMakeFiles/ef_baseline.dir/DependInfo.cmake"
+  "/root/repo/build/src/altpath/CMakeFiles/ef_altpath.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/ef_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/ef_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/topology/CMakeFiles/ef_topology.dir/DependInfo.cmake"
+  "/root/repo/build/src/bmp/CMakeFiles/ef_bmp.dir/DependInfo.cmake"
+  "/root/repo/build/src/telemetry/CMakeFiles/ef_telemetry.dir/DependInfo.cmake"
+  "/root/repo/build/src/bgp/CMakeFiles/ef_bgp.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/ef_net.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/altpath_tests.dir/altpath/altpath_test.cpp.o"
+  "CMakeFiles/altpath_tests.dir/altpath/altpath_test.cpp.o.d"
+  "altpath_tests"
+  "altpath_tests.pdb"
+  "altpath_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/altpath_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

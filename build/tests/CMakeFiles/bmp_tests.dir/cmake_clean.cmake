@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bmp_tests.dir/bmp/collector_test.cpp.o"
+  "CMakeFiles/bmp_tests.dir/bmp/collector_test.cpp.o.d"
+  "CMakeFiles/bmp_tests.dir/bmp/wire_test.cpp.o"
+  "CMakeFiles/bmp_tests.dir/bmp/wire_test.cpp.o.d"
+  "bmp_tests"
+  "bmp_tests.pdb"
+  "bmp_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bmp_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

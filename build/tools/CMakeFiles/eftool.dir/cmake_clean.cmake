@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eftool.dir/eftool.cpp.o"
+  "CMakeFiles/eftool.dir/eftool.cpp.o.d"
+  "eftool"
+  "eftool.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eftool.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
