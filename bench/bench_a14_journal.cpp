@@ -1,0 +1,143 @@
+// A14 (audit subsystem cost): what recording and replaying cycles costs —
+// snapshot serialize/deserialize throughput, journal append throughput,
+// and replay cycles/sec — so the overhead of always-on auditing can be
+// judged against the 30s production cycle budget. Uses google-benchmark.
+#include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <cstdio>
+
+#include "audit/journal.h"
+#include "audit/replay.h"
+#include "audit/snapshot.h"
+#include "core/controller.h"
+#include "net/bytes.h"
+#include "topology/pop.h"
+#include "topology/world.h"
+#include "workload/demand.h"
+
+namespace {
+
+using namespace ef;
+
+/// One real captured cycle: the busiest baseline hour on a standard
+/// single-PoP world, so serialize/replay costs reflect a loaded cycle.
+const audit::CycleSnapshot& captured_cycle() {
+  static const audit::CycleSnapshot snapshot = [] {
+    topology::WorldConfig config;
+    config.num_clients = 56;
+    config.num_pops = 1;
+    const topology::World world = topology::World::generate(config);
+    topology::Pop pop(world, 0);
+    core::Controller controller(pop, {});
+    controller.connect();
+    std::vector<audit::CycleSnapshot> captured;
+    controller.set_cycle_observer(
+        [&](const core::Controller::CycleRecord& record) {
+          captured.push_back(audit::capture_cycle(record));
+        });
+    workload::DemandGenerator gen(world, 0, {});
+    for (int hour = 0; hour < 24; ++hour) {
+      controller.run_cycle(gen.baseline(net::SimTime::hours(hour)),
+                           net::SimTime::hours(hour));
+    }
+    return *std::max_element(
+        captured.begin(), captured.end(),
+        [](const audit::CycleSnapshot& a, const audit::CycleSnapshot& b) {
+          return a.allocated.size() < b.allocated.size();
+        });
+  }();
+  return snapshot;
+}
+
+void BM_SnapshotSerialize(benchmark::State& state) {
+  const audit::CycleSnapshot& snapshot = captured_cycle();
+  std::size_t bytes = 0;
+  for (auto _ : state) {
+    auto wire = snapshot.serialize();
+    bytes = wire.size();
+    benchmark::DoNotOptimize(wire);
+  }
+  state.SetBytesProcessed(state.iterations() *
+                          static_cast<std::int64_t>(bytes));
+  state.counters["snapshot_bytes"] = static_cast<double>(bytes);
+  state.counters["routes"] = static_cast<double>(snapshot.routes.size());
+  state.counters["prefixes"] = static_cast<double>(snapshot.demand.size());
+}
+BENCHMARK(BM_SnapshotSerialize)->Unit(benchmark::kMicrosecond);
+
+void BM_SnapshotDeserialize(benchmark::State& state) {
+  const auto wire = captured_cycle().serialize();
+  for (auto _ : state) {
+    auto decoded = audit::CycleSnapshot::deserialize(wire);
+    benchmark::DoNotOptimize(decoded);
+  }
+  state.SetBytesProcessed(state.iterations() *
+                          static_cast<std::int64_t>(wire.size()));
+}
+BENCHMARK(BM_SnapshotDeserialize)->Unit(benchmark::kMicrosecond);
+
+void BM_JournalAppend(benchmark::State& state) {
+  const auto wire = captured_cycle().serialize();
+  const char* path = "bench_a14_journal.tmp.efj";
+  audit::JournalWriter writer(path);
+  for (auto _ : state) {
+    writer.append(wire);
+  }
+  writer.flush();
+  state.SetBytesProcessed(state.iterations() *
+                          static_cast<std::int64_t>(wire.size()));
+  std::remove(path);
+}
+BENCHMARK(BM_JournalAppend)->Unit(benchmark::kMicrosecond);
+
+void BM_JournalScan(benchmark::State& state) {
+  // A journal image with 64 frames; measures framing + CRC verification.
+  const auto wire = captured_cycle().serialize();
+  net::BufWriter header;
+  header.u32(audit::kJournalMagic);
+  std::vector<std::uint8_t> image = header.take();
+  for (int i = 0; i < 64; ++i) {
+    const auto frame = audit::encode_frame(wire);
+    image.insert(image.end(), frame.begin(), frame.end());
+  }
+  for (auto _ : state) {
+    audit::JournalReader reader(image);
+    std::size_t records = 0;
+    while (reader.next()) ++records;
+    benchmark::DoNotOptimize(records);
+  }
+  state.SetBytesProcessed(state.iterations() *
+                          static_cast<std::int64_t>(image.size()));
+  state.counters["frames"] = 64;
+}
+BENCHMARK(BM_JournalScan)->Unit(benchmark::kMillisecond);
+
+void BM_ReplayCycle(benchmark::State& state) {
+  const audit::CycleSnapshot& snapshot = captured_cycle();
+  for (auto _ : state) {
+    auto diff = audit::replay(snapshot);
+    benchmark::DoNotOptimize(diff);
+  }
+  state.SetItemsProcessed(state.iterations());
+  state.counters["overrides"] =
+      static_cast<double>(snapshot.allocated.size());
+}
+BENCHMARK(BM_ReplayCycle)->Unit(benchmark::kMillisecond);
+
+void BM_WhatIfDrain(benchmark::State& state) {
+  const audit::CycleSnapshot& snapshot = captured_cycle();
+  audit::Mutation drain;
+  drain.kind = audit::Mutation::Kind::kDrain;
+  drain.interface = snapshot.interfaces.front().id;
+  for (auto _ : state) {
+    auto report = audit::what_if(snapshot, {drain});
+    benchmark::DoNotOptimize(report);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_WhatIfDrain)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,151 @@
+#include "audit/journal.h"
+
+#include <array>
+
+#include "net/bytes.h"
+
+namespace ef::audit {
+
+namespace {
+
+std::array<std::uint32_t, 256> make_crc_table() {
+  std::array<std::uint32_t, 256> table{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t c = i;
+    for (int bit = 0; bit < 8; ++bit) {
+      c = (c & 1u) ? (0xEDB88320u ^ (c >> 1)) : (c >> 1);
+    }
+    table[i] = c;
+  }
+  return table;
+}
+
+std::uint32_t read_u32(const std::uint8_t* p) {
+  return (static_cast<std::uint32_t>(p[0]) << 24) |
+         (static_cast<std::uint32_t>(p[1]) << 16) |
+         (static_cast<std::uint32_t>(p[2]) << 8) |
+         static_cast<std::uint32_t>(p[3]);
+}
+
+constexpr std::size_t kFrameHeader = 12;  // magic + length + crc
+
+}  // namespace
+
+std::uint32_t crc32(const std::uint8_t* data, std::size_t len) {
+  static const std::array<std::uint32_t, 256> table = make_crc_table();
+  std::uint32_t c = 0xFFFFFFFFu;
+  for (std::size_t i = 0; i < len; ++i) {
+    c = table[(c ^ data[i]) & 0xFFu] ^ (c >> 8);
+  }
+  return c ^ 0xFFFFFFFFu;
+}
+
+std::uint32_t crc32(const std::vector<std::uint8_t>& data) {
+  return crc32(data.data(), data.size());
+}
+
+std::vector<std::uint8_t> encode_frame(
+    const std::vector<std::uint8_t>& record) {
+  net::BufWriter w;
+  w.u32(kFrameMagic);
+  w.u32(static_cast<std::uint32_t>(record.size()));
+  w.u32(crc32(record));
+  w.bytes(record);
+  return w.take();
+}
+
+JournalWriter::JournalWriter(const std::string& path)
+    : out_(path, std::ios::binary | std::ios::trunc) {
+  net::BufWriter w;
+  w.u32(kJournalMagic);
+  const auto header = w.take();
+  out_.write(reinterpret_cast<const char*>(header.data()),
+             static_cast<std::streamsize>(header.size()));
+  bytes_ = header.size();
+}
+
+void JournalWriter::append(const std::vector<std::uint8_t>& record) {
+  const auto frame = encode_frame(record);
+  out_.write(reinterpret_cast<const char*>(frame.data()),
+             static_cast<std::streamsize>(frame.size()));
+  if (out_.good()) {
+    ++records_;
+    bytes_ += frame.size();
+  }
+}
+
+std::optional<std::vector<std::uint8_t>> JournalReader::load(
+    const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return std::nullopt;
+  std::vector<std::uint8_t> bytes(
+      (std::istreambuf_iterator<char>(in)), std::istreambuf_iterator<char>());
+  return bytes;
+}
+
+JournalReader::JournalReader(std::vector<std::uint8_t> bytes)
+    : bytes_(std::move(bytes)) {
+  if (bytes_.size() < 4 || read_u32(bytes_.data()) != kJournalMagic) {
+    stats_.bad_header = true;
+    // Keep scanning anyway — frames may still be recoverable.
+  } else {
+    pos_ = 4;
+  }
+}
+
+std::optional<std::vector<std::uint8_t>> JournalReader::next() {
+  while (true) {
+    // Scan to the next frame magic. A linear byte scan is only entered
+    // after corruption; the happy path lands on a magic immediately.
+    std::size_t m = pos_;
+    while (m + 4 <= bytes_.size() && read_u32(bytes_.data() + m) != kFrameMagic) {
+      ++m;
+    }
+    if (m + 4 > bytes_.size()) {
+      // No further frame start. Any leftover bytes are a cut-off frame
+      // (or corruption indistinguishable from one).
+      if (pending_incomplete_ || m < bytes_.size()) {
+        stats_.truncated_tail = true;
+      }
+      pos_ = bytes_.size();
+      return std::nullopt;
+    }
+    if (m != pos_) ++stats_.corrupt_skipped;  // garbage gap resynced over
+    pos_ = m;
+
+    if (bytes_.size() - pos_ < kFrameHeader) {
+      stats_.truncated_tail = true;
+      pos_ = bytes_.size();
+      return std::nullopt;
+    }
+    const std::uint32_t length = read_u32(bytes_.data() + pos_ + 4);
+    const std::uint32_t crc = read_u32(bytes_.data() + pos_ + 8);
+    if (length > bytes_.size() - pos_ - kFrameHeader) {
+      // Payload extends past end of file: a truncated final append, or a
+      // corrupted length field. Resync past this magic; if nothing else
+      // follows, the end-of-stream path above reports the truncation.
+      pending_incomplete_ = true;
+      pos_ += 4;
+      continue;
+    }
+    const std::uint8_t* payload = bytes_.data() + pos_ + kFrameHeader;
+    if (crc32(payload, length) != crc) {
+      ++stats_.corrupt_skipped;
+      pos_ += 4;  // rescan inside the bad frame; lands on the next real one
+      continue;
+    }
+
+    if (pending_incomplete_) {
+      // The earlier incomplete candidate was corruption, not truncation —
+      // an intact frame followed it.
+      ++stats_.corrupt_skipped;
+      pending_incomplete_ = false;
+    }
+    std::vector<std::uint8_t> record(payload, payload + length);
+    pos_ += kFrameHeader + length;
+    ++stats_.records;
+    return record;
+  }
+}
+
+}  // namespace ef::audit

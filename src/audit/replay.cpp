@@ -1,0 +1,226 @@
+#include "audit/replay.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+namespace ef::audit {
+
+namespace {
+
+/// Overrides keyed by prefix for order-insensitive comparison. The
+/// allocator emits at most one override per (possibly split) prefix.
+std::map<net::Prefix, const core::Override*> by_prefix(
+    const std::vector<core::Override>& overrides) {
+  std::map<net::Prefix, const core::Override*> map;
+  for (const core::Override& o : overrides) map[o.prefix] = &o;
+  return map;
+}
+
+}  // namespace
+
+ReplayEnv::ReplayEnv(const CycleSnapshot& snapshot)
+    : rib(snapshot.decision) {
+  for (const bgp::Route& route : snapshot.routes) rib.announce(route);
+  for (const DemandRecord& d : snapshot.demand) demand.set(d.prefix, d.rate);
+  for (const InterfaceRecord& iface : snapshot.interfaces) {
+    interfaces.add(iface.id, iface.capacity);
+    if (iface.drained) interfaces.set_drained(iface.id, true);
+  }
+  for (const EgressRecord& e : snapshot.egress) {
+    egress[e.address] = core::EgressView{e.interface, e.type, e.address};
+  }
+}
+
+core::EgressResolver ReplayEnv::resolver() const {
+  return [this](const bgp::Route& route) -> std::optional<core::EgressView> {
+    const auto it = egress.find(route.attrs.next_hop);
+    if (it == egress.end()) return std::nullopt;
+    return it->second;
+  };
+}
+
+core::AllocationResult rerun(const CycleSnapshot& snapshot) {
+  const ReplayEnv env(snapshot);
+  const core::Allocator allocator(snapshot.allocator);
+  return allocator.allocate(env.rib, env.demand, env.interfaces,
+                            env.resolver());
+}
+
+ReplayDiff replay(const CycleSnapshot& snapshot) {
+  const core::AllocationResult replayed = rerun(snapshot);
+
+  ReplayDiff diff;
+  diff.recorded_overrides = snapshot.allocated.size();
+  diff.replayed_overrides = replayed.overrides.size();
+
+  const auto recorded_map = by_prefix(snapshot.allocated);
+  const auto replayed_map = by_prefix(replayed.overrides);
+  for (const auto& [prefix, recorded] : recorded_map) {
+    const auto it = replayed_map.find(prefix);
+    if (it == replayed_map.end() || !(*it->second == *recorded)) {
+      diff.changed_prefixes.push_back(prefix);
+    }
+  }
+  for (const auto& [prefix, replayed_override] : replayed_map) {
+    if (!recorded_map.contains(prefix)) diff.changed_prefixes.push_back(prefix);
+  }
+
+  diff.loads_match = replayed.projected_load == snapshot.projected_load &&
+                     replayed.final_load == snapshot.final_load;
+  diff.summary_match =
+      replayed.overloaded_interfaces == snapshot.overloaded_interfaces &&
+      replayed.unresolved_overload == snapshot.unresolved_overload &&
+      replayed.unroutable == snapshot.unroutable;
+  diff.drifted = !diff.changed_prefixes.empty() || !diff.loads_match ||
+                 !diff.summary_match;
+  return diff;
+}
+
+std::string ReplayDiff::to_string() const {
+  std::ostringstream os;
+  if (!drifted) {
+    os << "no drift (" << recorded_overrides << " overrides)";
+    return os.str();
+  }
+  os << "DRIFT: recorded " << recorded_overrides << " vs replayed "
+     << replayed_overrides << " overrides, " << changed_prefixes.size()
+     << " prefix(es) changed";
+  if (!loads_match) os << ", loads differ";
+  if (!summary_match) os << ", summary differs";
+  return os.str();
+}
+
+CycleSnapshot apply_mutations(const CycleSnapshot& snapshot,
+                              const std::vector<Mutation>& mutations) {
+  CycleSnapshot mutated = snapshot;
+  for (const Mutation& m : mutations) {
+    switch (m.kind) {
+      case Mutation::Kind::kScaleDemand:
+        for (DemandRecord& d : mutated.demand) d.rate = d.rate * m.value;
+        break;
+      case Mutation::Kind::kScaleCapacity:
+        for (InterfaceRecord& iface : mutated.interfaces) {
+          if (iface.id == m.interface) iface.capacity = iface.capacity * m.value;
+        }
+        break;
+      case Mutation::Kind::kSetCapacity:
+        for (InterfaceRecord& iface : mutated.interfaces) {
+          if (iface.id == m.interface) {
+            iface.capacity = net::Bandwidth::bps(m.value);
+          }
+        }
+        break;
+      case Mutation::Kind::kDrain:
+      case Mutation::Kind::kUndrain:
+        for (InterfaceRecord& iface : mutated.interfaces) {
+          if (iface.id == m.interface) {
+            iface.drained = m.kind == Mutation::Kind::kDrain;
+          }
+        }
+        break;
+      case Mutation::Kind::kOverloadThreshold:
+        mutated.allocator.overload_threshold = m.value;
+        break;
+      case Mutation::Kind::kTargetUtilization:
+        mutated.allocator.target_utilization = m.value;
+        break;
+      case Mutation::Kind::kDetourHeadroom:
+        mutated.allocator.detour_headroom = m.value;
+        break;
+      case Mutation::Kind::kMaxOverrides:
+        mutated.allocator.max_overrides = static_cast<std::size_t>(m.value);
+        break;
+      case Mutation::Kind::kAllowSplitting:
+        mutated.allocator.allow_prefix_splitting = m.value != 0;
+        break;
+    }
+  }
+  return mutated;
+}
+
+std::string Mutation::to_string() const {
+  std::ostringstream os;
+  switch (kind) {
+    case Kind::kScaleDemand:
+      os << "scale-demand x" << value;
+      break;
+    case Kind::kScaleCapacity:
+      os << "scale-capacity iface " << interface.value() << " x" << value;
+      break;
+    case Kind::kSetCapacity:
+      os << "set-capacity iface " << interface.value() << " to "
+         << net::Bandwidth::bps(value).to_string();
+      break;
+    case Kind::kDrain:
+      os << "drain iface " << interface.value();
+      break;
+    case Kind::kUndrain:
+      os << "undrain iface " << interface.value();
+      break;
+    case Kind::kOverloadThreshold:
+      os << "overload-threshold=" << value;
+      break;
+    case Kind::kTargetUtilization:
+      os << "target-utilization=" << value;
+      break;
+    case Kind::kDetourHeadroom:
+      os << "detour-headroom=" << value;
+      break;
+    case Kind::kMaxOverrides:
+      os << "max-overrides=" << static_cast<std::size_t>(value);
+      break;
+    case Kind::kAllowSplitting:
+      os << (value != 0 ? "allow-splitting" : "forbid-splitting");
+      break;
+  }
+  return os.str();
+}
+
+net::Bandwidth WhatIfReport::detoured(const core::AllocationResult& r) const {
+  net::Bandwidth total;
+  for (const core::Override& o : r.overrides) total += o.rate;
+  return total;
+}
+
+std::map<telemetry::InterfaceId, net::Bandwidth> WhatIfReport::load_delta()
+    const {
+  std::map<telemetry::InterfaceId, net::Bandwidth> delta;
+  for (const auto& [id, load] : mutated.final_load) {
+    const auto it = baseline.final_load.find(id);
+    const net::Bandwidth before =
+        it == baseline.final_load.end() ? net::Bandwidth::zero() : it->second;
+    const net::Bandwidth d = load - before;
+    if (std::abs(d.bits_per_sec()) > 1e-6) delta[id] = d;
+  }
+  for (const auto& [id, load] : baseline.final_load) {
+    if (!mutated.final_load.contains(id) &&
+        std::abs(load.bits_per_sec()) > 1e-6) {
+      delta[id] = net::Bandwidth::zero() - load;
+    }
+  }
+  return delta;
+}
+
+std::string WhatIfReport::to_string() const {
+  std::ostringstream os;
+  os << "overrides " << baseline.overrides.size() << " -> "
+     << mutated.overrides.size() << ", detoured "
+     << detoured(baseline).to_string() << " -> "
+     << detoured(mutated).to_string() << ", unresolved overload "
+     << baseline.unresolved_overload.to_string() << " -> "
+     << mutated.unresolved_overload.to_string() << ", unroutable "
+     << baseline.unroutable.to_string() << " -> "
+     << mutated.unroutable.to_string();
+  return os.str();
+}
+
+WhatIfReport what_if(const CycleSnapshot& snapshot,
+                     const std::vector<Mutation>& mutations) {
+  WhatIfReport report;
+  report.baseline = rerun(snapshot);
+  report.mutated = rerun(apply_mutations(snapshot, mutations));
+  return report;
+}
+
+}  // namespace ef::audit

@@ -1,0 +1,100 @@
+// Deterministic replay and what-if analysis over cycle snapshots.
+//
+// Replay re-runs the stateless allocator on a snapshot's recorded inputs
+// and diffs the result against the recorded decision — a drift of zero is
+// an end-to-end proof of the paper's stateless-controller property (and of
+// snapshot fidelity). The what-if engine mutates a snapshot's inputs
+// (scale demand, cut or drain an interface, change allocator knobs) and
+// reports how the allocation would have changed, turning a production
+// journal into a counterfactual test bed.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "audit/snapshot.h"
+
+namespace ef::audit {
+
+/// Difference between a snapshot's recorded allocation and a re-run.
+struct ReplayDiff {
+  bool drifted = false;
+
+  std::size_t recorded_overrides = 0;
+  std::size_t replayed_overrides = 0;
+  /// Prefixes whose override differs (present on one side only, or same
+  /// prefix steered differently).
+  std::vector<net::Prefix> changed_prefixes;
+  bool loads_match = true;    // projected + final per-interface loads
+  bool summary_match = true;  // overload/unroutable counters
+
+  std::string to_string() const;
+};
+
+/// Rebuilt allocator inputs, exposed so the what-if engine and tests can
+/// run the allocator directly against a snapshot's state.
+struct ReplayEnv {
+  bgp::Rib rib;
+  telemetry::DemandMatrix demand;
+  telemetry::InterfaceRegistry interfaces;
+  std::map<net::IpAddr, core::EgressView> egress;
+
+  explicit ReplayEnv(const CycleSnapshot& snapshot);
+  core::EgressResolver resolver() const;
+};
+
+/// Re-runs the stateless allocator on the snapshot's recorded inputs.
+core::AllocationResult rerun(const CycleSnapshot& snapshot);
+
+/// rerun() + field-by-field diff against the recorded outputs.
+ReplayDiff replay(const CycleSnapshot& snapshot);
+
+/// One input mutation for what-if analysis.
+struct Mutation {
+  enum class Kind : std::uint8_t {
+    kScaleDemand,        // value = factor applied to every prefix's rate
+    kScaleCapacity,      // value = factor applied to one interface
+    kSetCapacity,        // value = new capacity in bits per second
+    kDrain,              // drain one interface
+    kUndrain,            // clear the drain flag
+    kOverloadThreshold,  // value replaces AllocatorConfig knob
+    kTargetUtilization,
+    kDetourHeadroom,
+    kMaxOverrides,       // value cast to a count
+    kAllowSplitting,     // value != 0 enables prefix splitting
+  };
+
+  Kind kind = Kind::kScaleDemand;
+  telemetry::InterfaceId interface;  // for the per-interface kinds
+  double value = 0;
+
+  std::string to_string() const;
+};
+
+/// Returns a copy of `snapshot` with the mutations applied to its inputs.
+/// Recorded outputs are left untouched (they describe what really ran).
+CycleSnapshot apply_mutations(const CycleSnapshot& snapshot,
+                              const std::vector<Mutation>& mutations);
+
+/// Counterfactual result for one snapshot: baseline is the *replayed*
+/// allocation of the unmutated inputs (identical to the recording when
+/// drift is zero), so the delta isolates the mutation's effect.
+struct WhatIfReport {
+  core::AllocationResult baseline;
+  core::AllocationResult mutated;
+
+  long override_delta() const {
+    return static_cast<long>(mutated.overrides.size()) -
+           static_cast<long>(baseline.overrides.size());
+  }
+  net::Bandwidth detoured(const core::AllocationResult& r) const;
+  /// Per-interface final-load change, only interfaces that moved.
+  std::map<telemetry::InterfaceId, net::Bandwidth> load_delta() const;
+
+  std::string to_string() const;
+};
+
+WhatIfReport what_if(const CycleSnapshot& snapshot,
+                     const std::vector<Mutation>& mutations);
+
+}  // namespace ef::audit

@@ -1,0 +1,357 @@
+#include "audit/snapshot.h"
+
+#include <algorithm>
+#include <bit>
+
+#include "net/bytes.h"
+
+namespace ef::audit {
+
+namespace {
+
+// Doubles travel as their IEEE-754 bit pattern so values round-trip
+// exactly — replay equality is bitwise, not epsilon-based.
+void put_f64(net::BufWriter& w, double v) {
+  w.u64(std::bit_cast<std::uint64_t>(v));
+}
+double get_f64(net::BufReader& r) {
+  return std::bit_cast<double>(r.u64());
+}
+
+void put_bw(net::BufWriter& w, net::Bandwidth bw) {
+  put_f64(w, bw.bits_per_sec());
+}
+net::Bandwidth get_bw(net::BufReader& r) {
+  return net::Bandwidth::bps(get_f64(r));
+}
+
+void put_time(net::BufWriter& w, net::SimTime t) {
+  w.u64(static_cast<std::uint64_t>(t.millis_value()));
+}
+net::SimTime get_time(net::BufReader& r) {
+  return net::SimTime::millis(static_cast<std::int64_t>(r.u64()));
+}
+
+void put_ip(net::BufWriter& w, const net::IpAddr& addr) {
+  w.u8(static_cast<std::uint8_t>(addr.family()));
+  w.bytes(addr.bytes().data(), addr.bytes().size());
+}
+net::IpAddr get_ip(net::BufReader& r) {
+  const auto family = static_cast<net::Family>(r.u8());
+  std::array<std::uint8_t, 16> bytes{};
+  r.bytes(bytes.data(), bytes.size());
+  if (family == net::Family::kV4) return net::IpAddr::v4(
+      (static_cast<std::uint32_t>(bytes[0]) << 24) |
+      (static_cast<std::uint32_t>(bytes[1]) << 16) |
+      (static_cast<std::uint32_t>(bytes[2]) << 8) |
+      static_cast<std::uint32_t>(bytes[3]));
+  if (family == net::Family::kV6) return net::IpAddr::v6(bytes);
+  r.fail();
+  return {};
+}
+
+void put_prefix(net::BufWriter& w, const net::Prefix& prefix) {
+  put_ip(w, prefix.address());
+  w.u8(static_cast<std::uint8_t>(prefix.length()));
+}
+net::Prefix get_prefix(net::BufReader& r) {
+  const net::IpAddr addr = get_ip(r);
+  const int length = r.u8();
+  return net::Prefix(addr, length);
+}
+
+void put_as_path(net::BufWriter& w, const bgp::AsPath& path) {
+  w.u16(static_cast<std::uint16_t>(path.length()));
+  for (bgp::AsNumber as : path.ases()) w.u32(as.value());
+}
+bgp::AsPath get_as_path(net::BufReader& r) {
+  const std::size_t count = r.u16();
+  std::vector<bgp::AsNumber> ases;
+  ases.reserve(count);
+  for (std::size_t i = 0; i < count && r.ok(); ++i) {
+    ases.emplace_back(r.u32());
+  }
+  return bgp::AsPath(std::move(ases));
+}
+
+void put_route(net::BufWriter& w, const bgp::Route& route) {
+  put_prefix(w, route.prefix);
+  w.u8(static_cast<std::uint8_t>(route.attrs.origin));
+  put_as_path(w, route.attrs.as_path);
+  put_ip(w, route.attrs.next_hop);
+  w.u32(route.attrs.med.value());
+  w.u8(route.attrs.has_med ? 1 : 0);
+  w.u32(route.attrs.local_pref.value());
+  w.u8(route.attrs.has_local_pref ? 1 : 0);
+  w.u16(static_cast<std::uint16_t>(route.attrs.communities.size()));
+  for (bgp::Community c : route.attrs.communities) w.u32(c.raw());
+  w.u32(route.learned_from.value());
+  w.u8(static_cast<std::uint8_t>(route.peer_type));
+  w.u32(route.neighbor_as.value());
+  w.u32(route.neighbor_router_id.value());
+  put_time(w, route.learned_at);
+}
+bgp::Route get_route(net::BufReader& r) {
+  bgp::Route route;
+  route.prefix = get_prefix(r);
+  route.attrs.origin = static_cast<bgp::Origin>(r.u8());
+  route.attrs.as_path = get_as_path(r);
+  route.attrs.next_hop = get_ip(r);
+  route.attrs.med = bgp::Med(r.u32());
+  route.attrs.has_med = r.u8() != 0;
+  route.attrs.local_pref = bgp::LocalPref(r.u32());
+  route.attrs.has_local_pref = r.u8() != 0;
+  const std::size_t communities = r.u16();
+  route.attrs.communities.reserve(communities);
+  for (std::size_t i = 0; i < communities && r.ok(); ++i) {
+    route.attrs.communities.emplace_back(r.u32());
+  }
+  route.learned_from = bgp::PeerId(r.u32());
+  route.peer_type = static_cast<bgp::PeerType>(r.u8());
+  route.neighbor_as = bgp::AsNumber(r.u32());
+  route.neighbor_router_id = bgp::RouterId(r.u32());
+  route.learned_at = get_time(r);
+  return route;
+}
+
+void put_override(net::BufWriter& w, const core::Override& o) {
+  put_prefix(w, o.prefix);
+  put_bw(w, o.rate);
+  put_ip(w, o.next_hop);
+  put_as_path(w, o.as_path);
+  w.u32(o.from_interface.value());
+  w.u32(o.target_interface.value());
+  w.u8(static_cast<std::uint8_t>(o.from_type));
+  w.u8(static_cast<std::uint8_t>(o.target_type));
+}
+core::Override get_override(net::BufReader& r) {
+  core::Override o;
+  o.prefix = get_prefix(r);
+  o.rate = get_bw(r);
+  o.next_hop = get_ip(r);
+  o.as_path = get_as_path(r);
+  o.from_interface = telemetry::InterfaceId(r.u32());
+  o.target_interface = telemetry::InterfaceId(r.u32());
+  o.from_type = static_cast<bgp::PeerType>(r.u8());
+  o.target_type = static_cast<bgp::PeerType>(r.u8());
+  return o;
+}
+
+void put_overrides(net::BufWriter& w, const std::vector<core::Override>& v) {
+  w.u32(static_cast<std::uint32_t>(v.size()));
+  for (const core::Override& o : v) put_override(w, o);
+}
+std::vector<core::Override> get_overrides(net::BufReader& r) {
+  const std::size_t count = r.u32();
+  std::vector<core::Override> v;
+  for (std::size_t i = 0; i < count && r.ok(); ++i) {
+    v.push_back(get_override(r));
+  }
+  return v;
+}
+
+void put_load_map(
+    net::BufWriter& w,
+    const std::map<telemetry::InterfaceId, net::Bandwidth>& load) {
+  w.u32(static_cast<std::uint32_t>(load.size()));
+  for (const auto& [id, bw] : load) {
+    w.u32(id.value());
+    put_bw(w, bw);
+  }
+}
+std::map<telemetry::InterfaceId, net::Bandwidth> get_load_map(
+    net::BufReader& r) {
+  const std::size_t count = r.u32();
+  std::map<telemetry::InterfaceId, net::Bandwidth> load;
+  for (std::size_t i = 0; i < count && r.ok(); ++i) {
+    const telemetry::InterfaceId id{r.u32()};
+    load[id] = get_bw(r);
+  }
+  return load;
+}
+
+}  // namespace
+
+std::vector<std::uint8_t> CycleSnapshot::serialize() const {
+  net::BufWriter w;
+  w.u16(version);
+  put_time(w, when);
+
+  put_f64(w, allocator.overload_threshold);
+  put_f64(w, allocator.target_utilization);
+  put_f64(w, allocator.detour_headroom);
+  w.u8(static_cast<std::uint8_t>(allocator.order));
+  w.u64(allocator.max_overrides);
+  w.u8(allocator.allow_prefix_splitting ? 1 : 0);
+  w.u32(static_cast<std::uint32_t>(allocator.max_split_depth));
+  w.u8(decision.compare_med_across_as ? 1 : 0);
+  w.u8(decision.prefer_oldest ? 1 : 0);
+
+  w.u32(static_cast<std::uint32_t>(interfaces.size()));
+  for (const InterfaceRecord& iface : interfaces) {
+    w.u32(iface.id.value());
+    put_bw(w, iface.capacity);
+    w.u8(iface.drained ? 1 : 0);
+  }
+  w.u32(static_cast<std::uint32_t>(egress.size()));
+  for (const EgressRecord& e : egress) {
+    put_ip(w, e.address);
+    w.u32(e.interface.value());
+    w.u8(static_cast<std::uint8_t>(e.type));
+  }
+  w.u32(static_cast<std::uint32_t>(demand.size()));
+  for (const DemandRecord& d : demand) {
+    put_prefix(w, d.prefix);
+    put_bw(w, d.rate);
+  }
+  w.u32(static_cast<std::uint32_t>(routes.size()));
+  for (const bgp::Route& route : routes) put_route(w, route);
+
+  put_overrides(w, allocated);
+  put_load_map(w, projected_load);
+  put_load_map(w, final_load);
+  w.u64(overloaded_interfaces);
+  put_bw(w, unresolved_overload);
+  put_bw(w, unroutable);
+  put_overrides(w, applied);
+  w.u64(safety.dropped_invalid_route);
+  w.u64(safety.dropped_by_budget);
+  w.u64(added);
+  w.u64(removed);
+  w.u64(retained_by_hysteresis);
+  w.u64(perf_overrides);
+  return w.take();
+}
+
+std::optional<CycleSnapshot> CycleSnapshot::deserialize(
+    std::span<const std::uint8_t> bytes) {
+  net::BufReader r(bytes.data(), bytes.size());
+  CycleSnapshot s;
+  s.version = r.u16();
+  if (!r.ok() || s.version != kSnapshotVersion) return std::nullopt;
+  s.when = get_time(r);
+
+  s.allocator.overload_threshold = get_f64(r);
+  s.allocator.target_utilization = get_f64(r);
+  s.allocator.detour_headroom = get_f64(r);
+  s.allocator.order = static_cast<core::DetourOrder>(r.u8());
+  s.allocator.max_overrides = r.u64();
+  s.allocator.allow_prefix_splitting = r.u8() != 0;
+  s.allocator.max_split_depth = static_cast<int>(r.u32());
+  s.decision.compare_med_across_as = r.u8() != 0;
+  s.decision.prefer_oldest = r.u8() != 0;
+
+  const std::size_t interface_count = r.u32();
+  for (std::size_t i = 0; i < interface_count && r.ok(); ++i) {
+    InterfaceRecord iface;
+    iface.id = telemetry::InterfaceId(r.u32());
+    iface.capacity = get_bw(r);
+    iface.drained = r.u8() != 0;
+    s.interfaces.push_back(iface);
+  }
+  const std::size_t egress_count = r.u32();
+  for (std::size_t i = 0; i < egress_count && r.ok(); ++i) {
+    EgressRecord e;
+    e.address = get_ip(r);
+    e.interface = telemetry::InterfaceId(r.u32());
+    e.type = static_cast<bgp::PeerType>(r.u8());
+    s.egress.push_back(e);
+  }
+  const std::size_t demand_count = r.u32();
+  for (std::size_t i = 0; i < demand_count && r.ok(); ++i) {
+    DemandRecord d;
+    d.prefix = get_prefix(r);
+    d.rate = get_bw(r);
+    s.demand.push_back(d);
+  }
+  const std::size_t route_count = r.u32();
+  for (std::size_t i = 0; i < route_count && r.ok(); ++i) {
+    s.routes.push_back(get_route(r));
+  }
+
+  s.allocated = get_overrides(r);
+  s.projected_load = get_load_map(r);
+  s.final_load = get_load_map(r);
+  s.overloaded_interfaces = r.u64();
+  s.unresolved_overload = get_bw(r);
+  s.unroutable = get_bw(r);
+  s.applied = get_overrides(r);
+  s.safety.dropped_invalid_route = r.u64();
+  s.safety.dropped_by_budget = r.u64();
+  s.added = r.u64();
+  s.removed = r.u64();
+  s.retained_by_hysteresis = r.u64();
+  s.perf_overrides = r.u64();
+  if (!r.ok()) return std::nullopt;
+  return s;
+}
+
+CycleSnapshot capture_cycle(const core::Controller::CycleRecord& record) {
+  CycleSnapshot s;
+  s.when = record.stats.when;
+  s.allocator = record.allocator_config;
+  s.decision = record.rib.decision_config();
+
+  record.interfaces.for_each(
+      [&](telemetry::InterfaceId id, const telemetry::InterfaceState& state) {
+        s.interfaces.push_back({id, state.capacity, state.drained});
+      });
+  // InterfaceRegistry iterates an ordered map, but sort defensively — the
+  // serialized bytes must be a pure function of the cycle state.
+  std::sort(s.interfaces.begin(), s.interfaces.end(),
+            [](const InterfaceRecord& a, const InterfaceRecord& b) {
+              return a.id < b.id;
+            });
+
+  record.demand.for_each([&](const net::Prefix& prefix, net::Bandwidth rate) {
+    s.demand.push_back({prefix, rate});
+  });
+  std::sort(s.demand.begin(), s.demand.end(),
+            [](const DemandRecord& a, const DemandRecord& b) {
+              return a.prefix < b.prefix;
+            });
+
+  std::vector<net::Prefix> prefixes;
+  record.rib.for_each(
+      [&](const net::Prefix& prefix, std::span<const bgp::Route>) {
+        prefixes.push_back(prefix);
+      });
+  std::sort(prefixes.begin(), prefixes.end());
+  std::map<net::IpAddr, EgressRecord> egress_map;
+  for (const net::Prefix& prefix : prefixes) {
+    for (const bgp::Route& route : record.rib.candidates(prefix)) {
+      if (route.peer_type == bgp::PeerType::kController) continue;
+      s.routes.push_back(route);
+      if (!egress_map.contains(route.attrs.next_hop)) {
+        if (const auto egress = record.resolve(route)) {
+          // Key on NEXT_HOP (what the replay resolver looks up), not the
+          // view's echo of it.
+          egress_map[route.attrs.next_hop] =
+              {route.attrs.next_hop, egress->interface, egress->type};
+        }
+      }
+    }
+  }
+  s.egress.reserve(egress_map.size());
+  for (const auto& [address, e] : egress_map) s.egress.push_back(e);
+
+  const core::AllocationResult& allocation = record.stats.allocation;
+  s.allocated = allocation.overrides;
+  s.projected_load = allocation.projected_load;
+  s.final_load = allocation.final_load;
+  s.overloaded_interfaces = allocation.overloaded_interfaces;
+  s.unresolved_overload = allocation.unresolved_overload;
+  s.unroutable = allocation.unroutable;
+  s.applied.reserve(record.applied.size());
+  for (const auto& [prefix, override_entry] : record.applied) {
+    s.applied.push_back(override_entry);
+  }
+  s.safety = record.stats.safety;
+  s.added = record.stats.added;
+  s.removed = record.stats.removed;
+  s.retained_by_hysteresis = record.stats.retained_by_hysteresis;
+  s.perf_overrides = record.stats.perf_overrides;
+  return s;
+}
+
+}  // namespace ef::audit

@@ -1,0 +1,100 @@
+// Cycle snapshots: the complete input and output of one controller
+// allocation cycle, captured as a value and serialized with a versioned
+// binary wire format.
+//
+// The paper's controller is stateless — every cycle is a pure function of
+// (RIB, demand, interface state). A snapshot records exactly that triple
+// plus the decision the controller made, which is what makes the offline
+// replay/what-if engine (replay.h) possible: re-running the allocator on
+// a snapshot must reproduce the recorded allocation bit for bit.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "core/controller.h"
+
+namespace ef::audit {
+
+/// Bump when the wire format changes; the reader rejects unknown versions.
+inline constexpr std::uint16_t kSnapshotVersion = 1;
+
+/// One egress interface's state at capture time.
+struct InterfaceRecord {
+  telemetry::InterfaceId id;
+  net::Bandwidth capacity;
+  bool drained = false;
+
+  friend bool operator==(const InterfaceRecord&,
+                         const InterfaceRecord&) = default;
+};
+
+/// One entry of the NEXT_HOP -> egress resolution map (what the routers'
+/// forwarding planes would do with each candidate route).
+struct EgressRecord {
+  net::IpAddr address;
+  telemetry::InterfaceId interface;
+  bgp::PeerType type = bgp::PeerType::kTransit;
+
+  friend bool operator==(const EgressRecord&, const EgressRecord&) = default;
+};
+
+/// Demand for one destination prefix.
+struct DemandRecord {
+  net::Prefix prefix;
+  net::Bandwidth rate;
+
+  friend bool operator==(const DemandRecord&, const DemandRecord&) = default;
+};
+
+/// One cycle's complete controller input and output.
+struct CycleSnapshot {
+  std::uint16_t version = kSnapshotVersion;
+  net::SimTime when;
+
+  // --- Input: everything the stateless allocator consumed. -------------
+  core::AllocatorConfig allocator;
+  bgp::DecisionConfig decision;
+  std::vector<InterfaceRecord> interfaces;  // sorted by id
+  std::vector<EgressRecord> egress;         // sorted by address
+  std::vector<DemandRecord> demand;         // sorted by prefix
+  /// All natural (non-controller) candidate routes, grouped by prefix in
+  /// prefix order, preserving the RIB's per-prefix storage order.
+  std::vector<bgp::Route> routes;
+
+  // --- Output: what the controller decided. -----------------------------
+  std::vector<core::Override> allocated;  // raw allocator output
+  std::map<telemetry::InterfaceId, net::Bandwidth> projected_load;
+  std::map<telemetry::InterfaceId, net::Bandwidth> final_load;
+  std::uint64_t overloaded_interfaces = 0;
+  net::Bandwidth unresolved_overload;
+  net::Bandwidth unroutable;
+  /// Post-hysteresis/advisor/safety override set actually enforced.
+  std::vector<core::Override> applied;
+  core::SafetyStats safety;
+  std::uint64_t added = 0;
+  std::uint64_t removed = 0;
+  std::uint64_t retained_by_hysteresis = 0;
+  std::uint64_t perf_overrides = 0;
+
+  /// Compact big-endian binary encoding (see DESIGN.md "Auditing &
+  /// replay" for the layout).
+  std::vector<std::uint8_t> serialize() const;
+
+  /// Decodes one snapshot; nullopt on malformed bytes or an unsupported
+  /// version.
+  static std::optional<CycleSnapshot> deserialize(
+      std::span<const std::uint8_t> bytes);
+
+  friend bool operator==(const CycleSnapshot&, const CycleSnapshot&) = default;
+};
+
+/// Builds a snapshot from a controller cycle callback. Controller-injected
+/// routes are excluded; everything else is captured verbatim, in sorted
+/// order so identical cycle state serializes to identical bytes.
+CycleSnapshot capture_cycle(const core::Controller::CycleRecord& record);
+
+}  // namespace ef::audit

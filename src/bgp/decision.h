@@ -36,6 +36,9 @@ struct DecisionConfig {
   /// Prefer the oldest route before the router-id tiebreak (stability
   /// knob; on by default as on most deployments).
   bool prefer_oldest = true;
+
+  friend bool operator==(const DecisionConfig&,
+                         const DecisionConfig&) = default;
 };
 
 /// Compares two routes for the same prefix. Returns <0 if `a` is better,

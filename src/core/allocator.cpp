@@ -54,8 +54,20 @@ AllocationResult Allocator::allocate(
   // routes) and remember, per interface, which prefixes landed there.
   std::map<telemetry::InterfaceId, std::vector<PinnedPrefix>> by_interface;
 
+  // Walk demand in prefix order, not hash order: float accumulation is not
+  // associative, so the allocation is only a bitwise-deterministic function
+  // of its inputs (what the audit replay engine verifies) if the iteration
+  // order is a function of the inputs too.
+  std::vector<std::pair<net::Prefix, net::Bandwidth>> demand_sorted;
+  demand_sorted.reserve(demand.prefix_count());
   demand.for_each([&](const net::Prefix& prefix, net::Bandwidth rate) {
-    if (rate <= net::Bandwidth::zero()) return;
+    demand_sorted.emplace_back(prefix, rate);
+  });
+  std::sort(demand_sorted.begin(), demand_sorted.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+
+  for (const auto& [prefix, rate] : demand_sorted) {
+    if (rate <= net::Bandwidth::zero()) continue;
 
     // Rank all candidates with the normal decision process, then drop
     // controller-injected routes. Filtering after ranking is safe: the
@@ -77,7 +89,7 @@ AllocationResult Allocator::allocate(
     }
     if (ranked.empty()) {
       result.unroutable += rate;
-      return;
+      continue;
     }
     pinned.best = ranked.front();
     pinned.alternates.assign(ranked.begin() + 1, ranked.end());
@@ -85,11 +97,11 @@ AllocationResult Allocator::allocate(
     const auto egress = resolve(*pinned.best);
     if (!egress || !interfaces.contains(egress->interface)) {
       result.unroutable += rate;
-      return;
+      continue;
     }
     result.projected_load[egress->interface] += rate;
     by_interface[egress->interface].push_back(std::move(pinned));
-  });
+  }
 
   result.final_load = result.projected_load;
 

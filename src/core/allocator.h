@@ -42,6 +42,8 @@ struct Override {
   telemetry::InterfaceId target_interface; // where the detour lands
   bgp::PeerType from_type = bgp::PeerType::kPrivatePeer;
   bgp::PeerType target_type = bgp::PeerType::kTransit;
+
+  friend bool operator==(const Override&, const Override&) = default;
 };
 
 enum class DetourOrder : std::uint8_t {
@@ -70,6 +72,9 @@ struct AllocatorConfig {
   bool allow_prefix_splitting = false;
   /// Maximum split recursion (1 = halves, 2 = quarters, ...).
   int max_split_depth = 2;
+
+  friend bool operator==(const AllocatorConfig&,
+                         const AllocatorConfig&) = default;
 };
 
 struct AllocationResult {

@@ -187,6 +187,12 @@ CycleStats Controller::run_cycle(const telemetry::DemandMatrix& demand,
   }
   active_ = std::move(fresh);
   stats.overrides_active = active_.size();
+
+  if (observer_) {
+    observer_(CycleRecord{demand, pop_->collector().rib(),
+                          pop_->interfaces(), resolver, config_.allocator,
+                          active_, stats});
+  }
   return stats;
 }
 

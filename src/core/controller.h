@@ -111,6 +111,27 @@ class Controller {
   using Advisor = std::function<std::vector<Override>(const AllocationResult&)>;
   void set_advisor(Advisor advisor) { advisor_ = std::move(advisor); }
 
+  /// Everything one cycle consumed and produced, handed to the cycle
+  /// observer so an audit recorder (src/audit) can snapshot it without
+  /// core depending on the audit subsystem. All references are borrowed
+  /// and valid only for the duration of the callback. The RIB reference
+  /// is taken after override injection; controller-injected routes
+  /// (PeerType::kController) must be ignored by consumers, exactly as the
+  /// allocator ignores them.
+  struct CycleRecord {
+    const telemetry::DemandMatrix& demand;
+    const bgp::Rib& rib;
+    const telemetry::InterfaceRegistry& interfaces;
+    const EgressResolver& resolve;
+    const AllocatorConfig& allocator_config;
+    const std::map<net::Prefix, Override>& applied;  // post-safety set
+    const CycleStats& stats;
+  };
+  using CycleObserver = std::function<void(const CycleRecord&)>;
+  void set_cycle_observer(CycleObserver observer) {
+    observer_ = std::move(observer);
+  }
+
   const std::map<net::Prefix, Override>& active_overrides() const {
     return active_;
   }
@@ -126,6 +147,7 @@ class Controller {
   std::vector<bgp::PeerId> sessions_;
   std::map<net::Prefix, Override> active_;
   Advisor advisor_;
+  CycleObserver observer_;
 };
 
 }  // namespace ef::core

@@ -32,6 +32,8 @@ struct SafetyStats {
   std::size_t total_dropped() const {
     return dropped_invalid_route + dropped_by_budget;
   }
+
+  friend bool operator==(const SafetyStats&, const SafetyStats&) = default;
 };
 
 class SafetyGuard {

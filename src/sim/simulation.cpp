@@ -27,6 +27,10 @@ Simulation::Simulation(topology::Pop& pop, SimulationConfig config)
   }
 }
 
+void Simulation::set_cycle_observer(core::Controller::CycleObserver observer) {
+  if (controller_) controller_->set_cycle_observer(std::move(observer));
+}
+
 bool Simulation::advance() {
   const net::SimTime next = first_step_ ? net::SimTime() : now_ + config_.step;
   if (next > config_.duration) return false;

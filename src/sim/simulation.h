@@ -90,6 +90,11 @@ class Simulation {
   topology::Pop& pop() { return *pop_; }
   net::SimTime now() const { return now_; }
 
+  /// Installs a per-cycle observer (snapshot sink) on the embedded
+  /// controller; see core::Controller::set_cycle_observer. No-op when the
+  /// controller is disabled.
+  void set_cycle_observer(core::Controller::CycleObserver observer);
+
  private:
   topology::Pop* pop_;
   SimulationConfig config_;

@@ -6,16 +6,27 @@
 //   eftool cycle      --pop K [--hour H] [--split]
 //   eftool run        --pop K [--hours H] [--no-controller] [--flaps R]
 //   eftool mrt        --pop K --out FILE
+//   eftool record     --pop K [--hours H] [--sflow] [--flaps R] --out FILE
+//   eftool replay     FILE [--verbose]
+//   eftool whatif     FILE --drain I | --scale-demand F | ... [--cycle N]
 //
 // Everything is generated/deterministic: the same flags print the same
 // bytes, which makes eftool output diff-able in change reviews.
+#include <algorithm>
+#include <cmath>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <map>
+#include <optional>
 #include <string>
+#include <vector>
 
 #include "analysis/metrics.h"
+#include "audit/journal.h"
+#include "audit/replay.h"
+#include "audit/snapshot.h"
 #include "bgp/mrt.h"
 #include "core/controller.h"
 #include "sim/fleet.h"
@@ -26,9 +37,17 @@ namespace {
 
 using namespace ef;
 
+[[noreturn]] void die_bad_value(const std::string& key,
+                                const std::string& value) {
+  std::fprintf(stderr, "eftool: invalid numeric value '%s' for --%s\n",
+               value.c_str(), key.c_str());
+  std::exit(2);
+}
+
 struct Args {
   std::string command;
   std::map<std::string, std::string> options;
+  std::vector<std::string> positionals;  // non-flag operands (e.g. FILE)
 
   bool has(const std::string& key) const { return options.contains(key); }
   std::string get(const std::string& key, const std::string& fallback) const {
@@ -37,11 +56,27 @@ struct Args {
   }
   long num(const std::string& key, long fallback) const {
     auto it = options.find(key);
-    return it == options.end() ? fallback : std::stol(it->second);
+    if (it == options.end()) return fallback;
+    try {
+      std::size_t consumed = 0;
+      const long value = std::stol(it->second, &consumed);
+      if (consumed != it->second.size()) die_bad_value(key, it->second);
+      return value;
+    } catch (const std::exception&) {
+      die_bad_value(key, it->second);
+    }
   }
   double real(const std::string& key, double fallback) const {
     auto it = options.find(key);
-    return it == options.end() ? fallback : std::stod(it->second);
+    if (it == options.end()) return fallback;
+    try {
+      std::size_t consumed = 0;
+      const double value = std::stod(it->second, &consumed);
+      if (consumed != it->second.size()) die_bad_value(key, it->second);
+      return value;
+    } catch (const std::exception&) {
+      die_bad_value(key, it->second);
+    }
   }
 };
 
@@ -50,7 +85,10 @@ Args parse_args(int argc, char** argv) {
   if (argc >= 2) args.command = argv[1];
   for (int i = 2; i < argc; ++i) {
     std::string key = argv[i];
-    if (key.rfind("--", 0) != 0) continue;
+    if (key.rfind("--", 0) != 0) {
+      args.positionals.push_back(key);
+      continue;
+    }
     key = key.substr(2);
     if (i + 1 < argc && std::strncmp(argv[i + 1], "--", 2) != 0) {
       args.options[key] = argv[++i];
@@ -299,6 +337,265 @@ int cmd_mrt(const Args& args) {
   return 0;
 }
 
+int cmd_record(const Args& args) {
+  const std::string path = args.get("out", "");
+  if (path.empty()) {
+    std::fprintf(stderr, "record requires --out FILE\n");
+    return 2;
+  }
+  const topology::World world = make_world(args);
+  const std::size_t p = static_cast<std::size_t>(args.num("pop", 0));
+  topology::Pop pop(world, p);
+
+  sim::SimulationConfig config;
+  config.duration = net::SimTime::hours(args.real("hours", 24));
+  config.step = net::SimTime::seconds(60);
+  config.controller.cycle_period = net::SimTime::seconds(60);
+  config.use_sflow_estimate = args.has("sflow");
+  config.peer_flap_rate_per_hour = args.real("flaps", 0);
+
+  audit::JournalWriter writer(path);
+  if (!writer.ok()) {
+    std::fprintf(stderr, "cannot open %s\n", path.c_str());
+    return 2;
+  }
+
+  sim::Simulation simulation(pop, config);
+  simulation.set_cycle_observer(
+      [&](const core::Controller::CycleRecord& record) {
+        writer.append(audit::capture_cycle(record).serialize());
+      });
+  simulation.run([](const sim::StepRecord&) {});
+  writer.flush();
+  if (!writer.ok()) {
+    std::fprintf(stderr, "write failed on %s\n", path.c_str());
+    return 2;
+  }
+  std::printf("recorded %zu cycle snapshot(s) (%zu bytes) to %s\n",
+              writer.records_written(), writer.bytes_written(), path.c_str());
+  return 0;
+}
+
+/// Streams the decodable snapshots of a journal one at a time (a 24h
+/// journal holds ~1.4k self-contained snapshots; deserializing them all at
+/// once would be needlessly heavy). Reports damage after the last one.
+class SnapshotStream {
+ public:
+  explicit SnapshotStream(const std::string& path) : path_(path) {
+    auto bytes = audit::JournalReader::load(path);
+    if (!bytes) {
+      std::fprintf(stderr, "cannot open %s\n", path.c_str());
+      return;
+    }
+    reader_.emplace(std::move(*bytes));
+  }
+
+  bool opened() const { return reader_.has_value(); }
+
+  std::optional<audit::CycleSnapshot> next() {
+    if (!reader_) return std::nullopt;
+    while (auto record = reader_->next()) {
+      if (auto snapshot = audit::CycleSnapshot::deserialize(*record)) {
+        return snapshot;
+      }
+      ++undecodable_;
+    }
+    return std::nullopt;
+  }
+
+  /// Prints journal damage to stderr; true if the file was a journal.
+  bool report_damage() const {
+    if (!reader_) return false;
+    const audit::JournalReadStats& stats = reader_->stats();
+    if (stats.bad_header) {
+      std::fprintf(stderr, "%s: not an edgefabric journal (bad header)\n",
+                   path_.c_str());
+    }
+    if (stats.corrupt_skipped > 0 || stats.truncated_tail ||
+        undecodable_ > 0) {
+      std::fprintf(
+          stderr,
+          "%s: recovered %zu record(s); skipped %zu corrupt frame(s), "
+          "%zu undecodable snapshot(s)%s\n",
+          path_.c_str(), stats.records, stats.corrupt_skipped, undecodable_,
+          stats.truncated_tail ? ", truncated tail" : "");
+    }
+    return !stats.bad_header;
+  }
+
+ private:
+  std::string path_;
+  std::optional<audit::JournalReader> reader_;
+  std::size_t undecodable_ = 0;
+};
+
+int cmd_replay(const Args& args) {
+  if (args.positionals.empty()) {
+    std::fprintf(stderr, "replay requires a journal FILE operand\n");
+    return 2;
+  }
+  SnapshotStream stream(args.positionals.front());
+  if (!stream.opened()) return 2;
+
+  const bool verbose = args.has("verbose");
+  std::size_t cycles = 0;
+  std::size_t drifted = 0;
+  while (auto snapshot = stream.next()) {
+    const audit::ReplayDiff diff = audit::replay(*snapshot);
+    if (diff.drifted) ++drifted;
+    if (verbose || diff.drifted) {
+      std::printf("cycle %zu (t=%.1fh): %s\n", cycles,
+                  snapshot->when.seconds_value() / 3600.0,
+                  diff.to_string().c_str());
+    }
+    ++cycles;
+  }
+  if (!stream.report_damage() && cycles == 0) return 2;
+  std::printf("replayed %zu cycle(s): %zu drifted\n", cycles, drifted);
+  return drifted == 0 ? 0 : 1;
+}
+
+int cmd_whatif(const Args& args) {
+  if (args.positionals.empty()) {
+    std::fprintf(stderr, "whatif requires a journal FILE operand\n");
+    return 2;
+  }
+
+  std::vector<audit::Mutation> mutations;
+  using Kind = audit::Mutation::Kind;
+  auto iface_mutation = [&](const char* flag, Kind kind, double value = 0) {
+    if (!args.has(flag)) return;
+    audit::Mutation m;
+    m.kind = kind;
+    m.interface =
+        telemetry::InterfaceId(static_cast<std::uint32_t>(args.num(flag, 0)));
+    m.value = value;
+    mutations.push_back(m);
+  };
+  iface_mutation("drain", Kind::kDrain);
+  iface_mutation("undrain", Kind::kUndrain);
+  if (args.has("cut-capacity")) {
+    // --cut-capacity I --factor F: scale interface I's capacity by F.
+    iface_mutation("cut-capacity", Kind::kScaleCapacity,
+                   args.real("factor", 0.5));
+  }
+  if (args.has("scale-demand")) {
+    mutations.push_back({Kind::kScaleDemand, {}, args.real("scale-demand", 1)});
+  }
+  if (args.has("threshold")) {
+    mutations.push_back(
+        {Kind::kOverloadThreshold, {}, args.real("threshold", 0.95)});
+  }
+  if (args.has("target")) {
+    mutations.push_back(
+        {Kind::kTargetUtilization, {}, args.real("target", 0.9)});
+  }
+  if (args.has("headroom")) {
+    mutations.push_back(
+        {Kind::kDetourHeadroom, {}, args.real("headroom", 0.95)});
+  }
+  if (args.has("max-overrides")) {
+    mutations.push_back({Kind::kMaxOverrides, {},
+                         static_cast<double>(args.num("max-overrides", 0))});
+  }
+  if (args.has("split")) {
+    mutations.push_back({Kind::kAllowSplitting, {}, 1});
+  }
+  if (mutations.empty()) {
+    std::fprintf(stderr,
+                 "whatif requires at least one mutation flag: --drain I, "
+                 "--undrain I, --cut-capacity I [--factor F], "
+                 "--scale-demand F, --threshold T, --target T, --headroom H, "
+                 "--max-overrides N, --split\n");
+    return 2;
+  }
+
+  SnapshotStream stream(args.positionals.front());
+  if (!stream.opened()) return 2;
+  const bool one_cycle = args.has("cycle");
+  const std::size_t wanted =
+      one_cycle ? static_cast<std::size_t>(args.num("cycle", 0)) : 0;
+
+  std::printf("what-if:");
+  for (const audit::Mutation& m : mutations) {
+    std::printf(" [%s]", m.to_string().c_str());
+  }
+  std::printf("\n");
+
+  std::size_t cycles = 0;
+  std::size_t index = 0;
+  long override_delta_sum = 0;
+  net::Bandwidth detour_before, detour_after, unresolved_before,
+      unresolved_after;
+  std::map<telemetry::InterfaceId, net::Bandwidth> peak_delta;
+  bool interfaces_checked = false;
+  while (auto snapshot = stream.next()) {
+    if (!interfaces_checked) {
+      // A typo'd interface id would otherwise report a plausible-looking
+      // zero delta; reject it against the recording instead.
+      for (const audit::Mutation& m : mutations) {
+        using Kind = audit::Mutation::Kind;
+        if (m.kind != Kind::kScaleCapacity && m.kind != Kind::kSetCapacity &&
+            m.kind != Kind::kDrain && m.kind != Kind::kUndrain) {
+          continue;
+        }
+        const bool known =
+            std::any_of(snapshot->interfaces.begin(),
+                        snapshot->interfaces.end(),
+                        [&](const audit::InterfaceRecord& iface) {
+                          return iface.id == m.interface;
+                        });
+        if (!known) {
+          std::fprintf(stderr,
+                       "eftool: interface %u is not in this recording\n",
+                       m.interface.value());
+          return 2;
+        }
+      }
+      interfaces_checked = true;
+    }
+    if (one_cycle && index++ != wanted) continue;
+    const audit::WhatIfReport report = audit::what_if(*snapshot, mutations);
+    ++cycles;
+    override_delta_sum += report.override_delta();
+    detour_before += report.detoured(report.baseline);
+    detour_after += report.detoured(report.mutated);
+    unresolved_before += report.baseline.unresolved_overload;
+    unresolved_after += report.mutated.unresolved_overload;
+    for (const auto& [id, delta] : report.load_delta()) {
+      if (std::abs(delta.bits_per_sec()) >
+          std::abs(peak_delta[id].bits_per_sec())) {
+        peak_delta[id] = delta;
+      }
+    }
+    if (one_cycle || args.has("verbose")) {
+      std::printf("  t=%.1fh: %s\n", snapshot->when.seconds_value() / 3600.0,
+                  report.to_string().c_str());
+    }
+  }
+  if (!stream.report_damage() && cycles == 0) return 2;
+  if (cycles == 0) {
+    std::fprintf(stderr, one_cycle ? "no such cycle in journal\n"
+                                   : "journal holds no snapshots\n");
+    return 2;
+  }
+  const double n = static_cast<double>(cycles);
+  std::printf("counterfactual allocation delta over %zu cycle(s):\n", cycles);
+  std::printf("  avg override delta: %+.2f per cycle\n",
+              static_cast<double>(override_delta_sum) / n);
+  std::printf("  avg detoured: %s -> %s per cycle\n",
+              (detour_before / n).to_string().c_str(),
+              (detour_after / n).to_string().c_str());
+  std::printf("  avg unresolved overload: %s -> %s per cycle\n",
+              (unresolved_before / n).to_string().c_str(),
+              (unresolved_after / n).to_string().c_str());
+  std::printf("  peak per-interface load delta:\n");
+  for (const auto& [id, delta] : peak_delta) {
+    std::printf("    iface %-4u %+.2fGbps\n", id.value(), delta.gbps_value());
+  }
+  return 0;
+}
+
 int usage() {
   std::fprintf(
       stderr,
@@ -309,7 +606,13 @@ int usage() {
       "  cycle      --pop K [--hour H] [--split]\n"
       "  run        --pop K [--hours H] [--no-controller] [--flaps R]\n"
       "  fleet      [--hours H] [--no-controller]\n"
-      "  mrt        --pop K --out FILE\n");
+      "  mrt        --pop K --out FILE\n"
+      "  record     --pop K [--hours H] [--sflow] [--flaps R] --out FILE\n"
+      "  replay     FILE [--verbose]\n"
+      "  whatif     FILE [--cycle N] --drain I | --undrain I |\n"
+      "             --cut-capacity I [--factor F] | --scale-demand F |\n"
+      "             --threshold T | --target T | --headroom H |\n"
+      "             --max-overrides N | --split\n");
   return 2;
 }
 
@@ -324,5 +627,12 @@ int main(int argc, char** argv) {
   if (args.command == "run") return cmd_run(args);
   if (args.command == "fleet") return cmd_fleet(args);
   if (args.command == "mrt") return cmd_mrt(args);
+  if (args.command == "record") return cmd_record(args);
+  if (args.command == "replay") return cmd_replay(args);
+  if (args.command == "whatif") return cmd_whatif(args);
+  if (!args.command.empty()) {
+    std::fprintf(stderr, "eftool: unknown command '%s'\n",
+                 args.command.c_str());
+  }
   return usage();
 }
