@@ -1,7 +1,9 @@
 // Global fleet: every PoP in the world runs its own Edge Fabric
 // controller — the paper's deployment shape (per-PoP controllers, no
 // global coordination). Prints a 24-hour summary per PoP and the fleet
-// aggregate, demonstrating that local decisions suffice.
+// aggregate, demonstrating that local decisions suffice. Runs the
+// PoPs concurrently (threads=0 → auto); the output is bitwise
+// identical to a serial run (see docs/PARALLELISM.md).
 #include <cstdio>
 #include <vector>
 
@@ -47,7 +49,7 @@ int main() {
         ++s.cycles_with_overrides;
       }
     }
-  });
+  }, sim::RunOptions{/*threads=*/0});
 
   analysis::TablePrinter table({"pop", "peak-demand", "busy-cycles",
                                 "max-overrides", "overload"},

@@ -1,7 +1,9 @@
 #!/usr/bin/env bash
 # Full verification: configure, build, run the test suite, run every
-# experiment bench. This is the command sequence CI runs and the one the
-# top-level docs reference.
+# experiment bench — then build and run the tier-1 suite a second time
+# under ThreadSanitizer, so data races in the runtime thread pool / the
+# parallel fleet executor are caught automatically. This is the command
+# sequence CI runs and the one the top-level docs reference.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -9,3 +11,14 @@ cmake -B build -G Ninja
 cmake --build build
 ctest --test-dir build --output-on-failure
 for b in build/bench/*; do "$b"; done
+
+# Second pass: tier-1 suite under TSan (-DEF_SANITIZE=thread). Skipped,
+# loudly, only where the toolchain cannot link libtsan.
+if echo 'int main(){}' | c++ -fsanitize=thread -x c++ - -o /dev/null \
+    2>/dev/null; then
+  cmake -B build-tsan -G Ninja -DEF_SANITIZE=thread
+  cmake --build build-tsan
+  ctest --test-dir build-tsan --output-on-failure
+else
+  echo "check.sh: toolchain lacks -fsanitize=thread; skipping TSan pass" >&2
+fi

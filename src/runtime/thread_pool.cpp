@@ -1,0 +1,92 @@
+#include "runtime/thread_pool.h"
+
+#include <algorithm>
+#include <atomic>
+
+namespace ef::runtime {
+
+unsigned ThreadPool::resolve_threads(unsigned requested) {
+  if (requested == 0) {
+    requested = std::max(1u, std::thread::hardware_concurrency());
+  }
+  return std::clamp(requested, 1u, kMaxThreads);
+}
+
+ThreadPool::ThreadPool(unsigned threads) {
+  const unsigned count = resolve_threads(threads);
+  workers_.reserve(count);
+  for (unsigned i = 0; i < count; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stopping_ = true;
+  }
+  work_available_.notify_all();
+  for (std::thread& worker : workers_) worker.join();
+}
+
+std::future<void> ThreadPool::submit(std::function<void()> task) {
+  std::packaged_task<void()> packaged(std::move(task));
+  std::future<void> future = packaged.get_future();
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    queue_.push_back(std::move(packaged));
+  }
+  work_available_.notify_one();
+  return future;
+}
+
+void ThreadPool::worker_loop() {
+  while (true) {
+    std::packaged_task<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      work_available_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stopping_ and drained
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    task();  // packaged_task captures exceptions into its future
+  }
+}
+
+void ThreadPool::parallel_for(std::size_t n,
+                              const std::function<void(std::size_t)>& body) {
+  if (n == 0) return;
+
+  // Shared by the runner tasks. Runners claim indices from `next` until it
+  // runs dry; the last runner to finish releases the caller. Heap-free and
+  // wait-free on the happy path beyond the queue push.
+  std::atomic<std::size_t> next{0};
+  std::atomic<bool> failed{false};
+  std::exception_ptr first_error;
+  std::mutex error_mutex;
+
+  auto run_indices = [&] {
+    for (std::size_t i = next.fetch_add(1, std::memory_order_relaxed); i < n;
+         i = next.fetch_add(1, std::memory_order_relaxed)) {
+      if (failed.load(std::memory_order_relaxed)) return;
+      try {
+        body(i);
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(error_mutex);
+        if (!first_error) first_error = std::current_exception();
+        failed.store(true, std::memory_order_relaxed);
+      }
+    }
+  };
+
+  const std::size_t runners = std::min<std::size_t>(size(), n);
+  std::vector<std::future<void>> joins;
+  joins.reserve(runners);
+  for (std::size_t r = 0; r < runners; ++r) joins.push_back(submit(run_indices));
+  for (std::future<void>& join : joins) join.get();  // the per-call barrier
+
+  if (first_error) std::rethrow_exception(first_error);
+}
+
+}  // namespace ef::runtime

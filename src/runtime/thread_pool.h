@@ -1,0 +1,73 @@
+// Fixed-size thread pool for embarrassingly-parallel fleet work.
+//
+// Deliberately work-stealing-free: one shared FIFO queue behind one mutex.
+// Every task the fleet submits is a whole per-PoP simulation step —
+// milliseconds of work — so queue contention is noise and a deque-per-worker
+// stealing scheme would buy nothing but nondeterministic memory traffic.
+// See docs/PARALLELISM.md for the full threading model.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <exception>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace ef::runtime {
+
+class ThreadPool {
+ public:
+  /// Hard ceiling on worker threads, explicit requests included. High
+  /// enough for any realistic fleet host, low enough that a typo'd
+  /// `--threads 100000` cannot exhaust the process.
+  static constexpr unsigned kMaxThreads = 256;
+
+  /// Maps a user-facing thread request to a worker count:
+  /// 0 (auto) -> std::thread::hardware_concurrency (at least 1);
+  /// explicit values are clamped to [1, kMaxThreads]. Explicit requests
+  /// above the hardware width are honoured (useful for oversubscription
+  /// experiments and for exercising the pool on small machines).
+  static unsigned resolve_threads(unsigned requested);
+
+  /// Spawns `resolve_threads(threads)` workers. Workers live until
+  /// destruction; the pool is reusable across any number of submit /
+  /// parallel_for rounds.
+  explicit ThreadPool(unsigned threads = 0);
+
+  /// Drains: already-queued tasks still run, then workers join.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  unsigned size() const { return static_cast<unsigned>(workers_.size()); }
+
+  /// Enqueues one task. The future resolves when the task finishes and
+  /// carries any exception it threw.
+  std::future<void> submit(std::function<void()> task);
+
+  /// Runs body(0) .. body(n-1) on the workers and blocks until every call
+  /// has finished — the caller returns only after the join barrier, so all
+  /// writes made by the bodies happen-before the return. Indices are
+  /// claimed dynamically (atomic counter), so completion order is
+  /// unspecified; bodies must not depend on it. If a body throws, remaining
+  /// unclaimed indices are skipped and the first captured exception is
+  /// rethrown here after the barrier.
+  void parallel_for(std::size_t n,
+                    const std::function<void(std::size_t)>& body);
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::mutex mutex_;
+  std::condition_variable work_available_;
+  std::deque<std::packaged_task<void()>> queue_;
+  bool stopping_ = false;
+};
+
+}  // namespace ef::runtime

@@ -10,27 +10,60 @@ Fleet::Fleet(const topology::World& world, SimulationConfig config) {
     member.simulation = std::make_unique<Simulation>(*member.pop, config);
     members_.push_back(std::move(member));
   }
+  advanced_.assign(members_.size(), 0);
 }
 
 bool Fleet::advance() {
   bool any = false;
-  for (Member& member : members_) {
-    any = member.simulation->advance() || any;
+  for (std::size_t i = 0; i < members_.size(); ++i) {
+    advanced_[i] = members_[i].simulation->advance() ? 1 : 0;
+    any = any || advanced_[i] != 0;
   }
   return any;
 }
 
+bool Fleet::advance(runtime::ThreadPool& pool) {
+  // Each worker writes only its own member's simulation state and its own
+  // advanced_ slot; the World is immutable; parallel_for's join barrier
+  // publishes every write before we read the slots below.
+  pool.parallel_for(members_.size(), [this](std::size_t i) {
+    advanced_[i] = members_[i].simulation->advance() ? 1 : 0;
+  });
+  for (std::uint8_t flag : advanced_) {
+    if (flag) return true;
+  }
+  return false;
+}
+
 void Fleet::run(
-    const std::function<void(std::size_t, const StepRecord&)>& observer) {
-  while (true) {
-    bool any = false;
-    for (std::size_t i = 0; i < members_.size(); ++i) {
-      if (members_[i].simulation->advance()) {
-        observer(i, members_[i].simulation->last());
-        any = true;
+    const std::function<void(std::size_t, const StepRecord&)>& observer,
+    RunOptions options) {
+  const unsigned threads = runtime::ThreadPool::resolve_threads(
+      options.threads == 0 ? 0 : options.threads);
+
+  if (options.threads == 1 || threads == 1) {
+    // Serial path: no pool. Advancing member i and observing it before
+    // member i+1 advances is indistinguishable from barrier order because
+    // members share nothing mutable and observers run between steps.
+    while (true) {
+      bool any = false;
+      for (std::size_t i = 0; i < members_.size(); ++i) {
+        advanced_[i] = members_[i].simulation->advance() ? 1 : 0;
+        if (advanced_[i]) {
+          observer(i, members_[i].simulation->last());
+          any = true;
+        }
       }
+      if (!any) return;
     }
-    if (!any) return;
+  }
+
+  runtime::ThreadPool pool(threads);
+  while (advance(pool)) {
+    // Post-barrier: deterministic PoP-index order, calling thread only.
+    for (std::size_t i = 0; i < members_.size(); ++i) {
+      if (advanced_[i]) observer(i, members_[i].simulation->last());
+    }
   }
 }
 

@@ -1,15 +1,31 @@
-// Fleet: every PoP in the world running its own Edge Fabric controller,
-// advanced in lockstep — the deployment shape from the paper (a
-// controller per PoP, dozens of PoPs, no cross-PoP coordination needed).
+// Fleet: every PoP in the world running its own Edge Fabric controller —
+// the deployment shape from the paper (a controller per PoP, dozens of
+// PoPs, no cross-PoP coordination needed). Because the PoPs share nothing
+// mutable, a step of the whole fleet is embarrassingly parallel: each
+// PoP's cycle runs on a runtime::ThreadPool worker, a per-step join
+// barrier closes the step, and observers then fire in PoP-index order so
+// output stays bitwise-identical to a serial run. The threading model is
+// specified in docs/PARALLELISM.md.
 #pragma once
 
+#include <cstdint>
 #include <functional>
 #include <memory>
 #include <vector>
 
+#include "runtime/thread_pool.h"
 #include "sim/simulation.h"
 
 namespace ef::sim {
+
+/// Options for Fleet::run.
+struct RunOptions {
+  /// Worker threads for per-PoP advances. 0 = auto (one per hardware
+  /// thread, via runtime::ThreadPool::resolve_threads); 1 = the serial
+  /// path (no pool, no barrier — exactly the historical behaviour).
+  /// Any N produces bitwise-identical observer output and journals.
+  unsigned threads = 1;
+};
 
 class Fleet {
  public:
@@ -18,13 +34,38 @@ class Fleet {
   /// noise streams via its index).
   Fleet(const topology::World& world, SimulationConfig config);
 
-  /// Advances every PoP by one step. Returns false once all simulations
-  /// have exhausted their duration.
+  /// Advances every PoP by one step, serially in index order. Returns
+  /// false once all simulations have exhausted their duration.
+  ///
+  /// Unlike the historical strictly-lockstep loop this is the *serial
+  /// special case* of the step barrier: the parallel overload runs the
+  /// same per-PoP advances on a pool and joins before returning, and the
+  /// two are state-for-state interchangeable because members share no
+  /// mutable state (see docs/PARALLELISM.md).
   bool advance();
 
+  /// Advances every PoP by one step concurrently on `pool`. Returns after
+  /// the join barrier: every member's step is complete and its StepRecord
+  /// slot (see last_records via Simulation::last) is readable from the
+  /// calling thread. Returns false once all simulations are exhausted.
+  bool advance(runtime::ThreadPool& pool);
+
+  /// True if member `index` advanced during the most recent advance()
+  /// (members whose duration is exhausted stop advancing first when
+  /// durations differ).
+  bool advanced(std::size_t index) const { return advanced_[index] != 0; }
+
   /// Runs to completion; `observer(pop_index, record)` per PoP per step.
-  void run(const std::function<void(std::size_t, const StepRecord&)>&
-               observer);
+  /// With options.threads == 1 (the default) steps run serially; with
+  /// threads != 1 each step's per-PoP cycles run concurrently on a
+  /// fixed-size pool. In both modes the observer is invoked on the calling
+  /// thread only, after the step's join barrier, in ascending PoP-index
+  /// order — so journals, tables, and replay output are bitwise-identical
+  /// across thread counts. Observers may freely touch the PoP/Simulation
+  /// they were invoked for; touching *other* members from the observer is
+  /// allowed too (no member is mid-step while observers run).
+  void run(const std::function<void(std::size_t, const StepRecord&)>& observer,
+           RunOptions options = {});
 
   std::size_t size() const { return members_.size(); }
   topology::Pop& pop(std::size_t index) { return *members_[index].pop; }
@@ -41,6 +82,9 @@ class Fleet {
     std::unique_ptr<Simulation> simulation;
   };
   std::vector<Member> members_;
+  /// Pre-sized slot vector, one flag per member, written by at most one
+  /// worker per step and read only after the join barrier.
+  std::vector<std::uint8_t> advanced_;
 };
 
 }  // namespace ef::sim

@@ -9,18 +9,37 @@ namespace ef::topology {
 
 namespace {
 
+// Address plan, unique per (pop, peering) fleet-wide:
+//  * pops 0..15 live in 172.16/12 — 172.(16+pop).0.peering, exactly the
+//    historical plan, so every seeded world that fit it keeps bitwise-
+//    identical addresses (and journal/bench output);
+//  * pops 16..4095 overflow into 198.0.0.0/8 as 198.<pop:12><peering:12>,
+//    which nothing else uses (clients sit in 100/8, BMP peer ids in 10/8),
+//    unlocking the 64–512-PoP fleets bench_m12_fleet_parallel runs.
 net::IpAddr neighbor_address(std::size_t pop, std::size_t peering) {
-  // 172.(16+pop).0.peering — unique per (pop, peering) for peering < 256.
-  EF_CHECK(peering < 256 && pop < 16, "address plan exceeded");
-  return net::IpAddr::v4(0xac000000u |
-                         ((16u + static_cast<std::uint32_t>(pop)) << 16) |
+  if (pop < 16) {
+    EF_CHECK(peering < 256, "address plan exceeded");
+    return net::IpAddr::v4(0xac000000u |
+                           ((16u + static_cast<std::uint32_t>(pop)) << 16) |
+                           static_cast<std::uint32_t>(peering));
+  }
+  EF_CHECK(pop < 4096 && peering < 4096, "address plan exceeded");
+  return net::IpAddr::v4(0xc6000000u | (static_cast<std::uint32_t>(pop) << 12) |
                          static_cast<std::uint32_t>(peering));
 }
 
+// Router loopbacks: 172.(16+pop).128.router for the first 16 pops,
+// 199.<pop:16>.<router:8> beyond (disjoint from every other range above).
 net::IpAddr router_address(std::size_t pop, int router) {
-  return net::IpAddr::v4(0xac000000u |
-                         ((16u + static_cast<std::uint32_t>(pop)) << 16) |
-                         (128u << 8) | static_cast<std::uint32_t>(router));
+  if (pop < 16) {
+    return net::IpAddr::v4(0xac000000u |
+                           ((16u + static_cast<std::uint32_t>(pop)) << 16) |
+                           (128u << 8) | static_cast<std::uint32_t>(router));
+  }
+  EF_CHECK(pop < 65536 && router >= 0 && router < 256,
+           "address plan exceeded");
+  return net::IpAddr::v4(0xc7000000u | (static_cast<std::uint32_t>(pop) << 8) |
+                         static_cast<std::uint32_t>(router));
 }
 
 }  // namespace

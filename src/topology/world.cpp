@@ -120,7 +120,10 @@ World World::generate(const WorldConfig& config) {
   world.pops_.resize(P);
   for (std::size_t p = 0; p < P; ++p) {
     PopDef& pop = world.pops_[p];
-    pop.name = std::string("pop-") + static_cast<char>('a' + p);
+    // Single letters for the paper-scale worlds (stable names in every
+    // existing exhibit); numeric past 'z' for the large parallel fleets.
+    pop.name = p < 26 ? std::string("pop-") + static_cast<char>('a' + p)
+                      : "pop-" + std::to_string(p);
     pop.num_routers = config.routers_per_pop;
     pop.peak_gbps = config.pop_peak_gbps;
 

@@ -5,13 +5,19 @@
 //   eftool rib        --pop K [--prefix P] [--limit N]
 //   eftool cycle      --pop K [--hour H] [--split]
 //   eftool run        --pop K [--hours H] [--no-controller] [--flaps R]
+//   eftool fleet      [--hours H] [--no-controller] [--threads N]
 //   eftool mrt        --pop K --out FILE
 //   eftool record     --pop K [--hours H] [--sflow] [--flaps R] --out FILE
+//   eftool record     --fleet [--hours H] [--threads N] --out FILE
 //   eftool replay     FILE [--verbose]
 //   eftool whatif     FILE --drain I | --scale-demand F | ... [--cycle N]
 //
 // Everything is generated/deterministic: the same flags print the same
-// bytes, which makes eftool output diff-able in change reviews.
+// bytes, which makes eftool output diff-able in change reviews. That
+// includes --threads: per-PoP work runs on a pool, but observers fire in
+// PoP-index order after a per-step barrier, so any thread count prints
+// the same bytes and journals (docs/PARALLELISM.md). See
+// docs/OPERATIONS.md for the full operator handbook.
 #include <algorithm>
 #include <cmath>
 #include <cstdio>
@@ -19,6 +25,7 @@
 #include <cstring>
 #include <fstream>
 #include <map>
+#include <memory>
 #include <optional>
 #include <string>
 #include <vector>
@@ -97,6 +104,16 @@ Args parse_args(int argc, char** argv) {
     }
   }
   return args;
+}
+
+/// Parses --threads into RunOptions (0 = auto, 1 = serial); rejects
+/// negatives.
+sim::RunOptions run_options(const Args& args) {
+  const long threads = args.num("threads", 0);
+  if (threads < 0) die_bad_value("threads", args.get("threads", ""));
+  sim::RunOptions options;
+  options.threads = static_cast<unsigned>(threads);
+  return options;
 }
 
 topology::World make_world(const Args& args) {
@@ -286,14 +303,16 @@ int cmd_fleet(const Args& args) {
   std::vector<net::Bandwidth> overload(fleet.size());
   std::vector<net::Bandwidth> peak(fleet.size());
   std::vector<std::size_t> max_overrides(fleet.size(), 0);
-  fleet.run([&](std::size_t p, const sim::StepRecord& record) {
-    overload[p] += record.overload;
-    peak[p] = std::max(peak[p], record.total_demand);
-    if (record.controller) {
-      max_overrides[p] =
-          std::max(max_overrides[p], record.controller->overrides_active);
-    }
-  });
+  fleet.run(
+      [&](std::size_t p, const sim::StepRecord& record) {
+        overload[p] += record.overload;
+        peak[p] = std::max(peak[p], record.total_demand);
+        if (record.controller) {
+          max_overrides[p] =
+              std::max(max_overrides[p], record.controller->overrides_active);
+        }
+      },
+      run_options(args));
 
   analysis::TablePrinter table(
       {"pop", "peak-demand", "max-overrides", "overload-sum"}, {8, 13, 14, 14});
@@ -337,12 +356,80 @@ int cmd_mrt(const Args& args) {
   return 0;
 }
 
+/// Journal path for one PoP of a fleet recording: `run.efj` -> `run.pop3.efj`
+/// (suffix appended when the name has no .efj extension).
+std::string pop_journal_path(const std::string& base, std::size_t pop) {
+  const std::string ext = ".efj";
+  const std::string suffix = ".pop" + std::to_string(pop) + ext;
+  if (base.size() >= ext.size() &&
+      base.compare(base.size() - ext.size(), ext.size(), ext) == 0) {
+    return base.substr(0, base.size() - ext.size()) + suffix;
+  }
+  return base + suffix;
+}
+
+/// `record --fleet`: journal every PoP's controller cycles in one run.
+/// Each PoP appends to its own journal file, so worker threads never share
+/// a writer: snapshots of one PoP are totally ordered by the per-step
+/// barrier, and the resulting files are bitwise-identical for any
+/// --threads value.
+int cmd_record_fleet(const Args& args, const std::string& path) {
+  const topology::World world = make_world(args);
+
+  sim::SimulationConfig config;
+  config.duration = net::SimTime::hours(args.real("hours", 24));
+  config.step = net::SimTime::seconds(60);
+  config.controller.cycle_period = net::SimTime::seconds(60);
+  config.use_sflow_estimate = args.has("sflow");
+  config.peer_flap_rate_per_hour = args.real("flaps", 0);
+
+  sim::Fleet fleet(world, config);
+  std::vector<std::unique_ptr<audit::JournalWriter>> writers;
+  writers.reserve(fleet.size());
+  for (std::size_t p = 0; p < fleet.size(); ++p) {
+    auto writer =
+        std::make_unique<audit::JournalWriter>(pop_journal_path(path, p));
+    if (!writer->ok()) {
+      std::fprintf(stderr, "cannot open %s\n",
+                   pop_journal_path(path, p).c_str());
+      return 2;
+    }
+    fleet.simulation(p).set_cycle_observer(
+        [w = writer.get()](const core::Controller::CycleRecord& record) {
+          w->append(audit::capture_cycle(record).serialize());
+        });
+    writers.push_back(std::move(writer));
+  }
+
+  fleet.run([](std::size_t, const sim::StepRecord&) {}, run_options(args));
+
+  std::size_t records = 0;
+  std::size_t bytes = 0;
+  for (std::size_t p = 0; p < fleet.size(); ++p) {
+    writers[p]->flush();
+    if (!writers[p]->ok()) {
+      std::fprintf(stderr, "write failed on %s\n",
+                   pop_journal_path(path, p).c_str());
+      return 2;
+    }
+    records += writers[p]->records_written();
+    bytes += writers[p]->bytes_written();
+    std::printf("  %-8s %zu cycle snapshot(s) -> %s\n",
+                world.pops()[p].name.c_str(), writers[p]->records_written(),
+                pop_journal_path(path, p).c_str());
+  }
+  std::printf("recorded %zu cycle snapshot(s) (%zu bytes) across %zu PoPs\n",
+              records, bytes, fleet.size());
+  return 0;
+}
+
 int cmd_record(const Args& args) {
   const std::string path = args.get("out", "");
   if (path.empty()) {
     std::fprintf(stderr, "record requires --out FILE\n");
     return 2;
   }
+  if (args.has("fleet")) return cmd_record_fleet(args, path);
   const topology::World world = make_world(args);
   const std::size_t p = static_cast<std::size_t>(args.num("pop", 0));
   topology::Pop pop(world, p);
@@ -605,9 +692,13 @@ int usage() {
       "  rib        --pop K [--prefix P] [--limit N]\n"
       "  cycle      --pop K [--hour H] [--split]\n"
       "  run        --pop K [--hours H] [--no-controller] [--flaps R]\n"
-      "  fleet      [--hours H] [--no-controller]\n"
+      "  fleet      [--hours H] [--no-controller] [--threads N]\n"
+      "             (--threads: 0 = one per hardware thread, 1 = serial;\n"
+      "              output is identical for every N)\n"
       "  mrt        --pop K --out FILE\n"
       "  record     --pop K [--hours H] [--sflow] [--flaps R] --out FILE\n"
+      "  record     --fleet [--hours H] [--threads N] --out FILE\n"
+      "             (one journal per PoP: FILE.popK.efj)\n"
       "  replay     FILE [--verbose]\n"
       "  whatif     FILE [--cycle N] --drain I | --undrain I |\n"
       "             --cut-capacity I [--factor F] | --scale-demand F |\n"
