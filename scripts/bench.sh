@@ -1,0 +1,51 @@
+#!/usr/bin/env bash
+# Allocator performance record: builds Release (its own build dir, so a
+# developer's default RelWithDebInfo tree is untouched), runs the two
+# allocator benchmarks — bench_m11 (allocator scale) and bench_m13
+# (allocation fast path vs the seed allocator) — in google-benchmark JSON
+# mode, and merges both reports into BENCH_alloc.json at the repo root.
+# bench_m13 cross-checks fast-path decisions against the seed allocator
+# before timing, so a recorded speedup can never come from a behaviour
+# change. EXPERIMENTS.md (M13) documents the methodology.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cmake -B build-bench -G Ninja -DCMAKE_BUILD_TYPE=Release
+cmake --build build-bench --target bench_m11_allocator_scale \
+  bench_m13_alloc_fastpath
+
+./build-bench/bench/bench_m11_allocator_scale \
+  --benchmark_format=json >/tmp/bench_m11.json
+./build-bench/bench/bench_m13_alloc_fastpath \
+  --benchmark_format=json >/tmp/bench_m13.json
+
+python3 - <<'EOF'
+import json
+
+merged = {}
+for name in ("bench_m11", "bench_m13"):
+    with open(f"/tmp/{name}.json") as f:
+        report = json.load(f)
+    merged.setdefault("context", report.get("context", {}))
+    merged.setdefault("benchmarks", []).extend(report.get("benchmarks", []))
+
+# Warm-cycle speedup per (prefixes, routes) pair: the acceptance number.
+times = {
+    b["name"]: b["real_time"]
+    for b in merged["benchmarks"]
+    if b.get("run_type", "iteration") == "iteration"
+}
+speedups = {}
+for name, t in times.items():
+    if name.startswith("BM_SeedAllocatorWarmCycle/"):
+        args = name.split("/", 1)[1]
+        fast = times.get(f"BM_FastPathWarmCycle/{args}")
+        if fast:
+            speedups[args] = round(t / fast, 2)
+merged["warm_cycle_speedup"] = speedups
+
+with open("BENCH_alloc.json", "w") as f:
+    json.dump(merged, f, indent=2)
+    f.write("\n")
+print("BENCH_alloc.json written; warm-cycle speedups:", speedups)
+EOF

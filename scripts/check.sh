@@ -11,6 +11,8 @@ cmake -B build -G Ninja
 cmake --build build
 ctest --test-dir build --output-on-failure
 for b in build/bench/*; do "$b"; done
+# Allocator perf numbers (BENCH_alloc.json) are recorded separately by
+# scripts/bench.sh — run it after allocator changes to refresh the record.
 
 # Second pass: tier-1 suite under TSan (-DEF_SANITIZE=thread). Skipped,
 # loudly, only where the toolchain cannot link libtsan.

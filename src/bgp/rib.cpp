@@ -1,8 +1,33 @@
 #include "bgp/rib.h"
 
 #include <algorithm>
+#include <atomic>
 
 namespace ef::bgp {
+
+std::uint64_t Rib::next_instance_id() {
+  static std::atomic<std::uint64_t> counter{1};
+  return counter.fetch_add(1, std::memory_order_relaxed);
+}
+
+Rib::Rib(const Rib& other)
+    : config_(other.config_),
+      entries_(other.entries_),
+      route_count_(other.route_count_),
+      epoch_(other.epoch_),
+      rank_stats_(other.rank_stats_) {}
+
+Rib& Rib::operator=(const Rib& other) {
+  if (this != &other) {
+    config_ = other.config_;
+    entries_ = other.entries_;
+    route_count_ = other.route_count_;
+    epoch_ = other.epoch_;
+    rank_stats_ = other.rank_stats_;
+    instance_id_ = next_instance_id();  // storage differs: old views die
+  }
+  return *this;
+}
 
 void Rib::reelect(Entry& entry) {
   const DecisionResult result = select_best(entry.routes, config_);
@@ -27,6 +52,8 @@ RibChange Rib::announce(const Route& route) {
     entry.routes.push_back(route);
     ++route_count_;
   }
+  ++entry.epoch;
+  ++epoch_;
   reelect(entry);
 
   RibChange change;
@@ -51,6 +78,8 @@ RibChange Rib::withdraw(PeerId peer, const net::Prefix& prefix) {
       static_cast<std::size_t>(it - entry.routes.begin()) == entry.best;
   entry.routes.erase(it);
   --route_count_;
+  ++entry.epoch;
+  ++epoch_;
 
   if (entry.routes.empty()) {
     entries_.erase(map_it);
@@ -80,6 +109,8 @@ std::vector<net::Prefix> Rib::remove_peer(PeerId peer) {
             entry.best;
     entry.routes.erase(route_it);
     --route_count_;
+    ++entry.epoch;
+    ++epoch_;
     if (entry.routes.empty()) {
       affected.push_back(it->first);
       it = entries_.erase(it);
@@ -107,13 +138,37 @@ std::span<const Route> Rib::candidates(const net::Prefix& prefix) const {
 }
 
 std::vector<const Route*> Rib::ranked(const net::Prefix& prefix) const {
+  // Single ranking code path: ranked() is the pointer-materialized view of
+  // the same cached order the allocator's fast path consumes.
+  const RankedView view = ranked_view(prefix);
   std::vector<const Route*> out;
-  auto it = entries_.find(prefix);
-  if (it == entries_.end()) return out;
-  const auto order = rank_routes(it->second.routes, config_);
-  out.reserve(order.size());
-  for (std::size_t index : order) out.push_back(&it->second.routes[index]);
+  out.reserve(view.order.size());
+  for (std::size_t index : view.order) out.push_back(&view.routes[index]);
   return out;
+}
+
+std::span<const std::size_t> Rib::ranked_cached(
+    const net::Prefix& prefix) const {
+  return ranked_view(prefix).order;
+}
+
+Rib::RankedView Rib::ranked_view(const net::Prefix& prefix) const {
+  auto it = entries_.find(prefix);
+  if (it == entries_.end()) return {};
+  const Entry& entry = it->second;
+  if (entry.ranked_epoch == entry.epoch) {
+    ++rank_stats_.hits;
+  } else {
+    ++rank_stats_.misses;
+    entry.ranked_order = rank_routes(entry.routes, config_);
+    entry.ranked_epoch = entry.epoch;
+  }
+  return {entry.routes, entry.ranked_order};
+}
+
+std::uint64_t Rib::prefix_epoch(const net::Prefix& prefix) const {
+  auto it = entries_.find(prefix);
+  return it == entries_.end() ? 0 : it->second.epoch;
 }
 
 std::optional<DecisionStep> Rib::deciding_step(

@@ -6,6 +6,7 @@
 // which is exactly why the paper deploys BMP instead of a best-only feed.
 #pragma once
 
+#include <cstdint>
 #include <functional>
 #include <optional>
 #include <span>
@@ -47,6 +48,59 @@ class Rib {
   /// Candidates ranked best-first by the decision process.
   std::vector<const Route*> ranked(const net::Prefix& prefix) const;
 
+  /// Candidates ranked best-first, as indices into candidates(prefix).
+  /// Served from a per-prefix cache that is recomputed only when the
+  /// prefix's routes changed since the last call (epoch check), so the
+  /// aggregate ranking cost is proportional to RIB churn, not RIB size.
+  /// The span stays valid until the next mutation of this prefix. Not
+  /// safe for concurrent calls on the same Rib (the cache fill mutates).
+  std::span<const std::size_t> ranked_cached(const net::Prefix& prefix) const;
+
+  /// Candidates plus their cached ranking in one lookup — what the
+  /// allocator's hot loop uses instead of candidates() + ranked_cached()
+  /// back to back. Same cache, same lifetime rules as ranked_cached().
+  struct RankedView {
+    std::span<const Route> routes;
+    std::span<const std::size_t> order;  // indices into `routes`
+  };
+  RankedView ranked_view(const net::Prefix& prefix) const;
+
+  /// Monotonic per-prefix mutation counter: moves on every announce /
+  /// withdraw / remove_peer that touches the prefix. 0 for unknown
+  /// prefixes; starts at 1 on first announce.
+  std::uint64_t prefix_epoch(const net::Prefix& prefix) const;
+
+  /// Whole-RIB mutation counter: moves whenever *any* prefix's epoch
+  /// moves. Consumers holding RankedViews across calls (the allocator's
+  /// workspace) may keep them only while (instance_id(), epoch()) is
+  /// unchanged — any mutation may reallocate route storage.
+  std::uint64_t epoch() const { return epoch_; }
+
+  /// Process-unique id for this Rib. Copies get a fresh id (their route
+  /// storage is distinct, so views into the source must not be carried
+  /// over); moves keep it (the nodes move wholesale, views stay valid).
+  std::uint64_t instance_id() const { return instance_id_; }
+
+  Rib(const Rib& other);
+  Rib& operator=(const Rib& other);
+  Rib(Rib&&) = default;
+  Rib& operator=(Rib&&) = default;
+
+  /// Aggregate ranked_cached() hit/miss counters since construction (or
+  /// the last reset); the controller reports the per-cycle hit rate.
+  struct RankCacheStats {
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+  };
+  const RankCacheStats& rank_cache_stats() const { return rank_stats_; }
+  void reset_rank_cache_stats() const { rank_stats_ = {}; }
+
+  /// Counts `n` ranking-cache hits served without a per-prefix lookup —
+  /// the allocator calls this when its epoch-guarded view reuse skips
+  /// ranked_view() entirely, so the reported hit rate still reflects how
+  /// many rankings were served from cache.
+  void credit_rank_cache_hits(std::uint64_t n) const { rank_stats_.hits += n; }
+
   /// Rule that decided the current best for the prefix.
   std::optional<DecisionStep> deciding_step(const net::Prefix& prefix) const;
 
@@ -68,13 +122,27 @@ class Rib {
     std::vector<Route> routes;
     std::size_t best = DecisionResult::npos;
     DecisionStep step = DecisionStep::kNoChoice;
+    /// Bumped on every mutation of `routes`; lets consumers (and the
+    /// ranking cache below) detect churn without diffing routes.
+    std::uint64_t epoch = 1;
+    /// Ranking cache: `ranked_order` is rank_routes(routes) computed at
+    /// `ranked_epoch`; stale whenever ranked_epoch != epoch (0 = never
+    /// computed). Mutable because the cache is an optimization, never an
+    /// input — filling it on a const Rib does not change any decision.
+    mutable std::uint64_t ranked_epoch = 0;
+    mutable std::vector<std::size_t> ranked_order;
   };
 
   void reelect(Entry& entry);
 
+  static std::uint64_t next_instance_id();
+
   DecisionConfig config_;
   std::unordered_map<net::Prefix, Entry> entries_;
   std::size_t route_count_ = 0;
+  std::uint64_t epoch_ = 0;
+  std::uint64_t instance_id_ = next_instance_id();
+  mutable RankCacheStats rank_stats_;
 };
 
 }  // namespace ef::bgp

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <functional>
+#include <unordered_map>
+#include <utility>
 
 #include "net/log.h"
 
@@ -24,111 +26,317 @@ int target_tier(bgp::PeerType type) {
   }
 }
 
-/// A prefix pinned (by BGP preference) to a specific interface, together
-/// with its ranked non-controller candidate routes.
+/// A prefix pinned (by BGP preference) to a specific interface. The
+/// ranked non-controller alternates live in the workspace's shared arena
+/// (offset + count) so per-prefix heap allocations disappear from the
+/// warm cycle.
 struct PinnedPrefix {
   net::Prefix prefix;
   net::Bandwidth rate;
   const bgp::Route* best = nullptr;
-  std::vector<const bgp::Route*> alternates;  // ranked, excluding best
-  int best_alternate_tier = 9;                // tier of first usable alt
+  std::uint32_t alt_begin = 0;  // into Workspace::Impl::alternates
+  std::uint32_t alt_count = 0;
+  int best_alternate_tier = 9;  // tier of first usable alt
 };
 
 }  // namespace
+
+/// Scratch reused across cycles. Every field is wiped (capacity kept) at
+/// the start of allocate(); nothing here ever feeds back into a decision.
+struct Allocator::Workspace::Impl {
+  /// Demand in ascending-prefix order. When the demand prefix set is
+  /// unchanged since the previous cycle (the common case: rates move,
+  /// prefixes do not) the sort is skipped and only the rates refresh.
+  std::vector<std::pair<net::Prefix, net::Bandwidth>> demand_sorted;
+  bool demand_primed = false;
+
+  /// Demand traversal mapping: the j-th prefix visited by
+  /// demand.for_each() lives at demand_sorted[hash_order[j]]. Valid only
+  /// for the exact (instance_id, membership_epoch) it was built against —
+  /// then the per-cycle rate refresh is one sequential walk of the demand
+  /// table with zero hash lookups.
+  std::vector<std::uint32_t> hash_order;
+  bool hash_order_valid = false;
+  std::uint64_t demand_instance = 0;
+  std::uint64_t demand_set_epoch = 0;
+
+  /// The (instance_id, epoch) pair of the Rib the arena below was built
+  /// against. While the demand order was reused AND the very same Rib is
+  /// untouched, the filtered arena is exactly what re-ranking and
+  /// re-filtering would produce, so warm cycles do zero RIB lookups.
+  /// Any mismatch rebuilds from ranked_view() per prefix.
+  std::uint64_t rib_instance = 0;
+  std::uint64_t rib_epoch = 0;
+
+  /// Flat per-interface tables, addressed by
+  /// InterfaceRegistry::index_of (ascending-id dense order).
+  std::vector<net::Bandwidth> projected;
+  std::vector<net::Bandwidth> final_load;
+  std::vector<net::Bandwidth> usable;  // usable_capacity snapshot
+  std::vector<std::vector<PinnedPrefix>> pinned;
+
+  /// Shared arena of ranked non-controller route pointers; PinnedPrefix
+  /// slices into it by offset so arena growth never invalidates anything.
+  /// Rebuilt together with `views` (the filtering depends only on the
+  /// routes, never on rates), so warm cycles skip the per-prefix filter
+  /// walk entirely. `filt_begin/filt_count` give each demand entry's
+  /// slice (best route first); `alt_slot` is the parallel egress-slot
+  /// index of every arena route, resolved once at rebuild so warm-path
+  /// egress lookups are plain array reads, not hash probes.
+  std::vector<const bgp::Route*> alternates;
+  std::vector<std::uint32_t> filt_begin;
+  std::vector<std::uint32_t> filt_count;
+  std::vector<std::uint32_t> alt_slot;
+
+  /// Precompiled egress table: each distinct NEXT_HOP is resolved through
+  /// the EgressResolver once per cycle; hot-path lookups are one hash
+  /// probe (or, for cached best routes, a plain index). `usable_iface` is
+  /// false when the resolver returned nullopt or the interface is unknown
+  /// to the registry. `exemplar` is one route carrying this NEXT_HOP,
+  /// used to re-run the resolver at the next cycle start when the table
+  /// survives (valid while the Rib is unchanged, which is exactly when
+  /// the table survives).
+  struct EgressSlot {
+    EgressView view;
+    const bgp::Route* exemplar = nullptr;
+    std::uint32_t iface = 0;  // dense interface index
+    bool usable_iface = false;
+  };
+  std::vector<EgressSlot> slots;
+  std::unordered_map<net::IpAddr, std::uint32_t> slot_of;
+
+};
+
+Allocator::Workspace::Workspace() : impl_(std::make_unique<Impl>()) {}
+Allocator::Workspace::~Workspace() = default;
+Allocator::Workspace::Workspace(Workspace&&) noexcept = default;
+Allocator::Workspace& Allocator::Workspace::operator=(Workspace&&) noexcept =
+    default;
 
 AllocationResult Allocator::allocate(
     const bgp::Rib& rib, const telemetry::DemandMatrix& demand,
     const telemetry::InterfaceRegistry& interfaces,
     const EgressResolver& resolve) const {
+  Workspace workspace;
+  return allocate(rib, demand, interfaces, resolve, workspace);
+}
+
+AllocationResult Allocator::allocate(
+    const bgp::Rib& rib, const telemetry::DemandMatrix& demand,
+    const telemetry::InterfaceRegistry& interfaces,
+    const EgressResolver& resolve, Workspace& workspace) const {
+  Workspace::Impl& ws = *workspace.impl_;
+  const std::size_t iface_count = interfaces.size();
   AllocationResult result;
 
-  // Start every known interface at zero so callers see all of them in the
-  // projection, not only the loaded ones.
-  interfaces.for_each([&](telemetry::InterfaceId id,
-                          const telemetry::InterfaceState&) {
-    result.projected_load[id] = net::Bandwidth::zero();
-  });
+  // Reset the per-cycle scratch, keeping capacity. (The egress table is
+  // refreshed further down, once it is known whether it can survive.)
+  ws.projected.assign(iface_count, net::Bandwidth::zero());
+  ws.final_load.assign(iface_count, net::Bandwidth::zero());
+  ws.usable.resize(iface_count);
+  if (ws.pinned.size() != iface_count) ws.pinned.resize(iface_count);
+  for (auto& pool : ws.pinned) pool.clear();
+  for (std::size_t i = 0; i < iface_count; ++i) {
+    ws.usable[i] = interfaces.usable_capacity(interfaces.id_at(i));
+  }
+
+  // (Re)runs the resolver for one egress slot. Called for every slot
+  // every cycle — resolution can change between cycles (sessions flap) —
+  // so within a cycle the table is immutable and the resolver is invoked
+  // at most once per distinct NEXT_HOP.
+  const auto fill_slot = [&](Workspace::Impl::EgressSlot& slot,
+                             const bgp::Route& route) {
+    slot.usable_iface = false;
+    if (const auto view = resolve(route);
+        view && interfaces.contains(view->interface)) {
+      slot.view = *view;
+      slot.iface =
+          static_cast<std::uint32_t>(interfaces.index_of(view->interface));
+      slot.usable_iface = true;
+    }
+  };
+
+  // Resolve a route's egress through the memo table, by NEXT_HOP.
+  const auto resolve_slot = [&](const bgp::Route& route) -> std::uint32_t {
+    auto [it, inserted] = ws.slot_of.try_emplace(
+        route.attrs.next_hop, static_cast<std::uint32_t>(ws.slots.size()));
+    if (inserted) {
+      Workspace::Impl::EgressSlot& slot = ws.slots.emplace_back();
+      slot.exemplar = &route;
+      fill_slot(slot, route);
+    }
+    return it->second;
+  };
 
   // --- Phase 1: projection --------------------------------------------
   // Route all demand along BGP-preferred paths (ignoring our own injected
   // routes) and remember, per interface, which prefixes landed there.
-  std::map<telemetry::InterfaceId, std::vector<PinnedPrefix>> by_interface;
-
+  //
   // Walk demand in prefix order, not hash order: float accumulation is not
   // associative, so the allocation is only a bitwise-deterministic function
   // of its inputs (what the audit replay engine verifies) if the iteration
-  // order is a function of the inputs too.
-  std::vector<std::pair<net::Prefix, net::Bandwidth>> demand_sorted;
-  demand_sorted.reserve(demand.prefix_count());
-  demand.for_each([&](const net::Prefix& prefix, net::Bandwidth rate) {
-    demand_sorted.emplace_back(prefix, rate);
-  });
-  std::sort(demand_sorted.begin(), demand_sorted.end(),
-            [](const auto& a, const auto& b) { return a.first < b.first; });
+  // order is a function of the inputs too. The sorted vector is reused
+  // verbatim when the prefix set did not change (order depends only on the
+  // set, so skipping the sort cannot change the result).
+  bool reuse_order = ws.hash_order_valid &&
+                     ws.demand_instance == demand.instance_id() &&
+                     ws.demand_set_epoch == demand.membership_epoch();
+  if (reuse_order) {
+    // Same matrix, same membership: traversal order is stable, so refresh
+    // every rate with one sequential walk and no per-prefix lookups.
+    std::size_t j = 0;
+    demand.visit([&](const net::Prefix&, net::Bandwidth rate) {
+      ws.demand_sorted[ws.hash_order[j++]].second = rate;
+    });
+  } else {
+    reuse_order =
+        ws.demand_primed && ws.demand_sorted.size() == demand.prefix_count();
+    if (reuse_order) {
+      for (auto& entry : ws.demand_sorted) {
+        const net::Bandwidth* rate = demand.find(entry.first);
+        if (rate == nullptr) {
+          reuse_order = false;  // set changed: same size, different members
+          break;
+        }
+        entry.second = *rate;
+      }
+    }
+    if (!reuse_order) {
+      ws.demand_sorted.clear();
+      ws.demand_sorted.reserve(demand.prefix_count());
+      demand.visit([&](const net::Prefix& prefix, net::Bandwidth rate) {
+        ws.demand_sorted.emplace_back(prefix, rate);
+      });
+      std::sort(ws.demand_sorted.begin(), ws.demand_sorted.end(),
+                [](const auto& a, const auto& b) { return a.first < b.first; });
+      ws.demand_primed = true;
+    }
+    // Rebuild the traversal mapping for the next cycle (binary search per
+    // prefix: paid only when the matrix identity or membership moved).
+    ws.hash_order.resize(ws.demand_sorted.size());
+    std::size_t j = 0;
+    demand.visit([&](const net::Prefix& prefix, net::Bandwidth) {
+      const auto it = std::lower_bound(
+          ws.demand_sorted.begin(), ws.demand_sorted.end(), prefix,
+          [](const auto& entry, const net::Prefix& p) {
+            return entry.first < p;
+          });
+      ws.hash_order[j++] =
+          static_cast<std::uint32_t>(it - ws.demand_sorted.begin());
+    });
+    ws.hash_order_valid = true;
+    ws.demand_instance = demand.instance_id();
+    ws.demand_set_epoch = demand.membership_epoch();
+  }
 
-  for (const auto& [prefix, rate] : demand_sorted) {
+  // Arena reuse: when the demand order was reused and the Rib is
+  // bitwise the same one (same instance, same whole-RIB epoch) as last
+  // cycle, the filtered arena already holds every prefix's ranked,
+  // egress-resolved candidates and phase 1 does zero RIB lookups and
+  // zero hash probes. The reuse changes nothing but lookup count: the
+  // slices are exactly what ranked_view() + filtering would rebuild.
+  const bool reuse_views = reuse_order &&
+                           ws.rib_instance == rib.instance_id() &&
+                           ws.rib_epoch == rib.epoch();
+  if (!reuse_views) {
+    // Route pointers changed hands: the egress table and the filtered
+    // arena must be rediscovered.
+    ws.slots.clear();
+    ws.slot_of.clear();
+    ws.alternates.clear();
+    ws.filt_begin.resize(ws.demand_sorted.size());
+    ws.filt_count.resize(ws.demand_sorted.size());
+    for (std::size_t i = 0; i < ws.demand_sorted.size(); ++i) {
+      const bgp::Rib::RankedView view =
+          rib.ranked_view(ws.demand_sorted[i].first);
+      // Controller-injected routes are dropped after ranking; that is
+      // safe because the relative order of natural routes does not
+      // depend on the injected ones. Filtering depends only on the
+      // routes, so the slices stay valid exactly as long as the views.
+      const std::size_t mark = ws.alternates.size();
+      for (std::size_t index : view.order) {
+        const bgp::Route& route = view.routes[index];
+        if (route.peer_type != bgp::PeerType::kController) {
+          ws.alternates.push_back(&route);
+        }
+      }
+      ws.filt_begin[i] = static_cast<std::uint32_t>(mark);
+      ws.filt_count[i] =
+          static_cast<std::uint32_t>(ws.alternates.size() - mark);
+    }
+    ws.alt_slot.resize(ws.alternates.size());
+    for (std::size_t k = 0; k < ws.alternates.size(); ++k) {
+      ws.alt_slot[k] = resolve_slot(*ws.alternates[k]);
+    }
+    ws.rib_instance = rib.instance_id();
+    ws.rib_epoch = rib.epoch();
+  } else {
+    rib.credit_rank_cache_hits(ws.demand_sorted.size());
+    // The NEXT_HOP set is unchanged (same routes), but what each hop
+    // resolves to may not be: re-run the resolver once per slot.
+    for (Workspace::Impl::EgressSlot& slot : ws.slots) {
+      fill_slot(slot, *slot.exemplar);
+    }
+  }
+
+  for (std::size_t di = 0; di < ws.demand_sorted.size(); ++di) {
+    const auto& [prefix, rate] = ws.demand_sorted[di];
     if (rate <= net::Bandwidth::zero()) continue;
 
-    // Rank all candidates with the normal decision process, then drop
-    // controller-injected routes. Filtering after ranking is safe: the
-    // relative order of natural routes does not depend on the injected
-    // ones.
-    const auto all = rib.candidates(prefix);
-    const auto order = bgp::rank_routes(all, rib.decision_config());
+    // The prefix's ranked, controller-filtered candidates, precomputed
+    // into the arena (above or in an earlier cycle): best route first,
+    // egress already resolved per slice element.
+    const std::uint32_t begin = ws.filt_begin[di];
+    const std::uint32_t count = ws.filt_count[di];
+    if (count == 0) {
+      result.unroutable += rate;
+      continue;
+    }
+    const Workspace::Impl::EgressSlot& slot = ws.slots[ws.alt_slot[begin]];
+    if (!slot.usable_iface) {
+      result.unroutable += rate;
+      continue;
+    }
 
     PinnedPrefix pinned;
     pinned.prefix = prefix;
     pinned.rate = rate;
-
-    std::vector<const bgp::Route*> ranked;
-    ranked.reserve(order.size());
-    for (std::size_t index : order) {
-      if (all[index].peer_type != bgp::PeerType::kController) {
-        ranked.push_back(&all[index]);
-      }
-    }
-    if (ranked.empty()) {
-      result.unroutable += rate;
-      continue;
-    }
-    pinned.best = ranked.front();
-    pinned.alternates.assign(ranked.begin() + 1, ranked.end());
-
-    const auto egress = resolve(*pinned.best);
-    if (!egress || !interfaces.contains(egress->interface)) {
-      result.unroutable += rate;
-      continue;
-    }
-    result.projected_load[egress->interface] += rate;
-    by_interface[egress->interface].push_back(std::move(pinned));
+    pinned.best = ws.alternates[begin];
+    pinned.alt_begin = begin + 1;
+    pinned.alt_count = count - 1;
+    ws.projected[slot.iface] += rate;
+    ws.pinned[slot.iface].push_back(pinned);
   }
 
-  result.final_load = result.projected_load;
+  ws.final_load = ws.projected;
 
   // --- Phase 2: overload detection and detour selection -----------------
-  auto capacity_of = [&](telemetry::InterfaceId id) {
-    return interfaces.usable_capacity(id);  // zero when drained
-  };
+  // Ascending dense index == ascending InterfaceId: the same order the
+  // seed's std::map produced, so detour placement (and therefore float
+  // accumulation) is unchanged.
+  for (std::size_t iface = 0; iface < iface_count; ++iface) {
+    auto& pinned_prefixes = ws.pinned[iface];
+    if (pinned_prefixes.empty()) continue;  // nothing landed here
 
-  for (auto& [iface, pinned_prefixes] : by_interface) {
-    const net::Bandwidth capacity = capacity_of(iface);
-    const net::Bandwidth projected = result.projected_load[iface];
+    const net::Bandwidth capacity = ws.usable[iface];
+    const net::Bandwidth projected = ws.projected[iface];
     const net::Bandwidth limit = capacity * config_.overload_threshold;
     if (projected <= limit && capacity > net::Bandwidth::zero()) continue;
     ++result.overloaded_interfaces;
 
     const net::Bandwidth target = capacity * config_.target_utilization;
-    net::Bandwidth to_move = result.final_load[iface] - target;
+    net::Bandwidth to_move = ws.final_load[iface] - target;
 
     // Score each prefix by the tier of its most preferred usable
     // alternate, so peer-alternate prefixes move before transit-only ones.
     for (PinnedPrefix& pinned : pinned_prefixes) {
       pinned.best_alternate_tier = 9;
-      for (const bgp::Route* alt : pinned.alternates) {
-        const auto egress = resolve(*alt);
-        if (!egress || egress->interface == iface) continue;
+      for (std::uint32_t a = 0; a < pinned.alt_count; ++a) {
+        const Workspace::Impl::EgressSlot& slot =
+            ws.slots[ws.alt_slot[pinned.alt_begin + a]];
+        if (!slot.usable_iface || slot.iface == iface) continue;
         pinned.best_alternate_tier = std::min(
-            pinned.best_alternate_tier, target_tier(egress->type));
+            pinned.best_alternate_tier, target_tier(slot.view.type));
       }
     }
 
@@ -155,14 +363,16 @@ AllocationResult Allocator::allocate(
           result.overrides.size() >= config_.max_overrides) {
         return net::Bandwidth::zero();
       }
-      for (const bgp::Route* alt : pinned.alternates) {
-        const auto egress = resolve(*alt);
-        if (!egress || egress->interface == iface) continue;
-        const net::Bandwidth alt_capacity = capacity_of(egress->interface);
+      for (std::uint32_t a = 0; a < pinned.alt_count; ++a) {
+        const bgp::Route* alt = ws.alternates[pinned.alt_begin + a];
+        const Workspace::Impl::EgressSlot& slot =
+            ws.slots[ws.alt_slot[pinned.alt_begin + a]];
+        if (!slot.usable_iface || slot.iface == iface) continue;
+        const net::Bandwidth alt_capacity = ws.usable[slot.iface];
         if (alt_capacity <= net::Bandwidth::zero()) continue;  // drained
         const net::Bandwidth headroom =
             alt_capacity * config_.detour_headroom -
-            result.final_load[egress->interface];
+            ws.final_load[slot.iface];
         if (rate > headroom) continue;
 
         Override override_entry;
@@ -170,14 +380,14 @@ AllocationResult Allocator::allocate(
         override_entry.rate = rate;
         override_entry.next_hop = alt->attrs.next_hop;
         override_entry.as_path = alt->attrs.as_path;
-        override_entry.from_interface = iface;
-        override_entry.target_interface = egress->interface;
+        override_entry.from_interface = interfaces.id_at(iface);
+        override_entry.target_interface = slot.view.interface;
         override_entry.from_type = pinned.best->peer_type;
-        override_entry.target_type = egress->type;
+        override_entry.target_type = slot.view.type;
         result.overrides.push_back(std::move(override_entry));
 
-        result.final_load[iface] -= rate;
-        result.final_load[egress->interface] += rate;
+        ws.final_load[iface] -= rate;
+        ws.final_load[slot.iface] += rate;
         return rate;
       }
       // Nothing holds the whole rate: split into halves and place them
@@ -219,11 +429,22 @@ AllocationResult Allocator::allocate(
     if (to_move > net::Bandwidth::zero()) {
       // Only count overload actually above *capacity* as unresolved drops;
       // the slice between target and capacity is just unmet headroom.
-      const net::Bandwidth excess = result.final_load[iface] - capacity;
+      const net::Bandwidth excess = ws.final_load[iface] - capacity;
       if (excess > net::Bandwidth::zero()) {
         result.unresolved_overload += excess;
       }
     }
+  }
+
+  // --- Result boundary: dense tables back to the public map form -------
+  // (wire/audit format unchanged; every known interface appears, loaded
+  // or not, exactly as before).
+  for (std::size_t i = 0; i < iface_count; ++i) {
+    const telemetry::InterfaceId id = interfaces.id_at(i);
+    result.projected_load.emplace_hint(result.projected_load.end(), id,
+                                       ws.projected[i]);
+    result.final_load.emplace_hint(result.final_load.end(), id,
+                                   ws.final_load[i]);
   }
 
   return result;

@@ -11,6 +11,7 @@
 #include <cstdint>
 #include <functional>
 #include <map>
+#include <memory>
 #include <optional>
 #include <vector>
 
@@ -90,16 +91,56 @@ struct AllocationResult {
   net::Bandwidth unresolved_overload;
   /// Demand with no usable route at all.
   net::Bandwidth unroutable;
+
+  friend bool operator==(const AllocationResult&,
+                         const AllocationResult&) = default;
 };
 
 class Allocator {
  public:
+  /// Reusable scratch memory for the allocation fast path: the
+  /// sorted-demand vector, per-interface pinned-prefix pools and flat
+  /// load tables, and the per-cycle NEXT_HOP -> egress memo table. A
+  /// workspace persists across cycles so warm cycles allocate (almost)
+  /// nothing; its contents are wiped at the start of every allocate()
+  /// and NEVER carry decision state between cycles — the allocation
+  /// stays a pure function of (RIB, demand, interfaces), which the
+  /// audit replay and the cold-vs-warm property test prove. Opaque:
+  /// the layout lives in allocator.cpp. Not shareable across threads
+  /// concurrently (one workspace per controller).
+  class Workspace {
+   public:
+    Workspace();
+    ~Workspace();
+    Workspace(Workspace&&) noexcept;
+    Workspace& operator=(Workspace&&) noexcept;
+
+   private:
+    friend class Allocator;
+    struct Impl;
+    std::unique_ptr<Impl> impl_;
+  };
+
   explicit Allocator(AllocatorConfig config = {}) : config_(config) {}
 
   /// Runs one allocation over the given inputs. Routes injected by the
   /// controller itself (PeerType::kController) are ignored when computing
   /// preferred paths, so the projection always reflects what vanilla BGP
   /// would do — the key to statelessness.
+  ///
+  /// `resolve` is invoked at most once per distinct NEXT_HOP per cycle
+  /// (resolutions are memoized in the workspace for the duration of the
+  /// call), so it must be a pure function of the route's NEXT_HOP while
+  /// allocate() runs — true of every forwarding-plane resolver, which
+  /// mirrors what the routers do with the next hop.
+  AllocationResult allocate(const bgp::Rib& rib,
+                            const telemetry::DemandMatrix& demand,
+                            const telemetry::InterfaceRegistry& interfaces,
+                            const EgressResolver& resolve,
+                            Workspace& workspace) const;
+
+  /// Convenience overload with a throwaway workspace (cold path); the
+  /// decisions are identical to the warm overload above.
   AllocationResult allocate(const bgp::Rib& rib,
                             const telemetry::DemandMatrix& demand,
                             const telemetry::InterfaceRegistry& interfaces,

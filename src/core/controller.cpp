@@ -78,8 +78,21 @@ CycleStats Controller::run_cycle(const telemetry::DemandMatrix& demand,
                       route.attrs.next_hop};
   };
 
-  stats.allocation = allocator_.allocate(pop_->collector().rib(), demand,
-                                         pop_->interfaces(), resolver);
+  const bgp::Rib& rib = pop_->collector().rib();
+  const bgp::Rib::RankCacheStats cache_before = rib.rank_cache_stats();
+  const auto wall_start = std::chrono::steady_clock::now();
+  stats.allocation = allocator_.allocate(rib, demand, pop_->interfaces(),
+                                         resolver, workspace_);
+  stats.allocation_wall = std::chrono::duration_cast<std::chrono::nanoseconds>(
+      std::chrono::steady_clock::now() - wall_start);
+  const bgp::Rib::RankCacheStats cache_after = rib.rank_cache_stats();
+  const std::uint64_t lookups =
+      (cache_after.hits - cache_before.hits) +
+      (cache_after.misses - cache_before.misses);
+  stats.ranking_cache_hit_rate =
+      lookups == 0 ? 0.0
+                   : static_cast<double>(cache_after.hits - cache_before.hits) /
+                         static_cast<double>(lookups);
 
   // Fresh override set, keyed by prefix.
   std::map<net::Prefix, Override> fresh;
@@ -106,8 +119,12 @@ CycleStats Controller::run_cycle(const telemetry::DemandMatrix& demand,
       const net::Bandwidth target_capacity =
           pop_->interfaces().usable_capacity(old_override.target_interface);
       if (target_capacity <= net::Bandwidth::zero()) continue;  // drained
-      // Use the override's current demand, not last cycle's snapshot.
+      // Use the override's current demand, not last cycle's snapshot. A
+      // prefix that vanished from demand has nothing left to steer —
+      // retaining it would keep a zero-rate override (and its journal
+      // entry) alive indefinitely.
       const net::Bandwidth rate = demand.rate(prefix);
+      if (rate <= net::Bandwidth::zero()) continue;
       const net::Bandwidth headroom =
           target_capacity * config_.allocator.detour_headroom -
           final_load[old_override.target_interface];

@@ -8,6 +8,7 @@
 // override — the system degrades to vanilla BGP, never to a wedged state.
 #pragma once
 
+#include <chrono>
 #include <map>
 #include <optional>
 
@@ -64,6 +65,15 @@ struct CycleStats {
   std::size_t retained_by_hysteresis = 0;
   std::size_t perf_overrides = 0;  // accepted from the advisor
   net::SimTime when;
+  /// Real (wall-clock) time the allocator call took this cycle — the
+  /// production observability hook for the ~30s cycle budget. Not
+  /// simulated time and not part of the audit wire format (it is not a
+  /// decision input).
+  std::chrono::nanoseconds allocation_wall{0};
+  /// Fraction of prefix rankings served from the RIB's epoch cache this
+  /// cycle (1.0 = fully warm, 0.0 = every ranking recomputed or no
+  /// rankings requested).
+  double ranking_cache_hit_rate = 0.0;
 };
 
 class Controller {
@@ -142,6 +152,9 @@ class Controller {
   topology::Pop* pop_;
   ControllerConfig config_;
   Allocator allocator_;
+  /// Persistent fast-path scratch: reused every cycle so warm cycles do
+  /// not re-allocate; never carries decision state (see Allocator).
+  Allocator::Workspace workspace_;
   SafetyGuard safety_;
   bgp::BgpSpeaker speaker_;
   std::vector<bgp::PeerId> sessions_;

@@ -6,6 +6,13 @@
 // barrier closes the step, and observers then fire in PoP-index order so
 // output stays bitwise-identical to a serial run. The threading model is
 // specified in docs/PARALLELISM.md.
+//
+// Allocation fast path: each member's Controller owns one persistent
+// Allocator::Workspace and its Pop's RIB carries the per-prefix ranking
+// cache, so every PoP's warm-cycle state is confined to its own worker —
+// the fleet stays shared-nothing and the parallel/serial equivalence
+// argument is untouched (caches never feed back into decisions; see
+// DESIGN.md §10).
 #pragma once
 
 #include <cstdint>

@@ -8,6 +8,25 @@ void InterfaceRegistry::add(InterfaceId id, net::Bandwidth capacity) {
   EF_CHECK(!interfaces_.contains(id),
            "duplicate interface id " << id.value());
   interfaces_[id] = InterfaceState{capacity, false};
+  dense_ids_.clear();
+  dense_index_.clear();
+  dense_ids_.reserve(interfaces_.size());
+  for (const auto& [existing, state] : interfaces_) {
+    dense_index_[existing] = dense_ids_.size();
+    dense_ids_.push_back(existing);
+  }
+}
+
+std::size_t InterfaceRegistry::index_of(InterfaceId id) const {
+  auto it = dense_index_.find(id);
+  EF_CHECK(it != dense_index_.end(), "unknown interface " << id.value());
+  return it->second;
+}
+
+InterfaceId InterfaceRegistry::id_at(std::size_t index) const {
+  EF_CHECK(index < dense_ids_.size(),
+           "interface index " << index << " out of range");
+  return dense_ids_[index];
 }
 
 bool InterfaceRegistry::contains(InterfaceId id) const {

@@ -6,6 +6,8 @@
 #include <functional>
 #include <map>
 #include <optional>
+#include <unordered_map>
+#include <vector>
 
 #include "net/units.h"
 
@@ -31,6 +33,14 @@ struct InterfaceState {
   bool drained = false;
 };
 
+/// Hasher usable before the std::hash<InterfaceId> specialization at the
+/// bottom of this header is declared.
+struct InterfaceIdHash {
+  std::size_t operator()(InterfaceId id) const noexcept {
+    return std::hash<std::uint32_t>{}(id.value());
+  }
+};
+
 /// Capacity and drain state for every egress interface in a PoP; the
 /// stand-in for the SNMP/config pipeline the paper's controller reads.
 class InterfaceRegistry {
@@ -49,6 +59,15 @@ class InterfaceRegistry {
 
   std::size_t size() const { return interfaces_.size(); }
 
+  /// Dense index of `id` in [0, size()), in ascending-id order — the
+  /// addressing scheme for the allocator's flat per-interface load
+  /// tables. Stable until the next add(). Requires the interface to
+  /// exist.
+  std::size_t index_of(InterfaceId id) const;
+
+  /// Inverse of index_of. Requires index < size().
+  InterfaceId id_at(std::size_t index) const;
+
   void for_each(
       const std::function<void(InterfaceId, const InterfaceState&)>& fn)
       const;
@@ -56,6 +75,10 @@ class InterfaceRegistry {
  private:
   const InterfaceState& get(InterfaceId id) const;
   std::map<InterfaceId, InterfaceState> interfaces_;
+  // Dense-index sidecar, rebuilt on add (adds happen at PoP build time,
+  // not in the allocation loop).
+  std::vector<InterfaceId> dense_ids_;
+  std::unordered_map<InterfaceId, std::size_t, InterfaceIdHash> dense_index_;
 };
 
 /// Per-interface transmit counters with periodic rate polling, mimicking

@@ -1,18 +1,48 @@
 #include "telemetry/traffic.h"
 
+#include <atomic>
+
 namespace ef::telemetry {
 
+std::uint64_t DemandMatrix::next_instance_id() {
+  static std::atomic<std::uint64_t> counter{1};
+  return counter.fetch_add(1, std::memory_order_relaxed);
+}
+
+DemandMatrix::DemandMatrix(const DemandMatrix& other)
+    : rates_(other.rates_), membership_epoch_(other.membership_epoch_) {}
+
+DemandMatrix& DemandMatrix::operator=(const DemandMatrix& other) {
+  if (this != &other) {
+    rates_ = other.rates_;
+    membership_epoch_ = other.membership_epoch_;
+    instance_id_ = next_instance_id();
+  }
+  return *this;
+}
+
 void DemandMatrix::set(const net::Prefix& prefix, net::Bandwidth rate) {
-  rates_[prefix] = rate;
+  if (rates_.insert_or_assign(prefix, rate).second) ++membership_epoch_;
 }
 
 void DemandMatrix::add(const net::Prefix& prefix, net::Bandwidth rate) {
-  rates_[prefix] += rate;
+  auto [it, inserted] = rates_.try_emplace(prefix);
+  it->second += rate;
+  if (inserted) ++membership_epoch_;
+}
+
+void DemandMatrix::scale(double factor) {
+  for (auto& [prefix, rate] : rates_) rate = rate * factor;
 }
 
 net::Bandwidth DemandMatrix::rate(const net::Prefix& prefix) const {
   auto it = rates_.find(prefix);
   return it == rates_.end() ? net::Bandwidth::zero() : it->second;
+}
+
+const net::Bandwidth* DemandMatrix::find(const net::Prefix& prefix) const {
+  auto it = rates_.find(prefix);
+  return it == rates_.end() ? nullptr : &it->second;
 }
 
 net::Bandwidth DemandMatrix::total() const {
@@ -29,14 +59,14 @@ void DemandMatrix::for_each(
 const DemandMatrix& DemandSmoother::update(const DemandMatrix& estimate) {
   // Decay every existing entry, then blend in the new window. Prefixes
   // absent from the new estimate decay toward zero rather than sticking.
-  DemandMatrix next;
-  smoothed_.for_each([&](const net::Prefix& prefix, net::Bandwidth rate) {
-    next.set(prefix, rate * (1.0 - alpha_));
-  });
+  // Done in place (same arithmetic as rebuilding from scratch) so the
+  // matrix keeps its identity across windows: when the prefix membership
+  // is stable, downstream caches keyed on (instance_id, membership_epoch)
+  // — the allocator workspace's demand traversal mapping — stay valid.
+  smoothed_.scale(1.0 - alpha_);
   estimate.for_each([&](const net::Prefix& prefix, net::Bandwidth rate) {
-    next.add(prefix, rate * alpha_);
+    smoothed_.add(prefix, rate * alpha_);
   });
-  smoothed_ = std::move(next);
   return smoothed_;
 }
 

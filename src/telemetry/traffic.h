@@ -13,11 +13,28 @@ namespace ef::telemetry {
 /// Egress demand per destination prefix at one PoP, in bits per second.
 class DemandMatrix {
  public:
+  DemandMatrix() = default;
+  /// Copies get a fresh instance_id(): the copy's traversal order is not
+  /// guaranteed to match the source's, so caches keyed on the source must
+  /// not carry over. Moves keep the id (the table moves wholesale).
+  DemandMatrix(const DemandMatrix& other);
+  DemandMatrix& operator=(const DemandMatrix& other);
+  DemandMatrix(DemandMatrix&&) = default;
+  DemandMatrix& operator=(DemandMatrix&&) = default;
+
   void set(const net::Prefix& prefix, net::Bandwidth rate);
   void add(const net::Prefix& prefix, net::Bandwidth rate);
 
+  /// Multiplies every rate in place; membership (and therefore traversal
+  /// order and membership_epoch()) is untouched.
+  void scale(double factor);
+
   /// Zero for unknown prefixes.
   net::Bandwidth rate(const net::Prefix& prefix) const;
+
+  /// Pointer to the stored rate, or nullptr for unknown prefixes — lets
+  /// hot paths distinguish "absent" from "zero" with a single lookup.
+  const net::Bandwidth* find(const net::Prefix& prefix) const;
 
   net::Bandwidth total() const;
   std::size_t prefix_count() const { return rates_.size(); }
@@ -26,10 +43,35 @@ class DemandMatrix {
       const std::function<void(const net::Prefix&, net::Bandwidth)>& fn)
       const;
 
-  void clear() { rates_.clear(); }
+  /// Same traversal as for_each() but statically dispatched, for hot
+  /// paths that walk every entry each cycle (the allocator's rate
+  /// refresh) and cannot afford a type-erased call per element.
+  template <typename Fn>
+  void visit(Fn&& fn) const {
+    for (const auto& [prefix, rate] : rates_) fn(prefix, rate);
+  }
+
+  void clear() {
+    rates_.clear();
+    ++membership_epoch_;
+  }
+
+  /// Moves whenever the *prefix set* may have changed (insert or clear);
+  /// rate-only set()/add()/scale() calls leave it alone. While
+  /// (instance_id(), membership_epoch()) is unchanged the for_each
+  /// traversal order is stable, which lets the allocator's workspace
+  /// cache its demand traversal mapping across rate refreshes.
+  std::uint64_t membership_epoch() const { return membership_epoch_; }
+
+  /// Process-unique identity of this matrix (see the copy constructor).
+  std::uint64_t instance_id() const { return instance_id_; }
 
  private:
+  static std::uint64_t next_instance_id();
+
   std::unordered_map<net::Prefix, net::Bandwidth> rates_;
+  std::uint64_t membership_epoch_ = 0;
+  std::uint64_t instance_id_ = next_instance_id();
 };
 
 /// Exponentially smooths successive demand estimates. Sampled telemetry

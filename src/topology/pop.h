@@ -13,6 +13,7 @@
 #include <memory>
 #include <optional>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "bgp/speaker.h"
@@ -153,7 +154,10 @@ class Pop {
   };
 
   std::deque<QueuedMessage> queue_;
-  std::map<net::IpAddr, Egress> egress_by_address_;
+  /// NEXT_HOP -> egress resolution, probed once per distinct next hop per
+  /// allocation cycle (the allocator memoizes) and per prefix by
+  /// egress_of(); hash-addressed because it is never iterated.
+  std::unordered_map<net::IpAddr, Egress> egress_by_address_;
   std::map<net::Prefix, HostOverride> host_overrides_;
   net::PrefixTrie<net::Prefix> prefix_table_;
   net::SimTime now_;

@@ -238,8 +238,10 @@ TEST_F(AltPathTest, EndToEndPerfAwareControllerImprovesRtt) {
   AltPathMeasurer measurer(pop_, model, mconfig);
 
   const net::Prefix prefix = multi_route_prefix();
-  const bgp::Route* primary = PolicyRouter(pop_).natural_route(prefix, 0);
-  const auto primary_egress = pop_.egress_of_route(*primary);
+  // Copy: run_cycle() below injects an override route for this prefix,
+  // which can reallocate the RIB entry's route storage.
+  const bgp::Route primary = *PolicyRouter(pop_).natural_route(prefix, 0);
+  const auto primary_egress = pop_.egress_of_route(primary);
   std::map<telemetry::InterfaceId, Bandwidth> load;
   load[primary_egress->interface] =
       pop_.interfaces().capacity(primary_egress->interface) * 1.2;
@@ -265,7 +267,7 @@ TEST_F(AltPathTest, EndToEndPerfAwareControllerImprovesRtt) {
   ASSERT_NE(now, nullptr);
   EXPECT_EQ(now->peer_type, bgp::PeerType::kController);
   const double rtt_now = *model.rtt_ms(prefix, *now);
-  const double rtt_primary = *model.rtt_ms(prefix, *primary);
+  const double rtt_primary = *model.rtt_ms(prefix, primary);
   EXPECT_LT(rtt_now, rtt_primary);
 }
 

@@ -148,6 +148,71 @@ TEST(Rib, DecidingStepExposed) {
   EXPECT_FALSE(rib.deciding_step(kOther).has_value());
 }
 
+TEST(Rib, PrefixEpochMovesOnEveryMutation) {
+  Rib rib;
+  EXPECT_EQ(rib.prefix_epoch(kPrefix), 0u);  // unknown prefix
+  rib.announce(make_route(1, 100));
+  const std::uint64_t e1 = rib.prefix_epoch(kPrefix);
+  EXPECT_GT(e1, 0u);
+  rib.announce(make_route(2, 300));
+  const std::uint64_t e2 = rib.prefix_epoch(kPrefix);
+  EXPECT_GT(e2, e1);
+  rib.announce(make_route(2, 350));  // implicit replace still counts
+  const std::uint64_t e3 = rib.prefix_epoch(kPrefix);
+  EXPECT_GT(e3, e2);
+  rib.withdraw(PeerId(2), kPrefix);
+  const std::uint64_t e4 = rib.prefix_epoch(kPrefix);
+  EXPECT_GT(e4, e3);
+  rib.withdraw(PeerId(9), kPrefix);  // no such route: no mutation
+  EXPECT_EQ(rib.prefix_epoch(kPrefix), e4);
+  rib.announce(make_route(3, 120, kOther));  // other prefix untouched
+  EXPECT_EQ(rib.prefix_epoch(kPrefix), e4);
+  rib.remove_peer(PeerId(1));
+  EXPECT_EQ(rib.prefix_epoch(kPrefix), 0u);  // prefix removed entirely
+}
+
+TEST(Rib, RankedCachedHitsUntilMutationThenRecomputes) {
+  Rib rib;
+  rib.announce(make_route(1, 100));
+  rib.announce(make_route(2, 300));
+  rib.reset_rank_cache_stats();
+
+  const auto order1 = rib.ranked_cached(kPrefix);
+  ASSERT_EQ(order1.size(), 2u);
+  EXPECT_EQ(rib.candidates(kPrefix)[order1[0]].learned_from, PeerId(2));
+  EXPECT_EQ(rib.rank_cache_stats().misses, 1u);
+  EXPECT_EQ(rib.rank_cache_stats().hits, 0u);
+
+  const auto order2 = rib.ranked_cached(kPrefix);
+  EXPECT_EQ(rib.rank_cache_stats().hits, 1u);
+  EXPECT_EQ(order2.data(), order1.data());  // served from the same cache
+
+  rib.announce(make_route(3, 400));  // epoch moves, cache goes stale
+  const auto order3 = rib.ranked_cached(kPrefix);
+  EXPECT_EQ(rib.rank_cache_stats().misses, 2u);
+  ASSERT_EQ(order3.size(), 3u);
+  EXPECT_EQ(rib.candidates(kPrefix)[order3[0]].learned_from, PeerId(3));
+
+  EXPECT_TRUE(rib.ranked_cached(kOther).empty());  // unknown: no counters
+}
+
+TEST(Rib, RankedStaysCorrectThroughCachedMutations) {
+  // ranked() goes through the cache; interleave reads and mutations and
+  // check the order always matches the decision process.
+  Rib rib;
+  rib.announce(make_route(1, 100));
+  EXPECT_EQ(rib.ranked(kPrefix).front()->learned_from, PeerId(1));
+  rib.announce(make_route(2, 300));
+  EXPECT_EQ(rib.ranked(kPrefix).front()->learned_from, PeerId(2));
+  rib.withdraw(PeerId(2), kPrefix);
+  ASSERT_EQ(rib.ranked(kPrefix).size(), 1u);
+  EXPECT_EQ(rib.ranked(kPrefix).front()->learned_from, PeerId(1));
+  rib.remove_peer(PeerId(1));
+  EXPECT_TRUE(rib.ranked(kPrefix).empty());
+  rib.announce(make_route(4, 250));  // prefix reborn after removal
+  EXPECT_EQ(rib.ranked(kPrefix).front()->learned_from, PeerId(4));
+}
+
 TEST(Rib, ForEachBestVisitsReachablePrefixes) {
   Rib rib;
   rib.announce(make_route(1, 300, kPrefix));

@@ -1,0 +1,227 @@
+// Cold-vs-warm equivalence for the allocation fast path.
+//
+// The fast path's caches — the RIB's per-prefix ranking cache, the
+// per-cycle egress memo, and the reusable Allocator::Workspace — are
+// optimizations, never inputs: decisions must stay a pure function of
+// (RIB, demand, interfaces). This test drives random announce / withdraw /
+// remove_peer / drain / demand churn for many cycles against ONE
+// persistent Rib and Workspace (caches as warm and as stale-prone as they
+// ever get), and every cycle replays the same route log into a fresh Rib
+// with a fresh Workspace (everything cold). The two allocations must be
+// bitwise identical, override order included.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/allocator.h"
+#include "net/rng.h"
+
+namespace ef::core {
+namespace {
+
+using net::Bandwidth;
+
+/// One RIB mutation, recorded so the cold side can replay the exact
+/// sequence (route storage order inside a Rib entry depends on history,
+/// and the ranking must match it).
+struct RibOp {
+  enum class Kind : std::uint8_t { kAnnounce, kWithdraw, kRemovePeer };
+  Kind kind = Kind::kAnnounce;
+  bgp::Route route;     // kAnnounce
+  bgp::PeerId peer;     // kWithdraw / kRemovePeer
+  net::Prefix prefix;   // kWithdraw
+};
+
+void apply(bgp::Rib& rib, const RibOp& op) {
+  switch (op.kind) {
+    case RibOp::Kind::kAnnounce:
+      rib.announce(op.route);
+      break;
+    case RibOp::Kind::kWithdraw:
+      rib.withdraw(op.peer, op.prefix);
+      break;
+    case RibOp::Kind::kRemovePeer:
+      rib.remove_peer(op.peer);
+      break;
+  }
+}
+
+class AllocCacheProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(AllocCacheProperty, ColdAndWarmAllocationsAreBitwiseIdentical) {
+  net::Rng rng(GetParam());
+
+  // Interfaces: a mix of small and large ports so some cycles overload.
+  const int interface_count = static_cast<int>(rng.uniform_int(4, 10));
+  telemetry::InterfaceRegistry interfaces;
+  std::map<net::IpAddr, EgressView> egress;
+  std::vector<net::IpAddr> peers;
+  for (int i = 0; i < interface_count; ++i) {
+    const double gbps = (i % 3 == 0) ? rng.uniform(0.5, 2.0)
+                                     : rng.uniform(5.0, 20.0);
+    interfaces.add(telemetry::InterfaceId(static_cast<std::uint32_t>(i)),
+                   Bandwidth::gbps(gbps));
+    const net::IpAddr addr =
+        net::IpAddr::v4(0xac100000u + static_cast<std::uint32_t>(i));
+    egress[addr] = EgressView{
+        telemetry::InterfaceId(static_cast<std::uint32_t>(i)),
+        static_cast<bgp::PeerType>(rng.uniform_int(0, 3)), addr};
+    peers.push_back(addr);
+  }
+  const EgressResolver resolver =
+      [&](const bgp::Route& route) -> std::optional<EgressView> {
+    auto it = egress.find(route.attrs.next_hop);
+    if (it == egress.end()) return std::nullopt;
+    return it->second;
+  };
+
+  const int prefix_count = static_cast<int>(rng.uniform_int(20, 60));
+  std::vector<net::Prefix> prefixes;
+  for (int p = 0; p < prefix_count; ++p) {
+    prefixes.push_back(net::Prefix(
+        net::IpAddr::v4(0x64000000u + (static_cast<std::uint32_t>(p) << 8)),
+        24));
+  }
+
+  auto random_route = [&](const net::Prefix& prefix) {
+    const std::size_t peer_index = static_cast<std::size_t>(
+        rng.uniform_int(0, interface_count - 1));
+    const int session = static_cast<int>(rng.uniform_int(0, 3));
+    bgp::Route route;
+    route.prefix = prefix;
+    route.learned_from = bgp::PeerId(static_cast<std::uint32_t>(
+        peer_index * 1000 + static_cast<std::size_t>(session)));
+    const EgressView& view = egress.at(peers[peer_index]);
+    route.peer_type = view.type;
+    route.neighbor_as =
+        bgp::AsNumber(60000 + static_cast<std::uint32_t>(peer_index));
+    route.neighbor_router_id =
+        bgp::RouterId(static_cast<std::uint32_t>(peer_index));
+    route.attrs.next_hop = peers[peer_index];
+    route.attrs.local_pref = bgp::LocalPref(
+        static_cast<std::uint32_t>(rng.uniform_int(100, 400)));
+    route.attrs.has_local_pref = true;
+    route.attrs.as_path = bgp::AsPath{route.neighbor_as};
+    return route;
+  };
+
+  AllocatorConfig config;
+  config.allow_prefix_splitting = rng.bernoulli(0.5);
+  Allocator allocator(config);
+
+  std::vector<RibOp> log;  // everything ever applied to the warm rib
+  bgp::Rib warm_rib;
+  Allocator::Workspace warm_workspace;
+  telemetry::DemandMatrix demand;
+
+  auto record = [&](RibOp op) {
+    apply(warm_rib, op);
+    log.push_back(std::move(op));
+  };
+
+  // Initial state: 1–4 routes per prefix, demand for every prefix.
+  for (const net::Prefix& prefix : prefixes) {
+    const int routes = static_cast<int>(rng.uniform_int(1, 4));
+    for (int r = 0; r < routes; ++r) {
+      record(RibOp{RibOp::Kind::kAnnounce, random_route(prefix), {}, {}});
+    }
+    demand.set(prefix, Bandwidth::gbps(rng.uniform(0.05, 3.0)));
+  }
+
+  for (int cycle = 0; cycle < 30; ++cycle) {
+    // RIB churn: a few announces / withdraws, occasionally a whole-peer
+    // teardown (the remove_peer bulk path).
+    const int churn = static_cast<int>(rng.uniform_int(0, 5));
+    for (int c = 0; c < churn; ++c) {
+      const net::Prefix& prefix = prefixes[static_cast<std::size_t>(
+          rng.uniform_int(0, prefix_count - 1))];
+      if (rng.bernoulli(0.7)) {
+        record(RibOp{RibOp::Kind::kAnnounce, random_route(prefix), {}, {}});
+      } else {
+        const auto routes = warm_rib.candidates(prefix);
+        if (!routes.empty()) {
+          const bgp::PeerId victim =
+              routes[static_cast<std::size_t>(rng.uniform_int(
+                         0, static_cast<std::int64_t>(routes.size()) - 1))]
+                  .learned_from;
+          record(RibOp{RibOp::Kind::kWithdraw, {}, victim, prefix});
+        }
+      }
+    }
+    if (rng.bernoulli(0.1)) {
+      const auto peer_index =
+          static_cast<std::uint32_t>(rng.uniform_int(0, interface_count - 1));
+      const auto session = static_cast<std::uint32_t>(rng.uniform_int(0, 3));
+      record(RibOp{RibOp::Kind::kRemovePeer, {},
+                   bgp::PeerId(peer_index * 1000 + session), {}});
+    }
+
+    // Drain churn (does not touch the RIB epoch — the allocator must pick
+    // it up anyway because capacity snapshots are per cycle).
+    if (rng.bernoulli(0.25)) {
+      const telemetry::InterfaceId iface(
+          static_cast<std::uint32_t>(rng.uniform_int(0, interface_count - 1)));
+      interfaces.set_drained(iface, !interfaces.drained(iface));
+    }
+
+    // Demand churn: usually rates only (the sorted-demand reuse path),
+    // sometimes the prefix set itself (the resort path), including
+    // zero-rate entries.
+    if (rng.bernoulli(0.8)) {
+      for (const net::Prefix& prefix : prefixes) {
+        if (demand.find(prefix) != nullptr && rng.bernoulli(0.5)) {
+          demand.set(prefix, Bandwidth::gbps(rng.uniform(0.0, 3.0)));
+        }
+      }
+    } else {
+      demand.clear();
+      for (const net::Prefix& prefix : prefixes) {
+        if (rng.bernoulli(0.8)) {
+          demand.set(prefix, Bandwidth::gbps(rng.uniform(0.0, 3.0)));
+        }
+      }
+    }
+
+    // Warm: persistent rib + workspace, caches in whatever state the
+    // churn above left them.
+    const AllocationResult warm = allocator.allocate(
+        warm_rib, demand, interfaces, resolver, warm_workspace);
+
+    // Cold: fresh rib from the op log, fresh workspace.
+    bgp::Rib cold_rib;
+    for (const RibOp& op : log) apply(cold_rib, op);
+    Allocator::Workspace cold_workspace;
+    const AllocationResult cold = allocator.allocate(
+        cold_rib, demand, interfaces, resolver, cold_workspace);
+
+    ASSERT_EQ(warm.overrides.size(), cold.overrides.size())
+        << "cycle " << cycle;
+    for (std::size_t i = 0; i < warm.overrides.size(); ++i) {
+      ASSERT_EQ(warm.overrides[i], cold.overrides[i])
+          << "cycle " << cycle << " override " << i << " ("
+          << warm.overrides[i].prefix.to_string() << " vs "
+          << cold.overrides[i].prefix.to_string() << ")";
+    }
+    ASSERT_TRUE(warm == cold) << "cycle " << cycle
+                              << ": loads or summary counters drifted";
+
+    // The cached ranking view must match a cold rib's, route for route.
+    for (int probe = 0; probe < 5; ++probe) {
+      const net::Prefix& prefix = prefixes[static_cast<std::size_t>(
+          rng.uniform_int(0, prefix_count - 1))];
+      const auto warm_ranked = warm_rib.ranked(prefix);
+      const auto cold_ranked = cold_rib.ranked(prefix);
+      ASSERT_EQ(warm_ranked.size(), cold_ranked.size());
+      for (std::size_t i = 0; i < warm_ranked.size(); ++i) {
+        EXPECT_EQ(warm_ranked[i]->learned_from, cold_ranked[i]->learned_from)
+            << "cycle " << cycle << " " << prefix.to_string();
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, AllocCacheProperty,
+                         ::testing::Range<std::uint64_t>(1, 17));
+
+}  // namespace
+}  // namespace ef::core

@@ -324,8 +324,9 @@ TEST_F(ControllerTest, SafetyDropsOverrideWhoseAlternateVanished) {
   controller.run_cycle(demand, SimTime::seconds(0));
   ASSERT_FALSE(controller.active_overrides().empty());
 
-  // Find an override and take down the peering its detour uses.
-  const auto& [prefix, override_entry] = *controller.active_overrides().begin();
+  // Find an override and take down the peering its detour uses. (Copy:
+  // the second run_cycle() below replaces the overrides map.)
+  const Override override_entry = controller.active_overrides().begin()->second;
   std::size_t target_peering = 0;
   bool found = false;
   for (std::size_t i = 0; i < pop_.def().peerings.size(); ++i) {

@@ -90,6 +90,38 @@ TEST(DemandMatrix, SetAddTotal) {
   EXPECT_EQ(demand.prefix_count(), 0u);
 }
 
+TEST(DemandMatrix, MembershipEpochMovesOnSetChangesOnly) {
+  DemandMatrix demand;
+  const std::uint64_t e0 = demand.membership_epoch();
+  demand.set(P("100.1.0.0/24"), Bandwidth::mbps(100));  // new key
+  const std::uint64_t e1 = demand.membership_epoch();
+  EXPECT_GT(e1, e0);
+  demand.set(P("100.1.0.0/24"), Bandwidth::mbps(200));  // rate-only
+  demand.add(P("100.1.0.0/24"), Bandwidth::mbps(10));   // rate-only
+  demand.scale(0.5);                                    // rate-only
+  EXPECT_EQ(demand.membership_epoch(), e1);
+  EXPECT_DOUBLE_EQ(demand.rate(P("100.1.0.0/24")).mbps_value(), 105);
+  demand.add(P("100.2.0.0/24"), Bandwidth::mbps(1));  // new key via add
+  const std::uint64_t e2 = demand.membership_epoch();
+  EXPECT_GT(e2, e1);
+  demand.clear();
+  EXPECT_GT(demand.membership_epoch(), e2);
+}
+
+TEST(DemandMatrix, CopiesGetFreshInstanceIds) {
+  DemandMatrix demand;
+  demand.set(P("100.1.0.0/24"), Bandwidth::mbps(100));
+  const DemandMatrix copy = demand;
+  EXPECT_NE(copy.instance_id(), demand.instance_id());
+  EXPECT_DOUBLE_EQ(copy.rate(P("100.1.0.0/24")).mbps_value(), 100);
+  DemandMatrix assigned;
+  const std::uint64_t before = assigned.instance_id();
+  assigned = demand;
+  EXPECT_NE(assigned.instance_id(), before);
+  EXPECT_NE(assigned.instance_id(), demand.instance_id());
+  EXPECT_EQ(assigned.prefix_count(), 1u);
+}
+
 TEST(SflowSampler, RateOneSamplesEverything) {
   std::size_t emitted = 0;
   SflowSampler sampler(1, 42, [&](const FlowSample&) { ++emitted; });
