@@ -1,0 +1,194 @@
+// M14 (perf): live-ingest throughput and end-to-end cycle latency.
+//
+// Three measurements cover the efd daemon's data path:
+//   BM_BmpDecode       — BMP frame decode + RIB apply throughput, fed the
+//                        exact byte stream a router's exporter produces
+//                        (MB/s and msgs/s via bytes/items processed).
+//   BM_SflowDecode     — EFS1 datagram decode throughput for full
+//                        64-sample datagrams.
+//   BM_LoopbackCycle   — wall latency of one complete socket-fed cycle:
+//                        demand datagram + window-close marker over real
+//                        loopback UDP, through the daemon's event loop,
+//                        estimation, allocation, and digest publication.
+// scripts/bench.sh records the JSON in BENCH_ingest.json.
+#include <benchmark/benchmark.h>
+
+#include <string>
+#include <vector>
+
+#include "bmp/collector.h"
+#include "bmp/wire.h"
+#include "io/socket.h"
+#include "service/efd.h"
+#include "telemetry/sflow_wire.h"
+#include "topology/world.h"
+
+namespace {
+
+using namespace ef;
+
+/// A realistic BMP byte stream: one Initiation, `peers` PeerUps, then
+/// `routes` RouteMonitoring announcements round-robined over the peers.
+std::vector<std::uint8_t> bmp_stream(int peers, int routes) {
+  std::vector<std::uint8_t> stream;
+  const auto append = [&stream](const bmp::BmpMessage& msg) {
+    const std::vector<std::uint8_t> bytes = bmp::encode(msg);
+    stream.insert(stream.end(), bytes.begin(), bytes.end());
+  };
+
+  bmp::InitiationMsg init;
+  init.sys_name = "bench-router";
+  init.sys_descr = "bench_m14_ingest";
+  append(init);
+
+  const auto header = [](int peer) {
+    bmp::PerPeerHeader h;
+    h.peer_addr = net::IpAddr::v4(0x0a000000u + static_cast<std::uint32_t>(peer));
+    h.peer_as = 65000u + static_cast<std::uint32_t>(peer);
+    h.peer_bgp_id = static_cast<std::uint32_t>(peer);
+    h.timestamp = net::SimTime::seconds(1);
+    return h;
+  };
+  for (int peer = 1; peer <= peers; ++peer) {
+    bmp::PeerUpMsg up;
+    up.peer = header(peer);
+    up.local_addr = net::IpAddr::v4(0x0a0000feu);
+    up.information.push_back(peer % 3 ? "peer-type=private"
+                                      : "peer-type=transit");
+    append(up);
+  }
+  for (int i = 0; i < routes; ++i) {
+    const int peer = 1 + i % peers;
+    bmp::RouteMonitoringMsg announce;
+    announce.peer = header(peer);
+    announce.peer.timestamp = net::SimTime::seconds(2 + i);
+    announce.update.attrs.as_path =
+        bgp::AsPath{bgp::AsNumber(65000u + static_cast<std::uint32_t>(peer)),
+                    bgp::AsNumber(200u + static_cast<std::uint32_t>(i % 97))};
+    announce.update.attrs.next_hop =
+        net::IpAddr::v4(0xac100000u + static_cast<std::uint32_t>(peer));
+    announce.update.attrs.local_pref = bgp::LocalPref(300);
+    announce.update.attrs.has_local_pref = true;
+    announce.update.nlri.push_back(net::Prefix(
+        net::IpAddr::v4(0x64000000u + (static_cast<std::uint32_t>(i) << 8)),
+        24));
+    append(announce);
+  }
+  return stream;
+}
+
+void BM_BmpDecode(benchmark::State& state) {
+  const std::vector<std::uint8_t> stream =
+      bmp_stream(24, static_cast<int>(state.range(0)));
+  const std::uint64_t messages = 1u + 24u + static_cast<std::uint64_t>(state.range(0));
+  for (auto _ : state) {
+    bmp::BmpCollector collector;
+    const auto result = collector.receive(1, stream);
+    if (result.applied != messages || result.fatal) {
+      state.SkipWithError("decode mismatch");
+      return;
+    }
+    benchmark::DoNotOptimize(collector.rib().route_count());
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(stream.size()));
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(messages));
+}
+BENCHMARK(BM_BmpDecode)->Arg(1000)->Arg(10000)->Unit(benchmark::kMillisecond);
+
+void BM_SflowDecode(benchmark::State& state) {
+  std::vector<telemetry::wire::SflowRecord> records;
+  for (int i = 0; i < 64; ++i) {
+    telemetry::FlowSample sample;
+    sample.src = net::IpAddr::v4(0x0a000001u + static_cast<std::uint32_t>(i));
+    sample.dst = net::IpAddr::v4(0x64000001u +
+                                 (static_cast<std::uint32_t>(i) << 8));
+    sample.egress = telemetry::InterfaceId(static_cast<std::uint32_t>(i % 12));
+    sample.packet_bytes = 1400;
+    sample.when = net::SimTime::seconds(i);
+    records.emplace_back(sample);
+  }
+  const std::vector<std::uint8_t> datagram =
+      telemetry::wire::encode_datagram(records);
+  for (auto _ : state) {
+    const telemetry::wire::DatagramDecode decoded =
+        telemetry::wire::decode_datagram(datagram);
+    if (!decoded.ok || decoded.records.size() != records.size()) {
+      state.SkipWithError("decode mismatch");
+      return;
+    }
+    benchmark::DoNotOptimize(decoded.records.data());
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(datagram.size()));
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(records.size()));
+}
+BENCHMARK(BM_SflowDecode);
+
+/// One complete feed-to-decision round trip over real loopback sockets.
+void BM_LoopbackCycle(benchmark::State& state) {
+  topology::WorldConfig world_config;
+  world_config.num_clients = 40;
+  world_config.num_pops = 2;
+  world_config.seed = 7;
+  const topology::World world = topology::World::generate(world_config);
+  topology::Pop pop(world, 0);
+
+  service::EfdConfig config;
+  config.controller.enforcement = core::Enforcement::kShadow;
+  config.controller.cycle_period = net::SimTime::seconds(30);
+  service::EfdService daemon(pop, config);
+  daemon.start();
+
+  // Load a RIB once over the BMP socket (kept open so routes persist).
+  const std::vector<std::uint8_t> stream = bmp_stream(24, 2000);
+  io::Fd bmp_conn = io::connect_tcp(daemon.bmp_port());
+  if (!bmp_conn.valid() || !io::send_all(bmp_conn.get(), stream)) {
+    state.SkipWithError("BMP feed failed");
+    return;
+  }
+  daemon.wait_for_bmp_bytes(stream.size(), std::chrono::milliseconds(10000));
+
+  io::Fd sflow = io::connect_udp(daemon.sflow_port());
+  std::vector<telemetry::wire::SflowRecord> records;
+  for (int i = 0; i < 256; ++i) {
+    records.emplace_back(telemetry::wire::DemandRate{
+        net::Prefix(
+            net::IpAddr::v4(0x64000000u + (static_cast<std::uint32_t>(i) << 8)),
+            24),
+        net::Bandwidth::gbps(0.5 + 0.01 * i)});
+  }
+
+  std::uint64_t windows = 0;
+  net::SimTime now;
+  for (auto _ : state) {
+    now = now + net::SimTime::seconds(30);
+    records.push_back(telemetry::wire::SflowRecord(
+        telemetry::wire::WindowClose{now, now}));
+    const std::vector<std::uint8_t> datagram =
+        telemetry::wire::encode_datagram(records);
+    records.pop_back();
+    if (!io::UdpSocket::send_to(sflow.get(), daemon.sflow_port(), datagram)) {
+      state.SkipWithError("sFlow send failed");
+      return;
+    }
+    ++windows;
+    if (!daemon.wait_for_windows(windows, std::chrono::milliseconds(10000))) {
+      state.SkipWithError("daemon missed a window");
+      return;
+    }
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(windows));
+  if (daemon.ingest().cycles_run != windows) {
+    state.SkipWithError("cycle count mismatch");
+  }
+  daemon.stop();
+}
+BENCHMARK(BM_LoopbackCycle)->Unit(benchmark::kMicrosecond)
+    ->MeasureProcessCPUTime()->UseRealTime();
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,23 +1,28 @@
 #!/usr/bin/env bash
-# Allocator performance record: builds Release (its own build dir, so a
-# developer's default RelWithDebInfo tree is untouched), runs the two
-# allocator benchmarks — bench_m11 (allocator scale) and bench_m13
-# (allocation fast path vs the seed allocator) — in google-benchmark JSON
-# mode, and merges both reports into BENCH_alloc.json at the repo root.
-# bench_m13 cross-checks fast-path decisions against the seed allocator
-# before timing, so a recorded speedup can never come from a behaviour
-# change. EXPERIMENTS.md (M13) documents the methodology.
+# Performance records: builds Release (its own build dir, so a
+# developer's default RelWithDebInfo tree is untouched) and runs the
+# google-benchmark suites in JSON mode.
+#   BENCH_alloc.json  — bench_m11 (allocator scale) + bench_m13
+#                       (allocation fast path vs the seed allocator).
+#                       bench_m13 cross-checks fast-path decisions against
+#                       the seed allocator before timing, so a recorded
+#                       speedup can never come from a behaviour change.
+#   BENCH_ingest.json — bench_m14 (BMP/sFlow decode throughput and the
+#                       loopback socket-to-decision cycle latency).
+# EXPERIMENTS.md (M13/M14) documents the methodology.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 cmake -B build-bench -G Ninja -DCMAKE_BUILD_TYPE=Release
 cmake --build build-bench --target bench_m11_allocator_scale \
-  bench_m13_alloc_fastpath
+  bench_m13_alloc_fastpath bench_m14_ingest
 
 ./build-bench/bench/bench_m11_allocator_scale \
   --benchmark_format=json >/tmp/bench_m11.json
 ./build-bench/bench/bench_m13_alloc_fastpath \
   --benchmark_format=json >/tmp/bench_m13.json
+./build-bench/bench/bench_m14_ingest \
+  --benchmark_format=json >/tmp/bench_m14.json
 
 python3 - <<'EOF'
 import json
@@ -48,4 +53,29 @@ with open("BENCH_alloc.json", "w") as f:
     json.dump(merged, f, indent=2)
     f.write("\n")
 print("BENCH_alloc.json written; warm-cycle speedups:", speedups)
+
+# Ingest record: decode throughput in MB/s + msgs/s, cycle latency in us.
+with open("/tmp/bench_m14.json") as f:
+    report = json.load(f)
+ingest = {"context": report.get("context", {}),
+          "benchmarks": report.get("benchmarks", [])}
+summary = {}
+for b in ingest["benchmarks"]:
+    if b.get("run_type", "iteration") != "iteration":
+        continue
+    entry = {}
+    if "bytes_per_second" in b:
+        entry["MB_per_s"] = round(b["bytes_per_second"] / 1e6, 1)
+    if "items_per_second" in b:
+        entry["items_per_s"] = round(b["items_per_second"], 0)
+    if b["name"].startswith("BM_LoopbackCycle"):
+        entry["cycle_latency_us"] = round(
+            b["real_time"] * {"ns": 1e-3, "us": 1.0, "ms": 1e3}.get(
+                b.get("time_unit", "ns"), 1e-3), 1)
+    summary[b["name"]] = entry
+ingest["summary"] = summary
+with open("BENCH_ingest.json", "w") as f:
+    json.dump(ingest, f, indent=2)
+    f.write("\n")
+print("BENCH_ingest.json written:", summary)
 EOF

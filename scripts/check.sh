@@ -10,9 +10,14 @@ cd "$(dirname "$0")/.."
 cmake -B build -G Ninja
 cmake --build build
 ctest --test-dir build --output-on-failure
+# The loopback live-ingest suite (simulator feeding efd over real sockets)
+# is the M14 acceptance gate: run it explicitly so a filtered or flaky
+# ctest invocation can never silently skip it.
+ctest --test-dir build --output-on-failure -R 'LiveIngest'
 for b in build/bench/*; do "$b"; done
-# Allocator perf numbers (BENCH_alloc.json) are recorded separately by
-# scripts/bench.sh — run it after allocator changes to refresh the record.
+# Perf numbers (BENCH_alloc.json, BENCH_ingest.json) are recorded
+# separately by scripts/bench.sh — run it after allocator or ingest
+# changes to refresh the records.
 
 # Second pass: tier-1 suite under TSan (-DEF_SANITIZE=thread). Skipped,
 # loudly, only where the toolchain cannot link libtsan.
@@ -21,6 +26,9 @@ if echo 'int main(){}' | c++ -fsanitize=thread -x c++ - -o /dev/null \
   cmake -B build-tsan -G Ninja -DEF_SANITIZE=thread
   cmake --build build-tsan
   ctest --test-dir build-tsan --output-on-failure
+  # Same explicit gate under TSan: the daemon's event loop, barrier
+  # counters, and digest handoff must be race-free, not just correct.
+  ctest --test-dir build-tsan --output-on-failure -R 'LiveIngest'
 else
   echo "check.sh: toolchain lacks -fsanitize=thread; skipping TSan pass" >&2
 fi

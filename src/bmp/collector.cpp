@@ -35,7 +35,7 @@ bgp::PeerId BmpCollector::intern_peer(std::uint32_t router_key,
   return bgp::PeerId(id);
 }
 
-void BmpCollector::handle(std::uint32_t router_key, const BmpMessage& msg) {
+void BmpCollector::apply(std::uint32_t router_key, const BmpMessage& msg) {
   if (const auto* init = std::get_if<InitiationMsg>(&msg)) {
     ++stats_.initiations;
     router_names_[router_key] = init->sys_name;
@@ -94,18 +94,57 @@ void BmpCollector::handle(std::uint32_t router_key, const BmpMessage& msg) {
   }
 }
 
-void BmpCollector::receive(std::uint32_t router_key,
-                           const std::vector<std::uint8_t>& bytes) {
-  net::BufReader reader(bytes);
-  while (reader.ok() && reader.remaining() >= 6) {
-    auto msg = decode(reader);
-    if (!msg) {
+BmpCollector::ReceiveResult BmpCollector::receive(
+    std::uint32_t router_key, std::span<const std::uint8_t> bytes) {
+  ReceiveResult result;
+  std::vector<std::uint8_t>& buf = pending_[router_key];
+  buf.insert(buf.end(), bytes.begin(), bytes.end());
+
+  std::size_t pos = 0;
+  while (pos < buf.size()) {
+    const FrameDecode frame = decode_frame(
+        std::span<const std::uint8_t>(buf.data() + pos, buf.size() - pos));
+    if (frame.status == FrameDecode::Status::kNeedMore) break;
+    if (frame.status == FrameDecode::Status::kError) {
       ++stats_.malformed;
-      EF_LOG_WARN("malformed BMP message from router " << router_key);
-      return;
+      result.error = frame.error;
+      result.reason = frame.reason;
+      if (!frame.recoverable()) {
+        EF_LOG_WARN("fatal BMP framing error from router "
+                    << router_key << ": " << frame.reason);
+        result.fatal = true;
+        buf.clear();
+        pos = 0;
+        break;
+      }
+      EF_LOG_WARN("skipping bad BMP frame from router " << router_key << ": "
+                                                        << frame.reason);
+      ++result.skipped;
+      pos += frame.consumed;
+      result.consumed += frame.consumed;
+      continue;
     }
-    handle(router_key, *msg);
+    apply(router_key, *frame.message);
+    ++result.applied;
+    pos += frame.consumed;
+    result.consumed += frame.consumed;
   }
+
+  if (pos > 0) buf.erase(buf.begin(), buf.begin() + static_cast<std::ptrdiff_t>(pos));
+  if (buf.empty()) pending_.erase(router_key);
+  return result;
+}
+
+void BmpCollector::drop_router(std::uint32_t router_key) {
+  for (auto& [id, info] : peer_info_) {
+    if (info.router_key != router_key) continue;
+    if (info.up) {
+      info.up = false;
+      ++stats_.peer_downs;
+    }
+    rib_.remove_peer(bgp::PeerId(id));
+  }
+  pending_.erase(router_key);
 }
 
 const BmpCollector::PeerInfo* BmpCollector::peer(bgp::PeerId id) const {

@@ -10,6 +10,7 @@
 #include <cstdint>
 #include <map>
 #include <optional>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -26,10 +27,37 @@ class BmpCollector {
   explicit BmpCollector(bgp::DecisionConfig decision = {})
       : rib_(decision) {}
 
-  /// Feeds raw BMP bytes from the router identified by `router_key`
-  /// (one or more whole messages).
-  void receive(std::uint32_t router_key,
-               const std::vector<std::uint8_t>& bytes);
+  /// Typed outcome of one receive() call.
+  struct ReceiveResult {
+    std::size_t consumed = 0;  // bytes drained from the stream buffer
+    std::size_t applied = 0;   // messages applied to the RIB
+    std::size_t skipped = 0;   // skippable bad frames (counted malformed)
+    /// Unsyncable framing error (bad version/length/oversize): the
+    /// router's pending buffer was dropped and the caller should close
+    /// the underlying session.
+    bool fatal = false;
+    FrameErrorKind error = FrameErrorKind::kNone;
+    std::string reason;
+  };
+
+  /// Feeds raw BMP bytes from the router identified by `router_key`.
+  /// Chunks may split frames at any byte boundary: partial tails are
+  /// buffered per router until the rest arrives. Skippable bad frames
+  /// (unknown type, malformed body) are counted and skipped; header-level
+  /// corruption is fatal for the stream.
+  ReceiveResult receive(std::uint32_t router_key,
+                        std::span<const std::uint8_t> bytes);
+
+  /// Applies one already-decoded message (the daemon path: framing is
+  /// done by io::FrameReassembler, decode by bmp::decode_frame).
+  void apply(std::uint32_t router_key, const BmpMessage& msg);
+
+  /// Tears down everything learned via `router_key`: routes from all of
+  /// its peers leave the RIB, its sessions go down, buffered partial
+  /// input is dropped. Peer interning survives, so a reconnecting router
+  /// re-announces onto its original PeerIds. Used when a live BMP feed
+  /// disconnects — withdrawals missed while it was away must not linger.
+  void drop_router(std::uint32_t router_key);
 
   /// Metadata for a session, keyed by the synthetic collector-wide PeerId
   /// stamped on routes in rib().
@@ -63,13 +91,14 @@ class BmpCollector {
  private:
   bgp::PeerId intern_peer(std::uint32_t router_key,
                           const PerPeerHeader& header);
-  void handle(std::uint32_t router_key, const BmpMessage& msg);
 
   bgp::Rib rib_;
   // (router_key, peer address) -> synthetic peer id value.
   std::map<std::pair<std::uint32_t, net::IpAddr>, std::uint32_t> peer_ids_;
   std::map<std::uint32_t, PeerInfo> peer_info_;  // by synthetic id value
   std::map<std::uint32_t, std::string> router_names_;
+  // Partial frame tails awaiting their next chunk, per router stream.
+  std::map<std::uint32_t, std::vector<std::uint8_t>> pending_;
   std::uint32_t next_peer_id_ = 1;
   Stats stats_;
 };

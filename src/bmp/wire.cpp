@@ -240,4 +240,96 @@ std::optional<BmpMessage> decode(const std::vector<std::uint8_t>& buf) {
   return decode(reader);
 }
 
+namespace {
+
+FrameDecode frame_error(FrameErrorKind kind, std::size_t consumed,
+                        std::string reason) {
+  FrameDecode result;
+  result.status = FrameDecode::Status::kError;
+  result.error = kind;
+  result.consumed = consumed;
+  result.reason = std::move(reason);
+  return result;
+}
+
+bool supported_type(std::uint8_t type) {
+  switch (static_cast<BmpMsgType>(type)) {
+    case BmpMsgType::kRouteMonitoring:
+    case BmpMsgType::kPeerDown:
+    case BmpMsgType::kPeerUp:
+    case BmpMsgType::kInitiation:
+    case BmpMsgType::kTermination:
+      return true;
+    case BmpMsgType::kStatisticsReport:
+    default:
+      return false;
+  }
+}
+
+}  // namespace
+
+FrameDecode peek_frame(std::span<const std::uint8_t> data,
+                       std::size_t max_frame) {
+  FrameDecode result;
+  if (data.size() < 6) {
+    result.status = FrameDecode::Status::kNeedMore;
+    result.need = 6;
+    return result;
+  }
+  const std::uint8_t version = data[0];
+  const std::uint32_t length = (static_cast<std::uint32_t>(data[1]) << 24) |
+                               (static_cast<std::uint32_t>(data[2]) << 16) |
+                               (static_cast<std::uint32_t>(data[3]) << 8) |
+                               static_cast<std::uint32_t>(data[4]);
+  if (version != kBmpVersion) {
+    return frame_error(FrameErrorKind::kBadVersion, 0,
+                       "BMP version " + std::to_string(version) +
+                           " (expected 3)");
+  }
+  if (length < 6) {
+    return frame_error(FrameErrorKind::kBadLength, 0,
+                       "header length " + std::to_string(length) +
+                           " below 6-byte common header");
+  }
+  if (length > max_frame) {
+    return frame_error(FrameErrorKind::kOversized, 0,
+                       "header length " + std::to_string(length) +
+                           " above frame cap " + std::to_string(max_frame));
+  }
+  result.status = FrameDecode::Status::kOk;
+  result.consumed = length;
+  return result;
+}
+
+FrameDecode decode_frame(std::span<const std::uint8_t> data,
+                         std::size_t max_frame) {
+  FrameDecode head = peek_frame(data, max_frame);
+  if (head.status != FrameDecode::Status::kOk) return head;
+  const std::size_t length = head.consumed;
+  if (data.size() < length) {
+    FrameDecode result;
+    result.status = FrameDecode::Status::kNeedMore;
+    result.need = length;
+    return result;
+  }
+  const std::uint8_t type = data[5];
+  if (!supported_type(type)) {
+    return frame_error(
+        FrameErrorKind::kUnsupportedType, length,
+        "unsupported BMP message type " + std::to_string(type));
+  }
+  net::BufReader reader(data.data(), length);
+  auto msg = decode(reader);
+  if (!msg) {
+    return frame_error(FrameErrorKind::kMalformedBody, length,
+                       "malformed body in BMP message type " +
+                           std::to_string(type));
+  }
+  FrameDecode result;
+  result.status = FrameDecode::Status::kOk;
+  result.consumed = length;
+  result.message = std::move(msg);
+  return result;
+}
+
 }  // namespace ef::bmp

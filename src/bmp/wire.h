@@ -5,6 +5,7 @@
 
 #include <cstdint>
 #include <optional>
+#include <span>
 #include <string>
 #include <variant>
 #include <vector>
@@ -98,5 +99,53 @@ std::vector<std::uint8_t> encode(const BmpMessage& msg);
 /// Decodes one BMP message from the reader; nullopt on malformed input.
 std::optional<BmpMessage> decode(net::BufReader& reader);
 std::optional<BmpMessage> decode(const std::vector<std::uint8_t>& buf);
+
+/// Frames larger than this are treated as stream corruption. Real BMP
+/// messages top out far below 1 MiB; a bogus length field must not make
+/// a consumer buffer gigabytes waiting for a frame that never completes.
+inline constexpr std::size_t kMaxFrameBytes = 1u << 20;
+
+enum class FrameErrorKind : std::uint8_t {
+  kNone = 0,
+  kBadVersion,     // header version byte != 3 — stream unsyncable
+  kBadLength,      // header length < 6 — stream unsyncable
+  kOversized,      // header length > max_frame — stream unsyncable
+  kUnsupportedType,  // well-framed but unmodelled message type (skippable)
+  kMalformedBody,  // well-framed but the body failed to decode (skippable)
+};
+
+/// Typed result of decoding one frame from a byte stream.
+struct FrameDecode {
+  enum class Status : std::uint8_t { kOk, kNeedMore, kError };
+  Status status = Status::kNeedMore;
+  /// Bytes of input this frame covered. kOk: always the frame length.
+  /// kError: the frame length for skippable errors (kUnsupportedType,
+  /// kMalformedBody) so the caller can resync past the frame; 0 for
+  /// header-level errors, where no resync point exists.
+  std::size_t consumed = 0;
+  /// kNeedMore: total bytes the frame requires before retrying.
+  std::size_t need = 0;
+  FrameErrorKind error = FrameErrorKind::kNone;
+  std::string reason;
+  std::optional<BmpMessage> message;  // set when kOk
+
+  bool ok() const { return status == Status::kOk; }
+  /// True when the stream can continue past this frame.
+  bool recoverable() const {
+    return status != Status::kError || consumed > 0;
+  }
+};
+
+/// Sizes the frame at the head of `data` from its common header alone:
+/// kNeedMore (need=6) below header size, kError for a bad version /
+/// length, else kOk with consumed = the full frame length (which may
+/// exceed data.size() — only the header must be present).
+FrameDecode peek_frame(std::span<const std::uint8_t> data,
+                       std::size_t max_frame = kMaxFrameBytes);
+
+/// Decodes one whole frame from the head of `data`. Never reads past the
+/// frame; trailing bytes are the next frame's problem.
+FrameDecode decode_frame(std::span<const std::uint8_t> data,
+                         std::size_t max_frame = kMaxFrameBytes);
 
 }  // namespace ef::bmp

@@ -28,8 +28,8 @@ Controller::Controller(topology::Pop& pop, ControllerConfig config)
 
 void Controller::connect(int router_index) {
   EF_CHECK(sessions_.empty(), "controller already connected");
-  if (config_.enforcement == Enforcement::kHostRouting) {
-    return;  // host routing needs no BGP session
+  if (config_.enforcement != Enforcement::kBgpInjection) {
+    return;  // only BGP injection needs sessions
   }
   if (config_.inject_all_routers) {
     for (int r = 0; r < pop_->router_count(); ++r) {
@@ -41,7 +41,7 @@ void Controller::connect(int router_index) {
 }
 
 bool Controller::connected() const {
-  if (config_.enforcement == Enforcement::kHostRouting) return true;
+  if (config_.enforcement != Enforcement::kBgpInjection) return true;
   return established_sessions() > 0;
 }
 
@@ -62,7 +62,7 @@ void Controller::drop_session(std::size_t index, net::SimTime now) {
 
 CycleStats Controller::run_cycle(const telemetry::DemandMatrix& demand,
                                  net::SimTime now) {
-  EF_CHECK(config_.enforcement == Enforcement::kHostRouting ||
+  EF_CHECK(config_.enforcement != Enforcement::kBgpInjection ||
                !sessions_.empty(),
            "controller not connected");
   CycleStats stats;
@@ -78,7 +78,8 @@ CycleStats Controller::run_cycle(const telemetry::DemandMatrix& demand,
                       route.attrs.next_hop};
   };
 
-  const bgp::Rib& rib = pop_->collector().rib();
+  const bgp::Rib& rib =
+      rib_source_ != nullptr ? *rib_source_ : pop_->collector().rib();
   const bgp::Rib::RankCacheStats cache_before = rib.rank_cache_stats();
   const auto wall_start = std::chrono::steady_clock::now();
   stats.allocation = allocator_.allocate(rib, demand, pop_->interfaces(),
@@ -162,7 +163,7 @@ CycleStats Controller::run_cycle(const telemetry::DemandMatrix& demand,
 
   // Safety guard rails: drop overrides whose target route vanished and
   // enforce the detour budget, before anything reaches the routers.
-  stats.safety = safety_.apply(fresh, pop_->collector().rib(), demand.total());
+  stats.safety = safety_.apply(fresh, rib, demand.total());
 
   // Enforce: BGP injection (paper) or direct host programming.
   if (config_.enforcement == Enforcement::kBgpInjection) {
@@ -179,7 +180,7 @@ CycleStats Controller::run_cycle(const telemetry::DemandMatrix& demand,
     }
     speaker_.set_originations(originations, now);
     pop_->pump();
-  } else {
+  } else if (config_.enforcement == Enforcement::kHostRouting) {
     const net::SimTime lease_until =
         now + net::SimTime::millis(static_cast<std::int64_t>(
                   config_.cycle_period.millis_value() *
@@ -206,9 +207,8 @@ CycleStats Controller::run_cycle(const telemetry::DemandMatrix& demand,
   stats.overrides_active = active_.size();
 
   if (observer_) {
-    observer_(CycleRecord{demand, pop_->collector().rib(),
-                          pop_->interfaces(), resolver, config_.allocator,
-                          active_, stats});
+    observer_(CycleRecord{demand, rib, pop_->interfaces(), resolver,
+                          config_.allocator, active_, stats});
   }
   return stats;
 }

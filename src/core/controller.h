@@ -34,6 +34,11 @@ enum class Enforcement : std::uint8_t {
   /// controller keeps refreshing; a dead controller's entries persist
   /// (possibly stale!) until the lease runs out.
   kHostRouting = 1,
+  /// Compute-only: run the full allocation + safety pipeline and track
+  /// the override set, but never push it anywhere. This is the efd
+  /// daemon's mirror mode (decisions are compared against an enforcing
+  /// controller) and doubles as an operator dry-run.
+  kShadow = 2,
 };
 
 struct ControllerConfig {
@@ -142,6 +147,14 @@ class Controller {
     observer_ = std::move(observer);
   }
 
+  /// Points allocation, safety, and the cycle observer at an external
+  /// RIB instead of the PoP's in-process collector. The efd daemon uses
+  /// this to run cycles against the RIB its socket-fed collector
+  /// assembled; enforcement still flows through the PoP's sessions.
+  /// Pass nullptr to revert. The RIB must outlive the controller or the
+  /// next set_rib_source call.
+  void set_rib_source(const bgp::Rib* rib) { rib_source_ = rib; }
+
   const std::map<net::Prefix, Override>& active_overrides() const {
     return active_;
   }
@@ -158,6 +171,7 @@ class Controller {
   SafetyGuard safety_;
   bgp::BgpSpeaker speaker_;
   std::vector<bgp::PeerId> sessions_;
+  const bgp::Rib* rib_source_ = nullptr;  // nullptr = PoP collector RIB
   std::map<net::Prefix, Override> active_;
   Advisor advisor_;
   CycleObserver observer_;

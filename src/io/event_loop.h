@@ -1,0 +1,159 @@
+// Epoll-based event loop: the reactor under the efd controller daemon.
+//
+// One loop owns one epoll instance plus a monotonic timer heap, an
+// eventfd wakeup channel for cross-thread posts, and (optionally) a
+// signalfd for SIGINT/SIGTERM-style shutdown. Everything user-visible
+// runs on the loop thread: fd handlers, timer callbacks, posted
+// functions, and signal handlers never race each other, so the daemon's
+// ingest state needs no locks of its own.
+//
+// The loop is deliberately small — level-triggered by default (a handler
+// that drains partially is re-armed for free), with opt-in edge
+// triggering for high-rate fds whose handlers always drain to EAGAIN.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <initializer_list>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+namespace ef::io {
+
+/// Interest / readiness bits. kRead/kWrite select epoll interest;
+/// kEdge switches the fd to edge-triggered (EPOLLET). Handlers receive
+/// the readiness subset plus kError/kHangup when the kernel reports them.
+enum Interest : std::uint32_t {
+  kRead = 1u << 0,
+  kWrite = 1u << 1,
+  kEdge = 1u << 2,    // registration-only flag, never reported
+  kError = 1u << 3,   // reported only (EPOLLERR)
+  kHangup = 1u << 4,  // reported only (EPOLLHUP / EPOLLRDHUP)
+};
+
+class EventLoop {
+ public:
+  using FdHandler = std::function<void(std::uint32_t ready)>;
+  using TimerId = std::uint64_t;
+
+  EventLoop();
+  ~EventLoop();
+  EventLoop(const EventLoop&) = delete;
+  EventLoop& operator=(const EventLoop&) = delete;
+
+  /// Registers `fd` with the given Interest bits. The loop never owns or
+  /// closes the fd; unwatch it before closing. Safe to call from handlers.
+  void watch(int fd, std::uint32_t interest, FdHandler handler);
+
+  /// Changes the interest set of a watched fd (e.g. add kWrite while a
+  /// connection has queued output, drop it when the queue drains).
+  void rearm(int fd, std::uint32_t interest);
+
+  /// Deregisters the fd. Safe to call from inside its own handler (the
+  /// in-flight dispatch batch skips it afterwards).
+  void unwatch(int fd);
+
+  bool watched(int fd) const { return handlers_.contains(fd); }
+
+  /// One-shot timer on the monotonic clock. Fires once after `delay`.
+  TimerId call_after(std::chrono::nanoseconds delay,
+                     std::function<void()> fn);
+
+  /// Periodic timer; first fire after `period`, then every `period`
+  /// (fixed schedule — a slow callback does not shift later deadlines).
+  TimerId call_every(std::chrono::nanoseconds period,
+                     std::function<void()> fn);
+
+  void cancel_timer(TimerId id);
+
+  /// Enqueues `fn` to run on the loop thread. Thread-safe; wakes the loop
+  /// via the eventfd if it is blocked in epoll_wait.
+  void post(std::function<void()> fn);
+
+  /// Runs `fn` on the loop thread and blocks until it returned. Safe from
+  /// any thread; from the loop thread itself it runs inline.
+  void run_sync(std::function<void()> fn);
+
+  /// Routes `signals` (e.g. {SIGINT, SIGTERM}) into `handler` via a
+  /// signalfd. The signals must already be blocked in every thread of the
+  /// process (block them in main() before spawning threads), otherwise
+  /// default dispositions race the signalfd.
+  void watch_signals(std::initializer_list<int> signals,
+                     std::function<void(int)> handler);
+
+  /// Dispatches until stop(). Must be called from exactly one thread; that
+  /// thread becomes the loop thread.
+  void run();
+
+  /// Thread-safe; makes run() return after the current dispatch batch.
+  void stop();
+
+  /// Single iteration: waits at most `timeout` (clamped by the next timer
+  /// deadline), dispatches ready fds, posted functions, and due timers.
+  /// Returns the number of callbacks dispatched. For tests and manual
+  /// pumping; run() is a loop around this.
+  std::size_t poll_once(std::chrono::milliseconds timeout);
+
+  struct Stats {
+    std::uint64_t iterations = 0;
+    std::uint64_t fd_dispatches = 0;
+    std::uint64_t timer_fires = 0;
+    std::uint64_t posts_run = 0;
+  };
+  const Stats& stats() const { return stats_; }
+
+ private:
+  struct Handler {
+    std::uint32_t interest = 0;
+    FdHandler fn;
+    bool alive = true;  // cleared by unwatch; in-flight batches check it
+  };
+  struct Timer {
+    std::chrono::steady_clock::time_point deadline;
+    TimerId id = 0;
+    // Min-heap on deadline; id breaks ties so firing order is stable.
+    bool operator>(const Timer& other) const {
+      if (deadline != other.deadline) return deadline > other.deadline;
+      return id > other.id;
+    }
+  };
+  struct TimerState {
+    std::function<void()> fn;
+    std::chrono::nanoseconds period{0};  // 0 = one-shot
+  };
+
+  TimerId arm_timer(std::chrono::nanoseconds delay,
+                    std::chrono::nanoseconds period,
+                    std::function<void()> fn);
+  int next_timer_timeout_ms(std::chrono::milliseconds cap) const;
+  std::size_t run_due_timers();
+  std::size_t drain_posted();
+  static std::uint32_t to_epoll(std::uint32_t interest);
+
+  int epoll_fd_ = -1;
+  int wakeup_fd_ = -1;    // eventfd
+  int signal_fd_ = -1;    // signalfd, when watch_signals was called
+  std::function<void(int)> signal_handler_;
+
+  std::unordered_map<int, std::shared_ptr<Handler>> handlers_;
+  std::vector<Timer> timer_heap_;  // std::push_heap/pop_heap with greater
+  std::unordered_map<TimerId, TimerState> timers_;
+  TimerId next_timer_id_ = 1;
+
+  std::mutex post_mutex_;
+  std::deque<std::function<void()>> posted_;
+
+  std::atomic<bool> stop_{false};
+  std::atomic<bool> running_{false};
+  std::thread::id loop_thread_{};
+
+  Stats stats_;
+};
+
+}  // namespace ef::io

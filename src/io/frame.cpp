@@ -1,0 +1,55 @@
+#include "io/frame.h"
+
+#include <sstream>
+
+namespace ef::io {
+
+std::size_t FrameReassembler::feed(std::span<const std::uint8_t> chunk,
+                                   const FrameSink& sink) {
+  stats_.bytes_in += chunk.size();
+  if (poisoned_) return 0;
+  buf_.insert(buf_.end(), chunk.begin(), chunk.end());
+
+  std::size_t emitted = 0;
+  for (;;) {
+    const std::span<const std::uint8_t> view(buf_.data() + pos_,
+                                             buf_.size() - pos_);
+    const Peek peek = peek_(view);
+    if (peek.status == PeekStatus::kError) {
+      poisoned_ = true;
+      poison_reason_ = peek.reason;
+      break;
+    }
+    if (peek.status == PeekStatus::kNeedMore) break;
+    if (peek.len > max_frame_) {
+      poisoned_ = true;
+      std::ostringstream os;
+      os << "frame of " << peek.len << " bytes exceeds max " << max_frame_;
+      poison_reason_ = os.str();
+      break;
+    }
+    if (view.size() < peek.len) break;  // length known, body still partial
+    sink(view.subspan(0, peek.len));
+    pos_ += peek.len;
+    ++emitted;
+    ++stats_.frames_out;
+  }
+
+  if (pos_ == buf_.size()) {
+    buf_.clear();
+    pos_ = 0;
+  } else if (pos_ > 65536 && pos_ * 2 > buf_.size()) {
+    buf_.erase(buf_.begin(), buf_.begin() + static_cast<std::ptrdiff_t>(pos_));
+    pos_ = 0;
+  }
+  return emitted;
+}
+
+void FrameReassembler::reset() {
+  buf_.clear();
+  pos_ = 0;
+  poisoned_ = false;
+  poison_reason_.clear();
+}
+
+}  // namespace ef::io

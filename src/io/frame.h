@@ -1,0 +1,76 @@
+// Stream framing: turns the arbitrary byte chunks a TCP socket delivers
+// back into whole protocol frames.
+//
+// FrameReassembler is protocol-agnostic — a PeekFn inspects the buffered
+// prefix and answers "how long is the next frame?" (or "need more bytes",
+// or "this stream is broken"). The BMP peek lives with the BMP codec
+// (bmp::peek_frame); this layer only owns buffering, resync-free error
+// poisoning, and the max-frame guard that keeps a hostile or corrupt feed
+// from ballooning daemon memory.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <span>
+#include <string>
+
+#include <vector>
+
+namespace ef::io {
+
+enum class PeekStatus : std::uint8_t {
+  kFrame,     // a whole frame's length is known (and may be buffered)
+  kNeedMore,  // prefix too short to size the frame
+  kError,     // stream is unframeable from here on (no resync point)
+};
+
+struct Peek {
+  PeekStatus status = PeekStatus::kNeedMore;
+  /// kFrame: total frame length in bytes. kNeedMore: minimum buffered
+  /// bytes required before peeking again.
+  std::size_t len = 0;
+  const char* reason = "";  // kError only
+};
+
+using PeekFn = std::function<Peek(std::span<const std::uint8_t>)>;
+
+/// Reassembles length-delimited frames from a chunked byte stream.
+class FrameReassembler {
+ public:
+  using FrameSink = std::function<void(std::span<const std::uint8_t>)>;
+
+  explicit FrameReassembler(PeekFn peek, std::size_t max_frame = 1u << 20)
+      : peek_(std::move(peek)), max_frame_(max_frame) {}
+
+  /// Appends `chunk` and emits every now-complete frame into `sink`.
+  /// Returns frames emitted. Once poisoned (peek error or a frame above
+  /// `max_frame`), all further input is dropped — a length-prefixed
+  /// stream has no resync point after a bad header, so the owner should
+  /// close the connection.
+  std::size_t feed(std::span<const std::uint8_t> chunk,
+                   const FrameSink& sink);
+
+  bool poisoned() const { return poisoned_; }
+  const std::string& poison_reason() const { return poison_reason_; }
+  std::size_t buffered() const { return buf_.size() - pos_; }
+
+  /// Drops buffered bytes and clears poisoning (fresh connection).
+  void reset();
+
+  struct Stats {
+    std::uint64_t bytes_in = 0;
+    std::uint64_t frames_out = 0;
+  };
+  const Stats& stats() const { return stats_; }
+
+ private:
+  PeekFn peek_;
+  std::size_t max_frame_;
+  std::vector<std::uint8_t> buf_;
+  std::size_t pos_ = 0;  // consumed prefix of buf_
+  bool poisoned_ = false;
+  std::string poison_reason_;
+  Stats stats_;
+};
+
+}  // namespace ef::io

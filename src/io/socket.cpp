@@ -1,0 +1,261 @@
+#include "io/socket.h"
+
+#include <arpa/inet.h>
+#include <dirent.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "net/log.h"
+
+namespace ef::io {
+
+namespace {
+
+sockaddr_in loopback(std::uint16_t port) {
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  return addr;
+}
+
+std::uint16_t bound_port(int fd) {
+  sockaddr_in addr{};
+  socklen_t len = sizeof addr;
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len) != 0) {
+    return 0;
+  }
+  return ntohs(addr.sin_port);
+}
+
+}  // namespace
+
+void Fd::reset() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+bool set_nonblocking(int fd) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags < 0) return false;
+  return ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) == 0;
+}
+
+std::size_t open_fd_count() {
+  std::size_t count = 0;
+  DIR* dir = ::opendir("/proc/self/fd");
+  if (dir == nullptr) return 0;
+  while (::readdir(dir) != nullptr) ++count;
+  ::closedir(dir);
+  return count > 3 ? count - 3 : 0;  // ".", "..", and the DIR's own fd
+}
+
+std::optional<TcpListener> TcpListener::open(std::uint16_t port) {
+  Fd fd(::socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC, 0));
+  if (!fd.valid()) return std::nullopt;
+  const int one = 1;
+  ::setsockopt(fd.get(), SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+  const sockaddr_in addr = loopback(port);
+  if (::bind(fd.get(), reinterpret_cast<const sockaddr*>(&addr),
+             sizeof addr) != 0) {
+    return std::nullopt;
+  }
+  if (::listen(fd.get(), 64) != 0) return std::nullopt;
+  TcpListener listener;
+  listener.port_ = bound_port(fd.get());
+  listener.fd_ = std::move(fd);
+  return listener;
+}
+
+Fd TcpListener::accept_one() {
+  const int fd = ::accept4(fd_.get(), nullptr, nullptr,
+                           SOCK_NONBLOCK | SOCK_CLOEXEC);
+  if (fd < 0) return Fd();
+  const int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+  return Fd(fd);
+}
+
+TcpConn::TcpConn(Fd fd, std::size_t max_backlog)
+    : fd_(std::move(fd)), max_backlog_(max_backlog) {}
+
+bool TcpConn::read_some() {
+  if (broken_) return false;
+  // Compact once the consumed prefix dominates, so the buffer does not
+  // creep unboundedly under a slow parser.
+  if (read_pos_ > 4096 && read_pos_ * 2 > read_buf_.size()) {
+    read_buf_.erase(read_buf_.begin(),
+                    read_buf_.begin() + static_cast<std::ptrdiff_t>(read_pos_));
+    read_pos_ = 0;
+  }
+  bool open = true;
+  for (;;) {
+    std::uint8_t chunk[16384];
+    const ssize_t n = ::recv(fd_.get(), chunk, sizeof chunk, 0);
+    if (n > 0) {
+      read_buf_.insert(read_buf_.end(), chunk, chunk + n);
+      continue;
+    }
+    if (n == 0) {
+      open = false;  // orderly EOF
+      break;
+    }
+    if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+    if (errno == EINTR) continue;
+    broken_ = true;
+    open = false;
+    break;
+  }
+  return open;
+}
+
+void TcpConn::consume(std::size_t n) {
+  read_pos_ += n;
+  EF_CHECK(read_pos_ <= read_buf_.size(), "consume past end of read buffer");
+  if (read_pos_ == read_buf_.size()) {
+    read_buf_.clear();
+    read_pos_ = 0;
+  }
+}
+
+bool TcpConn::send(std::span<const std::uint8_t> data) {
+  if (broken_) return false;
+  write_buf_.insert(write_buf_.end(), data.begin(), data.end());
+  if (!flush()) return false;
+  if (write_buf_.size() - write_pos_ > max_backlog_) {
+    broken_ = true;  // peer is not reading; shed it rather than buffer
+    return false;
+  }
+  return true;
+}
+
+bool TcpConn::flush() {
+  if (broken_) return false;
+  while (write_pos_ < write_buf_.size()) {
+    const ssize_t n = ::send(fd_.get(), write_buf_.data() + write_pos_,
+                             write_buf_.size() - write_pos_, MSG_NOSIGNAL);
+    if (n > 0) {
+      write_pos_ += static_cast<std::size_t>(n);
+      continue;
+    }
+    if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+    if (errno == EINTR) continue;
+    broken_ = true;
+    return false;
+  }
+  if (write_pos_ == write_buf_.size()) {
+    write_buf_.clear();
+    write_pos_ = 0;
+  } else if (write_pos_ > 65536) {
+    write_buf_.erase(
+        write_buf_.begin(),
+        write_buf_.begin() + static_cast<std::ptrdiff_t>(write_pos_));
+    write_pos_ = 0;
+  }
+  return true;
+}
+
+std::optional<UdpSocket> UdpSocket::bind(std::uint16_t port) {
+  Fd fd(::socket(AF_INET, SOCK_DGRAM | SOCK_NONBLOCK | SOCK_CLOEXEC, 0));
+  if (!fd.valid()) return std::nullopt;
+  // As much kernel buffer as the host allows: sFlow bursts between loop
+  // iterations land here. (Silently capped by net.core.rmem_max.)
+  const int want = 8 << 20;
+  ::setsockopt(fd.get(), SOL_SOCKET, SO_RCVBUF, &want, sizeof want);
+  const sockaddr_in addr = loopback(port);
+  if (::bind(fd.get(), reinterpret_cast<const sockaddr*>(&addr),
+             sizeof addr) != 0) {
+    return std::nullopt;
+  }
+  UdpSocket sock;
+  sock.port_ = bound_port(fd.get());
+  sock.fd_ = std::move(fd);
+  return sock;
+}
+
+std::size_t UdpSocket::drain(
+    const std::function<void(std::span<const std::uint8_t>)>& sink) {
+  std::size_t count = 0;
+  for (;;) {
+    std::uint8_t buf[65536];
+    const ssize_t n = ::recv(fd_.get(), buf, sizeof buf, 0);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      break;  // EAGAIN: drained
+    }
+    sink(std::span<const std::uint8_t>(buf, static_cast<std::size_t>(n)));
+    ++count;
+  }
+  return count;
+}
+
+bool UdpSocket::send_to(int fd, std::uint16_t port,
+                        std::span<const std::uint8_t> data) {
+  const sockaddr_in addr = loopback(port);
+  for (;;) {
+    const ssize_t n =
+        ::sendto(fd, data.data(), data.size(), 0,
+                 reinterpret_cast<const sockaddr*>(&addr), sizeof addr);
+    if (n == static_cast<ssize_t>(data.size())) return true;
+    if (n < 0 && errno == EINTR) continue;
+    return false;
+  }
+}
+
+Fd connect_tcp(std::uint16_t port) {
+  Fd fd(::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0));
+  if (!fd.valid()) return Fd();
+  const sockaddr_in addr = loopback(port);
+  if (::connect(fd.get(), reinterpret_cast<const sockaddr*>(&addr),
+                sizeof addr) != 0) {
+    return Fd();
+  }
+  const int one = 1;
+  ::setsockopt(fd.get(), IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+  return fd;
+}
+
+bool send_all(int fd, std::span<const std::uint8_t> data) {
+  std::size_t sent = 0;
+  while (sent < data.size()) {
+    const ssize_t n = ::send(fd, data.data() + sent, data.size() - sent,
+                             MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    sent += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+std::vector<std::uint8_t> recv_some(int fd, std::size_t max) {
+  std::vector<std::uint8_t> out(max);
+  for (;;) {
+    const ssize_t n = ::recv(fd, out.data(), out.size(), 0);
+    if (n < 0 && errno == EINTR) continue;
+    out.resize(n > 0 ? static_cast<std::size_t>(n) : 0);
+    return out;
+  }
+}
+
+Fd connect_udp(std::uint16_t port) {
+  Fd fd(::socket(AF_INET, SOCK_DGRAM | SOCK_CLOEXEC, 0));
+  if (!fd.valid()) return Fd();
+  const sockaddr_in addr = loopback(port);
+  if (::connect(fd.get(), reinterpret_cast<const sockaddr*>(&addr),
+                sizeof addr) != 0) {
+    return Fd();
+  }
+  return fd;
+}
+
+}  // namespace ef::io

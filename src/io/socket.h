@@ -1,0 +1,151 @@
+// Non-blocking TCP/UDP socket wrappers for the ingest service, plus the
+// blocking client-side helpers the feed tools use.
+//
+// Daemon side (non-blocking, loop-driven): TcpListener accepts BMP
+// sessions, TcpConn owns per-connection read/write buffers with
+// backpressure, UdpSocket drains sFlow datagrams. Feeder side (blocking):
+// connect_tcp/send_all keep eftool-feed and the simulator adapter simple —
+// the kernel's socket buffers plus TCP flow control are the backpressure.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace ef::io {
+
+/// RAII fd. Move-only; closes on destruction.
+class Fd {
+ public:
+  Fd() = default;
+  explicit Fd(int fd) : fd_(fd) {}
+  ~Fd() { reset(); }
+  Fd(Fd&& other) noexcept : fd_(other.fd_) { other.fd_ = -1; }
+  Fd& operator=(Fd&& other) noexcept {
+    if (this != &other) {
+      reset();
+      fd_ = other.fd_;
+      other.fd_ = -1;
+    }
+    return *this;
+  }
+  Fd(const Fd&) = delete;
+  Fd& operator=(const Fd&) = delete;
+
+  int get() const { return fd_; }
+  bool valid() const { return fd_ >= 0; }
+  int release() {
+    const int fd = fd_;
+    fd_ = -1;
+    return fd;
+  }
+  void reset();
+
+ private:
+  int fd_ = -1;
+};
+
+bool set_nonblocking(int fd);
+
+/// Counts this process's open file descriptors (via /proc/self/fd) — the
+/// fd-leak assertion the ingest tests use.
+std::size_t open_fd_count();
+
+/// Non-blocking loopback/any-address TCP listener. port 0 = ephemeral.
+class TcpListener {
+ public:
+  /// Binds and listens on 127.0.0.1:`port`. Returns nullopt on failure
+  /// (port in use, ...).
+  static std::optional<TcpListener> open(std::uint16_t port);
+
+  int fd() const { return fd_.get(); }
+  std::uint16_t port() const { return port_; }
+
+  /// Accepts one pending connection as a non-blocking fd, or an invalid
+  /// Fd when the backlog is empty (EAGAIN).
+  Fd accept_one();
+
+ private:
+  Fd fd_;
+  std::uint16_t port_ = 0;
+};
+
+/// One accepted TCP connection with owned buffers.
+///
+/// Reading: read_some() drains the socket into an internal buffer the
+/// caller consumes via readable()/consume(). Writing: send() appends to a
+/// bounded write queue and flushes opportunistically; the caller rearms
+/// kWrite interest while wants_write() and calls flush() on writability.
+/// A write queue above `max_backlog` bytes marks the connection broken —
+/// a peer that stops reading cannot pin unbounded daemon memory.
+class TcpConn {
+ public:
+  explicit TcpConn(Fd fd, std::size_t max_backlog = 4u << 20);
+
+  int fd() const { return fd_.get(); }
+  bool broken() const { return broken_; }
+
+  /// Drains the socket. Returns false when the peer closed (EOF) or the
+  /// connection errored; readable() may still hold a final chunk.
+  bool read_some();
+
+  std::span<const std::uint8_t> readable() const {
+    return {read_buf_.data() + read_pos_, read_buf_.size() - read_pos_};
+  }
+  void consume(std::size_t n);
+
+  /// Queues and opportunistically flushes. False once broken (backlog
+  /// overflow or socket error).
+  bool send(std::span<const std::uint8_t> data);
+  bool flush();
+  bool wants_write() const { return !write_buf_.empty(); }
+  std::size_t write_backlog() const { return write_buf_.size(); }
+
+ private:
+  Fd fd_;
+  std::vector<std::uint8_t> read_buf_;
+  std::size_t read_pos_ = 0;
+  std::vector<std::uint8_t> write_buf_;
+  std::size_t write_pos_ = 0;
+  std::size_t max_backlog_;
+  bool broken_ = false;
+};
+
+/// Non-blocking UDP socket bound to 127.0.0.1:`port` (0 = ephemeral).
+class UdpSocket {
+ public:
+  static std::optional<UdpSocket> bind(std::uint16_t port);
+
+  int fd() const { return fd_.get(); }
+  std::uint16_t port() const { return port_; }
+
+  /// Drains every queued datagram into `sink`. Returns datagrams seen.
+  std::size_t drain(
+      const std::function<void(std::span<const std::uint8_t>)>& sink);
+
+  /// One datagram to 127.0.0.1:`port` (client direction; also usable on
+  /// an unbound socket).
+  static bool send_to(int fd, std::uint16_t port,
+                      std::span<const std::uint8_t> data);
+
+ private:
+  Fd fd_;
+  std::uint16_t port_ = 0;
+};
+
+/// Blocking client connect to 127.0.0.1:`port` (feed tools).
+Fd connect_tcp(std::uint16_t port);
+
+/// Blocking full write. False on error/EPIPE.
+bool send_all(int fd, std::span<const std::uint8_t> data);
+
+/// Blocking read of at most `max` bytes; empty vector on EOF/error.
+std::vector<std::uint8_t> recv_some(int fd, std::size_t max = 65536);
+
+/// Opens a blocking UDP fd "connected" to 127.0.0.1:`port`.
+Fd connect_udp(std::uint16_t port);
+
+}  // namespace ef::io

@@ -1,0 +1,428 @@
+#include "service/efd.h"
+
+#include <csignal>
+
+#include <sstream>
+
+#include "net/log.h"
+
+namespace ef::service {
+
+namespace {
+
+/// Adapts the BMP common-header peek to the reassembler's interface.
+io::PeekFn bmp_peek() {
+  return [](std::span<const std::uint8_t> data) {
+    const bmp::FrameDecode head = bmp::peek_frame(data);
+    io::Peek peek;
+    switch (head.status) {
+      case bmp::FrameDecode::Status::kOk:
+        peek.status = io::PeekStatus::kFrame;
+        peek.len = head.consumed;
+        break;
+      case bmp::FrameDecode::Status::kNeedMore:
+        peek.status = io::PeekStatus::kNeedMore;
+        peek.len = head.need;
+        break;
+      case bmp::FrameDecode::Status::kError:
+        peek.status = io::PeekStatus::kError;
+        peek.reason = "bad BMP common header";
+        break;
+    }
+    return peek;
+  };
+}
+
+}  // namespace
+
+EfdService::EfdService(topology::Pop& pop, EfdConfig config)
+    : pop_(&pop),
+      config_(config),
+      controller_(pop, config.controller),
+      aggregator_(pop.prefix_table(), config.sflow_sample_rate),
+      smoother_(config.sflow_smoothing_alpha) {
+  controller_.set_rib_source(&collector_.rib());
+  controller_.connect();
+}
+
+EfdService::~EfdService() { stop(); }
+
+void EfdService::start() {
+  EF_CHECK(!thread_.joinable(), "efd already started");
+
+  auto bmp_listener = io::TcpListener::open(config_.bmp_port);
+  EF_CHECK(bmp_listener.has_value(),
+           "efd: cannot listen for BMP on 127.0.0.1:" << config_.bmp_port);
+  bmp_listener_ = std::move(*bmp_listener);
+
+  auto sflow = io::UdpSocket::bind(config_.sflow_port);
+  EF_CHECK(sflow.has_value(),
+           "efd: cannot bind sFlow UDP 127.0.0.1:" << config_.sflow_port);
+  sflow_sock_ = std::move(*sflow);
+
+  http_ = std::make_unique<HttpServer>(
+      loop_, config_.http_port,
+      [this](const std::string& path) { return serve_http(path); });
+
+  loop_.watch(bmp_listener_->fd(), io::kRead,
+              [this](std::uint32_t) { on_bmp_accept(); });
+  loop_.watch(sflow_sock_->fd(), io::kRead,
+              [this](std::uint32_t) { on_sflow_ready(); });
+
+  if (config_.real_time_cycles) {
+    loop_.call_every(config_.cycle_wall_period, [this] {
+      now_ = now_ + config_.controller.cycle_period;
+      if (config_.controller.enforcement != core::Enforcement::kShadow) {
+        controller_.tick(now_);
+      }
+      run_cycle_at(now_, smoother_.current());
+      next_cycle_ = now_ + config_.controller.cycle_period;
+    });
+  }
+
+  thread_ = std::thread([this] { loop_.run(); });
+}
+
+void EfdService::stop() {
+  if (!thread_.joinable()) return;
+  loop_.stop();
+  wait();
+}
+
+void EfdService::wait() {
+  if (!thread_.joinable()) return;
+  thread_.join();
+  // Loop is down; tear ingest state down from this thread. Fd RAII
+  // closes every socket.
+  for (auto& [fd, conn] : bmp_conns_) loop_.unwatch(fd);
+  bmp_conns_.clear();
+  http_.reset();
+  if (bmp_listener_) loop_.unwatch(bmp_listener_->fd());
+  bmp_listener_.reset();
+  if (sflow_sock_) loop_.unwatch(sflow_sock_->fd());
+  sflow_sock_.reset();
+}
+
+std::uint16_t EfdService::bmp_port() const {
+  return bmp_listener_ ? bmp_listener_->port() : 0;
+}
+std::uint16_t EfdService::sflow_port() const {
+  return sflow_sock_ ? sflow_sock_->port() : 0;
+}
+std::uint16_t EfdService::http_port() const {
+  return http_ ? http_->port() : 0;
+}
+
+void EfdService::shutdown_on_signals() {
+  loop_.watch_signals({SIGINT, SIGTERM}, [this](int sig) {
+    EF_LOG_INFO("efd: signal " << sig << ", shutting down");
+    loop_.stop();
+  });
+}
+
+void EfdService::on_bmp_accept() {
+  for (;;) {
+    io::Fd fd = bmp_listener_->accept_one();
+    if (!fd.valid()) return;
+    const int raw = fd.get();
+    bmp_conns_.emplace(raw,
+                       std::make_unique<BmpConn>(std::move(fd), bmp_peek()));
+    loop_.watch(raw, io::kRead, [this, raw](std::uint32_t ready) {
+      on_bmp_event(raw, ready);
+    });
+    bmp_connections_.fetch_add(1, std::memory_order_release);
+  }
+}
+
+void EfdService::on_bmp_event(int fd, std::uint32_t ready) {
+  auto it = bmp_conns_.find(fd);
+  if (it == bmp_conns_.end()) return;
+  BmpConn& conn = *it->second;
+
+  bool open = true;
+  if (ready & (io::kRead | io::kHangup | io::kError)) {
+    open = conn.tcp.read_some();
+  }
+  const auto data = conn.tcp.readable();
+  if (!data.empty()) {
+    conn.frames.feed(data, [&](std::span<const std::uint8_t> frame) {
+      handle_bmp_frame(conn, frame);
+    });
+    conn.tcp.consume(data.size());
+    // Published only after every complete frame in `data` was applied —
+    // the feeder's "all my bytes are in the RIB" barrier.
+    bmp_bytes_.fetch_add(data.size(), std::memory_order_release);
+  }
+  if (conn.frames.poisoned()) {
+    EF_LOG_WARN("efd: dropping BMP session on fd "
+                << fd << ": " << conn.frames.poison_reason());
+    open = false;
+  }
+  if (!open || conn.tcp.broken()) close_bmp_conn(fd, true);
+}
+
+void EfdService::handle_bmp_frame(BmpConn& conn,
+                                  std::span<const std::uint8_t> frame) {
+  const bmp::FrameDecode decoded = bmp::decode_frame(frame);
+  if (!decoded.ok()) {
+    bmp_malformed_.fetch_add(1, std::memory_order_relaxed);
+    EF_LOG_WARN("efd: skipping BMP frame: " << decoded.reason);
+    return;
+  }
+  if (!conn.router_key) {
+    const auto* init = std::get_if<bmp::InitiationMsg>(&*decoded.message);
+    if (init == nullptr) {
+      // A feed that talks before introducing itself has no router
+      // identity to book routes under.
+      bmp_malformed_.fetch_add(1, std::memory_order_relaxed);
+      return;
+    }
+    auto [it, inserted] =
+        router_keys_.try_emplace(init->sys_name, next_router_key_);
+    if (inserted) ++next_router_key_;
+    conn.router_key = it->second;
+  }
+  collector_.apply(*conn.router_key, *decoded.message);
+  bmp_messages_.fetch_add(1, std::memory_order_relaxed);
+}
+
+void EfdService::close_bmp_conn(int fd, bool count_disconnect) {
+  auto it = bmp_conns_.find(fd);
+  if (it == bmp_conns_.end()) return;
+  // Session loss means lost visibility: withdrawals we miss while the
+  // feed is down would linger as phantom routes, so purge now and let
+  // the reconnect replay rebuild.
+  if (it->second->router_key) collector_.drop_router(*it->second->router_key);
+  loop_.unwatch(fd);
+  bmp_conns_.erase(it);
+  if (count_disconnect) {
+    bmp_disconnects_.fetch_add(1, std::memory_order_release);
+  }
+}
+
+void EfdService::on_sflow_ready() {
+  sflow_sock_->drain([this](std::span<const std::uint8_t> datagram) {
+    sflow_bytes_.fetch_add(datagram.size(), std::memory_order_relaxed);
+    const telemetry::wire::DatagramDecode decoded =
+        telemetry::wire::decode_datagram(datagram);
+    if (!decoded.ok) {
+      EF_LOG_WARN("efd: dropped non-EFS1 datagram (" << decoded.reason
+                                                     << ")");
+      sflow_datagrams_.fetch_add(1, std::memory_order_release);
+      return;
+    }
+    for (const auto& record : decoded.records) handle_record(record);
+    sflow_records_.fetch_add(decoded.records.size(),
+                             std::memory_order_relaxed);
+    // After the records took effect (windows closed, cycles run): the
+    // feeder's pacing barrier.
+    sflow_datagrams_.fetch_add(1, std::memory_order_release);
+  });
+}
+
+void EfdService::handle_record(
+    const telemetry::wire::SflowRecord& record) {
+  if (const auto* sample = std::get_if<telemetry::FlowSample>(&record)) {
+    aggregator_.ingest(*sample);
+    return;
+  }
+  if (const auto* demand =
+          std::get_if<telemetry::wire::DemandRate>(&record)) {
+    direct_demand_.set(demand->prefix, demand->rate);
+    direct_seen_ = true;
+    return;
+  }
+  if (const auto* close =
+          std::get_if<telemetry::wire::WindowClose>(&record)) {
+    on_window_close(*close);
+    return;
+  }
+}
+
+void EfdService::on_window_close(
+    const telemetry::wire::WindowClose& close) {
+  now_ = close.cycle_now;
+
+  // Same estimate the simulator hands its controller: precomputed demand
+  // verbatim when the feed ships it, otherwise finalize + smooth the
+  // sampled window.
+  const telemetry::DemandMatrix* estimate =
+      direct_seen_
+          ? &direct_demand_
+          : &smoother_.update(aggregator_.finalize_window(close.window_end));
+
+  if (config_.controller.enforcement != core::Enforcement::kShadow) {
+    controller_.tick(now_);
+  }
+  if (now_ >= next_cycle_) {
+    run_cycle_at(now_, *estimate);
+    next_cycle_ = now_ + config_.controller.cycle_period;
+  }
+
+  if (direct_seen_) {
+    direct_demand_.clear();
+    direct_seen_ = false;
+  }
+  windows_closed_.fetch_add(1, std::memory_order_release);
+}
+
+void EfdService::run_cycle_at(net::SimTime now,
+                              const telemetry::DemandMatrix& demand) {
+  const core::CycleStats stats = controller_.run_cycle(demand, now);
+  CycleDigest digest;
+  digest.when = now;
+  digest.allocation_wall = stats.allocation_wall;
+  digest.ranking_cache_hit_rate = stats.ranking_cache_hit_rate;
+  digest.overrides.reserve(controller_.active_overrides().size());
+  for (const auto& [prefix, override_entry] :
+       controller_.active_overrides()) {
+    digest.overrides.push_back(override_entry);
+  }
+  {
+    std::lock_guard<std::mutex> lock(digest_mutex_);
+    digests_.push_back(std::move(digest));
+  }
+  cycles_run_.fetch_add(1, std::memory_order_release);
+}
+
+EfdService::IngestSnapshot EfdService::ingest() const {
+  IngestSnapshot snap;
+  snap.bmp_connections = bmp_connections_.load(std::memory_order_acquire);
+  snap.bmp_disconnects = bmp_disconnects_.load(std::memory_order_acquire);
+  snap.bmp_bytes = bmp_bytes_.load(std::memory_order_acquire);
+  snap.bmp_messages = bmp_messages_.load(std::memory_order_acquire);
+  snap.bmp_malformed = bmp_malformed_.load(std::memory_order_acquire);
+  snap.sflow_datagrams = sflow_datagrams_.load(std::memory_order_acquire);
+  snap.sflow_records = sflow_records_.load(std::memory_order_acquire);
+  snap.sflow_bytes = sflow_bytes_.load(std::memory_order_acquire);
+  snap.windows_closed = windows_closed_.load(std::memory_order_acquire);
+  snap.cycles_run = cycles_run_.load(std::memory_order_acquire);
+  return snap;
+}
+
+std::vector<EfdService::CycleDigest> EfdService::digests() const {
+  std::lock_guard<std::mutex> lock(digest_mutex_);
+  return digests_;
+}
+
+bool EfdService::wait_until(
+    const std::function<bool(const IngestSnapshot&)>& pred,
+    std::chrono::milliseconds timeout) const {
+  const auto deadline = std::chrono::steady_clock::now() + timeout;
+  for (;;) {
+    if (pred(ingest())) return true;
+    if (std::chrono::steady_clock::now() >= deadline) return false;
+    std::this_thread::sleep_for(std::chrono::microseconds(200));
+  }
+}
+
+bool EfdService::wait_for_bmp_bytes(
+    std::uint64_t n, std::chrono::milliseconds timeout) const {
+  return wait_until(
+      [n](const IngestSnapshot& s) { return s.bmp_bytes >= n; }, timeout);
+}
+
+bool EfdService::wait_for_disconnects(
+    std::uint64_t n, std::chrono::milliseconds timeout) const {
+  return wait_until(
+      [n](const IngestSnapshot& s) { return s.bmp_disconnects >= n; },
+      timeout);
+}
+
+bool EfdService::wait_for_windows(
+    std::uint64_t n, std::chrono::milliseconds timeout) const {
+  return wait_until(
+      [n](const IngestSnapshot& s) { return s.windows_closed >= n; },
+      timeout);
+}
+
+bool EfdService::wait_for_datagrams(
+    std::uint64_t n, std::chrono::milliseconds timeout) const {
+  return wait_until(
+      [n](const IngestSnapshot& s) { return s.sflow_datagrams >= n; },
+      timeout);
+}
+
+HttpResponse EfdService::serve_http(const std::string& path) {
+  HttpResponse response;
+  if (path == "/status") {
+    response.body = render_status();
+  } else if (path == "/metrics") {
+    response.body = render_metrics();
+  } else {
+    response.status = 404;
+    response.body = "efd: unknown path (try /status or /metrics)\n";
+  }
+  return response;
+}
+
+std::string EfdService::render_status() const {
+  // Runs on the loop thread (HttpServer shares the loop), so reading the
+  // collector and controller directly is race-free.
+  const IngestSnapshot snap = ingest();
+  const auto& cstats = collector_.stats();
+  std::ostringstream os;
+  os << "efd status\n"
+     << "pop: " << pop_->name() << "\n"
+     << "feed_time_ms: " << now_.millis_value() << "\n"
+     << "bmp: connections=" << snap.bmp_connections
+     << " disconnects=" << snap.bmp_disconnects
+     << " bytes=" << snap.bmp_bytes << " messages=" << snap.bmp_messages
+     << " malformed=" << snap.bmp_malformed << "\n"
+     << "rib: prefixes=" << collector_.rib().prefix_count()
+     << " routes=" << collector_.rib().route_count()
+     << " peers=" << collector_.peers().size() << "\n"
+     << "bmp_msgs: init=" << cstats.initiations << " up=" << cstats.peer_ups
+     << " down=" << cstats.peer_downs
+     << " route_monitoring=" << cstats.route_monitorings
+     << " term=" << cstats.terminations << "\n"
+     << "sflow: datagrams=" << snap.sflow_datagrams
+     << " records=" << snap.sflow_records << " bytes=" << snap.sflow_bytes
+     << " windows=" << snap.windows_closed << "\n"
+     << "cycles: run=" << snap.cycles_run
+     << " overrides_active=" << controller_.active_overrides().size()
+     << "\n";
+  {
+    std::lock_guard<std::mutex> lock(digest_mutex_);
+    if (!digests_.empty()) {
+      const CycleDigest& last = digests_.back();
+      os << "last_cycle: when_ms=" << last.when.millis_value()
+         << " allocation_wall_us=" << last.allocation_wall.count() / 1000
+         << " ranking_cache_hit_rate=" << last.ranking_cache_hit_rate
+         << "\n";
+    }
+  }
+  return os.str();
+}
+
+std::string EfdService::render_metrics() const {
+  const IngestSnapshot snap = ingest();
+  std::ostringstream os;
+  os << "efd_bmp_connections_total " << snap.bmp_connections << "\n"
+     << "efd_bmp_disconnects_total " << snap.bmp_disconnects << "\n"
+     << "efd_bmp_bytes_total " << snap.bmp_bytes << "\n"
+     << "efd_bmp_messages_total " << snap.bmp_messages << "\n"
+     << "efd_bmp_malformed_total " << snap.bmp_malformed << "\n"
+     << "efd_sflow_datagrams_total " << snap.sflow_datagrams << "\n"
+     << "efd_sflow_records_total " << snap.sflow_records << "\n"
+     << "efd_sflow_bytes_total " << snap.sflow_bytes << "\n"
+     << "efd_windows_closed_total " << snap.windows_closed << "\n"
+     << "efd_cycles_run_total " << snap.cycles_run << "\n"
+     << "efd_rib_prefixes " << collector_.rib().prefix_count() << "\n"
+     << "efd_rib_routes " << collector_.rib().route_count() << "\n"
+     << "efd_overrides_active " << controller_.active_overrides().size()
+     << "\n";
+  {
+    std::lock_guard<std::mutex> lock(digest_mutex_);
+    if (!digests_.empty()) {
+      const CycleDigest& last = digests_.back();
+      os << "efd_last_allocation_wall_ns " << last.allocation_wall.count()
+         << "\n"
+         << "efd_last_ranking_cache_hit_rate "
+         << last.ranking_cache_hit_rate << "\n";
+    }
+  }
+  return os.str();
+}
+
+}  // namespace ef::service

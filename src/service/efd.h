@@ -1,0 +1,201 @@
+// efd: the Edge Fabric controller daemon.
+//
+// Everything the simulator wires together in-process, as a long-running
+// service fed over real sockets: BMP sessions arrive on a TCP listener
+// and build a RIB in a BmpCollector; EFS1 sFlow datagrams arrive on UDP
+// and drive the demand estimation pipeline; window-close markers (and,
+// optionally, a wall-clock timer) trigger controller cycles; and a
+// plaintext HTTP endpoint exposes /status and /metrics.
+//
+// All ingest and cycle state lives on the event-loop thread — the only
+// cross-thread surface is the atomic counters (and the mutex-guarded
+// cycle digests), which is what makes the daemon cheap to reason about
+// under TSan.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bmp/collector.h"
+#include "core/controller.h"
+#include "io/event_loop.h"
+#include "io/frame.h"
+#include "io/socket.h"
+#include "service/http.h"
+#include "telemetry/sflow.h"
+#include "telemetry/sflow_wire.h"
+#include "topology/pop.h"
+
+namespace ef::service {
+
+struct EfdConfig {
+  /// Listening ports; 0 picks an ephemeral port (see the accessors).
+  std::uint16_t bmp_port = 0;
+  std::uint16_t sflow_port = 0;
+  std::uint16_t http_port = 0;
+
+  /// Allocation pipeline configuration. Enforcement selects the daemon's
+  /// stance: kBgpInjection injects into the attached PoP's routers,
+  /// kShadow computes decisions without pushing them (mirror/dry-run).
+  core::ControllerConfig controller;
+
+  /// Must match the feed's sampler for scale-up to be correct.
+  std::uint32_t sflow_sample_rate = 10;
+  /// EWMA weight for smoothing sampled windows (ignored for feeds that
+  /// ship precomputed demand records, which arrive already smoothed).
+  double sflow_smoothing_alpha = 0.4;
+
+  /// When true, a wall-clock timer also runs cycles every
+  /// `cycle_wall_period`, advancing feed time by `controller.cycle_period`
+  /// per fire — keeps a daemon with a stalled (or absent) feed cycling.
+  bool real_time_cycles = false;
+  std::chrono::milliseconds cycle_wall_period{1000};
+};
+
+class EfdService {
+ public:
+  /// `pop` provides interface state and NEXT_HOP -> egress resolution
+  /// (and, under kBgpInjection, the routers to inject into); it must
+  /// outlive the service. The RIB and demand come from the sockets, not
+  /// from the PoP's in-process collector.
+  EfdService(topology::Pop& pop, EfdConfig config);
+  ~EfdService();
+
+  EfdService(const EfdService&) = delete;
+  EfdService& operator=(const EfdService&) = delete;
+
+  /// Opens the listeners and spawns the loop thread. Call once.
+  void start();
+  /// Stops the loop and joins the thread; idempotent. Sockets close here.
+  void stop();
+  /// Blocks until the loop exits on its own (signal or explicit stop from
+  /// another thread), then tears ingest state down. The efd binary's
+  /// foreground wait.
+  void wait();
+  bool running() const { return thread_.joinable(); }
+
+  std::uint16_t bmp_port() const;
+  std::uint16_t sflow_port() const;
+  std::uint16_t http_port() const;
+
+  /// Routes SIGINT/SIGTERM into an orderly stop() via the loop's
+  /// signalfd. The caller must have blocked those signals process-wide
+  /// (sigprocmask before spawning any thread) and call this before
+  /// start(). The efd binary uses this; tests and embedded services
+  /// don't.
+  void shutdown_on_signals();
+
+  /// Cross-thread-readable ingest counters (plain snapshot).
+  struct IngestSnapshot {
+    std::uint64_t bmp_connections = 0;
+    std::uint64_t bmp_disconnects = 0;
+    std::uint64_t bmp_bytes = 0;
+    std::uint64_t bmp_messages = 0;
+    std::uint64_t bmp_malformed = 0;
+    std::uint64_t sflow_datagrams = 0;
+    std::uint64_t sflow_records = 0;
+    std::uint64_t sflow_bytes = 0;
+    std::uint64_t windows_closed = 0;
+    std::uint64_t cycles_run = 0;
+  };
+  IngestSnapshot ingest() const;
+
+  /// What one cycle decided — the unit the loopback integration test
+  /// compares bitwise against the in-process controller.
+  struct CycleDigest {
+    net::SimTime when;
+    std::vector<core::Override> overrides;  // active set, prefix order
+    std::chrono::nanoseconds allocation_wall{0};
+    double ranking_cache_hit_rate = 0.0;
+  };
+  std::vector<CycleDigest> digests() const;
+
+  /// Blocks until `pred(ingest())` holds or `timeout` passes. The
+  /// feeder-side barrier: counters are published with release ordering
+  /// after the corresponding state change, so a satisfied predicate
+  /// means the daemon finished processing (and is idle if nothing else
+  /// was sent).
+  bool wait_until(const std::function<bool(const IngestSnapshot&)>& pred,
+                  std::chrono::milliseconds timeout) const;
+  bool wait_for_bmp_bytes(std::uint64_t n,
+                          std::chrono::milliseconds timeout) const;
+  bool wait_for_disconnects(std::uint64_t n,
+                            std::chrono::milliseconds timeout) const;
+  bool wait_for_windows(std::uint64_t n,
+                        std::chrono::milliseconds timeout) const;
+  bool wait_for_datagrams(std::uint64_t n,
+                          std::chrono::milliseconds timeout) const;
+
+  /// Loop-thread-owned state; only touch from the loop thread or while
+  /// the service is provably idle (after a wait_* barrier or stop()).
+  const bmp::BmpCollector& collector() const { return collector_; }
+  core::Controller& controller() { return controller_; }
+  io::EventLoop& loop() { return loop_; }
+
+ private:
+  struct BmpConn {
+    io::TcpConn tcp;
+    io::FrameReassembler frames;
+    std::optional<std::uint32_t> router_key;  // set by Initiation sysName
+    BmpConn(io::Fd fd, io::PeekFn peek)
+        : tcp(std::move(fd)), frames(std::move(peek)) {}
+  };
+
+  void on_bmp_accept();
+  void on_bmp_event(int fd, std::uint32_t ready);
+  void handle_bmp_frame(BmpConn& conn,
+                        std::span<const std::uint8_t> frame);
+  void close_bmp_conn(int fd, bool count_disconnect);
+  void on_sflow_ready();
+  void handle_record(const telemetry::wire::SflowRecord& record);
+  void on_window_close(const telemetry::wire::WindowClose& close);
+  void run_cycle_at(net::SimTime now, const telemetry::DemandMatrix& demand);
+  HttpResponse serve_http(const std::string& path);
+  std::string render_status() const;
+  std::string render_metrics() const;
+
+  topology::Pop* pop_;
+  EfdConfig config_;
+  io::EventLoop loop_;
+  std::thread thread_;
+
+  bmp::BmpCollector collector_;
+  core::Controller controller_;
+  telemetry::TrafficAggregator aggregator_;
+  telemetry::DemandSmoother smoother_;
+  telemetry::DemandMatrix direct_demand_;
+  bool direct_seen_ = false;
+  net::SimTime now_;
+  net::SimTime next_cycle_;  // zero: first marker runs a cycle, like sim
+
+  std::optional<io::TcpListener> bmp_listener_;
+  std::optional<io::UdpSocket> sflow_sock_;
+  std::unique_ptr<HttpServer> http_;
+  std::map<int, std::unique_ptr<BmpConn>> bmp_conns_;
+  std::map<std::string, std::uint32_t> router_keys_;  // sysName -> key
+  std::uint32_t next_router_key_ = 1;
+
+  std::atomic<std::uint64_t> bmp_connections_{0};
+  std::atomic<std::uint64_t> bmp_disconnects_{0};
+  std::atomic<std::uint64_t> bmp_bytes_{0};
+  std::atomic<std::uint64_t> bmp_messages_{0};
+  std::atomic<std::uint64_t> bmp_malformed_{0};
+  std::atomic<std::uint64_t> sflow_datagrams_{0};
+  std::atomic<std::uint64_t> sflow_records_{0};
+  std::atomic<std::uint64_t> sflow_bytes_{0};
+  std::atomic<std::uint64_t> windows_closed_{0};
+  std::atomic<std::uint64_t> cycles_run_{0};
+
+  mutable std::mutex digest_mutex_;
+  std::vector<CycleDigest> digests_;
+};
+
+}  // namespace ef::service

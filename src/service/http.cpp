@@ -1,0 +1,133 @@
+#include "service/http.h"
+
+#include <cstring>
+#include <sstream>
+
+#include "net/log.h"
+
+namespace ef::service {
+
+namespace {
+
+/// A header block larger than this is not a status probe; drop it.
+constexpr std::size_t kMaxHeaderBytes = 16384;
+
+const char* status_text(int status) {
+  switch (status) {
+    case 200:
+      return "OK";
+    case 400:
+      return "Bad Request";
+    case 404:
+      return "Not Found";
+    case 405:
+      return "Method Not Allowed";
+    default:
+      return "Error";
+  }
+}
+
+}  // namespace
+
+HttpServer::HttpServer(io::EventLoop& loop, std::uint16_t port,
+                       HttpHandler handler)
+    : loop_(loop), handler_(std::move(handler)) {
+  auto listener = io::TcpListener::open(port);
+  EF_CHECK(listener.has_value(),
+           "http: cannot listen on 127.0.0.1:" << port);
+  listener_ = std::move(*listener);
+  loop_.watch(listener_.fd(), io::kRead,
+              [this](std::uint32_t) { on_accept(); });
+}
+
+HttpServer::~HttpServer() {
+  for (auto& [fd, conn] : conns_) loop_.unwatch(fd);
+  conns_.clear();  // TcpConn dtors close the fds
+  if (listener_.fd() >= 0) loop_.unwatch(listener_.fd());
+}
+
+void HttpServer::on_accept() {
+  for (;;) {
+    io::Fd fd = listener_.accept_one();
+    if (!fd.valid()) return;
+    const int raw = fd.get();
+    conns_.emplace(raw, std::make_unique<Conn>(std::move(fd)));
+    loop_.watch(raw, io::kRead, [this, raw](std::uint32_t ready) {
+      on_conn_event(raw, ready);
+    });
+  }
+}
+
+void HttpServer::on_conn_event(int fd, std::uint32_t ready) {
+  auto it = conns_.find(fd);
+  if (it == conns_.end()) return;
+  Conn& conn = *it->second;
+
+  if (ready & io::kWrite) {
+    conn.tcp.flush();
+    if (conn.responded && !conn.tcp.wants_write()) {
+      close_conn(fd);
+      return;
+    }
+  }
+  if (!(ready & (io::kRead | io::kHangup | io::kError))) return;
+
+  const bool open = conn.tcp.read_some();
+  if (!conn.responded) {
+    const auto data = conn.tcp.readable();
+    const char* begin = reinterpret_cast<const char*>(data.data());
+    const std::string_view view(begin, data.size());
+    const std::size_t header_end = view.find("\r\n\r\n");
+    if (header_end == std::string_view::npos) {
+      if (!open || data.size() > kMaxHeaderBytes) close_conn(fd);
+      return;
+    }
+
+    // Request line: METHOD SP PATH SP VERSION.
+    const std::string_view line = view.substr(0, view.find("\r\n"));
+    HttpResponse response;
+    const std::size_t sp1 = line.find(' ');
+    const std::size_t sp2 =
+        sp1 == std::string_view::npos ? sp1 : line.find(' ', sp1 + 1);
+    if (sp1 == std::string_view::npos || sp2 == std::string_view::npos) {
+      response.status = 400;
+      response.body = "malformed request line\n";
+    } else if (line.substr(0, sp1) != "GET") {
+      response.status = 405;
+      response.body = "only GET is served here\n";
+    } else {
+      std::string path(line.substr(sp1 + 1, sp2 - sp1 - 1));
+      const std::size_t query = path.find('?');
+      if (query != std::string::npos) path.resize(query);
+      response = handler_(path);
+    }
+    conn.tcp.consume(header_end + 4);
+    ++requests_served_;
+
+    std::ostringstream head;
+    head << "HTTP/1.1 " << response.status << ' '
+         << status_text(response.status) << "\r\n"
+         << "Content-Type: " << response.content_type << "\r\n"
+         << "Content-Length: " << response.body.size() << "\r\n"
+         << "Connection: close\r\n\r\n";
+    const std::string reply = head.str() + response.body;
+    conn.tcp.send(std::span<const std::uint8_t>(
+        reinterpret_cast<const std::uint8_t*>(reply.data()), reply.size()));
+    conn.responded = true;
+  }
+
+  if (conn.tcp.broken() || (conn.responded && !conn.tcp.wants_write())) {
+    close_conn(fd);
+    return;
+  }
+  if (conn.tcp.wants_write()) {
+    loop_.rearm(fd, io::kRead | io::kWrite);
+  }
+}
+
+void HttpServer::close_conn(int fd) {
+  loop_.unwatch(fd);
+  conns_.erase(fd);
+}
+
+}  // namespace ef::service

@@ -1,0 +1,62 @@
+// Minimal plaintext HTTP/1.1 GET server on the daemon's event loop —
+// just enough for `GET /status` and `GET /metrics` from curl or a
+// scraper. One request per connection (Connection: close), no TLS, no
+// keep-alive, bounded header size. Not a general web server and not
+// meant to become one.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+
+#include "io/event_loop.h"
+#include "io/socket.h"
+
+namespace ef::service {
+
+struct HttpResponse {
+  int status = 200;
+  std::string content_type = "text/plain; charset=utf-8";
+  std::string body;
+};
+
+/// Handler gets the request path ("/status"); returning a 404 for
+/// unknown paths is its job.
+using HttpHandler = std::function<HttpResponse(const std::string& path)>;
+
+class HttpServer {
+ public:
+  /// Listens on 127.0.0.1:`port` (0 = ephemeral) and serves on `loop`.
+  /// Both must outlive the server. Throws (EF_CHECK) if the port is
+  /// taken.
+  HttpServer(io::EventLoop& loop, std::uint16_t port, HttpHandler handler);
+  ~HttpServer();
+
+  HttpServer(const HttpServer&) = delete;
+  HttpServer& operator=(const HttpServer&) = delete;
+
+  std::uint16_t port() const { return listener_.port(); }
+  std::uint64_t requests_served() const { return requests_served_; }
+
+ private:
+  struct Conn {
+    io::TcpConn tcp;
+    bool responded = false;
+    explicit Conn(io::Fd fd) : tcp(std::move(fd)) {}
+  };
+
+  void on_accept();
+  void on_conn_event(int fd, std::uint32_t ready);
+  void respond(Conn& conn);
+  void close_conn(int fd);
+
+  io::EventLoop& loop_;
+  io::TcpListener listener_;
+  HttpHandler handler_;
+  std::map<int, std::unique_ptr<Conn>> conns_;
+  std::uint64_t requests_served_ = 0;
+};
+
+}  // namespace ef::service

@@ -1,0 +1,161 @@
+#include "sim/live_feed.h"
+
+#include "net/log.h"
+
+namespace ef::sim {
+
+namespace wire = telemetry::wire;
+
+LiveFeed::LiveFeed(Simulation& sim, Config config, Sync sync)
+    : sim_(&sim), config_(config), sync_(std::move(sync)) {
+  sampled_mode_ = sim.config().use_sflow_estimate;
+  topology::Pop& pop = sim.pop();
+  for (int r = 0; r < pop.router_count(); ++r) {
+    key_to_router_[pop.router_key(r)] = r;
+  }
+  bmp_conns_.resize(static_cast<std::size_t>(pop.router_count()));
+
+  pop.set_bmp_tap([this](std::uint32_t key,
+                         const std::vector<std::uint8_t>& bytes) {
+    on_bmp_bytes(key, bytes);
+  });
+  if (sampled_mode_) {
+    sim.set_sample_tap([this](const telemetry::FlowSample& sample) {
+      queue_record(wire::SflowRecord(sample));
+    });
+  } else {
+    sim.set_estimate_tap([this](const telemetry::DemandMatrix& estimate,
+                                net::SimTime) {
+      // Collect deterministically: DemandMatrix iteration order is
+      // unordered, but the daemon rebuilds a keyed matrix, so the wire
+      // order is immaterial to decisions. Ship as-is.
+      estimate.for_each(
+          [this](const net::Prefix& prefix, net::Bandwidth rate) {
+            queue_record(wire::SflowRecord(wire::DemandRate{prefix, rate}));
+          });
+    });
+  }
+}
+
+LiveFeed::~LiveFeed() {
+  sim_->pop().set_bmp_tap(nullptr);
+  sim_->set_sample_tap(nullptr);
+  sim_->set_estimate_tap(nullptr);
+}
+
+void LiveFeed::connect() {
+  sflow_fd_ = io::connect_udp(config_.sflow_port);
+  EF_CHECK(sflow_fd_.valid(), "live feed: cannot open sFlow UDP socket");
+  topology::Pop& pop = sim_->pop();
+  for (int r = 0; r < pop.router_count(); ++r) {
+    bmp_conns_[static_cast<std::size_t>(r)] =
+        io::connect_tcp(config_.bmp_port);
+    EF_CHECK(bmp_conns_[static_cast<std::size_t>(r)].valid(),
+             "live feed: cannot connect BMP for router " << r);
+    pop.replay_router_to_bmp(r);
+  }
+  EF_CHECK(sync_.bmp_bytes(bmp_bytes_sent_),
+           "live feed: daemon did not consume the initial BMP replay");
+}
+
+void LiveFeed::on_bmp_bytes(std::uint32_t router_key,
+                            const std::vector<std::uint8_t>& bytes) {
+  const auto it = key_to_router_.find(router_key);
+  EF_CHECK(it != key_to_router_.end(),
+           "live feed: BMP bytes from unknown router key " << router_key);
+  io::Fd& conn = bmp_conns_[static_cast<std::size_t>(it->second)];
+  if (!conn.valid()) {
+    bmp_bytes_dropped_ += bytes.size();  // session down: feed loses these
+    return;
+  }
+  EF_CHECK(io::send_all(conn.get(), bytes),
+           "live feed: BMP send failed for router " << it->second);
+  bmp_bytes_sent_ += bytes.size();
+}
+
+void LiveFeed::queue_record(wire::SflowRecord record) {
+  pending_records_.push_back(std::move(record));
+  if (pending_records_.size() >= config_.records_per_datagram) {
+    flush_records(false);
+  }
+}
+
+void LiveFeed::flush_records(bool force) {
+  if (pending_records_.empty()) return;
+  if (!force && pending_records_.size() < config_.records_per_datagram) {
+    return;
+  }
+  const std::vector<std::uint8_t> datagram =
+      wire::encode_datagram(pending_records_);
+  pending_records_.clear();
+  EF_CHECK(io::UdpSocket::send_to(sflow_fd_.get(), config_.sflow_port,
+                                  datagram),
+           "live feed: sFlow datagram send failed");
+  ++datagrams_sent_;
+  pace();
+}
+
+void LiveFeed::pace() {
+  if (datagrams_sent_ - last_paced_ < config_.pace_window) return;
+  EF_CHECK(sync_.datagrams(datagrams_sent_),
+           "live feed: daemon fell behind on sFlow datagrams");
+  last_paced_ = datagrams_sent_;
+}
+
+void LiveFeed::send_marker(net::SimTime window_end, net::SimTime cycle_now) {
+  // Everything belonging to this window must be inside the daemon before
+  // the marker closes it.
+  flush_records(true);
+  EF_CHECK(sync_.datagrams(datagrams_sent_),
+           "live feed: daemon fell behind before window close");
+  last_paced_ = datagrams_sent_;
+
+  const wire::SflowRecord marker(wire::WindowClose{window_end, cycle_now});
+  const std::vector<std::uint8_t> datagram =
+      wire::encode_datagram(std::span<const wire::SflowRecord>(&marker, 1));
+  EF_CHECK(io::UdpSocket::send_to(sflow_fd_.get(), config_.sflow_port,
+                                  datagram),
+           "live feed: window-close marker send failed");
+  ++datagrams_sent_;
+  ++windows_sent_;
+}
+
+bool LiveFeed::step() {
+  if (!sim_->advance()) return false;
+  const net::SimTime now = sim_->now();
+  const net::SimTime window_end = now + sim_->config().step;
+
+  // The daemon must hold this step's full route view before its cycle.
+  EF_CHECK(sync_.bmp_bytes(bmp_bytes_sent_),
+           "live feed: daemon fell behind on BMP bytes");
+
+  send_marker(window_end, now);
+  EF_CHECK(sync_.windows(windows_sent_),
+           "live feed: daemon did not close window " << windows_sent_);
+  return true;
+}
+
+bool LiveFeed::router_connected(int r) const {
+  return bmp_conns_[static_cast<std::size_t>(r)].valid();
+}
+
+void LiveFeed::disconnect_router(int r) {
+  io::Fd& conn = bmp_conns_[static_cast<std::size_t>(r)];
+  EF_CHECK(conn.valid(), "live feed: router " << r << " already down");
+  conn.reset();  // close; daemon sees EOF and purges the router
+  ++disconnects_;
+  EF_CHECK(sync_.disconnects(disconnects_),
+           "live feed: daemon did not register disconnect of router " << r);
+}
+
+void LiveFeed::reconnect_router(int r) {
+  io::Fd& conn = bmp_conns_[static_cast<std::size_t>(r)];
+  EF_CHECK(!conn.valid(), "live feed: router " << r << " still connected");
+  conn = io::connect_tcp(config_.bmp_port);
+  EF_CHECK(conn.valid(), "live feed: reconnect failed for router " << r);
+  sim_->pop().replay_router_to_bmp(r);
+  EF_CHECK(sync_.bmp_bytes(bmp_bytes_sent_),
+           "live feed: daemon did not consume the reconnect replay");
+}
+
+}  // namespace ef::sim

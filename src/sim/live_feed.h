@@ -1,0 +1,112 @@
+// LiveFeed: publishes a running Simulation's telemetry over real
+// loopback sockets, in the exact shape the efd daemon ingests.
+//
+// The simulation stays the single source of truth — its own in-process
+// controller keeps making decisions — while every BMP byte its routers
+// export and every sFlow sample (or, in direct mode, every demand
+// estimate) is mirrored onto sockets. A daemon fed this stream must
+// reach bitwise-identical override decisions; the loopback integration
+// test asserts exactly that.
+//
+// Pacing: each step runs in lockstep. BMP bytes go out during
+// advance(); then the feed waits until the daemon consumed them, ships
+// the step's sFlow datagrams (with a pacing barrier so loopback UDP
+// receive buffers never overflow), and finally sends the window-close
+// marker and waits for the daemon's cycle logic to finish. The Sync
+// hooks supply the daemon-side counters — std::functions so this layer
+// does not depend on the service library (an out-of-process feeder can
+// poll GET /status instead).
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <vector>
+
+#include "io/socket.h"
+#include "sim/simulation.h"
+#include "telemetry/sflow_wire.h"
+
+namespace ef::sim {
+
+class LiveFeed {
+ public:
+  struct Config {
+    std::uint16_t bmp_port = 0;    // daemon's BMP listener
+    std::uint16_t sflow_port = 0;  // daemon's EFS1 UDP port
+    std::chrono::milliseconds barrier_timeout{15000};
+    /// Records per EFS1 datagram.
+    std::size_t records_per_datagram = 64;
+    /// Datagrams in flight between pacing barriers; bounded so loopback
+    /// UDP receive buffers cannot overflow (dropped datagrams would
+    /// silently skew the daemon's estimate).
+    std::size_t pace_window = 32;
+  };
+
+  /// Daemon-progress probes. Each blocks (up to the barrier timeout)
+  /// until the daemon's counter reaches the given total and returns
+  /// whether it did.
+  struct Sync {
+    std::function<bool(std::uint64_t)> bmp_bytes;
+    std::function<bool(std::uint64_t)> datagrams;
+    std::function<bool(std::uint64_t)> windows;
+    std::function<bool(std::uint64_t)> disconnects;
+  };
+
+  /// `sim` must outlive the feed. Installs the simulation's BMP, sample,
+  /// and estimate taps (whichever apply); don't install competing taps.
+  LiveFeed(Simulation& sim, Config config, Sync sync);
+  ~LiveFeed();
+
+  LiveFeed(const LiveFeed&) = delete;
+  LiveFeed& operator=(const LiveFeed&) = delete;
+
+  /// Opens one BMP connection per router and replays current state into
+  /// the daemon (both views re-stamp route ages identically).
+  void connect();
+
+  /// One lockstep step: sim.advance() + publish + barriers. Returns
+  /// false when the simulation finished. EF_CHECKs on barrier timeout —
+  /// a stuck daemon is a test failure, not something to limp past.
+  bool step();
+
+  /// Failure injection: severs router `r`'s BMP connection and waits
+  /// until the daemon registered the disconnect (and purged the routes).
+  void disconnect_router(int r);
+  /// Reopens router `r`'s connection and replays its state.
+  void reconnect_router(int r);
+  bool router_connected(int r) const;
+
+  std::uint64_t bmp_bytes_sent() const { return bmp_bytes_sent_; }
+  std::uint64_t bmp_bytes_dropped() const { return bmp_bytes_dropped_; }
+  std::uint64_t datagrams_sent() const { return datagrams_sent_; }
+  std::uint64_t windows_sent() const { return windows_sent_; }
+
+ private:
+  void on_bmp_bytes(std::uint32_t router_key,
+                    const std::vector<std::uint8_t>& bytes);
+  void queue_record(telemetry::wire::SflowRecord record);
+  void flush_records(bool force);
+  void send_marker(net::SimTime window_end, net::SimTime cycle_now);
+  void pace();
+
+  Simulation* sim_;
+  Config config_;
+  Sync sync_;
+  bool sampled_mode_ = false;  // sim uses the sFlow estimate pipeline
+
+  std::map<std::uint32_t, int> key_to_router_;
+  std::vector<io::Fd> bmp_conns_;  // by router index; invalid = down
+  io::Fd sflow_fd_;
+
+  std::vector<telemetry::wire::SflowRecord> pending_records_;
+  std::uint64_t bmp_bytes_sent_ = 0;
+  std::uint64_t bmp_bytes_dropped_ = 0;
+  std::uint64_t datagrams_sent_ = 0;
+  std::uint64_t windows_sent_ = 0;
+  std::uint64_t disconnects_ = 0;
+  std::uint64_t last_paced_ = 0;
+};
+
+}  // namespace ef::sim

@@ -23,6 +23,7 @@ Simulation::Simulation(topology::Pop& pop, SimulationConfig config)
         config_.sflow_sample_rate, config_.demand.seed ^ 0xabcdef,
         [this](const telemetry::FlowSample& sample) {
           aggregator_->ingest(sample);
+          if (sample_tap_) sample_tap_(sample);
         });
   }
 }
@@ -88,6 +89,8 @@ bool Simulation::advance() {
     estimate =
         &smoother_.update(aggregator_->finalize_window(now_ + config_.step));
   }
+
+  if (estimate_tap_) estimate_tap_(*estimate, now_);
 
   StepRecord record;
   record.when = now_;

@@ -89,11 +89,25 @@ class Simulation {
   core::Controller* controller() { return controller_.get(); }
   topology::Pop& pop() { return *pop_; }
   net::SimTime now() const { return now_; }
+  const SimulationConfig& config() const { return config_; }
 
   /// Installs a per-cycle observer (snapshot sink) on the embedded
   /// controller; see core::Controller::set_cycle_observer. No-op when the
   /// controller is disabled.
   void set_cycle_observer(core::Controller::CycleObserver observer);
+
+  /// Tees every emitted sFlow sample (post-sampling, pre-aggregation) to
+  /// `tap` — what a live-feed adapter publishes over UDP. Only fires when
+  /// `use_sflow_estimate` is on.
+  using SampleTap = std::function<void(const telemetry::FlowSample&)>;
+  void set_sample_tap(SampleTap tap) { sample_tap_ = std::move(tap); }
+
+  /// Tees the demand estimate handed to the controller each step (after
+  /// lag/sampling/smoothing, whichever are configured). A live-feed
+  /// adapter in direct mode ships this as precomputed demand records.
+  using EstimateTap =
+      std::function<void(const telemetry::DemandMatrix&, net::SimTime now)>;
+  void set_estimate_tap(EstimateTap tap) { estimate_tap_ = std::move(tap); }
 
  private:
   topology::Pop* pop_;
@@ -109,6 +123,8 @@ class Simulation {
   std::unique_ptr<telemetry::TrafficAggregator> aggregator_;
   std::unique_ptr<telemetry::SflowSampler> sampler_;
   telemetry::DemandSmoother smoother_;
+  SampleTap sample_tap_;
+  EstimateTap estimate_tap_;
 
   std::deque<telemetry::DemandMatrix> history_;  // staleness model
 

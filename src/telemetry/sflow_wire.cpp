@@ -1,0 +1,147 @@
+#include "telemetry/sflow_wire.h"
+
+#include <cstring>
+
+#include "net/bytes.h"
+#include "net/log.h"
+
+namespace ef::telemetry::wire {
+
+namespace {
+
+constexpr std::uint8_t kRecordFlowSample = 1;
+constexpr std::uint8_t kRecordWindowClose = 2;
+constexpr std::uint8_t kRecordDemandRate = 3;
+
+void encode_addr(net::BufWriter& w, const net::IpAddr& addr) {
+  w.u8(addr.is_v6() ? 1 : 0);
+  w.bytes(addr.bytes().data(), 16);
+}
+
+net::IpAddr decode_addr(net::BufReader& r) {
+  const std::uint8_t v6 = r.u8();
+  std::array<std::uint8_t, 16> bytes{};
+  r.bytes(bytes.data(), bytes.size());
+  if (v6 != 0) return net::IpAddr::v6(bytes);
+  return net::IpAddr::v4((static_cast<std::uint32_t>(bytes[0]) << 24) |
+                         (static_cast<std::uint32_t>(bytes[1]) << 16) |
+                         (static_cast<std::uint32_t>(bytes[2]) << 8) |
+                         static_cast<std::uint32_t>(bytes[3]));
+}
+
+void encode_record(net::BufWriter& w, const SflowRecord& record) {
+  net::BufWriter payload;
+  std::uint8_t type = 0;
+  if (const auto* sample = std::get_if<FlowSample>(&record)) {
+    type = kRecordFlowSample;
+    encode_addr(payload, sample->src);
+    encode_addr(payload, sample->dst);
+    payload.u32(sample->egress.value());
+    payload.u32(sample->packet_bytes);
+    payload.u8(sample->dscp);
+    payload.u64(static_cast<std::uint64_t>(sample->when.millis_value()));
+  } else if (const auto* close = std::get_if<WindowClose>(&record)) {
+    type = kRecordWindowClose;
+    payload.u64(static_cast<std::uint64_t>(close->window_end.millis_value()));
+    payload.u64(static_cast<std::uint64_t>(close->cycle_now.millis_value()));
+  } else if (const auto* demand = std::get_if<DemandRate>(&record)) {
+    type = kRecordDemandRate;
+    encode_addr(payload, demand->prefix.address());
+    payload.u8(demand->prefix.length());
+    // Bandwidth is a double internally; ship the bit pattern so replayed
+    // demand is bit-identical to the recorded value.
+    std::uint64_t bits = 0;
+    const double bps = demand->rate.bits_per_sec();
+    static_assert(sizeof bits == sizeof bps);
+    std::memcpy(&bits, &bps, sizeof bits);
+    payload.u64(bits);
+  }
+  w.u8(type);
+  w.u16(static_cast<std::uint16_t>(payload.size()));
+  w.bytes(payload.take());
+}
+
+bool decode_record(std::uint8_t type, net::BufReader& r,
+                   std::vector<SflowRecord>& out) {
+  switch (type) {
+    case kRecordFlowSample: {
+      FlowSample sample;
+      sample.src = decode_addr(r);
+      sample.dst = decode_addr(r);
+      sample.egress = InterfaceId(r.u32());
+      sample.packet_bytes = r.u32();
+      sample.dscp = r.u8();
+      sample.when =
+          net::SimTime::millis(static_cast<std::int64_t>(r.u64()));
+      if (!r.ok()) return false;
+      out.emplace_back(sample);
+      return true;
+    }
+    case kRecordWindowClose: {
+      WindowClose close;
+      close.window_end =
+          net::SimTime::millis(static_cast<std::int64_t>(r.u64()));
+      close.cycle_now =
+          net::SimTime::millis(static_cast<std::int64_t>(r.u64()));
+      if (!r.ok()) return false;
+      out.emplace_back(close);
+      return true;
+    }
+    case kRecordDemandRate: {
+      const net::IpAddr addr = decode_addr(r);
+      const std::uint8_t length = r.u8();
+      const std::uint64_t bits = r.u64();
+      if (!r.ok()) return false;
+      if (length > net::address_bits(addr.family())) return false;
+      double bps = 0;
+      std::memcpy(&bps, &bits, sizeof bps);
+      out.emplace_back(DemandRate{net::Prefix(addr, length),
+                                  net::Bandwidth::bps(bps)});
+      return true;
+    }
+    default:
+      return false;
+  }
+}
+
+}  // namespace
+
+std::vector<std::uint8_t> encode_datagram(
+    std::span<const SflowRecord> records) {
+  net::BufWriter w;
+  w.bytes(kMagic, sizeof kMagic);
+  w.u16(static_cast<std::uint16_t>(records.size()));
+  for (const SflowRecord& record : records) encode_record(w, record);
+  EF_CHECK(w.size() <= kMaxDatagramBytes,
+           "EFS1 datagram of " << w.size() << " bytes exceeds cap; batch "
+                               << "fewer records per datagram");
+  return w.take();
+}
+
+DatagramDecode decode_datagram(std::span<const std::uint8_t> data) {
+  DatagramDecode result;
+  if (data.size() < sizeof kMagic + 2 ||
+      std::memcmp(data.data(), kMagic, sizeof kMagic) != 0) {
+    result.reason = "missing EFS1 magic";
+    return result;
+  }
+  net::BufReader r(data.data() + sizeof kMagic,
+                   data.size() - sizeof kMagic);
+  const std::uint16_t count = r.u16();
+  result.ok = true;
+  for (std::uint16_t i = 0; i < count; ++i) {
+    const std::uint8_t type = r.u8();
+    const std::uint16_t len = r.u16();
+    net::BufReader payload = r.sub(len);
+    if (!r.ok()) {
+      // Truncated datagram: keep what already decoded, drop the rest.
+      result.skipped += static_cast<std::size_t>(count - i);
+      result.reason = "datagram truncated mid-record";
+      break;
+    }
+    if (!decode_record(type, payload, result.records)) ++result.skipped;
+  }
+  return result;
+}
+
+}  // namespace ef::telemetry::wire

@@ -1,0 +1,72 @@
+// EFS1: the sFlow-style datagram format the live ingest path speaks.
+//
+// Real sFlow v5 carries sampled packet headers from agents to a collector
+// over UDP. This codec keeps that shape — one datagram, many records,
+// loss-tolerant — but encodes exactly the fields our estimation pipeline
+// consumes, plus two control records the simulator-to-daemon adapter
+// needs: a window-close marker (the agent's statement that a collection
+// window ended at time T) and a precomputed demand rate (so recorded
+// audit journals, which store demand rather than raw samples, can also be
+// replayed into a live daemon).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "net/prefix.h"
+#include "net/units.h"
+#include "telemetry/sflow.h"
+
+namespace ef::telemetry::wire {
+
+inline constexpr std::uint8_t kMagic[4] = {'E', 'F', 'S', '1'};
+
+/// The sending agent closed a sampling window. `window_end` is the
+/// instant the window covers up to (what the aggregator finalizes
+/// against); `cycle_now` is the feed's current time (what a controller
+/// cycle triggered by this marker runs at). The simulator finalizes the
+/// window at now+step but cycles at now, so the two differ by one step.
+struct WindowClose {
+  net::SimTime window_end;
+  net::SimTime cycle_now;
+
+  friend bool operator==(const WindowClose&, const WindowClose&) = default;
+};
+
+/// Precomputed per-prefix demand (journal replay path). `direct` demand
+/// bypasses the sampling scale-up: it is already a rate, not samples.
+struct DemandRate {
+  net::Prefix prefix;
+  net::Bandwidth rate;
+
+  friend bool operator==(const DemandRate& a, const DemandRate& b) {
+    return a.prefix == b.prefix &&
+           a.rate.bits_per_sec() == b.rate.bits_per_sec();
+  }
+};
+
+using SflowRecord = std::variant<FlowSample, WindowClose, DemandRate>;
+
+/// Largest datagram encode_datagram will build; callers batching records
+/// should flush below this. Loopback UDP comfortably carries it.
+inline constexpr std::size_t kMaxDatagramBytes = 32768;
+
+std::vector<std::uint8_t> encode_datagram(
+    std::span<const SflowRecord> records);
+
+struct DatagramDecode {
+  std::vector<SflowRecord> records;
+  /// Records skipped inside an otherwise well-formed datagram (unknown
+  /// type or bad payload). Unknown record types are how the format
+  /// versions forward.
+  std::size_t skipped = 0;
+  bool ok = false;  // false: not an EFS1 datagram at all (dropped whole)
+  std::string reason;
+};
+
+DatagramDecode decode_datagram(std::span<const std::uint8_t> data);
+
+}  // namespace ef::telemetry::wire

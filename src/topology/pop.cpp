@@ -90,6 +90,7 @@ void Pop::build_routers() {
         def.name + "-pr" + std::to_string(r), router->key,
         [this, key = router->key](std::vector<std::uint8_t> bytes) {
           collector_.receive(key, bytes);
+          if (bmp_tap_) bmp_tap_(key, bytes);
         });
     router->exporter->start();
     router->speaker->set_monitor(
@@ -189,6 +190,12 @@ void Pop::resync_collector() {
     router->exporter->start();
     router->speaker->replay_to_monitor(now_);
   }
+}
+
+void Pop::replay_router_to_bmp(int router_index) {
+  Router& router = *routers_[static_cast<std::size_t>(router_index)];
+  router.exporter->start();
+  router.speaker->replay_to_monitor(now_);
 }
 
 void Pop::tick(net::SimTime now) {

@@ -90,6 +90,26 @@ class Pop {
   /// session is disturbed.
   void resync_collector();
 
+  /// Tees every router's raw BMP byte stream (the same bytes the
+  /// in-process collector consumes) to `tap` — the hook a live-feed
+  /// adapter uses to publish the PoP's BMP feeds over real sockets.
+  using BmpTap =
+      std::function<void(std::uint32_t router_key,
+                         const std::vector<std::uint8_t>& bytes)>;
+  void set_bmp_tap(BmpTap tap) { bmp_tap_ = std::move(tap); }
+
+  /// Replays one router's full current state through its BMP exporter
+  /// (Initiation, PeerUps, the whole table) — the "monitoring session
+  /// reconnected" path. Reaches the in-process collector AND the tap, so
+  /// both stay byte-identical; replayed routes carry a fresh timestamp in
+  /// both views.
+  void replay_router_to_bmp(int router_index);
+
+  /// Collector-facing key of a router (what the BMP tap reports).
+  std::uint32_t router_key(int router_index) const {
+    return routers_[static_cast<std::size_t>(router_index)]->key;
+  }
+
   /// Failure injection: administratively closes / restarts the BGP
   /// session of one peering.
   void set_peering_up(std::size_t peering_index, bool up, net::SimTime now);
@@ -160,6 +180,7 @@ class Pop {
   std::unordered_map<net::IpAddr, Egress> egress_by_address_;
   std::map<net::Prefix, HostOverride> host_overrides_;
   net::PrefixTrie<net::Prefix> prefix_table_;
+  BmpTap bmp_tap_;
   net::SimTime now_;
 };
 

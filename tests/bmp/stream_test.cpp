@@ -1,0 +1,269 @@
+// Stream-level hardening of the BMP ingest path: typed frame errors and
+// the byte-dribble replay (a feed chopped into arbitrary TCP-sized
+// fragments must build the exact same RIB as whole-message delivery).
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <random>
+#include <vector>
+
+#include "bmp/collector.h"
+#include "bmp/exporter.h"
+#include "bmp/wire.h"
+
+namespace ef::bmp {
+namespace {
+
+net::Prefix P(const char* text) { return *net::Prefix::parse(text); }
+
+std::vector<std::uint8_t> header_bytes(std::uint8_t version,
+                                       std::uint32_t length,
+                                       std::uint8_t type) {
+  return {version,
+          static_cast<std::uint8_t>(length >> 24),
+          static_cast<std::uint8_t>(length >> 16),
+          static_cast<std::uint8_t>(length >> 8),
+          static_cast<std::uint8_t>(length),
+          type};
+}
+
+TEST(BmpFrame, PeekNeedsSixHeaderBytes) {
+  const std::vector<std::uint8_t> partial = {3, 0, 0};
+  const FrameDecode head = peek_frame(partial);
+  EXPECT_EQ(head.status, FrameDecode::Status::kNeedMore);
+  EXPECT_EQ(head.need, 6u);
+}
+
+TEST(BmpFrame, PeekSizesFrameFromHeaderAlone) {
+  const auto header = header_bytes(3, 100, 0);  // body not present yet
+  const FrameDecode head = peek_frame(header);
+  EXPECT_EQ(head.status, FrameDecode::Status::kOk);
+  EXPECT_EQ(head.consumed, 100u);
+}
+
+TEST(BmpFrame, BadVersionIsUnrecoverable) {
+  const auto header = header_bytes(9, 32, 0);
+  const FrameDecode head = peek_frame(header);
+  EXPECT_EQ(head.status, FrameDecode::Status::kError);
+  EXPECT_EQ(head.error, FrameErrorKind::kBadVersion);
+  EXPECT_EQ(head.consumed, 0u);
+  EXPECT_FALSE(head.recoverable());
+}
+
+TEST(BmpFrame, LengthBelowHeaderIsUnrecoverable) {
+  const auto header = header_bytes(3, 4, 0);
+  const FrameDecode head = peek_frame(header);
+  EXPECT_EQ(head.status, FrameDecode::Status::kError);
+  EXPECT_EQ(head.error, FrameErrorKind::kBadLength);
+  EXPECT_FALSE(head.recoverable());
+}
+
+TEST(BmpFrame, OversizedLengthIsUnrecoverable) {
+  const auto header = header_bytes(3, (1u << 20) + 1, 0);
+  const FrameDecode head = peek_frame(header);
+  EXPECT_EQ(head.status, FrameDecode::Status::kError);
+  EXPECT_EQ(head.error, FrameErrorKind::kOversized);
+  EXPECT_FALSE(head.recoverable());
+
+  // A caller-chosen cap applies the same way.
+  const auto small = header_bytes(3, 512, 0);
+  EXPECT_EQ(peek_frame(small, 256).error, FrameErrorKind::kOversized);
+}
+
+TEST(BmpFrame, DecodeReportsShortBodyAsNeedMore) {
+  auto frame = header_bytes(3, 20, 4);
+  frame.resize(12);  // header promises 20, only 12 buffered
+  const FrameDecode decoded = decode_frame(frame);
+  EXPECT_EQ(decoded.status, FrameDecode::Status::kNeedMore);
+  EXPECT_EQ(decoded.need, 20u);
+}
+
+TEST(BmpFrame, UnsupportedTypeIsSkippable) {
+  // StatisticsReport is well-framed but unmodelled: the stream must be
+  // able to continue past it.
+  auto frame = header_bytes(3, 10, 1);
+  frame.resize(10, 0);
+  const FrameDecode decoded = decode_frame(frame);
+  EXPECT_EQ(decoded.status, FrameDecode::Status::kError);
+  EXPECT_EQ(decoded.error, FrameErrorKind::kUnsupportedType);
+  EXPECT_EQ(decoded.consumed, 10u);
+  EXPECT_TRUE(decoded.recoverable());
+}
+
+TEST(BmpFrame, MalformedBodyIsSkippable) {
+  auto frame = header_bytes(3, 16, 0);  // RouteMonitoring, garbage body
+  frame.resize(16, 0xAB);
+  const FrameDecode decoded = decode_frame(frame);
+  EXPECT_EQ(decoded.status, FrameDecode::Status::kError);
+  EXPECT_EQ(decoded.error, FrameErrorKind::kMalformedBody);
+  EXPECT_EQ(decoded.consumed, 16u);
+  EXPECT_TRUE(decoded.recoverable());
+}
+
+TEST(BmpFrame, RoundTripsEncodedMessage) {
+  InitiationMsg init;
+  init.sys_name = "pr7";
+  init.sys_descr = "test router";
+  const std::vector<std::uint8_t> bytes = encode(init);
+  const FrameDecode decoded = decode_frame(bytes);
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded.consumed, bytes.size());
+  ASSERT_TRUE(decoded.message.has_value());
+  EXPECT_EQ(std::get<InitiationMsg>(*decoded.message), init);
+}
+
+// --- collector stream handling ----------------------------------------
+
+TEST(CollectorStream, PartialFrameCarriesAcrossReceives) {
+  InitiationMsg init;
+  init.sys_name = "pr1";
+  const std::vector<std::uint8_t> bytes = encode(init);
+  BmpCollector collector;
+
+  const std::span<const std::uint8_t> all(bytes);
+  auto first = collector.receive(1, all.subspan(0, 3));
+  EXPECT_EQ(first.applied, 0u);
+  EXPECT_EQ(first.consumed, 0u);
+  auto second = collector.receive(1, all.subspan(3));
+  EXPECT_EQ(second.applied, 1u);
+  EXPECT_EQ(second.consumed, bytes.size());
+  EXPECT_EQ(collector.stats().initiations, 1u);
+}
+
+TEST(CollectorStream, SkipsBadFrameAndAppliesNext) {
+  auto garbage = header_bytes(3, 10, 1);  // unsupported type
+  garbage.resize(10, 0);
+  InitiationMsg init;
+  init.sys_name = "pr1";
+  const std::vector<std::uint8_t> good = encode(init);
+
+  std::vector<std::uint8_t> stream = garbage;
+  stream.insert(stream.end(), good.begin(), good.end());
+
+  BmpCollector collector;
+  const auto result = collector.receive(1, stream);
+  EXPECT_EQ(result.skipped, 1u);
+  EXPECT_EQ(result.applied, 1u);
+  EXPECT_FALSE(result.fatal);
+  EXPECT_EQ(result.error, FrameErrorKind::kUnsupportedType);
+  EXPECT_EQ(collector.stats().initiations, 1u);
+  EXPECT_EQ(collector.stats().malformed, 1u);
+}
+
+TEST(CollectorStream, FatalHeaderErrorDropsBufferedBytes) {
+  BmpCollector collector;
+  const auto result =
+      collector.receive(1, std::vector<std::uint8_t>(16, 0xFF));
+  EXPECT_TRUE(result.fatal);
+  EXPECT_EQ(result.error, FrameErrorKind::kBadVersion);
+  EXPECT_EQ(collector.stats().malformed, 1u);
+
+  // The poisoned buffer was discarded: a fresh, valid replay applies.
+  InitiationMsg init;
+  init.sys_name = "pr1";
+  EXPECT_EQ(collector.receive(1, encode(init)).applied, 1u);
+}
+
+// --- byte-dribble replay ----------------------------------------------
+
+/// Records every BMP byte a scripted feed produces, and the monitor
+/// events to produce them through a real exporter.
+std::vector<std::uint8_t> record_feed(BmpCollector& whole) {
+  std::vector<std::uint8_t> stream;
+  BmpExporter exporter("pr1", 1, [&](std::vector<std::uint8_t> bytes) {
+    whole.receive(1, bytes);
+    stream.insert(stream.end(), bytes.begin(), bytes.end());
+  });
+  exporter.start();
+
+  const bgp::PeerType types[] = {bgp::PeerType::kPrivatePeer,
+                                 bgp::PeerType::kPublicPeer,
+                                 bgp::PeerType::kTransit};
+  for (std::uint32_t peer = 1; peer <= 3; ++peer) {
+    bgp::MonitorEvent up;
+    up.kind = bgp::MonitorEvent::Kind::kPeerUp;
+    up.peer = bgp::PeerId(peer);
+    up.peer_as = bgp::AsNumber(65000 + peer);
+    up.peer_router_id = bgp::RouterId(peer);
+    up.peer_type = types[peer - 1];
+    up.when = net::SimTime::seconds(1);
+    exporter.on_event(up);
+  }
+  for (int i = 0; i < 40; ++i) {
+    const std::uint32_t peer = 1 + static_cast<std::uint32_t>(i % 3);
+    bgp::MonitorEvent route;
+    route.kind = bgp::MonitorEvent::Kind::kRoute;
+    route.peer = bgp::PeerId(peer);
+    route.peer_as = bgp::AsNumber(65000 + peer);
+    route.peer_router_id = bgp::RouterId(peer);
+    route.peer_type = types[peer - 1];
+    route.update.nlri = {
+        *net::Prefix::parse("100." + std::to_string(i) + ".0.0/24")};
+    route.update.attrs.as_path =
+        bgp::AsPath{bgp::AsNumber(65000 + peer), bgp::AsNumber(200 + i)};
+    route.update.attrs.next_hop = *net::IpAddr::parse("172.16.0.1");
+    route.update.attrs.local_pref = bgp::LocalPref(300 + peer);
+    route.update.attrs.has_local_pref = true;
+    route.when = net::SimTime::seconds(2 + i);
+    exporter.on_event(route);
+  }
+  // A few withdrawals so the dribbled replay also exercises removal.
+  for (int i = 0; i < 6; i += 2) {
+    const std::uint32_t peer = 1 + static_cast<std::uint32_t>(i % 3);
+    bgp::MonitorEvent withdraw;
+    withdraw.kind = bgp::MonitorEvent::Kind::kRoute;
+    withdraw.peer = bgp::PeerId(peer);
+    withdraw.peer_as = bgp::AsNumber(65000 + peer);
+    withdraw.peer_router_id = bgp::RouterId(peer);
+    withdraw.peer_type = types[peer - 1];
+    withdraw.update.withdrawn = {
+        *net::Prefix::parse("100." + std::to_string(i) + ".0.0/24")};
+    withdraw.when = net::SimTime::seconds(60 + i);
+    exporter.on_event(withdraw);
+  }
+  return stream;
+}
+
+std::vector<std::pair<net::Prefix, std::vector<bgp::Route>>> rib_image(
+    const bgp::Rib& rib) {
+  std::vector<std::pair<net::Prefix, std::vector<bgp::Route>>> image;
+  rib.for_each([&](const net::Prefix& prefix, std::span<const bgp::Route> routes) {
+    image.emplace_back(prefix,
+                       std::vector<bgp::Route>(routes.begin(), routes.end()));
+  });
+  return image;
+}
+
+TEST(CollectorStream, ByteDribbleBuildsIdenticalRib) {
+  BmpCollector whole;
+  const std::vector<std::uint8_t> stream = record_feed(whole);
+  ASSERT_GT(stream.size(), 500u);
+  ASSERT_GT(whole.rib().prefix_count(), 30u);
+
+  // Replay the identical bytes in random 1..7-byte chunks — every TCP
+  // fragmentation the daemon could see — for several seeds.
+  for (std::uint64_t seed : {1u, 7u, 42u}) {
+    std::mt19937_64 rng(seed);
+    std::uniform_int_distribution<std::size_t> chunk_len(1, 7);
+    BmpCollector dribbled;
+    std::size_t pos = 0;
+    std::size_t applied = 0;
+    while (pos < stream.size()) {
+      const std::size_t len = std::min(chunk_len(rng), stream.size() - pos);
+      const auto result = dribbled.receive(
+          1, std::span<const std::uint8_t>(stream.data() + pos, len));
+      EXPECT_FALSE(result.fatal);
+      applied += result.applied;
+      pos += len;
+    }
+    EXPECT_EQ(applied, 1u + 3u + 40u + 3u);  // init + ups + routes + wdraws
+    EXPECT_EQ(dribbled.stats().malformed, 0u);
+    EXPECT_EQ(dribbled.rib().prefix_count(), whole.rib().prefix_count());
+    EXPECT_EQ(dribbled.rib().route_count(), whole.rib().route_count());
+    EXPECT_EQ(rib_image(dribbled.rib()), rib_image(whole.rib()))
+        << "seed " << seed;
+  }
+}
+
+}  // namespace
+}  // namespace ef::bmp

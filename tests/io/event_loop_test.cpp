@@ -1,0 +1,147 @@
+#include "io/event_loop.h"
+
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <thread>
+#include <vector>
+
+namespace ef::io {
+namespace {
+
+using namespace std::chrono_literals;
+
+struct Pipe {
+  int fds[2] = {-1, -1};
+  Pipe() { EXPECT_EQ(pipe(fds), 0); }
+  ~Pipe() {
+    if (fds[0] >= 0) close(fds[0]);
+    if (fds[1] >= 0) close(fds[1]);
+  }
+  int reader() const { return fds[0]; }
+  void write_byte(char c = 'x') {
+    ASSERT_EQ(write(fds[1], &c, 1), 1);
+  }
+};
+
+TEST(EventLoop, DispatchesReadableFd) {
+  EventLoop loop;
+  Pipe p;
+  std::uint32_t seen = 0;
+  loop.watch(p.reader(), kRead, [&](std::uint32_t ready) {
+    seen = ready;
+    char c;
+    (void)read(p.reader(), &c, 1);
+  });
+  EXPECT_EQ(loop.poll_once(0ms), 0u);  // nothing pending yet
+  p.write_byte();
+  EXPECT_GE(loop.poll_once(100ms), 1u);
+  EXPECT_TRUE(seen & kRead);
+  loop.unwatch(p.reader());
+}
+
+TEST(EventLoop, LevelTriggeredRefiresUntilDrained) {
+  EventLoop loop;
+  Pipe p;
+  int fires = 0;
+  loop.watch(p.reader(), kRead, [&](std::uint32_t) {
+    if (++fires == 2) {  // drain only on the second visit
+      char c;
+      (void)read(p.reader(), &c, 1);
+    }
+  });
+  p.write_byte();
+  loop.poll_once(100ms);
+  loop.poll_once(100ms);
+  loop.poll_once(0ms);
+  EXPECT_EQ(fires, 2);
+  loop.unwatch(p.reader());
+}
+
+TEST(EventLoop, UnwatchInsideHandlerIsSafe) {
+  EventLoop loop;
+  Pipe a;
+  Pipe b;
+  int fired = 0;
+  // Whichever dispatches first unregisters the other mid-batch.
+  loop.watch(a.reader(), kRead, [&](std::uint32_t) {
+    ++fired;
+    loop.unwatch(b.reader());
+    char c;
+    (void)read(a.reader(), &c, 1);
+  });
+  loop.watch(b.reader(), kRead, [&](std::uint32_t) {
+    ++fired;
+    loop.unwatch(a.reader());
+    char c;
+    (void)read(b.reader(), &c, 1);
+  });
+  a.write_byte();
+  b.write_byte();
+  loop.poll_once(100ms);
+  loop.poll_once(0ms);
+  EXPECT_EQ(fired, 1);
+  EXPECT_FALSE(loop.watched(a.reader()) && loop.watched(b.reader()));
+  loop.unwatch(a.reader());
+  loop.unwatch(b.reader());
+}
+
+TEST(EventLoop, OneShotTimerFiresOnce) {
+  EventLoop loop;
+  int fires = 0;
+  loop.call_after(1ms, [&] { ++fires; });
+  const auto deadline = std::chrono::steady_clock::now() + 2s;
+  while (fires == 0 && std::chrono::steady_clock::now() < deadline) {
+    loop.poll_once(10ms);
+  }
+  loop.poll_once(20ms);
+  EXPECT_EQ(fires, 1);
+  EXPECT_EQ(loop.stats().timer_fires, 1u);
+}
+
+TEST(EventLoop, PeriodicTimerRepeatsAndCancels) {
+  EventLoop loop;
+  int fires = 0;
+  const EventLoop::TimerId id = loop.call_every(1ms, [&] { ++fires; });
+  const auto deadline = std::chrono::steady_clock::now() + 2s;
+  while (fires < 3 && std::chrono::steady_clock::now() < deadline) {
+    loop.poll_once(10ms);
+  }
+  EXPECT_GE(fires, 3);
+  loop.cancel_timer(id);
+  const int settled = fires;
+  loop.poll_once(20ms);
+  loop.poll_once(20ms);
+  EXPECT_EQ(fires, settled);
+}
+
+TEST(EventLoop, PostFromAnotherThreadWakesLoop) {
+  EventLoop loop;
+  std::thread runner([&] { loop.run(); });
+  int ran = 0;
+  loop.run_sync([&] { ran = 1; });
+  EXPECT_EQ(ran, 1);
+  loop.post([&] { ++ran; });
+  loop.run_sync([] {});  // posted functions drain in order before this
+  EXPECT_EQ(ran, 2);
+  loop.stop();
+  runner.join();
+  EXPECT_GE(loop.stats().posts_run, 2u);
+}
+
+TEST(EventLoop, RearmAddsWriteInterest) {
+  EventLoop loop;
+  Pipe p;
+  std::uint32_t seen = 0;
+  // The write end of a fresh pipe is writable immediately.
+  loop.watch(p.fds[1], kRead, [&](std::uint32_t ready) { seen |= ready; });
+  loop.poll_once(10ms);
+  EXPECT_FALSE(seen & kWrite);
+  loop.rearm(p.fds[1], kRead | kWrite);
+  loop.poll_once(100ms);
+  EXPECT_TRUE(seen & kWrite);
+  loop.unwatch(p.fds[1]);
+}
+
+}  // namespace
+}  // namespace ef::io

@@ -1,0 +1,129 @@
+#include "io/frame.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace ef::io {
+namespace {
+
+/// Toy length-prefixed protocol for exercising the reassembler: one
+/// length byte, then that many payload bytes. Length 0xFF poisons.
+Peek toy_peek(std::span<const std::uint8_t> data) {
+  Peek peek;
+  if (data.empty()) {
+    peek.status = PeekStatus::kNeedMore;
+    peek.len = 1;
+    return peek;
+  }
+  if (data[0] == 0xFF) {
+    peek.status = PeekStatus::kError;
+    peek.reason = "bad toy header";
+    return peek;
+  }
+  peek.status = PeekStatus::kFrame;
+  peek.len = 1u + data[0];
+  return peek;
+}
+
+std::vector<std::uint8_t> toy_frame(std::initializer_list<int> payload) {
+  std::vector<std::uint8_t> frame;
+  frame.push_back(static_cast<std::uint8_t>(payload.size()));
+  for (int b : payload) frame.push_back(static_cast<std::uint8_t>(b));
+  return frame;
+}
+
+TEST(FrameReassembler, EmitsWholeFramesFromFragments) {
+  FrameReassembler frames(toy_peek);
+  std::vector<std::vector<std::uint8_t>> out;
+  const auto sink = [&](std::span<const std::uint8_t> frame) {
+    out.emplace_back(frame.begin(), frame.end());
+  };
+
+  std::vector<std::uint8_t> stream = toy_frame({1, 2, 3});
+  const std::vector<std::uint8_t> second = toy_frame({9});
+  stream.insert(stream.end(), second.begin(), second.end());
+
+  // One byte at a time: nothing partial ever reaches the sink.
+  for (std::uint8_t byte : stream) {
+    frames.feed(std::span<const std::uint8_t>(&byte, 1), sink);
+  }
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_EQ(out[0], toy_frame({1, 2, 3}));
+  EXPECT_EQ(out[1], toy_frame({9}));
+  EXPECT_EQ(frames.buffered(), 0u);
+  EXPECT_EQ(frames.stats().bytes_in, stream.size());
+  EXPECT_EQ(frames.stats().frames_out, 2u);
+}
+
+TEST(FrameReassembler, CoalescedChunkEmitsAllFrames) {
+  FrameReassembler frames(toy_peek);
+  std::size_t emitted = 0;
+  std::vector<std::uint8_t> stream;
+  for (int i = 0; i < 5; ++i) {
+    const auto frame = toy_frame({i, i});
+    stream.insert(stream.end(), frame.begin(), frame.end());
+  }
+  EXPECT_EQ(frames.feed(stream, [&](std::span<const std::uint8_t>) {
+    ++emitted;
+  }),
+            5u);
+  EXPECT_EQ(emitted, 5u);
+}
+
+TEST(FrameReassembler, PeekErrorPoisons) {
+  FrameReassembler frames(toy_peek);
+  std::size_t emitted = 0;
+  const auto sink = [&](std::span<const std::uint8_t>) { ++emitted; };
+  std::vector<std::uint8_t> stream = toy_frame({1});
+  stream.push_back(0xFF);  // poison header after one good frame
+  frames.feed(stream, sink);
+  EXPECT_EQ(emitted, 1u);
+  EXPECT_TRUE(frames.poisoned());
+  EXPECT_EQ(frames.poison_reason(), "bad toy header");
+
+  // Everything after poisoning is dropped, even valid frames.
+  frames.feed(toy_frame({2}), sink);
+  EXPECT_EQ(emitted, 1u);
+}
+
+TEST(FrameReassembler, OversizedFramePoisons) {
+  FrameReassembler frames(toy_peek, /*max_frame=*/4);
+  std::size_t emitted = 0;
+  frames.feed(toy_frame({1, 2, 3, 4, 5}),  // 6 bytes on the wire
+              [&](std::span<const std::uint8_t>) { ++emitted; });
+  EXPECT_EQ(emitted, 0u);
+  EXPECT_TRUE(frames.poisoned());
+}
+
+TEST(FrameReassembler, ResetClearsPoisonAndBuffer) {
+  FrameReassembler frames(toy_peek);
+  std::size_t emitted = 0;
+  const auto sink = [&](std::span<const std::uint8_t>) { ++emitted; };
+  const std::uint8_t bad = 0xFF;
+  frames.feed(std::span<const std::uint8_t>(&bad, 1), sink);
+  ASSERT_TRUE(frames.poisoned());
+
+  frames.reset();
+  EXPECT_FALSE(frames.poisoned());
+  EXPECT_EQ(frames.buffered(), 0u);
+  frames.feed(toy_frame({7}), sink);
+  EXPECT_EQ(emitted, 1u);
+}
+
+TEST(FrameReassembler, NeedMoreKeepsPartialBuffered) {
+  FrameReassembler frames(toy_peek);
+  std::size_t emitted = 0;
+  const auto frame = toy_frame({1, 2, 3, 4});
+  frames.feed(std::span<const std::uint8_t>(frame.data(), 3),
+              [&](std::span<const std::uint8_t>) { ++emitted; });
+  EXPECT_EQ(emitted, 0u);
+  EXPECT_EQ(frames.buffered(), 3u);
+  frames.feed(std::span<const std::uint8_t>(frame.data() + 3, 2),
+              [&](std::span<const std::uint8_t>) { ++emitted; });
+  EXPECT_EQ(emitted, 1u);
+  EXPECT_EQ(frames.buffered(), 0u);
+}
+
+}  // namespace
+}  // namespace ef::io

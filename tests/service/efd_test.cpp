@@ -1,0 +1,173 @@
+#include "service/efd.h"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <string>
+
+#include "bmp/wire.h"
+#include "io/socket.h"
+#include "topology/world.h"
+
+namespace ef::service {
+namespace {
+
+using namespace std::chrono_literals;
+
+topology::World test_world() {
+  topology::WorldConfig config;
+  config.num_clients = 40;
+  config.num_pops = 2;
+  config.seed = 7;
+  return topology::World::generate(config);
+}
+
+EfdConfig shadow_config() {
+  EfdConfig config;
+  config.controller.enforcement = core::Enforcement::kShadow;
+  return config;
+}
+
+std::string http_get(std::uint16_t port, const std::string& path) {
+  io::Fd conn = io::connect_tcp(port);
+  EXPECT_TRUE(conn.valid());
+  if (!conn.valid()) return {};
+  const std::string request =
+      "GET " + path + " HTTP/1.1\r\nHost: t\r\nConnection: close\r\n\r\n";
+  EXPECT_TRUE(io::send_all(
+      conn.get(), std::span<const std::uint8_t>(
+                      reinterpret_cast<const std::uint8_t*>(request.data()),
+                      request.size())));
+  std::string response;
+  for (;;) {
+    const std::vector<std::uint8_t> chunk = io::recv_some(conn.get());
+    if (chunk.empty()) break;
+    response.append(chunk.begin(), chunk.end());
+  }
+  return response;
+}
+
+TEST(EfdService, StartsOnEphemeralPortsAndStops) {
+  const topology::World world = test_world();
+  topology::Pop pop(world, 0);
+  EfdService service(pop, shadow_config());
+  service.start();
+  EXPECT_TRUE(service.running());
+  EXPECT_NE(service.bmp_port(), 0);
+  EXPECT_NE(service.sflow_port(), 0);
+  EXPECT_NE(service.http_port(), 0);
+  service.stop();
+  EXPECT_FALSE(service.running());
+  service.stop();  // idempotent
+}
+
+TEST(EfdService, StopReleasesEveryFd) {
+  const topology::World world = test_world();
+  topology::Pop pop(world, 0);
+  const std::size_t before = io::open_fd_count();
+  {
+    EfdService service(pop, shadow_config());
+    service.start();
+    // Touch all three sockets so accepted conns also get cleaned up.
+    io::Fd bmp = io::connect_tcp(service.bmp_port());
+    ASSERT_TRUE(bmp.valid());
+    const std::string status = http_get(service.http_port(), "/status");
+    EXPECT_FALSE(status.empty());
+    service.stop();
+  }
+  EXPECT_EQ(io::open_fd_count(), before);
+}
+
+TEST(EfdService, ServesStatusAndMetrics) {
+  const topology::World world = test_world();
+  topology::Pop pop(world, 0);
+  EfdService service(pop, shadow_config());
+  service.start();
+
+  const std::string status = http_get(service.http_port(), "/status");
+  EXPECT_NE(status.find("HTTP/1.1 200 OK"), std::string::npos);
+  EXPECT_NE(status.find("efd status"), std::string::npos);
+  EXPECT_NE(status.find("pop: " + pop.name()), std::string::npos);
+
+  const std::string metrics = http_get(service.http_port(), "/metrics");
+  EXPECT_NE(metrics.find("efd_bmp_connections_total 0"), std::string::npos);
+  EXPECT_NE(metrics.find("efd_cycles_run_total 0"), std::string::npos);
+
+  const std::string missing = http_get(service.http_port(), "/nope");
+  EXPECT_NE(missing.find("404"), std::string::npos);
+
+  const std::string post = [&] {
+    io::Fd conn = io::connect_tcp(service.http_port());
+    const std::string request = "POST /status HTTP/1.1\r\n\r\n";
+    io::send_all(conn.get(),
+                 std::span<const std::uint8_t>(
+                     reinterpret_cast<const std::uint8_t*>(request.data()),
+                     request.size()));
+    std::string response;
+    for (;;) {
+      const auto chunk = io::recv_some(conn.get());
+      if (chunk.empty()) break;
+      response.append(chunk.begin(), chunk.end());
+    }
+    return response;
+  }();
+  EXPECT_NE(post.find("405"), std::string::npos);
+}
+
+TEST(EfdService, CountsBmpTrafficFromSocket) {
+  const topology::World world = test_world();
+  topology::Pop pop(world, 0);
+  EfdService service(pop, shadow_config());
+  service.start();
+
+  io::Fd conn = io::connect_tcp(service.bmp_port());
+  ASSERT_TRUE(conn.valid());
+  bmp::InitiationMsg init;
+  init.sys_name = "pr-test";
+  const std::vector<std::uint8_t> bytes = bmp::encode(init);
+  ASSERT_TRUE(io::send_all(conn.get(), bytes));
+  ASSERT_TRUE(service.wait_for_bmp_bytes(bytes.size(), 5000ms));
+
+  const EfdService::IngestSnapshot snap = service.ingest();
+  EXPECT_EQ(snap.bmp_connections, 1u);
+  EXPECT_EQ(snap.bmp_bytes, bytes.size());
+  EXPECT_EQ(snap.bmp_messages, 1u);
+  EXPECT_EQ(snap.bmp_malformed, 0u);
+
+  conn.reset();  // EOF: the daemon must register the disconnect
+  EXPECT_TRUE(service.wait_for_disconnects(1, 5000ms));
+}
+
+TEST(EfdService, DropsPoisonedBmpSession) {
+  const topology::World world = test_world();
+  topology::Pop pop(world, 0);
+  EfdService service(pop, shadow_config());
+  service.start();
+
+  io::Fd conn = io::connect_tcp(service.bmp_port());
+  ASSERT_TRUE(conn.valid());
+  const std::vector<std::uint8_t> garbage(32, 0xFF);  // bad BMP version
+  ASSERT_TRUE(io::send_all(conn.get(), garbage));
+  // The daemon severs the session itself — no feeder-side close here.
+  EXPECT_TRUE(service.wait_for_disconnects(1, 5000ms));
+}
+
+TEST(EfdService, RealTimeCyclesRunWithoutAFeed) {
+  const topology::World world = test_world();
+  topology::Pop pop(world, 0);
+  EfdConfig config = shadow_config();
+  config.real_time_cycles = true;
+  config.cycle_wall_period = 5ms;
+  EfdService service(pop, config);
+  service.start();
+  EXPECT_TRUE(service.wait_until(
+      [](const EfdService::IngestSnapshot& snap) {
+        return snap.cycles_run >= 3;
+      },
+      5000ms));
+  service.stop();
+  EXPECT_GE(service.digests().size(), 3u);
+}
+
+}  // namespace
+}  // namespace ef::service

@@ -1,0 +1,133 @@
+#include "telemetry/sflow_wire.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+namespace ef::telemetry::wire {
+namespace {
+
+net::Prefix P(const char* text) { return *net::Prefix::parse(text); }
+
+FlowSample sample() {
+  FlowSample s;
+  s.src = *net::IpAddr::parse("10.1.2.3");
+  s.dst = *net::IpAddr::parse("100.7.0.9");
+  s.egress = InterfaceId(5);
+  s.packet_bytes = 1400;
+  s.dscp = 46;
+  s.when = net::SimTime::millis(123456);
+  return s;
+}
+
+TEST(SflowWire, RoundTripsAllRecordTypes) {
+  std::vector<SflowRecord> records;
+  records.emplace_back(sample());
+  records.emplace_back(
+      WindowClose{net::SimTime::seconds(60), net::SimTime::seconds(0)});
+  records.emplace_back(
+      DemandRate{P("100.7.0.0/24"), net::Bandwidth::bps(2.5e9)});
+
+  const std::vector<std::uint8_t> datagram = encode_datagram(records);
+  const DatagramDecode decoded = decode_datagram(datagram);
+  ASSERT_TRUE(decoded.ok) << decoded.reason;
+  EXPECT_EQ(decoded.skipped, 0u);
+  ASSERT_EQ(decoded.records.size(), 3u);
+
+  const auto* s = std::get_if<FlowSample>(&decoded.records[0]);
+  ASSERT_NE(s, nullptr);
+  EXPECT_EQ(s->src, sample().src);
+  EXPECT_EQ(s->dst, sample().dst);
+  EXPECT_EQ(s->egress, sample().egress);
+  EXPECT_EQ(s->packet_bytes, sample().packet_bytes);
+  EXPECT_EQ(s->dscp, sample().dscp);
+  EXPECT_EQ(s->when, sample().when);
+
+  const auto* close = std::get_if<WindowClose>(&decoded.records[1]);
+  ASSERT_NE(close, nullptr);
+  EXPECT_EQ(close->window_end, net::SimTime::seconds(60));
+  EXPECT_EQ(close->cycle_now, net::SimTime::seconds(0));
+
+  const auto* demand = std::get_if<DemandRate>(&decoded.records[2]);
+  ASSERT_NE(demand, nullptr);
+  EXPECT_EQ(demand->prefix, P("100.7.0.0/24"));
+  EXPECT_EQ(demand->rate.bits_per_sec(), 2.5e9);
+}
+
+TEST(SflowWire, DemandRateRoundTripIsBitExact) {
+  // Demand replay must reproduce decisions bitwise, so the rate must
+  // survive the wire bit-for-bit — including awkward doubles.
+  const double rates[] = {0.0, 1.0 / 3.0, 2.5e9, 1e-300,
+                          std::nextafter(1e9, 2e9)};
+  std::vector<SflowRecord> records;
+  for (double rate : rates) {
+    records.emplace_back(DemandRate{P("100.0.0.0/24"),
+                                    net::Bandwidth::bps(rate)});
+  }
+  const DatagramDecode decoded = decode_datagram(encode_datagram(records));
+  ASSERT_TRUE(decoded.ok);
+  ASSERT_EQ(decoded.records.size(), std::size(rates));
+  for (std::size_t i = 0; i < std::size(rates); ++i) {
+    const auto* demand = std::get_if<DemandRate>(&decoded.records[i]);
+    ASSERT_NE(demand, nullptr);
+    EXPECT_EQ(demand->rate.bits_per_sec(), rates[i]);
+  }
+}
+
+TEST(SflowWire, RejectsBadMagic) {
+  std::vector<std::uint8_t> datagram =
+      encode_datagram(std::vector<SflowRecord>{
+          SflowRecord(WindowClose{net::SimTime::seconds(1),
+                                  net::SimTime::seconds(1)})});
+  datagram[0] = 'X';
+  const DatagramDecode decoded = decode_datagram(datagram);
+  EXPECT_FALSE(decoded.ok);
+  EXPECT_TRUE(decoded.records.empty());
+}
+
+TEST(SflowWire, RejectsTruncatedHeader) {
+  const std::vector<std::uint8_t> datagram = {'E', 'F', 'S'};
+  EXPECT_FALSE(decode_datagram(datagram).ok);
+}
+
+TEST(SflowWire, TruncatedRecordKeepsDecodedPrefix) {
+  std::vector<SflowRecord> records;
+  records.emplace_back(
+      DemandRate{P("100.1.0.0/24"), net::Bandwidth::bps(1e9)});
+  records.emplace_back(
+      DemandRate{P("100.2.0.0/24"), net::Bandwidth::bps(2e9)});
+  std::vector<std::uint8_t> datagram = encode_datagram(records);
+  datagram.resize(datagram.size() - 5);  // cut into the second record
+
+  const DatagramDecode decoded = decode_datagram(datagram);
+  ASSERT_TRUE(decoded.ok);
+  ASSERT_EQ(decoded.records.size(), 1u);
+  EXPECT_GE(decoded.skipped, 1u);
+  const auto* demand = std::get_if<DemandRate>(&decoded.records[0]);
+  ASSERT_NE(demand, nullptr);
+  EXPECT_EQ(demand->prefix, P("100.1.0.0/24"));
+}
+
+TEST(SflowWire, SkipsUnknownRecordType) {
+  std::vector<SflowRecord> records;
+  records.emplace_back(
+      DemandRate{P("100.1.0.0/24"), net::Bandwidth::bps(1e9)});
+  std::vector<std::uint8_t> datagram = encode_datagram(records);
+  // Append a record of an unknown future type: u8 type, u16 BE len, body.
+  datagram.push_back(200);
+  datagram.push_back(0);
+  datagram.push_back(2);
+  datagram.push_back(0xAA);
+  datagram.push_back(0xBB);
+  // Patch the count field (u16 BE after the 4-byte magic).
+  datagram[5] = 2;
+
+  const DatagramDecode decoded = decode_datagram(datagram);
+  ASSERT_TRUE(decoded.ok) << decoded.reason;
+  EXPECT_EQ(decoded.records.size(), 1u);
+  EXPECT_EQ(decoded.skipped, 1u);
+}
+
+}  // namespace
+}  // namespace ef::telemetry::wire

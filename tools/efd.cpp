@@ -1,0 +1,145 @@
+// efd — the Edge Fabric controller daemon.
+//
+//   efd [--clients N] [--pops N] [--seed S] [--pop K]
+//       [--bmp PORT] [--sflow PORT] [--http PORT]
+//       [--inject] [--real-time] [--cycle-secs S] [--sample-rate N]
+//
+// Listens for BMP sessions on TCP and EFS1 sFlow datagrams on UDP,
+// builds a RIB and a demand estimate from them, and runs controller
+// cycles on window-close markers (plus a wall-clock timer with
+// --real-time). GET /status and /metrics on the HTTP port.
+//
+// The PoP topology (interfaces, capacities, NEXT_HOP -> egress map)
+// still comes from the deterministic generated world — the daemon needs
+// it to resolve routes to egresses — while the RIB and demand come
+// exclusively from the sockets. Default stance is shadow (compute, do
+// not push); --inject enables BGP injection into the attached PoP.
+//
+// Signals: SIGINT/SIGTERM shut down in an orderly way through the event
+// loop's signalfd. docs/OPERATIONS.md covers the operator workflow.
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <string>
+
+#include "core/controller.h"
+#include "net/units.h"
+#include "service/efd.h"
+#include "topology/pop.h"
+#include "topology/world.h"
+
+namespace {
+
+using namespace ef;
+
+[[noreturn]] void die_bad_value(const std::string& key,
+                                const std::string& value) {
+  std::fprintf(stderr, "efd: invalid numeric value '%s' for --%s\n",
+               value.c_str(), key.c_str());
+  std::exit(2);
+}
+
+struct Args {
+  std::map<std::string, std::string> options;
+
+  bool has(const std::string& key) const { return options.contains(key); }
+  long num(const std::string& key, long fallback) const {
+    auto it = options.find(key);
+    if (it == options.end()) return fallback;
+    try {
+      std::size_t consumed = 0;
+      const long value = std::stol(it->second, &consumed);
+      if (consumed != it->second.size()) die_bad_value(key, it->second);
+      return value;
+    } catch (const std::exception&) {
+      die_bad_value(key, it->second);
+    }
+  }
+};
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: efd [--clients N] [--pops N] [--seed S] [--pop K]\n"
+               "           [--bmp PORT] [--sflow PORT] [--http PORT]\n"
+               "           [--inject] [--real-time] [--cycle-secs S]\n"
+               "           [--sample-rate N]\n"
+               "  (port 0 = pick an ephemeral port and print it)\n");
+  return 2;
+}
+
+std::uint16_t port_arg(const Args& args, const std::string& key) {
+  const long port = args.num(key, 0);
+  if (port < 0 || port > 65535) die_bad_value(key, args.options.at(key));
+  return static_cast<std::uint16_t>(port);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Args args;
+  for (int i = 1; i < argc; ++i) {
+    std::string key = argv[i];
+    if (key == "--help" || key == "-h") return usage();
+    if (key.rfind("--", 0) != 0) {
+      std::fprintf(stderr, "efd: unexpected operand '%s'\n", key.c_str());
+      return usage();
+    }
+    key = key.substr(2);
+    if (i + 1 < argc && std::strncmp(argv[i + 1], "--", 2) != 0) {
+      args.options[key] = argv[++i];
+    } else {
+      args.options[key] = "1";
+    }
+  }
+
+  // Block the shutdown signals before any thread exists so the event
+  // loop's signalfd is their only consumer.
+  sigset_t sigs;
+  sigemptyset(&sigs);
+  sigaddset(&sigs, SIGINT);
+  sigaddset(&sigs, SIGTERM);
+  sigprocmask(SIG_BLOCK, &sigs, nullptr);
+
+  topology::WorldConfig world_config;
+  world_config.num_clients = static_cast<int>(args.num("clients", 56));
+  world_config.num_pops = static_cast<int>(args.num("pops", 4));
+  world_config.seed = static_cast<std::uint64_t>(args.num("seed", 42));
+  const topology::World world = topology::World::generate(world_config);
+  const std::size_t pop_index = static_cast<std::size_t>(args.num("pop", 0));
+  if (pop_index >= world.pops().size()) {
+    std::fprintf(stderr, "efd: --pop %zu out of range (%zu PoPs)\n",
+                 pop_index, world.pops().size());
+    return 2;
+  }
+  topology::Pop pop(world, pop_index);
+
+  service::EfdConfig config;
+  config.bmp_port = port_arg(args, "bmp");
+  config.sflow_port = port_arg(args, "sflow");
+  config.http_port = port_arg(args, "http");
+  config.controller.enforcement = args.has("inject")
+                                      ? core::Enforcement::kBgpInjection
+                                      : core::Enforcement::kShadow;
+  config.controller.cycle_period =
+      net::SimTime::seconds(static_cast<double>(args.num("cycle-secs", 30)));
+  config.sflow_sample_rate =
+      static_cast<std::uint32_t>(args.num("sample-rate", 10));
+  config.real_time_cycles = args.has("real-time");
+
+  service::EfdService service(pop, config);
+  service.shutdown_on_signals();
+  service.start();
+
+  std::printf("efd: pop %s (%zu interfaces), %s enforcement\n",
+              pop.name().c_str(), pop.def().interfaces.size(),
+              args.has("inject") ? "bgp-injection" : "shadow");
+  std::printf("efd: bmp 127.0.0.1:%u  sflow 127.0.0.1:%u  http 127.0.0.1:%u\n",
+              service.bmp_port(), service.sflow_port(), service.http_port());
+  std::fflush(stdout);
+
+  service.wait();  // until SIGINT/SIGTERM
+  std::printf("efd: stopped\n");
+  return 0;
+}

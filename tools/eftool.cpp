@@ -11,6 +11,8 @@
 //   eftool record     --fleet [--hours H] [--threads N] --out FILE
 //   eftool replay     FILE [--verbose]
 //   eftool whatif     FILE --drain I | --scale-demand F | ... [--cycle N]
+//   eftool serve      [--pop K] [--bmp P] [--sflow P] [--http P] [...]
+//   eftool feed       FILE --bmp P [--sflow P] [--http P] [--limit N]
 //
 // Everything is generated/deterministic: the same flags print the same
 // bytes, which makes eftool output diff-able in change reviews. That
@@ -19,7 +21,9 @@
 // the same bytes and journals (docs/PARALLELISM.md). See
 // docs/OPERATIONS.md for the full operator handbook.
 #include <algorithm>
+#include <chrono>
 #include <cmath>
+#include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -27,7 +31,9 @@
 #include <map>
 #include <memory>
 #include <optional>
+#include <set>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "analysis/metrics.h"
@@ -35,9 +41,13 @@
 #include "audit/replay.h"
 #include "audit/snapshot.h"
 #include "bgp/mrt.h"
+#include "bmp/wire.h"
 #include "core/controller.h"
+#include "io/socket.h"
+#include "service/efd.h"
 #include "sim/fleet.h"
 #include "sim/simulation.h"
+#include "telemetry/sflow_wire.h"
 #include "workload/demand.h"
 
 namespace {
@@ -683,6 +693,348 @@ int cmd_whatif(const Args& args) {
   return 0;
 }
 
+// --- live daemon: serve / feed ----------------------------------------
+
+std::uint16_t port_opt(const Args& args, const std::string& key) {
+  const long port = args.num(key, 0);
+  if (port < 0 || port > 65535) die_bad_value(key, args.get(key, ""));
+  return static_cast<std::uint16_t>(port);
+}
+
+/// Runs the efd daemon in the foreground until SIGINT/SIGTERM. Same
+/// wiring as the standalone `efd` binary, reachable from the operator
+/// CLI.
+int cmd_serve(const Args& args) {
+  // Block the shutdown signals before the service spawns its loop thread
+  // so the loop's signalfd is their only consumer.
+  sigset_t sigs;
+  sigemptyset(&sigs);
+  sigaddset(&sigs, SIGINT);
+  sigaddset(&sigs, SIGTERM);
+  sigprocmask(SIG_BLOCK, &sigs, nullptr);
+
+  const topology::World world = make_world(args);
+  const std::size_t p = static_cast<std::size_t>(args.num("pop", 0));
+  if (p >= world.pops().size()) {
+    std::fprintf(stderr, "eftool serve: --pop %zu out of range (%zu PoPs)\n",
+                 p, world.pops().size());
+    return 2;
+  }
+  topology::Pop pop(world, p);
+
+  service::EfdConfig config;
+  config.bmp_port = port_opt(args, "bmp");
+  config.sflow_port = port_opt(args, "sflow");
+  config.http_port = port_opt(args, "http");
+  config.controller.enforcement = args.has("inject")
+                                      ? core::Enforcement::kBgpInjection
+                                      : core::Enforcement::kShadow;
+  config.controller.cycle_period = net::SimTime::seconds(
+      static_cast<double>(args.num("cycle-secs", 30)));
+  config.sflow_sample_rate =
+      static_cast<std::uint32_t>(args.num("sample-rate", 10));
+  config.real_time_cycles = args.has("real-time");
+
+  service::EfdService service(pop, config);
+  service.shutdown_on_signals();
+  service.start();
+  std::printf("eftool serve: pop %s, %s enforcement\n", pop.name().c_str(),
+              args.has("inject") ? "bgp-injection" : "shadow");
+  std::printf(
+      "eftool serve: bmp 127.0.0.1:%u  sflow 127.0.0.1:%u  http "
+      "127.0.0.1:%u\n",
+      service.bmp_port(), service.sflow_port(), service.http_port());
+  std::fflush(stdout);
+  service.wait();
+  std::printf("eftool serve: stopped\n");
+  return 0;
+}
+
+/// Blocking GET against the daemon's HTTP port; returns the body, empty
+/// on any failure.
+std::string http_get_body(std::uint16_t port, const std::string& path) {
+  io::Fd conn = io::connect_tcp(port);
+  if (!conn.valid()) return {};
+  const std::string request =
+      "GET " + path + " HTTP/1.1\r\nHost: efd\r\nConnection: close\r\n\r\n";
+  const std::span<const std::uint8_t> bytes(
+      reinterpret_cast<const std::uint8_t*>(request.data()), request.size());
+  if (!io::send_all(conn.get(), bytes)) return {};
+  std::string response;
+  for (;;) {
+    const std::vector<std::uint8_t> chunk = io::recv_some(conn.get());
+    if (chunk.empty()) break;
+    response.append(chunk.begin(), chunk.end());
+  }
+  const std::size_t body = response.find("\r\n\r\n");
+  return body == std::string::npos ? std::string() : response.substr(body + 4);
+}
+
+/// Value of one `name value` line from /metrics; -1 when absent.
+double metric_value(const std::string& body, const std::string& name) {
+  const std::string want = name + " ";
+  std::size_t pos = 0;
+  while (pos < body.size()) {
+    std::size_t eol = body.find('\n', pos);
+    if (eol == std::string::npos) eol = body.size();
+    if (body.compare(pos, want.size(), want) == 0) {
+      return std::atof(body.c_str() + pos + want.size());
+    }
+    pos = eol + 1;
+  }
+  return -1.0;
+}
+
+/// Polls /metrics until `name` reaches `target` — the feed's flow
+/// control, so a slow daemon is waited for instead of flooded.
+bool wait_for_metric(std::uint16_t http_port, const std::string& name,
+                     double target) {
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(15);
+  for (;;) {
+    if (metric_value(http_get_body(http_port, "/metrics"), name) >= target) {
+      return true;
+    }
+    if (std::chrono::steady_clock::now() >= deadline) {
+      std::fprintf(stderr,
+                   "eftool feed: daemon did not reach %s >= %g in 15s\n",
+                   name.c_str(), target);
+      return false;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+}
+
+/// Sockets into a running daemon, with running totals for flow control.
+struct DaemonFeed {
+  io::Fd bmp;
+  io::Fd sflow;
+  std::uint16_t sflow_port = 0;
+  std::uint64_t bmp_bytes = 0;
+  std::uint64_t windows = 0;
+
+  bool send_bmp(const bmp::BmpMessage& msg) {
+    const std::vector<std::uint8_t> bytes = bmp::encode(msg);
+    if (!io::send_all(bmp.get(), bytes)) {
+      std::fprintf(stderr, "eftool feed: BMP send failed\n");
+      return false;
+    }
+    bmp_bytes += bytes.size();
+    return true;
+  }
+
+  bool send_records(
+      std::span<const telemetry::wire::SflowRecord> records) {
+    if (!sflow.valid() || records.empty()) return true;
+    const std::vector<std::uint8_t> datagram =
+        telemetry::wire::encode_datagram(records);
+    if (!io::UdpSocket::send_to(sflow.get(), sflow_port, datagram)) {
+      std::fprintf(stderr, "eftool feed: sFlow send failed\n");
+      return false;
+    }
+    return true;
+  }
+};
+
+/// Synthesizes the per-peer header for a recorded route. The snapshot
+/// keeps the neighbor's identity on every route, and neighbor router IDs
+/// are unique per peering, so the ID doubles as a stable peer address.
+bmp::PerPeerHeader feed_peer_header(const bgp::Route& route) {
+  bmp::PerPeerHeader header;
+  header.peer_addr = net::IpAddr::v4(route.neighbor_router_id.value());
+  header.peer_as = route.neighbor_as.value();
+  header.peer_bgp_id = route.neighbor_router_id.value();
+  header.timestamp = route.learned_at;
+  return header;
+}
+
+/// Streams a cycle-snapshot journal into the daemon: per snapshot, the
+/// route-set delta as BMP announcements/withdrawals, then the demand
+/// table and a window-close marker over UDP, then a /metrics barrier.
+int feed_journal(const Args& args, std::vector<std::uint8_t> bytes,
+                 DaemonFeed& feed, std::uint16_t http_port) {
+  using RouteKey = std::pair<std::uint32_t, net::Prefix>;  // (bgp_id, pfx)
+  std::map<RouteKey, bgp::Route> announced;
+  std::set<std::uint32_t> peers_up;
+
+  audit::JournalReader reader(std::move(bytes));
+  const long limit = args.num("limit", -1);
+  long fed = 0;
+  while (auto record = reader.next()) {
+    if (limit >= 0 && fed >= limit) break;
+    const auto snapshot = audit::CycleSnapshot::deserialize(*record);
+    if (!snapshot) {
+      std::fprintf(stderr, "eftool feed: skipping undecodable snapshot\n");
+      continue;
+    }
+
+    std::map<RouteKey, const bgp::Route*> current;
+    for (const bgp::Route& route : snapshot->routes) {
+      current[{route.neighbor_router_id.value(), route.prefix}] = &route;
+    }
+    // Withdraw what disappeared since the previous snapshot...
+    for (const auto& [key, route] : announced) {
+      if (current.contains(key)) continue;
+      bmp::RouteMonitoringMsg withdraw;
+      withdraw.peer = feed_peer_header(route);
+      withdraw.peer.timestamp = snapshot->when;
+      withdraw.update.withdrawn.push_back(key.second);
+      if (!feed.send_bmp(withdraw)) return 1;
+    }
+    // ...then (re-)announce everything new or changed.
+    for (const auto& [key, route] : current) {
+      const auto prev = announced.find(key);
+      if (prev != announced.end() && prev->second == *route) continue;
+      if (peers_up.insert(key.first).second) {
+        bmp::PeerUpMsg up;
+        up.peer = feed_peer_header(*route);
+        up.local_addr = net::IpAddr::v4(0x7F000001);
+        up.information.push_back(
+            std::string("peer-type=") + bgp::peer_type_name(route->peer_type));
+        if (!feed.send_bmp(up)) return 1;
+      }
+      bmp::RouteMonitoringMsg announce;
+      announce.peer = feed_peer_header(*route);
+      announce.update.attrs = route->attrs;
+      announce.update.nlri.push_back(route->prefix);
+      if (!feed.send_bmp(announce)) return 1;
+    }
+    announced.clear();
+    for (const auto& [key, route] : current) announced.emplace(key, *route);
+
+    if (feed.sflow.valid()) {
+      std::vector<telemetry::wire::SflowRecord> records;
+      for (const audit::DemandRecord& demand : snapshot->demand) {
+        records.emplace_back(
+            telemetry::wire::DemandRate{demand.prefix, demand.rate});
+        if (records.size() >= 64) {
+          if (!feed.send_records(records)) return 1;
+          records.clear();
+        }
+      }
+      records.emplace_back(
+          telemetry::wire::WindowClose{snapshot->when, snapshot->when});
+      if (!feed.send_records(records)) return 1;
+      ++feed.windows;
+    }
+
+    if (http_port != 0) {
+      if (!wait_for_metric(http_port, "efd_bmp_bytes_total",
+                           static_cast<double>(feed.bmp_bytes)) ||
+          !wait_for_metric(http_port, "efd_windows_closed_total",
+                           static_cast<double>(feed.windows))) {
+        return 1;
+      }
+    }
+    ++fed;
+  }
+
+  if (reader.stats().corrupt_skipped > 0 || reader.stats().truncated_tail) {
+    std::fprintf(stderr, "eftool feed: journal damage: %zu frame(s) skipped%s\n",
+                 reader.stats().corrupt_skipped,
+                 reader.stats().truncated_tail ? ", truncated tail" : "");
+  }
+  std::printf("fed %ld snapshot(s): %llu BMP bytes, %llu window(s)\n", fed,
+              static_cast<unsigned long long>(feed.bmp_bytes),
+              static_cast<unsigned long long>(feed.windows));
+  return 0;
+}
+
+/// Streams an MRT TABLE_DUMP_V2 image as a one-shot BMP replay (peer ups
+/// + announcements; MRT carries no demand, so no window marker).
+int feed_mrt(const std::vector<std::uint8_t>& bytes, DaemonFeed& feed,
+             std::uint16_t http_port) {
+  const auto dump = bgp::mrt::decode(bytes);
+  if (!dump) {
+    std::fprintf(stderr, "eftool feed: not a journal and not MRT\n");
+    return 2;
+  }
+  for (const bgp::mrt::PeerEntry& peer : dump->peers) {
+    bmp::PeerUpMsg up;
+    up.peer.peer_addr = peer.address;
+    up.peer.peer_as = peer.as.value();
+    up.peer.peer_bgp_id = peer.bgp_id.value();
+    up.local_addr = net::IpAddr::v4(0x7F000001);
+    if (!feed.send_bmp(up)) return 1;
+  }
+  std::size_t routes = 0;
+  for (const bgp::mrt::RibRecord& record : dump->records) {
+    for (const bgp::mrt::RibEntry& entry : record.entries) {
+      if (entry.peer_index >= dump->peers.size()) continue;
+      const bgp::mrt::PeerEntry& peer = dump->peers[entry.peer_index];
+      bmp::RouteMonitoringMsg announce;
+      announce.peer.peer_addr = peer.address;
+      announce.peer.peer_as = peer.as.value();
+      announce.peer.peer_bgp_id = peer.bgp_id.value();
+      announce.peer.timestamp = entry.originated;
+      announce.update.attrs = entry.attrs;
+      announce.update.nlri.push_back(record.prefix);
+      if (!feed.send_bmp(announce)) return 1;
+      ++routes;
+    }
+  }
+  if (http_port != 0 &&
+      !wait_for_metric(http_port, "efd_bmp_bytes_total",
+                       static_cast<double>(feed.bmp_bytes))) {
+    return 1;
+  }
+  std::printf("fed MRT dump: %zu peer(s), %zu route(s), %llu BMP bytes\n",
+              dump->peers.size(), routes,
+              static_cast<unsigned long long>(feed.bmp_bytes));
+  return 0;
+}
+
+int cmd_feed(const Args& args) {
+  if (args.positionals.empty()) {
+    std::fprintf(stderr, "eftool feed: missing FILE operand\n");
+    return 2;
+  }
+  const std::string path = args.positionals.front();
+  const std::uint16_t bmp_port = port_opt(args, "bmp");
+  const std::uint16_t sflow_port = port_opt(args, "sflow");
+  const std::uint16_t http_port = port_opt(args, "http");
+  if (bmp_port == 0) {
+    std::fprintf(stderr, "eftool feed: --bmp PORT is required\n");
+    return 2;
+  }
+
+  auto bytes = audit::JournalReader::load(path);
+  if (!bytes) {
+    std::fprintf(stderr, "eftool feed: cannot read %s\n", path.c_str());
+    return 2;
+  }
+
+  DaemonFeed feed;
+  feed.bmp = io::connect_tcp(bmp_port);
+  if (!feed.bmp.valid()) {
+    std::fprintf(stderr, "eftool feed: cannot connect to BMP port %u\n",
+                 bmp_port);
+    return 1;
+  }
+  if (sflow_port != 0) {
+    feed.sflow = io::connect_udp(sflow_port);
+    feed.sflow_port = sflow_port;
+    if (!feed.sflow.valid()) {
+      std::fprintf(stderr, "eftool feed: cannot open sFlow socket\n");
+      return 1;
+    }
+  }
+
+  // The daemon books routes under the sysName announced here; everything
+  // this feed sends lands on one synthetic "router".
+  bmp::InitiationMsg init;
+  init.sys_name = "eftool-feed";
+  init.sys_descr = "eftool feed " + path;
+  if (!feed.send_bmp(init)) return 1;
+
+  // Dispatch on the journal file magic; anything else is tried as MRT.
+  audit::JournalReader probe(*bytes);
+  if (!probe.stats().bad_header) {
+    return feed_journal(args, std::move(*bytes), feed, http_port);
+  }
+  return feed_mrt(*bytes, feed, http_port);
+}
+
 int usage() {
   std::fprintf(
       stderr,
@@ -703,7 +1055,13 @@ int usage() {
       "  whatif     FILE [--cycle N] --drain I | --undrain I |\n"
       "             --cut-capacity I [--factor F] | --scale-demand F |\n"
       "             --threshold T | --target T | --headroom H |\n"
-      "             --max-overrides N | --split\n");
+      "             --max-overrides N | --split\n"
+      "  serve      [--pop K] [--bmp P] [--sflow P] [--http P] [--inject]\n"
+      "             [--real-time] [--cycle-secs S] [--sample-rate N]\n"
+      "             (foreground efd daemon; port 0 = ephemeral, printed)\n"
+      "  feed       FILE --bmp P [--sflow P] [--http P] [--limit N]\n"
+      "             (stream a .efj cycle journal or MRT dump into a\n"
+      "              running daemon; --http enables flow control)\n");
   return 2;
 }
 
@@ -721,6 +1079,8 @@ int main(int argc, char** argv) {
   if (args.command == "record") return cmd_record(args);
   if (args.command == "replay") return cmd_replay(args);
   if (args.command == "whatif") return cmd_whatif(args);
+  if (args.command == "serve") return cmd_serve(args);
+  if (args.command == "feed") return cmd_feed(args);
   if (!args.command.empty()) {
     std::fprintf(stderr, "eftool: unknown command '%s'\n",
                  args.command.c_str());
