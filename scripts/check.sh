@@ -19,6 +19,28 @@ for b in build/bench/*; do "$b"; done
 # separately by scripts/bench.sh — run it after allocator or ingest
 # changes to refresh the records.
 
+# Chaos gate: seeded fault injection against the failsafe-armed daemon,
+# under AddressSanitizer so the fault paths (poisoned streams, severed
+# sessions, held cycles) also prove fd/buffer hygiene. Each seed in the
+# matrix must replay bitwise-identically (--verify); EF_CHAOS_SEED
+# extends the matrix per-run without editing this file. Skipped, loudly,
+# only where the toolchain cannot link libasan.
+if echo 'int main(){}' | c++ -fsanitize=address -x c++ - -o /dev/null \
+    2>/dev/null; then
+  cmake -B build-asan -G Ninja -DEF_SANITIZE=address
+  cmake --build build-asan
+  for seed in 1 7 42 ${EF_CHAOS_SEED:-}; do
+    EF_CHAOS_SEED="$seed" ctest --test-dir build-asan \
+      --output-on-failure -R 'Chaos\.'
+    ./build-asan/tools/eftool chaos --fault-seed "$seed" \
+      --poison 0.02 --verify
+    ./build-asan/tools/eftool chaos --fault-seed "$seed" \
+      --blackout 3:7 --verify
+  done
+else
+  echo "check.sh: toolchain lacks -fsanitize=address; skipping chaos gate" >&2
+fi
+
 # Second pass: tier-1 suite under TSan (-DEF_SANITIZE=thread). Skipped,
 # loudly, only where the toolchain cannot link libtsan.
 if echo 'int main(){}' | c++ -fsanitize=thread -x c++ - -o /dev/null \

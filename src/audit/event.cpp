@@ -1,0 +1,66 @@
+#include "audit/event.h"
+
+#include "net/bytes.h"
+
+namespace ef::audit {
+
+const char* failsafe_mode_name(FailsafeMode mode) {
+  switch (mode) {
+    case FailsafeMode::kHealthy: return "healthy";
+    case FailsafeMode::kHoldLastGood: return "hold-last-good";
+    case FailsafeMode::kFailStatic: return "fail-static";
+  }
+  return "unknown";
+}
+
+const char* failsafe_action_name(FailsafeAction action) {
+  switch (action) {
+    case FailsafeAction::kRun: return "run";
+    case FailsafeAction::kHold: return "hold";
+    case FailsafeAction::kWithdraw: return "withdraw";
+  }
+  return "unknown";
+}
+
+std::vector<std::uint8_t> FailsafeEvent::serialize() const {
+  net::BufWriter w;
+  w.u16(kFailsafeEventTag);
+  w.u64(static_cast<std::uint64_t>(when.millis_value()));
+  w.u8(static_cast<std::uint8_t>(from_mode));
+  w.u8(static_cast<std::uint8_t>(to_mode));
+  w.u8(static_cast<std::uint8_t>(action));
+  w.u16(static_cast<std::uint16_t>(reason.size()));
+  w.bytes(reinterpret_cast<const std::uint8_t*>(reason.data()),
+          reason.size());
+  w.u32(routers_known);
+  w.u32(routers_down);
+  w.u64(demand_age_ms);
+  w.u64(overrides_active);
+  return std::move(w).take();
+}
+
+std::optional<FailsafeEvent> FailsafeEvent::deserialize(
+    std::span<const std::uint8_t> bytes) {
+  net::BufReader r(bytes.data(), bytes.size());
+  if (r.u16() != kFailsafeEventTag || !r.ok()) return std::nullopt;
+  FailsafeEvent e;
+  e.when = net::SimTime::millis(static_cast<std::int64_t>(r.u64()));
+  const std::uint8_t from = r.u8();
+  const std::uint8_t to = r.u8();
+  const std::uint8_t action = r.u8();
+  if (from > 2 || to > 2 || action > 2) return std::nullopt;
+  e.from_mode = static_cast<FailsafeMode>(from);
+  e.to_mode = static_cast<FailsafeMode>(to);
+  e.action = static_cast<FailsafeAction>(action);
+  const std::size_t reason_len = r.u16();
+  e.reason.resize(reason_len);
+  r.bytes(reinterpret_cast<std::uint8_t*>(e.reason.data()), reason_len);
+  e.routers_known = r.u32();
+  e.routers_down = r.u32();
+  e.demand_age_ms = r.u64();
+  e.overrides_active = r.u64();
+  if (!r.ok() || r.remaining() != 0) return std::nullopt;
+  return e;
+}
+
+}  // namespace ef::audit

@@ -1,0 +1,74 @@
+// Failsafe events: journal records for the efd degradation ladder.
+//
+// Cycle snapshots capture what the controller decided; failsafe events
+// capture when it *refused* to decide — every transition of the
+// degradation ladder (healthy → hold-last-good → fail-static → …) with
+// the input-health evidence that forced it. Replaying a journal can
+// therefore audit not just the allocations but the safety behaviour:
+// "did the daemon fail static when its inputs went stale, and when?".
+//
+// Events share the journal's CRC32 framing with snapshots and are told
+// apart by the leading u16: snapshots start with kSnapshotVersion (1),
+// events with kFailsafeEventTag (0xEFE7). Each deserializer rejects the
+// other's records, so mixed journals stay safe to read with either.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "net/units.h"
+
+namespace ef::audit {
+
+/// Leading u16 distinguishing a failsafe event from a CycleSnapshot
+/// (whose first field is kSnapshotVersion). Deliberately far from any
+/// plausible snapshot version number.
+inline constexpr std::uint16_t kFailsafeEventTag = 0xEFE7;
+
+/// Rung of the degradation ladder (wire encoding — append only).
+enum class FailsafeMode : std::uint8_t {
+  kHealthy = 0,       // fresh inputs, cycles run normally
+  kHoldLastGood = 1,  // degraded inputs: keep the previous override set
+  kFailStatic = 2,    // stale inputs: withdraw everything, plain BGP
+};
+
+/// What the guarded cycle did (wire encoding — append only).
+enum class FailsafeAction : std::uint8_t {
+  kRun = 0,       // full allocation cycle
+  kHold = 1,      // reused last-good overrides
+  kWithdraw = 2,  // withdrew all overrides
+};
+
+const char* failsafe_mode_name(FailsafeMode mode);
+const char* failsafe_action_name(FailsafeAction action);
+
+/// One degradation-ladder transition, with the evidence behind it.
+struct FailsafeEvent {
+  net::SimTime when;
+  FailsafeMode from_mode = FailsafeMode::kHealthy;
+  FailsafeMode to_mode = FailsafeMode::kHealthy;
+  FailsafeAction action = FailsafeAction::kRun;
+  /// Human-readable cause, e.g. "demand stale 210s > 90s".
+  std::string reason;
+  std::uint32_t routers_known = 0;
+  std::uint32_t routers_down = 0;
+  /// Age of the newest demand window at decision time; ~0 when no
+  /// demand was ever seen.
+  std::uint64_t demand_age_ms = 0;
+  /// Overrides left active after the action (0 for fail-static).
+  std::uint64_t overrides_active = 0;
+
+  std::vector<std::uint8_t> serialize() const;
+
+  /// Decodes one event; nullopt on malformed bytes or a record that is
+  /// not a failsafe event (e.g. a cycle snapshot).
+  static std::optional<FailsafeEvent> deserialize(
+      std::span<const std::uint8_t> bytes);
+
+  friend bool operator==(const FailsafeEvent&, const FailsafeEvent&) = default;
+};
+
+}  // namespace ef::audit

@@ -97,6 +97,17 @@ void BmpCollector::apply(std::uint32_t router_key, const BmpMessage& msg) {
 BmpCollector::ReceiveResult BmpCollector::receive(
     std::uint32_t router_key, std::span<const std::uint8_t> bytes) {
   ReceiveResult result;
+  // A stream poisoned by a fatal framing error stays dead: bytes arriving
+  // after the bad header sit at unknowable frame boundaries, and applying
+  // them resynced-by-luck would corrupt the RIB silently. Only
+  // drop_router (the disconnect/reconnect path) revives the key.
+  if (const auto poison = poisoned_.find(router_key);
+      poison != poisoned_.end()) {
+    result.fatal = true;
+    result.error = poison->second;
+    result.reason = "stream poisoned by earlier fatal framing error";
+    return result;
+  }
   std::vector<std::uint8_t>& buf = pending_[router_key];
   buf.insert(buf.end(), bytes.begin(), bytes.end());
 
@@ -113,6 +124,7 @@ BmpCollector::ReceiveResult BmpCollector::receive(
         EF_LOG_WARN("fatal BMP framing error from router "
                     << router_key << ": " << frame.reason);
         result.fatal = true;
+        poisoned_[router_key] = frame.error;
         buf.clear();
         pos = 0;
         break;
@@ -145,6 +157,9 @@ void BmpCollector::drop_router(std::uint32_t router_key) {
     rib_.remove_peer(bgp::PeerId(id));
   }
   pending_.erase(router_key);
+  // Reconnect semantics: a fresh TCP session starts a fresh stream, so
+  // the poison from the old one must not outlive it.
+  poisoned_.erase(router_key);
 }
 
 const BmpCollector::PeerInfo* BmpCollector::peer(bgp::PeerId id) const {

@@ -44,9 +44,19 @@ class BmpCollector {
   /// Chunks may split frames at any byte boundary: partial tails are
   /// buffered per router until the rest arrives. Skippable bad frames
   /// (unknown type, malformed body) are counted and skipped; header-level
-  /// corruption is fatal for the stream.
+  /// corruption is fatal for the stream AND poisons it — a
+  /// length-prefixed stream has no resync point after a bad header, so
+  /// every later byte would be applied at an arbitrary (wrong) frame
+  /// boundary. The poison clears only when drop_router() models the
+  /// reconnect.
   ReceiveResult receive(std::uint32_t router_key,
                         std::span<const std::uint8_t> bytes);
+
+  /// True when `router_key`'s stream hit a fatal framing error and has
+  /// not been drop_router()ed since.
+  bool poisoned(std::uint32_t router_key) const {
+    return poisoned_.contains(router_key);
+  }
 
   /// Applies one already-decoded message (the daemon path: framing is
   /// done by io::FrameReassembler, decode by bmp::decode_frame).
@@ -99,6 +109,9 @@ class BmpCollector {
   std::map<std::uint32_t, std::string> router_names_;
   // Partial frame tails awaiting their next chunk, per router stream.
   std::map<std::uint32_t, std::vector<std::uint8_t>> pending_;
+  // Streams dead after a fatal framing error (keyed to the error that
+  // killed them); cleared by drop_router.
+  std::map<std::uint32_t, FrameErrorKind> poisoned_;
   std::uint32_t next_peer_id_ = 1;
   Stats stats_;
 };

@@ -65,6 +65,7 @@ CycleStats Controller::run_cycle(const telemetry::DemandMatrix& demand,
   EF_CHECK(config_.enforcement != Enforcement::kBgpInjection ||
                !sessions_.empty(),
            "controller not connected");
+  const auto cycle_start = std::chrono::steady_clock::now();
   CycleStats stats;
   stats.when = now;
 
@@ -161,9 +162,71 @@ CycleStats Controller::run_cycle(const telemetry::DemandMatrix& demand,
     }
   }
 
+  // Churn guard: bound how many prefixes may *change* their override in
+  // one cycle. A change is a brand-new override or an existing one
+  // steered to a different egress; removals and rate refreshes stay free
+  // because shrinking toward plain BGP is the safe direction. Changes
+  // past the budget revert to last cycle's decision (deterministically,
+  // in prefix order) and retry next cycle, so a routing or demand glitch
+  // cannot flip the whole override set at once.
+  if (config_.max_churn_frac > 0) {
+    auto changed = [&](const net::Prefix& prefix, const Override& entry) {
+      const auto old_it = active_.find(prefix);
+      if (old_it == active_.end()) return true;
+      return old_it->second.target_interface != entry.target_interface ||
+             old_it->second.next_hop != entry.next_hop;
+    };
+    std::size_t tracked = active_.size();
+    std::size_t changes = 0;
+    for (const auto& [prefix, entry] : fresh) {
+      if (!active_.contains(prefix)) ++tracked;
+      if (changed(prefix, entry)) ++changes;
+    }
+    const std::size_t budget = std::max<std::size_t>(
+        1, static_cast<std::size_t>(config_.max_churn_frac *
+                                    static_cast<double>(tracked)));
+    if (changes > budget) {
+      auto& final_load = stats.allocation.final_load;
+      std::size_t allowed = 0;
+      std::vector<net::Prefix> deferred;
+      for (auto& [prefix, entry] : fresh) {
+        if (!changed(prefix, entry)) continue;
+        if (allowed < budget) {
+          ++allowed;
+          continue;
+        }
+        // Undo the proposed move, then re-apply last cycle's decision
+        // (re-rated against current demand — rates are not churn).
+        final_load[entry.target_interface] -= entry.rate;
+        final_load[entry.from_interface] += entry.rate;
+        const auto old_it = active_.find(prefix);
+        if (old_it != active_.end()) {
+          Override kept = old_it->second;
+          kept.rate = entry.rate;
+          final_load[kept.target_interface] += kept.rate;
+          final_load[kept.from_interface] -= kept.rate;
+          entry = std::move(kept);
+        } else {
+          deferred.push_back(prefix);
+        }
+        ++stats.churn_deferred;
+      }
+      for (const net::Prefix& prefix : deferred) fresh.erase(prefix);
+    }
+  }
+
   // Safety guard rails: drop overrides whose target route vanished and
   // enforce the detour budget, before anything reaches the routers.
   stats.safety = safety_.apply(fresh, rib, demand.total());
+
+  // Cycle watchdog: a cycle that blew its wall-clock budget is acting on
+  // inputs older than it believes. Fail static — enforce the empty set
+  // (withdrawing everything) rather than a late decision.
+  if (config_.cycle_budget.count() > 0 &&
+      std::chrono::steady_clock::now() - cycle_start > config_.cycle_budget) {
+    stats.watchdog_aborted = true;
+    fresh.clear();
+  }
 
   // Enforce: BGP injection (paper) or direct host programming.
   if (config_.enforcement == Enforcement::kBgpInjection) {
@@ -211,6 +274,20 @@ CycleStats Controller::run_cycle(const telemetry::DemandMatrix& demand,
                           config_.allocator, active_, stats});
   }
   return stats;
+}
+
+void Controller::withdraw_all(net::SimTime now) {
+  if (config_.enforcement == Enforcement::kBgpInjection) {
+    if (!sessions_.empty()) {
+      speaker_.set_originations({}, now);
+      pop_->pump();
+    }
+  } else if (config_.enforcement == Enforcement::kHostRouting) {
+    for (const auto& [prefix, override_entry] : active_) {
+      pop_->remove_host_override(prefix);
+    }
+  }
+  active_.clear();
 }
 
 void Controller::tick(net::SimTime now) {

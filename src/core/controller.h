@@ -59,6 +59,18 @@ struct ControllerConfig {
   /// Inject to every peering router at the PoP (paper behaviour), so the
   /// loss of one injection session does not strand the overrides.
   bool inject_all_routers = true;
+  /// Churn guard: cap on the fraction of tracked prefixes (current ∪
+  /// proposed override sets) whose override may *change* in one cycle —
+  /// a new override, or an existing one moving to a different egress.
+  /// Removals and rate-only refreshes are always free (shrinking toward
+  /// plain BGP is the safe direction). Deferred changes keep last
+  /// cycle's decision and retry next cycle. 0 disables the guard.
+  double max_churn_frac = 0.0;
+  /// Cycle watchdog: wall-clock budget for one run_cycle call. On
+  /// overrun the cycle aborts fail-static — every override is withdrawn
+  /// instead of enforced, because a controller that can no longer keep
+  /// up is acting on data older than it thinks. 0 disables the watchdog.
+  std::chrono::nanoseconds cycle_budget{0};
 };
 
 struct CycleStats {
@@ -69,6 +81,11 @@ struct CycleStats {
   std::size_t removed = 0;
   std::size_t retained_by_hysteresis = 0;
   std::size_t perf_overrides = 0;  // accepted from the advisor
+  /// Override changes the churn guard pushed to a later cycle.
+  std::size_t churn_deferred = 0;
+  /// The cycle watchdog fired: enforcement was replaced by a full
+  /// withdrawal and `applied` is empty.
+  bool watchdog_aborted = false;
   net::SimTime when;
   /// Real (wall-clock) time the allocator call took this cycle — the
   /// production observability hook for the ~30s cycle budget. Not
@@ -104,6 +121,12 @@ class Controller {
   /// override delta to the routers.
   CycleStats run_cycle(const telemetry::DemandMatrix& demand,
                        net::SimTime now);
+
+  /// Fail-static: withdraws every active override without running an
+  /// allocation cycle, leaving the routers on plain BGP. This is the
+  /// degradation ladder's bottom rung — the daemon calls it when its
+  /// inputs are too stale to act on.
+  void withdraw_all(net::SimTime now);
 
   /// Drives the injection session's keepalive/hold timers. Must run at
   /// least every hold/3 of simulated time — a controller that stops

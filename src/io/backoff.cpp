@@ -1,0 +1,52 @@
+#include "io/backoff.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace ef::io {
+
+std::optional<std::uint64_t> Backoff::next() {
+  if (exhausted()) return std::nullopt;
+  double delay = static_cast<double>(config_.base) *
+                 std::pow(std::max(1.0, config_.multiplier),
+                          static_cast<double>(attempts_));
+  delay = std::min(delay, static_cast<double>(config_.cap));
+  if (config_.jitter > 0.0) {
+    delay += delay * config_.jitter * rng_.next_double();
+  }
+  ++attempts_;
+  return static_cast<std::uint64_t>(std::llround(delay));
+}
+
+void Backoff::reset() { attempts_ = 0; }
+
+void Reconnector::start() {
+  cancel();
+  backoff_.reset();
+  attempt();
+}
+
+void Reconnector::cancel() {
+  if (pending_) {
+    loop_.cancel_timer(*pending_);
+    pending_.reset();
+  }
+}
+
+void Reconnector::attempt() {
+  pending_.reset();
+  if (dial_()) {
+    backoff_.reset();
+    if (done_) done_(true);
+    return;
+  }
+  auto delay = backoff_.next();
+  if (!delay) {
+    if (done_) done_(false);
+    return;
+  }
+  pending_ = loop_.call_after(std::chrono::milliseconds(*delay),
+                              [this] { attempt(); });
+}
+
+}  // namespace ef::io

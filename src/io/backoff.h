@@ -1,0 +1,110 @@
+// Reconnect pacing: exponential backoff with seeded jitter and a capped
+// retry budget.
+//
+// Backoff is a pure schedule — it owns no clock and no socket. Callers
+// ask `next()` for the delay before the upcoming attempt (in whatever
+// tick unit they feed in: milliseconds for the event loop, simulation
+// steps for the chaos harness) and `reset()` it after a successful
+// connect. Keeping the schedule clockless is what lets the fault
+// harness replay the exact same reconnect cadence under simulated time
+// that the daemon would use under wall time.
+//
+// Reconnector binds a Backoff to an EventLoop: it schedules dial
+// attempts with call_after, reports each outcome, and stops once the
+// retry budget is spent.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <optional>
+
+#include "io/event_loop.h"
+#include "net/rng.h"
+
+namespace ef::io {
+
+/// Schedule parameters (namespace-scope so it can serve as a default
+/// argument below).
+struct BackoffConfig {
+  /// Delay before the first retry, in caller-defined ticks.
+  std::uint64_t base = 1;
+  /// Ceiling on the un-jittered delay.
+  std::uint64_t cap = 64;
+  /// Growth factor between consecutive retries.
+  double multiplier = 2.0;
+  /// Fraction of the delay drawn uniformly as additive jitter
+  /// (0 = none, 0.5 = up to +50%). Seeded, so replays agree.
+  double jitter = 0.0;
+  /// Attempts allowed before `next()` reports exhaustion. 0 = unlimited.
+  std::uint32_t max_retries = 0;
+  std::uint64_t seed = 1;
+};
+
+/// Deterministic exponential backoff schedule.
+class Backoff {
+ public:
+  using Config = BackoffConfig;
+
+  explicit Backoff(Config config = Config())
+      : config_(config), rng_(config.seed) {}
+
+  /// Delay (in ticks) to wait before the next attempt, or nullopt when
+  /// the retry budget is exhausted.
+  std::optional<std::uint64_t> next();
+
+  /// Successful connect: the next failure starts the schedule over.
+  void reset();
+
+  std::uint32_t attempts() const { return attempts_; }
+  bool exhausted() const {
+    return config_.max_retries != 0 && attempts_ >= config_.max_retries;
+  }
+
+ private:
+  Config config_;
+  net::Rng rng_;
+  std::uint32_t attempts_ = 0;
+};
+
+/// Drives repeated dial attempts on an EventLoop using a Backoff
+/// schedule (ticks are interpreted as milliseconds).
+class Reconnector {
+ public:
+  /// Attempts the connection; returns true on success.
+  using Dial = std::function<bool()>;
+  /// Called once the dial succeeds (`true`) or the budget is spent
+  /// (`false`).
+  using Done = std::function<void(bool connected)>;
+
+  Reconnector(EventLoop& loop, Backoff::Config config, Dial dial, Done done)
+      : loop_(loop),
+        backoff_(config),
+        dial_(std::move(dial)),
+        done_(std::move(done)) {}
+
+  ~Reconnector() { cancel(); }
+
+  Reconnector(const Reconnector&) = delete;
+  Reconnector& operator=(const Reconnector&) = delete;
+
+  /// Dials immediately; on failure schedules retries per the backoff
+  /// schedule. Safe to call again after completion.
+  void start();
+
+  /// Stops any pending retry without invoking the done callback.
+  void cancel();
+
+  std::uint32_t attempts() const { return backoff_.attempts(); }
+
+ private:
+  void attempt();
+
+  EventLoop& loop_;
+  Backoff backoff_;
+  Dial dial_;
+  Done done_;
+  std::optional<EventLoop::TimerId> pending_;
+};
+
+}  // namespace ef::io

@@ -1,0 +1,127 @@
+#include "io/fault.h"
+
+#include <algorithm>
+
+namespace ef::io {
+
+const char* fault_kind_name(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::kNone: return "none";
+    case FaultKind::kDrop: return "drop";
+    case FaultKind::kDuplicate: return "duplicate";
+    case FaultKind::kCorruptBody: return "corrupt-body";
+    case FaultKind::kCorruptHeader: return "corrupt-header";
+    case FaultKind::kTruncate: return "truncate";
+    case FaultKind::kDisconnect: return "disconnect";
+  }
+  return "unknown";
+}
+
+FaultInjector::FaultInjector(FaultConfig config,
+                             std::vector<ScriptedFault> script)
+    : config_(config), script_(std::move(script)) {
+  std::sort(script_.begin(), script_.end(),
+            [](const ScriptedFault& a, const ScriptedFault& b) {
+              return a.at < b.at;
+            });
+}
+
+FaultKind FaultInjector::draw(std::uint64_t index, net::Rng& rng) {
+  for (const ScriptedFault& s : script_) {
+    if (s.at == index) return s.kind;
+    if (s.at > index) break;
+  }
+  // One draw per kind, whether or not an earlier kind already matched,
+  // so the kind chosen is independent of the other kinds' rates.
+  FaultKind chosen = FaultKind::kNone;
+  auto roll = [&](double p, FaultKind kind) {
+    if (rng.bernoulli(p) && chosen == FaultKind::kNone) chosen = kind;
+  };
+  roll(config_.drop, FaultKind::kDrop);
+  roll(config_.duplicate, FaultKind::kDuplicate);
+  roll(config_.corrupt_body, FaultKind::kCorruptBody);
+  roll(config_.corrupt_header, FaultKind::kCorruptHeader);
+  roll(config_.truncate, FaultKind::kTruncate);
+  roll(config_.disconnect, FaultKind::kDisconnect);
+  return chosen;
+}
+
+FaultDecision FaultInjector::apply(std::span<const std::uint8_t> message,
+                                   std::size_t header_len) {
+  const std::uint64_t index = seen_++;
+  // Each message gets its own generator derived from (seed, index), so
+  // its fate — kind and mangling alike — is independent of every other
+  // message's. A scripted override or a fault that consumes extra draws
+  // (truncate length, corrupt position) can never shift the seeded
+  // decision at any later index.
+  net::Rng rng(config_.seed ^ (0x9E3779B97F4A7C15ull * (index + 1)));
+  FaultKind kind = draw(index, rng);
+
+  // Faults that need room to act degrade to kNone on messages too small
+  // to carry them, keeping the decision well-defined for any input.
+  if (kind == FaultKind::kCorruptBody && message.size() <= header_len) {
+    kind = FaultKind::kNone;
+  }
+  if (kind == FaultKind::kCorruptHeader &&
+      (header_len == 0 || message.size() < header_len)) {
+    kind = FaultKind::kNone;
+  }
+  if (kind == FaultKind::kTruncate && message.size() < 2) {
+    kind = FaultKind::kNone;
+  }
+
+  FaultDecision out;
+  out.kind = kind;
+  switch (kind) {
+    case FaultKind::kNone:
+      out.bytes.assign(message.begin(), message.end());
+      ++stats_.delivered;
+      break;
+    case FaultKind::kDrop:
+      ++stats_.dropped;
+      break;
+    case FaultKind::kDuplicate:
+      out.bytes.reserve(message.size() * 2);
+      out.bytes.insert(out.bytes.end(), message.begin(), message.end());
+      out.bytes.insert(out.bytes.end(), message.begin(), message.end());
+      ++stats_.delivered;
+      ++stats_.duplicated;
+      break;
+    case FaultKind::kCorruptBody: {
+      out.bytes.assign(message.begin(), message.end());
+      std::size_t pos = header_len + static_cast<std::size_t>(rng.uniform_int(
+          0, static_cast<int>(message.size() - header_len) - 1));
+      out.bytes[pos] ^= 0xFF;
+      ++stats_.delivered;
+      ++stats_.corrupted;
+      break;
+    }
+    case FaultKind::kCorruptHeader:
+      out.bytes.assign(message.begin(), message.end());
+      // Flip the first header byte (the BMP version): deterministically
+      // unframeable, so the reader poisons instead of resyncing wrong.
+      out.bytes[0] ^= 0xFF;
+      out.expect_poison = true;
+      ++stats_.delivered;
+      ++stats_.corrupted;
+      break;
+    case FaultKind::kTruncate: {
+      std::size_t keep = 1 + static_cast<std::size_t>(rng.uniform_int(
+          0, static_cast<int>(message.size()) - 2));
+      out.bytes.assign(message.begin(), message.begin() + keep);
+      out.close_after = true;
+      ++stats_.truncated;
+      ++stats_.disconnects;
+      break;
+    }
+    case FaultKind::kDisconnect:
+      out.bytes.assign(message.begin(), message.end());
+      out.close_after = true;
+      ++stats_.delivered;
+      ++stats_.disconnects;
+      break;
+  }
+  return out;
+}
+
+}  // namespace ef::io

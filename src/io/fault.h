@@ -1,0 +1,107 @@
+// Deterministic fault injection for the ingest path.
+//
+// A FaultInjector sits between a traffic source and a socket and decides,
+// per protocol message, whether to deliver it verbatim or mangled. Each
+// message's randomness is derived from (seed, message index), so two runs
+// with the same seed and the same message sequence produce byte-identical
+// fault schedules — that is what lets `eftool chaos` replay a failure
+// scenario and assert the controller's degradation ladder reacts
+// identically both times — and a scripted override at one index never
+// shifts the seeded decision at any other.
+//
+// Faults are frame-aligned on purpose. BMP is a self-delimiting stream,
+// so dropping or duplicating a *whole* message never desyncs the
+// reassembler; corrupting the 6-byte header (version flip) is the
+// deterministic way to poison it; truncation models a sender that died
+// mid-write and must be followed by a disconnect. Byte-level faults
+// inside a TCP stream would be repaired by TCP itself and teach us
+// nothing about the daemon.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "net/rng.h"
+
+namespace ef::io {
+
+enum class FaultKind : std::uint8_t {
+  kNone = 0,
+  kDrop,           // message silently discarded
+  kDuplicate,      // message delivered twice
+  kCorruptBody,    // payload byte flipped past the header
+  kCorruptHeader,  // framing header mangled (poisons the stream)
+  kTruncate,       // prefix delivered, then the connection must close
+  kDisconnect,     // message delivered, then the connection must close
+};
+
+const char* fault_kind_name(FaultKind kind);
+
+/// Seeded per-message fault probabilities. Checked in declaration order;
+/// the first matching draw wins, so rates are independent per kind.
+struct FaultConfig {
+  std::uint64_t seed = 1;
+  double drop = 0.0;
+  double duplicate = 0.0;
+  double corrupt_body = 0.0;
+  double corrupt_header = 0.0;
+  double truncate = 0.0;
+  double disconnect = 0.0;
+};
+
+/// A scripted fault: force `kind` on the `at`-th message (0-based) seen
+/// by the injector. Scripted entries override the seeded draw, which
+/// lets tests walk an exact scenario while keeping the seeded machinery
+/// in the loop.
+struct ScriptedFault {
+  std::uint64_t at = 0;
+  FaultKind kind = FaultKind::kNone;
+};
+
+/// What the caller must do with one message.
+struct FaultDecision {
+  FaultKind kind = FaultKind::kNone;
+  /// Bytes to transmit (empty for kDrop). For kDuplicate the message
+  /// appears twice back to back; for kTruncate only a strict prefix.
+  std::vector<std::uint8_t> bytes;
+  /// The mangling will poison a framed reader (header corruption).
+  bool expect_poison = false;
+  /// The connection must be closed after sending `bytes`.
+  bool close_after = false;
+};
+
+class FaultInjector {
+ public:
+  explicit FaultInjector(FaultConfig config,
+                         std::vector<ScriptedFault> script = {});
+
+  /// Decides the fate of one whole protocol message. `header_len` is the
+  /// protocol's framing-header size (6 for BMP): header corruption flips
+  /// a byte inside it, body corruption strictly past it.
+  FaultDecision apply(std::span<const std::uint8_t> message,
+                      std::size_t header_len);
+
+  /// Messages inspected so far (the index the script addresses).
+  std::uint64_t seen() const { return seen_; }
+
+  struct Stats {
+    std::uint64_t delivered = 0;
+    std::uint64_t dropped = 0;
+    std::uint64_t duplicated = 0;
+    std::uint64_t corrupted = 0;
+    std::uint64_t truncated = 0;
+    std::uint64_t disconnects = 0;
+  };
+  const Stats& stats() const { return stats_; }
+
+ private:
+  FaultKind draw(std::uint64_t index, net::Rng& rng);
+
+  FaultConfig config_;
+  std::vector<ScriptedFault> script_;
+  std::uint64_t seen_ = 0;
+  Stats stats_;
+};
+
+}  // namespace ef::io

@@ -1,9 +1,11 @@
 #include "service/efd.h"
 
+#include <algorithm>
 #include <csignal>
 
 #include <sstream>
 
+#include "audit/snapshot.h"
 #include "net/log.h"
 
 namespace ef::service {
@@ -33,6 +35,16 @@ io::PeekFn bmp_peek() {
   };
 }
 
+/// Fills the auto threshold: demand younger than one cycle period is
+/// unambiguously fresh.
+FailsafeConfig normalized_failsafe(const EfdConfig& config) {
+  FailsafeConfig fs = config.failsafe;
+  if (fs.fresh_demand_age.millis_value() <= 0) {
+    fs.fresh_demand_age = config.controller.cycle_period;
+  }
+  return fs;
+}
+
 }  // namespace
 
 EfdService::EfdService(topology::Pop& pop, EfdConfig config)
@@ -40,9 +52,21 @@ EfdService::EfdService(topology::Pop& pop, EfdConfig config)
       config_(config),
       controller_(pop, config.controller),
       aggregator_(pop.prefix_table(), config.sflow_sample_rate),
-      smoother_(config.sflow_smoothing_alpha) {
+      smoother_(config.sflow_smoothing_alpha),
+      ladder_(normalized_failsafe(config)) {
   controller_.set_rib_source(&collector_.rib());
   controller_.connect();
+  failsafe_mode_.store(static_cast<std::uint64_t>(ladder_.mode()),
+                       std::memory_order_release);
+  if (!config_.journal_path.empty()) {
+    journal_ = std::make_unique<audit::JournalWriter>(config_.journal_path);
+    EF_CHECK(journal_->ok(),
+             "efd: cannot open journal " << config_.journal_path);
+    controller_.set_cycle_observer(
+        [this](const core::Controller::CycleRecord& record) {
+          journal_->append(audit::capture_cycle(record).serialize());
+        });
+  }
 }
 
 EfdService::~EfdService() { stop(); }
@@ -75,7 +99,7 @@ void EfdService::start() {
       if (config_.controller.enforcement != core::Enforcement::kShadow) {
         controller_.tick(now_);
       }
-      run_cycle_at(now_, smoother_.current());
+      run_cycle_guarded(now_, smoother_.current());
       next_cycle_ = now_ + config_.controller.cycle_period;
     });
   }
@@ -181,6 +205,16 @@ void EfdService::handle_bmp_frame(BmpConn& conn,
         router_keys_.try_emplace(init->sys_name, next_router_key_);
     if (inserted) ++next_router_key_;
     conn.router_key = it->second;
+    FeedHealth& health = feed_health_[*conn.router_key];
+    if (!inserted && !health.connected) {
+      router_reconnects_.fetch_add(1, std::memory_order_release);
+    }
+    health.connected = true;
+    routers_down_.store(
+        static_cast<std::uint64_t>(std::count_if(
+            feed_health_.begin(), feed_health_.end(),
+            [](const auto& kv) { return !kv.second.connected; })),
+        std::memory_order_release);
   }
   collector_.apply(*conn.router_key, *decoded.message);
   bmp_messages_.fetch_add(1, std::memory_order_relaxed);
@@ -192,7 +226,17 @@ void EfdService::close_bmp_conn(int fd, bool count_disconnect) {
   // Session loss means lost visibility: withdrawals we miss while the
   // feed is down would linger as phantom routes, so purge now and let
   // the reconnect replay rebuild.
-  if (it->second->router_key) collector_.drop_router(*it->second->router_key);
+  if (it->second->router_key) {
+    collector_.drop_router(*it->second->router_key);
+    FeedHealth& health = feed_health_[*it->second->router_key];
+    health.connected = false;
+    health.down_since = now_;  // feed time: deterministic under replay
+    routers_down_.store(
+        static_cast<std::uint64_t>(std::count_if(
+            feed_health_.begin(), feed_health_.end(),
+            [](const auto& kv) { return !kv.second.connected; })),
+        std::memory_order_release);
+  }
   loop_.unwatch(fd);
   bmp_conns_.erase(it);
   if (count_disconnect) {
@@ -224,12 +268,14 @@ void EfdService::handle_record(
     const telemetry::wire::SflowRecord& record) {
   if (const auto* sample = std::get_if<telemetry::FlowSample>(&record)) {
     aggregator_.ingest(*sample);
+    window_had_demand_ = true;
     return;
   }
   if (const auto* demand =
           std::get_if<telemetry::wire::DemandRate>(&record)) {
     direct_demand_.set(demand->prefix, demand->rate);
     direct_seen_ = true;
+    window_had_demand_ = true;
     return;
   }
   if (const auto* close =
@@ -243,6 +289,15 @@ void EfdService::on_window_close(
     const telemetry::wire::WindowClose& close) {
   now_ = close.cycle_now;
 
+  // Demand freshness advances only on windows that actually carried
+  // records — a bare marker stream with no samples is exactly the "feed
+  // is up but the data stopped" rot the ladder exists to catch.
+  if (window_had_demand_) {
+    demand_seen_ = true;
+    last_demand_ = now_;
+  }
+  window_had_demand_ = false;
+
   // Same estimate the simulator hands its controller: precomputed demand
   // verbatim when the feed ships it, otherwise finalize + smooth the
   // sampled window.
@@ -255,7 +310,7 @@ void EfdService::on_window_close(
     controller_.tick(now_);
   }
   if (now_ >= next_cycle_) {
-    run_cycle_at(now_, *estimate);
+    run_cycle_guarded(now_, *estimate);
     next_cycle_ = now_ + config_.controller.cycle_period;
   }
 
@@ -266,13 +321,73 @@ void EfdService::on_window_close(
   windows_closed_.fetch_add(1, std::memory_order_release);
 }
 
-void EfdService::run_cycle_at(net::SimTime now,
-                              const telemetry::DemandMatrix& demand) {
-  const core::CycleStats stats = controller_.run_cycle(demand, now);
+void EfdService::run_cycle_guarded(net::SimTime now,
+                                   const telemetry::DemandMatrix& demand) {
+  const InputHealth health = assess_health(now);
+  const audit::FailsafeMode mode_before = ladder_.mode();
+  FailsafeLadder::Decision decision = ladder_.decide(health, now);
+
+  std::chrono::nanoseconds wall{0};
+  double hit_rate = 0.0;
+  switch (decision.action) {
+    case audit::FailsafeAction::kRun: {
+      const core::CycleStats stats = controller_.run_cycle(demand, now);
+      wall = stats.allocation_wall;
+      hit_rate = stats.ranking_cache_hit_rate;
+      if (stats.churn_deferred > 0) {
+        churn_deferred_.fetch_add(stats.churn_deferred,
+                                  std::memory_order_relaxed);
+      }
+      if (stats.watchdog_aborted) {
+        // The controller already enforced the empty set; the ladder just
+        // has to acknowledge we are fail-static now.
+        ladder_.note_watchdog_abort();
+        decision.action = audit::FailsafeAction::kWithdraw;
+        decision.mode = ladder_.mode();
+        decision.transitioned = ladder_.mode() != mode_before;
+        decision.reason = "cycle watchdog: wall-clock budget overrun";
+      } else {
+        ladder_.note_good_cycle(now);
+      }
+      break;
+    }
+    case audit::FailsafeAction::kHold:
+      // Keep last cycle's override set exactly as it stands: no
+      // allocation, no enforcement delta — the routers already carry it.
+      break;
+    case audit::FailsafeAction::kWithdraw:
+      controller_.withdraw_all(now);
+      break;
+  }
+
+  if (decision.transitioned) {
+    audit::FailsafeEvent event;
+    event.when = now;
+    event.from_mode = mode_before;
+    event.to_mode = decision.mode;
+    event.action = decision.action;
+    event.reason = decision.reason;
+    event.routers_known = health.routers_known;
+    event.routers_down = health.routers_down;
+    event.demand_age_ms =
+        health.demand_seen
+            ? static_cast<std::uint64_t>(health.demand_age.millis_value())
+            : 0;
+    event.overrides_active = controller_.active_overrides().size();
+    journal_event(event);
+    EF_LOG_WARN("efd: failsafe "
+                << audit::failsafe_mode_name(mode_before) << " -> "
+                << audit::failsafe_mode_name(decision.mode) << " ("
+                << decision.reason << ")");
+  }
+  publish_ladder_counters();
+
   CycleDigest digest;
   digest.when = now;
-  digest.allocation_wall = stats.allocation_wall;
-  digest.ranking_cache_hit_rate = stats.ranking_cache_hit_rate;
+  digest.allocation_wall = wall;
+  digest.ranking_cache_hit_rate = hit_rate;
+  digest.action = decision.action;
+  digest.mode = decision.mode;
   digest.overrides.reserve(controller_.active_overrides().size());
   for (const auto& [prefix, override_entry] :
        controller_.active_overrides()) {
@@ -283,6 +398,41 @@ void EfdService::run_cycle_at(net::SimTime now,
     digests_.push_back(std::move(digest));
   }
   cycles_run_.fetch_add(1, std::memory_order_release);
+}
+
+InputHealth EfdService::assess_health(net::SimTime now) const {
+  InputHealth health;
+  health.routers_known = static_cast<std::uint32_t>(feed_health_.size());
+  for (const auto& [key, feed] : feed_health_) {
+    if (feed.connected) continue;
+    ++health.routers_down;
+    const net::SimTime age = now - feed.down_since;
+    if (age > health.max_router_down_age) health.max_router_down_age = age;
+  }
+  health.demand_seen = demand_seen_;
+  if (demand_seen_) health.demand_age = now - last_demand_;
+  return health;
+}
+
+void EfdService::journal_event(const audit::FailsafeEvent& event) {
+  if (!journal_) return;
+  journal_->append(event.serialize());
+  // Transitions are rare and are exactly the records a post-mortem
+  // needs, so pay the flush.
+  journal_->flush();
+}
+
+void EfdService::publish_ladder_counters() {
+  const FailsafeLadder::Stats& stats = ladder_.stats();
+  failsafe_mode_.store(static_cast<std::uint64_t>(ladder_.mode()),
+                       std::memory_order_release);
+  failsafe_holds_.store(stats.holds, std::memory_order_release);
+  failsafe_fail_statics_.store(stats.fail_statics,
+                               std::memory_order_release);
+  failsafe_recoveries_.store(stats.recoveries, std::memory_order_release);
+  failsafe_transitions_.store(stats.transitions,
+                              std::memory_order_release);
+  watchdog_aborts_.store(stats.watchdog_aborts, std::memory_order_release);
 }
 
 EfdService::IngestSnapshot EfdService::ingest() const {
@@ -297,6 +447,21 @@ EfdService::IngestSnapshot EfdService::ingest() const {
   snap.sflow_bytes = sflow_bytes_.load(std::memory_order_acquire);
   snap.windows_closed = windows_closed_.load(std::memory_order_acquire);
   snap.cycles_run = cycles_run_.load(std::memory_order_acquire);
+  snap.failsafe_mode = failsafe_mode_.load(std::memory_order_acquire);
+  snap.failsafe_holds = failsafe_holds_.load(std::memory_order_acquire);
+  snap.failsafe_fail_statics =
+      failsafe_fail_statics_.load(std::memory_order_acquire);
+  snap.failsafe_recoveries =
+      failsafe_recoveries_.load(std::memory_order_acquire);
+  snap.failsafe_transitions =
+      failsafe_transitions_.load(std::memory_order_acquire);
+  snap.watchdog_aborts = watchdog_aborts_.load(std::memory_order_acquire);
+  snap.churn_deferred = churn_deferred_.load(std::memory_order_acquire);
+  snap.routers_down = routers_down_.load(std::memory_order_acquire);
+  snap.router_reconnects =
+      router_reconnects_.load(std::memory_order_acquire);
+  snap.http_aborted_conns =
+      http_ ? http_->aborted_conns() : 0;
   return snap;
 }
 
@@ -382,6 +547,17 @@ std::string EfdService::render_status() const {
      << "cycles: run=" << snap.cycles_run
      << " overrides_active=" << controller_.active_overrides().size()
      << "\n";
+  if (ladder_.config().enabled) {
+    const InputHealth health = assess_health(now_);
+    os << "failsafe: mode="
+       << audit::failsafe_mode_name(ladder_.mode())
+       << " demand=" << input_state_name(ladder_.demand_state(health))
+       << " feed=" << input_state_name(ladder_.feed_state(health))
+       << " routers_down=" << health.routers_down << "/"
+       << health.routers_known << " holds=" << snap.failsafe_holds
+       << " fail_statics=" << snap.failsafe_fail_statics
+       << " recoveries=" << snap.failsafe_recoveries << "\n";
+  }
   {
     std::lock_guard<std::mutex> lock(digest_mutex_);
     if (!digests_.empty()) {
@@ -411,6 +587,29 @@ std::string EfdService::render_metrics() const {
      << "efd_rib_prefixes " << collector_.rib().prefix_count() << "\n"
      << "efd_rib_routes " << collector_.rib().route_count() << "\n"
      << "efd_overrides_active " << controller_.active_overrides().size()
+     << "\n";
+  // Failsafe / degradation-ladder state. Exported even while disabled so
+  // dashboards can tell "healthy" apart from "not guarded".
+  const InputHealth health = assess_health(now_);
+  os << "efd_failsafe_enabled " << (ladder_.config().enabled ? 1 : 0)
+     << "\n"
+     << "efd_failsafe_mode " << snap.failsafe_mode << "\n"
+     << "efd_failsafe_holds_total " << snap.failsafe_holds << "\n"
+     << "efd_failsafe_fail_statics_total " << snap.failsafe_fail_statics
+     << "\n"
+     << "efd_failsafe_recoveries_total " << snap.failsafe_recoveries
+     << "\n"
+     << "efd_failsafe_transitions_total " << snap.failsafe_transitions
+     << "\n"
+     << "efd_watchdog_aborts_total " << snap.watchdog_aborts << "\n"
+     << "efd_churn_deferred_total " << snap.churn_deferred << "\n"
+     << "efd_routers_known " << health.routers_known << "\n"
+     << "efd_routers_down " << snap.routers_down << "\n"
+     << "efd_demand_age_ms "
+     << (health.demand_seen ? health.demand_age.millis_value() : -1)
+     << "\n"
+     << "efd_router_reconnects_total " << snap.router_reconnects << "\n"
+     << "efd_http_aborted_conns_total " << snap.http_aborted_conns
      << "\n";
   {
     std::lock_guard<std::mutex> lock(digest_mutex_);

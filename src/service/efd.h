@@ -24,11 +24,14 @@
 #include <thread>
 #include <vector>
 
+#include "audit/event.h"
+#include "audit/journal.h"
 #include "bmp/collector.h"
 #include "core/controller.h"
 #include "io/event_loop.h"
 #include "io/frame.h"
 #include "io/socket.h"
+#include "service/failsafe.h"
 #include "service/http.h"
 #include "telemetry/sflow.h"
 #include "telemetry/sflow_wire.h"
@@ -58,6 +61,16 @@ struct EfdConfig {
   /// per fire — keeps a daemon with a stalled (or absent) feed cycling.
   bool real_time_cycles = false;
   std::chrono::milliseconds cycle_wall_period{1000};
+
+  /// Input health guards + degradation ladder (see failsafe.h). Disabled
+  /// by default: the daemon then behaves exactly as before the ladder
+  /// existed. `fresh_demand_age == 0` is normalized to the cycle period.
+  FailsafeConfig failsafe;
+
+  /// When non-empty, every controller cycle's snapshot and every
+  /// degradation-ladder transition is appended to this audit journal
+  /// (mixed EFJ1 stream; see audit/event.h).
+  std::string journal_path;
 };
 
 class EfdService {
@@ -105,6 +118,17 @@ class EfdService {
     std::uint64_t sflow_bytes = 0;
     std::uint64_t windows_closed = 0;
     std::uint64_t cycles_run = 0;
+    // Degradation-ladder state (all zero while failsafe is disabled).
+    std::uint64_t failsafe_mode = 0;  // audit::FailsafeMode as integer
+    std::uint64_t failsafe_holds = 0;
+    std::uint64_t failsafe_fail_statics = 0;
+    std::uint64_t failsafe_recoveries = 0;
+    std::uint64_t failsafe_transitions = 0;
+    std::uint64_t watchdog_aborts = 0;
+    std::uint64_t churn_deferred = 0;
+    std::uint64_t routers_down = 0;
+    std::uint64_t router_reconnects = 0;
+    std::uint64_t http_aborted_conns = 0;
   };
   IngestSnapshot ingest() const;
 
@@ -115,6 +139,10 @@ class EfdService {
     std::vector<core::Override> overrides;  // active set, prefix order
     std::chrono::nanoseconds allocation_wall{0};
     double ranking_cache_hit_rate = 0.0;
+    /// What the degradation ladder let this cycle do (kRun when the
+    /// failsafe is disabled).
+    audit::FailsafeAction action = audit::FailsafeAction::kRun;
+    audit::FailsafeMode mode = audit::FailsafeMode::kHealthy;
   };
   std::vector<CycleDigest> digests() const;
 
@@ -157,7 +185,13 @@ class EfdService {
   void on_sflow_ready();
   void handle_record(const telemetry::wire::SflowRecord& record);
   void on_window_close(const telemetry::wire::WindowClose& close);
-  void run_cycle_at(net::SimTime now, const telemetry::DemandMatrix& demand);
+  /// Assembles input health, asks the ladder, and runs / holds /
+  /// withdraws accordingly. Every call produces one CycleDigest.
+  void run_cycle_guarded(net::SimTime now,
+                         const telemetry::DemandMatrix& demand);
+  InputHealth assess_health(net::SimTime now) const;
+  void journal_event(const audit::FailsafeEvent& event);
+  void publish_ladder_counters();
   HttpResponse serve_http(const std::string& path);
   std::string render_status() const;
   std::string render_metrics() const;
@@ -176,6 +210,20 @@ class EfdService {
   net::SimTime now_;
   net::SimTime next_cycle_;  // zero: first marker runs a cycle, like sim
 
+  FailsafeLadder ladder_;
+  /// Liveness of each BMP feed, keyed by router key. A key stays known
+  /// forever once seen — a router that stops talking is an outage, not
+  /// a shrinking fleet.
+  struct FeedHealth {
+    bool connected = false;
+    net::SimTime down_since;
+  };
+  std::map<std::uint32_t, FeedHealth> feed_health_;
+  bool window_had_demand_ = false;  // records seen since last marker
+  bool demand_seen_ = false;        // any demand window ever closed
+  net::SimTime last_demand_;        // feed time of the newest one
+  std::unique_ptr<audit::JournalWriter> journal_;
+
   std::optional<io::TcpListener> bmp_listener_;
   std::optional<io::UdpSocket> sflow_sock_;
   std::unique_ptr<HttpServer> http_;
@@ -193,6 +241,15 @@ class EfdService {
   std::atomic<std::uint64_t> sflow_bytes_{0};
   std::atomic<std::uint64_t> windows_closed_{0};
   std::atomic<std::uint64_t> cycles_run_{0};
+  std::atomic<std::uint64_t> failsafe_mode_{0};
+  std::atomic<std::uint64_t> failsafe_holds_{0};
+  std::atomic<std::uint64_t> failsafe_fail_statics_{0};
+  std::atomic<std::uint64_t> failsafe_recoveries_{0};
+  std::atomic<std::uint64_t> failsafe_transitions_{0};
+  std::atomic<std::uint64_t> watchdog_aborts_{0};
+  std::atomic<std::uint64_t> churn_deferred_{0};
+  std::atomic<std::uint64_t> routers_down_{0};
+  std::atomic<std::uint64_t> router_reconnects_{0};
 
   mutable std::mutex digest_mutex_;
   std::vector<CycleDigest> digests_;

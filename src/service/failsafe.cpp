@@ -1,0 +1,117 @@
+#include "service/failsafe.h"
+
+#include <algorithm>
+
+namespace ef::service {
+
+namespace {
+
+std::string age_string(net::SimTime age) {
+  return std::to_string(age.millis_value() / 1000) + "s";
+}
+
+}  // namespace
+
+const char* input_state_name(InputState state) {
+  switch (state) {
+    case InputState::kFresh: return "fresh";
+    case InputState::kDegraded: return "degraded";
+    case InputState::kStale: return "stale";
+  }
+  return "unknown";
+}
+
+InputState FailsafeLadder::demand_state(const InputHealth& health) const {
+  if (!health.demand_seen) return InputState::kStale;
+  const net::SimTime fresh_age = config_.fresh_demand_age;
+  if (health.demand_age < fresh_age) return InputState::kFresh;
+  if (health.demand_age <= config_.max_demand_age) return InputState::kDegraded;
+  return InputState::kStale;
+}
+
+InputState FailsafeLadder::feed_state(const InputHealth& health) const {
+  if (health.routers_down == 0) return InputState::kFresh;
+  if (health.max_router_down_age <= config_.max_router_down) {
+    return InputState::kDegraded;
+  }
+  return InputState::kStale;
+}
+
+FailsafeLadder::Decision FailsafeLadder::decide(const InputHealth& health,
+                                                net::SimTime now) {
+  Decision d;
+  if (!config_.enabled) {
+    d.action = Action::kRun;
+    d.mode = Mode::kHealthy;
+    d.reason = "failsafe disabled";
+    return d;
+  }
+
+  const InputState demand = demand_state(health);
+  const InputState feed = feed_state(health);
+  const InputState worst = std::max(demand, feed);
+
+  const Mode before = mode_;
+  if (worst == InputState::kFresh) {
+    d.action = Action::kRun;
+    mode_ = Mode::kHealthy;
+    d.reason = "inputs fresh";
+  } else if (worst == InputState::kStale || !have_last_good_ ||
+             now - last_good_ > config_.hold_ttl) {
+    d.action = Action::kWithdraw;
+    mode_ = Mode::kFailStatic;
+    if (worst == InputState::kStale) {
+      d.reason = demand == InputState::kStale
+                     ? (health.demand_seen
+                            ? "demand stale " + age_string(health.demand_age) +
+                                  " > " + age_string(config_.max_demand_age)
+                            : "no demand seen")
+                     : "feed stale " +
+                           age_string(health.max_router_down_age) + " > " +
+                           age_string(config_.max_router_down);
+    } else if (!have_last_good_) {
+      d.reason = "inputs degraded, no last-good cycle to hold";
+    } else {
+      d.reason = "hold TTL expired after " +
+                 age_string(now - last_good_) + " > " +
+                 age_string(config_.hold_ttl);
+    }
+    ++stats_.fail_statics;
+  } else {
+    d.action = Action::kHold;
+    mode_ = Mode::kHoldLastGood;
+    d.reason = demand != InputState::kFresh
+                   ? "demand degraded, age " + age_string(health.demand_age)
+                   : std::to_string(health.routers_down) +
+                         " router feed(s) down, worst " +
+                         age_string(health.max_router_down_age);
+    ++stats_.holds;
+  }
+
+  d.mode = mode_;
+  d.transitioned = mode_ != before;
+  if (d.transitioned) {
+    ++stats_.transitions;
+    if (mode_ == Mode::kHealthy) ++stats_.recoveries;
+  }
+  return d;
+}
+
+void FailsafeLadder::note_good_cycle(net::SimTime now) {
+  have_last_good_ = true;
+  last_good_ = now;
+}
+
+void FailsafeLadder::note_watchdog_abort() {
+  if (!config_.enabled) return;
+  ++stats_.watchdog_aborts;
+  if (mode_ != Mode::kFailStatic) {
+    mode_ = Mode::kFailStatic;
+    ++stats_.transitions;
+  }
+  // The aborted cycle's overrides were withdrawn; holding them later
+  // would resurrect a decision that never finished. Drop the anchor.
+  have_last_good_ = false;
+}
+
+}  // namespace ef::service

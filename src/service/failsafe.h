@@ -1,0 +1,121 @@
+// The degradation ladder: efd's answer to "how stale is too stale?".
+//
+// Edge Fabric's safety story (paper §4) is that the controller is
+// stateless and fail-static: if it stops, BGP keeps forwarding. A live
+// daemon adds a subtler failure class — it keeps *running* while its
+// inputs quietly rot (BMP feed down, demand windows missing). Acting on
+// rotten inputs is worse than not acting, so the ladder maps input
+// health to a cycle action:
+//
+//   healthy        fresh inputs            → run a normal cycle
+//   hold-last-good degraded inputs         → keep the previous override
+//                                            set, bounded by a TTL
+//   fail-static    stale inputs / TTL out  → withdraw everything,
+//                                            plain BGP
+//
+// Every decision keys off feed time (the sFlow window clock), never the
+// wall clock, so a chaos replay with the same fault schedule makes the
+// identical ladder walk — that determinism is load-bearing for the
+// fault-injection tests.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "audit/event.h"
+#include "net/units.h"
+
+namespace ef::service {
+
+/// Freshness of one input class.
+enum class InputState : std::uint8_t {
+  kFresh = 0,
+  kDegraded = 1,  // older than ideal but within the max-age budget
+  kStale = 2,     // past max age: unusable
+};
+
+const char* input_state_name(InputState state);
+
+struct FailsafeConfig {
+  /// Master switch; disabled reproduces the pre-ladder daemon exactly.
+  bool enabled = false;
+  /// Demand newer than this is fresh. 0 = auto (the cycle period).
+  net::SimTime fresh_demand_age;
+  /// Demand older than this is stale (fail-static); between fresh and
+  /// max it is degraded (hold-last-good).
+  net::SimTime max_demand_age = net::SimTime::seconds(90);
+  /// A BMP feed down longer than this marks routing state stale; any
+  /// feed down at all marks it degraded.
+  net::SimTime max_router_down = net::SimTime::seconds(90);
+  /// How long hold-last-good may keep reusing the last good override
+  /// set before it must fall through to fail-static.
+  net::SimTime hold_ttl = net::SimTime::seconds(120);
+};
+
+/// Input-health snapshot the daemon assembles each cycle.
+struct InputHealth {
+  std::uint32_t routers_known = 0;
+  std::uint32_t routers_down = 0;
+  /// Longest current outage among down routers.
+  net::SimTime max_router_down_age;
+  bool demand_seen = false;
+  /// Age of the newest closed demand window.
+  net::SimTime demand_age;
+};
+
+class FailsafeLadder {
+ public:
+  using Mode = audit::FailsafeMode;
+  using Action = audit::FailsafeAction;
+
+  explicit FailsafeLadder(FailsafeConfig config)
+      : config_(config),
+        // Cold start is honestly fail-static: until the first good
+        // cycle there is no last-good set to hold, and no evidence the
+        // inputs are live. The first fresh cycle counts as a recovery.
+        mode_(config.enabled ? Mode::kFailStatic : Mode::kHealthy) {}
+
+  struct Decision {
+    Action action = Action::kRun;
+    Mode mode = Mode::kHealthy;
+    bool transitioned = false;  // mode changed this cycle
+    std::string reason;
+  };
+
+  /// Maps input health at feed-time `now` to the cycle action. Pure in
+  /// (health, now, internal mode) — no clocks, no I/O.
+  Decision decide(const InputHealth& health, net::SimTime now);
+
+  /// A full cycle ran on fresh inputs: its override set becomes the
+  /// hold-last-good anchor and the hold TTL restarts from `now`.
+  void note_good_cycle(net::SimTime now);
+
+  /// The cycle watchdog aborted a run: drop straight to fail-static —
+  /// the "good" cycle we just attempted cannot be trusted as an anchor.
+  void note_watchdog_abort();
+
+  Mode mode() const { return mode_; }
+
+  InputState demand_state(const InputHealth& health) const;
+  InputState feed_state(const InputHealth& health) const;
+
+  struct Stats {
+    std::uint64_t holds = 0;        // cycles answered with kHold
+    std::uint64_t fail_statics = 0; // cycles answered with kWithdraw
+    std::uint64_t recoveries = 0;   // transitions back to healthy
+    std::uint64_t transitions = 0;  // all mode changes
+    std::uint64_t watchdog_aborts = 0;
+  };
+  const Stats& stats() const { return stats_; }
+
+  const FailsafeConfig& config() const { return config_; }
+
+ private:
+  FailsafeConfig config_;
+  Mode mode_;
+  bool have_last_good_ = false;
+  net::SimTime last_good_;
+  Stats stats_;
+};
+
+}  // namespace ef::service

@@ -65,6 +65,13 @@ void HttpServer::on_conn_event(int fd, std::uint32_t ready) {
 
   if (ready & io::kWrite) {
     conn.tcp.flush();
+    // EPIPE/ECONNRESET mid-response: the client is gone, and a broken
+    // conn will never drain. Without this close the fd (and its
+    // level-triggered readiness) leaks until shutdown.
+    if (conn.tcp.broken()) {
+      abort_conn(fd);
+      return;
+    }
     if (conn.responded && !conn.tcp.wants_write()) {
       close_conn(fd);
       return;
@@ -73,6 +80,26 @@ void HttpServer::on_conn_event(int fd, std::uint32_t ready) {
   if (!(ready & (io::kRead | io::kHangup | io::kError))) return;
 
   const bool open = conn.tcp.read_some();
+  if (conn.responded) {
+    // One GET per connection: after responding, readable events only
+    // matter as connection state. A reset client is gone — abort. An
+    // EOF (half-close) client may still be reading the response, but
+    // its level-triggered EPOLLIN would spin forever: drop read
+    // interest and let the write path finish (drain → close) or fail
+    // (EPIPE/ECONNRESET → abort).
+    if (conn.tcp.broken()) {
+      abort_conn(fd);
+      return;
+    }
+    if (!open) {
+      if (!conn.tcp.wants_write()) {
+        close_conn(fd);
+      } else {
+        loop_.rearm(fd, io::kWrite);
+      }
+      return;
+    }
+  }
   if (!conn.responded) {
     const auto data = conn.tcp.readable();
     const char* begin = reinterpret_cast<const char*>(data.data());
@@ -116,18 +143,29 @@ void HttpServer::on_conn_event(int fd, std::uint32_t ready) {
     conn.responded = true;
   }
 
-  if (conn.tcp.broken() || (conn.responded && !conn.tcp.wants_write())) {
+  if (conn.tcp.broken()) {
+    abort_conn(fd);
+    return;
+  }
+  if (conn.responded && !conn.tcp.wants_write()) {
     close_conn(fd);
     return;
   }
   if (conn.tcp.wants_write()) {
-    loop_.rearm(fd, io::kRead | io::kWrite);
+    // If the request arrived with an EOF in the same event, keeping read
+    // interest would spin on the level-triggered EOF forever.
+    loop_.rearm(fd, open ? (io::kRead | io::kWrite) : io::kWrite);
   }
 }
 
 void HttpServer::close_conn(int fd) {
   loop_.unwatch(fd);
   conns_.erase(fd);
+}
+
+void HttpServer::abort_conn(int fd) {
+  aborted_conns_.fetch_add(1, std::memory_order_release);
+  close_conn(fd);
 }
 
 }  // namespace ef::service

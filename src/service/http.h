@@ -5,6 +5,7 @@
 // meant to become one.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <map>
@@ -39,6 +40,11 @@ class HttpServer {
 
   std::uint16_t port() const { return listener_.port(); }
   std::uint64_t requests_served() const { return requests_served_; }
+  /// Connections torn down before the response was fully delivered
+  /// (client reset/EOF mid-write). Cross-thread readable.
+  std::uint64_t aborted_conns() const {
+    return aborted_conns_.load(std::memory_order_acquire);
+  }
 
  private:
   struct Conn {
@@ -51,12 +57,14 @@ class HttpServer {
   void on_conn_event(int fd, std::uint32_t ready);
   void respond(Conn& conn);
   void close_conn(int fd);
+  void abort_conn(int fd);
 
   io::EventLoop& loop_;
   io::TcpListener listener_;
   HttpHandler handler_;
   std::map<int, std::unique_ptr<Conn>> conns_;
   std::uint64_t requests_served_ = 0;
+  std::atomic<std::uint64_t> aborted_conns_{0};
 };
 
 }  // namespace ef::service

@@ -1,5 +1,7 @@
 #include "sim/live_feed.h"
 
+#include <algorithm>
+
 #include "net/log.h"
 
 namespace ef::sim {
@@ -7,13 +9,27 @@ namespace ef::sim {
 namespace wire = telemetry::wire;
 
 LiveFeed::LiveFeed(Simulation& sim, Config config, Sync sync)
-    : sim_(&sim), config_(config), sync_(std::move(sync)) {
+    : sim_(&sim), config_(std::move(config)), sync_(std::move(sync)) {
   sampled_mode_ = sim.config().use_sflow_estimate;
   topology::Pop& pop = sim.pop();
   for (int r = 0; r < pop.router_count(); ++r) {
     key_to_router_[pop.router_key(r)] = r;
   }
   bmp_conns_.resize(static_cast<std::size_t>(pop.router_count()));
+  if (config_.faults || !config_.fault_script.empty()) {
+    injector_.emplace(config_.faults.value_or(io::FaultConfig{}),
+                      config_.fault_script);
+  }
+  if (config_.reconnect) {
+    reconnect_backoff_.reserve(static_cast<std::size_t>(pop.router_count()));
+    for (int r = 0; r < pop.router_count(); ++r) {
+      io::Backoff::Config per_router = *config_.reconnect;
+      // Decorrelate jitter across routers while keeping each router's
+      // schedule a pure function of (seed, router index).
+      per_router.seed += static_cast<std::uint64_t>(r);
+      reconnect_backoff_.emplace_back(per_router);
+    }
+  }
 
   pop.set_bmp_tap([this](std::uint32_t key,
                          const std::vector<std::uint8_t>& bytes) {
@@ -63,17 +79,93 @@ void LiveFeed::on_bmp_bytes(std::uint32_t router_key,
   const auto it = key_to_router_.find(router_key);
   EF_CHECK(it != key_to_router_.end(),
            "live feed: BMP bytes from unknown router key " << router_key);
-  io::Fd& conn = bmp_conns_[static_cast<std::size_t>(it->second)];
+  const int router = it->second;
+  io::Fd& conn = bmp_conns_[static_cast<std::size_t>(router)];
   if (!conn.valid()) {
     bmp_bytes_dropped_ += bytes.size();  // session down: feed loses these
     return;
   }
-  EF_CHECK(io::send_all(conn.get(), bytes),
-           "live feed: BMP send failed for router " << it->second);
-  bmp_bytes_sent_ += bytes.size();
+  if (!injector_) {
+    EF_CHECK(io::send_all(conn.get(), bytes),
+             "live feed: BMP send failed for router " << router);
+    bmp_bytes_sent_ += bytes.size();
+    return;
+  }
+
+  // Chaos: the tap delivers exactly one BMP message per call, so the
+  // injector's frame-aligned faults stay deterministic on the stream.
+  // The BMP common header is 6 bytes (version u8, length u32, type u8).
+  const io::FaultDecision decision = injector_->apply(bytes, 6);
+  if (!decision.bytes.empty()) {
+    EF_CHECK(io::send_all(conn.get(), decision.bytes),
+             "live feed: BMP send failed for router " << router);
+    // Delivered bytes count on both sides — the daemon's byte counter
+    // includes poisoned and truncated input, so the barrier stays exact.
+    bmp_bytes_sent_ += decision.bytes.size();
+  }
+  if (decision.kind == io::FaultKind::kDrop) {
+    bmp_bytes_dropped_ += bytes.size();
+  }
+  if (decision.expect_poison || decision.close_after) {
+    // Poison: the daemon will sever once it reads the mangled header.
+    // Truncate/disconnect: we sever. Either way the router is down and
+    // the daemon registers one disconnect.
+    mark_router_down(router);
+  }
+}
+
+void LiveFeed::mark_router_down(int r) {
+  io::Fd& conn = bmp_conns_[static_cast<std::size_t>(r)];
+  if (conn.valid()) conn.reset();
+  ++disconnects_;
+  ++router_downs_;
+  EF_CHECK(sync_.disconnects(disconnects_),
+           "live feed: daemon did not register loss of router " << r);
+  if (config_.reconnect) {
+    if (const auto delay =
+            reconnect_backoff_[static_cast<std::size_t>(r)].next()) {
+      reconnect_at_[r] =
+          step_index_ + std::max<std::uint64_t>(1, *delay);
+    }
+    // Budget exhausted: the router stays down (capped retry budget).
+  }
+}
+
+void LiveFeed::attempt_reconnects(std::uint64_t step) {
+  std::vector<int> due;
+  for (const auto& [router, at] : reconnect_at_) {
+    if (at <= step) due.push_back(router);
+  }
+  for (int r : due) {
+    reconnect_at_.erase(r);
+    ++reconnect_attempts_;
+    io::Fd conn = io::connect_tcp(config_.bmp_port);
+    if (!conn.valid()) {
+      if (const auto delay =
+              reconnect_backoff_[static_cast<std::size_t>(r)].next()) {
+        reconnect_at_[r] = step + std::max<std::uint64_t>(1, *delay);
+      }
+      continue;
+    }
+    bmp_conns_[static_cast<std::size_t>(r)] = std::move(conn);
+    reconnect_backoff_[static_cast<std::size_t>(r)].reset();
+    ++reconnects_ok_;
+    // Replay flows back through on_bmp_bytes, so the injector can fault
+    // the replay itself — and a re-poisoned session goes down again.
+    sim_->pop().replay_router_to_bmp(r);
+    if (router_connected(r)) {
+      EF_CHECK(sync_.bmp_bytes(bmp_bytes_sent_),
+               "live feed: daemon did not consume reconnect replay of "
+                   << r);
+    }
+  }
 }
 
 void LiveFeed::queue_record(wire::SflowRecord record) {
+  if (dropping_demand_) {
+    ++demand_records_dropped_;
+    return;
+  }
   pending_records_.push_back(std::move(record));
   if (pending_records_.size() >= config_.records_per_datagram) {
     flush_records(false);
@@ -121,6 +213,9 @@ void LiveFeed::send_marker(net::SimTime window_end, net::SimTime cycle_now) {
 }
 
 bool LiveFeed::step() {
+  const std::uint64_t step = step_index_++;
+  if (!reconnect_at_.empty()) attempt_reconnects(step);
+  dropping_demand_ = config_.drop_demand && config_.drop_demand(step);
   if (!sim_->advance()) return false;
   const net::SimTime now = sim_->now();
   const net::SimTime window_end = now + sim_->config().step;
@@ -142,15 +237,15 @@ bool LiveFeed::router_connected(int r) const {
 void LiveFeed::disconnect_router(int r) {
   io::Fd& conn = bmp_conns_[static_cast<std::size_t>(r)];
   EF_CHECK(conn.valid(), "live feed: router " << r << " already down");
-  conn.reset();  // close; daemon sees EOF and purges the router
-  ++disconnects_;
-  EF_CHECK(sync_.disconnects(disconnects_),
-           "live feed: daemon did not register disconnect of router " << r);
+  // Close; daemon sees EOF and purges the router. With a reconnect
+  // schedule configured this also books the backoff'd redial.
+  mark_router_down(r);
 }
 
 void LiveFeed::reconnect_router(int r) {
   io::Fd& conn = bmp_conns_[static_cast<std::size_t>(r)];
   EF_CHECK(!conn.valid(), "live feed: router " << r << " still connected");
+  reconnect_at_.erase(r);  // manual reconnect supersedes the schedule
   conn = io::connect_tcp(config_.bmp_port);
   EF_CHECK(conn.valid(), "live feed: reconnect failed for router " << r);
   sim_->pop().replay_router_to_bmp(r);

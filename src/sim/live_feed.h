@@ -22,8 +22,11 @@
 #include <cstdint>
 #include <functional>
 #include <map>
+#include <optional>
 #include <vector>
 
+#include "io/backoff.h"
+#include "io/fault.h"
 #include "io/socket.h"
 #include "sim/simulation.h"
 #include "telemetry/sflow_wire.h"
@@ -42,6 +45,24 @@ class LiveFeed {
     /// UDP receive buffers cannot overflow (dropped datagrams would
     /// silently skew the daemon's estimate).
     std::size_t pace_window = 32;
+
+    // --- chaos mode (all off by default) -------------------------------
+    /// Seeded per-message fault injection on the BMP streams. Faults are
+    /// frame-aligned (see io/fault.h); a fault that kills a connection
+    /// marks the router down exactly as a real session loss would.
+    std::optional<io::FaultConfig> faults;
+    /// Scripted faults layered over the seeded draw (`at` indexes BMP
+    /// messages across all routers, in tap order).
+    std::vector<io::ScriptedFault> fault_script;
+    /// Auto-reconnect schedule for downed routers, in *simulation steps*
+    /// (tick = one step()), so chaos replays reconnect at identical feed
+    /// times. Unset: downed routers stay down until reconnect_router().
+    std::optional<io::Backoff::Config> reconnect;
+    /// Demand blackout: when set and true for a step index (0-based),
+    /// that step's demand records are dropped — window-close markers
+    /// still go out, which is precisely the "feed alive, data stale"
+    /// input the daemon's ladder must catch.
+    std::function<bool(std::uint64_t)> drop_demand;
   };
 
   /// Daemon-progress probes. Each blocks (up to the barrier timeout)
@@ -82,10 +103,25 @@ class LiveFeed {
   std::uint64_t bmp_bytes_dropped() const { return bmp_bytes_dropped_; }
   std::uint64_t datagrams_sent() const { return datagrams_sent_; }
   std::uint64_t windows_sent() const { return windows_sent_; }
+  std::uint64_t steps_run() const { return step_index_; }
+  // Chaos-mode accounting.
+  std::uint64_t router_downs() const { return router_downs_; }
+  std::uint64_t reconnect_attempts() const { return reconnect_attempts_; }
+  std::uint64_t reconnects_ok() const { return reconnects_ok_; }
+  std::uint64_t demand_records_dropped() const {
+    return demand_records_dropped_;
+  }
+  const io::FaultInjector* injector() const {
+    return injector_ ? &*injector_ : nullptr;
+  }
 
  private:
   void on_bmp_bytes(std::uint32_t router_key,
                     const std::vector<std::uint8_t>& bytes);
+  /// Severs router `r` (feed side), waits for the daemon to register it,
+  /// and schedules an auto-reconnect when configured.
+  void mark_router_down(int r);
+  void attempt_reconnects(std::uint64_t step);
   void queue_record(telemetry::wire::SflowRecord record);
   void flush_records(bool force);
   void send_marker(net::SimTime window_end, net::SimTime cycle_now);
@@ -107,6 +143,17 @@ class LiveFeed {
   std::uint64_t windows_sent_ = 0;
   std::uint64_t disconnects_ = 0;
   std::uint64_t last_paced_ = 0;
+
+  // Chaos state.
+  std::optional<io::FaultInjector> injector_;
+  std::vector<io::Backoff> reconnect_backoff_;  // per router
+  std::map<int, std::uint64_t> reconnect_at_;   // router -> due step
+  std::uint64_t step_index_ = 0;
+  bool dropping_demand_ = false;
+  std::uint64_t router_downs_ = 0;
+  std::uint64_t reconnect_attempts_ = 0;
+  std::uint64_t reconnects_ok_ = 0;
+  std::uint64_t demand_records_dropped_ = 0;
 };
 
 }  // namespace ef::sim

@@ -150,17 +150,33 @@ TEST(CollectorStream, SkipsBadFrameAndAppliesNext) {
   EXPECT_EQ(collector.stats().malformed, 1u);
 }
 
-TEST(CollectorStream, FatalHeaderErrorDropsBufferedBytes) {
+TEST(CollectorStream, FatalHeaderErrorPoisonsUntilDropRouter) {
   BmpCollector collector;
   const auto result =
       collector.receive(1, std::vector<std::uint8_t>(16, 0xFF));
   EXPECT_TRUE(result.fatal);
   EXPECT_EQ(result.error, FrameErrorKind::kBadVersion);
   EXPECT_EQ(collector.stats().malformed, 1u);
+  EXPECT_TRUE(collector.poisoned(1));
 
-  // The poisoned buffer was discarded: a fresh, valid replay applies.
+  // The stream stays poisoned: even frame-aligned valid bytes on the
+  // same key are refused, because nothing guarantees this boundary is a
+  // real frame boundary — resyncing by luck would corrupt the RIB.
   InitiationMsg init;
   init.sys_name = "pr1";
+  const auto while_poisoned = collector.receive(1, encode(init));
+  EXPECT_EQ(while_poisoned.applied, 0u);
+  EXPECT_TRUE(while_poisoned.fatal);
+  EXPECT_EQ(while_poisoned.error, FrameErrorKind::kBadVersion);
+
+  // Other routers are unaffected.
+  EXPECT_FALSE(collector.poisoned(2));
+  EXPECT_EQ(collector.receive(2, encode(init)).applied, 1u);
+
+  // drop_router models the reconnect: the fresh session starts with a
+  // clean buffer and a clean slate.
+  collector.drop_router(1);
+  EXPECT_FALSE(collector.poisoned(1));
   EXPECT_EQ(collector.receive(1, encode(init)).applied, 1u);
 }
 

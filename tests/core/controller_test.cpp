@@ -2,6 +2,10 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <chrono>
+#include <map>
+
 #include "workload/demand.h"
 
 namespace ef::core {
@@ -346,6 +350,106 @@ TEST_F(ControllerTest, SafetyDropsOverrideWhoseAlternateVanished) {
     EXPECT_NE(ov.next_hop, override_entry.next_hop);
   }
   (void)stats;
+}
+
+TEST_F(ControllerTest, WithdrawAllLeavesPlainBgp) {
+  Controller controller(pop_, {});
+  controller.connect();
+  controller.run_cycle(peak_demand(), SimTime::seconds(0));
+  ASSERT_FALSE(controller.active_overrides().empty());
+
+  controller.withdraw_all(SimTime::seconds(10));
+  EXPECT_TRUE(controller.active_overrides().empty());
+  EXPECT_TRUE(controller.connected());  // fail-static, not shutdown
+  std::size_t injected = 0;
+  pop_.collector().rib().for_each(
+      [&](const net::Prefix&, std::span<const bgp::Route> routes) {
+        for (const bgp::Route& route : routes) {
+          if (route.peer_type == bgp::PeerType::kController) ++injected;
+        }
+      });
+  EXPECT_EQ(injected, 0u);
+
+  // The next cycle rebuilds the set from scratch, as after any restart.
+  const auto stats = controller.run_cycle(peak_demand(), SimTime::seconds(60));
+  EXPECT_GT(stats.overrides_active, 0u);
+}
+
+TEST_F(ControllerTest, ChurnGuardCapsChangesPerCycleAndConverges) {
+  // Aggressive thresholds so the peak wants many overrides — a guard
+  // over one change would be vacuous. The unguarded controller shows
+  // how many the peak wants.
+  ControllerConfig config;
+  config.allocator.overload_threshold = 0.5;
+  config.allocator.target_utilization = 0.45;
+  topology::Pop free_pop(world_, 0);
+  Controller unguarded(free_pop, config);
+  unguarded.connect();
+  const auto want =
+      unguarded.run_cycle(peak_demand(), SimTime::seconds(0)).overrides_active;
+  ASSERT_GT(want, 10u);
+
+  config.max_churn_frac = 0.05;  // a handful of changes per cycle
+  Controller guarded(pop_, config);
+  guarded.connect();
+
+  std::map<net::Prefix, Override> previous;
+  std::size_t cycles_to_converge = 0;
+  for (int cycle = 0; cycle < 64; ++cycle) {
+    const auto stats =
+        guarded.run_cycle(peak_demand(), SimTime::seconds(60.0 * cycle));
+    // Count actual changes: new prefixes or moved targets, the
+    // quantities the guard meters. Removals are free by design.
+    std::size_t changed = 0;
+    for (const auto& [prefix, ov] : guarded.active_overrides()) {
+      const auto it = previous.find(prefix);
+      if (it == previous.end() ||
+          it->second.target_interface != ov.target_interface ||
+          it->second.next_hop != ov.next_hop) {
+        ++changed;
+      }
+    }
+    // The guard's budget is frac * |active ∪ proposed|; that union can
+    // never exceed last cycle's set plus everything the peak wants, so
+    // this bound is loose but sound — and far below `want`.
+    const std::size_t budget = std::max<std::size_t>(
+        1, static_cast<std::size_t>(config.max_churn_frac *
+                                    static_cast<double>(previous.size() +
+                                                        want)));
+    EXPECT_LE(changed, budget) << "cycle " << cycle;
+    EXPECT_LT(budget, want);  // the cap genuinely bites
+    if (cycle == 0) {
+      EXPECT_GT(stats.churn_deferred, 0u);
+    }
+
+    previous = guarded.active_overrides();
+    if (stats.churn_deferred == 0 && previous.size() == want) {
+      cycles_to_converge = static_cast<std::size_t>(cycle) + 1;
+      break;
+    }
+  }
+  // Deferred work drains over cycles: the guard throttles, not starves.
+  EXPECT_GT(cycles_to_converge, 1u);
+  EXPECT_EQ(previous.size(), want);
+}
+
+TEST_F(ControllerTest, WatchdogOverrunWithdrawsEverything) {
+  ControllerConfig config;
+  config.cycle_budget = std::chrono::nanoseconds(1);  // impossible budget
+  Controller controller(pop_, config);
+  controller.connect();
+  const auto stats = controller.run_cycle(peak_demand(), SimTime::seconds(0));
+  EXPECT_TRUE(stats.watchdog_aborted);
+  EXPECT_EQ(stats.overrides_active, 0u);
+  EXPECT_TRUE(controller.active_overrides().empty());
+  std::size_t injected = 0;
+  pop_.collector().rib().for_each(
+      [&](const net::Prefix&, std::span<const bgp::Route> routes) {
+        for (const bgp::Route& route : routes) {
+          if (route.peer_type == bgp::PeerType::kController) ++injected;
+        }
+      });
+  EXPECT_EQ(injected, 0u);
 }
 
 TEST_F(ControllerTest, DrainedInterfaceEvacuatedEndToEnd) {

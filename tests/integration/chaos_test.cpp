@@ -1,0 +1,299 @@
+// Chaos integration: a LiveFeed with fault injection drives a failsafe-
+// armed daemon over real sockets. Covers the full degradation walk
+// (healthy → hold-last-good → fail-static → healthy) under a demand
+// blackout, the audit-journal record of it, and bitwise replay
+// determinism of a seeded-fault run.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cstdint>
+#include <cstdlib>
+#include <fstream>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "audit/event.h"
+#include "audit/journal.h"
+#include "audit/snapshot.h"
+#include "core/controller.h"
+#include "io/backoff.h"
+#include "io/fault.h"
+#include "io/socket.h"
+#include "service/efd.h"
+#include "sim/live_feed.h"
+#include "sim/simulation.h"
+#include "topology/pop.h"
+#include "topology/world.h"
+
+namespace ef {
+namespace {
+
+using namespace std::chrono_literals;
+using audit::FailsafeAction;
+using audit::FailsafeMode;
+
+constexpr auto kBarrier = 15000ms;
+
+topology::World test_world() {
+  topology::WorldConfig config;
+  config.num_clients = 40;
+  config.num_pops = 2;
+  config.seed = 11;
+  return topology::World::generate(config);
+}
+
+sim::SimulationConfig sim_config(int steps) {
+  sim::SimulationConfig config;
+  config.step = net::SimTime::seconds(60);
+  config.duration = net::SimTime::seconds(60.0 * steps);
+  config.controller.cycle_period = config.step;
+  config.controller.allocator.overload_threshold = 0.5;
+  config.controller.allocator.target_utilization = 0.45;
+  return config;
+}
+
+service::EfdConfig daemon_config(const sim::SimulationConfig& sim) {
+  service::EfdConfig config;
+  config.controller = sim.controller;
+  config.controller.enforcement = core::Enforcement::kShadow;
+  config.failsafe.enabled = true;
+  config.failsafe.max_demand_age = net::SimTime::seconds(90);
+  config.failsafe.hold_ttl = net::SimTime::seconds(120);
+  return config;
+}
+
+sim::LiveFeed::Sync sync_for(const service::EfdService& daemon) {
+  sim::LiveFeed::Sync sync;
+  sync.bmp_bytes = [&daemon](std::uint64_t n) {
+    return daemon.wait_for_bmp_bytes(n, kBarrier);
+  };
+  sync.datagrams = [&daemon](std::uint64_t n) {
+    return daemon.wait_for_datagrams(n, kBarrier);
+  };
+  sync.windows = [&daemon](std::uint64_t n) {
+    return daemon.wait_for_windows(n, kBarrier);
+  };
+  sync.disconnects = [&daemon](std::uint64_t n) {
+    return daemon.wait_for_disconnects(n, kBarrier);
+  };
+  return sync;
+}
+
+std::string http_get_body(std::uint16_t port, const std::string& path) {
+  io::Fd conn = io::connect_tcp(port);
+  if (!conn.valid()) return {};
+  const std::string request =
+      "GET " + path + " HTTP/1.1\r\nHost: t\r\nConnection: close\r\n\r\n";
+  if (!io::send_all(conn.get(),
+                    std::span<const std::uint8_t>(
+                        reinterpret_cast<const std::uint8_t*>(request.data()),
+                        request.size()))) {
+    return {};
+  }
+  std::string response;
+  for (;;) {
+    const std::vector<std::uint8_t> chunk = io::recv_some(conn.get());
+    if (chunk.empty()) break;
+    response.append(chunk.begin(), chunk.end());
+  }
+  const auto split = response.find("\r\n\r\n");
+  return split == std::string::npos ? response : response.substr(split + 4);
+}
+
+struct ChaosRun {
+  std::vector<service::EfdService::CycleDigest> digests;
+  service::EfdService::IngestSnapshot ingest;
+  std::uint64_t router_downs = 0;
+  std::uint64_t reconnects_ok = 0;
+  std::uint64_t demand_dropped = 0;
+  std::string metrics;
+};
+
+/// Runs one socket-fed chaos scenario to completion and collects what
+/// the assertions need. `configure` mutates the feed config (faults,
+/// blackout, reconnect schedule); `journal` optionally records it.
+ChaosRun run_chaos(int steps, const std::string& journal,
+                   const std::function<void(sim::LiveFeed::Config&)>&
+                       configure) {
+  const topology::World world = test_world();
+  topology::Pop pop(world, 0);
+  const sim::SimulationConfig config = sim_config(steps);
+  sim::Simulation sim(pop, config);
+
+  service::EfdConfig daemon_cfg = daemon_config(config);
+  daemon_cfg.journal_path = journal;
+  service::EfdService daemon(pop, daemon_cfg);
+  daemon.start();
+
+  sim::LiveFeed::Config feed_config;
+  feed_config.bmp_port = daemon.bmp_port();
+  feed_config.sflow_port = daemon.sflow_port();
+  configure(feed_config);
+  sim::LiveFeed feed(sim, feed_config, sync_for(daemon));
+  feed.connect();
+  while (feed.step()) {
+  }
+
+  ChaosRun run;
+  run.digests = daemon.digests();
+  run.ingest = daemon.ingest();
+  run.router_downs = feed.router_downs();
+  run.reconnects_ok = feed.reconnects_ok();
+  run.demand_dropped = feed.demand_records_dropped();
+  // Snapshot /metrics while the daemon is still serving, so a failing
+  // run can dump the operator's view of the ladder.
+  run.metrics = http_get_body(daemon.http_port(), "/metrics");
+  daemon.stop();
+  return run;
+}
+
+/// EF_CHAOS_SEED extends the fixed seed matrix from CI without a
+/// rebuild; EF_CHAOS_DUMP_DIR receives the /metrics snapshot when a
+/// scenario fails, for upload as a build artifact.
+std::uint64_t chaos_seed() {
+  const char* env = std::getenv("EF_CHAOS_SEED");
+  if (env == nullptr) return 1;
+  return static_cast<std::uint64_t>(std::strtoull(env, nullptr, 10));
+}
+
+void dump_metrics_on_failure(const std::string& name,
+                             const std::string& metrics) {
+  if (!testing::Test::HasFailure()) return;
+  const char* dir = std::getenv("EF_CHAOS_DUMP_DIR");
+  if (dir == nullptr || metrics.empty()) return;
+  std::ofstream out(std::string(dir) + "/" + name + ".metrics");
+  out << metrics;
+}
+
+// A four-cycle demand blackout (steps 3..6) while the BMP feed stays
+// healthy: window-close markers keep arriving but carry no demand, so
+// the daemon must walk the whole ladder — hold on the first missed
+// window, fail static once the data goes stale, recover when demand
+// returns — and end with the exact override set a healthy cycle makes.
+TEST(Chaos, DemandBlackoutWalksTheLadderAndRecovers) {
+  const std::string journal = testing::TempDir() + "chaos_ladder.efj";
+  const ChaosRun run = run_chaos(13, journal, [](sim::LiveFeed::Config& fc) {
+    fc.drop_demand = [](std::uint64_t step) { return step >= 3 && step < 7; };
+  });
+
+  ASSERT_EQ(run.digests.size(), 14u);
+  EXPECT_GT(run.demand_dropped, 0u);
+
+  // Cycles 0-2: fresh demand, normal runs that actually steer.
+  for (std::size_t i = 0; i < 3; ++i) {
+    EXPECT_EQ(run.digests[i].action, FailsafeAction::kRun) << "cycle " << i;
+    EXPECT_EQ(run.digests[i].mode, FailsafeMode::kHealthy) << "cycle " << i;
+    EXPECT_FALSE(run.digests[i].overrides.empty()) << "cycle " << i;
+  }
+  // Cycle 3: one missed window — degraded, hold cycle 2's set verbatim.
+  EXPECT_EQ(run.digests[3].action, FailsafeAction::kHold);
+  EXPECT_EQ(run.digests[3].mode, FailsafeMode::kHoldLastGood);
+  EXPECT_EQ(run.digests[3].overrides, run.digests[2].overrides);
+  // Cycles 4-6: demand is stale — fail static, zero overrides (plain BGP).
+  for (std::size_t i = 4; i < 7; ++i) {
+    EXPECT_EQ(run.digests[i].action, FailsafeAction::kWithdraw)
+        << "cycle " << i;
+    EXPECT_EQ(run.digests[i].mode, FailsafeMode::kFailStatic) << "cycle " << i;
+    EXPECT_TRUE(run.digests[i].overrides.empty()) << "cycle " << i;
+  }
+  // Cycles 7+: demand is back, the ladder recovers and steering resumes.
+  for (std::size_t i = 7; i < run.digests.size(); ++i) {
+    EXPECT_EQ(run.digests[i].action, FailsafeAction::kRun) << "cycle " << i;
+    EXPECT_EQ(run.digests[i].mode, FailsafeMode::kHealthy) << "cycle " << i;
+    EXPECT_FALSE(run.digests[i].overrides.empty()) << "cycle " << i;
+  }
+
+  // Ladder counters, as also exported on /metrics: one hold, three
+  // fail-static cycles, two recoveries (cold start + post-blackout),
+  // four transitions (static→healthy, →hold, →static, →healthy).
+  EXPECT_EQ(run.ingest.failsafe_holds, 1u);
+  EXPECT_EQ(run.ingest.failsafe_fail_statics, 3u);
+  EXPECT_EQ(run.ingest.failsafe_recoveries, 2u);
+  EXPECT_EQ(run.ingest.failsafe_transitions, 4u);
+  EXPECT_EQ(run.ingest.failsafe_mode,
+            static_cast<std::uint64_t>(FailsafeMode::kHealthy));
+  EXPECT_NE(run.metrics.find("efd_failsafe_holds_total 1"),
+            std::string::npos);
+  EXPECT_NE(run.metrics.find("efd_failsafe_transitions_total 4"),
+            std::string::npos);
+
+  // The journal interleaves cycle snapshots with ladder events: every
+  // record decodes as exactly one of the two, and the events retell the
+  // transitions (including the zero-override fail-static evidence).
+  const auto bytes = audit::JournalReader::load(journal);
+  ASSERT_TRUE(bytes.has_value());
+  audit::JournalReader reader(*bytes);
+  std::vector<audit::FailsafeEvent> events;
+  std::size_t snapshots = 0;
+  while (const auto record = reader.next()) {
+    if (auto event = audit::FailsafeEvent::deserialize(*record)) {
+      events.push_back(std::move(*event));
+    } else if (audit::CycleSnapshot::deserialize(*record)) {
+      ++snapshots;
+    } else {
+      ADD_FAILURE() << "journal record decodes as neither kind";
+    }
+  }
+  EXPECT_EQ(reader.stats().corrupt_skipped, 0u);
+  EXPECT_GT(snapshots, 0u);
+  ASSERT_EQ(events.size(), 4u);
+  EXPECT_EQ(events[1].to_mode, FailsafeMode::kHoldLastGood);
+  EXPECT_EQ(events[2].to_mode, FailsafeMode::kFailStatic);
+  EXPECT_EQ(events[2].overrides_active, 0u);
+  EXPECT_EQ(events[3].to_mode, FailsafeMode::kHealthy);
+
+  dump_metrics_on_failure("demand_blackout", run.metrics);
+}
+
+// Seeded message-level faults on the BMP streams (poison, drop,
+// truncate, disconnect) with an auto-reconnect schedule: the daemon must
+// survive the whole run, actually exercise the outage/reconnect path,
+// and — the load-bearing property — make bitwise-identical decisions on
+// a second run of the same seed.
+TEST(Chaos, SeededFaultRunsReplayBitwiseIdentically) {
+  const std::uint64_t seed = chaos_seed();
+  const auto configure = [seed](sim::LiveFeed::Config& fc) {
+    io::FaultConfig faults;
+    faults.seed = seed;
+    faults.drop = 0.02;
+    faults.corrupt_header = 0.01;
+    faults.truncate = 0.005;
+    faults.disconnect = 0.005;
+    fc.faults = faults;
+    io::Backoff::Config redial;
+    redial.base = 1;  // steps
+    redial.cap = 4;
+    redial.seed = seed;
+    fc.reconnect = redial;
+  };
+
+  const ChaosRun first = run_chaos(13, "", configure);
+  const ChaosRun second = run_chaos(13, "", configure);
+
+  // The faults genuinely bit: sessions went down and came back.
+  EXPECT_GT(first.router_downs, 0u) << "fault rates never severed a session";
+  EXPECT_GT(first.reconnects_ok, 0u);
+  EXPECT_GT(first.ingest.routers_down, 0u);
+  EXPECT_GT(first.ingest.router_reconnects, 0u);
+  EXPECT_EQ(first.digests.size(), 14u);
+
+  ASSERT_EQ(second.digests.size(), first.digests.size());
+  for (std::size_t i = 0; i < first.digests.size(); ++i) {
+    EXPECT_EQ(second.digests[i].when, first.digests[i].when) << "cycle " << i;
+    EXPECT_EQ(second.digests[i].action, first.digests[i].action)
+        << "cycle " << i;
+    EXPECT_EQ(second.digests[i].mode, first.digests[i].mode) << "cycle " << i;
+    EXPECT_EQ(second.digests[i].overrides, first.digests[i].overrides)
+        << "cycle " << i << ": replay diverged (seed " << seed << ")";
+  }
+  EXPECT_EQ(second.router_downs, first.router_downs);
+  EXPECT_EQ(second.reconnects_ok, first.reconnects_ok);
+  EXPECT_EQ(second.ingest.failsafe_transitions,
+            first.ingest.failsafe_transitions);
+
+  dump_metrics_on_failure("seeded_faults", first.metrics);
+}
+
+}  // namespace
+}  // namespace ef

@@ -1,0 +1,151 @@
+// Backoff schedule: exponential growth, cap, seeded jitter, retry
+// budget — and the EventLoop-driven Reconnector built on top of it.
+#include "io/backoff.h"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <vector>
+
+namespace ef::io {
+namespace {
+
+using namespace std::chrono_literals;
+
+TEST(Backoff, GrowsExponentiallyUpToCap) {
+  BackoffConfig config;
+  config.base = 1;
+  config.cap = 16;
+  config.multiplier = 2.0;
+  Backoff backoff(config);
+  EXPECT_EQ(backoff.next(), 1u);
+  EXPECT_EQ(backoff.next(), 2u);
+  EXPECT_EQ(backoff.next(), 4u);
+  EXPECT_EQ(backoff.next(), 8u);
+  EXPECT_EQ(backoff.next(), 16u);
+  EXPECT_EQ(backoff.next(), 16u);  // clamped at the cap from here on
+}
+
+TEST(Backoff, ResetRestartsTheSchedule) {
+  BackoffConfig config;
+  config.base = 3;
+  config.cap = 100;
+  Backoff backoff(config);
+  EXPECT_EQ(backoff.next(), 3u);
+  EXPECT_EQ(backoff.next(), 6u);
+  backoff.reset();
+  EXPECT_EQ(backoff.attempts(), 0u);
+  EXPECT_EQ(backoff.next(), 3u);
+}
+
+TEST(Backoff, RetryBudgetExhausts) {
+  BackoffConfig config;
+  config.base = 1;
+  config.max_retries = 3;
+  Backoff backoff(config);
+  EXPECT_TRUE(backoff.next().has_value());
+  EXPECT_TRUE(backoff.next().has_value());
+  EXPECT_FALSE(backoff.exhausted());
+  EXPECT_TRUE(backoff.next().has_value());
+  EXPECT_TRUE(backoff.exhausted());
+  EXPECT_FALSE(backoff.next().has_value());
+  // reset() restores the budget (a successful connect earns new retries).
+  backoff.reset();
+  EXPECT_FALSE(backoff.exhausted());
+  EXPECT_TRUE(backoff.next().has_value());
+}
+
+TEST(Backoff, JitterIsBoundedAndSeedDeterministic) {
+  BackoffConfig config;
+  config.base = 100;
+  config.cap = 100000;
+  config.multiplier = 2.0;
+  config.jitter = 0.5;
+  config.seed = 7;
+
+  Backoff a(config);
+  Backoff b(config);
+  std::uint64_t expected_base = 100;
+  for (int i = 0; i < 8; ++i) {
+    const auto delay_a = a.next();
+    const auto delay_b = b.next();
+    ASSERT_TRUE(delay_a.has_value());
+    // Same seed, same schedule — the property chaos replays rely on.
+    EXPECT_EQ(delay_a, delay_b) << "attempt " << i;
+    // Additive jitter only: within [delay, delay * 1.5].
+    EXPECT_GE(*delay_a, expected_base);
+    EXPECT_LE(*delay_a, expected_base + expected_base / 2 + 1);
+    expected_base *= 2;
+  }
+
+  BackoffConfig other = config;
+  other.seed = 8;
+  Backoff c(other);
+  bool diverged = false;
+  Backoff a2(config);
+  for (int i = 0; i < 8; ++i) {
+    if (a2.next() != c.next()) diverged = true;
+  }
+  EXPECT_TRUE(diverged) << "different seeds produced identical jitter";
+}
+
+TEST(Reconnector, RetriesUntilDialSucceeds) {
+  EventLoop loop;
+  BackoffConfig config;
+  config.base = 1;  // milliseconds
+  config.cap = 2;
+  int dials = 0;
+  bool finished = false;
+  bool connected = false;
+  Reconnector redial(
+      loop, config, [&] { return ++dials >= 3; },
+      [&](bool ok) {
+        finished = true;
+        connected = ok;
+      });
+  redial.start();
+  while (!finished) loop.poll_once(10ms);
+  EXPECT_TRUE(connected);
+  EXPECT_EQ(dials, 3);
+}
+
+TEST(Reconnector, ReportsFailureOnceBudgetSpent) {
+  EventLoop loop;
+  BackoffConfig config;
+  config.base = 1;
+  config.max_retries = 2;
+  int dials = 0;
+  bool finished = false;
+  bool connected = true;
+  Reconnector redial(
+      loop, config, [&] { ++dials; return false; },
+      [&](bool ok) {
+        finished = true;
+        connected = ok;
+      });
+  redial.start();
+  while (!finished) loop.poll_once(10ms);
+  EXPECT_FALSE(connected);
+  // Initial dial plus the two budgeted retries.
+  EXPECT_EQ(dials, 3);
+}
+
+TEST(Reconnector, CancelStopsPendingRetryWithoutCallback) {
+  EventLoop loop;
+  BackoffConfig config;
+  config.base = 50;  // far enough out that cancel wins the race
+  bool finished = false;
+  int dials = 0;
+  Reconnector redial(
+      loop, config, [&] { ++dials; return false; },
+      [&](bool) { finished = true; });
+  redial.start();
+  EXPECT_EQ(dials, 1);
+  redial.cancel();
+  loop.poll_once(100ms);
+  EXPECT_EQ(dials, 1);
+  EXPECT_FALSE(finished);
+}
+
+}  // namespace
+}  // namespace ef::io

@@ -1,0 +1,181 @@
+// FaultInjector: seeded determinism, scripted overrides, the per-kind
+// mangling contracts, and the chain from header corruption to collector
+// stream poisoning.
+#include "io/fault.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "bmp/collector.h"
+#include "bmp/wire.h"
+
+namespace ef {
+namespace {
+
+std::vector<std::uint8_t> sample_message() {
+  bmp::InitiationMsg init;
+  init.sys_name = "r0";
+  init.sys_descr = "fault-injector test payload";
+  return bmp::encode(init);
+}
+
+io::FaultConfig busy_config(std::uint64_t seed) {
+  io::FaultConfig config;
+  config.seed = seed;
+  config.drop = 0.15;
+  config.duplicate = 0.10;
+  config.corrupt_body = 0.10;
+  config.corrupt_header = 0.05;
+  config.truncate = 0.05;
+  config.disconnect = 0.05;
+  return config;
+}
+
+TEST(FaultInjector, SameSeedSameDecisions) {
+  io::FaultInjector a(busy_config(99));
+  io::FaultInjector b(busy_config(99));
+  const auto message = sample_message();
+  for (int i = 0; i < 500; ++i) {
+    const io::FaultDecision da = a.apply(message, 6);
+    const io::FaultDecision db = b.apply(message, 6);
+    ASSERT_EQ(da.kind, db.kind) << "message " << i;
+    ASSERT_EQ(da.bytes, db.bytes) << "message " << i;
+    ASSERT_EQ(da.expect_poison, db.expect_poison) << "message " << i;
+    ASSERT_EQ(da.close_after, db.close_after) << "message " << i;
+  }
+  // The rates actually fired — determinism over an all-kNone stream
+  // would be vacuous.
+  EXPECT_GT(a.stats().dropped, 0u);
+  EXPECT_GT(a.stats().duplicated, 0u);
+  EXPECT_GT(a.stats().corrupted, 0u);
+  EXPECT_GT(a.stats().delivered, 0u);
+}
+
+TEST(FaultInjector, DifferentSeedsDiverge) {
+  io::FaultInjector a(busy_config(1));
+  io::FaultInjector b(busy_config(2));
+  const auto message = sample_message();
+  bool diverged = false;
+  for (int i = 0; i < 200 && !diverged; ++i) {
+    diverged = a.apply(message, 6).kind != b.apply(message, 6).kind;
+  }
+  EXPECT_TRUE(diverged);
+}
+
+TEST(FaultInjector, ScriptedFaultsOverrideTheDraw) {
+  io::FaultConfig config;  // all rates zero: only the script acts
+  io::FaultInjector injector(
+      config, {{1, io::FaultKind::kDrop}, {3, io::FaultKind::kCorruptHeader}});
+  const auto message = sample_message();
+  for (std::uint64_t i = 0; i < 5; ++i) {
+    const io::FaultDecision decision = injector.apply(message, 6);
+    if (i == 1) {
+      EXPECT_EQ(decision.kind, io::FaultKind::kDrop);
+      EXPECT_TRUE(decision.bytes.empty());
+    } else if (i == 3) {
+      EXPECT_EQ(decision.kind, io::FaultKind::kCorruptHeader);
+      EXPECT_TRUE(decision.expect_poison);
+      ASSERT_EQ(decision.bytes.size(), message.size());
+      EXPECT_NE(decision.bytes[0], message[0]);
+    } else {
+      EXPECT_EQ(decision.kind, io::FaultKind::kNone) << "message " << i;
+      EXPECT_EQ(decision.bytes, message);
+    }
+  }
+  EXPECT_EQ(injector.seen(), 5u);
+}
+
+TEST(FaultInjector, ScriptDoesNotShiftSeededDraws) {
+  // The injector consumes a fixed-width slice of the RNG stream per
+  // message, so forcing a scripted fault at one index must leave every
+  // other message's seeded decision untouched.
+  const auto message = sample_message();
+  io::FaultInjector plain(busy_config(7));
+  io::FaultInjector scripted(busy_config(7), {{10, io::FaultKind::kDrop}});
+  for (std::uint64_t i = 0; i < 100; ++i) {
+    const io::FaultDecision a = plain.apply(message, 6);
+    const io::FaultDecision b = scripted.apply(message, 6);
+    if (i == 10) continue;
+    ASSERT_EQ(a.kind, b.kind) << "message " << i;
+    ASSERT_EQ(a.bytes, b.bytes) << "message " << i;
+  }
+}
+
+TEST(FaultInjector, KindSemanticsHold) {
+  const auto message = sample_message();
+  io::FaultConfig config;
+  {
+    io::FaultInjector injector(config, {{0, io::FaultKind::kDuplicate}});
+    const io::FaultDecision decision = injector.apply(message, 6);
+    ASSERT_EQ(decision.bytes.size(), 2 * message.size());
+    EXPECT_TRUE(std::equal(message.begin(), message.end(),
+                           decision.bytes.begin()));
+    EXPECT_TRUE(std::equal(message.begin(), message.end(),
+                           decision.bytes.begin() +
+                               static_cast<std::ptrdiff_t>(message.size())));
+    EXPECT_FALSE(decision.close_after);
+  }
+  {
+    io::FaultInjector injector(config, {{0, io::FaultKind::kTruncate}});
+    const io::FaultDecision decision = injector.apply(message, 6);
+    EXPECT_GE(decision.bytes.size(), 1u);
+    EXPECT_LT(decision.bytes.size(), message.size());
+    EXPECT_TRUE(decision.close_after);  // sender died mid-write
+    EXPECT_TRUE(std::equal(decision.bytes.begin(), decision.bytes.end(),
+                           message.begin()));
+  }
+  {
+    io::FaultInjector injector(config, {{0, io::FaultKind::kDisconnect}});
+    const io::FaultDecision decision = injector.apply(message, 6);
+    EXPECT_EQ(decision.bytes, message);  // delivered intact, then severed
+    EXPECT_TRUE(decision.close_after);
+    EXPECT_FALSE(decision.expect_poison);
+  }
+  {
+    io::FaultInjector injector(config, {{0, io::FaultKind::kCorruptBody}});
+    const io::FaultDecision decision = injector.apply(message, 6);
+    ASSERT_EQ(decision.bytes.size(), message.size());
+    // Framing header intact — only the body is damaged, so the stream
+    // stays framed and the reader sees a malformed message, not poison.
+    EXPECT_TRUE(std::equal(decision.bytes.begin(), decision.bytes.begin() + 6,
+                           message.begin()));
+    EXPECT_NE(decision.bytes, message);
+    EXPECT_FALSE(decision.expect_poison);
+  }
+}
+
+TEST(FaultInjector, TooSmallMessagesDegradeToDelivery) {
+  const std::vector<std::uint8_t> tiny{0x03};
+  io::FaultConfig config;
+  io::FaultInjector injector(config, {{0, io::FaultKind::kTruncate},
+                                      {1, io::FaultKind::kCorruptBody}});
+  // A 1-byte message has no strict prefix and no body past the header:
+  // both faults degrade to plain delivery instead of emitting nonsense.
+  const io::FaultDecision first = injector.apply(tiny, 1);
+  EXPECT_EQ(first.kind, io::FaultKind::kNone);
+  EXPECT_EQ(first.bytes, tiny);
+  const io::FaultDecision second = injector.apply(tiny, 1);
+  EXPECT_EQ(second.kind, io::FaultKind::kNone);
+  EXPECT_EQ(second.bytes, tiny);
+}
+
+TEST(FaultInjector, HeaderCorruptionPoisonsACollectorStream) {
+  io::FaultConfig config;
+  io::FaultInjector injector(config, {{0, io::FaultKind::kCorruptHeader}});
+  const io::FaultDecision decision = injector.apply(sample_message(), 6);
+  ASSERT_TRUE(decision.expect_poison);
+
+  bmp::BmpCollector collector;
+  const auto result = collector.receive(1, decision.bytes);
+  EXPECT_TRUE(result.fatal);
+  EXPECT_TRUE(collector.poisoned(1));
+  // The advertised recovery path (drop + reconnect) clears it.
+  collector.drop_router(1);
+  EXPECT_FALSE(collector.poisoned(1));
+  EXPECT_GT(collector.receive(1, sample_message()).applied, 0u);
+}
+
+}  // namespace
+}  // namespace ef

@@ -1,12 +1,16 @@
 #include "service/efd.h"
 
 #include <gtest/gtest.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
 
 #include <chrono>
 #include <string>
 
 #include "bmp/wire.h"
+#include "io/event_loop.h"
 #include "io/socket.h"
+#include "service/http.h"
 #include "topology/world.h"
 
 namespace ef::service {
@@ -92,6 +96,8 @@ TEST(EfdService, ServesStatusAndMetrics) {
   const std::string metrics = http_get(service.http_port(), "/metrics");
   EXPECT_NE(metrics.find("efd_bmp_connections_total 0"), std::string::npos);
   EXPECT_NE(metrics.find("efd_cycles_run_total 0"), std::string::npos);
+  EXPECT_NE(metrics.find("efd_http_aborted_conns_total 0"),
+            std::string::npos);
 
   const std::string missing = http_get(service.http_port(), "/nope");
   EXPECT_NE(missing.find("404"), std::string::npos);
@@ -138,6 +144,62 @@ TEST(EfdService, CountsBmpTrafficFromSocket) {
   EXPECT_TRUE(service.wait_for_disconnects(1, 5000ms));
 }
 
+TEST(HttpServer, ClientGoneMidResponseAbortsAndReleasesTheFd) {
+  io::EventLoop loop;
+  // A body far past the socket buffers, so the server is still writing
+  // when the client vanishes and the EPIPE/ECONNRESET path must fire.
+  HttpServer server(loop, 0, [](const std::string&) {
+    HttpResponse response;
+    response.body.assign(3u << 20, 'x');
+    return response;
+  });
+  const std::size_t fds_idle = io::open_fd_count();
+
+  // Connect with a minimal receive window (set before connect so the
+  // window never scales up) and never read: the kernel buffers on both
+  // sides stay far smaller than the body, so the server's write queue is
+  // guaranteed non-empty when the reset arrives.
+  io::Fd client(::socket(AF_INET, SOCK_STREAM, 0));
+  ASSERT_TRUE(client.valid());
+  const int tiny = 1;
+  ASSERT_EQ(setsockopt(client.get(), SOL_SOCKET, SO_RCVBUF, &tiny,
+                       sizeof(tiny)),
+            0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(server.port());
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  ASSERT_EQ(::connect(client.get(), reinterpret_cast<sockaddr*>(&addr),
+                      sizeof(addr)),
+            0);
+  const std::string request = "GET /big HTTP/1.1\r\n\r\n";
+  ASSERT_TRUE(io::send_all(
+      client.get(), std::span<const std::uint8_t>(
+                        reinterpret_cast<const std::uint8_t*>(request.data()),
+                        request.size())));
+  for (int i = 0; i < 500 && server.requests_served() == 0; ++i) {
+    loop.poll_once(10ms);
+  }
+  ASSERT_EQ(server.requests_served(), 1u);
+
+  // Reset the connection (linger 0 => RST) without reading the body.
+  struct linger reset {};
+  reset.l_onoff = 1;
+  reset.l_linger = 0;
+  ASSERT_EQ(setsockopt(client.get(), SOL_SOCKET, SO_LINGER, &reset,
+                       sizeof(reset)),
+            0);
+  client.reset();
+
+  for (int i = 0; i < 500 && server.aborted_conns() == 0; ++i) {
+    loop.poll_once(10ms);
+  }
+  EXPECT_EQ(server.aborted_conns(), 1u);
+  // The aborted connection's fd came back while the server still runs —
+  // not merely at shutdown.
+  EXPECT_EQ(io::open_fd_count(), fds_idle);
+}
+
 TEST(EfdService, DropsPoisonedBmpSession) {
   const topology::World world = test_world();
   topology::Pop pop(world, 0);
@@ -150,6 +212,39 @@ TEST(EfdService, DropsPoisonedBmpSession) {
   ASSERT_TRUE(io::send_all(conn.get(), garbage));
   // The daemon severs the session itself — no feeder-side close here.
   EXPECT_TRUE(service.wait_for_disconnects(1, 5000ms));
+}
+
+TEST(EfdService, PoisonedSessionReconnectsCleanly) {
+  const topology::World world = test_world();
+  topology::Pop pop(world, 0);
+  EfdService service(pop, shadow_config());
+  service.start();
+
+  // Establish a named session, then poison its stream.
+  io::Fd first = io::connect_tcp(service.bmp_port());
+  ASSERT_TRUE(first.valid());
+  bmp::InitiationMsg init;
+  init.sys_name = "r-poison";
+  const std::vector<std::uint8_t> hello = bmp::encode(init);
+  ASSERT_TRUE(io::send_all(first.get(), hello));
+  ASSERT_TRUE(service.wait_for_bmp_bytes(hello.size(), 5000ms));
+  const std::vector<std::uint8_t> garbage(32, 0xFF);
+  ASSERT_TRUE(io::send_all(first.get(), garbage));
+  ASSERT_TRUE(service.wait_for_disconnects(1, 5000ms));
+
+  // The same router reconnects: the poisoned state must not survive the
+  // drop, so the fresh stream's messages apply normally.
+  io::Fd second = io::connect_tcp(service.bmp_port());
+  ASSERT_TRUE(second.valid());
+  ASSERT_TRUE(io::send_all(second.get(), hello));
+  EXPECT_TRUE(service.wait_until(
+      [](const EfdService::IngestSnapshot& snap) {
+        return snap.bmp_messages >= 2 && snap.bmp_connections == 2;
+      },
+      5000ms));
+  const EfdService::IngestSnapshot snap = service.ingest();
+  EXPECT_EQ(snap.bmp_disconnects, 1u);  // the new session stayed up
+  service.stop();
 }
 
 TEST(EfdService, RealTimeCyclesRunWithoutAFeed) {

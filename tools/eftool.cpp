@@ -13,6 +13,7 @@
 //   eftool whatif     FILE --drain I | --scale-demand F | ... [--cycle N]
 //   eftool serve      [--pop K] [--bmp P] [--sflow P] [--http P] [...]
 //   eftool feed       FILE --bmp P [--sflow P] [--http P] [--limit N]
+//   eftool chaos      [--steps N] [--fault-seed S] [--drop R] [...]
 //
 // Everything is generated/deterministic: the same flags print the same
 // bytes, which makes eftool output diff-able in change reviews. That
@@ -37,15 +38,19 @@
 #include <vector>
 
 #include "analysis/metrics.h"
+#include "audit/event.h"
 #include "audit/journal.h"
 #include "audit/replay.h"
 #include "audit/snapshot.h"
 #include "bgp/mrt.h"
 #include "bmp/wire.h"
 #include "core/controller.h"
+#include "io/backoff.h"
+#include "io/fault.h"
 #include "io/socket.h"
 #include "service/efd.h"
 #include "sim/fleet.h"
+#include "sim/live_feed.h"
 #include "sim/simulation.h"
 #include "telemetry/sflow_wire.h"
 #include "workload/demand.h"
@@ -114,6 +119,42 @@ Args parse_args(int argc, char** argv) {
     }
   }
   return args;
+}
+
+/// Strict numeric option: a finite, non-negative double, or exit 2.
+/// std::stod happily parses "nan" and "inf", and a negative threshold
+/// would silently arm a nonsense failsafe — all three die loudly here.
+double nonneg_real(const Args& args, const std::string& key,
+                   double fallback) {
+  const double value = args.real(key, fallback);
+  if (!std::isfinite(value) || value < 0.0) {
+    die_bad_value(key, args.get(key, ""));
+  }
+  return value;
+}
+
+/// Strict probability/fraction option: finite, within [0, 1], or exit 2.
+double unit_real(const Args& args, const std::string& key, double fallback) {
+  const double value = nonneg_real(args, key, fallback);
+  if (value > 1.0) die_bad_value(key, args.get(key, ""));
+  return value;
+}
+
+/// Shared failsafe/journal flags for `serve` and `chaos`. Thresholds are
+/// validated even when the ladder stays off: a typo'd --hold-ttl should
+/// fail the invocation, not arm a broken daemon later. Any threshold
+/// flag implies --failsafe.
+void apply_failsafe_flags(const Args& args, service::EfdConfig& config) {
+  config.failsafe.enabled =
+      config.failsafe.enabled || args.has("failsafe") ||
+      args.has("max-demand-age") || args.has("hold-ttl") ||
+      args.has("max-churn-frac");
+  config.failsafe.max_demand_age =
+      net::SimTime::seconds(nonneg_real(args, "max-demand-age", 90));
+  config.failsafe.hold_ttl =
+      net::SimTime::seconds(nonneg_real(args, "hold-ttl", 120));
+  config.controller.max_churn_frac = unit_real(args, "max-churn-frac", 0.0);
+  config.journal_path = args.get("journal", "");
 }
 
 /// Parses --threads into RunOptions (0 = auto, 1 = serial); rejects
@@ -495,10 +536,20 @@ class SnapshotStream {
       if (auto snapshot = audit::CycleSnapshot::deserialize(*record)) {
         return snapshot;
       }
+      // Journals written with a failsafe-armed daemon interleave ladder
+      // transitions with the cycle snapshots; they are data, not damage.
+      if (auto event = audit::FailsafeEvent::deserialize(*record)) {
+        events_.push_back(std::move(*event));
+        continue;
+      }
       ++undecodable_;
     }
     return std::nullopt;
   }
+
+  /// Ladder transitions seen so far (complete once next() returned
+  /// nullopt).
+  const std::vector<audit::FailsafeEvent>& events() const { return events_; }
 
   /// Prints journal damage to stderr; true if the file was a journal.
   bool report_damage() const {
@@ -523,6 +574,7 @@ class SnapshotStream {
  private:
   std::string path_;
   std::optional<audit::JournalReader> reader_;
+  std::vector<audit::FailsafeEvent> events_;
   std::size_t undecodable_ = 0;
 };
 
@@ -548,7 +600,18 @@ int cmd_replay(const Args& args) {
     ++cycles;
   }
   if (!stream.report_damage() && cycles == 0) return 2;
-  std::printf("replayed %zu cycle(s): %zu drifted\n", cycles, drifted);
+  if (verbose) {
+    for (const audit::FailsafeEvent& event : stream.events()) {
+      std::printf("  ladder t=%.1fh: %s -> %s (%s): %s\n",
+                  event.when.seconds_value() / 3600.0,
+                  audit::failsafe_mode_name(event.from_mode),
+                  audit::failsafe_mode_name(event.to_mode),
+                  audit::failsafe_action_name(event.action),
+                  event.reason.c_str());
+    }
+  }
+  std::printf("replayed %zu cycle(s): %zu drifted, %zu ladder event(s)\n",
+              cycles, drifted, stream.events().size());
   return drifted == 0 ? 0 : 1;
 }
 
@@ -734,12 +797,21 @@ int cmd_serve(const Args& args) {
   config.sflow_sample_rate =
       static_cast<std::uint32_t>(args.num("sample-rate", 10));
   config.real_time_cycles = args.has("real-time");
+  apply_failsafe_flags(args, config);
 
   service::EfdService service(pop, config);
   service.shutdown_on_signals();
   service.start();
   std::printf("eftool serve: pop %s, %s enforcement\n", pop.name().c_str(),
               args.has("inject") ? "bgp-injection" : "shadow");
+  if (config.failsafe.enabled) {
+    std::printf(
+        "eftool serve: failsafe armed (max-demand-age %gs, hold-ttl %gs, "
+        "max-churn-frac %g)\n",
+        config.failsafe.max_demand_age.seconds_value(),
+        config.failsafe.hold_ttl.seconds_value(),
+        config.controller.max_churn_frac);
+  }
   std::printf(
       "eftool serve: bmp 127.0.0.1:%u  sflow 127.0.0.1:%u  http "
       "127.0.0.1:%u\n",
@@ -1004,8 +1076,36 @@ int cmd_feed(const Args& args) {
     return 2;
   }
 
+  const long retries = args.num("retry", 0);
+  if (retries < 0) die_bad_value("retry", args.get("retry", ""));
+
   DaemonFeed feed;
-  feed.bmp = io::connect_tcp(bmp_port);
+  if (retries == 0) {
+    feed.bmp = io::connect_tcp(bmp_port);
+  } else {
+    // Daemon may still be starting: redial on an exponential schedule
+    // (100ms base, 2s cap) until it answers or the budget is spent.
+    io::EventLoop loop;
+    io::BackoffConfig schedule;
+    schedule.base = 100;  // milliseconds
+    schedule.cap = 2000;
+    schedule.max_retries = static_cast<std::uint32_t>(retries);
+    bool finished = false;
+    std::uint32_t dials = 0;
+    io::Reconnector redial(
+        loop, schedule,
+        [&] {
+          ++dials;
+          feed.bmp = io::connect_tcp(bmp_port);
+          return feed.bmp.valid();
+        },
+        [&](bool) { finished = true; });
+    redial.start();
+    while (!finished) loop.poll_once(std::chrono::milliseconds(100));
+    if (feed.bmp.valid() && dials > 1) {
+      std::fprintf(stderr, "eftool feed: connected on dial %u\n", dials);
+    }
+  }
   if (!feed.bmp.valid()) {
     std::fprintf(stderr, "eftool feed: cannot connect to BMP port %u\n",
                  bmp_port);
@@ -1035,6 +1135,216 @@ int cmd_feed(const Args& args) {
   return feed_mrt(*bytes, feed, http_port);
 }
 
+// --- chaos: deterministic fault-injection harness ---------------------
+
+/// Parses --blackout A:B into a predicate over 0-based step indices
+/// ([A,B) drops that step's demand records while markers keep flowing).
+std::function<bool(std::uint64_t)> blackout_pred(const Args& args) {
+  if (!args.has("blackout")) return nullptr;
+  const std::string spec = args.get("blackout", "");
+  const std::size_t colon = spec.find(':');
+  if (colon == std::string::npos) die_bad_value("blackout", spec);
+  try {
+    std::size_t consumed = 0;
+    const long from = std::stol(spec.substr(0, colon), &consumed);
+    if (consumed != colon) die_bad_value("blackout", spec);
+    const std::string rest = spec.substr(colon + 1);
+    const long to = std::stol(rest, &consumed);
+    if (consumed != rest.size()) die_bad_value("blackout", spec);
+    if (from < 0 || to < from) die_bad_value("blackout", spec);
+    return [from, to](std::uint64_t step) {
+      return step >= static_cast<std::uint64_t>(from) &&
+             step < static_cast<std::uint64_t>(to);
+    };
+  } catch (const std::exception&) {
+    die_bad_value("blackout", spec);
+  }
+}
+
+/// Everything one chaos run produced that the --verify replay must
+/// reproduce (digests) or the operator wants summarized (the rest).
+struct ChaosOutcome {
+  std::vector<service::EfdService::CycleDigest> digests;
+  service::EfdService::IngestSnapshot ingest;
+  io::FaultInjector::Stats faults;
+  std::uint64_t router_downs = 0;
+  std::uint64_t reconnect_attempts = 0;
+  std::uint64_t reconnects_ok = 0;
+  std::uint64_t demand_dropped = 0;
+  std::string metrics;
+};
+
+/// One full chaos scenario: a simulation feeds a failsafe-armed shadow
+/// daemon over loopback sockets through a seeded fault injector, in
+/// lockstep. Pure function of the flags — calling it twice must yield
+/// identical digests, which is exactly what --verify asserts.
+ChaosOutcome run_chaos_once(const Args& args) {
+  const topology::World world = make_world(args);
+  const std::size_t p = static_cast<std::size_t>(args.num("pop", 0));
+  if (p >= world.pops().size()) {
+    std::fprintf(stderr, "eftool chaos: --pop %zu out of range (%zu PoPs)\n",
+                 p, world.pops().size());
+    std::exit(2);
+  }
+  topology::Pop pop(world, p);
+
+  const long steps = args.num("steps", 12);
+  if (steps <= 0) die_bad_value("steps", args.get("steps", ""));
+
+  sim::SimulationConfig sim_config;
+  sim_config.step = net::SimTime::seconds(60);
+  sim_config.duration = net::SimTime::seconds(60.0 * static_cast<double>(steps));
+  sim_config.controller.cycle_period = sim_config.step;
+  // Aggressive thresholds so cycles actually steer traffic — a ladder
+  // guarding an always-empty override set would demonstrate nothing.
+  sim_config.controller.allocator.overload_threshold = 0.5;
+  sim_config.controller.allocator.target_utilization = 0.45;
+
+  service::EfdConfig daemon_config;
+  daemon_config.controller = sim_config.controller;
+  daemon_config.controller.enforcement = core::Enforcement::kShadow;
+  daemon_config.failsafe.enabled = true;
+  apply_failsafe_flags(args, daemon_config);
+
+  sim::Simulation sim(pop, sim_config);
+  service::EfdService daemon(pop, daemon_config);
+  daemon.start();
+
+  sim::LiveFeed::Config feed_config;
+  feed_config.bmp_port = daemon.bmp_port();
+  feed_config.sflow_port = daemon.sflow_port();
+  io::FaultConfig faults;
+  faults.seed = static_cast<std::uint64_t>(args.num("fault-seed", 1));
+  faults.drop = unit_real(args, "drop", 0.0);
+  faults.duplicate = unit_real(args, "dup", 0.0);
+  faults.corrupt_body = unit_real(args, "corrupt", 0.0);
+  faults.corrupt_header = unit_real(args, "poison", 0.0);
+  faults.truncate = unit_real(args, "truncate", 0.0);
+  faults.disconnect = unit_real(args, "disconnect", 0.0);
+  feed_config.faults = faults;
+  io::BackoffConfig redial;
+  redial.base = 1;  // simulation steps
+  redial.cap = 4;
+  redial.seed = faults.seed;
+  feed_config.reconnect = redial;
+  feed_config.drop_demand = blackout_pred(args);
+
+  constexpr std::chrono::milliseconds kBarrier(15000);
+  sim::LiveFeed::Sync sync;
+  sync.bmp_bytes = [&daemon](std::uint64_t n) {
+    return daemon.wait_for_bmp_bytes(n, kBarrier);
+  };
+  sync.datagrams = [&daemon](std::uint64_t n) {
+    return daemon.wait_for_datagrams(n, kBarrier);
+  };
+  sync.windows = [&daemon](std::uint64_t n) {
+    return daemon.wait_for_windows(n, kBarrier);
+  };
+  sync.disconnects = [&daemon](std::uint64_t n) {
+    return daemon.wait_for_disconnects(n, kBarrier);
+  };
+
+  sim::LiveFeed feed(sim, feed_config, sync);
+  feed.connect();
+  while (feed.step()) {
+  }
+
+  ChaosOutcome out;
+  out.metrics = http_get_body(daemon.http_port(), "/metrics");
+  out.digests = daemon.digests();
+  out.ingest = daemon.ingest();
+  out.faults = feed.injector()->stats();
+  out.router_downs = feed.router_downs();
+  out.reconnect_attempts = feed.reconnect_attempts();
+  out.reconnects_ok = feed.reconnects_ok();
+  out.demand_dropped = feed.demand_records_dropped();
+  daemon.stop();
+  return out;
+}
+
+int cmd_chaos(const Args& args) {
+  const ChaosOutcome run = run_chaos_once(args);
+
+  if (args.has("metrics-out")) {
+    const std::string path = args.get("metrics-out", "");
+    std::ofstream out(path, std::ios::binary);
+    if (!out) {
+      std::fprintf(stderr, "cannot open %s\n", path.c_str());
+      return 2;
+    }
+    out << run.metrics;
+  }
+
+  if (args.has("verbose")) {
+    for (std::size_t i = 0; i < run.digests.size(); ++i) {
+      const service::EfdService::CycleDigest& digest = run.digests[i];
+      std::printf("  cycle %2zu t=%5.0fs %-14s %-8s %zu override(s)\n", i,
+                  digest.when.seconds_value(),
+                  audit::failsafe_mode_name(digest.mode),
+                  audit::failsafe_action_name(digest.action),
+                  digest.overrides.size());
+    }
+  }
+
+  std::printf(
+      "chaos: %zu cycle(s); ladder holds %llu, fail-statics %llu, "
+      "recoveries %llu, transitions %llu\n",
+      run.digests.size(),
+      static_cast<unsigned long long>(run.ingest.failsafe_holds),
+      static_cast<unsigned long long>(run.ingest.failsafe_fail_statics),
+      static_cast<unsigned long long>(run.ingest.failsafe_recoveries),
+      static_cast<unsigned long long>(run.ingest.failsafe_transitions));
+  std::printf(
+      "  faults: %llu delivered, %llu dropped, %llu duplicated, "
+      "%llu corrupted, %llu truncated, %llu disconnects\n",
+      static_cast<unsigned long long>(run.faults.delivered),
+      static_cast<unsigned long long>(run.faults.dropped),
+      static_cast<unsigned long long>(run.faults.duplicated),
+      static_cast<unsigned long long>(run.faults.corrupted),
+      static_cast<unsigned long long>(run.faults.truncated),
+      static_cast<unsigned long long>(run.faults.disconnects));
+  std::printf(
+      "  feed: %llu router down(s), %llu redial(s) (%llu ok), "
+      "%llu demand record(s) blacked out\n",
+      static_cast<unsigned long long>(run.router_downs),
+      static_cast<unsigned long long>(run.reconnect_attempts),
+      static_cast<unsigned long long>(run.reconnects_ok),
+      static_cast<unsigned long long>(run.demand_dropped));
+
+  if (!args.has("verify")) return 0;
+
+  const ChaosOutcome replay = run_chaos_once(args);
+  if (replay.digests.size() != run.digests.size()) {
+    std::fprintf(stderr,
+                 "verify: FAILED — %zu cycle(s) vs %zu on replay\n",
+                 run.digests.size(), replay.digests.size());
+    return 1;
+  }
+  std::size_t mismatches = 0;
+  for (std::size_t i = 0; i < run.digests.size(); ++i) {
+    const service::EfdService::CycleDigest& a = run.digests[i];
+    const service::EfdService::CycleDigest& b = replay.digests[i];
+    if (a.when == b.when && a.mode == b.mode && a.action == b.action &&
+        a.overrides == b.overrides) {
+      continue;
+    }
+    ++mismatches;
+    std::fprintf(stderr,
+                 "verify: cycle %zu diverged (%s/%zu vs %s/%zu)\n", i,
+                 audit::failsafe_mode_name(a.mode), a.overrides.size(),
+                 audit::failsafe_mode_name(b.mode), b.overrides.size());
+  }
+  if (mismatches > 0) {
+    std::fprintf(stderr, "verify: FAILED — %zu cycle(s) diverged\n",
+                 mismatches);
+    return 1;
+  }
+  std::printf("verify: replay identical (%zu cycle(s), seed %llu)\n",
+              run.digests.size(),
+              static_cast<unsigned long long>(args.num("fault-seed", 1)));
+  return 0;
+}
+
 int usage() {
   std::fprintf(
       stderr,
@@ -1058,10 +1368,24 @@ int usage() {
       "             --max-overrides N | --split\n"
       "  serve      [--pop K] [--bmp P] [--sflow P] [--http P] [--inject]\n"
       "             [--real-time] [--cycle-secs S] [--sample-rate N]\n"
-      "             (foreground efd daemon; port 0 = ephemeral, printed)\n"
+      "             [--failsafe] [--max-demand-age SECS] [--hold-ttl SECS]\n"
+      "             [--max-churn-frac F] [--journal FILE]\n"
+      "             (foreground efd daemon; port 0 = ephemeral, printed;\n"
+      "              any failsafe threshold flag arms the ladder)\n"
       "  feed       FILE --bmp P [--sflow P] [--http P] [--limit N]\n"
+      "             [--retry N]\n"
       "             (stream a .efj cycle journal or MRT dump into a\n"
-      "              running daemon; --http enables flow control)\n");
+      "              running daemon; --http enables flow control,\n"
+      "              --retry redials a daemon that is still starting)\n"
+      "  chaos      [--steps N] [--fault-seed S] [--drop R] [--dup R]\n"
+      "             [--corrupt R] [--poison R] [--truncate R]\n"
+      "             [--disconnect R] [--blackout A:B] [--verify]\n"
+      "             [--max-demand-age SECS] [--hold-ttl SECS]\n"
+      "             [--max-churn-frac F] [--journal FILE]\n"
+      "             [--metrics-out FILE] [--verbose]\n"
+      "             (seeded fault injection against a failsafe-armed\n"
+      "              shadow daemon; --verify replays the scenario and\n"
+      "              demands bitwise-identical decisions)\n");
   return 2;
 }
 
@@ -1081,6 +1405,7 @@ int main(int argc, char** argv) {
   if (args.command == "whatif") return cmd_whatif(args);
   if (args.command == "serve") return cmd_serve(args);
   if (args.command == "feed") return cmd_feed(args);
+  if (args.command == "chaos") return cmd_chaos(args);
   if (!args.command.empty()) {
     std::fprintf(stderr, "eftool: unknown command '%s'\n",
                  args.command.c_str());
