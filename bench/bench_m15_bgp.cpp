@@ -1,0 +1,179 @@
+// M15 (perf): BGP enforcement-plane throughput and loopback latency.
+//
+// Three measurements cover the announcer's data path:
+//   BM_UpdateEncode        — RFC 4271 UPDATE serialization throughput for
+//                            the override-shaped messages the announcer
+//                            emits (MB/s and msgs/s via bytes/items).
+//   BM_UpdateDecode        — the matching deserialization throughput on
+//                            the peering-router side.
+//   BM_AnnounceApplyLoopback — wall latency from Announcer::announce of a
+//                            changed override set to the route being
+//                            visible in a PeeringRouterService Adj-RIB-In
+//                            over real loopback TCP.
+// scripts/bench.sh records the JSON in BENCH_bgp.json.
+#include <benchmark/benchmark.h>
+
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <thread>
+#include <vector>
+
+#include "bgp/wire.h"
+#include "core/allocator.h"
+#include "core/controller.h"
+#include "io/event_loop.h"
+#include "service/announcer.h"
+#include "service/prd.h"
+
+namespace {
+
+using namespace ef;
+using namespace std::chrono_literals;
+
+/// UPDATE messages shaped exactly like the announcer's originations: one
+/// NLRI each, next hop, short AS path, override LOCAL_PREF, and the
+/// override + peer-type communities.
+std::vector<bgp::Message> override_updates(int count) {
+  std::vector<bgp::Message> messages;
+  messages.reserve(static_cast<std::size_t>(count));
+  for (int i = 0; i < count; ++i) {
+    bgp::UpdateMessage update;
+    update.nlri = {net::Prefix(
+        net::IpAddr::v4(0x64000000u + (static_cast<std::uint32_t>(i) << 8)),
+        24)};
+    update.attrs.next_hop = net::IpAddr::v4(0xC0000201);
+    update.attrs.as_path = bgp::AsPath{bgp::AsNumber(64512)};
+    update.attrs.local_pref = bgp::LocalPref(1000);
+    update.attrs.has_local_pref = true;
+    update.attrs.communities = {core::kOverrideCommunity,
+                                bgp::peer_type_community(
+                                    bgp::PeerType::kTransit)};
+    messages.emplace_back(update);
+  }
+  return messages;
+}
+
+void BM_UpdateEncode(benchmark::State& state) {
+  const std::vector<bgp::Message> messages =
+      override_updates(static_cast<int>(state.range(0)));
+  std::int64_t bytes = 0;
+  for (auto _ : state) {
+    bytes = 0;
+    for (const bgp::Message& msg : messages) {
+      const std::vector<std::uint8_t> encoded = bgp::wire::encode(msg);
+      bytes += static_cast<std::int64_t>(encoded.size());
+      benchmark::DoNotOptimize(encoded.data());
+    }
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          bytes);
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(messages.size()));
+}
+BENCHMARK(BM_UpdateEncode)->Arg(1000)->Arg(10000);
+
+void BM_UpdateDecode(benchmark::State& state) {
+  const std::vector<bgp::Message> messages =
+      override_updates(static_cast<int>(state.range(0)));
+  std::vector<std::vector<std::uint8_t>> wires;
+  wires.reserve(messages.size());
+  std::int64_t bytes = 0;
+  for (const bgp::Message& msg : messages) {
+    wires.push_back(bgp::wire::encode(msg));
+    bytes += static_cast<std::int64_t>(wires.back().size());
+  }
+  for (auto _ : state) {
+    for (const std::vector<std::uint8_t>& wire : wires) {
+      const auto decoded = bgp::wire::decode(wire);
+      if (!decoded.has_value()) {
+        state.SkipWithError("decode failed");
+        return;
+      }
+      benchmark::DoNotOptimize(&*decoded);
+    }
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          bytes);
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(wires.size()));
+}
+BENCHMARK(BM_UpdateDecode)->Arg(1000)->Arg(10000);
+
+/// One announce-to-applied round trip over real loopback TCP: flip the
+/// override set between two single-prefix states and spin until the
+/// peering router's published Adj-RIB-In reflects the change. The
+/// router publishes its counters from the speaker's monitor callback,
+/// so the poll sees the route the moment it is applied.
+void BM_AnnounceApplyLoopback(benchmark::State& state) {
+  service::PeeringRouterService::Config router_config;
+  router_config.local_as = bgp::AsNumber(65000);
+  router_config.hold_time_secs = 90;
+  router_config.tick_period = 20ms;
+  service::PeeringRouterService router(router_config);
+  router.start();
+
+  io::EventLoop loop;
+  service::Announcer::Config config;
+  config.ports = {router.bgp_port()};
+  config.local_as = bgp::AsNumber(65000);
+  config.peer_as = bgp::AsNumber(65000);
+  config.hold_time_secs = 90;
+  config.tick_period = 20ms;
+  service::Announcer announcer(loop, config);
+  std::thread runner([&loop] { loop.run(); });
+  loop.run_sync([&announcer] { announcer.connect(); });
+
+  const auto deadline = std::chrono::steady_clock::now() + 10s;
+  while (announcer.stats().sessions_established != 1) {
+    if (std::chrono::steady_clock::now() >= deadline) {
+      state.SkipWithError("session did not establish");
+      loop.stop();
+      runner.join();
+      router.stop();
+      return;
+    }
+    std::this_thread::sleep_for(1ms);
+  }
+
+  const auto make_set = [](std::uint32_t addr) {
+    core::Override entry;
+    entry.prefix = net::Prefix(net::IpAddr::v4(addr), 24);
+    entry.rate = net::Bandwidth::gbps(1.0);
+    entry.next_hop = net::IpAddr::v4(0xC0000201);
+    entry.as_path = bgp::AsPath{bgp::AsNumber(64512)};
+    entry.target_type = bgp::PeerType::kTransit;
+    std::map<net::Prefix, core::Override> overrides;
+    overrides.emplace(entry.prefix, entry);
+    return overrides;
+  };
+  const auto set_a = make_set(0x64010000);
+  const auto set_b = make_set(0x64020000);
+
+  net::SimTime now;
+  std::uint64_t applied = router.snapshot().updates_received;
+  bool flip = false;
+  for (auto _ : state) {
+    now = now + net::SimTime::seconds(1);
+    const auto& next = flip ? set_b : set_a;
+    flip = !flip;
+    loop.run_sync([&] { announcer.announce(next, now); });
+    // One withdraw + one announce UPDATE per flip; wait until both have
+    // been received and applied by the router.
+    const std::uint64_t target = announcer.updates_sent_to(0);
+    while (router.snapshot().updates_received < target) {
+    }
+    applied = router.snapshot().updates_received;
+  }
+  benchmark::DoNotOptimize(applied);
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+
+  loop.stop();
+  runner.join();
+  router.stop();
+}
+BENCHMARK(BM_AnnounceApplyLoopback)->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

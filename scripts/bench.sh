@@ -9,13 +9,16 @@
 #                       speedup can never come from a behaviour change.
 #   BENCH_ingest.json — bench_m14 (BMP/sFlow decode throughput and the
 #                       loopback socket-to-decision cycle latency).
-# EXPERIMENTS.md (M13/M14) documents the methodology.
+#   BENCH_bgp.json    — bench_m15 (RFC 4271 UPDATE encode/decode
+#                       throughput and the announce-to-applied latency
+#                       over a real loopback BGP session).
+# EXPERIMENTS.md (M13/M14/M15) documents the methodology.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 cmake -B build-bench -G Ninja -DCMAKE_BUILD_TYPE=Release
 cmake --build build-bench --target bench_m11_allocator_scale \
-  bench_m13_alloc_fastpath bench_m14_ingest
+  bench_m13_alloc_fastpath bench_m14_ingest bench_m15_bgp
 
 ./build-bench/bench/bench_m11_allocator_scale \
   --benchmark_format=json >/tmp/bench_m11.json
@@ -23,6 +26,8 @@ cmake --build build-bench --target bench_m11_allocator_scale \
   --benchmark_format=json >/tmp/bench_m13.json
 ./build-bench/bench/bench_m14_ingest \
   --benchmark_format=json >/tmp/bench_m14.json
+./build-bench/bench/bench_m15_bgp \
+  --benchmark_format=json >/tmp/bench_m15.json
 
 python3 - <<'EOF'
 import json
@@ -78,4 +83,29 @@ with open("BENCH_ingest.json", "w") as f:
     json.dump(ingest, f, indent=2)
     f.write("\n")
 print("BENCH_ingest.json written:", summary)
+
+# BGP record: codec throughput in MB/s + msgs/s, announce latency in us.
+with open("/tmp/bench_m15.json") as f:
+    report = json.load(f)
+bgp = {"context": report.get("context", {}),
+       "benchmarks": report.get("benchmarks", [])}
+summary = {}
+for b in bgp["benchmarks"]:
+    if b.get("run_type", "iteration") != "iteration":
+        continue
+    entry = {}
+    if "bytes_per_second" in b:
+        entry["MB_per_s"] = round(b["bytes_per_second"] / 1e6, 1)
+    if "items_per_second" in b:
+        entry["items_per_s"] = round(b["items_per_second"], 0)
+    if b["name"].startswith("BM_AnnounceApplyLoopback"):
+        entry["announce_apply_latency_us"] = round(
+            b["real_time"] * {"ns": 1e-3, "us": 1.0, "ms": 1e3}.get(
+                b.get("time_unit", "ns"), 1e-3), 1)
+    summary[b["name"]] = entry
+bgp["summary"] = summary
+with open("BENCH_bgp.json", "w") as f:
+    json.dump(bgp, f, indent=2)
+    f.write("\n")
+print("BENCH_bgp.json written:", summary)
 EOF

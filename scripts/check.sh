@@ -14,6 +14,10 @@ ctest --test-dir build --output-on-failure
 # is the M14 acceptance gate: run it explicitly so a filtered or flaky
 # ctest invocation can never silently skip it.
 ctest --test-dir build --output-on-failure -R 'LiveIngest'
+# The BGP interop suite (efd announcing over TCP vs in-process
+# enforcement, hold-timer flush, ladder journaling) is the M15
+# acceptance gate: same explicit-run rule.
+ctest --test-dir build --output-on-failure -R 'BgpInterop'
 for b in build/bench/*; do "$b"; done
 # Perf numbers (BENCH_alloc.json, BENCH_ingest.json) are recorded
 # separately by scripts/bench.sh — run it after allocator or ingest
@@ -48,9 +52,11 @@ if echo 'int main(){}' | c++ -fsanitize=thread -x c++ - -o /dev/null \
   cmake -B build-tsan -G Ninja -DEF_SANITIZE=thread
   cmake --build build-tsan
   ctest --test-dir build-tsan --output-on-failure
-  # Same explicit gate under TSan: the daemon's event loop, barrier
-  # counters, and digest handoff must be race-free, not just correct.
+  # Same explicit gates under TSan: the daemon's event loop, barrier
+  # counters, and digest handoff must be race-free, not just correct —
+  # and so must the announcer/peering-router session machinery.
   ctest --test-dir build-tsan --output-on-failure -R 'LiveIngest'
+  ctest --test-dir build-tsan --output-on-failure -R 'BgpInterop'
 else
   echo "check.sh: toolchain lacks -fsanitize=thread; skipping TSan pass" >&2
 fi

@@ -50,6 +50,10 @@ enum class NotifyCode : std::uint8_t {
   kCease = 6,
 };
 
+/// OPEN Message Error subcodes (RFC 4271 §6.2, subset).
+inline constexpr std::uint8_t kOpenSubcodeBadPeerAs = 2;
+inline constexpr std::uint8_t kOpenSubcodeUnacceptableHoldTime = 6;
+
 struct NotificationMessage {
   NotifyCode code = NotifyCode::kCease;
   std::uint8_t subcode = 0;

@@ -67,7 +67,17 @@ void BgpSession::handle(const Message& msg, net::SimTime now) {
     if (config_.peer_as.value() != 0 && open->as != config_.peer_as) {
       EF_LOG_WARN("OPEN from unexpected " << open->as << ", expected "
                                           << config_.peer_as);
-      go_down(now, true, NotifyCode::kOpenMessageError);
+      go_down(now, true, NotifyCode::kOpenMessageError,
+              kOpenSubcodeBadPeerAs);
+      return;
+    }
+    // RFC 4271 §4.2: a hold time of 0 disables timers; 1 and 2 seconds
+    // are unacceptable offers and must be rejected.
+    if (open->hold_time_secs == 1 || open->hold_time_secs == 2) {
+      EF_LOG_WARN("unacceptable hold time " << open->hold_time_secs
+                                            << "s offered by " << open->as);
+      go_down(now, true, NotifyCode::kOpenMessageError,
+              kOpenSubcodeUnacceptableHoldTime);
       return;
     }
     learned_peer_as_ = open->as;
@@ -143,10 +153,11 @@ void BgpSession::close(NotifyCode code, net::SimTime now) {
 }
 
 void BgpSession::go_down(net::SimTime now, bool notify_peer,
-                         NotifyCode code) {
+                         NotifyCode code, std::uint8_t subcode) {
   if (notify_peer && state_ != SessionState::kIdle) {
     NotificationMessage notify;
     notify.code = code;
+    notify.subcode = subcode;
     send(Message(notify), now);
   }
   const bool was_up = state_ != SessionState::kIdle;

@@ -35,6 +35,8 @@ struct SessionConfig {
   RouterId local_id;
   AsNumber peer_as;            // expected; 0 = accept any
   PeerType peer_type = PeerType::kPrivatePeer;
+  /// Hold-time offer. RFC 4271 §4.2: 0 disables keepalives and the hold
+  /// timer entirely; 1 and 2 are unacceptable and rejected in negotiation.
   std::uint16_t hold_time_secs = 90;
   net::IpAddr local_addr;      // advertised as NEXT_HOP on our announcements
 };
@@ -90,7 +92,8 @@ class BgpSession {
  private:
   void send(const Message& msg, net::SimTime now);
   void handle(const Message& msg, net::SimTime now);
-  void go_down(net::SimTime now, bool notify_peer, NotifyCode code);
+  void go_down(net::SimTime now, bool notify_peer, NotifyCode code,
+               std::uint8_t subcode = 0);
 
   SessionConfig config_;
   SendFn send_;

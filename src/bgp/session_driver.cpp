@@ -1,0 +1,219 @@
+#include "bgp/session_driver.h"
+
+#include "net/log.h"
+
+namespace ef::bgp {
+
+io::Peek peek_bgp_frame(std::span<const std::uint8_t> prefix) {
+  io::Peek peek;
+  if (prefix.size() < wire::kHeaderSize) {
+    peek.status = io::PeekStatus::kNeedMore;
+    peek.len = wire::kHeaderSize;
+    return peek;
+  }
+  for (std::size_t i = 0; i < 16; ++i) {
+    if (prefix[i] != 0xff) {
+      peek.status = io::PeekStatus::kError;
+      peek.reason = "bad BGP marker";
+      return peek;
+    }
+  }
+  const std::size_t len = (static_cast<std::size_t>(prefix[16]) << 8) |
+                          static_cast<std::size_t>(prefix[17]);
+  if (len < wire::kHeaderSize) {
+    peek.status = io::PeekStatus::kError;
+    peek.reason = "BGP length below header size";
+    return peek;
+  }
+  if (len > wire::kMaxMessageSize) {
+    peek.status = io::PeekStatus::kError;
+    peek.reason = "BGP length above maximum message size";
+    return peek;
+  }
+  peek.status = io::PeekStatus::kFrame;
+  peek.len = len;
+  return peek;
+}
+
+net::SimTime wall_now() {
+  static const std::chrono::steady_clock::time_point epoch =
+      std::chrono::steady_clock::now();
+  const auto elapsed = std::chrono::steady_clock::now() - epoch;
+  return net::SimTime::millis(
+      std::chrono::duration_cast<std::chrono::milliseconds>(elapsed)
+          .count());
+}
+
+SessionDriver::SessionDriver(io::EventLoop& loop, io::Fd fd, Config config)
+    : loop_(loop),
+      config_(config),
+      conn_(std::in_place, std::move(fd)),
+      frames_(peek_bgp_frame, wire::kMaxMessageSize) {
+  EF_CHECK(conn_->fd() >= 0, "session driver requires a connected fd");
+  io::set_nonblocking(conn_->fd());
+  interest_ = io::kRead;
+  loop_.watch(conn_->fd(), interest_,
+              [this](std::uint32_t ready) { on_ready(ready); });
+}
+
+SessionDriver::~SessionDriver() {
+  if (tick_timer_) loop_.cancel_timer(*tick_timer_);
+  if (conn_ && loop_.watched(conn_->fd())) loop_.unwatch(conn_->fd());
+}
+
+void SessionDriver::bind(BgpSession& session) {
+  session_ = &session;
+  if (!tick_timer_) {
+    tick_timer_ =
+        loop_.call_every(config_.tick_period, [this] { on_tick(); });
+  }
+}
+
+void SessionDriver::transmit(std::vector<std::uint8_t> bytes) {
+  if (!up_ || !conn_) return;
+  conn_->send(bytes);
+  if (conn_->broken()) {
+    teardown("write backlog overflow", true);
+    return;
+  }
+  update_interest();
+}
+
+void SessionDriver::close() {
+  if (session_ && session_->state() != SessionState::kIdle) {
+    // The NOTIFICATION rides out on the still-open connection before the
+    // fd goes away below.
+    session_->close(NotifyCode::kCease, wall_now());
+    if (conn_) conn_->flush();
+  }
+  teardown("administrative close", false);
+}
+
+void SessionDriver::kill() {
+  if (!up_) return;
+  up_ = false;
+  if (tick_timer_) {
+    loop_.cancel_timer(*tick_timer_);
+    tick_timer_.reset();
+  }
+  if (conn_ && loop_.watched(conn_->fd())) loop_.unwatch(conn_->fd());
+  // Deliberately NOT closing conn_: the socket stays open and silent so
+  // the peer's hold timer — not a FIN — is what tears the session down.
+}
+
+void SessionDriver::on_ready(std::uint32_t ready) {
+  if (!up_ || !conn_) return;
+
+  if (ready & (io::kRead | io::kError | io::kHangup)) {
+    const bool open = conn_->read_some();
+    const std::span<const std::uint8_t> chunk = conn_->readable();
+    if (!chunk.empty()) {
+      stats_.bytes_in += chunk.size();
+      frames_.feed(chunk, [this](std::span<const std::uint8_t> frame) {
+        ++stats_.frames_in;
+        if (session_) {
+          session_->receive(
+              std::vector<std::uint8_t>(frame.begin(), frame.end()),
+              wall_now());
+        }
+      });
+      conn_->consume(chunk.size());
+    }
+    if (!up_ || !conn_) return;  // receive() may have torn us down
+    if (frames_.poisoned()) {
+      teardown("unframeable stream: " + frames_.poison_reason(), true);
+      return;
+    }
+    if (session_ && session_->state() == SessionState::kIdle) {
+      teardown("session closed by peer", true);
+      return;
+    }
+    if (!open) {
+      teardown("peer closed connection", true);
+      return;
+    }
+  }
+
+  if (ready & io::kWrite) {
+    conn_->flush();
+    if (conn_->broken()) {
+      teardown("socket write error", true);
+      return;
+    }
+    update_interest();
+  }
+}
+
+void SessionDriver::on_tick() {
+  if (!up_ || !session_) return;
+  session_->tick(wall_now());
+  if (!up_ || !conn_) return;  // a hold-expiry NOTIFICATION may tear down
+  conn_->flush();
+  update_interest();
+  if (session_->state() == SessionState::kIdle) {
+    // tick() only drops a session via its hold timer.
+    teardown("hold timer expired", true);
+  }
+}
+
+void SessionDriver::update_interest() {
+  if (!up_ || !conn_) return;
+  const std::uint32_t want =
+      conn_->wants_write() ? (io::kRead | io::kWrite) : io::kRead;
+  if (want != interest_) {
+    interest_ = want;
+    loop_.rearm(conn_->fd(), interest_);
+  }
+}
+
+void SessionDriver::teardown(const std::string& reason, bool report) {
+  if (!up_) return;
+  up_ = false;
+  if (tick_timer_) {
+    loop_.cancel_timer(*tick_timer_);
+    tick_timer_.reset();
+  }
+  if (conn_) {
+    if (loop_.watched(conn_->fd())) loop_.unwatch(conn_->fd());
+    conn_.reset();  // closes the fd
+  }
+  if (session_ && session_->state() != SessionState::kIdle) {
+    // The transport is gone; the NOTIFICATION this emits is dropped by
+    // transmit() (up_ is false) but the FSM and its owner see the drop.
+    session_->close(NotifyCode::kCease, wall_now());
+  }
+  if (report && on_down_) on_down_(reason);
+}
+
+std::unique_ptr<BgpListener> BgpListener::open(io::EventLoop& loop,
+                                               std::uint16_t port,
+                                               AcceptFn on_accept) {
+  std::optional<io::TcpListener> listener = io::TcpListener::open(port);
+  if (!listener) return nullptr;
+  return std::unique_ptr<BgpListener>(
+      new BgpListener(loop, std::move(*listener), std::move(on_accept)));
+}
+
+BgpListener::BgpListener(io::EventLoop& loop, io::TcpListener listener,
+                         AcceptFn on_accept)
+    : loop_(loop),
+      listener_(std::move(listener)),
+      on_accept_(std::move(on_accept)) {
+  loop_.watch(listener_.fd(), io::kRead,
+              [this](std::uint32_t) { on_ready(); });
+}
+
+BgpListener::~BgpListener() {
+  if (loop_.watched(listener_.fd())) loop_.unwatch(listener_.fd());
+}
+
+void BgpListener::on_ready() {
+  for (;;) {
+    io::Fd fd = listener_.accept_one();
+    if (!fd.valid()) break;
+    ++accepted_;
+    on_accept_(std::move(fd));
+  }
+}
+
+}  // namespace ef::bgp

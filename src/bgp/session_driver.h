@@ -1,0 +1,151 @@
+// TCP transport for the BGP session FSM: binds the callback-transport
+// BgpSession to io::TcpConn / io::EventLoop so OPEN/UPDATE/KEEPALIVE
+// actually cross a socket, with wall-clock keepalive and hold timers.
+//
+// BgpSession stays clockless and transport-free (the simulator and the
+// chaos harness depend on that); SessionDriver owns everything a live
+// session needs around it: the connection, RFC 4271 framing via
+// FrameReassembler, a periodic tick timer, and teardown when either side
+// dies. The fail-safe headline depends on one deliberate wrinkle:
+// kill() silences the driver *without* closing the socket, so the peer
+// learns of our death only when its hold timer expires — exactly the
+// controller-crash story from the paper (§4.3).
+//
+// Threading: every method must run on the loop thread (or before the
+// loop starts). Construct drivers from accept/dial handlers; call
+// cross-thread via EventLoop::run_sync.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "bgp/session.h"
+#include "io/event_loop.h"
+#include "io/frame.h"
+#include "io/socket.h"
+#include "net/units.h"
+
+namespace ef::bgp {
+
+/// PeekFn for RFC 4271 framing: 16 bytes of 0xff marker, then a u16
+/// total length in [19, 4096]. Anything else poisons the stream.
+io::Peek peek_bgp_frame(std::span<const std::uint8_t> prefix);
+
+/// Wall-clock time for the live BGP plane, as a SimTime measured from a
+/// process-wide steady_clock epoch. Every driver in the process shares
+/// the epoch, so timestamps are comparable across sessions.
+net::SimTime wall_now();
+
+/// SessionDriver knobs (namespace-scope so it can serve as a default
+/// argument below — same workaround as BackoffConfig).
+struct SessionDriverConfig {
+  /// How often session timers are advanced (keepalive send, hold-timer
+  /// expiry check). Must be well under hold_time/3 to keep sessions up.
+  std::chrono::milliseconds tick_period{500};
+};
+
+/// Drives one BgpSession over one TCP connection.
+class SessionDriver {
+ public:
+  using Config = SessionDriverConfig;
+
+  /// Transport death report: EOF, framing poison, write-backlog
+  /// overflow, or the session itself going Idle (hold expiry,
+  /// NOTIFICATION, FSM error).
+  using DownFn = std::function<void(const std::string& reason)>;
+
+  /// Takes ownership of a connected socket. Must run on the loop thread
+  /// (or before the loop starts).
+  SessionDriver(io::EventLoop& loop, io::Fd fd,
+                Config config = Config());
+  ~SessionDriver();
+  SessionDriver(const SessionDriver&) = delete;
+  SessionDriver& operator=(const SessionDriver&) = delete;
+
+  /// Attaches the FSM (non-owning: BgpSpeaker owns its sessions). The
+  /// session's SendFn should be this driver's transmit(). Starts the
+  /// tick timer.
+  void bind(BgpSession& session);
+
+  /// The session's SendFn target: queues wire bytes on the connection.
+  /// Silently dropped once the transport is down.
+  void transmit(std::vector<std::uint8_t> bytes);
+
+  bool transport_up() const { return up_; }
+  BgpSession* session() { return session_; }
+  int fd() const { return conn_ ? conn_->fd() : -1; }
+  void set_down_handler(DownFn fn) { on_down_ = std::move(fn); }
+
+  /// Orderly teardown: takes the session down (NOTIFICATION Cease if it
+  /// was up), closes the socket, fires nothing (the owner asked).
+  void close();
+
+  /// Silent death for fail-safe drills: stops ticking and reading but
+  /// keeps the socket OPEN and sends no NOTIFICATION or FIN — the peer
+  /// sees only silence until its hold timer expires. The fd is released
+  /// when the driver is destroyed, so keep the driver alive for as long
+  /// as the silence should last.
+  void kill();
+
+  struct Stats {
+    std::uint64_t bytes_in = 0;
+    std::uint64_t frames_in = 0;
+  };
+  const Stats& stats() const { return stats_; }
+
+ private:
+  void on_ready(std::uint32_t ready);
+  void on_tick();
+  void update_interest();
+  /// Transport death: unwatch + close fd; optionally drops the session
+  /// (no NOTIFICATION can be delivered — the transport is gone) and
+  /// reports to the owner.
+  void teardown(const std::string& reason, bool report);
+
+  io::EventLoop& loop_;
+  Config config_;
+  std::optional<io::TcpConn> conn_;
+  io::FrameReassembler frames_;
+  BgpSession* session_ = nullptr;
+  std::optional<io::EventLoop::TimerId> tick_timer_;
+  DownFn on_down_;
+  bool up_ = true;
+  std::uint32_t interest_ = 0;
+  Stats stats_;
+};
+
+/// Accepts BGP transport connections and hands each accepted fd to the
+/// owner (which wraps it in a SessionDriver + speaker neighbor).
+class BgpListener {
+ public:
+  using AcceptFn = std::function<void(io::Fd fd)>;
+
+  /// Binds 127.0.0.1:`port` (0 = ephemeral). nullptr when the bind
+  /// fails. Must run on the loop thread (or before the loop starts).
+  static std::unique_ptr<BgpListener> open(io::EventLoop& loop,
+                                           std::uint16_t port,
+                                           AcceptFn on_accept);
+  ~BgpListener();
+  BgpListener(const BgpListener&) = delete;
+  BgpListener& operator=(const BgpListener&) = delete;
+
+  std::uint16_t port() const { return listener_.port(); }
+  std::uint64_t accepted() const { return accepted_; }
+
+ private:
+  BgpListener(io::EventLoop& loop, io::TcpListener listener,
+              AcceptFn on_accept);
+  void on_ready();
+
+  io::EventLoop& loop_;
+  io::TcpListener listener_;
+  AcceptFn on_accept_;
+  std::uint64_t accepted_ = 0;
+};
+
+}  // namespace ef::bgp

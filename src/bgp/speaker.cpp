@@ -60,6 +60,16 @@ void BgpSpeaker::close_session(PeerId peer, net::SimTime now) {
   if (auto* s = session(peer)) s->close(NotifyCode::kCease, now);
 }
 
+void BgpSpeaker::remove_neighbor(PeerId peer, net::SimTime now) {
+  now_ = std::max(now_, now);
+  auto it = neighbors_.find(peer.value());
+  if (it == neighbors_.end()) return;
+  if (it->second.session->state() != SessionState::kIdle) {
+    it->second.session->close(NotifyCode::kCease, now);
+  }
+  neighbors_.erase(it);
+}
+
 BgpSession* BgpSpeaker::session(PeerId peer) {
   auto it = neighbors_.find(peer.value());
   return it == neighbors_.end() ? nullptr : it->second.session.get();

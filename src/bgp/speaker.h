@@ -59,6 +59,12 @@ class BgpSpeaker {
   /// Administratively closes one session.
   void close_session(PeerId peer, net::SimTime now);
 
+  /// Forgets a neighbor entirely: closes the session if still up (which
+  /// flushes its RIB entries) and drops it from the session table. The
+  /// TCP-backed daemons use this to reap dead accepted sessions; the
+  /// simulator's static meshes never need it.
+  void remove_neighbor(PeerId peer, net::SimTime now);
+
   BgpSession* session(PeerId peer);
   const BgpSession* session(PeerId peer) const;
   std::vector<PeerId> peer_ids() const;

@@ -1,0 +1,188 @@
+#include "service/announcer.h"
+
+#include "core/controller.h"
+#include "net/log.h"
+
+namespace ef::service {
+
+Announcer::Announcer(io::EventLoop& loop, Config config)
+    : loop_(loop), config_(std::move(config)), speaker_([this] {
+        bgp::BgpSpeaker::Config speaker_config;
+        speaker_config.local_as = config_.local_as;
+        speaker_config.router_id = config_.router_id;
+        speaker_config.import_policy.local_as = config_.local_as;
+        return speaker_config;
+      }()) {
+  EF_CHECK(!config_.ports.empty(), "announcer requires at least one peer");
+  peers_.reserve(config_.ports.size());
+  for (std::uint16_t port : config_.ports) {
+    auto peer = std::make_unique<Peer>();
+    peer->port = port;
+    peers_.push_back(std::move(peer));
+  }
+  per_peer_sent_ =
+      std::make_unique<std::atomic<std::uint64_t>[]>(peers_.size());
+  speaker_.set_monitor([this](const bgp::MonitorEvent& event) {
+    if (event.kind != bgp::MonitorEvent::Kind::kPeerUp) return;
+    for (std::size_t i = 0; i < peers_.size(); ++i) {
+      if (peers_[i]->id == event.peer) {
+        on_session_up(i);
+        return;
+      }
+    }
+  });
+}
+
+Announcer::~Announcer() = default;
+
+void Announcer::connect() {
+  for (std::size_t i = 0; i < peers_.size(); ++i) {
+    Peer& peer = *peers_[i];
+    peer.reconnector = std::make_unique<io::Reconnector>(
+        loop_, config_.redial, [this, i] { return dial(i); },
+        [this, i](bool connected) {
+          if (!connected && on_event_) {
+            on_event_(i, false, "redial budget exhausted");
+          }
+        });
+    peer.reconnector->start();
+  }
+}
+
+bool Announcer::dial(std::size_t index) {
+  Peer& peer = *peers_[index];
+  io::Fd fd = io::connect_tcp(peer.port);
+  if (!fd.valid()) return false;
+
+  bgp::SessionDriver::Config driver_config;
+  driver_config.tick_period = config_.tick_period;
+  peer.driver = std::make_unique<bgp::SessionDriver>(loop_, std::move(fd),
+                                                     driver_config);
+
+  bgp::SessionConfig session_config;
+  session_config.peer_as = config_.peer_as;
+  session_config.peer_type = bgp::PeerType::kController;
+  session_config.hold_time_secs = config_.hold_time_secs;
+
+  bgp::SessionDriver* driver = peer.driver.get();
+  peer.id = speaker_.add_neighbor(
+      session_config,
+      [this, index, driver](std::vector<std::uint8_t> bytes) {
+        if (bytes.size() > 18 &&
+            bytes[18] ==
+                static_cast<std::uint8_t>(bgp::MessageType::kUpdate)) {
+          updates_sent_.fetch_add(1, std::memory_order_release);
+          per_peer_sent_[index].fetch_add(1, std::memory_order_release);
+          if (bytes.size() >= 21) {
+            const std::uint16_t withdrawn_len =
+                static_cast<std::uint16_t>((bytes[19] << 8) | bytes[20]);
+            if (withdrawn_len > 0) {
+              withdraw_msgs_.fetch_add(1, std::memory_order_release);
+            }
+          }
+        }
+        driver->transmit(std::move(bytes));
+      });
+  driver->bind(*speaker_.session(peer.id));
+  driver->set_down_handler([this, index](const std::string& reason) {
+    on_driver_down(index, reason);
+  });
+  speaker_.start_session(peer.id, bgp::wall_now());
+  return true;
+}
+
+void Announcer::on_session_up(std::size_t index) {
+  peers_[index]->up = true;
+  publish();
+  if (on_event_) on_event_(index, true, "established");
+}
+
+void Announcer::on_driver_down(std::size_t index,
+                               const std::string& reason) {
+  Peer& peer = *peers_[index];
+  const bool was_up = peer.up;
+  peer.up = false;
+  if (was_up) session_drops_.fetch_add(1, std::memory_order_release);
+  publish();
+  if (on_event_) on_event_(index, false, reason);
+  // The driver reported its own death; destroy it (and its speaker
+  // session) only once its callback has unwound.
+  loop_.post([this, index] {
+    Peer& deferred = *peers_[index];
+    if (deferred.id != bgp::PeerId()) {
+      speaker_.remove_neighbor(deferred.id, bgp::wall_now());
+      deferred.id = bgp::PeerId();
+    }
+    deferred.driver.reset();
+    if (!killed_ && deferred.reconnector) {
+      redials_.fetch_add(1, std::memory_order_release);
+      deferred.reconnector->start();
+    }
+  });
+}
+
+void Announcer::announce(
+    const std::map<net::Prefix, core::Override>& overrides,
+    net::SimTime now) {
+  if (killed_) return;
+  // Mirror of the in-process controller's injection path
+  // (core::Controller::run_cycle) — same attributes, same speaker code,
+  // so the bytes on the wire match the in-process injection bit for bit.
+  std::map<net::Prefix, bgp::BgpSpeaker::Origination> originations;
+  for (const auto& [prefix, override_entry] : overrides) {
+    bgp::BgpSpeaker::Origination origination;
+    origination.path_tail = override_entry.as_path;
+    origination.local_pref = bgp::LocalPref(config_.override_local_pref);
+    origination.next_hop = override_entry.next_hop;
+    origination.communities = {
+        core::kOverrideCommunity,
+        bgp::peer_type_community(override_entry.target_type)};
+    originations[prefix] = std::move(origination);
+  }
+  speaker_.set_originations(originations, now);
+  prefixes_active_.store(originations.size(), std::memory_order_release);
+  publish();
+}
+
+void Announcer::withdraw_all(net::SimTime now) {
+  if (killed_) return;
+  speaker_.set_originations({}, now);
+  prefixes_active_.store(0, std::memory_order_release);
+  publish();
+}
+
+void Announcer::kill() {
+  if (killed_) return;
+  killed_ = true;
+  for (auto& peer : peers_) {
+    if (peer->reconnector) peer->reconnector->cancel();
+    if (peer->driver) peer->driver->kill();
+    peer->up = false;
+  }
+  publish();
+}
+
+void Announcer::publish() {
+  std::uint64_t up = 0;
+  for (const auto& peer : peers_) up += peer->up ? 1 : 0;
+  sessions_established_.store(up, std::memory_order_release);
+}
+
+Announcer::Stats Announcer::stats() const {
+  Stats stats;
+  stats.sessions_established =
+      sessions_established_.load(std::memory_order_acquire);
+  stats.session_drops = session_drops_.load(std::memory_order_acquire);
+  stats.redials = redials_.load(std::memory_order_acquire);
+  stats.updates_sent = updates_sent_.load(std::memory_order_acquire);
+  stats.withdraw_msgs = withdraw_msgs_.load(std::memory_order_acquire);
+  stats.prefixes_active = prefixes_active_.load(std::memory_order_acquire);
+  return stats;
+}
+
+std::uint64_t Announcer::updates_sent_to(std::size_t i) const {
+  EF_CHECK(i < peers_.size(), "bad announcer peer index");
+  return per_peer_sent_[i].load(std::memory_order_acquire);
+}
+
+}  // namespace ef::service

@@ -1,0 +1,142 @@
+// The efd announcer: the controller's BGP enforcement plane over real
+// sockets.
+//
+// Each configured peering router (a PeeringRouterService, or anything
+// speaking RFC 4271 on a loopback port) gets one TCP-backed BGP session.
+// Every cycle the announcer is handed the controller's active override
+// set; it reuses BgpSpeaker::set_originations, so only the delta since
+// the last announced state leaves the box — UPDATEs with the high
+// override LOCAL_PREF and the community-tagged origin for new/changed
+// prefixes, withdraws for disappeared ones — and a session that redials
+// mid-flight is resynchronized with the full current set on
+// re-establishment. The UPDATE bytes are built by the exact same
+// origination path the in-process controller injects through, which is
+// what makes the interop test's bitwise comparison meaningful.
+//
+// kill() is the fail-safe drill: every session goes silent without a
+// NOTIFICATION or FIN, so the routers only learn of the controller's
+// death when their hold timers expire — at which point they drop every
+// injected override and revert to vanilla BGP (paper §4.3).
+//
+// Threading: connect/announce/withdraw_all/kill must run on the loop
+// thread (efd calls them from its cycle path; tests use run_sync). The
+// Stats snapshot and per-peer counters are atomics, readable anywhere.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bgp/session_driver.h"
+#include "bgp/speaker.h"
+#include "core/allocator.h"
+#include "io/backoff.h"
+#include "io/event_loop.h"
+
+namespace ef::service {
+
+class Announcer {
+ public:
+  struct Config {
+    /// Peering-router BGP ports on 127.0.0.1, one session each.
+    std::vector<std::uint16_t> ports;
+    /// iBGP: same AS as the routers (the controller session is internal).
+    bgp::AsNumber local_as;
+    bgp::RouterId router_id{0xefd00001};
+    bgp::AsNumber peer_as;  // expected in the peer's OPEN; 0 = any
+    std::uint16_t hold_time_secs = 90;
+    std::chrono::milliseconds tick_period{500};
+    /// LOCAL_PREF stamped on injected routes — must beat every
+    /// import-policy default so overrides win the decision process.
+    std::uint32_t override_local_pref = 1000;
+    /// Redial schedule (ticks are milliseconds). max_retries 0 =
+    /// keep dialing forever.
+    io::BackoffConfig redial{.base = 100, .cap = 2000, .max_retries = 0};
+  };
+
+  /// Session lifecycle report for the failsafe ladder: established,
+  /// dropped (with reason), or redial budget exhausted.
+  using EventFn = std::function<void(std::size_t peer_index, bool up,
+                                     const std::string& reason)>;
+
+  Announcer(io::EventLoop& loop, Config config);
+  ~Announcer();
+  Announcer(const Announcer&) = delete;
+  Announcer& operator=(const Announcer&) = delete;
+
+  void set_event_handler(EventFn fn) { on_event_ = std::move(fn); }
+
+  /// Dials every configured port; failures enter the backoff schedule.
+  void connect();
+
+  /// Replaces the enforced override set: delta UPDATEs + withdraws only.
+  void announce(const std::map<net::Prefix, core::Override>& overrides,
+                net::SimTime now);
+
+  /// Explicit fail-static: withdraws every announced prefix now, without
+  /// waiting for any hold timer.
+  void withdraw_all(net::SimTime now);
+
+  /// Silent death: stops every session's timers and reads but keeps the
+  /// sockets open — peers see silence until their hold timers expire.
+  /// No further announce/redial happens. Keep the Announcer alive for as
+  /// long as the silence should last (destruction closes the fds).
+  void kill();
+  bool killed() const { return killed_; }
+
+  std::size_t peer_count() const { return peers_.size(); }
+
+  struct Stats {
+    std::uint64_t sessions_established = 0;  // currently up
+    std::uint64_t session_drops = 0;
+    std::uint64_t redials = 0;
+    std::uint64_t updates_sent = 0;     // UPDATE messages, all peers
+    std::uint64_t withdraw_msgs = 0;    // UPDATEs that only withdraw
+    std::uint64_t prefixes_active = 0;  // currently announced set
+  };
+  Stats stats() const;
+
+  /// UPDATE messages delivered to peer `i` across all of its sessions —
+  /// the barrier counter the interop test compares against the
+  /// peering router's updates_received.
+  std::uint64_t updates_sent_to(std::size_t i) const;
+
+  /// Loop-thread-owned; tests may inspect while provably idle.
+  bgp::BgpSpeaker& speaker() { return speaker_; }
+
+ private:
+  struct Peer {
+    std::uint16_t port = 0;
+    bgp::PeerId id;  // 0 = no session registered
+    std::unique_ptr<bgp::SessionDriver> driver;
+    std::unique_ptr<io::Reconnector> reconnector;
+    bool up = false;
+  };
+
+  bool dial(std::size_t index);
+  void on_session_up(std::size_t index);
+  void on_driver_down(std::size_t index, const std::string& reason);
+  void publish();
+
+  io::EventLoop& loop_;
+  Config config_;
+  bgp::BgpSpeaker speaker_;
+  std::vector<std::unique_ptr<Peer>> peers_;
+  EventFn on_event_;
+  bool killed_ = false;
+
+  std::atomic<std::uint64_t> sessions_established_{0};
+  std::atomic<std::uint64_t> session_drops_{0};
+  std::atomic<std::uint64_t> redials_{0};
+  std::atomic<std::uint64_t> updates_sent_{0};
+  std::atomic<std::uint64_t> withdraw_msgs_{0};
+  std::atomic<std::uint64_t> prefixes_active_{0};
+  std::unique_ptr<std::atomic<std::uint64_t>[]> per_peer_sent_;
+};
+
+}  // namespace ef::service

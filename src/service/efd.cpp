@@ -93,6 +93,24 @@ void EfdService::start() {
   loop_.watch(sflow_sock_->fd(), io::kRead,
               [this](std::uint32_t) { on_sflow_ready(); });
 
+  if (!config_.announce_ports.empty()) {
+    Announcer::Config announcer_config;
+    announcer_config.ports = config_.announce_ports;
+    announcer_config.local_as = pop_->world().config().local_as;
+    announcer_config.router_id = bgp::RouterId(
+        0xefd00000u | static_cast<std::uint32_t>(pop_->index() + 1));
+    announcer_config.hold_time_secs = config_.announce_hold_secs;
+    announcer_config.tick_period = config_.announce_tick_period;
+    announcer_config.override_local_pref =
+        config_.controller.override_local_pref;
+    announcer_ = std::make_unique<Announcer>(loop_, announcer_config);
+    announcer_->set_event_handler(
+        [this](std::size_t peer, bool up, const std::string& reason) {
+          on_announcer_event(peer, up, reason);
+        });
+    announcer_->connect();
+  }
+
   if (config_.real_time_cycles) {
     loop_.call_every(config_.cycle_wall_period, [this] {
       now_ = now_ + config_.controller.cycle_period;
@@ -120,6 +138,7 @@ void EfdService::wait() {
   // closes every socket.
   for (auto& [fd, conn] : bmp_conns_) loop_.unwatch(fd);
   bmp_conns_.clear();
+  announcer_.reset();  // killed or not, its sockets close here
   http_.reset();
   if (bmp_listener_) loop_.unwatch(bmp_listener_->fd());
   bmp_listener_.reset();
@@ -360,6 +379,18 @@ void EfdService::run_cycle_guarded(net::SimTime now,
       break;
   }
 
+  // Enforce over the wire. After a kRun the active set is the fresh
+  // decision (empty after a watchdog abort, which also withdraws);
+  // fail-static sends an explicit withdraw-all rather than waiting for
+  // the routers' hold timers. kHold leaves the announced set untouched.
+  if (announcer_) {
+    if (decision.action == audit::FailsafeAction::kRun) {
+      announcer_->announce(controller_.active_overrides(), now);
+    } else if (decision.action == audit::FailsafeAction::kWithdraw) {
+      announcer_->withdraw_all(now);
+    }
+  }
+
   if (decision.transitioned) {
     audit::FailsafeEvent event;
     event.when = now;
@@ -422,6 +453,40 @@ void EfdService::journal_event(const audit::FailsafeEvent& event) {
   journal_->flush();
 }
 
+void EfdService::on_announcer_event(std::size_t peer_index, bool up,
+                                    const std::string& reason) {
+  if (up) {
+    EF_LOG_INFO("efd: announcer session " << peer_index << " established");
+    return;
+  }
+  EF_LOG_WARN("efd: announcer session " << peer_index << " down: "
+                                        << reason);
+  // A dropped enforcement session is a ladder-stream event: the routers
+  // behind it are now relying on hold-timer expiry, not on us.
+  const InputHealth health = assess_health(now_);
+  audit::FailsafeEvent event;
+  event.when = now_;
+  event.from_mode = ladder_.mode();
+  event.to_mode = ladder_.mode();
+  event.action = audit::FailsafeAction::kRun;
+  event.reason = "announcer: session " + std::to_string(peer_index) +
+                 " down (" + reason + ")";
+  event.routers_known = health.routers_known;
+  event.routers_down = health.routers_down;
+  event.demand_age_ms =
+      health.demand_seen
+          ? static_cast<std::uint64_t>(health.demand_age.millis_value())
+          : 0;
+  event.overrides_active = controller_.active_overrides().size();
+  journal_event(event);
+}
+
+void EfdService::kill_announcer() {
+  loop_.run_sync([this] {
+    if (announcer_) announcer_->kill();
+  });
+}
+
 void EfdService::publish_ladder_counters() {
   const FailsafeLadder::Stats& stats = ladder_.stats();
   failsafe_mode_.store(static_cast<std::uint64_t>(ladder_.mode()),
@@ -462,6 +527,16 @@ EfdService::IngestSnapshot EfdService::ingest() const {
       router_reconnects_.load(std::memory_order_acquire);
   snap.http_aborted_conns =
       http_ ? http_->aborted_conns() : 0;
+  if (announcer_) {
+    const Announcer::Stats bgp = announcer_->stats();
+    snap.bgp_sessions_configured = announcer_->peer_count();
+    snap.bgp_sessions_established = bgp.sessions_established;
+    snap.bgp_session_drops = bgp.session_drops;
+    snap.bgp_redials = bgp.redials;
+    snap.bgp_updates_sent = bgp.updates_sent;
+    snap.bgp_withdraw_msgs = bgp.withdraw_msgs;
+    snap.bgp_prefixes_announced = bgp.prefixes_active;
+  }
   return snap;
 }
 
@@ -610,6 +685,19 @@ std::string EfdService::render_metrics() const {
      << "\n"
      << "efd_router_reconnects_total " << snap.router_reconnects << "\n"
      << "efd_http_aborted_conns_total " << snap.http_aborted_conns
+     << "\n";
+  // BGP enforcement plane (the announcer). Exported even while absent so
+  // dashboards can tell "enforcing in-process" apart from "wire down".
+  os << "efd_bgp_sessions_configured " << snap.bgp_sessions_configured
+     << "\n"
+     << "efd_bgp_sessions_established " << snap.bgp_sessions_established
+     << "\n"
+     << "efd_bgp_session_drops_total " << snap.bgp_session_drops << "\n"
+     << "efd_bgp_redials_total " << snap.bgp_redials << "\n"
+     << "efd_bgp_updates_sent_total " << snap.bgp_updates_sent << "\n"
+     << "efd_bgp_withdraw_updates_total " << snap.bgp_withdraw_msgs
+     << "\n"
+     << "efd_bgp_prefixes_announced " << snap.bgp_prefixes_announced
      << "\n";
   {
     std::lock_guard<std::mutex> lock(digest_mutex_);

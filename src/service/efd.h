@@ -31,6 +31,7 @@
 #include "io/event_loop.h"
 #include "io/frame.h"
 #include "io/socket.h"
+#include "service/announcer.h"
 #include "service/failsafe.h"
 #include "service/http.h"
 #include "telemetry/sflow.h"
@@ -71,6 +72,17 @@ struct EfdConfig {
   /// degradation-ladder transition is appended to this audit journal
   /// (mixed EFJ1 stream; see audit/event.h).
   std::string journal_path;
+
+  /// BGP enforcement plane. When non-empty, efd dials each port on
+  /// 127.0.0.1 as a TCP-backed BGP session (the announcer) and enforces
+  /// every cycle's override set over the wire: delta UPDATEs carrying
+  /// `controller.override_local_pref` and the override community, and an
+  /// explicit withdraw-all when the ladder goes fail-static. Announcer
+  /// session drops are journaled as failsafe events. Pair with kShadow
+  /// enforcement when the wire replaces in-process injection.
+  std::vector<std::uint16_t> announce_ports;
+  std::uint16_t announce_hold_secs = 90;
+  std::chrono::milliseconds announce_tick_period{500};
 };
 
 class EfdService {
@@ -129,6 +141,14 @@ class EfdService {
     std::uint64_t routers_down = 0;
     std::uint64_t router_reconnects = 0;
     std::uint64_t http_aborted_conns = 0;
+    // Announcer / BGP enforcement plane (all zero without announce_ports).
+    std::uint64_t bgp_sessions_configured = 0;
+    std::uint64_t bgp_sessions_established = 0;
+    std::uint64_t bgp_session_drops = 0;
+    std::uint64_t bgp_redials = 0;
+    std::uint64_t bgp_updates_sent = 0;
+    std::uint64_t bgp_withdraw_msgs = 0;
+    std::uint64_t bgp_prefixes_announced = 0;
   };
   IngestSnapshot ingest() const;
 
@@ -168,6 +188,16 @@ class EfdService {
   core::Controller& controller() { return controller_; }
   io::EventLoop& loop() { return loop_; }
 
+  /// The BGP enforcement plane, or nullptr without announce_ports. The
+  /// atomic Stats/per-peer counters are readable from any thread.
+  const Announcer* announcer() const { return announcer_.get(); }
+
+  /// Fail-safe drill: silences every announcer session without a
+  /// NOTIFICATION or FIN (sockets stay open), so the peering routers
+  /// only notice via hold-timer expiry. Callable from any thread while
+  /// the service runs.
+  void kill_announcer();
+
  private:
   struct BmpConn {
     io::TcpConn tcp;
@@ -191,6 +221,8 @@ class EfdService {
                          const telemetry::DemandMatrix& demand);
   InputHealth assess_health(net::SimTime now) const;
   void journal_event(const audit::FailsafeEvent& event);
+  void on_announcer_event(std::size_t peer_index, bool up,
+                          const std::string& reason);
   void publish_ladder_counters();
   HttpResponse serve_http(const std::string& path);
   std::string render_status() const;
@@ -223,6 +255,7 @@ class EfdService {
   bool demand_seen_ = false;        // any demand window ever closed
   net::SimTime last_demand_;        // feed time of the newest one
   std::unique_ptr<audit::JournalWriter> journal_;
+  std::unique_ptr<Announcer> announcer_;
 
   std::optional<io::TcpListener> bmp_listener_;
   std::optional<io::UdpSocket> sflow_sock_;

@@ -1,0 +1,175 @@
+#include "service/prd.h"
+
+#include <csignal>
+
+#include "net/log.h"
+
+namespace ef::service {
+
+PeeringRouterService::PeeringRouterService(Config config)
+    : config_(config), speaker_([&config] {
+        bgp::BgpSpeaker::Config speaker_config;
+        speaker_config.local_as = config.local_as;
+        speaker_config.router_id = config.router_id;
+        speaker_config.import_policy.local_as = config.local_as;
+        return speaker_config;
+      }()) {
+  speaker_.set_monitor([this](const bgp::MonitorEvent& event) {
+    if (event.kind == bgp::MonitorEvent::Kind::kPeerUp) {
+      sessions_established_.fetch_add(1, std::memory_order_release);
+    } else if (event.kind == bgp::MonitorEvent::Kind::kPeerDown) {
+      session_drops_.fetch_add(1, std::memory_order_release);
+    }
+    publish();
+  });
+}
+
+PeeringRouterService::~PeeringRouterService() { stop(); }
+
+void PeeringRouterService::start() {
+  EF_CHECK(!thread_.joinable(), "prd already started");
+  listener_ = bgp::BgpListener::open(
+      loop_, config_.bgp_port, [this](io::Fd fd) { on_accept(std::move(fd)); });
+  EF_CHECK(listener_ != nullptr,
+           "prd: cannot listen for BGP on 127.0.0.1:" << config_.bgp_port);
+  // Advance the speaker clock (route timestamps, monitor events) and
+  // keep the published counters fresh even while sessions are quiet.
+  loop_.call_every(config_.tick_period, [this] {
+    speaker_.tick(bgp::wall_now());
+    publish();
+  });
+  thread_ = std::thread([this] { loop_.run(); });
+}
+
+void PeeringRouterService::stop() {
+  if (!thread_.joinable()) return;
+  loop_.stop();
+  wait();
+}
+
+void PeeringRouterService::wait() {
+  if (!thread_.joinable()) return;
+  thread_.join();
+  // Loop is down; tear down from this thread. Driver destructors
+  // unwatch, Fd RAII closes every socket.
+  for (auto& [key, session] : sessions_) {
+    speaker_.remove_neighbor(session->id, bgp::wall_now());
+  }
+  sessions_.clear();
+  listener_.reset();
+}
+
+void PeeringRouterService::shutdown_on_signals() {
+  loop_.watch_signals({SIGINT, SIGTERM}, [this](int sig) {
+    EF_LOG_INFO("prd: signal " << sig << ", shutting down");
+    loop_.stop();
+  });
+}
+
+std::uint16_t PeeringRouterService::bgp_port() const {
+  return listener_ ? listener_->port() : 0;
+}
+
+void PeeringRouterService::on_accept(io::Fd fd) {
+  const std::uint64_t key = next_session_key_++;
+  auto session = std::make_unique<Session>();
+
+  bgp::SessionDriver::Config driver_config;
+  driver_config.tick_period = config_.tick_period;
+  session->driver = std::make_unique<bgp::SessionDriver>(
+      loop_, std::move(fd), driver_config);
+
+  bgp::SessionConfig session_config;
+  session_config.peer_as = config_.peer_as;
+  session_config.peer_type = bgp::PeerType::kController;
+  session_config.hold_time_secs = config_.hold_time_secs;
+
+  bgp::SessionDriver* driver = session->driver.get();
+  session->id = speaker_.add_neighbor(
+      session_config, [driver](std::vector<std::uint8_t> bytes) {
+        driver->transmit(std::move(bytes));
+      });
+  driver->bind(*speaker_.session(session->id));
+  driver->set_down_handler([this, key](const std::string& reason) {
+    on_session_down(key, reason);
+  });
+  sessions_[key] = std::move(session);
+
+  // Symmetric OPEN exchange: the accepting side sends its OPEN too.
+  speaker_.start_session(sessions_[key]->id, bgp::wall_now());
+  connections_.fetch_add(1, std::memory_order_release);
+  publish();
+}
+
+void PeeringRouterService::on_session_down(std::uint64_t key,
+                                           const std::string& reason) {
+  disconnects_.fetch_add(1, std::memory_order_release);
+  if (reason == "hold timer expired") {
+    hold_expirations_.fetch_add(1, std::memory_order_release);
+  }
+  EF_LOG_INFO("prd: session " << key << " down: " << reason);
+  // The driver reported its own death; reap it after its callback
+  // unwinds. The speaker session goes first so no session ever holds a
+  // SendFn into a destroyed driver.
+  loop_.post([this, key] {
+    auto it = sessions_.find(key);
+    if (it == sessions_.end()) return;
+    if (const bgp::BgpSession* s = speaker_.session(it->second->id)) {
+      updates_acc_.fetch_add(s->stats().updates_received,
+                             std::memory_order_relaxed);
+    }
+    speaker_.remove_neighbor(it->second->id, bgp::wall_now());
+    sessions_.erase(it);
+    publish();
+  });
+}
+
+void PeeringRouterService::publish() {
+  std::uint64_t updates = updates_acc_.load(std::memory_order_relaxed);
+  for (const auto& [key, session] : sessions_) {
+    if (const bgp::BgpSession* s = speaker_.session(session->id)) {
+      updates += s->stats().updates_received;
+    }
+  }
+  updates_received_.store(updates, std::memory_order_release);
+  prefixes_.store(speaker_.rib().prefix_count(), std::memory_order_release);
+  routes_.store(speaker_.rib().route_count(), std::memory_order_release);
+}
+
+PeeringRouterService::Snapshot PeeringRouterService::snapshot() const {
+  Snapshot snap;
+  snap.connections = connections_.load(std::memory_order_acquire);
+  snap.disconnects = disconnects_.load(std::memory_order_acquire);
+  snap.sessions_established =
+      sessions_established_.load(std::memory_order_acquire);
+  snap.session_drops = session_drops_.load(std::memory_order_acquire);
+  snap.hold_expirations = hold_expirations_.load(std::memory_order_acquire);
+  snap.updates_received = updates_received_.load(std::memory_order_acquire);
+  snap.prefixes = prefixes_.load(std::memory_order_acquire);
+  snap.routes = routes_.load(std::memory_order_acquire);
+  return snap;
+}
+
+bool PeeringRouterService::wait_until(
+    const std::function<bool(const Snapshot&)>& pred,
+    std::chrono::milliseconds timeout) const {
+  const auto deadline = std::chrono::steady_clock::now() + timeout;
+  while (!pred(snapshot())) {
+    if (std::chrono::steady_clock::now() >= deadline) return false;
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  return true;
+}
+
+std::vector<bgp::Route> PeeringRouterService::routes() {
+  std::vector<bgp::Route> out;
+  loop_.run_sync([this, &out] {
+    speaker_.rib().for_each(
+        [&out](const net::Prefix&, std::span<const bgp::Route> candidates) {
+          out.insert(out.end(), candidates.begin(), candidates.end());
+        });
+  });
+  return out;
+}
+
+}  // namespace ef::service

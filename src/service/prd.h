@@ -1,0 +1,118 @@
+// prd: the peering-router daemon — a BgpSpeaker behind a TCP listener.
+//
+// The receiving half of the BGP enforcement plane: controller-injected
+// override routes arrive over real sockets, pass the same import policy
+// a PoP peering router applies (controller sessions keep their high
+// LOCAL_PREF), and land in a real Adj-RIB-In. The fail-safe that the
+// paper gets for free from BGP lives here too: every accepted session
+// runs a wall-clock hold timer, so a controller that dies silently has
+// its routes flushed within the negotiated hold time with no extra
+// mechanism.
+//
+// Same service shape as EfdService: one event loop owns every socket and
+// the speaker; the only cross-thread surface is the atomic counters (and
+// routes(), which hops onto the loop thread via run_sync).
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "bgp/session_driver.h"
+#include "bgp/speaker.h"
+#include "io/event_loop.h"
+
+namespace ef::service {
+
+class PeeringRouterService {
+ public:
+  struct Config {
+    std::uint16_t bgp_port = 0;  // 0 = ephemeral (see bgp_port())
+    /// The PoP's AS: controller sessions are iBGP, so both ends share it.
+    bgp::AsNumber local_as{65000};
+    bgp::RouterId router_id{0x7f0000fe};
+    bgp::AsNumber peer_as;  // expected in the peer's OPEN; 0 = any
+    /// Hold-time offer; the negotiated minimum bounds how long a dead
+    /// controller's overrides survive. 0 disables timers (RFC 4271 §4.2).
+    std::uint16_t hold_time_secs = 90;
+    std::chrono::milliseconds tick_period{200};
+  };
+
+  explicit PeeringRouterService(Config config);
+  ~PeeringRouterService();
+  PeeringRouterService(const PeeringRouterService&) = delete;
+  PeeringRouterService& operator=(const PeeringRouterService&) = delete;
+
+  /// Opens the listener and spawns the loop thread. Call once.
+  void start();
+  /// Stops the loop and joins; idempotent. Sockets close here.
+  void stop();
+  /// Blocks until the loop exits (signal or cross-thread stop).
+  void wait();
+  bool running() const { return thread_.joinable(); }
+
+  /// Routes SIGINT/SIGTERM into stop() via the loop's signalfd; the
+  /// caller must have blocked them process-wide before any thread.
+  void shutdown_on_signals();
+
+  std::uint16_t bgp_port() const;
+
+  struct Snapshot {
+    std::uint64_t connections = 0;     // transports accepted
+    std::uint64_t disconnects = 0;     // transports torn down
+    std::uint64_t sessions_established = 0;  // lifetime establishments
+    std::uint64_t session_drops = 0;
+    std::uint64_t hold_expirations = 0;
+    std::uint64_t updates_received = 0;  // UPDATE messages, all sessions
+    std::uint64_t prefixes = 0;          // current Adj-RIB-In
+    std::uint64_t routes = 0;
+  };
+  Snapshot snapshot() const;
+
+  /// Blocks until `pred(snapshot())` holds or `timeout` passes.
+  bool wait_until(const std::function<bool(const Snapshot&)>& pred,
+                  std::chrono::milliseconds timeout) const;
+
+  /// Cross-thread copy of the full Adj-RIB-In (hops to the loop thread).
+  std::vector<bgp::Route> routes();
+
+  /// Loop-thread-owned; only touch from the loop thread or while the
+  /// service is provably idle.
+  bgp::BgpSpeaker& speaker() { return speaker_; }
+  io::EventLoop& loop() { return loop_; }
+
+ private:
+  struct Session {
+    std::unique_ptr<bgp::SessionDriver> driver;
+    bgp::PeerId id;
+  };
+
+  void on_accept(io::Fd fd);
+  void on_session_down(std::uint64_t key, const std::string& reason);
+  void publish();
+
+  Config config_;
+  io::EventLoop loop_;
+  std::thread thread_;
+  bgp::BgpSpeaker speaker_;
+  std::unique_ptr<bgp::BgpListener> listener_;
+  std::map<std::uint64_t, std::unique_ptr<Session>> sessions_;
+  std::uint64_t next_session_key_ = 1;
+
+  std::atomic<std::uint64_t> connections_{0};
+  std::atomic<std::uint64_t> disconnects_{0};
+  std::atomic<std::uint64_t> sessions_established_{0};
+  std::atomic<std::uint64_t> session_drops_{0};
+  std::atomic<std::uint64_t> hold_expirations_{0};
+  std::atomic<std::uint64_t> updates_received_{0};
+  std::atomic<std::uint64_t> updates_acc_{0};  // from removed sessions
+  std::atomic<std::uint64_t> prefixes_{0};
+  std::atomic<std::uint64_t> routes_{0};
+};
+
+}  // namespace ef::service

@@ -1,0 +1,261 @@
+// SessionDriver + BgpListener over real loopback sockets: establishment,
+// framing, hold-timer expiry, the silent kill() used by fail-safe
+// drills, and zero fd leaks across every path.
+#include "bgp/session_driver.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <functional>
+#include <map>
+#include <thread>
+
+#include "bgp/speaker.h"
+#include "bgp/wire.h"
+#include "io/socket.h"
+#include "net/log.h"
+
+namespace ef::bgp {
+namespace {
+
+using namespace std::chrono_literals;
+
+/// One speaker on each end of a loopback TCP connection, each session
+/// driven by its own SessionDriver on a shared event loop. Short hold
+/// times keep the timer tests fast.
+struct Harness {
+  io::EventLoop loop;
+  std::thread runner;
+  BgpSpeaker server{[] {
+    BgpSpeaker::Config config;
+    config.local_as = AsNumber(65000);
+    config.router_id = RouterId(1);
+    config.import_policy.local_as = AsNumber(65000);
+    return config;
+  }()};
+  BgpSpeaker client{[] {
+    BgpSpeaker::Config config;
+    config.local_as = AsNumber(65000);
+    config.router_id = RouterId(2);
+    config.import_policy.local_as = AsNumber(65000);
+    return config;
+  }()};
+  std::unique_ptr<BgpListener> listener;
+  std::unique_ptr<SessionDriver> server_driver;
+  std::unique_ptr<SessionDriver> client_driver;
+  PeerId server_peer;
+  PeerId client_peer;
+  std::atomic<int> server_down{0};
+  std::atomic<int> client_down{0};
+  std::string server_down_reason;
+
+  explicit Harness(std::uint16_t hold_secs = 3,
+                   std::chrono::milliseconds tick = 20ms) {
+    listener = BgpListener::open(loop, 0, [this, hold_secs, tick](io::Fd fd) {
+      attach(server, server_driver, server_peer, std::move(fd), hold_secs,
+             tick, [this](const std::string& reason) {
+               server_down_reason = reason;
+               server_down.fetch_add(1, std::memory_order_release);
+             });
+    });
+    EF_CHECK(listener != nullptr, "harness cannot listen");
+    runner = std::thread([this] { loop.run(); });
+  }
+
+  ~Harness() {
+    loop.stop();
+    runner.join();
+    if (server_peer != PeerId()) server.remove_neighbor(server_peer, wall_now());
+    if (client_peer != PeerId()) client.remove_neighbor(client_peer, wall_now());
+    server_driver.reset();
+    client_driver.reset();
+    listener.reset();
+  }
+
+  void attach(BgpSpeaker& speaker, std::unique_ptr<SessionDriver>& driver,
+              PeerId& peer, io::Fd fd, std::uint16_t hold_secs,
+              std::chrono::milliseconds tick, SessionDriver::DownFn on_down) {
+    SessionDriver::Config config;
+    config.tick_period = tick;
+    driver = std::make_unique<SessionDriver>(loop, std::move(fd), config);
+    SessionConfig session_config;
+    session_config.peer_type = PeerType::kController;
+    session_config.hold_time_secs = hold_secs;
+    SessionDriver* raw = driver.get();
+    peer = speaker.add_neighbor(session_config,
+                                [raw](std::vector<std::uint8_t> bytes) {
+                                  raw->transmit(std::move(bytes));
+                                });
+    raw->bind(*speaker.session(peer));
+    raw->set_down_handler(std::move(on_down));
+    speaker.start_session(peer, wall_now());
+  }
+
+  /// Dials the listener from the loop thread and starts the client side.
+  void connect(std::uint16_t hold_secs = 3,
+               std::chrono::milliseconds tick = 20ms) {
+    loop.run_sync([this, hold_secs, tick] {
+      io::Fd fd = io::connect_tcp(listener->port());
+      EF_CHECK(fd.valid(), "harness cannot dial");
+      attach(client, client_driver, client_peer, std::move(fd), hold_secs,
+             tick, [this](const std::string&) {
+               client_down.fetch_add(1, std::memory_order_release);
+             });
+    });
+  }
+
+  bool wait_until(const std::function<bool()>& pred,
+                  std::chrono::milliseconds timeout = 5000ms) {
+    const auto deadline = std::chrono::steady_clock::now() + timeout;
+    while (!pred()) {
+      if (std::chrono::steady_clock::now() >= deadline) return false;
+      std::this_thread::sleep_for(2ms);
+    }
+    return true;
+  }
+
+  bool both_established() {
+    bool ok = false;
+    loop.run_sync([this, &ok] {
+      const BgpSession* s =
+          server_peer != PeerId() ? server.session(server_peer) : nullptr;
+      const BgpSession* c =
+          client_peer != PeerId() ? client.session(client_peer) : nullptr;
+      ok = s && c && s->established() && c->established();
+    });
+    return ok;
+  }
+};
+
+TEST(SessionDriver, EstablishesOverLoopbackTcp) {
+  const std::size_t fds_before = io::open_fd_count();
+  {
+    Harness harness;
+    harness.connect();
+    EXPECT_TRUE(harness.wait_until([&] { return harness.both_established(); }));
+    EXPECT_EQ(harness.listener->accepted(), 1u);
+    bool up = false;
+    std::uint64_t frames = 0;
+    harness.loop.run_sync([&] {
+      up = harness.client_driver->transport_up();
+      frames = harness.client_driver->stats().frames_in;
+    });
+    EXPECT_TRUE(up);
+    EXPECT_GE(frames, 2u);  // OPEN + KEEPALIVE at minimum
+  }
+  EXPECT_EQ(io::open_fd_count(), fds_before);
+}
+
+TEST(SessionDriver, UpdatesCrossTheWire) {
+  const std::size_t fds_before = io::open_fd_count();
+  {
+    Harness harness;
+    harness.connect();
+    ASSERT_TRUE(harness.wait_until([&] { return harness.both_established(); }));
+    harness.loop.run_sync([&] {
+      std::map<net::Prefix, BgpSpeaker::Origination> originations;
+      BgpSpeaker::Origination origination;
+      origination.next_hop = net::IpAddr::v4(0x0A000001);
+      origination.local_pref = LocalPref(1000);
+      originations[*net::Prefix::parse("203.0.113.0/24")] = origination;
+      harness.client.set_originations(originations, wall_now());
+    });
+    EXPECT_TRUE(harness.wait_until([&] {
+      std::size_t prefixes = 0;
+      harness.loop.run_sync(
+          [&] { prefixes = harness.server.rib().prefix_count(); });
+      return prefixes == 1;
+    }));
+  }
+  EXPECT_EQ(io::open_fd_count(), fds_before);
+}
+
+TEST(SessionDriver, OrderlyCloseReachesPeer) {
+  const std::size_t fds_before = io::open_fd_count();
+  {
+    Harness harness;
+    harness.connect();
+    ASSERT_TRUE(harness.wait_until([&] { return harness.both_established(); }));
+    harness.loop.run_sync([&] { harness.client_driver->close(); });
+    // The server learns promptly (NOTIFICATION or EOF), well before its
+    // 3s hold timer could fire.
+    EXPECT_TRUE(harness.wait_until(
+        [&] { return harness.server_down.load(std::memory_order_acquire) > 0; },
+        1500ms));
+    EXPECT_NE(harness.server_down_reason, "hold timer expired");
+  }
+  EXPECT_EQ(io::open_fd_count(), fds_before);
+}
+
+TEST(SessionDriver, SilentKillExpiresPeerHoldTimer) {
+  const std::size_t fds_before = io::open_fd_count();
+  {
+    Harness harness;
+    harness.connect();
+    ASSERT_TRUE(harness.wait_until([&] { return harness.both_established(); }));
+    const auto killed_at = std::chrono::steady_clock::now();
+    harness.loop.run_sync([&] { harness.client_driver->kill(); });
+    // No FIN, no NOTIFICATION: the server may only find out via its hold
+    // timer (negotiated 3s here).
+    EXPECT_TRUE(harness.wait_until(
+        [&] { return harness.server_down.load(std::memory_order_acquire) > 0; },
+        10000ms));
+    const auto elapsed = std::chrono::steady_clock::now() - killed_at;
+    EXPECT_GE(elapsed, 2000ms) << "server dropped before the hold timer";
+    EXPECT_EQ(harness.server_down_reason, "hold timer expired");
+    EXPECT_EQ(harness.client_down.load(std::memory_order_acquire), 0);
+  }
+  EXPECT_EQ(io::open_fd_count(), fds_before);
+}
+
+TEST(SessionDriver, GarbageBytesPoisonTheSession) {
+  const std::size_t fds_before = io::open_fd_count();
+  {
+    Harness harness;
+    // Raw client: no BGP at all, just garbage bytes at the listener.
+    harness.loop.run_sync([&] {
+      io::Fd fd = io::connect_tcp(harness.listener->port());
+      ASSERT_TRUE(fd.valid());
+      const std::vector<std::uint8_t> garbage(64, 0x42);
+      EXPECT_TRUE(io::send_all(fd.get(), garbage));
+      // fd closes at scope exit; the server should already have died on
+      // the bad marker before it sees EOF.
+    });
+    EXPECT_TRUE(harness.wait_until(
+        [&] { return harness.server_down.load(std::memory_order_acquire) > 0; }));
+    EXPECT_EQ(harness.server_down_reason, "unframeable stream: bad BGP marker");
+  }
+  EXPECT_EQ(io::open_fd_count(), fds_before);
+}
+
+TEST(SessionDriver, PeekRejectsHostileLengths) {
+  std::vector<std::uint8_t> header(wire::kHeaderSize, 0xff);
+  header[16] = 0;
+  header[17] = 19;
+  header[18] = 4;  // KEEPALIVE
+  {
+    const io::Peek peek = peek_bgp_frame(header);
+    EXPECT_EQ(peek.status, io::PeekStatus::kFrame);
+    EXPECT_EQ(peek.len, 19u);
+  }
+  auto incomplete = header;
+  incomplete.resize(10);
+  EXPECT_EQ(peek_bgp_frame(incomplete).status, io::PeekStatus::kNeedMore);
+
+  auto bad_marker = header;
+  bad_marker[0] = 0;
+  EXPECT_EQ(peek_bgp_frame(bad_marker).status, io::PeekStatus::kError);
+
+  auto undersize = header;
+  undersize[17] = 18;
+  EXPECT_EQ(peek_bgp_frame(undersize).status, io::PeekStatus::kError);
+
+  auto oversize = header;
+  oversize[16] = 0x10;
+  oversize[17] = 0x01;  // 4097
+  EXPECT_EQ(peek_bgp_frame(oversize).status, io::PeekStatus::kError);
+}
+
+}  // namespace
+}  // namespace ef::bgp

@@ -92,6 +92,62 @@ TEST(Session, NegotiatesMinimumHoldTime) {
   EXPECT_EQ(pair.b->negotiated_hold_secs(), 30);
 }
 
+TEST(Session, HoldTimeZeroDisablesTimers) {
+  // RFC 4271 §4.2: a hold time of 0 means no keepalives and no hold
+  // timer — the session survives unbounded silence.
+  Pair pair(0, 0);
+  pair.establish();
+  EXPECT_TRUE(pair.a->established());
+  EXPECT_EQ(pair.a->negotiated_hold_secs(), 0);
+  EXPECT_EQ(pair.b->negotiated_hold_secs(), 0);
+  const std::uint64_t handshake_keepalives = pair.a->stats().keepalives_sent;
+  // a ticks through an hour of total silence from b.
+  for (int t = 60; t <= 3600; t += 60) {
+    pair.a->tick(SimTime::seconds(t));
+  }
+  EXPECT_TRUE(pair.a->established());
+  EXPECT_EQ(pair.a->stats().keepalives_sent, handshake_keepalives);
+  EXPECT_EQ(pair.a->stats().session_drops, 0u);
+}
+
+TEST(Session, HoldTimeZeroWinsNegotiation) {
+  // Negotiated hold is the minimum of the offers, so one side offering
+  // 0 disables timers for both.
+  Pair pair(0, 90);
+  pair.establish();
+  EXPECT_EQ(pair.a->negotiated_hold_secs(), 0);
+  EXPECT_EQ(pair.b->negotiated_hold_secs(), 0);
+  // b offered 90 but must honor the negotiated 0: silence is survivable.
+  pair.b->tick(SimTime::seconds(3600));
+  EXPECT_TRUE(pair.b->established());
+}
+
+TEST(Session, RejectsUnacceptableHoldTimeOffer) {
+  // RFC 4271 §4.2 / §6.2: offers of 1 and 2 seconds draw a NOTIFICATION
+  // with code OPEN Message Error, subcode Unacceptable Hold Time.
+  for (const std::uint16_t offer : {std::uint16_t{1}, std::uint16_t{2}}) {
+    SCOPED_TRACE(offer);
+    Pair pair(offer, 90);
+    pair.a->start(SimTime::seconds(0));
+    pair.b->start(SimTime::seconds(0));
+    ASSERT_FALSE(pair.to_b.empty());
+    // Deliver a's OPEN to b by hand so b's reply can be inspected
+    // before it reaches a.
+    auto open_bytes = std::move(pair.to_b.front());
+    pair.to_b.clear();
+    const std::size_t before = pair.to_a.size();
+    pair.b->receive(open_bytes, SimTime::seconds(0));
+    EXPECT_EQ(pair.b->state(), SessionState::kIdle);
+    ASSERT_GT(pair.to_a.size(), before);
+    auto msg = wire::decode(pair.to_a.back());
+    ASSERT_TRUE(msg.has_value());
+    ASSERT_TRUE(std::holds_alternative<NotificationMessage>(*msg));
+    const auto& notify = std::get<NotificationMessage>(*msg);
+    EXPECT_EQ(notify.code, NotifyCode::kOpenMessageError);
+    EXPECT_EQ(notify.subcode, kOpenSubcodeUnacceptableHoldTime);
+  }
+}
+
 TEST(Session, RejectsUnexpectedPeerAs) {
   Pair pair;
   // Reconfigure b to expect a different AS than a's.

@@ -1,0 +1,350 @@
+// BGP enforcement-plane interop over loopback TCP: an efd daemon fed by
+// a lockstep simulator announces its per-cycle overrides to real
+// peering-router daemons through TCP-backed BGP sessions, and
+//
+//  (1) every cycle's decision digest is bitwise identical to the
+//      in-process controller's (the wire changes nothing), and the
+//      routes the peering routers hold are attribute-identical to the
+//      ones in-process injection placed in the PoP router's Adj-RIB-In;
+//  (2) killing the announcer — silence, no FIN, no NOTIFICATION —
+//      flushes every injected override via hold-timer expiry within the
+//      negotiated hold time, with the drop journaled to the
+//      failsafe ladder stream when a session dies underneath a live
+//      daemon.
+//
+// This is the paper's §4.3 fail-safe story made mechanical: enforcement
+// rides ordinary BGP sessions, so a dead controller needs no extra
+// cleanup protocol.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "audit/event.h"
+#include "audit/journal.h"
+#include "core/controller.h"
+#include "io/socket.h"
+#include "service/efd.h"
+#include "service/prd.h"
+#include "sim/live_feed.h"
+#include "sim/simulation.h"
+#include "topology/pop.h"
+#include "topology/world.h"
+
+namespace ef {
+namespace {
+
+using namespace std::chrono_literals;
+
+constexpr auto kBarrier = 15000ms;
+
+topology::World test_world() {
+  topology::WorldConfig config;
+  config.num_clients = 40;
+  config.num_pops = 2;
+  config.seed = 11;
+  return topology::World::generate(config);
+}
+
+sim::SimulationConfig sim_config() {
+  sim::SimulationConfig config;
+  config.duration = net::SimTime::minutes(8);
+  config.step = net::SimTime::seconds(60);
+  config.controller.cycle_period = config.step;
+  // Aggressive thresholds so most cycles steer traffic; empty override
+  // sets would make every comparison below vacuous.
+  config.controller.allocator.overload_threshold = 0.5;
+  config.controller.allocator.target_utilization = 0.45;
+  return config;
+}
+
+service::PeeringRouterService::Config router_config(
+    const topology::World& world, std::uint16_t hold_secs) {
+  service::PeeringRouterService::Config config;
+  config.local_as = world.config().local_as;
+  config.hold_time_secs = hold_secs;
+  config.tick_period = std::chrono::milliseconds(20);
+  return config;
+}
+
+service::EfdConfig daemon_config(const sim::SimulationConfig& sim,
+                                 std::vector<std::uint16_t> announce_ports,
+                                 std::uint16_t hold_secs) {
+  service::EfdConfig config;
+  config.controller = sim.controller;
+  config.controller.enforcement = core::Enforcement::kShadow;
+  config.announce_ports = std::move(announce_ports);
+  config.announce_hold_secs = hold_secs;
+  config.announce_tick_period = std::chrono::milliseconds(20);
+  return config;
+}
+
+sim::LiveFeed::Sync sync_for(const service::EfdService& daemon) {
+  sim::LiveFeed::Sync sync;
+  sync.bmp_bytes = [&daemon](std::uint64_t n) {
+    return daemon.wait_for_bmp_bytes(n, kBarrier);
+  };
+  sync.datagrams = [&daemon](std::uint64_t n) {
+    return daemon.wait_for_datagrams(n, kBarrier);
+  };
+  sync.windows = [&daemon](std::uint64_t n) {
+    return daemon.wait_for_windows(n, kBarrier);
+  };
+  sync.disconnects = [&daemon](std::uint64_t n) {
+    return daemon.wait_for_disconnects(n, kBarrier);
+  };
+  return sync;
+}
+
+struct SimCycle {
+  net::SimTime when;
+  std::vector<core::Override> overrides;
+};
+
+SimCycle snapshot_sim_cycle(sim::Simulation& sim) {
+  SimCycle cycle;
+  cycle.when = sim.now();
+  cycle.overrides.reserve(sim.controller()->active_overrides().size());
+  for (const auto& [prefix, override_entry] :
+       sim.controller()->active_overrides()) {
+    cycle.overrides.push_back(override_entry);
+  }
+  return cycle;
+}
+
+/// Blocks until every UPDATE the announcer has emitted toward each
+/// peering router has been received and applied there.
+void drain_announcements(
+    const service::EfdService& daemon,
+    std::vector<std::unique_ptr<service::PeeringRouterService>>& routers) {
+  const service::Announcer* announcer = daemon.announcer();
+  ASSERT_NE(announcer, nullptr);
+  for (std::size_t i = 0; i < routers.size(); ++i) {
+    const std::uint64_t sent = announcer->updates_sent_to(i);
+    ASSERT_TRUE(routers[i]->wait_until(
+        [sent](const service::PeeringRouterService::Snapshot& snap) {
+          return snap.updates_received >= sent;
+        },
+        kBarrier))
+        << "router " << i << " never received " << sent << " updates";
+  }
+}
+
+TEST(BgpInterop, TcpAnnouncedDecisionsMatchInProcessEnforcement) {
+  const std::size_t fds_before = io::open_fd_count();
+  {
+    const topology::World world = test_world();
+    topology::Pop pop(world, 0);
+    const sim::SimulationConfig config = sim_config();
+    // The reference: in-process enforcement (the library default) —
+    // overrides are injected straight into the PoP router's Adj-RIB-In.
+    ASSERT_EQ(config.controller.enforcement,
+              core::Enforcement::kBgpInjection);
+    sim::Simulation sim(pop, config);
+
+    std::vector<std::unique_ptr<service::PeeringRouterService>> routers;
+    std::vector<std::uint16_t> ports;
+    for (int i = 0; i < 2; ++i) {
+      routers.push_back(std::make_unique<service::PeeringRouterService>(
+          router_config(world, 90)));
+      routers.back()->start();
+      ports.push_back(routers.back()->bgp_port());
+    }
+
+    service::EfdService daemon(pop, daemon_config(config, ports, 90));
+    daemon.start();
+
+    // Both enforcement sessions must be live before the first cycle so
+    // no announcement is lost to a still-dialing peer.
+    ASSERT_TRUE(daemon.wait_until(
+        [](const service::EfdService::IngestSnapshot& snap) {
+          return snap.bgp_sessions_established == 2;
+        },
+        kBarrier));
+
+    sim::LiveFeed::Config feed_config;
+    feed_config.bmp_port = daemon.bmp_port();
+    feed_config.sflow_port = daemon.sflow_port();
+    sim::LiveFeed feed(sim, feed_config, sync_for(daemon));
+    feed.connect();
+
+    std::vector<SimCycle> expected;
+    while (feed.step()) {
+      if (sim.last().controller) expected.push_back(snapshot_sim_cycle(sim));
+    }
+    ASSERT_GE(expected.size(), 8u);
+    drain_announcements(daemon, routers);
+
+    // (a) Decision parity: the daemon that announced over TCP decided
+    // exactly what the in-process controller decided, every cycle.
+    const std::vector<service::EfdService::CycleDigest> digests =
+        daemon.digests();
+    ASSERT_EQ(digests.size(), expected.size());
+    std::size_t with_overrides = 0;
+    for (std::size_t i = 0; i < digests.size(); ++i) {
+      EXPECT_EQ(digests[i].when, expected[i].when) << "cycle " << i;
+      EXPECT_EQ(digests[i].overrides, expected[i].overrides)
+          << "cycle " << i << ": daemon decided differently";
+      with_overrides += expected[i].overrides.empty() ? 0 : 1;
+    }
+    EXPECT_GT(with_overrides, digests.size() / 2);
+
+    // (b) Enforcement parity: the Adj-RIB-In each peering router built
+    // from TCP UPDATEs carries exactly the attributes the in-process
+    // injection placed in the PoP router's RIB.
+    std::map<net::Prefix, bgp::PathAttributes> in_process;
+    pop.router(0).rib().for_each(
+        [&in_process](const net::Prefix& prefix,
+                      std::span<const bgp::Route> candidates) {
+          for (const bgp::Route& route : candidates) {
+            if (route.attrs.has_community(core::kOverrideCommunity)) {
+              in_process.emplace(prefix, route.attrs);
+            }
+          }
+        });
+    ASSERT_FALSE(in_process.empty());
+    ASSERT_EQ(in_process.size(), expected.back().overrides.size());
+    for (std::size_t i = 0; i < routers.size(); ++i) {
+      std::map<net::Prefix, bgp::PathAttributes> over_tcp;
+      for (const bgp::Route& route : routers[i]->routes()) {
+        over_tcp.emplace(route.prefix, route.attrs);
+      }
+      EXPECT_EQ(over_tcp, in_process)
+          << "router " << i << ": wire enforcement diverged from in-process";
+    }
+
+    // Announce-plane counters made it to the ingest snapshot.
+    const service::EfdService::IngestSnapshot snap = daemon.ingest();
+    EXPECT_EQ(snap.bgp_sessions_configured, 2u);
+    EXPECT_EQ(snap.bgp_sessions_established, 2u);
+    EXPECT_GT(snap.bgp_updates_sent, 0u);
+    EXPECT_EQ(snap.bgp_prefixes_announced, expected.back().overrides.size());
+
+    daemon.stop();
+    for (auto& router : routers) router->stop();
+  }
+  EXPECT_EQ(io::open_fd_count(), fds_before);
+}
+
+TEST(BgpInterop, KilledAnnouncerIsFlushedByHoldTimer) {
+  const std::size_t fds_before = io::open_fd_count();
+  {
+    const topology::World world = test_world();
+    topology::Pop pop(world, 0);
+    const sim::SimulationConfig config = sim_config();
+    sim::Simulation sim(pop, config);
+
+    // Short hold so the test's wall-clock stays tight: negotiated 3s,
+    // keepalives every 1s.
+    constexpr std::uint16_t kHoldSecs = 3;
+    service::PeeringRouterService router(router_config(world, kHoldSecs));
+    router.start();
+
+    service::EfdService daemon(
+        pop, daemon_config(config, {router.bgp_port()}, kHoldSecs));
+    daemon.start();
+
+    sim::LiveFeed::Config feed_config;
+    feed_config.bmp_port = daemon.bmp_port();
+    feed_config.sflow_port = daemon.sflow_port();
+    sim::LiveFeed feed(sim, feed_config, sync_for(daemon));
+    feed.connect();
+
+    // Feed until the daemon has announced a non-empty override set.
+    // bgp_prefixes_announced is published synchronously by the cycle
+    // that announces, so this cannot race the router's receive side.
+    bool announced = false;
+    while (feed.step()) {
+      if (daemon.ingest().bgp_prefixes_announced > 0) {
+        announced = true;
+        break;
+      }
+    }
+    ASSERT_TRUE(announced) << "no cycle ever steered traffic";
+    ASSERT_TRUE(router.wait_until(
+        [](const service::PeeringRouterService::Snapshot& snap) {
+          return snap.prefixes > 0;
+        },
+        kBarrier));
+
+    // Kill: no withdraw, no NOTIFICATION, no FIN. The router may learn
+    // only from its hold timer.
+    const auto killed_at = std::chrono::steady_clock::now();
+    daemon.kill_announcer();
+
+    ASSERT_TRUE(router.wait_until(
+        [](const service::PeeringRouterService::Snapshot& snap) {
+          return snap.hold_expirations >= 1;
+        },
+        10000ms));
+    const auto detected = std::chrono::steady_clock::now() - killed_at;
+    // Not before ~the negotiated hold (it was silence, not a close)...
+    EXPECT_GE(detected, 2000ms);
+    // ...and once the timer fires, every injected override is gone.
+    ASSERT_TRUE(router.wait_until(
+        [](const service::PeeringRouterService::Snapshot& snap) {
+          return snap.prefixes == 0 && snap.routes == 0;
+        },
+        kBarrier));
+
+    daemon.stop();
+    router.stop();
+  }
+  EXPECT_EQ(io::open_fd_count(), fds_before);
+}
+
+TEST(BgpInterop, EnforcementSessionDropIsJournaled) {
+  const std::size_t fds_before = io::open_fd_count();
+  const std::string journal = testing::TempDir() + "bgp_interop_ladder.efj";
+  {
+    const topology::World world = test_world();
+    topology::Pop pop(world, 0);
+    const sim::SimulationConfig config = sim_config();
+
+    auto router = std::make_unique<service::PeeringRouterService>(
+        router_config(world, 90));
+    router->start();
+
+    service::EfdConfig efd_config =
+        daemon_config(config, {router->bgp_port()}, 90);
+    efd_config.journal_path = journal;
+    service::EfdService daemon(pop, efd_config);
+    daemon.start();
+    ASSERT_TRUE(daemon.wait_until(
+        [](const service::EfdService::IngestSnapshot& snap) {
+          return snap.bgp_sessions_established == 1;
+        },
+        kBarrier));
+
+    // The peering router dies underneath a live daemon: the announcer
+    // must notice, journal the drop to the ladder stream, and start
+    // redialing.
+    router.reset();
+    ASSERT_TRUE(daemon.wait_until(
+        [](const service::EfdService::IngestSnapshot& snap) {
+          return snap.bgp_session_drops >= 1;
+        },
+        kBarrier));
+    daemon.stop();
+  }
+  EXPECT_EQ(io::open_fd_count(), fds_before);
+
+  const auto bytes = audit::JournalReader::load(journal);
+  ASSERT_TRUE(bytes.has_value());
+  audit::JournalReader reader(*bytes);
+  bool drop_journaled = false;
+  while (const auto record = reader.next()) {
+    if (auto event = audit::FailsafeEvent::deserialize(*record)) {
+      if (event->reason.find("announcer: session 0 down") !=
+          std::string::npos) {
+        drop_journaled = true;
+      }
+    }
+  }
+  EXPECT_TRUE(drop_journaled);
+}
+
+}  // namespace
+}  // namespace ef

@@ -1,0 +1,259 @@
+// Announcer against real PeeringRouterService instances over loopback:
+// delta announcements, withdraws, redial backoff when the router starts
+// late, drop events, the silent kill, and zero fd leaks throughout.
+#include "service/announcer.h"
+
+#include <gtest/gtest.h>
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <thread>
+
+#include "io/socket.h"
+#include "service/prd.h"
+
+namespace ef::service {
+namespace {
+
+using namespace std::chrono_literals;
+
+core::Override make_override(const char* prefix_text, std::uint32_t next_hop) {
+  core::Override entry;
+  entry.prefix = *net::Prefix::parse(prefix_text);
+  entry.rate = net::Bandwidth::gbps(1.0);
+  entry.next_hop = net::IpAddr::v4(next_hop);
+  entry.as_path = bgp::AsPath{bgp::AsNumber(64512)};
+  entry.target_type = bgp::PeerType::kTransit;
+  return entry;
+}
+
+Announcer::Config announcer_config(std::vector<std::uint16_t> ports) {
+  Announcer::Config config;
+  config.ports = std::move(ports);
+  config.local_as = bgp::AsNumber(65000);
+  config.peer_as = bgp::AsNumber(65000);
+  config.hold_time_secs = 3;
+  config.tick_period = 20ms;
+  config.redial = {.base = 20, .cap = 100, .max_retries = 0};
+  return config;
+}
+
+PeeringRouterService::Config router_config() {
+  PeeringRouterService::Config config;
+  config.local_as = bgp::AsNumber(65000);
+  config.hold_time_secs = 3;
+  config.tick_period = 20ms;
+  return config;
+}
+
+bool wait_for(const std::function<bool()>& pred,
+              std::chrono::milliseconds timeout = 5000ms) {
+  const auto deadline = std::chrono::steady_clock::now() + timeout;
+  while (!pred()) {
+    if (std::chrono::steady_clock::now() >= deadline) return false;
+    std::this_thread::sleep_for(2ms);
+  }
+  return true;
+}
+
+TEST(Announcer, DeltaAnnounceAndWithdraw) {
+  const std::size_t fds_before = io::open_fd_count();
+  {
+    PeeringRouterService router(router_config());
+    router.start();
+
+    io::EventLoop loop;
+    Announcer announcer(loop, announcer_config({router.bgp_port()}));
+    std::thread runner([&loop] { loop.run(); });
+    loop.run_sync([&announcer] { announcer.connect(); });
+    ASSERT_TRUE(
+        wait_for([&] { return announcer.stats().sessions_established == 1; }));
+
+    // Cycle 1: two overrides.
+    std::map<net::Prefix, core::Override> overrides;
+    overrides.emplace(*net::Prefix::parse("100.1.0.0/24"),
+                      make_override("100.1.0.0/24", 0x0A000001));
+    overrides.emplace(*net::Prefix::parse("100.2.0.0/24"),
+                      make_override("100.2.0.0/24", 0x0A000001));
+    loop.run_sync([&] { announcer.announce(overrides, bgp::wall_now()); });
+    ASSERT_TRUE(wait_for([&] { return router.snapshot().prefixes == 2; }));
+    const std::uint64_t sent_after_first = announcer.stats().updates_sent;
+    EXPECT_GT(sent_after_first, 0u);
+
+    // Cycle 2: identical set — a true delta announcer sends nothing.
+    loop.run_sync([&] { announcer.announce(overrides, bgp::wall_now()); });
+    EXPECT_EQ(announcer.stats().updates_sent, sent_after_first);
+
+    // Cycle 3: one prefix swapped — one announce + one withdraw, not a
+    // full refresh.
+    overrides.erase(*net::Prefix::parse("100.2.0.0/24"));
+    overrides.emplace(*net::Prefix::parse("100.3.0.0/24"),
+                      make_override("100.3.0.0/24", 0x0A000001));
+    loop.run_sync([&] { announcer.announce(overrides, bgp::wall_now()); });
+    ASSERT_TRUE(wait_for([&] {
+      const auto snap = router.snapshot();
+      return snap.prefixes == 2 && snap.updates_received >= sent_after_first;
+    }));
+    bool has_new = false, has_old = false;
+    for (const bgp::Route& route : router.routes()) {
+      has_new |= route.prefix == *net::Prefix::parse("100.3.0.0/24");
+      has_old |= route.prefix == *net::Prefix::parse("100.2.0.0/24");
+    }
+    EXPECT_TRUE(has_new);
+    EXPECT_FALSE(has_old);
+    EXPECT_GE(announcer.stats().withdraw_msgs, 1u);
+
+    // Explicit fail-static: everything goes, immediately.
+    loop.run_sync([&] { announcer.withdraw_all(bgp::wall_now()); });
+    ASSERT_TRUE(wait_for([&] { return router.snapshot().prefixes == 0; }));
+    EXPECT_EQ(announcer.stats().prefixes_active, 0u);
+
+    loop.stop();
+    runner.join();
+    router.stop();
+  }
+  EXPECT_EQ(io::open_fd_count(), fds_before);
+}
+
+TEST(Announcer, RedialsUntilRouterAppears) {
+  const std::size_t fds_before = io::open_fd_count();
+  {
+    // Reserve a port by binding and closing a listener, then announce at
+    // it before any router exists.
+    std::uint16_t port = 0;
+    {
+      auto probe = io::TcpListener::open(0);
+      ASSERT_TRUE(probe.has_value());
+      port = probe->port();
+    }
+
+    io::EventLoop loop;
+    Announcer announcer(loop, announcer_config({port}));
+    std::thread runner([&loop] { loop.run(); });
+    loop.run_sync([&announcer] { announcer.connect(); });
+
+    // Let the backoff schedule spin against the closed port.
+    std::this_thread::sleep_for(100ms);
+    EXPECT_EQ(announcer.stats().sessions_established, 0u);
+
+    auto config = router_config();
+    config.bgp_port = port;
+    PeeringRouterService router(config);
+    router.start();
+    ASSERT_TRUE(
+        wait_for([&] { return announcer.stats().sessions_established == 1; }));
+
+    // A session established after redials still syncs the full set.
+    std::map<net::Prefix, core::Override> overrides;
+    overrides.emplace(*net::Prefix::parse("100.9.0.0/24"),
+                      make_override("100.9.0.0/24", 0x0A000001));
+    loop.run_sync([&] { announcer.announce(overrides, bgp::wall_now()); });
+    ASSERT_TRUE(wait_for([&] { return router.snapshot().prefixes == 1; }));
+
+    loop.stop();
+    runner.join();
+    router.stop();
+  }
+  EXPECT_EQ(io::open_fd_count(), fds_before);
+}
+
+TEST(Announcer, RouterRestartDropsAndResyncs) {
+  const std::size_t fds_before = io::open_fd_count();
+  {
+    auto first = std::make_unique<PeeringRouterService>(router_config());
+    first->start();
+    const std::uint16_t port = first->bgp_port();
+
+    io::EventLoop loop;
+    Announcer announcer(loop, announcer_config({port}));
+    std::vector<std::pair<bool, std::string>> events;
+    std::mutex events_mu;
+    announcer.set_event_handler(
+        [&](std::size_t, bool up, const std::string& reason) {
+          std::lock_guard<std::mutex> lock(events_mu);
+          events.emplace_back(up, reason);
+        });
+    std::thread runner([&loop] { loop.run(); });
+    loop.run_sync([&announcer] { announcer.connect(); });
+    ASSERT_TRUE(
+        wait_for([&] { return announcer.stats().sessions_established == 1; }));
+
+    std::map<net::Prefix, core::Override> overrides;
+    overrides.emplace(*net::Prefix::parse("100.7.0.0/24"),
+                      make_override("100.7.0.0/24", 0x0A000001));
+    loop.run_sync([&] { announcer.announce(overrides, bgp::wall_now()); });
+    ASSERT_TRUE(wait_for([&] { return first->snapshot().prefixes == 1; }));
+
+    // Router dies; the announcer must notice, report, and start
+    // redialing.
+    first.reset();
+    ASSERT_TRUE(wait_for([&] { return announcer.stats().session_drops == 1; }));
+    {
+      std::lock_guard<std::mutex> lock(events_mu);
+      ASSERT_FALSE(events.empty());
+      EXPECT_FALSE(events.back().first);
+    }
+
+    // Router reborn on the same port: session re-establishes and the
+    // current override set is resynced without an explicit announce.
+    auto config = router_config();
+    config.bgp_port = port;
+    PeeringRouterService second(config);
+    second.start();
+    ASSERT_TRUE(
+        wait_for([&] { return announcer.stats().sessions_established == 1; }));
+    ASSERT_TRUE(wait_for([&] { return second.snapshot().prefixes == 1; }));
+    EXPECT_GE(announcer.stats().redials, 1u);
+
+    loop.stop();
+    runner.join();
+    second.stop();
+  }
+  EXPECT_EQ(io::open_fd_count(), fds_before);
+}
+
+TEST(Announcer, KillGoesSilentUntilHoldExpiry) {
+  const std::size_t fds_before = io::open_fd_count();
+  {
+    PeeringRouterService router(router_config());
+    router.start();
+
+    io::EventLoop loop;
+    Announcer announcer(loop, announcer_config({router.bgp_port()}));
+    std::thread runner([&loop] { loop.run(); });
+    loop.run_sync([&announcer] { announcer.connect(); });
+    ASSERT_TRUE(
+        wait_for([&] { return announcer.stats().sessions_established == 1; }));
+
+    std::map<net::Prefix, core::Override> overrides;
+    overrides.emplace(*net::Prefix::parse("100.5.0.0/24"),
+                      make_override("100.5.0.0/24", 0x0A000001));
+    loop.run_sync([&] { announcer.announce(overrides, bgp::wall_now()); });
+    ASSERT_TRUE(wait_for([&] { return router.snapshot().prefixes == 1; }));
+
+    const auto killed_at = std::chrono::steady_clock::now();
+    loop.run_sync([&announcer] { announcer.kill(); });
+    EXPECT_TRUE(announcer.killed());
+
+    // The router must learn only via hold-timer expiry (negotiated 3s),
+    // after which the injected route is flushed.
+    ASSERT_TRUE(wait_for(
+        [&] { return router.snapshot().hold_expirations == 1; }, 10000ms));
+    EXPECT_GE(std::chrono::steady_clock::now() - killed_at, 2000ms);
+    ASSERT_TRUE(wait_for([&] { return router.snapshot().prefixes == 0; }));
+
+    // A killed announcer never dials back.
+    std::this_thread::sleep_for(200ms);
+    EXPECT_EQ(router.snapshot().connections, 1u);
+
+    loop.stop();
+    runner.join();
+    router.stop();
+  }
+  EXPECT_EQ(io::open_fd_count(), fds_before);
+}
+
+}  // namespace
+}  // namespace ef::service

@@ -12,6 +12,8 @@
 //   eftool replay     FILE [--verbose]
 //   eftool whatif     FILE --drain I | --scale-demand F | ... [--cycle N]
 //   eftool serve      [--pop K] [--bmp P] [--sflow P] [--http P] [...]
+//   eftool pr         [--port P] [--as N] [--hold-secs S] [...]
+//   eftool announce   --ports P1[,P2...] [--count N] [--linger-secs S] [...]
 //   eftool feed       FILE --bmp P [--sflow P] [--http P] [--limit N]
 //   eftool chaos      [--steps N] [--fault-seed S] [--drop R] [...]
 //
@@ -49,6 +51,7 @@
 #include "io/fault.h"
 #include "io/socket.h"
 #include "service/efd.h"
+#include "service/prd.h"
 #include "sim/fleet.h"
 #include "sim/live_feed.h"
 #include "sim/simulation.h"
@@ -764,6 +767,53 @@ std::uint16_t port_opt(const Args& args, const std::string& key) {
   return static_cast<std::uint16_t>(port);
 }
 
+/// Comma-separated port list, each in [1, 65535]; strict like every
+/// other numeric flag (anything else exits 2).
+std::vector<std::uint16_t> ports_list_opt(const Args& args,
+                                          const std::string& key) {
+  std::vector<std::uint16_t> ports;
+  const std::string text = args.get(key, "");
+  if (text.empty()) return ports;
+  std::size_t pos = 0;
+  while (pos <= text.size()) {
+    std::size_t comma = text.find(',', pos);
+    if (comma == std::string::npos) comma = text.size();
+    const std::string item = text.substr(pos, comma - pos);
+    std::size_t consumed = 0;
+    long port = 0;
+    try {
+      port = std::stol(item, &consumed);
+    } catch (...) {
+      die_bad_value(key, text);
+    }
+    if (consumed != item.size() || port < 1 || port > 65535) {
+      die_bad_value(key, text);
+    }
+    ports.push_back(static_cast<std::uint16_t>(port));
+    pos = comma + 1;
+  }
+  return ports;
+}
+
+/// Hold-time offer in seconds. 0 disables timers; 1 and 2 are the
+/// RFC 4271 §4.2 unacceptable values every speaker here refuses, so
+/// offering them is a flag error, not a protocol experiment.
+std::uint16_t hold_secs_opt(const Args& args, const std::string& key,
+                            long fallback) {
+  const long secs = args.num(key, fallback);
+  if (secs < 0 || secs > 65535 || secs == 1 || secs == 2) {
+    die_bad_value(key, args.get(key, ""));
+  }
+  return static_cast<std::uint16_t>(secs);
+}
+
+std::uint32_t u32_opt(const Args& args, const std::string& key,
+                      std::uint32_t fallback) {
+  const long value = args.num(key, static_cast<long>(fallback));
+  if (value < 0 || value > 0xffffffffL) die_bad_value(key, args.get(key, ""));
+  return static_cast<std::uint32_t>(value);
+}
+
 /// Runs the efd daemon in the foreground until SIGINT/SIGTERM. Same
 /// wiring as the standalone `efd` binary, reachable from the operator
 /// CLI.
@@ -798,6 +848,8 @@ int cmd_serve(const Args& args) {
       static_cast<std::uint32_t>(args.num("sample-rate", 10));
   config.real_time_cycles = args.has("real-time");
   apply_failsafe_flags(args, config);
+  config.announce_ports = ports_list_opt(args, "announce");
+  config.announce_hold_secs = hold_secs_opt(args, "announce-hold-secs", 90);
 
   service::EfdService service(pop, config);
   service.shutdown_on_signals();
@@ -812,6 +864,13 @@ int cmd_serve(const Args& args) {
         config.failsafe.hold_ttl.seconds_value(),
         config.controller.max_churn_frac);
   }
+  if (!config.announce_ports.empty()) {
+    std::printf(
+        "eftool serve: announcing overrides to %zu peering router(s), "
+        "hold %us\n",
+        config.announce_ports.size(),
+        static_cast<unsigned>(config.announce_hold_secs));
+  }
   std::printf(
       "eftool serve: bmp 127.0.0.1:%u  sflow 127.0.0.1:%u  http "
       "127.0.0.1:%u\n",
@@ -819,6 +878,137 @@ int cmd_serve(const Args& args) {
   std::fflush(stdout);
   service.wait();
   std::printf("eftool serve: stopped\n");
+  return 0;
+}
+
+/// Foreground peering-router daemon: a BgpSpeaker behind a TCP listener
+/// applying the PoP import policy, until SIGINT/SIGTERM.
+int cmd_pr(const Args& args) {
+  sigset_t sigs;
+  sigemptyset(&sigs);
+  sigaddset(&sigs, SIGINT);
+  sigaddset(&sigs, SIGTERM);
+  sigprocmask(SIG_BLOCK, &sigs, nullptr);
+
+  service::PeeringRouterService::Config config;
+  config.bgp_port = port_opt(args, "port");
+  const std::uint32_t local_as = u32_opt(args, "as", 65000);
+  if (local_as == 0) die_bad_value("as", args.get("as", ""));
+  config.local_as = bgp::AsNumber(local_as);
+  config.peer_as = bgp::AsNumber(u32_opt(args, "peer-as", 0));
+  config.router_id = bgp::RouterId(u32_opt(args, "router-id", 0x7f0000fe));
+  config.hold_time_secs = hold_secs_opt(args, "hold-secs", 90);
+
+  service::PeeringRouterService service(config);
+  service.shutdown_on_signals();
+  service.start();
+  std::printf("eftool pr: bgp 127.0.0.1:%u  as %u  hold %us\n",
+              service.bgp_port(), local_as,
+              static_cast<unsigned>(config.hold_time_secs));
+  std::fflush(stdout);
+  service.wait();
+  const service::PeeringRouterService::Snapshot snap = service.snapshot();
+  std::printf(
+      "eftool pr: stopped (%ju connection(s), %ju session(s) established, "
+      "%ju hold expiration(s), %ju update(s), %ju prefix(es) held)\n",
+      static_cast<std::uintmax_t>(snap.connections),
+      static_cast<std::uintmax_t>(snap.sessions_established),
+      static_cast<std::uintmax_t>(snap.hold_expirations),
+      static_cast<std::uintmax_t>(snap.updates_received),
+      static_cast<std::uintmax_t>(snap.prefixes));
+  return 0;
+}
+
+/// Smoke-test client for `eftool pr`: dials the given peering routers,
+/// announces a synthetic override set, lingers, withdraws, exits.
+int cmd_announce(const Args& args) {
+  const std::vector<std::uint16_t> ports = ports_list_opt(args, "ports");
+  if (ports.empty()) {
+    std::fprintf(stderr, "eftool announce: --ports P1[,P2...] is required\n");
+    return 2;
+  }
+  const long count = args.num("count", 8);
+  if (count < 1 || count > 65536) die_bad_value("count", args.get("count", ""));
+  const double linger = nonneg_real(args, "linger-secs", 1.0);
+  const std::uint32_t local_pref = u32_opt(args, "local-pref", 1000);
+  if (local_pref == 0) {
+    die_bad_value("local-pref", args.get("local-pref", ""));
+  }
+  const std::uint32_t local_as = u32_opt(args, "as", 65000);
+  if (local_as == 0) die_bad_value("as", args.get("as", ""));
+
+  service::Announcer::Config config;
+  config.ports = ports;
+  config.local_as = bgp::AsNumber(local_as);
+  config.peer_as = bgp::AsNumber(u32_opt(args, "peer-as", 0));
+  config.router_id = bgp::RouterId(u32_opt(args, "router-id", 0xefd00001));
+  config.hold_time_secs = hold_secs_opt(args, "hold-secs", 90);
+  config.override_local_pref = local_pref;
+
+  io::EventLoop loop;
+  service::Announcer announcer(loop, config);
+  announcer.set_event_handler(
+      [](std::size_t peer, bool up, const std::string& reason) {
+        std::printf("eftool announce: peer %zu %s (%s)\n", peer,
+                    up ? "up" : "down", reason.c_str());
+        std::fflush(stdout);
+      });
+  std::thread runner([&loop] { loop.run(); });
+  loop.run_sync([&announcer] { announcer.connect(); });
+
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(15);
+  while (announcer.stats().sessions_established < ports.size()) {
+    if (std::chrono::steady_clock::now() >= deadline) {
+      std::fprintf(stderr,
+                   "eftool announce: only %ju of %zu session(s) "
+                   "established in 15s\n",
+                   static_cast<std::uintmax_t>(
+                       announcer.stats().sessions_established),
+                   ports.size());
+      loop.stop();
+      runner.join();
+      return 1;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+
+  // Synthetic overrides: one /24 per prefix, detour into transit — the
+  // same shape the controller emits, minus the real allocation behind it.
+  std::map<net::Prefix, core::Override> overrides;
+  for (long i = 0; i < count; ++i) {
+    core::Override entry;
+    const std::uint32_t block =
+        0x0a000000u + (static_cast<std::uint32_t>(i) << 8);
+    entry.prefix = net::Prefix(net::IpAddr::v4(block), 24);
+    entry.rate = net::Bandwidth::gbps(1.0);
+    entry.next_hop = net::IpAddr::v4(0xC0000201);  // 192.0.2.1
+    entry.as_path = bgp::AsPath{bgp::AsNumber(64512)};
+    entry.target_type = bgp::PeerType::kTransit;
+    overrides[entry.prefix] = entry;
+  }
+  loop.run_sync([&announcer, &overrides] {
+    announcer.announce(overrides, bgp::wall_now());
+  });
+  std::printf("eftool announce: %ld prefix(es) announced to %zu peer(s)\n",
+              count, ports.size());
+  std::fflush(stdout);
+
+  std::this_thread::sleep_for(
+      std::chrono::milliseconds(static_cast<long>(linger * 1000.0)));
+  loop.run_sync([&announcer] { announcer.withdraw_all(bgp::wall_now()); });
+  // Give the withdraw UPDATEs a moment to drain before the sockets close.
+  std::this_thread::sleep_for(std::chrono::milliseconds(100));
+
+  const service::Announcer::Stats stats = announcer.stats();
+  loop.stop();
+  runner.join();
+  std::printf(
+      "eftool announce: done (%ju update(s) sent, %ju withdraw message(s), "
+      "%ju redial(s))\n",
+      static_cast<std::uintmax_t>(stats.updates_sent),
+      static_cast<std::uintmax_t>(stats.withdraw_msgs),
+      static_cast<std::uintmax_t>(stats.redials));
   return 0;
 }
 
@@ -1370,8 +1560,20 @@ int usage() {
       "             [--real-time] [--cycle-secs S] [--sample-rate N]\n"
       "             [--failsafe] [--max-demand-age SECS] [--hold-ttl SECS]\n"
       "             [--max-churn-frac F] [--journal FILE]\n"
+      "             [--announce P1[,P2...]] [--announce-hold-secs S]\n"
       "             (foreground efd daemon; port 0 = ephemeral, printed;\n"
-      "              any failsafe threshold flag arms the ladder)\n"
+      "              any failsafe threshold flag arms the ladder;\n"
+      "              --announce enforces overrides over BGP/TCP)\n"
+      "  pr         [--port P] [--as N] [--peer-as N] [--router-id N]\n"
+      "             [--hold-secs S]\n"
+      "             (foreground peering router: accepts BGP sessions,\n"
+      "              applies the PoP import policy; a silent announcer\n"
+      "              is flushed when the hold timer expires)\n"
+      "  announce   --ports P1[,P2...] [--as N] [--peer-as N]\n"
+      "             [--router-id N] [--hold-secs S] [--count N]\n"
+      "             [--local-pref L] [--linger-secs S]\n"
+      "             (dial peering routers, announce synthetic overrides,\n"
+      "              linger, withdraw, exit)\n"
       "  feed       FILE --bmp P [--sflow P] [--http P] [--limit N]\n"
       "             [--retry N]\n"
       "             (stream a .efj cycle journal or MRT dump into a\n"
@@ -1404,6 +1606,8 @@ int main(int argc, char** argv) {
   if (args.command == "replay") return cmd_replay(args);
   if (args.command == "whatif") return cmd_whatif(args);
   if (args.command == "serve") return cmd_serve(args);
+  if (args.command == "pr") return cmd_pr(args);
+  if (args.command == "announce") return cmd_announce(args);
   if (args.command == "feed") return cmd_feed(args);
   if (args.command == "chaos") return cmd_chaos(args);
   if (!args.command.empty()) {
