@@ -77,6 +77,55 @@ int compare_routes(const Route& a, const Route& b,
   return decide(DecisionStep::kPeerId, a.learned_from < b.learned_from ? -1 : 1);
 }
 
+RankKey make_rank_key(const Route& route) {
+  RankKey key;
+  key.local_pref = route.effective_local_pref().value();
+  key.path_len = static_cast<std::uint32_t>(route.attrs.as_path.length());
+  key.origin = static_cast<std::uint8_t>(route.attrs.origin);
+  key.has_med = route.attrs.has_med;
+  key.med = route.attrs.med.value();
+  key.neighbor_as = route.neighbor_as.value();
+  key.learned_at_ms = route.learned_at.millis_value();
+  key.router_id = route.neighbor_router_id.value();
+  key.peer_id = route.learned_from.value();
+  return key;
+}
+
+int compare_keys(const RankKey& a, const RankKey& b,
+                 const DecisionConfig& config, DecisionStep* step_out) {
+  auto decide = [&](DecisionStep step, int result) {
+    if (step_out) *step_out = step;
+    return result;
+  };
+
+  // Mirror of compare_routes, rule for rule; see that function for the
+  // rationale behind each step.
+  if (a.local_pref != b.local_pref) {
+    return decide(DecisionStep::kLocalPref, a.local_pref > b.local_pref ? -1 : 1);
+  }
+  if (a.path_len != b.path_len) {
+    return decide(DecisionStep::kAsPathLength, a.path_len < b.path_len ? -1 : 1);
+  }
+  if (a.origin != b.origin) {
+    return decide(DecisionStep::kOrigin, a.origin < b.origin ? -1 : 1);
+  }
+  if (config.compare_med_across_as || a.neighbor_as == b.neighbor_as) {
+    const std::uint32_t med_a = a.has_med ? a.med : 0;
+    const std::uint32_t med_b = b.has_med ? b.med : 0;
+    if (med_a != med_b) {
+      return decide(DecisionStep::kMed, med_a < med_b ? -1 : 1);
+    }
+  }
+  if (config.prefer_oldest && a.learned_at_ms != b.learned_at_ms) {
+    return decide(DecisionStep::kRouteAge,
+                  a.learned_at_ms < b.learned_at_ms ? -1 : 1);
+  }
+  if (a.router_id != b.router_id) {
+    return decide(DecisionStep::kRouterId, a.router_id < b.router_id ? -1 : 1);
+  }
+  return decide(DecisionStep::kPeerId, a.peer_id < b.peer_id ? -1 : 1);
+}
+
 DecisionResult select_best(std::span<const Route> candidates,
                            const DecisionConfig& config) {
   DecisionResult result;
@@ -119,6 +168,44 @@ std::vector<std::size_t> rank_routes(std::span<const Route> candidates,
     remaining.erase(remaining.begin() + static_cast<std::ptrdiff_t>(best_pos));
   }
   return order;
+}
+
+DecisionResult select_best_keys(std::span<const RankKey> keys,
+                                const DecisionConfig& config) {
+  DecisionResult result;
+  if (keys.empty()) return result;
+  result.best_index = 0;
+  result.deciding_step = DecisionStep::kNoChoice;
+  for (std::size_t i = 1; i < keys.size(); ++i) {
+    DecisionStep step = DecisionStep::kNoChoice;
+    const int cmp =
+        compare_keys(keys[i], keys[result.best_index], config, &step);
+    if (cmp < 0) result.best_index = i;
+    if (step > result.deciding_step) result.deciding_step = step;
+  }
+  return result;
+}
+
+void rank_keys(std::span<const RankKey> keys, const DecisionConfig& config,
+               std::vector<std::size_t>& order) {
+  // Repeated election, exactly like rank_routes (the same-AS MED rule is
+  // not a strict weak ordering, so no std::sort) — but each comparison is
+  // a scan of two flat keys, never a pointer chase into a Route.
+  order.clear();
+  order.reserve(keys.size());
+  std::vector<std::size_t> remaining(keys.size());
+  std::iota(remaining.begin(), remaining.end(), std::size_t{0});
+  while (!remaining.empty()) {
+    std::size_t best_pos = 0;
+    for (std::size_t pos = 1; pos < remaining.size(); ++pos) {
+      if (compare_keys(keys[remaining[pos]], keys[remaining[best_pos]],
+                       config) < 0) {
+        best_pos = pos;
+      }
+    }
+    order.push_back(remaining[best_pos]);
+    remaining.erase(remaining.begin() + static_cast<std::ptrdiff_t>(best_pos));
+  }
 }
 
 }  // namespace ef::bgp

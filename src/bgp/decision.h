@@ -47,6 +47,36 @@ struct DecisionConfig {
 int compare_routes(const Route& a, const Route& b, const DecisionConfig& config,
                    DecisionStep* step_out = nullptr);
 
+/// Columnar decision key: every scalar the decision process consults,
+/// extracted from a Route into one flat POD. A ranking over keys touches
+/// one contiguous array instead of chasing each Route's AsPath vector
+/// and scattered attribute fields — the SoA layout the RIB keeps as a
+/// per-prefix sidecar so elections and rankings are linear scans.
+struct RankKey {
+  std::uint32_t local_pref = 0;   // effective LOCAL_PREF (higher wins)
+  std::uint32_t path_len = 0;     // AS_PATH length (shorter wins)
+  std::uint8_t origin = 0;        // Origin (lower wins)
+  bool has_med = false;
+  std::uint32_t med = 0;          // lower wins, same-AS gated
+  std::uint32_t neighbor_as = 0;  // MED comparability gate
+  std::int64_t learned_at_ms = 0; // older wins (stability)
+  std::uint32_t router_id = 0;    // lower wins
+  std::uint32_t peer_id = 0;      // lower wins (total order)
+
+  friend bool operator==(const RankKey&, const RankKey&) = default;
+};
+
+/// Extracts the decision key of a route. compare_keys(make_rank_key(a),
+/// make_rank_key(b), ...) decides identically to compare_routes(a, b, ...)
+/// — the property DecisionKeysMatchRoutes locks in.
+RankKey make_rank_key(const Route& route);
+
+/// Key-space twin of compare_routes: same rules, same order, same
+/// step_out semantics, but reads only the flat key fields.
+int compare_keys(const RankKey& a, const RankKey& b,
+                 const DecisionConfig& config,
+                 DecisionStep* step_out = nullptr);
+
 struct DecisionResult {
   /// Index into the candidate span, or npos if empty.
   std::size_t best_index = npos;
@@ -66,5 +96,17 @@ DecisionResult select_best(std::span<const Route> candidates,
 /// preference order.
 std::vector<std::size_t> rank_routes(std::span<const Route> candidates,
                                      const DecisionConfig& config);
+
+/// Key-space election: identical result to select_best over the routes
+/// the keys were extracted from, but a pure linear scan of the key
+/// column.
+DecisionResult select_best_keys(std::span<const RankKey> keys,
+                                const DecisionConfig& config);
+
+/// Key-space ranking: identical order to rank_routes over the source
+/// routes. Fills `order` in place (cleared first) so a caller with a
+/// cached vector ranks without allocating.
+void rank_keys(std::span<const RankKey> keys, const DecisionConfig& config,
+               std::vector<std::size_t>& order);
 
 }  // namespace ef::bgp

@@ -30,7 +30,9 @@ Rib& Rib::operator=(const Rib& other) {
 }
 
 void Rib::reelect(Entry& entry) {
-  const DecisionResult result = select_best(entry.routes, config_);
+  // Election runs over the key column: one linear scan of flat PODs, no
+  // per-comparison pointer chase into AsPath storage.
+  const DecisionResult result = select_best_keys(entry.keys, config_);
   entry.best = result.best_index;
   entry.step = result.deciding_step;
 }
@@ -48,8 +50,11 @@ RibChange Rib::announce(const Route& route) {
                          });
   if (it != entry.routes.end()) {
     *it = route;  // implicit replace (RFC 4271 §9.1.1)
+    entry.keys[static_cast<std::size_t>(it - entry.routes.begin())] =
+        make_rank_key(route);
   } else {
     entry.routes.push_back(route);
+    entry.keys.push_back(make_rank_key(route));
     ++route_count_;
   }
   ++entry.epoch;
@@ -76,6 +81,7 @@ RibChange Rib::withdraw(PeerId peer, const net::Prefix& prefix) {
   const bool was_best =
       entry.best != DecisionResult::npos &&
       static_cast<std::size_t>(it - entry.routes.begin()) == entry.best;
+  entry.keys.erase(entry.keys.begin() + (it - entry.routes.begin()));
   entry.routes.erase(it);
   --route_count_;
   ++entry.epoch;
@@ -107,6 +113,7 @@ std::vector<net::Prefix> Rib::remove_peer(PeerId peer) {
         entry.best != DecisionResult::npos &&
         static_cast<std::size_t>(route_it - entry.routes.begin()) ==
             entry.best;
+    entry.keys.erase(entry.keys.begin() + (route_it - entry.routes.begin()));
     entry.routes.erase(route_it);
     --route_count_;
     ++entry.epoch;
@@ -153,14 +160,29 @@ std::span<const std::size_t> Rib::ranked_cached(
 }
 
 Rib::RankedView Rib::ranked_view(const net::Prefix& prefix) const {
+  if (!entries_.contains(prefix)) return {};  // unknown: count nothing
+  bool hit = false;
+  const RankedView view = ranked_view_uncounted(prefix, hit);
+  if (hit) {
+    ++rank_stats_.hits;
+  } else {
+    ++rank_stats_.misses;
+  }
+  return view;
+}
+
+Rib::RankedView Rib::ranked_view_uncounted(const net::Prefix& prefix,
+                                           bool& cache_hit) const {
+  cache_hit = false;
   auto it = entries_.find(prefix);
   if (it == entries_.end()) return {};
   const Entry& entry = it->second;
   if (entry.ranked_epoch == entry.epoch) {
-    ++rank_stats_.hits;
+    cache_hit = true;
   } else {
-    ++rank_stats_.misses;
-    entry.ranked_order = rank_routes(entry.routes, config_);
+    // Ranking scans the columnar key sidecar — contiguous PODs — instead
+    // of re-deriving scalars from each Route on every comparison.
+    rank_keys(entry.keys, config_, entry.ranked_order);
     entry.ranked_epoch = entry.epoch;
   }
   return {entry.routes, entry.ranked_order};

@@ -65,6 +65,17 @@ class Rib {
   };
   RankedView ranked_view(const net::Prefix& prefix) const;
 
+  /// ranked_view() minus the shared hit/miss accounting, for the sharded
+  /// allocator's parallel arena rebuild. Concurrent calls are safe iff no
+  /// two threads touch the SAME prefix (each entry's ranking cache is
+  /// per-prefix state; the shared counters are the only cross-prefix
+  /// mutable state and this variant leaves them alone) and nothing
+  /// mutates the Rib meanwhile. `cache_hit` reports whether the ranking
+  /// was served from cache; callers tally per shard and settle the
+  /// books once via credit_rank_cache().
+  RankedView ranked_view_uncounted(const net::Prefix& prefix,
+                                   bool& cache_hit) const;
+
   /// Monotonic per-prefix mutation counter: moves on every announce /
   /// withdraw / remove_peer that touches the prefix. 0 for unknown
   /// prefixes; starts at 1 on first announce.
@@ -101,6 +112,15 @@ class Rib {
   /// many rankings were served from cache.
   void credit_rank_cache_hits(std::uint64_t n) const { rank_stats_.hits += n; }
 
+  /// Settles the books after a batch of ranked_view_uncounted() calls:
+  /// the sharded rebuild tallies hits/misses per shard off to the side
+  /// and credits them here once, post-barrier, so the shared counters
+  /// are never touched concurrently.
+  void credit_rank_cache(std::uint64_t hits, std::uint64_t misses) const {
+    rank_stats_.hits += hits;
+    rank_stats_.misses += misses;
+  }
+
   /// Rule that decided the current best for the prefix.
   std::optional<DecisionStep> deciding_step(const net::Prefix& prefix) const;
 
@@ -120,12 +140,17 @@ class Rib {
  private:
   struct Entry {
     std::vector<Route> routes;
+    /// Columnar decision-key sidecar, kept 1:1 with `routes` at mutation
+    /// time. Elections and rankings scan this flat array instead of
+    /// chasing each Route's AsPath/attribute storage — the SoA layout
+    /// that makes ranked_view() a linear scan.
+    std::vector<RankKey> keys;
     std::size_t best = DecisionResult::npos;
     DecisionStep step = DecisionStep::kNoChoice;
     /// Bumped on every mutation of `routes`; lets consumers (and the
     /// ranking cache below) detect churn without diffing routes.
     std::uint64_t epoch = 1;
-    /// Ranking cache: `ranked_order` is rank_routes(routes) computed at
+    /// Ranking cache: `ranked_order` is the key-space ranking computed at
     /// `ranked_epoch`; stale whenever ranked_epoch != epoch (0 = never
     /// computed). Mutable because the cache is an optimization, never an
     /// input — filling it on a const Rib does not change any decision.

@@ -105,6 +105,26 @@ struct Allocator::Workspace::Impl {
   std::vector<EgressSlot> slots;
   std::unordered_map<net::IpAddr, std::uint32_t> slot_of;
 
+  /// Per-chunk scratch for the sharded (parallel) arena rebuild: each
+  /// worker fills its own arena segment, NEXT_HOP first-appearance list,
+  /// and ranking-cache tallies; the merge concatenates segments in chunk
+  /// order (order-preserving, so the combined arena is byte-for-byte the
+  /// serial one) and settles the slot table and cache counters serially.
+  /// Persisted so warm parallel rebuilds reuse the vectors' capacity.
+  struct RebuildChunk {
+    std::vector<const bgp::Route*> alternates;
+    std::vector<const bgp::Route*> hop_order;  // first route per new hop
+    std::unordered_map<net::IpAddr, const bgp::Route*> hop_seen;
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+    std::size_t arena_offset = 0;
+  };
+  std::vector<RebuildChunk> chunks;
+
+  /// Dense indices of the interfaces phase 2 found overloaded, in
+  /// ascending order — the iteration order of both the (parallelizable)
+  /// score/sort pass and the (serial) placement pass.
+  std::vector<std::uint32_t> overloaded;
 };
 
 Allocator::Workspace::Workspace() : impl_(std::make_unique<Impl>()) {}
@@ -124,8 +144,12 @@ AllocationResult Allocator::allocate(
 AllocationResult Allocator::allocate(
     const bgp::Rib& rib, const telemetry::DemandMatrix& demand,
     const telemetry::InterfaceRegistry& interfaces,
-    const EgressResolver& resolve, Workspace& workspace) const {
+    const EgressResolver& resolve, Workspace& workspace,
+    runtime::ThreadPool* pool) const {
   Workspace::Impl& ws = *workspace.impl_;
+  // A one-worker pool has nothing to shard; fold it into the serial path
+  // so the parallel branches below can assume at least two workers.
+  if (pool != nullptr && pool->size() <= 1) pool = nullptr;
   const std::size_t iface_count = interfaces.size();
   AllocationResult result;
 
@@ -243,30 +267,134 @@ AllocationResult Allocator::allocate(
     // arena must be rediscovered.
     ws.slots.clear();
     ws.slot_of.clear();
-    ws.alternates.clear();
-    ws.filt_begin.resize(ws.demand_sorted.size());
-    ws.filt_count.resize(ws.demand_sorted.size());
-    for (std::size_t i = 0; i < ws.demand_sorted.size(); ++i) {
-      const bgp::Rib::RankedView view =
-          rib.ranked_view(ws.demand_sorted[i].first);
-      // Controller-injected routes are dropped after ranking; that is
-      // safe because the relative order of natural routes does not
-      // depend on the injected ones. Filtering depends only on the
-      // routes, so the slices stay valid exactly as long as the views.
-      const std::size_t mark = ws.alternates.size();
-      for (std::size_t index : view.order) {
-        const bgp::Route& route = view.routes[index];
-        if (route.peer_type != bgp::PeerType::kController) {
-          ws.alternates.push_back(&route);
+    const std::size_t demand_count = ws.demand_sorted.size();
+    ws.filt_begin.resize(demand_count);
+    ws.filt_count.resize(demand_count);
+
+    // Chunking: only worth it when each worker gets a real slice of
+    // prefixes; tiny tables stay on the serial path below.
+    constexpr std::size_t kMinChunk = 1024;
+    std::size_t chunk_count = 1;
+    if (pool != nullptr && demand_count >= 2 * kMinChunk) {
+      chunk_count = std::min<std::size_t>(
+          static_cast<std::size_t>(pool->size()) * 4,
+          demand_count / kMinChunk);
+    }
+
+    if (chunk_count <= 1) {
+      ws.alternates.clear();
+      std::uint64_t hits = 0;
+      std::uint64_t misses = 0;
+      for (std::size_t i = 0; i < demand_count; ++i) {
+        bool cache_hit = false;
+        const bgp::Rib::RankedView view =
+            rib.ranked_view_uncounted(ws.demand_sorted[i].first, cache_hit);
+        // Tally hit/miss only for prefixes the RIB knows (matching
+        // ranked_view(): an unknown prefix consults no cache).
+        if (!view.routes.empty()) (cache_hit ? hits : misses) += 1;
+        // Controller-injected routes are dropped after ranking; that is
+        // safe because the relative order of natural routes does not
+        // depend on the injected ones. Filtering depends only on the
+        // routes, so the slices stay valid exactly as long as the views.
+        const std::size_t mark = ws.alternates.size();
+        for (std::size_t index : view.order) {
+          const bgp::Route& route = view.routes[index];
+          if (route.peer_type != bgp::PeerType::kController) {
+            ws.alternates.push_back(&route);
+          }
+        }
+        ws.filt_begin[i] = static_cast<std::uint32_t>(mark);
+        ws.filt_count[i] =
+            static_cast<std::uint32_t>(ws.alternates.size() - mark);
+      }
+      rib.credit_rank_cache(hits, misses);
+      ws.alt_slot.resize(ws.alternates.size());
+      for (std::size_t k = 0; k < ws.alternates.size(); ++k) {
+        ws.alt_slot[k] = resolve_slot(*ws.alternates[k]);
+      }
+    } else {
+      // Sharded rebuild: each chunk ranks and filters a contiguous
+      // demand range into its own arena segment. Disjoint prefixes mean
+      // disjoint per-prefix ranking caches, so ranked_view_uncounted()
+      // is safe to call concurrently; the shared hit/miss counters are
+      // tallied per chunk and credited once after the barrier.
+      const std::size_t per_chunk =
+          (demand_count + chunk_count - 1) / chunk_count;
+      ws.chunks.resize(chunk_count);
+      pool->parallel_for(chunk_count, [&](std::size_t c) {
+        Workspace::Impl::RebuildChunk& chunk = ws.chunks[c];
+        chunk.alternates.clear();
+        chunk.hop_order.clear();
+        chunk.hop_seen.clear();
+        chunk.hits = 0;
+        chunk.misses = 0;
+        const std::size_t lo = c * per_chunk;
+        const std::size_t hi = std::min(demand_count, lo + per_chunk);
+        for (std::size_t i = lo; i < hi; ++i) {
+          bool cache_hit = false;
+          const bgp::Rib::RankedView view =
+              rib.ranked_view_uncounted(ws.demand_sorted[i].first, cache_hit);
+          if (!view.routes.empty()) (cache_hit ? chunk.hits : chunk.misses) += 1;
+          const std::size_t mark = chunk.alternates.size();
+          for (std::size_t index : view.order) {
+            const bgp::Route& route = view.routes[index];
+            if (route.peer_type != bgp::PeerType::kController) {
+              chunk.alternates.push_back(&route);
+              if (chunk.hop_seen.try_emplace(route.attrs.next_hop, &route)
+                      .second) {
+                chunk.hop_order.push_back(&route);
+              }
+            }
+          }
+          ws.filt_count[i] =
+              static_cast<std::uint32_t>(chunk.alternates.size() - mark);
+        }
+      });
+
+      // Merge, order-preserving: chunk segments concatenate in chunk
+      // order, so the arena (and every filt_begin slice) is exactly what
+      // the serial loop above would have produced.
+      std::size_t total = 0;
+      for (Workspace::Impl::RebuildChunk& chunk : ws.chunks) {
+        chunk.arena_offset = total;
+        total += chunk.alternates.size();
+      }
+      std::uint32_t running = 0;
+      for (std::size_t i = 0; i < demand_count; ++i) {
+        ws.filt_begin[i] = running;
+        running += ws.filt_count[i];
+      }
+      ws.alternates.resize(total);
+      pool->parallel_for(chunk_count, [&](std::size_t c) {
+        const Workspace::Impl::RebuildChunk& chunk = ws.chunks[c];
+        std::copy(chunk.alternates.begin(), chunk.alternates.end(),
+                  ws.alternates.begin() +
+                      static_cast<std::ptrdiff_t>(chunk.arena_offset));
+      });
+
+      // Slot table, serial: walking the chunks' first-appearance lists
+      // in chunk order visits each distinct NEXT_HOP in exactly its
+      // first arena appearance order, so slot ids, exemplars, and the
+      // one-resolve-per-hop contract all match the serial rebuild.
+      std::uint64_t hits = 0;
+      std::uint64_t misses = 0;
+      for (const Workspace::Impl::RebuildChunk& chunk : ws.chunks) {
+        hits += chunk.hits;
+        misses += chunk.misses;
+        for (const bgp::Route* exemplar : chunk.hop_order) {
+          resolve_slot(*exemplar);
         }
       }
-      ws.filt_begin[i] = static_cast<std::uint32_t>(mark);
-      ws.filt_count[i] =
-          static_cast<std::uint32_t>(ws.alternates.size() - mark);
-    }
-    ws.alt_slot.resize(ws.alternates.size());
-    for (std::size_t k = 0; k < ws.alternates.size(); ++k) {
-      ws.alt_slot[k] = resolve_slot(*ws.alternates[k]);
+      rib.credit_rank_cache(hits, misses);
+      ws.alt_slot.resize(total);
+      pool->parallel_for(chunk_count, [&](std::size_t c) {
+        const Workspace::Impl::RebuildChunk& chunk = ws.chunks[c];
+        for (std::size_t k = 0; k < chunk.alternates.size(); ++k) {
+          // Lookup-only probes of the (now frozen) slot table.
+          ws.alt_slot[chunk.arena_offset + k] =
+              ws.slot_of.find(chunk.alternates[k]->attrs.next_hop)->second;
+        }
+      });
     }
     ws.rib_instance = rib.instance_id();
     ws.rib_epoch = rib.epoch();
@@ -279,56 +407,89 @@ AllocationResult Allocator::allocate(
     }
   }
 
-  for (std::size_t di = 0; di < ws.demand_sorted.size(); ++di) {
-    const auto& [prefix, rate] = ws.demand_sorted[di];
-    if (rate <= net::Bandwidth::zero()) continue;
+  // Sharded projection: each shard owns a contiguous block of dense
+  // interface indices and walks the WHOLE demand array in ascending
+  // prefix order, pinning only the prefixes whose BGP-preferred egress
+  // it owns. Every interface's `projected +=` therefore runs in exactly
+  // the serial prefix order regardless of shard count — float
+  // accumulation stays order-identical, which is what keeps the sharded
+  // allocation bitwise equal to the serial one. Shard 0 additionally
+  // owns the unroutable accumulator (again in prefix order). The scan
+  // itself (slice + slot lookups) is the redundant part; it is cheap
+  // and read-only, which is the price of a merge-free phase 1.
+  const std::size_t shard_count =
+      (pool != nullptr && iface_count > 1)
+          ? std::min<std::size_t>(pool->size(), iface_count)
+          : 1;
+  const auto project_shard = [&](std::size_t shard) {
+    const std::size_t iface_lo = shard * iface_count / shard_count;
+    const std::size_t iface_hi = (shard + 1) * iface_count / shard_count;
+    const bool owns_unroutable = shard == 0;
+    for (std::size_t di = 0; di < ws.demand_sorted.size(); ++di) {
+      const auto& [prefix, rate] = ws.demand_sorted[di];
+      if (rate <= net::Bandwidth::zero()) continue;
 
-    // The prefix's ranked, controller-filtered candidates, precomputed
-    // into the arena (above or in an earlier cycle): best route first,
-    // egress already resolved per slice element.
-    const std::uint32_t begin = ws.filt_begin[di];
-    const std::uint32_t count = ws.filt_count[di];
-    if (count == 0) {
-      result.unroutable += rate;
-      continue;
-    }
-    const Workspace::Impl::EgressSlot& slot = ws.slots[ws.alt_slot[begin]];
-    if (!slot.usable_iface) {
-      result.unroutable += rate;
-      continue;
-    }
+      // The prefix's ranked, controller-filtered candidates, precomputed
+      // into the arena (above or in an earlier cycle): best route first,
+      // egress already resolved per slice element.
+      const std::uint32_t begin = ws.filt_begin[di];
+      const std::uint32_t count = ws.filt_count[di];
+      if (count == 0) {
+        if (owns_unroutable) result.unroutable += rate;
+        continue;
+      }
+      const Workspace::Impl::EgressSlot& slot = ws.slots[ws.alt_slot[begin]];
+      if (!slot.usable_iface) {
+        if (owns_unroutable) result.unroutable += rate;
+        continue;
+      }
+      if (slot.iface < iface_lo || slot.iface >= iface_hi) continue;
 
-    PinnedPrefix pinned;
-    pinned.prefix = prefix;
-    pinned.rate = rate;
-    pinned.best = ws.alternates[begin];
-    pinned.alt_begin = begin + 1;
-    pinned.alt_count = count - 1;
-    ws.projected[slot.iface] += rate;
-    ws.pinned[slot.iface].push_back(pinned);
+      PinnedPrefix pinned;
+      pinned.prefix = prefix;
+      pinned.rate = rate;
+      pinned.best = ws.alternates[begin];
+      pinned.alt_begin = begin + 1;
+      pinned.alt_count = count - 1;
+      ws.projected[slot.iface] += rate;
+      ws.pinned[slot.iface].push_back(pinned);
+    }
+  };
+  if (shard_count > 1) {
+    pool->parallel_for(shard_count, project_shard);
+  } else {
+    project_shard(0);
   }
 
   ws.final_load = ws.projected;
 
   // --- Phase 2: overload detection and detour selection -----------------
-  // Ascending dense index == ascending InterfaceId: the same order the
-  // seed's std::map produced, so detour placement (and therefore float
-  // accumulation) is unchanged.
+  // Three passes. Detection and placement walk interfaces in ascending
+  // dense index == ascending InterfaceId — the same order the seed's
+  // std::map produced, so detour placement (and therefore float
+  // accumulation) is unchanged. Scoring/sorting sits between them and
+  // fans out across the pool: it reads only the (frozen) slot table and
+  // writes only its own interface's pinned list, and the detection
+  // predicate reads only projected/usable — which placement never
+  // mutates — so hoisting both out of the placement loop changes no
+  // decision (placement-order-dependent state, final_load, is consulted
+  // only inside the serial placement pass).
+  ws.overloaded.clear();
   for (std::size_t iface = 0; iface < iface_count; ++iface) {
-    auto& pinned_prefixes = ws.pinned[iface];
-    if (pinned_prefixes.empty()) continue;  // nothing landed here
-
+    if (ws.pinned[iface].empty()) continue;  // nothing landed here
     const net::Bandwidth capacity = ws.usable[iface];
     const net::Bandwidth projected = ws.projected[iface];
     const net::Bandwidth limit = capacity * config_.overload_threshold;
     if (projected <= limit && capacity > net::Bandwidth::zero()) continue;
     ++result.overloaded_interfaces;
+    ws.overloaded.push_back(static_cast<std::uint32_t>(iface));
+  }
 
-    const net::Bandwidth target = capacity * config_.target_utilization;
-    net::Bandwidth to_move = ws.final_load[iface] - target;
-
-    // Score each prefix by the tier of its most preferred usable
-    // alternate, so peer-alternate prefixes move before transit-only ones.
+  // Score each prefix by the tier of its most preferred usable
+  // alternate, so peer-alternate prefixes move before transit-only ones.
+  const auto score_and_sort = [&](std::size_t oi) {
+    const std::size_t iface = ws.overloaded[oi];
+    auto& pinned_prefixes = ws.pinned[iface];
     for (PinnedPrefix& pinned : pinned_prefixes) {
       pinned.best_alternate_tier = 9;
       for (std::uint32_t a = 0; a < pinned.alt_count; ++a) {
@@ -339,7 +500,6 @@ AllocationResult Allocator::allocate(
             pinned.best_alternate_tier, target_tier(slot.view.type));
       }
     }
-
     std::sort(pinned_prefixes.begin(), pinned_prefixes.end(),
               [&](const PinnedPrefix& a, const PinnedPrefix& b) {
                 if (config_.order == DetourOrder::kBestAlternateFirst &&
@@ -349,6 +509,23 @@ AllocationResult Allocator::allocate(
                 if (a.rate != b.rate) return a.rate > b.rate;
                 return a.prefix < b.prefix;  // determinism
               });
+  };
+  if (pool != nullptr && ws.overloaded.size() > 1) {
+    pool->parallel_for(ws.overloaded.size(), score_and_sort);
+  } else {
+    for (std::size_t oi = 0; oi < ws.overloaded.size(); ++oi) {
+      score_and_sort(oi);
+    }
+  }
+
+  // Placement, serial: detours mutate final_load, and which detour fits
+  // depends on every detour placed before it.
+  for (const std::uint32_t overloaded_iface : ws.overloaded) {
+    const std::size_t iface = overloaded_iface;
+    auto& pinned_prefixes = ws.pinned[iface];
+    const net::Bandwidth capacity = ws.usable[iface];
+    const net::Bandwidth target = capacity * config_.target_utilization;
+    net::Bandwidth to_move = ws.final_load[iface] - target;
 
     // Places (prefix, rate) on the first alternate with room; when
     // nothing fits and splitting is allowed, recurses into more-specific

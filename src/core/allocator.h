@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "bgp/rib.h"
+#include "runtime/thread_pool.h"
 #include "telemetry/interface.h"
 #include "telemetry/traffic.h"
 
@@ -133,11 +134,23 @@ class Allocator {
   /// call), so it must be a pure function of the route's NEXT_HOP while
   /// allocate() runs — true of every forwarding-plane resolver, which
   /// mirrors what the routers do with the next hop.
+  /// `pool`, when non-null, shards the cycle across the pool's workers:
+  /// the arena rebuild is chunked by demand range, phase 1 is sharded by
+  /// egress-interface ownership, and phase 2's per-interface scoring and
+  /// sorting fan out (detour placement stays serial — it is a float
+  /// accumulation and therefore order-defined). The pool is an execution
+  /// resource, never a decision input: the result is bitwise identical
+  /// to the serial one for any pool size, because every interface's
+  /// load accumulation runs in exactly the serial prefix order on
+  /// whichever worker owns that interface (the ShardedAllocProperty
+  /// test locks this in). `resolve` is still invoked at most once per
+  /// distinct NEXT_HOP, always from the calling thread.
   AllocationResult allocate(const bgp::Rib& rib,
                             const telemetry::DemandMatrix& demand,
                             const telemetry::InterfaceRegistry& interfaces,
                             const EgressResolver& resolve,
-                            Workspace& workspace) const;
+                            Workspace& workspace,
+                            runtime::ThreadPool* pool = nullptr) const;
 
   /// Convenience overload with a throwaway workspace (cold path); the
   /// decisions are identical to the warm overload above.

@@ -23,6 +23,10 @@ Controller::Controller(topology::Pop& pop, ControllerConfig config)
     : pop_(&pop),
       config_(config),
       allocator_(config.allocator),
+      alloc_pool_(config.alloc_threads == 1
+                      ? nullptr
+                      : std::make_unique<runtime::ThreadPool>(
+                            config.alloc_threads)),
       safety_(config.safety),
       speaker_(controller_speaker_config(pop)) {}
 
@@ -84,7 +88,8 @@ CycleStats Controller::run_cycle(const telemetry::DemandMatrix& demand,
   const bgp::Rib::RankCacheStats cache_before = rib.rank_cache_stats();
   const auto wall_start = std::chrono::steady_clock::now();
   stats.allocation = allocator_.allocate(rib, demand, pop_->interfaces(),
-                                         resolver, workspace_);
+                                         resolver, workspace_,
+                                         alloc_pool_.get());
   stats.allocation_wall = std::chrono::duration_cast<std::chrono::nanoseconds>(
       std::chrono::steady_clock::now() - wall_start);
   const bgp::Rib::RankCacheStats cache_after = rib.rank_cache_stats();

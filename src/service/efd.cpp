@@ -54,6 +54,10 @@ EfdService::EfdService(topology::Pop& pop, EfdConfig config)
       aggregator_(pop.prefix_table(), config.sflow_sample_rate),
       smoother_(config.sflow_smoothing_alpha),
       ladder_(normalized_failsafe(config)) {
+  if (config_.decode_threads > 0) {
+    decode_pool_ =
+        std::make_unique<runtime::ThreadPool>(config_.decode_threads);
+  }
   controller_.set_rib_source(&collector_.rib());
   controller_.connect();
   failsafe_mode_.store(static_cast<std::uint64_t>(ladder_.mode()),
@@ -135,7 +139,10 @@ void EfdService::wait() {
   if (!thread_.joinable()) return;
   thread_.join();
   // Loop is down; tear ingest state down from this thread. Fd RAII
-  // closes every socket.
+  // closes every socket. The decode pool drains first: its completions
+  // post into the (stopped) loop and are parked there, so no decode task
+  // can touch a connection this teardown is about to free.
+  decode_pool_.reset();
   for (auto& [fd, conn] : bmp_conns_) loop_.unwatch(fd);
   bmp_conns_.clear();
   announcer_.reset();  // killed or not, its sockets close here
@@ -168,8 +175,9 @@ void EfdService::on_bmp_accept() {
     io::Fd fd = bmp_listener_->accept_one();
     if (!fd.valid()) return;
     const int raw = fd.get();
-    bmp_conns_.emplace(raw,
-                       std::make_unique<BmpConn>(std::move(fd), bmp_peek()));
+    auto conn = std::make_unique<BmpConn>(std::move(fd), bmp_peek());
+    conn->id = next_conn_id_++;
+    bmp_conns_.emplace(raw, std::move(conn));
     loop_.watch(raw, io::kRead, [this, raw](std::uint32_t ready) {
       on_bmp_event(raw, ready);
     });
@@ -188,13 +196,35 @@ void EfdService::on_bmp_event(int fd, std::uint32_t ready) {
   }
   const auto data = conn.tcp.readable();
   if (!data.empty()) {
-    conn.frames.feed(data, [&](std::span<const std::uint8_t> frame) {
-      handle_bmp_frame(conn, frame);
-    });
-    conn.tcp.consume(data.size());
-    // Published only after every complete frame in `data` was applied —
-    // the feeder's "all my bytes are in the RIB" barrier.
-    bmp_bytes_.fetch_add(data.size(), std::memory_order_release);
+    if (decode_pool_ != nullptr) {
+      // Pipelined path: reassemble (cheap, header peeks only) on the
+      // loop thread, but copy the complete frames into a batch and ship
+      // the expensive wire decode to the pool. One batch per connection
+      // in flight at a time keeps per-router apply order; different
+      // routers decode concurrently.
+      DecodeBatch batch;
+      conn.frames.feed(data, [&](std::span<const std::uint8_t> frame) {
+        batch.frames.emplace_back(frame.begin(), frame.end());
+      });
+      conn.tcp.consume(data.size());
+      batch.bytes = data.size();
+      if (batch.frames.empty()) {
+        // No complete frame in this read: nothing from these bytes can
+        // reach the RIB yet, so the barrier may advance immediately.
+        bmp_bytes_.fetch_add(batch.bytes, std::memory_order_release);
+      } else {
+        conn.pending_batches.push_back(std::move(batch));
+        kick_decode(fd, conn);
+      }
+    } else {
+      conn.frames.feed(data, [&](std::span<const std::uint8_t> frame) {
+        handle_bmp_frame(conn, frame);
+      });
+      conn.tcp.consume(data.size());
+      // Published only after every complete frame in `data` was applied —
+      // the feeder's "all my bytes are in the RIB" barrier.
+      bmp_bytes_.fetch_add(data.size(), std::memory_order_release);
+    }
   }
   if (conn.frames.poisoned()) {
     EF_LOG_WARN("efd: dropping BMP session on fd "
@@ -207,6 +237,53 @@ void EfdService::on_bmp_event(int fd, std::uint32_t ready) {
 void EfdService::handle_bmp_frame(BmpConn& conn,
                                   std::span<const std::uint8_t> frame) {
   const bmp::FrameDecode decoded = bmp::decode_frame(frame);
+  apply_bmp_decode(conn, decoded);
+}
+
+void EfdService::kick_decode(int fd, BmpConn& conn) {
+  if (conn.decode_inflight || conn.pending_batches.empty()) return;
+  conn.decode_inflight = true;
+  auto batch =
+      std::make_shared<DecodeBatch>(std::move(conn.pending_batches.front()));
+  conn.pending_batches.pop_front();
+  const std::uint64_t conn_id = conn.id;
+  decode_pool_->submit([this, fd, conn_id, batch] {
+    batch->decoded.reserve(batch->frames.size());
+    for (const std::vector<std::uint8_t>& frame : batch->frames) {
+      batch->decoded.push_back(bmp::decode_frame(frame));
+    }
+    // Back to the loop thread, the sole owner of the collector/RIB. If
+    // the loop has already stopped, the post is parked and the batch
+    // dies with it — shutdown only.
+    loop_.post([this, fd, conn_id, batch] {
+      apply_decoded_batch(fd, conn_id, *batch);
+    });
+  });
+}
+
+void EfdService::apply_decoded_batch(int fd, std::uint64_t conn_id,
+                                     DecodeBatch& batch) {
+  auto it = bmp_conns_.find(fd);
+  const bool live = it != bmp_conns_.end() && it->second->id == conn_id;
+  if (live) {
+    for (const bmp::FrameDecode& decoded : batch.decoded) {
+      apply_bmp_decode(*it->second, decoded);
+    }
+  }
+  // Barrier: credited only after every frame was applied. A dead (or
+  // recycled-fd) connection already had its routes purged by
+  // close_bmp_conn, so dropping its frames leaves the same RIB state the
+  // inline path would have reached — the bytes still count.
+  bmp_decode_batches_.fetch_add(1, std::memory_order_relaxed);
+  bmp_bytes_.fetch_add(batch.bytes, std::memory_order_release);
+  if (live) {
+    it->second->decode_inflight = false;
+    kick_decode(fd, *it->second);
+  }
+}
+
+void EfdService::apply_bmp_decode(BmpConn& conn,
+                                  const bmp::FrameDecode& decoded) {
   if (!decoded.ok()) {
     bmp_malformed_.fetch_add(1, std::memory_order_relaxed);
     EF_LOG_WARN("efd: skipping BMP frame: " << decoded.reason);
@@ -255,6 +332,13 @@ void EfdService::close_bmp_conn(int fd, bool count_disconnect) {
             feed_health_.begin(), feed_health_.end(),
             [](const auto& kv) { return !kv.second.connected; })),
         std::memory_order_release);
+  }
+  // Batches read but never submitted die with the connection; their
+  // frames can no longer change the RIB (the router's routes were just
+  // purged), so credit their bytes now or feeder barriers would hang.
+  // The in-flight batch, if any, credits its own bytes on completion.
+  for (const DecodeBatch& batch : it->second->pending_batches) {
+    bmp_bytes_.fetch_add(batch.bytes, std::memory_order_release);
   }
   loop_.unwatch(fd);
   bmp_conns_.erase(it);
@@ -507,6 +591,8 @@ EfdService::IngestSnapshot EfdService::ingest() const {
   snap.bmp_bytes = bmp_bytes_.load(std::memory_order_acquire);
   snap.bmp_messages = bmp_messages_.load(std::memory_order_acquire);
   snap.bmp_malformed = bmp_malformed_.load(std::memory_order_acquire);
+  snap.bmp_decode_batches =
+      bmp_decode_batches_.load(std::memory_order_acquire);
   snap.sflow_datagrams = sflow_datagrams_.load(std::memory_order_acquire);
   snap.sflow_records = sflow_records_.load(std::memory_order_acquire);
   snap.sflow_bytes = sflow_bytes_.load(std::memory_order_acquire);
@@ -654,6 +740,15 @@ std::string EfdService::render_metrics() const {
      << "efd_bmp_bytes_total " << snap.bmp_bytes << "\n"
      << "efd_bmp_messages_total " << snap.bmp_messages << "\n"
      << "efd_bmp_malformed_total " << snap.bmp_malformed << "\n"
+     << "efd_bmp_decode_batches_total " << snap.bmp_decode_batches << "\n"
+     << "efd_bmp_decode_threads "
+     << (decode_pool_ ? decode_pool_->size() : 0) << "\n"
+     << "efd_alloc_threads "
+     << (config_.controller.alloc_threads == 1
+             ? 1u
+             : runtime::ThreadPool::resolve_threads(
+                   config_.controller.alloc_threads))
+     << "\n"
      << "efd_sflow_datagrams_total " << snap.sflow_datagrams << "\n"
      << "efd_sflow_records_total " << snap.sflow_records << "\n"
      << "efd_sflow_bytes_total " << snap.sflow_bytes << "\n"

@@ -16,6 +16,7 @@
 #include <atomic>
 #include <chrono>
 #include <cstdint>
+#include <deque>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -31,6 +32,7 @@
 #include "io/event_loop.h"
 #include "io/frame.h"
 #include "io/socket.h"
+#include "runtime/thread_pool.h"
 #include "service/announcer.h"
 #include "service/failsafe.h"
 #include "service/http.h"
@@ -83,6 +85,16 @@ struct EfdConfig {
   std::vector<std::uint16_t> announce_ports;
   std::uint16_t announce_hold_secs = 90;
   std::chrono::milliseconds announce_tick_period{500};
+
+  /// Worker threads for BMP frame decoding. 0 (default) decodes inline
+  /// on the event-loop thread, exactly the pre-pipeline behaviour. N > 0
+  /// moves wire decoding onto a pool: each router session's frames are
+  /// copied off the read buffer, decoded off-loop (at most one batch per
+  /// session in flight, so per-router apply order is preserved), and the
+  /// decoded messages are posted back to the loop thread, which remains
+  /// the only writer of the RIB. Sessions decode concurrently with each
+  /// other and with allocation cycles. docs/SCALING.md §4 covers sizing.
+  unsigned decode_threads = 0;
 };
 
 class EfdService {
@@ -125,6 +137,7 @@ class EfdService {
     std::uint64_t bmp_bytes = 0;
     std::uint64_t bmp_messages = 0;
     std::uint64_t bmp_malformed = 0;
+    std::uint64_t bmp_decode_batches = 0;  // off-loop decoded batches
     std::uint64_t sflow_datagrams = 0;
     std::uint64_t sflow_records = 0;
     std::uint64_t sflow_bytes = 0;
@@ -199,10 +212,29 @@ class EfdService {
   void kill_announcer();
 
  private:
+  /// One read's worth of complete BMP frames, copied off the connection
+  /// buffer so a pool worker can decode them while the loop thread moves
+  /// on. `bytes` is the raw byte count the batch accounts for — credited
+  /// to bmp_bytes_ only after every decoded frame was applied (or the
+  /// connection is provably gone), preserving the feeder barrier.
+  struct DecodeBatch {
+    std::vector<std::vector<std::uint8_t>> frames;
+    std::vector<bmp::FrameDecode> decoded;  // filled by the pool worker
+    std::size_t bytes = 0;
+  };
+
   struct BmpConn {
     io::TcpConn tcp;
     io::FrameReassembler frames;
     std::optional<std::uint32_t> router_key;  // set by Initiation sysName
+    /// Process-unique connection id: decode completions carry it so a
+    /// recycled fd can never apply a dead session's frames to a new one.
+    std::uint64_t id = 0;
+    /// Batches read but not yet handed to the decode pool. At most one
+    /// batch per connection is in flight at a time — that is what keeps
+    /// apply order per router identical to arrival order.
+    std::deque<DecodeBatch> pending_batches;
+    bool decode_inflight = false;
     BmpConn(io::Fd fd, io::PeekFn peek)
         : tcp(std::move(fd)), frames(std::move(peek)) {}
   };
@@ -211,6 +243,15 @@ class EfdService {
   void on_bmp_event(int fd, std::uint32_t ready);
   void handle_bmp_frame(BmpConn& conn,
                         std::span<const std::uint8_t> frame);
+  /// Everything handle_bmp_frame does after wire decode: malformed
+  /// accounting, router-identity bookkeeping, collector apply. Shared by
+  /// the inline path and the decode-pool completion path.
+  void apply_bmp_decode(BmpConn& conn, const bmp::FrameDecode& decoded);
+  /// Submits the next pending batch for `conn` if none is in flight.
+  void kick_decode(int fd, BmpConn& conn);
+  /// Loop-thread completion: applies a decoded batch (if the connection
+  /// is still the same one), credits its bytes, and kicks the next batch.
+  void apply_decoded_batch(int fd, std::uint64_t conn_id, DecodeBatch& batch);
   void close_bmp_conn(int fd, bool count_disconnect);
   void on_sflow_ready();
   void handle_record(const telemetry::wire::SflowRecord& record);
@@ -263,12 +304,18 @@ class EfdService {
   std::map<int, std::unique_ptr<BmpConn>> bmp_conns_;
   std::map<std::string, std::uint32_t> router_keys_;  // sysName -> key
   std::uint32_t next_router_key_ = 1;
+  std::uint64_t next_conn_id_ = 1;
+  /// BMP decode pool (config.decode_threads > 0); null = inline decode.
+  /// Reset in wait() before ingest state is torn down, so no decode task
+  /// outlives the connections it was spawned for.
+  std::unique_ptr<runtime::ThreadPool> decode_pool_;
 
   std::atomic<std::uint64_t> bmp_connections_{0};
   std::atomic<std::uint64_t> bmp_disconnects_{0};
   std::atomic<std::uint64_t> bmp_bytes_{0};
   std::atomic<std::uint64_t> bmp_messages_{0};
   std::atomic<std::uint64_t> bmp_malformed_{0};
+  std::atomic<std::uint64_t> bmp_decode_batches_{0};
   std::atomic<std::uint64_t> sflow_datagrams_{0};
   std::atomic<std::uint64_t> sflow_records_{0};
   std::atomic<std::uint64_t> sflow_bytes_{0};

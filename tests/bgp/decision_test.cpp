@@ -205,5 +205,69 @@ TEST_P(OrderIndependence, SelectBestStable) {
 INSTANTIATE_TEST_SUITE_P(Seeds, OrderIndependence,
                          ::testing::Values(11, 22, 33, 44, 55, 66));
 
+// Property: the columnar decision key is a faithful extraction — every
+// comparison, election, and ranking over keys must agree with the
+// route-based original, for every config combination, on route sets
+// crafted to reach the deep tiebreaks (shared neighbor AS for the MED
+// gate, shared ages, missing MEDs).
+class DecisionKeysMatchRoutes
+    : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(DecisionKeysMatchRoutes, KeySpaceTwinsAgreeEverywhere) {
+  net::Rng rng(GetParam());
+  std::vector<Route> routes;
+  std::vector<RankKey> keys;
+  for (std::uint32_t i = 1; i <= 10; ++i) {
+    Route route = make_route(
+        i, static_cast<std::uint32_t>(rng.uniform_int(1, 3)) * 100,
+        static_cast<std::size_t>(rng.uniform_int(1, 3)));
+    // Collisions on purpose: same neighbor AS pairs (MED comparable),
+    // same ages, sometimes-missing MEDs.
+    route.neighbor_as = AsNumber(1000 + (i % 3));
+    route.learned_at =
+        net::SimTime::seconds(static_cast<double>(rng.uniform_int(0, 2)));
+    if (rng.bernoulli(0.6)) {
+      route.attrs.has_med = true;
+      route.attrs.med =
+          Med(static_cast<std::uint32_t>(rng.uniform_int(0, 3)));
+    }
+    routes.push_back(route);
+    keys.push_back(make_rank_key(route));
+  }
+
+  for (const bool med_across : {false, true}) {
+    for (const bool oldest : {false, true}) {
+      DecisionConfig config;
+      config.compare_med_across_as = med_across;
+      config.prefer_oldest = oldest;
+
+      for (std::size_t a = 0; a < routes.size(); ++a) {
+        for (std::size_t b = 0; b < routes.size(); ++b) {
+          if (a == b) continue;
+          DecisionStep route_step = DecisionStep::kNoChoice;
+          DecisionStep key_step = DecisionStep::kNoChoice;
+          const int by_route =
+              compare_routes(routes[a], routes[b], config, &route_step);
+          const int by_key = compare_keys(keys[a], keys[b], config, &key_step);
+          ASSERT_EQ(by_route < 0, by_key < 0) << "pair " << a << "," << b;
+          ASSERT_EQ(route_step, key_step) << "pair " << a << "," << b;
+        }
+      }
+
+      const DecisionResult by_routes = select_best(routes, config);
+      const DecisionResult by_keys = select_best_keys(keys, config);
+      EXPECT_EQ(by_routes.best_index, by_keys.best_index);
+      EXPECT_EQ(by_routes.deciding_step, by_keys.deciding_step);
+
+      std::vector<std::size_t> key_order;
+      rank_keys(keys, config, key_order);
+      EXPECT_EQ(rank_routes(routes, config), key_order);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DecisionKeysMatchRoutes,
+                         ::testing::Values(7, 17, 27, 37, 47, 57, 67, 77));
+
 }  // namespace
 }  // namespace ef::bgp

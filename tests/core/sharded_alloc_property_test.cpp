@@ -1,0 +1,198 @@
+// Sharded-vs-serial equivalence for the parallel allocator.
+//
+// The thread pool handed to allocate() is an execution resource, never a
+// decision input: for any pool size the allocation must be bitwise
+// identical to the serial one — override order, float-accumulated loads,
+// and summary counters included. That holds because sharding follows the
+// float accumulation order: each worker owns a disjoint set of egress
+// interfaces and walks the demand array in the same ascending-prefix
+// order the serial loop uses, so every interface's `+=` sequence is
+// unchanged; the parallel arena rebuild merges per-chunk results by
+// order-preserving concatenation (pointers, not floats).
+//
+// This test drives random RIB / demand / drain churn for many cycles and
+// runs every cycle four ways — serial and pools of 2, 4, and 8 workers,
+// each with its own persistent warm workspace so the parallel rebuild,
+// the warm reuse path, and the sharded scan all get exercised — then
+// asserts bitwise equality against the serial result.
+#include <gtest/gtest.h>
+
+#include <array>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "core/allocator.h"
+#include "net/rng.h"
+#include "runtime/thread_pool.h"
+
+namespace ef::core {
+namespace {
+
+using net::Bandwidth;
+
+class ShardedAllocProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ShardedAllocProperty, ShardedAllocationIsBitwiseIdenticalToSerial) {
+  net::Rng rng(GetParam());
+
+  // Interfaces: enough of them that interface shards are non-trivial, a
+  // mix of small and large ports so some cycles overload.
+  const int interface_count = static_cast<int>(rng.uniform_int(6, 24));
+  telemetry::InterfaceRegistry interfaces;
+  std::map<net::IpAddr, EgressView> egress;
+  std::vector<net::IpAddr> peers;
+  for (int i = 0; i < interface_count; ++i) {
+    const double gbps = (i % 3 == 0) ? rng.uniform(0.5, 2.0)
+                                     : rng.uniform(5.0, 20.0);
+    interfaces.add(telemetry::InterfaceId(static_cast<std::uint32_t>(i)),
+                   Bandwidth::gbps(gbps));
+    const net::IpAddr addr =
+        net::IpAddr::v4(0xac100000u + static_cast<std::uint32_t>(i));
+    egress[addr] = EgressView{
+        telemetry::InterfaceId(static_cast<std::uint32_t>(i)),
+        static_cast<bgp::PeerType>(rng.uniform_int(0, 3)), addr};
+    peers.push_back(addr);
+  }
+  const EgressResolver resolver =
+      [&](const bgp::Route& route) -> std::optional<EgressView> {
+    auto it = egress.find(route.attrs.next_hop);
+    if (it == egress.end()) return std::nullopt;
+    return it->second;
+  };
+
+  const int prefix_count = static_cast<int>(rng.uniform_int(40, 120));
+  std::vector<net::Prefix> prefixes;
+  for (int p = 0; p < prefix_count; ++p) {
+    prefixes.push_back(net::Prefix(
+        net::IpAddr::v4(0x64000000u + (static_cast<std::uint32_t>(p) << 8)),
+        24));
+  }
+
+  auto random_route = [&](const net::Prefix& prefix) {
+    const std::size_t peer_index = static_cast<std::size_t>(
+        rng.uniform_int(0, interface_count - 1));
+    const int session = static_cast<int>(rng.uniform_int(0, 3));
+    bgp::Route route;
+    route.prefix = prefix;
+    route.learned_from = bgp::PeerId(static_cast<std::uint32_t>(
+        peer_index * 1000 + static_cast<std::size_t>(session)));
+    const EgressView& view = egress.at(peers[peer_index]);
+    route.peer_type = view.type;
+    route.neighbor_as =
+        bgp::AsNumber(60000 + static_cast<std::uint32_t>(peer_index));
+    route.neighbor_router_id =
+        bgp::RouterId(static_cast<std::uint32_t>(peer_index));
+    route.attrs.next_hop = peers[peer_index];
+    route.attrs.local_pref = bgp::LocalPref(
+        static_cast<std::uint32_t>(rng.uniform_int(100, 400)));
+    route.attrs.has_local_pref = true;
+    route.attrs.as_path = bgp::AsPath{route.neighbor_as};
+    return route;
+  };
+
+  AllocatorConfig config;
+  config.allow_prefix_splitting = rng.bernoulli(0.5);
+  Allocator allocator(config);
+
+  bgp::Rib rib;
+  telemetry::DemandMatrix demand;
+
+  // Initial state: 1–4 routes per prefix, demand for every prefix.
+  for (const net::Prefix& prefix : prefixes) {
+    const int routes = static_cast<int>(rng.uniform_int(1, 4));
+    for (int r = 0; r < routes; ++r) rib.announce(random_route(prefix));
+    demand.set(prefix, Bandwidth::gbps(rng.uniform(0.05, 3.0)));
+  }
+
+  // Shard counts under test: 1 (a pool whose sharding degenerates to the
+  // serial layout), then genuinely parallel widths.
+  constexpr std::array<unsigned, 4> kShardCounts = {1, 2, 4, 8};
+  std::array<std::unique_ptr<runtime::ThreadPool>, kShardCounts.size()> pools;
+  std::array<Allocator::Workspace, kShardCounts.size()> warm;
+  for (std::size_t s = 0; s < kShardCounts.size(); ++s) {
+    pools[s] = std::make_unique<runtime::ThreadPool>(kShardCounts[s]);
+  }
+  Allocator::Workspace serial_warm;
+
+  for (int cycle = 0; cycle < 12; ++cycle) {
+    // RIB churn so the parallel arena rebuild runs on most cycles.
+    const int churn = static_cast<int>(rng.uniform_int(0, 6));
+    for (int c = 0; c < churn; ++c) {
+      const net::Prefix& prefix = prefixes[static_cast<std::size_t>(
+          rng.uniform_int(0, prefix_count - 1))];
+      if (rng.bernoulli(0.7)) {
+        rib.announce(random_route(prefix));
+      } else {
+        const auto routes = rib.candidates(prefix);
+        if (!routes.empty()) {
+          rib.withdraw(
+              routes[static_cast<std::size_t>(rng.uniform_int(
+                         0, static_cast<std::int64_t>(routes.size()) - 1))]
+                  .learned_from,
+              prefix);
+        }
+      }
+    }
+    if (rng.bernoulli(0.1)) {
+      rib.remove_peer(bgp::PeerId(
+          static_cast<std::uint32_t>(rng.uniform_int(0, interface_count - 1)) *
+              1000 +
+          static_cast<std::uint32_t>(rng.uniform_int(0, 3))));
+    }
+    if (rng.bernoulli(0.25)) {
+      const telemetry::InterfaceId iface(
+          static_cast<std::uint32_t>(rng.uniform_int(0, interface_count - 1)));
+      interfaces.set_drained(iface, !interfaces.drained(iface));
+    }
+    // Demand churn: usually rates only (warm reuse), sometimes the set.
+    if (rng.bernoulli(0.7)) {
+      for (const net::Prefix& prefix : prefixes) {
+        if (demand.find(prefix) != nullptr && rng.bernoulli(0.5)) {
+          demand.set(prefix, Bandwidth::gbps(rng.uniform(0.0, 3.0)));
+        }
+      }
+    } else {
+      demand.clear();
+      for (const net::Prefix& prefix : prefixes) {
+        if (rng.bernoulli(0.8)) {
+          demand.set(prefix, Bandwidth::gbps(rng.uniform(0.0, 3.0)));
+        }
+      }
+    }
+
+    const AllocationResult serial =
+        allocator.allocate(rib, demand, interfaces, resolver, serial_warm);
+
+    for (std::size_t s = 0; s < kShardCounts.size(); ++s) {
+      const AllocationResult sharded = allocator.allocate(
+          rib, demand, interfaces, resolver, warm[s], pools[s].get());
+      ASSERT_EQ(serial.overrides.size(), sharded.overrides.size())
+          << "cycle " << cycle << " shards " << kShardCounts[s];
+      for (std::size_t i = 0; i < serial.overrides.size(); ++i) {
+        ASSERT_EQ(serial.overrides[i], sharded.overrides[i])
+            << "cycle " << cycle << " shards " << kShardCounts[s]
+            << " override " << i << " ("
+            << serial.overrides[i].prefix.to_string() << " vs "
+            << sharded.overrides[i].prefix.to_string() << ")";
+      }
+      ASSERT_TRUE(serial == sharded)
+          << "cycle " << cycle << " shards " << kShardCounts[s]
+          << ": loads or summary counters drifted";
+    }
+
+    // A cold sharded run (fresh workspace, parallel rebuild from scratch)
+    // must land in the same place as the warm ones.
+    Allocator::Workspace cold;
+    const AllocationResult cold_sharded = allocator.allocate(
+        rib, demand, interfaces, resolver, cold, pools.back().get());
+    ASSERT_TRUE(serial == cold_sharded)
+        << "cycle " << cycle << ": cold sharded run drifted";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ShardedAllocProperty,
+                         ::testing::Range<std::uint64_t>(1, 10));
+
+}  // namespace
+}  // namespace ef::core

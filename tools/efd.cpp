@@ -64,8 +64,14 @@ int usage() {
                "usage: efd [--clients N] [--pops N] [--seed S] [--pop K]\n"
                "           [--bmp PORT] [--sflow PORT] [--http PORT]\n"
                "           [--inject] [--real-time] [--cycle-secs S]\n"
-               "           [--sample-rate N]\n"
-               "  (port 0 = pick an ephemeral port and print it)\n");
+               "           [--sample-rate N] [--threads N]\n"
+               "           [--decode-threads N]\n"
+               "  (port 0 = pick an ephemeral port and print it)\n"
+               "  --threads: allocation-cycle workers (1 = serial,\n"
+               "  0 = one per hardware thread); decisions are identical\n"
+               "  for every value. --decode-threads: BMP decode workers\n"
+               "  (0 = decode inline on the event loop). See\n"
+               "  docs/SCALING.md.\n");
   return 2;
 }
 
@@ -127,6 +133,18 @@ int main(int argc, char** argv) {
   config.sflow_sample_rate =
       static_cast<std::uint32_t>(args.num("sample-rate", 10));
   config.real_time_cycles = args.has("real-time");
+  const long alloc_threads = args.num("threads", 1);
+  if (alloc_threads < 0 ||
+      alloc_threads > static_cast<long>(runtime::ThreadPool::kMaxThreads)) {
+    die_bad_value("threads", args.options.at("threads"));
+  }
+  config.controller.alloc_threads = static_cast<unsigned>(alloc_threads);
+  const long decode_threads = args.num("decode-threads", 0);
+  if (decode_threads < 0 ||
+      decode_threads > static_cast<long>(runtime::ThreadPool::kMaxThreads)) {
+    die_bad_value("decode-threads", args.options.at("decode-threads"));
+  }
+  config.decode_threads = static_cast<unsigned>(decode_threads);
 
   service::EfdService service(pop, config);
   service.shutdown_on_signals();

@@ -847,6 +847,21 @@ int cmd_serve(const Args& args) {
   config.sflow_sample_rate =
       static_cast<std::uint32_t>(args.num("sample-rate", 10));
   config.real_time_cycles = args.has("real-time");
+  // Sharded-cycle and decode-pipeline knobs: execution resources only,
+  // never decision inputs (allocations are bitwise identical for every
+  // value; see docs/SCALING.md).
+  const long alloc_threads = args.num("threads", 1);
+  if (alloc_threads < 0 ||
+      alloc_threads > static_cast<long>(runtime::ThreadPool::kMaxThreads)) {
+    die_bad_value("threads", args.get("threads", ""));
+  }
+  config.controller.alloc_threads = static_cast<unsigned>(alloc_threads);
+  const long decode_threads = args.num("decode-threads", 0);
+  if (decode_threads < 0 ||
+      decode_threads > static_cast<long>(runtime::ThreadPool::kMaxThreads)) {
+    die_bad_value("decode-threads", args.get("decode-threads", ""));
+  }
+  config.decode_threads = static_cast<unsigned>(decode_threads);
   apply_failsafe_flags(args, config);
   config.announce_ports = ports_list_opt(args, "announce");
   config.announce_hold_secs = hold_secs_opt(args, "announce-hold-secs", 90);
@@ -1558,6 +1573,10 @@ int usage() {
       "             --max-overrides N | --split\n"
       "  serve      [--pop K] [--bmp P] [--sflow P] [--http P] [--inject]\n"
       "             [--real-time] [--cycle-secs S] [--sample-rate N]\n"
+      "             [--threads N] [--decode-threads N]\n"
+      "             (--threads: allocation-cycle workers, 1 = serial,\n"
+      "              0 = one per hardware thread, decisions identical;\n"
+      "              --decode-threads: BMP decode pool, 0 = inline)\n"
       "             [--failsafe] [--max-demand-age SECS] [--hold-ttl SECS]\n"
       "             [--max-churn-frac F] [--journal FILE]\n"
       "             [--announce P1[,P2...]] [--announce-hold-secs S]\n"
