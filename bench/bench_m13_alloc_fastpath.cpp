@@ -454,4 +454,20 @@ BENCHMARK(BM_FastPathColdCycle)
 
 }  // namespace
 
-BENCHMARK_MAIN();
+// Proof-of-build-mode for the recording script: our bench TUs must be
+// compiled with NDEBUG (Release). The vendored libbenchmark reports its
+// OWN build mode in library_build_type, which on distro packages is
+// often "debug" even in a Release tree; ef_bench_build is about THIS
+// binary's translation units, which is what the timings depend on.
+int main(int argc, char** argv) {
+#ifdef NDEBUG
+  benchmark::AddCustomContext("ef_bench_build", "release");
+#else
+  benchmark::AddCustomContext("ef_bench_build", "debug");
+#endif
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -5,10 +5,15 @@
 #   BENCH_alloc.json  — bench_m11 (allocator scale + the prefix×thread
 #                       sharded-allocation scaling curve, up to the full
 #                       1M-prefix table) + bench_m13 (allocation fast
-#                       path vs the seed allocator). bench_m13
-#                       cross-checks fast-path decisions against the
-#                       seed allocator before timing, so a recorded
-#                       speedup can never come from a behaviour change.
+#                       path vs the seed allocator) + bench_m16
+#                       (incremental delta cycles vs full warm
+#                       recomputes across churn rates). Both comparison
+#                       suites cross-check decisions for bitwise
+#                       identity before timing, so a recorded speedup
+#                       can never come from a behaviour change. Every
+#                       merged binary must prove its own TUs were built
+#                       Release (ef_bench_build context) or the script
+#                       aborts.
 #   BENCH_ingest.json — bench_m14 (BMP/sFlow decode throughput and the
 #                       loopback socket-to-decision cycle latency).
 #   BENCH_bgp.json    — bench_m15 (RFC 4271 UPDATE encode/decode
@@ -49,8 +54,18 @@ TMPDIR_BENCH="$(mktemp -d)"
 trap 'rm -rf "$TMPDIR_BENCH"' EXIT
 
 cmake -B build-bench -G Ninja -DCMAKE_BUILD_TYPE=Release
+# A recorded number from a debug build is worse than no number: verify
+# the tree really configured Release before spending any cycles. (An
+# existing build-bench dir configured differently would win over the -D
+# above only if the cache disagreed — so check the cache itself.)
+if ! grep -q '^CMAKE_BUILD_TYPE:[A-Z]*=Release$' build-bench/CMakeCache.txt; then
+  echo "error: build-bench is not configured CMAKE_BUILD_TYPE=Release" \
+    "(stale cache?); delete build-bench and re-run" >&2
+  exit 1
+fi
 cmake --build build-bench --target bench_m11_allocator_scale \
-  bench_m13_alloc_fastpath bench_m14_ingest bench_m15_bgp
+  bench_m13_alloc_fastpath bench_m14_ingest bench_m15_bgp \
+  bench_m16_incremental
 
 # run_bench <output-basename> <binary> [extra benchmark args...]
 # Fails the whole script if the binary exits non-zero OR emits invalid
@@ -82,9 +97,12 @@ if [ "$PROFILE" = nightly ]; then
     --benchmark_min_time=0.01
   run_bench bench_m13 ./build-bench/bench/bench_m13_alloc_fastpath \
     --benchmark_min_time=0.01
+  run_bench bench_m16 ./build-bench/bench/bench_m16_incremental \
+    --benchmark_min_time=0.01
 else
   run_bench bench_m11 ./build-bench/bench/bench_m11_allocator_scale
   run_bench bench_m13 ./build-bench/bench/bench_m13_alloc_fastpath
+  run_bench bench_m16 ./build-bench/bench/bench_m16_incremental
   run_bench bench_m14 ./build-bench/bench/bench_m14_ingest
   run_bench bench_m15 ./build-bench/bench/bench_m15_bgp
 fi
@@ -102,11 +120,30 @@ def to_ms(bench):
                                  "s": 1e3}.get(unit, 1e-6)
 
 merged = {}
-for name in ("bench_m11", "bench_m13"):
+for name in ("bench_m11", "bench_m13", "bench_m16"):
     with open(os.path.join(tmpdir, f"{name}.json")) as f:
         report = json.load(f)
-    merged.setdefault("context", report.get("context", {}))
+    context = report.get("context", {})
+    # Build-mode proof, per binary: ef_bench_build is stamped by the
+    # bench's own main() from NDEBUG, i.e. it describes OUR translation
+    # units. Anything but "release" means the timings are garbage; fail
+    # instead of recording them.
+    if context.get("ef_bench_build") != "release":
+        raise SystemExit(
+            f"error: {name} was built in "
+            f"{context.get('ef_bench_build', 'unknown')} mode; refusing to "
+            "record benchmarks from a non-Release binary")
+    merged.setdefault("context", context)
     merged.setdefault("benchmarks", []).extend(report.get("benchmarks", []))
+
+# Distro libbenchmark packages are routinely compiled without NDEBUG, so
+# google-benchmark's own library_build_type says "debug" even in a
+# Release tree. That field describes the LIBRARY, not our code; annotate
+# rather than letting it read as a broken record.
+if merged["context"].get("library_build_type") != "release":
+    merged["context"]["library_build_type_note"] = (
+        "library_build_type describes the system libbenchmark package; "
+        "our benchmark TUs are proven Release by ef_bench_build")
 
 times = {
     b["name"]: b["real_time"]
@@ -159,6 +196,40 @@ if million:
     target["best_warm_cycle_ms"] = best
     target["met"] = best <= target["target_ms"]
 merged["full_table_target"] = target
+
+# The steady-state acceptance target (EXPERIMENTS.md M16): at 1M
+# prefixes and 1% churn per cycle, the incremental engine must beat the
+# full warm recompute by >=50x and land at or under 10 ms. Churn rows
+# are named BM_{FullRecomputeAtChurn,IncrementalAtChurn}/<prefixes>/
+# <routes>/<permille>.
+steady = {"prefixes": 1000000, "routes": 3, "churn_permille": 10,
+          "target_speedup": 50.0, "target_ms": 10.0}
+churn = {}
+for b in merged["benchmarks"]:
+    if b.get("run_type", "iteration") != "iteration":
+        continue
+    for kind, bench_prefix in (("full", "BM_FullRecomputeAtChurn/"),
+                               ("incremental", "BM_IncrementalAtChurn/")):
+        if b["name"].startswith(bench_prefix):
+            args = b["name"].split("/", 1)[1]
+            churn.setdefault(args, {})[f"{kind}_ms"] = round(to_ms(b), 3)
+            if kind == "incremental":
+                churn[args]["full_fallbacks"] = b.get("full_fallbacks", 0)
+                churn[args]["dirty_per_cycle"] = round(
+                    b.get("dirty_per_cycle", 0))
+for args, row in churn.items():
+    if "full_ms" in row and "incremental_ms" in row and row["incremental_ms"]:
+        row["speedup"] = round(row["full_ms"] / row["incremental_ms"], 2)
+merged["incremental_churn"] = churn
+key = (f"{steady['prefixes']}/{steady['routes']}/"
+       f"{steady['churn_permille']}")
+if key in churn and "speedup" in churn[key]:
+    steady["full_ms"] = churn[key]["full_ms"]
+    steady["incremental_ms"] = churn[key]["incremental_ms"]
+    steady["speedup"] = churn[key]["speedup"]
+    steady["met"] = (steady["speedup"] >= steady["target_speedup"]
+                     and steady["incremental_ms"] <= steady["target_ms"])
+merged["steady_state_target"] = steady
 merged["profile"] = profile
 
 with open("BENCH_alloc.json", "w") as f:
@@ -172,6 +243,12 @@ if "met" in target:
     print("full-table target (1M x 3 routes <= 2000 ms):",
           "MET" if target["met"] else "MISSED",
           f"best={target.get('best_warm_cycle_ms')} ms")
+if "met" in steady:
+    print("steady-state target (1M x 1% churn, >=50x and <= 10 ms):",
+          "MET" if steady["met"] else "MISSED",
+          f"full={steady.get('full_ms')} ms",
+          f"incremental={steady.get('incremental_ms')} ms",
+          f"speedup={steady.get('speedup')}x")
 
 if profile == "nightly":
     raise SystemExit(0)  # nightly rewrites only the alloc record

@@ -1,0 +1,102 @@
+#!/usr/bin/env python3
+"""Compare a fresh BENCH_alloc.json against a committed baseline.
+
+Usage:
+    check_bench_regression.py BASELINE FRESH [--threshold FRAC]
+                              [--report OUT.json]
+
+Guards the two acceptance targets the repo records (docs/SCALING.md):
+
+  full_table_target.best_warm_cycle_ms   - 1M-prefix full warm cycle
+  steady_state_target.incremental_ms     - 1M-prefix, 1% churn delta cycle
+  steady_state_target.full_ms            - its full-recompute baseline
+
+A metric regresses when fresh > baseline * (1 + threshold); the default
+threshold is 0.25 (25%). Metrics missing from either side are reported
+but never fail the run — a baseline recorded before a format change must
+not brick the nightly. A JSON report (every metric, both values, the
+ratio, and the verdict) is always written when --report is given, so CI
+can upload it as an artifact whether or not the check fails.
+
+Exit status: 0 clean, 1 regression, 2 usage/IO error.
+"""
+
+import argparse
+import json
+import sys
+
+
+METRICS = (
+    ("full_table_target", "best_warm_cycle_ms"),
+    ("steady_state_target", "incremental_ms"),
+    ("steady_state_target", "full_ms"),
+)
+
+
+def lookup(record, section, field):
+    value = record.get(section, {}).get(field)
+    return float(value) if isinstance(value, (int, float)) else None
+
+
+def main():
+    parser = argparse.ArgumentParser(
+        description="fail on >threshold benchmark regressions")
+    parser.add_argument("baseline")
+    parser.add_argument("fresh")
+    parser.add_argument("--threshold", type=float, default=0.25,
+                        help="allowed fractional slowdown (default 0.25)")
+    parser.add_argument("--report", help="write a JSON comparison here")
+    args = parser.parse_args()
+
+    try:
+        with open(args.baseline) as f:
+            baseline = json.load(f)
+        with open(args.fresh) as f:
+            fresh = json.load(f)
+    except (OSError, json.JSONDecodeError) as err:
+        print(f"error: {err}", file=sys.stderr)
+        return 2
+
+    rows = []
+    regressed = False
+    for section, field in METRICS:
+        name = f"{section}.{field}"
+        base = lookup(baseline, section, field)
+        new = lookup(fresh, section, field)
+        row = {"metric": name, "baseline_ms": base, "fresh_ms": new}
+        if base is None or new is None or base <= 0:
+            row["verdict"] = "skipped (missing or unusable on one side)"
+        else:
+            ratio = new / base
+            row["ratio"] = round(ratio, 3)
+            if ratio > 1.0 + args.threshold:
+                row["verdict"] = (
+                    f"REGRESSED ({ratio:.2f}x baseline, limit "
+                    f"{1.0 + args.threshold:.2f}x)")
+                regressed = True
+            else:
+                row["verdict"] = "ok"
+        rows.append(row)
+        print(f"{name}: baseline={base} fresh={new} -> {row['verdict']}")
+
+    report = {
+        "threshold": args.threshold,
+        "regressed": regressed,
+        "metrics": rows,
+        "baseline_profile": baseline.get("profile"),
+        "fresh_profile": fresh.get("profile"),
+    }
+    if args.report:
+        with open(args.report, "w") as f:
+            json.dump(report, f, indent=2)
+            f.write("\n")
+
+    if regressed:
+        print("benchmark regression above threshold; failing",
+              file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

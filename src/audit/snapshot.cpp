@@ -220,6 +220,13 @@ std::vector<std::uint8_t> CycleSnapshot::serialize() const {
   w.u64(removed);
   w.u64(retained_by_hysteresis);
   w.u64(perf_overrides);
+  // v2 trailer: execution annotations, appended so a v1 reader that
+  // stopped here would have consumed a complete v1 record.
+  w.u64(dirty_prefixes);
+  w.u64(escalations);
+  w.u64(full_fallbacks);
+  w.u8(incremental_cycle ? 1 : 0);
+  w.u64(allocation_wall_ns);
   return w.take();
 }
 
@@ -228,7 +235,9 @@ std::optional<CycleSnapshot> CycleSnapshot::deserialize(
   net::BufReader r(bytes.data(), bytes.size());
   CycleSnapshot s;
   s.version = r.u16();
-  if (!r.ok() || s.version != kSnapshotVersion) return std::nullopt;
+  if (!r.ok() || s.version < 1 || s.version > kSnapshotVersion) {
+    return std::nullopt;
+  }
   s.when = get_time(r);
 
   s.allocator.overload_threshold = get_f64(r);
@@ -282,11 +291,19 @@ std::optional<CycleSnapshot> CycleSnapshot::deserialize(
   s.removed = r.u64();
   s.retained_by_hysteresis = r.u64();
   s.perf_overrides = r.u64();
+  if (s.version >= 2) {
+    s.dirty_prefixes = r.u64();
+    s.escalations = r.u64();
+    s.full_fallbacks = r.u64();
+    s.incremental_cycle = r.u8() != 0;
+    s.allocation_wall_ns = r.u64();
+  }
   if (!r.ok()) return std::nullopt;
   return s;
 }
 
-CycleSnapshot capture_cycle(const core::Controller::CycleRecord& record) {
+CycleSnapshot capture_cycle(const core::Controller::CycleRecord& record,
+                            bool include_timing) {
   CycleSnapshot s;
   s.when = record.stats.when;
   s.allocator = record.allocator_config;
@@ -351,6 +368,17 @@ CycleSnapshot capture_cycle(const core::Controller::CycleRecord& record) {
   s.removed = record.stats.removed;
   s.retained_by_hysteresis = record.stats.retained_by_hysteresis;
   s.perf_overrides = record.stats.perf_overrides;
+  s.dirty_prefixes = record.stats.dirty_prefixes;
+  s.escalations = record.stats.escalations;
+  s.full_fallbacks = record.stats.full_fallbacks;
+  s.incremental_cycle = record.stats.incremental_cycle;
+  // Wall clocks vary run-to-run; deterministic recorders must leave the
+  // timing annotation zero so identical simulations journal identical
+  // bytes (see the header contract).
+  if (include_timing) {
+    s.allocation_wall_ns =
+        static_cast<std::uint64_t>(record.stats.allocation_wall.count());
+  }
   return s;
 }
 

@@ -20,7 +20,10 @@
 namespace ef::audit {
 
 /// Bump when the wire format changes; the reader rejects unknown versions.
-inline constexpr std::uint16_t kSnapshotVersion = 1;
+/// v2 appended the incremental-cycle annotation trailer (dirty set size,
+/// escalations, fallback flag, wall time); v1 snapshots still read fine
+/// with the trailer defaulted to zeros.
+inline constexpr std::uint16_t kSnapshotVersion = 2;
 
 /// One egress interface's state at capture time.
 struct InterfaceRecord {
@@ -80,6 +83,22 @@ struct CycleSnapshot {
   std::uint64_t retained_by_hysteresis = 0;
   std::uint64_t perf_overrides = 0;
 
+  // --- Annotations (v2): how the cycle executed. ------------------------
+  // Execution metadata, never decision inputs — replay ignores them when
+  // verifying (a recompute of an incremental cycle must match regardless
+  // of how the original was computed; that IS the drift check).
+  std::uint64_t dirty_prefixes = 0;
+  std::uint64_t escalations = 0;
+  std::uint64_t full_fallbacks = 0;
+  bool incremental_cycle = false;
+  /// Wall-clock nanoseconds the allocator call took, so replayed journals
+  /// can compare incremental vs full cycle cost offline. Stamped only
+  /// when capture_cycle() is told to include timing (the live efd path):
+  /// deterministic recorders leave it zero, because wall clocks vary
+  /// run-to-run and journal bytes from identical simulations must stay
+  /// bitwise identical.
+  std::uint64_t allocation_wall_ns = 0;
+
   /// Compact big-endian binary encoding (see DESIGN.md "Auditing &
   /// replay" for the layout).
   std::vector<std::uint8_t> serialize() const;
@@ -94,7 +113,11 @@ struct CycleSnapshot {
 
 /// Builds a snapshot from a controller cycle callback. Controller-injected
 /// routes are excluded; everything else is captured verbatim, in sorted
-/// order so identical cycle state serializes to identical bytes.
-CycleSnapshot capture_cycle(const core::Controller::CycleRecord& record);
+/// order so identical cycle state serializes to identical bytes. With
+/// `include_timing` the allocation wall time is stamped too — live
+/// services want it; deterministic recorders (simulation journals, whose
+/// bytes are compared across runs and thread counts) must not.
+CycleSnapshot capture_cycle(const core::Controller::CycleRecord& record,
+                            bool include_timing = false);
 
 }  // namespace ef::audit

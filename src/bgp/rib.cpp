@@ -15,7 +15,10 @@ Rib::Rib(const Rib& other)
       entries_(other.entries_),
       route_count_(other.route_count_),
       epoch_(other.epoch_),
-      rank_stats_(other.rank_stats_) {}
+      rank_stats_(other.rank_stats_),
+      change_log_(other.change_log_),
+      change_seq_(other.change_seq_),
+      log_floor_(other.log_floor_) {}
 
 Rib& Rib::operator=(const Rib& other) {
   if (this != &other) {
@@ -24,9 +27,41 @@ Rib& Rib::operator=(const Rib& other) {
     route_count_ = other.route_count_;
     epoch_ = other.epoch_;
     rank_stats_ = other.rank_stats_;
+    change_log_ = other.change_log_;
+    change_seq_ = other.change_seq_;
+    log_floor_ = other.log_floor_;
     instance_id_ = next_instance_id();  // storage differs: old views die
   }
   return *this;
+}
+
+void Rib::log_change(const net::Prefix& prefix) {
+  // No duplicate suppression: a consumer whose cursor sits between two
+  // identical entries must still see the second mutation. Consumers
+  // dedup when they build their dirty set.
+  if (change_log_.size() >= kChangeLogCap) {
+    // Sliding retention: shed the oldest half instead of invalidating
+    // wholesale. Cursors within the retained window replay unharmed;
+    // only consumers further behind than the window read kTooOld, so a
+    // consumer that drains every cycle never sees an artificial full
+    // resync under sustained churn.
+    const std::size_t drop = kChangeLogCap / 2;
+    change_log_.erase(change_log_.begin(),
+                      change_log_.begin() + static_cast<std::ptrdiff_t>(drop));
+    log_floor_ += drop;
+  }
+  ++change_seq_;
+  change_log_.push_back(prefix);
+}
+
+Rib::ChangeLogStatus Rib::changes_since(
+    std::uint64_t since,
+    const std::function<void(const net::Prefix&)>& fn) const {
+  if (since < log_floor_) return ChangeLogStatus::kTooOld;
+  for (std::uint64_t seq = since + 1; seq <= change_seq_; ++seq) {
+    fn(change_log_[static_cast<std::size_t>(seq - log_floor_ - 1)]);
+  }
+  return ChangeLogStatus::kOk;
 }
 
 void Rib::reelect(Entry& entry) {
@@ -59,6 +94,7 @@ RibChange Rib::announce(const Route& route) {
   }
   ++entry.epoch;
   ++epoch_;
+  log_change(route.prefix);
   reelect(entry);
 
   RibChange change;
@@ -86,6 +122,7 @@ RibChange Rib::withdraw(PeerId peer, const net::Prefix& prefix) {
   --route_count_;
   ++entry.epoch;
   ++epoch_;
+  log_change(prefix);
 
   if (entry.routes.empty()) {
     entries_.erase(map_it);
@@ -118,6 +155,7 @@ std::vector<net::Prefix> Rib::remove_peer(PeerId peer) {
     --route_count_;
     ++entry.epoch;
     ++epoch_;
+    log_change(it->first);
     if (entry.routes.empty()) {
       affected.push_back(it->first);
       it = entries_.erase(it);

@@ -92,6 +92,27 @@ class Rib {
   /// over); moves keep it (the nodes move wholesale, views stay valid).
   std::uint64_t instance_id() const { return instance_id_; }
 
+  /// Monotonic cursor into the change log. A consumer snapshots
+  /// change_seq() after reading the RIB, then later asks
+  /// changes_since(cursor, fn) for exactly the prefixes mutated in
+  /// between — the dirty-set feed for incremental allocation cycles.
+  std::uint64_t change_seq() const { return change_seq_; }
+
+  enum class ChangeLogStatus {
+    kOk,      // fn saw every prefix mutated after `since`
+    kTooOld,  // log trimmed past `since`: caller must treat all as dirty
+  };
+
+  /// Replays the changed-prefix log after cursor `since` (exclusive)
+  /// through `fn`; a prefix mutated repeatedly appears repeatedly, so
+  /// callers dedup. The log retains the most recent kChangeLogCap-ish
+  /// entries (sliding window): a cursor that fell behind the window gets
+  /// kTooOld and the caller falls back to a full pass, while consumers
+  /// that drain regularly replay forever.
+  ChangeLogStatus changes_since(
+      std::uint64_t since,
+      const std::function<void(const net::Prefix&)>& fn) const;
+
   Rib(const Rib& other);
   Rib& operator=(const Rib& other);
   Rib(Rib&&) = default;
@@ -159,8 +180,14 @@ class Rib {
   };
 
   void reelect(Entry& entry);
+  void log_change(const net::Prefix& prefix);
 
   static std::uint64_t next_instance_id();
+
+  /// Change-log retention bound: at this size the oldest half is shed
+  /// (cursors behind the retained window read kTooOld) so the log never
+  /// grows without limit while no consumer drains it.
+  static constexpr std::size_t kChangeLogCap = std::size_t{1} << 18;
 
   DecisionConfig config_;
   std::unordered_map<net::Prefix, Entry> entries_;
@@ -168,6 +195,14 @@ class Rib {
   std::uint64_t epoch_ = 0;
   std::uint64_t instance_id_ = next_instance_id();
   mutable RankCacheStats rank_stats_;
+  /// Changed-prefix log: entry i holds the prefix mutated at sequence
+  /// log_floor_ + 1 + i. Overflow sheds the oldest half (log_floor_
+  /// advances past the shed entries) and clear-style invalidation raises
+  /// log_floor_ to change_seq_; either way stale cursors read kTooOld
+  /// rather than silently missing changes.
+  std::vector<net::Prefix> change_log_;
+  std::uint64_t change_seq_ = 0;
+  std::uint64_t log_floor_ = 0;
 };
 
 }  // namespace ef::bgp

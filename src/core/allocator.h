@@ -122,6 +122,43 @@ class Allocator {
     std::unique_ptr<Impl> impl_;
   };
 
+  /// Persistent cross-cycle state for allocate_incremental(): per-prefix
+  /// classification, per-interface load totals and pinned cohorts, the
+  /// egress slot table, and the identity (Rib/DemandMatrix instance ids
+  /// + change-log cursors) it was built against. Unlike the Workspace —
+  /// pure scratch, wiped every cycle — the Ledger deliberately carries
+  /// decision-shaped state between cycles; its contract is that
+  /// consuming it produces bitwise the result a from-scratch allocate()
+  /// would (the IncrementalAllocProperty suite locks this in). Anything
+  /// the change feeds cannot see (failsafe transitions, external state
+  /// resets) must invalidate() it; allocate_incremental() detects the
+  /// rest (identity swaps, config changes, interface-set changes,
+  /// resolver outcome changes, trimmed logs) and falls back to a full
+  /// recompute on its own. Opaque; not shareable across threads.
+  class Ledger {
+   public:
+    Ledger();
+    ~Ledger();
+    Ledger(Ledger&&) noexcept;
+    Ledger& operator=(Ledger&&) noexcept;
+
+    /// Drops all carried state: the next incremental cycle runs full.
+    void invalidate();
+
+   private:
+    friend class Allocator;
+    struct Impl;
+    std::unique_ptr<Impl> impl_;
+  };
+
+  /// How allocate_incremental() actually ran, for stats/metrics.
+  struct IncrementalOutcome {
+    bool incremental = false;    // delta path taken
+    bool full_fallback = false;  // fell back to a full recompute
+    std::size_t dirty_prefixes = 0;  // deduped dirty-set size
+    std::size_t escalations = 0;  // interfaces whose overload class flipped
+  };
+
   explicit Allocator(AllocatorConfig config = {}) : config_(config) {}
 
   /// Runs one allocation over the given inputs. Routes injected by the
@@ -158,6 +195,33 @@ class Allocator {
                             const telemetry::DemandMatrix& demand,
                             const telemetry::InterfaceRegistry& interfaces,
                             const EgressResolver& resolve) const;
+
+  /// Incremental (delta) cycle: reuses the ledger's previous-cycle
+  /// classification and per-interface load totals, re-ranking and
+  /// re-projecting only the prefixes the Rib and DemandMatrix change
+  /// logs report dirty since the ledger's cursors. Overload detection
+  /// and detour placement (phase 2) run fresh every cycle over the
+  /// carried cohorts, so threshold crossings and un-crossings — the
+  /// escalation cases — are handled by construction and merely counted.
+  /// The result is bitwise identical to allocate() on the same inputs;
+  /// DemandMatrix's integral-bps rate quantization is what makes the
+  /// subtract/add load updates exact.
+  ///
+  /// Falls back to a full recompute (rebuilding the ledger) when the
+  /// ledger is invalid, identities or config changed, the interface set
+  /// changed, a change log was trimmed, any egress slot resolves
+  /// differently than cached, or the dirty set exceeds
+  /// `dirty_ceiling` x demand.prefix_count() — so the worst case never
+  /// regresses below the full path. Unlike allocate(), `resolve` may be
+  /// invoked more than once per distinct NEXT_HOP in a fallback cycle
+  /// (still at most twice); it must stay pure for the call's duration.
+  /// `pool` is used only by the fallback full recompute.
+  AllocationResult allocate_incremental(
+      const bgp::Rib& rib, const telemetry::DemandMatrix& demand,
+      const telemetry::InterfaceRegistry& interfaces,
+      const EgressResolver& resolve, Workspace& workspace, Ledger& ledger,
+      double dirty_ceiling, IncrementalOutcome* outcome = nullptr,
+      runtime::ThreadPool* pool = nullptr) const;
 
   const AllocatorConfig& config() const { return config_; }
 

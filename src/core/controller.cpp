@@ -87,9 +87,20 @@ CycleStats Controller::run_cycle(const telemetry::DemandMatrix& demand,
       rib_source_ != nullptr ? *rib_source_ : pop_->collector().rib();
   const bgp::Rib::RankCacheStats cache_before = rib.rank_cache_stats();
   const auto wall_start = std::chrono::steady_clock::now();
-  stats.allocation = allocator_.allocate(rib, demand, pop_->interfaces(),
-                                         resolver, workspace_,
-                                         alloc_pool_.get());
+  if (config_.incremental) {
+    Allocator::IncrementalOutcome outcome;
+    stats.allocation = allocator_.allocate_incremental(
+        rib, demand, pop_->interfaces(), resolver, workspace_, ledger_,
+        config_.incremental_dirty_ceiling, &outcome, alloc_pool_.get());
+    stats.incremental_cycle = outcome.incremental;
+    stats.dirty_prefixes = outcome.dirty_prefixes;
+    stats.escalations = outcome.escalations;
+    stats.full_fallbacks = outcome.full_fallback ? 1 : 0;
+  } else {
+    stats.allocation = allocator_.allocate(rib, demand, pop_->interfaces(),
+                                           resolver, workspace_,
+                                           alloc_pool_.get());
+  }
   stats.allocation_wall = std::chrono::duration_cast<std::chrono::nanoseconds>(
       std::chrono::steady_clock::now() - wall_start);
   const bgp::Rib::RankCacheStats cache_after = rib.rank_cache_stats();

@@ -79,6 +79,21 @@ struct ControllerConfig {
   /// AllocatorConfig, which is serialized into the audit wire format
   /// (docs/SCALING.md §3 explains how to size it).
   unsigned alloc_threads = 1;
+  /// Incremental (delta) allocation: carry the previous cycle's
+  /// classification in a ledger and re-rank/re-project only the prefixes
+  /// the RIB and demand change logs report dirty. Bitwise identical to
+  /// the full recompute every cycle (the allocator falls back to a full
+  /// pass whenever it cannot prove that), so — like alloc_threads — this
+  /// is an execution knob, never a decision input, and deliberately NOT
+  /// part of AllocatorConfig (which is serialized into the audit wire
+  /// format). See docs/SCALING.md §8 and DESIGN.md §15.
+  bool incremental = false;
+  /// Dirty-fraction ceiling for the incremental path: when more than
+  /// this fraction of tracked prefixes is dirty, a full recompute is
+  /// cheaper than the delta walk and the cycle falls back. Must be a
+  /// unit fraction (0 disables the delta path outright — every cycle
+  /// falls back).
+  double incremental_dirty_ceiling = 0.25;
 };
 
 struct CycleStats {
@@ -97,13 +112,26 @@ struct CycleStats {
   net::SimTime when;
   /// Real (wall-clock) time the allocator call took this cycle — the
   /// production observability hook for the ~30s cycle budget. Not
-  /// simulated time and not part of the audit wire format (it is not a
-  /// decision input).
+  /// simulated time; recorded in v2 snapshots as an execution annotation
+  /// only (replay never consults it — it is not a decision input).
   std::chrono::nanoseconds allocation_wall{0};
   /// Fraction of prefix rankings served from the RIB's epoch cache this
   /// cycle (1.0 = fully warm, 0.0 = every ranking recomputed or no
   /// rankings requested).
   double ranking_cache_hit_rate = 0.0;
+  /// The delta path ran this cycle (ControllerConfig::incremental set
+  /// and no fallback condition hit).
+  bool incremental_cycle = false;
+  /// Deduped dirty-set size the incremental engine processed (0 on full
+  /// cycles — a fallback recomputes everything without counting).
+  std::size_t dirty_prefixes = 0;
+  /// Interfaces whose overload class flipped (crossed or un-crossed the
+  /// threshold) relative to the previous incremental cycle.
+  std::size_t escalations = 0;
+  /// 1 when an incremental-mode cycle fell back to a full recompute
+  /// (ledger invalid, inputs swapped, trimmed log, resolver change, or
+  /// dirty set past the ceiling); always 0 when incremental is off.
+  std::size_t full_fallbacks = 0;
 };
 
 class Controller {
@@ -135,6 +163,12 @@ class Controller {
   /// degradation ladder's bottom rung — the daemon calls it when its
   /// inputs are too stale to act on.
   void withdraw_all(net::SimTime now);
+
+  /// Drops the incremental ledger: the next cycle recomputes in full.
+  /// Call on any event the RIB/demand change logs cannot see — failsafe
+  /// ladder transitions, external state resets. No-op when incremental
+  /// mode is off (the ledger is simply never consulted).
+  void invalidate_ledger() { ledger_.invalidate(); }
 
   /// Drives the injection session's keepalive/hold timers. Must run at
   /// least every hold/3 of simulated time — a controller that stops
@@ -203,6 +237,9 @@ class Controller {
   /// Persistent fast-path scratch: reused every cycle so warm cycles do
   /// not re-allocate; never carries decision state (see Allocator).
   Allocator::Workspace workspace_;
+  /// Cross-cycle state for the incremental path; unused (and empty)
+  /// unless ControllerConfig::incremental is set.
+  Allocator::Ledger ledger_;
   SafetyGuard safety_;
   bgp::BgpSpeaker speaker_;
   std::vector<bgp::PeerId> sessions_;

@@ -68,7 +68,9 @@ EfdService::EfdService(topology::Pop& pop, EfdConfig config)
              "efd: cannot open journal " << config_.journal_path);
     controller_.set_cycle_observer(
         [this](const core::Controller::CycleRecord& record) {
-          journal_->append(audit::capture_cycle(record).serialize());
+          journal_->append(
+              audit::capture_cycle(record, /*include_timing=*/true)
+                  .serialize());
         });
   }
 }
@@ -418,8 +420,18 @@ void EfdService::on_window_close(
   }
 
   if (direct_seen_) {
-    direct_demand_.clear();
-    direct_seen_ = false;
+    // Incremental mode keeps the direct-demand matrix alive across
+    // windows: the feed updates it in place (set() is value-comparing,
+    // so an unchanged re-report costs no change-log entry) and the
+    // allocator's ledger consumes the log. Clearing every window would
+    // mark the whole table dirty and force a full recompute each cycle.
+    // The semantic shift is deliberate and documented on the config: a
+    // prefix the feed stops reporting keeps its last rate until the
+    // feed re-reports it (at zero to retire it).
+    if (!config_.controller.incremental) {
+      direct_demand_.clear();
+      direct_seen_ = false;
+    }
   }
   windows_closed_.fetch_add(1, std::memory_order_release);
 }
@@ -432,11 +444,37 @@ void EfdService::run_cycle_guarded(net::SimTime now,
 
   std::chrono::nanoseconds wall{0};
   double hit_rate = 0.0;
+  bool incremental_cycle = false;
+  std::size_t dirty_prefixes = 0;
+  std::size_t escalations = 0;
+  std::size_t full_fallbacks = 0;
   switch (decision.action) {
     case audit::FailsafeAction::kRun: {
       const core::CycleStats stats = controller_.run_cycle(demand, now);
       wall = stats.allocation_wall;
       hit_rate = stats.ranking_cache_hit_rate;
+      incremental_cycle = stats.incremental_cycle;
+      dirty_prefixes = stats.dirty_prefixes;
+      escalations = stats.escalations;
+      full_fallbacks = stats.full_fallbacks;
+      if (config_.controller.incremental) {
+        if (stats.incremental_cycle) {
+          alloc_incremental_cycles_.fetch_add(1, std::memory_order_relaxed);
+          alloc_incremental_wall_ns_.store(
+              static_cast<std::uint64_t>(stats.allocation_wall.count()),
+              std::memory_order_relaxed);
+        } else {
+          alloc_full_wall_ns_.store(
+              static_cast<std::uint64_t>(stats.allocation_wall.count()),
+              std::memory_order_relaxed);
+        }
+        alloc_full_fallbacks_.fetch_add(stats.full_fallbacks,
+                                        std::memory_order_relaxed);
+        alloc_escalations_.fetch_add(stats.escalations,
+                                     std::memory_order_relaxed);
+        alloc_dirty_prefixes_.store(stats.dirty_prefixes,
+                                    std::memory_order_relaxed);
+      }
       if (stats.churn_deferred > 0) {
         churn_deferred_.fetch_add(stats.churn_deferred,
                                   std::memory_order_relaxed);
@@ -476,6 +514,11 @@ void EfdService::run_cycle_guarded(net::SimTime now,
   }
 
   if (decision.transitioned) {
+    // A ladder transition is exactly the kind of event the RIB/demand
+    // change logs cannot see (holds and withdraws change what the
+    // routers carry without touching the allocator's inputs): drop the
+    // incremental ledger so the next running cycle recomputes in full.
+    controller_.invalidate_ledger();
     audit::FailsafeEvent event;
     event.when = now;
     event.from_mode = mode_before;
@@ -503,6 +546,10 @@ void EfdService::run_cycle_guarded(net::SimTime now,
   digest.ranking_cache_hit_rate = hit_rate;
   digest.action = decision.action;
   digest.mode = decision.mode;
+  digest.incremental_cycle = incremental_cycle;
+  digest.dirty_prefixes = dirty_prefixes;
+  digest.escalations = escalations;
+  digest.full_fallbacks = full_fallbacks;
   digest.overrides.reserve(controller_.active_overrides().size());
   for (const auto& [prefix, override_entry] :
        controller_.active_overrides()) {
@@ -608,6 +655,18 @@ EfdService::IngestSnapshot EfdService::ingest() const {
       failsafe_transitions_.load(std::memory_order_acquire);
   snap.watchdog_aborts = watchdog_aborts_.load(std::memory_order_acquire);
   snap.churn_deferred = churn_deferred_.load(std::memory_order_acquire);
+  snap.alloc_incremental_cycles =
+      alloc_incremental_cycles_.load(std::memory_order_acquire);
+  snap.alloc_full_fallbacks =
+      alloc_full_fallbacks_.load(std::memory_order_acquire);
+  snap.alloc_escalations =
+      alloc_escalations_.load(std::memory_order_acquire);
+  snap.alloc_dirty_prefixes =
+      alloc_dirty_prefixes_.load(std::memory_order_acquire);
+  snap.alloc_incremental_wall_ns =
+      alloc_incremental_wall_ns_.load(std::memory_order_acquire);
+  snap.alloc_full_wall_ns =
+      alloc_full_wall_ns_.load(std::memory_order_acquire);
   snap.routers_down = routers_down_.load(std::memory_order_acquire);
   snap.router_reconnects =
       router_reconnects_.load(std::memory_order_acquire);
@@ -773,6 +832,17 @@ std::string EfdService::render_metrics() const {
      << "\n"
      << "efd_watchdog_aborts_total " << snap.watchdog_aborts << "\n"
      << "efd_churn_deferred_total " << snap.churn_deferred << "\n"
+     << "efd_alloc_incremental_enabled "
+     << (config_.controller.incremental ? 1 : 0) << "\n"
+     << "efd_alloc_incremental_cycles_total "
+     << snap.alloc_incremental_cycles << "\n"
+     << "efd_alloc_full_fallbacks_total " << snap.alloc_full_fallbacks
+     << "\n"
+     << "efd_alloc_escalations_total " << snap.alloc_escalations << "\n"
+     << "efd_alloc_dirty_prefixes " << snap.alloc_dirty_prefixes << "\n"
+     << "efd_alloc_incremental_wall_ns " << snap.alloc_incremental_wall_ns
+     << "\n"
+     << "efd_alloc_full_wall_ns " << snap.alloc_full_wall_ns << "\n"
      << "efd_routers_known " << health.routers_known << "\n"
      << "efd_routers_down " << snap.routers_down << "\n"
      << "efd_demand_age_ms "

@@ -51,6 +51,14 @@ struct EfdConfig {
   /// Allocation pipeline configuration. Enforcement selects the daemon's
   /// stance: kBgpInjection injects into the attached PoP's routers,
   /// kShadow computes decisions without pushing them (mirror/dry-run).
+  ///
+  /// With controller.incremental set, the daemon keeps the direct-demand
+  /// matrix (DemandRate feeds) alive across windows instead of clearing
+  /// it after each cycle, so the demand change log — not the feed size —
+  /// drives per-cycle work. A prefix the feed stops reporting then keeps
+  /// its last rate until re-reported (send zero to retire it). Sampled
+  /// (FlowSample + smoother) feeds rescale every prefix each window and
+  /// therefore gain nothing from the delta path.
   core::ControllerConfig controller;
 
   /// Must match the feed's sampler for scale-up to be correct.
@@ -151,6 +159,13 @@ class EfdService {
     std::uint64_t failsafe_transitions = 0;
     std::uint64_t watchdog_aborts = 0;
     std::uint64_t churn_deferred = 0;
+    // Incremental allocation (all zero unless controller.incremental).
+    std::uint64_t alloc_incremental_cycles = 0;  // delta path ran
+    std::uint64_t alloc_full_fallbacks = 0;      // fell back to full
+    std::uint64_t alloc_escalations = 0;         // overload-class flips
+    std::uint64_t alloc_dirty_prefixes = 0;      // last cycle's dirty set
+    std::uint64_t alloc_incremental_wall_ns = 0;  // last delta cycle
+    std::uint64_t alloc_full_wall_ns = 0;         // last full cycle
     std::uint64_t routers_down = 0;
     std::uint64_t router_reconnects = 0;
     std::uint64_t http_aborted_conns = 0;
@@ -176,6 +191,12 @@ class EfdService {
     /// failsafe is disabled).
     audit::FailsafeAction action = audit::FailsafeAction::kRun;
     audit::FailsafeMode mode = audit::FailsafeMode::kHealthy;
+    /// Incremental-engine execution trace (all defaults unless
+    /// controller.incremental is set and the cycle ran).
+    bool incremental_cycle = false;
+    std::size_t dirty_prefixes = 0;
+    std::size_t escalations = 0;
+    std::size_t full_fallbacks = 0;
   };
   std::vector<CycleDigest> digests() const;
 
@@ -328,6 +349,12 @@ class EfdService {
   std::atomic<std::uint64_t> failsafe_transitions_{0};
   std::atomic<std::uint64_t> watchdog_aborts_{0};
   std::atomic<std::uint64_t> churn_deferred_{0};
+  std::atomic<std::uint64_t> alloc_incremental_cycles_{0};
+  std::atomic<std::uint64_t> alloc_full_fallbacks_{0};
+  std::atomic<std::uint64_t> alloc_escalations_{0};
+  std::atomic<std::uint64_t> alloc_dirty_prefixes_{0};
+  std::atomic<std::uint64_t> alloc_incremental_wall_ns_{0};
+  std::atomic<std::uint64_t> alloc_full_wall_ns_{0};
   std::atomic<std::uint64_t> routers_down_{0};
   std::atomic<std::uint64_t> router_reconnects_{0};
 

@@ -1,8 +1,19 @@
 #include "telemetry/traffic.h"
 
 #include <atomic>
+#include <cmath>
 
 namespace ef::telemetry {
+
+namespace {
+
+/// Rate quantization: integral bits per second (see the class comment).
+net::Bandwidth quantize(net::Bandwidth rate) {
+  return net::Bandwidth::bps(
+      static_cast<double>(std::llround(rate.bits_per_sec())));
+}
+
+}  // namespace
 
 std::uint64_t DemandMatrix::next_instance_id() {
   static std::atomic<std::uint64_t> counter{1};
@@ -10,29 +21,89 @@ std::uint64_t DemandMatrix::next_instance_id() {
 }
 
 DemandMatrix::DemandMatrix(const DemandMatrix& other)
-    : rates_(other.rates_), membership_epoch_(other.membership_epoch_) {}
+    : rates_(other.rates_),
+      membership_epoch_(other.membership_epoch_),
+      change_log_(other.change_log_),
+      change_seq_(other.change_seq_),
+      log_floor_(other.log_floor_) {}
 
 DemandMatrix& DemandMatrix::operator=(const DemandMatrix& other) {
   if (this != &other) {
     rates_ = other.rates_;
     membership_epoch_ = other.membership_epoch_;
+    change_log_ = other.change_log_;
+    change_seq_ = other.change_seq_;
+    log_floor_ = other.log_floor_;
     instance_id_ = next_instance_id();
   }
   return *this;
 }
 
+void DemandMatrix::log_change(const net::Prefix& prefix,
+                              net::Bandwidth rate_after) {
+  if (change_log_.size() >= kChangeLogCap) {
+    // Sliding retention: shed the oldest half instead of invalidating
+    // wholesale. Cursors within the retained window replay as if nothing
+    // happened; only consumers further behind than the window read
+    // kTooOld. A steady consumer that drains every cycle therefore never
+    // sees an artificial full-resync, no matter how long it runs.
+    const std::size_t drop = kChangeLogCap / 2;
+    change_log_.erase(change_log_.begin(),
+                      change_log_.begin() + static_cast<std::ptrdiff_t>(drop));
+    log_floor_ += drop;
+  }
+  ++change_seq_;
+  change_log_.emplace_back(prefix, rate_after);
+}
+
+DemandMatrix::ChangeLogStatus DemandMatrix::changes_since(
+    std::uint64_t since,
+    const std::function<void(const net::Prefix&, net::Bandwidth)>& fn) const {
+  if (since < log_floor_) return ChangeLogStatus::kTooOld;
+  for (std::uint64_t seq = since + 1; seq <= change_seq_; ++seq) {
+    const auto& [prefix, rate_after] =
+        change_log_[static_cast<std::size_t>(seq - log_floor_ - 1)];
+    fn(prefix, rate_after);
+  }
+  return ChangeLogStatus::kOk;
+}
+
 void DemandMatrix::set(const net::Prefix& prefix, net::Bandwidth rate) {
-  if (rates_.insert_or_assign(prefix, rate).second) ++membership_epoch_;
+  const net::Bandwidth stored = quantize(rate);
+  auto [it, inserted] = rates_.try_emplace(prefix, stored);
+  if (inserted) {
+    ++membership_epoch_;
+    log_change(prefix, stored);
+    return;
+  }
+  // Value-comparing assign: a resend of an unchanged rate (the direct
+  // sFlow feed re-reporting a stable prefix every window) costs no log
+  // entry, which is what keeps steady-state dirty sets proportional to
+  // real drift rather than feed size.
+  if (it->second == stored) return;
+  it->second = stored;
+  log_change(prefix, stored);
 }
 
 void DemandMatrix::add(const net::Prefix& prefix, net::Bandwidth rate) {
   auto [it, inserted] = rates_.try_emplace(prefix);
-  it->second += rate;
-  if (inserted) ++membership_epoch_;
+  if (inserted) {
+    it->second = quantize(rate);
+    ++membership_epoch_;
+    log_change(prefix, it->second);
+    return;
+  }
+  const net::Bandwidth updated = quantize(it->second + rate);
+  if (it->second == updated) return;  // delta rounds to nothing
+  it->second = updated;
+  log_change(prefix, updated);
 }
 
 void DemandMatrix::scale(double factor) {
-  for (auto& [prefix, rate] : rates_) rate = rate * factor;
+  if (factor == 1.0) return;
+  for (auto& [prefix, rate] : rates_) rate = quantize(rate * factor);
+  // Every entry changed: cheaper to invalidate than to log the world.
+  invalidate_change_log();
 }
 
 net::Bandwidth DemandMatrix::rate(const net::Prefix& prefix) const {

@@ -2,8 +2,10 @@
 // workload generator, the sFlow pipeline, and the Edge Fabric allocator.
 #pragma once
 
+#include <cstdint>
 #include <functional>
 #include <unordered_map>
+#include <vector>
 
 #include "net/prefix.h"
 #include "net/units.h"
@@ -11,6 +13,15 @@
 namespace ef::telemetry {
 
 /// Egress demand per destination prefix at one PoP, in bits per second.
+///
+/// Every stored rate is quantized to an integral number of bits per
+/// second (sub-bps resolution is below anything the sampled telemetry
+/// can distinguish). Integral doubles below 2^53 sum exactly, so any
+/// sum over demand rates — total(), the allocator's per-interface
+/// projections — is independent of summation order. That is the
+/// property the incremental allocation ledger leans on: subtracting a
+/// prefix's old rate and adding its new one lands on bitwise the same
+/// load a full in-order recompute produces.
 class DemandMatrix {
  public:
   DemandMatrix() = default;
@@ -54,6 +65,7 @@ class DemandMatrix {
   void clear() {
     rates_.clear();
     ++membership_epoch_;
+    invalidate_change_log();
   }
 
   /// Moves whenever the *prefix set* may have changed (insert or clear);
@@ -66,12 +78,48 @@ class DemandMatrix {
   /// Process-unique identity of this matrix (see the copy constructor).
   std::uint64_t instance_id() const { return instance_id_; }
 
+  /// Monotonic cursor into the changed-prefix log — the demand-side
+  /// twin of bgp::Rib::change_seq(). set()/add() log a prefix only when
+  /// its stored rate actually changes; scale(1.0) is a no-op; scale()
+  /// with any other factor and clear() invalidate the log wholesale
+  /// (every outstanding cursor reads kTooOld). The log is a sliding
+  /// window (kChangeLogCap): overflow sheds the oldest half, so only
+  /// cursors that fell behind the window — not every consumer — pay a
+  /// full resync under sustained churn.
+  std::uint64_t change_seq() const { return change_seq_; }
+
+  enum class ChangeLogStatus { kOk, kTooOld };
+
+  /// Replays the changed-prefix log after cursor `since` (exclusive);
+  /// repeated mutations of one prefix appear repeatedly, callers dedup.
+  /// Each entry carries the stored rate immediately after that mutation,
+  /// so the LAST entry replayed for a prefix equals its current rate —
+  /// consumers that keep only the newest entry per prefix never need a
+  /// rate lookup. (A later remove-by-clear() invalidates the log, so a
+  /// kOk replay can never hand out a stale rate.)
+  ChangeLogStatus changes_since(
+      std::uint64_t since,
+      const std::function<void(const net::Prefix&, net::Bandwidth)>& fn)
+      const;
+
  private:
   static std::uint64_t next_instance_id();
+
+  void log_change(const net::Prefix& prefix, net::Bandwidth rate_after);
+  void invalidate_change_log() {
+    ++change_seq_;
+    change_log_.clear();
+    log_floor_ = change_seq_;
+  }
+
+  static constexpr std::size_t kChangeLogCap = std::size_t{1} << 18;
 
   std::unordered_map<net::Prefix, net::Bandwidth> rates_;
   std::uint64_t membership_epoch_ = 0;
   std::uint64_t instance_id_ = next_instance_id();
+  std::vector<std::pair<net::Prefix, net::Bandwidth>> change_log_;
+  std::uint64_t change_seq_ = 0;
+  std::uint64_t log_floor_ = 0;
 };
 
 /// Exponentially smooths successive demand estimates. Sampled telemetry

@@ -229,6 +229,11 @@ CycleSnapshot sample_snapshot() {
   s.removed = 1;
   s.retained_by_hysteresis = 4;
   s.perf_overrides = 5;
+  s.dirty_prefixes = 37;
+  s.escalations = 2;
+  s.full_fallbacks = 1;
+  s.incremental_cycle = true;
+  s.allocation_wall_ns = 123456789;
   return s;
 }
 
@@ -247,6 +252,46 @@ TEST(SnapshotWireTest, SerializationIsDeterministic) {
 TEST(SnapshotWireTest, RejectsUnknownVersion) {
   auto bytes = sample_snapshot().serialize();
   bytes[1] = 99;  // version lives in the first two (big-endian) bytes
+  EXPECT_FALSE(CycleSnapshot::deserialize(bytes).has_value());
+}
+
+TEST(SnapshotWireTest, V1SnapshotsStillDeserialize) {
+  // A v1 blob is a v2 blob minus the 33-byte incremental-annotation
+  // trailer (u64 dirty + u64 escalations + u64 fallbacks + u8 flag +
+  // u64 wall ns), with the version halfword saying 1. Journals written
+  // before the bump must keep reading, with the annotations defaulted.
+  const CycleSnapshot original = sample_snapshot();
+  auto bytes = original.serialize();
+  ASSERT_GT(bytes.size(), 33u);
+  bytes.resize(bytes.size() - 33);
+  bytes[0] = 0;
+  bytes[1] = 1;  // big-endian u16 version
+
+  const auto decoded = CycleSnapshot::deserialize(bytes);
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(decoded->version, 1u);
+  EXPECT_EQ(decoded->dirty_prefixes, 0u);
+  EXPECT_EQ(decoded->escalations, 0u);
+  EXPECT_EQ(decoded->full_fallbacks, 0u);
+  EXPECT_FALSE(decoded->incremental_cycle);
+  EXPECT_EQ(decoded->allocation_wall_ns, 0u);
+
+  // Everything that is a decision input survives unchanged.
+  CycleSnapshot expect = original;
+  expect.version = 1;
+  expect.dirty_prefixes = 0;
+  expect.escalations = 0;
+  expect.full_fallbacks = 0;
+  expect.incremental_cycle = false;
+  expect.allocation_wall_ns = 0;
+  EXPECT_EQ(*decoded, expect);
+}
+
+TEST(SnapshotWireTest, V2RejectsMissingAnnotationTrailer) {
+  // A blob claiming v2 but cut at the v1 length must fail loudly, not
+  // silently default the annotations.
+  auto bytes = sample_snapshot().serialize();
+  bytes.resize(bytes.size() - 33);
   EXPECT_FALSE(CycleSnapshot::deserialize(bytes).has_value());
 }
 

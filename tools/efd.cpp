@@ -17,6 +17,7 @@
 //
 // Signals: SIGINT/SIGTERM shut down in an orderly way through the event
 // loop's signalfd. docs/OPERATIONS.md covers the operator workflow.
+#include <cmath>
 #include <csignal>
 #include <cstdio>
 #include <cstdlib>
@@ -65,12 +66,15 @@ int usage() {
                "           [--bmp PORT] [--sflow PORT] [--http PORT]\n"
                "           [--inject] [--real-time] [--cycle-secs S]\n"
                "           [--sample-rate N] [--threads N]\n"
-               "           [--decode-threads N]\n"
+               "           [--decode-threads N] [--incremental[=FRAC]]\n"
                "  (port 0 = pick an ephemeral port and print it)\n"
                "  --threads: allocation-cycle workers (1 = serial,\n"
                "  0 = one per hardware thread); decisions are identical\n"
                "  for every value. --decode-threads: BMP decode workers\n"
-               "  (0 = decode inline on the event loop). See\n"
+               "  (0 = decode inline on the event loop).\n"
+               "  --incremental: delta allocation cycles; FRAC is the\n"
+               "  dirty-fraction fallback ceiling in [0,1] (decisions\n"
+               "  stay bitwise identical to full recomputes). See\n"
                "  docs/SCALING.md.\n");
   return 2;
 }
@@ -93,6 +97,11 @@ int main(int argc, char** argv) {
       return usage();
     }
     key = key.substr(2);
+    // --key=value form (empty values fail strict validation loudly).
+    if (const auto eq = key.find('='); eq != std::string::npos) {
+      args.options[key.substr(0, eq)] = key.substr(eq + 1);
+      continue;
+    }
     if (i + 1 < argc && std::strncmp(argv[i + 1], "--", 2) != 0) {
       args.options[key] = argv[++i];
     } else {
@@ -145,6 +154,19 @@ int main(int argc, char** argv) {
     die_bad_value("decode-threads", args.options.at("decode-threads"));
   }
   config.decode_threads = static_cast<unsigned>(decode_threads);
+  if (args.has("incremental")) {
+    config.controller.incremental = true;
+    const std::string& raw = args.options.at("incremental");
+    if (raw != "1") {  // a bare flag keeps the default ceiling
+      char* end = nullptr;
+      const double frac = std::strtod(raw.c_str(), &end);
+      if (end == raw.c_str() || *end != '\0' || !std::isfinite(frac) ||
+          frac < 0.0 || frac > 1.0) {
+        die_bad_value("incremental", raw);
+      }
+      config.controller.incremental_dirty_ceiling = frac;
+    }
+  }
 
   service::EfdService service(pop, config);
   service.shutdown_on_signals();

@@ -115,6 +115,12 @@ Args parse_args(int argc, char** argv) {
       continue;
     }
     key = key.substr(2);
+    // --key=value form: the value may be anything, including empty (which
+    // strict numeric validation then rejects loudly).
+    if (const auto eq = key.find('='); eq != std::string::npos) {
+      args.options[key.substr(0, eq)] = key.substr(eq + 1);
+      continue;
+    }
     if (i + 1 < argc && std::strncmp(argv[i + 1], "--", 2) != 0) {
       args.options[key] = argv[++i];
     } else {
@@ -158,6 +164,22 @@ void apply_failsafe_flags(const Args& args, service::EfdConfig& config) {
       net::SimTime::seconds(nonneg_real(args, "hold-ttl", 120));
   config.controller.max_churn_frac = unit_real(args, "max-churn-frac", 0.0);
   config.journal_path = args.get("journal", "");
+}
+
+/// --incremental[=FRAC]: arms the incremental (delta) allocation path.
+/// The optional value is the dirty-fraction ceiling past which a cycle
+/// falls back to a full recompute — a strict unit fraction (NaN,
+/// negative, or > 1 exit 2, like every other threshold flag). A bare
+/// --incremental keeps the ControllerConfig default ceiling. Execution
+/// knob only: decisions are bitwise identical either way.
+void apply_incremental_flags(const Args& args,
+                             core::ControllerConfig& config) {
+  if (!args.has("incremental")) return;
+  config.incremental = true;
+  if (args.get("incremental", "1") != "1") {
+    config.incremental_dirty_ceiling =
+        unit_real(args, "incremental", config.incremental_dirty_ceiling);
+  }
 }
 
 /// Parses --threads into RunOptions (0 = auto, 1 = serial); rejects
@@ -862,6 +884,7 @@ int cmd_serve(const Args& args) {
     die_bad_value("decode-threads", args.get("decode-threads", ""));
   }
   config.decode_threads = static_cast<unsigned>(decode_threads);
+  apply_incremental_flags(args, config.controller);
   apply_failsafe_flags(args, config);
   config.announce_ports = ports_list_opt(args, "announce");
   config.announce_hold_secs = hold_secs_opt(args, "announce-hold-secs", 90);
@@ -1574,9 +1597,12 @@ int usage() {
       "  serve      [--pop K] [--bmp P] [--sflow P] [--http P] [--inject]\n"
       "             [--real-time] [--cycle-secs S] [--sample-rate N]\n"
       "             [--threads N] [--decode-threads N]\n"
+      "             [--incremental[=FRAC]]\n"
       "             (--threads: allocation-cycle workers, 1 = serial,\n"
       "              0 = one per hardware thread, decisions identical;\n"
-      "              --decode-threads: BMP decode pool, 0 = inline)\n"
+      "              --decode-threads: BMP decode pool, 0 = inline;\n"
+      "              --incremental: delta allocation cycles, FRAC =\n"
+      "              dirty-fraction fallback ceiling in [0,1])\n"
       "             [--failsafe] [--max-demand-age SECS] [--hold-ttl SECS]\n"
       "             [--max-churn-frac F] [--journal FILE]\n"
       "             [--announce P1[,P2...]] [--announce-hold-secs S]\n"
