@@ -11,7 +11,9 @@ namespace {
 
 struct RegimeResult {
   double overloaded_sample_fraction = 0;
-  double dropped_traffic_fraction = 0;
+  double dropped_traffic_fraction = 0;   // projected (fluid excess)
+  double measured_drop_fraction = 0;     // dataplane queue tail-drops
+  std::uint64_t reorder_events = 0;      // flows re-pathed mid-life
   std::size_t episodes = 0;
   double peak_utilization = 0;
 };
@@ -24,8 +26,9 @@ int main() {
 
   const topology::World& world = bench::standard_world();
   analysis::TablePrinter table({"pop", "regime", "samples>100%", "drop-frac",
-                                "episodes", "peak-util"},
-                               {8, 12, 14, 12, 10, 10});
+                                "measured-drop", "reorders", "episodes",
+                                "peak-util"},
+                               {8, 12, 14, 12, 14, 10, 10, 10});
   table.print_header();
 
   for (std::size_t p = 0; p < world.pops().size(); ++p) {
@@ -48,7 +51,7 @@ int main() {
       }
 
       analysis::UtilizationTracker tracker(pop.interfaces());
-      sim::Simulation simulation(pop, bench::standard_sim_config(controller));
+      sim::Simulation simulation(pop, bench::measured_sim_config(controller));
       simulation.run([&](const sim::StepRecord& record) {
         // The static controller's session needs keepalives like any BGP
         // speaker, or its overrides would be flushed by the hold timer.
@@ -59,6 +62,13 @@ int main() {
       RegimeResult result;
       result.overloaded_sample_fraction = tracker.overloaded_fraction(1.0);
       result.dropped_traffic_fraction = tracker.excess_traffic_fraction();
+      const auto& totals = simulation.dataplane()->totals();
+      result.measured_drop_fraction =
+          totals.offered_bytes == 0
+              ? 0.0
+              : static_cast<double>(totals.dropped_bytes) /
+                    static_cast<double>(totals.offered_bytes);
+      result.reorder_events = totals.reorder_events;
       result.episodes = tracker.episodes(1.0).size();
       for (const auto& [iface, peak] : tracker.peak_utilization()) {
         result.peak_utilization = std::max(result.peak_utilization, peak);
@@ -76,6 +86,9 @@ int main() {
                            r.overloaded_sample_fraction, 2),
                        analysis::TablePrinter::pct(r.dropped_traffic_fraction,
                                                    3),
+                       analysis::TablePrinter::pct(r.measured_drop_fraction,
+                                                   3),
+                       std::to_string(r.reorder_events),
                        std::to_string(r.episodes),
                        analysis::TablePrinter::fmt(r.peak_utilization, 2)});
     };
@@ -86,8 +99,10 @@ int main() {
 
   std::printf(
       "\nShape check (paper): Edge Fabric eliminates overload entirely\n"
-      "(0 episodes, 0 drops, peak utilization capped near the threshold),\n"
-      "while BGP-only drops traffic at every daily peak and a frozen\n"
-      "static configuration helps only at its planning point.\n");
+      "(0 episodes, ~0 measured drops, peak utilization capped near the\n"
+      "threshold) at the cost of a bounded amount of flow reordering from\n"
+      "detours, while BGP-only drops traffic at every daily peak (measured\n"
+      "tail-drops track the projection) and a frozen static configuration\n"
+      "helps only at its planning point.\n");
   return 0;
 }

@@ -36,6 +36,35 @@ inline sim::SimulationConfig standard_sim_config(bool controller) {
   return config;
 }
 
+/// standard_sim_config + flow-level dataplane emulation: the F3–F6
+/// exhibits report *measured* drops/reordering next to the projected
+/// numbers. Measurement-only, so the projected columns are unchanged.
+inline sim::SimulationConfig measured_sim_config(bool controller) {
+  sim::SimulationConfig config = standard_sim_config(controller);
+  config.dataplane.enabled = true;
+  return config;
+}
+
+/// One-line summary of a finished measured run's dataplane totals.
+inline void print_dataplane_line(const std::string& label,
+                                 const sim::Simulation& simulation) {
+  const dataplane::Dataplane* plane = simulation.dataplane();
+  if (!plane) return;
+  const dataplane::DataplaneTotals& totals = plane->totals();
+  const double drop_frac =
+      totals.offered_bytes == 0
+          ? 0.0
+          : static_cast<double>(totals.dropped_bytes) /
+                static_cast<double>(totals.offered_bytes);
+  std::printf(
+      "  measured dataplane [%s]: offered %.1f GB, dropped %.4f%%, "
+      "flows moved %llu, reorder events %llu\n",
+      label.c_str(), static_cast<double>(totals.offered_bytes) / 1e9,
+      drop_frac * 100.0,
+      static_cast<unsigned long long>(totals.flows_moved),
+      static_cast<unsigned long long>(totals.reorder_events));
+}
+
 inline void print_title(const std::string& id, const std::string& caption) {
   std::printf("\n==============================================================\n");
   std::printf("%s — %s\n", id.c_str(), caption.c_str());

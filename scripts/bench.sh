@@ -19,6 +19,11 @@
 #   BENCH_bgp.json    — bench_m15 (RFC 4271 UPDATE encode/decode
 #                       throughput and the announce-to-applied latency
 #                       over a real loopback BGP session).
+#   BENCH_dataplane.json — bench_m17 (flow-level dataplane: hash/pick
+#                       hot path, full step pipeline throughput in
+#                       flows/sec, and the tail-drop queue's accuracy
+#                       against the analytic fluid drop fraction; the
+#                       drop model is cross-checked before timing).
 # EXPERIMENTS.md (M13/M14/M15) and docs/SCALING.md document the
 # methodology.
 #
@@ -65,7 +70,7 @@ if ! grep -q '^CMAKE_BUILD_TYPE:[A-Z]*=Release$' build-bench/CMakeCache.txt; the
 fi
 cmake --build build-bench --target bench_m11_allocator_scale \
   bench_m13_alloc_fastpath bench_m14_ingest bench_m15_bgp \
-  bench_m16_incremental
+  bench_m16_incremental bench_m17_dataplane
 
 # run_bench <output-basename> <binary> [extra benchmark args...]
 # Fails the whole script if the binary exits non-zero OR emits invalid
@@ -99,12 +104,15 @@ if [ "$PROFILE" = nightly ]; then
     --benchmark_min_time=0.01
   run_bench bench_m16 ./build-bench/bench/bench_m16_incremental \
     --benchmark_min_time=0.01
+  run_bench bench_m17 ./build-bench/bench/bench_m17_dataplane \
+    --benchmark_min_time=0.01
 else
   run_bench bench_m11 ./build-bench/bench/bench_m11_allocator_scale
   run_bench bench_m13 ./build-bench/bench/bench_m13_alloc_fastpath
   run_bench bench_m16 ./build-bench/bench/bench_m16_incremental
   run_bench bench_m14 ./build-bench/bench/bench_m14_ingest
   run_bench bench_m15 ./build-bench/bench/bench_m15_bgp
+  run_bench bench_m17 ./build-bench/bench/bench_m17_dataplane
 fi
 
 EF_BENCH_TMPDIR="$TMPDIR_BENCH" EF_BENCH_PROFILE="$PROFILE" python3 - <<'EOF'
@@ -232,6 +240,59 @@ if key in churn and "speedup" in churn[key]:
 merged["steady_state_target"] = steady
 merged["profile"] = profile
 
+# Dataplane record: step-pipeline throughput (flows/sec), the hash/pick
+# hot path, and the drop-model accuracy counters. Written on every
+# profile (the nightly gate watches it alongside BENCH_alloc.json).
+with open(os.path.join(tmpdir, "bench_m17.json")) as f:
+    dp_report = json.load(f)
+dp_context = dp_report.get("context", {})
+if dp_context.get("ef_bench_build") != "release":
+    raise SystemExit(
+        "error: bench_m17 was built in "
+        f"{dp_context.get('ef_bench_build', 'unknown')} mode; refusing to "
+        "record benchmarks from a non-Release binary")
+dataplane = {"context": dp_context,
+             "benchmarks": dp_report.get("benchmarks", [])}
+dp_target = {"target_flows_per_sec": 1e6, "target_drop_abs_error": 0.005}
+step_rows = {}
+max_drop_error = None
+for b in dataplane["benchmarks"]:
+    if b.get("run_type", "iteration") != "iteration":
+        continue
+    if b["name"].startswith("BM_DataplaneStep/"):
+        prefixes = b["name"].split("/")[1]
+        step_rows[prefixes] = {
+            "step_ms": round(to_ms(b), 3),
+            "flows_per_step": round(b.get("flows_per_step", 0)),
+            "flows_per_sec": round(b.get("items_per_second", 0)),
+        }
+    elif b["name"].startswith("BM_QueueDropAccuracy/"):
+        err = b.get("drop_model_abs_error")
+        if err is not None:
+            max_drop_error = err if max_drop_error is None else max(
+                max_drop_error, err)
+    elif b["name"] == "BM_FlowHashPick":
+        dp_target["hash_pick_per_sec"] = round(b.get("items_per_second", 0))
+dataplane["step_pipeline"] = step_rows
+if step_rows:
+    best = max(row["flows_per_sec"] for row in step_rows.values())
+    dp_target["best_flows_per_sec"] = best
+    # Regression gate operates on time: the 10k-prefix row's step ms.
+    if "10000" in step_rows:
+        dp_target["step_ms_10k"] = step_rows["10000"]["step_ms"]
+if max_drop_error is not None:
+    dp_target["drop_model_max_abs_error"] = max_drop_error
+if "best_flows_per_sec" in dp_target and max_drop_error is not None:
+    dp_target["met"] = (
+        dp_target["best_flows_per_sec"] >= dp_target["target_flows_per_sec"]
+        and max_drop_error <= dp_target["target_drop_abs_error"])
+dataplane["dataplane_target"] = dp_target
+dataplane["profile"] = profile
+with open("BENCH_dataplane.json", "w") as f:
+    json.dump(dataplane, f, indent=2)
+    f.write("\n")
+print("BENCH_dataplane.json written:", dp_target)
+
 with open("BENCH_alloc.json", "w") as f:
     json.dump(merged, f, indent=2)
     f.write("\n")
@@ -251,7 +312,7 @@ if "met" in steady:
           f"speedup={steady.get('speedup')}x")
 
 if profile == "nightly":
-    raise SystemExit(0)  # nightly rewrites only the alloc record
+    raise SystemExit(0)  # nightly rewrites only the alloc + dataplane records
 
 # Ingest record: decode throughput in MB/s + msgs/s, cycle latency in us.
 with open(os.path.join(tmpdir, "bench_m14.json")) as f:

@@ -18,6 +18,10 @@ ctest --test-dir build --output-on-failure -R 'LiveIngest'
 # enforcement, hold-timer flush, ladder journaling) is the M15
 # acceptance gate: same explicit-run rule.
 ctest --test-dir build --output-on-failure -R 'BgpInterop'
+# The flow-level dataplane suite (ECMP/WCMP hashing, sticky flow table,
+# queue conservation, sim integration) is the M17 acceptance gate: same
+# explicit-run rule.
+ctest --test-dir build --output-on-failure -R 'Dataplane'
 for b in build/bench/*; do "$b"; done
 # Perf numbers (BENCH_alloc.json, BENCH_ingest.json) are recorded
 # separately by scripts/bench.sh — run it after allocator or ingest
@@ -57,6 +61,9 @@ if echo 'int main(){}' | c++ -fsanitize=thread -x c++ - -o /dev/null \
   # and so must the announcer/peering-router session machinery.
   ctest --test-dir build-tsan --output-on-failure -R 'LiveIngest'
   ctest --test-dir build-tsan --output-on-failure -R 'BgpInterop'
+  # The dataplane rides inside efd's ingest thread; its counters cross
+  # the /metrics reader path, so the suite must be race-free too.
+  ctest --test-dir build-tsan --output-on-failure -R 'Dataplane'
 else
   echo "check.sh: toolchain lacks -fsanitize=thread; skipping TSan pass" >&2
 fi

@@ -1,5 +1,9 @@
 #!/usr/bin/env python3
-"""Compare a fresh BENCH_alloc.json against a committed baseline.
+"""Compare a fresh benchmark record against a committed baseline.
+
+Works on BENCH_alloc.json and BENCH_dataplane.json alike: metrics
+missing from a record are skipped, so the same invocation shape serves
+both (CI calls it once per record).
 
 Usage:
     check_bench_regression.py BASELINE FRESH [--threshold FRAC]
@@ -10,6 +14,7 @@ Guards the two acceptance targets the repo records (docs/SCALING.md):
   full_table_target.best_warm_cycle_ms   - 1M-prefix full warm cycle
   steady_state_target.incremental_ms     - 1M-prefix, 1% churn delta cycle
   steady_state_target.full_ms            - its full-recompute baseline
+  dataplane_target.step_ms_10k           - dataplane step, 10k prefixes
 
 A metric regresses when fresh > baseline * (1 + threshold); the default
 threshold is 0.25 (25%). Metrics missing from either side are reported
@@ -30,6 +35,7 @@ METRICS = (
     ("full_table_target", "best_warm_cycle_ms"),
     ("steady_state_target", "incremental_ms"),
     ("steady_state_target", "full_ms"),
+    ("dataplane_target", "step_ms_10k"),
 )
 
 

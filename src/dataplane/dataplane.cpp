@@ -1,0 +1,115 @@
+#include "dataplane/dataplane.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace ef::dataplane {
+namespace {
+
+workload::FlowMixConfig salted(workload::FlowMixConfig cfg,
+                               std::uint64_t base_seed,
+                               std::uint64_t salt) {
+  cfg.seed = base_seed ^ (salt * 0x2545f4914f6cdd1dull);
+  return cfg;
+}
+
+}  // namespace
+
+Dataplane::Dataplane(const telemetry::InterfaceRegistry& registry,
+                     DataplaneConfig config, std::uint64_t seed_salt)
+    : config_(config),
+      mix_(salted(config.flows, config.seed, seed_salt)),
+      table_(EcmpHasher(config.ecmp_slots, config.seed ^ seed_salt)),
+      bank_(registry,
+            net::SimTime::millis(static_cast<std::int64_t>(
+                std::max(0.0, config.queue_depth_ms)))) {}
+
+DataplaneStepStats Dataplane::step(const telemetry::DemandMatrix& demand,
+                                   net::SimTime now, net::SimTime dt,
+                                   const ResolvePaths& resolve) {
+  DataplaneStepStats stats;
+  const double window_secs = dt.seconds_value();
+
+  const std::uint64_t new_before = table_.flows_seen();
+  const std::uint64_t moved_before = table_.flows_moved();
+  const std::uint64_t reorder_before = table_.reorder_events();
+
+  std::vector<WcmpEgress> candidates;
+  mix_.step(demand, [&](const net::Prefix& prefix, net::Bandwidth rate,
+                        std::span<const workload::FlowSpec> flows) {
+    // Integral byte budget for this prefix this step. Demand rates are
+    // integral bps, so this is exact for the common step sizes and at
+    // worst truncates sub-byte remainders deterministically.
+    const auto prefix_bytes = static_cast<std::uint64_t>(
+        rate.bits_per_sec() * window_secs / 8.0);
+    if (prefix_bytes == 0 || flows.empty()) return;
+
+    candidates.clear();
+    resolve(prefix, candidates);
+    if (candidates.empty()) {
+      stats.unroutable_bytes += prefix_bytes;
+      return;
+    }
+    // DSCP-marked altpath flows steer onto the alternate candidate set
+    // (everything but the best path) when one exists — the paper's
+    // per-flow alternate-path mechanism.
+    const std::span<const WcmpEgress> all(candidates);
+    const std::span<const WcmpEgress> alt =
+        all.size() > 1 ? all.subspan(1) : all;
+
+    // Split the prefix's bytes across its flows by byte_share, keeping
+    // the sum exact: flow i gets floor(cum_i) - floor(cum_{i-1}) bytes
+    // of the budget, so per-prefix bytes are conserved to the byte.
+    double cum = 0.0;
+    std::uint64_t given = 0;
+    FlowKey key;
+    for (const auto& flow : flows) {
+      cum += flow.byte_share;
+      const auto upto = std::min(
+          prefix_bytes,
+          static_cast<std::uint64_t>(cum * static_cast<double>(prefix_bytes)));
+      const std::uint64_t flow_bytes = upto > given ? upto - given : 0;
+      given = upto;
+
+      key.src = flow.src;
+      key.dst = flow.dst;
+      key.src_port = flow.src_port;
+      key.dst_port = flow.dst_port;
+      key.protocol = flow.protocol;
+      const bool altpath = flow.dscp != 0 && all.size() > 1;
+      FlowAssignment where =
+          table_.assign(key, altpath ? alt : all, now);
+      if (flow_bytes > 0) {
+        bank_.offer(where.interface, flow_bytes);
+        stats.offered_bytes += flow_bytes;
+      }
+    }
+  });
+
+  stats.flows_new = table_.flows_seen() - new_before;
+  stats.flows_moved = table_.flows_moved() - moved_before;
+  stats.reorder_events = table_.reorder_events() - reorder_before;
+  stats.flows_expired = table_.expire_idle(
+      now, net::SimTime::seconds(std::max(0.0, config_.flow_idle_timeout_s)));
+  stats.flows_active = table_.active_flows();
+
+  stats.interfaces = bank_.advance(dt);
+  for (const auto& [iface, qs] : stats.interfaces) {
+    stats.delivered_bytes += qs.delivered_bytes;
+    stats.dropped_bytes += qs.dropped_bytes;
+    stats.queued_bytes += qs.queued_bytes;
+    stats.max_queue_delay_ms = std::max(stats.max_queue_delay_ms,
+                                        qs.queue_delay_ms);
+  }
+
+  totals_.offered_bytes += stats.offered_bytes;
+  totals_.delivered_bytes += stats.delivered_bytes;
+  totals_.dropped_bytes += stats.dropped_bytes;
+  totals_.unroutable_bytes += stats.unroutable_bytes;
+  totals_.flows_moved += stats.flows_moved;
+  totals_.reorder_events += stats.reorder_events;
+  ++totals_.steps;
+  return stats;
+}
+
+}  // namespace ef::dataplane

@@ -1,0 +1,112 @@
+// The dataplane emulation layer: ties the heavy-tailed flow population
+// (workload::FlowMix), the ECMP/WCMP hasher, the sticky flow table, and
+// the per-interface queue bank into one step() the simulator and efd
+// call once per step/cycle.
+//
+// Where the rest of the library *projects* per-interface load
+// (rate-per-prefix summed onto the BGP best path), this layer *measures*
+// what the hashed flows actually experience: bytes delivered at line
+// rate, bytes tail-dropped, queue delay, and — when the controller's
+// override churn re-paths a prefix — how many flows moved and reordered.
+//
+// Determinism: the only randomness is inside FlowMix's per-prefix
+// seeded streams; hashing and queueing are pure functions. Two runs
+// with the same seed and the same override sequence produce bitwise
+// identical stats, which keeps journal record/replay exact.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "dataplane/flow_table.h"
+#include "dataplane/hash.h"
+#include "dataplane/queue.h"
+#include "telemetry/traffic.h"
+#include "workload/flowmix.h"
+
+namespace ef::dataplane {
+
+struct DataplaneConfig {
+  /// Off by default: the dataplane rides behind a knob so existing
+  /// projected-load runs are untouched.
+  bool enabled = false;
+  std::uint64_t seed = 17;
+  /// Member-link slots per interface (LAG/ECMP fan-out).
+  std::uint32_t ecmp_slots = 16;
+  /// Queue depth in milliseconds of buffering at line rate.
+  double queue_depth_ms = 50.0;
+  /// Flows idle this long are expired (a returning 5-tuple is new).
+  double flow_idle_timeout_s = 300.0;
+  /// Max egress candidates per prefix: 1 = destination-based single
+  /// path, >1 = WCMP split across the prefix's best paths.
+  std::uint32_t wcmp_paths = 1;
+  /// Geometric weight decay for WCMP: path k gets weight ratio^k.
+  double wcmp_weight_ratio = 0.5;
+  workload::FlowMixConfig flows;
+};
+
+/// Per-step measurements. Byte counters satisfy, cumulatively:
+///   offered == delivered + dropped + queued(end) (per interface),
+/// and offered == routed demand bytes - rounding_slack (see step()).
+struct DataplaneStepStats {
+  std::size_t flows_active = 0;
+  std::uint64_t flows_new = 0;
+  std::uint64_t flows_moved = 0;
+  std::uint64_t reorder_events = 0;
+  std::uint64_t flows_expired = 0;
+  std::uint64_t offered_bytes = 0;
+  std::uint64_t delivered_bytes = 0;
+  std::uint64_t dropped_bytes = 0;
+  std::uint64_t queued_bytes = 0;
+  std::uint64_t unroutable_bytes = 0;
+  double max_queue_delay_ms = 0.0;
+  /// Per-interface breakdown in registry (ascending-id) order.
+  std::vector<std::pair<telemetry::InterfaceId, QueueStats>> interfaces;
+};
+
+/// Running totals across every step since construction.
+struct DataplaneTotals {
+  std::uint64_t offered_bytes = 0;
+  std::uint64_t delivered_bytes = 0;
+  std::uint64_t dropped_bytes = 0;
+  std::uint64_t unroutable_bytes = 0;
+  std::uint64_t flows_moved = 0;
+  std::uint64_t reorder_events = 0;
+  std::uint64_t steps = 0;
+};
+
+class Dataplane {
+ public:
+  /// Fills `out` with the egress candidates for `prefix`, best first
+  /// (empty = unroutable). The caller decides what "candidates" means:
+  /// the sim uses the PoP's post-override best path (and, under WCMP,
+  /// the ranked alternates); efd uses controller overrides + its RIB.
+  using ResolvePaths =
+      std::function<void(const net::Prefix&, std::vector<WcmpEgress>&)>;
+
+  /// `seed_salt` separates streams of different PoPs in a fleet.
+  Dataplane(const telemetry::InterfaceRegistry& registry,
+            DataplaneConfig config, std::uint64_t seed_salt = 0);
+
+  /// Hashes the step's flow population onto egress interfaces and
+  /// services every queue over [now, now+dt).
+  DataplaneStepStats step(const telemetry::DemandMatrix& demand,
+                          net::SimTime now, net::SimTime dt,
+                          const ResolvePaths& resolve);
+
+  const DataplaneConfig& config() const { return config_; }
+  const FlowTable& flow_table() const { return table_; }
+  const workload::FlowMix& flow_mix() const { return mix_; }
+  const DataplaneTotals& totals() const { return totals_; }
+  const QueueBank& queues() const { return bank_; }
+
+ private:
+  DataplaneConfig config_;
+  workload::FlowMix mix_;
+  FlowTable table_;
+  QueueBank bank_;
+  DataplaneTotals totals_;
+};
+
+}  // namespace ef::dataplane

@@ -1,0 +1,51 @@
+#include "dataplane/flow_table.h"
+
+namespace ef::dataplane {
+
+FlowAssignment FlowTable::assign(const FlowKey& key,
+                                 std::span<const WcmpEgress> candidates,
+                                 net::SimTime now) {
+  std::uint64_t h = flow_hash(key);
+  FlowAssignment out;
+  out.interface = hasher_.pick(h, candidates);
+  out.slot = hasher_.slot_of(h, out.interface);
+
+  auto [it, inserted] = entries_.try_emplace(key);
+  Entry& entry = it->second;
+  if (inserted) {
+    ++flows_seen_;
+    out.is_new = true;
+  } else {
+    if (entry.interface != out.interface) {
+      out.moved = true;
+      ++flows_moved_;
+      // An interface change re-paths in-flight packets onto a path with
+      // different queue occupancy: count one reordering event per moved
+      // flow. A slot change within the same interface is milder (same
+      // queue in this model) but still a member-link re-hash.
+      ++reorder_events_;
+    } else if (entry.slot != out.slot) {
+      out.slot_changed = true;
+      ++slot_moves_;
+    }
+  }
+  entry.interface = out.interface;
+  entry.slot = out.slot;
+  entry.last_seen = now;
+  return out;
+}
+
+std::size_t FlowTable::expire_idle(net::SimTime now, net::SimTime idle_timeout) {
+  std::size_t evicted = 0;
+  for (auto it = entries_.begin(); it != entries_.end();) {
+    if (it->second.last_seen + idle_timeout < now) {
+      it = entries_.erase(it);
+      ++evicted;
+    } else {
+      ++it;
+    }
+  }
+  return evicted;
+}
+
+}  // namespace ef::dataplane

@@ -1,0 +1,75 @@
+// Flow table with consistent-hash stickiness.
+//
+// Tracks where each live 5-tuple flow was last placed (egress interface
+// + member-link slot) and, on every placement, compares the fresh
+// rendezvous pick against the remembered one. Because EcmpHasher::pick
+// is a pure function of (flow, candidate set), a flow's placement can
+// only differ from last step when its prefix's candidate set changed —
+// i.e. when the controller re-placed the prefix or a peering flapped.
+// Each such move is one `flows_moved` tick and (for flows that carried
+// bytes in flight) one `reorder_events` tick: packets already queued on
+// the old path race packets on the new one.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <unordered_map>
+
+#include "dataplane/hash.h"
+#include "net/units.h"
+
+namespace ef::dataplane {
+
+/// Result of placing one flow for the current step.
+struct FlowAssignment {
+  telemetry::InterfaceId interface{0};
+  std::uint32_t slot = 0;
+  bool is_new = false;        ///< first time this flow was seen
+  bool moved = false;         ///< existing flow landed on a different interface
+  bool slot_changed = false;  ///< same interface, different member slot
+};
+
+class FlowTable {
+ public:
+  explicit FlowTable(EcmpHasher hasher) : hasher_(hasher) {}
+
+  const EcmpHasher& hasher() const { return hasher_; }
+
+  /// Places `key` on one of `candidates` and records the assignment.
+  /// `now` refreshes the flow's idle clock.
+  FlowAssignment assign(const FlowKey& key,
+                        std::span<const WcmpEgress> candidates,
+                        net::SimTime now);
+
+  /// Drops flows idle since before `now - idle_timeout`. Returns how
+  /// many were evicted. Keeps the table bounded across long runs and
+  /// models real flow expiry (a returning 5-tuple re-hashes fresh, which
+  /// is NOT a reorder — the old flow is gone).
+  std::size_t expire_idle(net::SimTime now, net::SimTime idle_timeout);
+
+  std::size_t active_flows() const { return entries_.size(); }
+
+  /// Cumulative counters since construction.
+  std::uint64_t flows_seen() const { return flows_seen_; }
+  std::uint64_t flows_moved() const { return flows_moved_; }
+  std::uint64_t reorder_events() const { return reorder_events_; }
+  std::uint64_t slot_moves() const { return slot_moves_; }
+
+  void clear() { entries_.clear(); }
+
+ private:
+  struct Entry {
+    telemetry::InterfaceId interface{0};
+    std::uint32_t slot = 0;
+    net::SimTime last_seen{};
+  };
+
+  EcmpHasher hasher_;
+  std::unordered_map<FlowKey, Entry, FlowKeyHash> entries_;
+  std::uint64_t flows_seen_ = 0;
+  std::uint64_t flows_moved_ = 0;
+  std::uint64_t reorder_events_ = 0;
+  std::uint64_t slot_moves_ = 0;
+};
+
+}  // namespace ef::dataplane

@@ -1,0 +1,103 @@
+#include "dataplane/hash.h"
+
+#include <cmath>
+#include <cstring>
+#include <limits>
+
+namespace ef::dataplane {
+namespace {
+
+constexpr std::uint64_t kFnvOffset = 1469598103934665603ull;
+constexpr std::uint64_t kFnvPrime = 1099511628211ull;
+
+inline std::uint64_t fnv1a(std::uint64_t h, const void* data, std::size_t n) {
+  const auto* bytes = static_cast<const unsigned char*>(data);
+  for (std::size_t i = 0; i < n; ++i) {
+    h ^= bytes[i];
+    h *= kFnvPrime;
+  }
+  return h;
+}
+
+// splitmix64 finalizer: cheap avalanche so correlated inputs (same flow
+// hashed against consecutive interface ids) decorrelate fully.
+inline std::uint64_t mix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+// Uniform in (0, 1]: never 0 so ln(u) below is finite and negative.
+inline double to_unit(std::uint64_t x) {
+  return (static_cast<double>(x >> 11) + 1.0) * 0x1.0p-53;
+}
+
+}  // namespace
+
+std::uint64_t flow_hash(const FlowKey& key) {
+  std::uint64_t h = kFnvOffset;
+  h = fnv1a(h, key.src.bytes().data(), key.src.bytes().size());
+  h = fnv1a(h, key.dst.bytes().data(), key.dst.bytes().size());
+  std::uint16_t sp = key.src_port;
+  std::uint16_t dp = key.dst_port;
+  h = fnv1a(h, &sp, sizeof(sp));
+  h = fnv1a(h, &dp, sizeof(dp));
+  h = fnv1a(h, &key.protocol, sizeof(key.protocol));
+  return h;
+}
+
+std::uint32_t EcmpHasher::slot_of(std::uint64_t flow_hash_value,
+                                  telemetry::InterfaceId iface) const {
+  // A distinct stream from pick(): rotating the flow hash first keeps
+  // slot spread independent of the rendezvous draw for the same pair.
+  std::uint64_t h = mix64((flow_hash_value << 1 | flow_hash_value >> 63) ^
+                          (salt_ + 0x5851f42d4c957f2dull) ^
+                          (static_cast<std::uint64_t>(iface.value()) << 32));
+  return static_cast<std::uint32_t>(h % slots_);
+}
+
+telemetry::InterfaceId EcmpHasher::pick(
+    std::uint64_t flow_hash_value,
+    std::span<const WcmpEgress> candidates) const {
+  bool any_positive = false;
+  for (const auto& c : candidates) {
+    if (c.weight > 0.0) {
+      any_positive = true;
+      break;
+    }
+  }
+
+  telemetry::InterfaceId best = candidates.empty()
+                                    ? telemetry::InterfaceId{0}
+                                    : candidates.front().interface;
+  double best_score = -std::numeric_limits<double>::infinity();
+  bool found = false;
+  for (const auto& c : candidates) {
+    double weight = c.weight;
+    if (any_positive) {
+      if (weight <= 0.0) continue;
+    } else {
+      weight = 1.0;  // degenerate set: treat as plain ECMP
+    }
+    std::uint64_t draw =
+        mix64(flow_hash_value ^ salt_ ^
+              (static_cast<std::uint64_t>(c.interface.value()) *
+               0x9e3779b97f4a7c15ull));
+    double u = to_unit(draw);
+    // Rendezvous score: exponential draw with rate 1/weight. The argmax
+    // over candidates realizes an exact weighted split, and each flow's
+    // per-candidate draw is independent of the other candidates — the
+    // source of the minimal-disruption property.
+    double score = -weight / std::log(u);
+    if (score > best_score ||
+        (score == best_score && found && c.interface < best)) {
+      best_score = score;
+      best = c.interface;
+      found = true;
+    }
+  }
+  return best;
+}
+
+}  // namespace ef::dataplane

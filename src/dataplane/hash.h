@@ -1,0 +1,91 @@
+// Flow-level ECMP/WCMP hashing: the deterministic 5-tuple hash a real
+// egress router applies when it spreads flows across interface member
+// links, and the weighted rendezvous pick that splits one prefix's
+// demand across several egresses (WCMP-style multipath).
+//
+// Everything here is a pure function of (flow key, candidate set): no
+// table state, no RNG. That purity is what makes flow placement
+// consistent — a flow only moves when its prefix's candidate set
+// actually changes — and what keeps dataplane runs bitwise replayable.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "net/ip.h"
+#include "telemetry/interface.h"
+
+namespace ef::dataplane {
+
+/// 5-tuple identity of one transport flow. DSCP is deliberately NOT part
+/// of the key: routers hash the 5-tuple, and a remark must not re-path a
+/// flow (markings ride along as metadata on the workload side).
+struct FlowKey {
+  net::IpAddr src;
+  net::IpAddr dst;
+  std::uint16_t src_port = 0;
+  std::uint16_t dst_port = 0;
+  std::uint8_t protocol = 6;  // TCP
+
+  friend bool operator==(const FlowKey&, const FlowKey&) = default;
+};
+
+/// FNV-1a over the 5-tuple's significant bytes. Stable across runs and
+/// processes — flow placement must survive record/replay.
+std::uint64_t flow_hash(const FlowKey& key);
+
+struct FlowKeyHash {
+  std::size_t operator()(const FlowKey& key) const noexcept {
+    return static_cast<std::size_t>(flow_hash(key));
+  }
+};
+
+/// One egress candidate for a prefix, with its WCMP weight. A singleton
+/// candidate set (weight irrelevant) is plain destination-based
+/// forwarding; several candidates make a weighted multipath group.
+struct WcmpEgress {
+  telemetry::InterfaceId interface;
+  double weight = 1.0;
+
+  friend bool operator==(const WcmpEgress&, const WcmpEgress&) = default;
+};
+
+/// Deterministic ECMP/WCMP hasher.
+///
+/// Interface pick: weighted rendezvous (highest-random-weight) hashing.
+/// Each candidate scores -weight / ln(u) with u derived from
+/// hash(flow, interface); the flow lands on the argmax. Rendezvous
+/// hashing gives the consistency property the flow table leans on:
+/// adding/removing/re-weighting one candidate only moves flows into or
+/// out of THAT candidate — flows between two untouched candidates never
+/// shuffle (unlike modulo hashing, where a set change re-deals
+/// everything).
+///
+/// Slot pick: an independent hash of (flow, interface) modulo the
+/// member-link slot count — the per-interface LAG/ECMP fan-out whose
+/// imbalance under elephant flows the dataplane measures.
+class EcmpHasher {
+ public:
+  explicit EcmpHasher(std::uint32_t slots = 16, std::uint64_t salt = 0)
+      : slots_(slots == 0 ? 1 : slots), salt_(salt) {}
+
+  std::uint32_t slots() const { return slots_; }
+
+  /// Member-link slot of the flow on `iface`, in [0, slots()).
+  std::uint32_t slot_of(std::uint64_t flow_hash_value,
+                        telemetry::InterfaceId iface) const;
+
+  /// Weighted rendezvous pick over `candidates` (non-empty; entries with
+  /// weight <= 0 are skipped unless all are, in which case weights are
+  /// treated as equal). Deterministic ties break toward the lower
+  /// interface id.
+  telemetry::InterfaceId pick(std::uint64_t flow_hash_value,
+                              std::span<const WcmpEgress> candidates) const;
+
+ private:
+  std::uint32_t slots_;
+  std::uint64_t salt_;
+};
+
+}  // namespace ef::dataplane

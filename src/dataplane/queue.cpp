@@ -1,0 +1,78 @@
+#include "dataplane/queue.h"
+
+#include <cmath>
+
+namespace ef::dataplane {
+namespace {
+
+std::uint64_t bytes_in(net::Bandwidth rate, net::SimTime span) {
+  double b = rate.bits_per_sec() * span.seconds_value() / 8.0;
+  if (b <= 0.0) return 0;
+  return static_cast<std::uint64_t>(b);
+}
+
+}  // namespace
+
+InterfaceQueue::InterfaceQueue(net::Bandwidth capacity, net::SimTime max_depth)
+    : capacity_(capacity), max_depth_bytes_(bytes_in(capacity, max_depth)) {}
+
+QueueStats InterfaceQueue::advance(net::SimTime dt) {
+  QueueStats stats;
+  stats.offered_bytes = pending_bytes_;
+
+  const std::uint64_t service = bytes_in(capacity_, dt);
+  const std::uint64_t work = queued_bytes_ + pending_bytes_;
+  pending_bytes_ = 0;
+
+  stats.delivered_bytes = work < service ? work : service;
+  std::uint64_t backlog = work - stats.delivered_bytes;
+  if (backlog > max_depth_bytes_) {
+    stats.dropped_bytes = backlog - max_depth_bytes_;
+    backlog = max_depth_bytes_;
+  }
+  queued_bytes_ = backlog;
+  stats.queued_bytes = backlog;
+
+  const double cap_bytes_per_sec = capacity_.bits_per_sec() / 8.0;
+  stats.queue_delay_ms =
+      cap_bytes_per_sec > 0.0
+          ? static_cast<double>(backlog) / cap_bytes_per_sec * 1e3
+          : 0.0;
+  return stats;
+}
+
+QueueBank::QueueBank(const telemetry::InterfaceRegistry& registry,
+                     net::SimTime max_depth) {
+  order_.reserve(registry.size());
+  for (std::size_t i = 0; i < registry.size(); ++i) {
+    telemetry::InterfaceId id = registry.id_at(i);
+    order_.push_back(id);
+    queues_.emplace(id, InterfaceQueue(registry.capacity(id), max_depth));
+  }
+}
+
+void QueueBank::offer(telemetry::InterfaceId iface, std::uint64_t bytes) {
+  auto it = queues_.find(iface);
+  if (it == queues_.end()) {
+    unroutable_bytes_ += bytes;
+    return;
+  }
+  it->second.offer(bytes);
+}
+
+std::vector<std::pair<telemetry::InterfaceId, QueueStats>> QueueBank::advance(
+    net::SimTime dt) {
+  std::vector<std::pair<telemetry::InterfaceId, QueueStats>> out;
+  out.reserve(order_.size());
+  for (telemetry::InterfaceId id : order_) {
+    out.emplace_back(id, queues_.at(id).advance(dt));
+  }
+  return out;
+}
+
+const InterfaceQueue* QueueBank::find(telemetry::InterfaceId iface) const {
+  auto it = queues_.find(iface);
+  return it == queues_.end() ? nullptr : &it->second;
+}
+
+}  // namespace ef::dataplane

@@ -1,0 +1,84 @@
+// Per-egress-interface queue and tail-drop model.
+//
+// Fluid approximation of an output queue: each step the interface
+// serves at its capacity, excess bytes accumulate in a bounded queue,
+// and overflow beyond the queue's depth is tail-dropped. This replaces
+// "projected load > capacity" claims with measured drops and queue
+// delay — the two quantities an operator actually sees.
+//
+// The recurrence conserves bytes exactly (all quantities are integral
+// byte counts): offered = delivered + dropped + Δqueued. The
+// conservation test in tests/dataplane leans on that identity.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "net/units.h"
+#include "telemetry/interface.h"
+
+namespace ef::dataplane {
+
+/// One step's measurements for a single interface queue.
+struct QueueStats {
+  std::uint64_t offered_bytes = 0;    ///< arrivals this step
+  std::uint64_t delivered_bytes = 0;  ///< served at line rate
+  std::uint64_t dropped_bytes = 0;    ///< tail-dropped (queue full)
+  std::uint64_t queued_bytes = 0;     ///< backlog at end of step
+  double queue_delay_ms = 0.0;        ///< backlog / capacity at end of step
+};
+
+class InterfaceQueue {
+ public:
+  /// `capacity` is the service rate; `max_depth` bounds the queue in
+  /// time units (depth_bytes = capacity * max_depth), matching how
+  /// router buffers are provisioned (e.g. "50 ms of buffering").
+  InterfaceQueue(net::Bandwidth capacity, net::SimTime max_depth);
+
+  /// Accumulates arrivals for the in-progress step.
+  void offer(std::uint64_t bytes) { pending_bytes_ += bytes; }
+
+  /// Serves one step of length `dt` and returns its measurements.
+  /// Service order is FIFO-fluid: the pre-existing backlog drains ahead
+  /// of this step's arrivals, and arrivals beyond the depth bound are
+  /// tail-dropped.
+  QueueStats advance(net::SimTime dt);
+
+  std::uint64_t queued_bytes() const { return queued_bytes_; }
+  std::uint64_t max_depth_bytes() const { return max_depth_bytes_; }
+  net::Bandwidth capacity() const { return capacity_; }
+
+ private:
+  net::Bandwidth capacity_;
+  std::uint64_t max_depth_bytes_ = 0;
+  std::uint64_t pending_bytes_ = 0;  // arrivals offered this step
+  std::uint64_t queued_bytes_ = 0;   // backlog carried between steps
+};
+
+/// The bank of queues for every egress interface at one PoP, built from
+/// the same InterfaceRegistry the allocator reads capacities from.
+class QueueBank {
+ public:
+  QueueBank(const telemetry::InterfaceRegistry& registry,
+            net::SimTime max_depth);
+
+  /// Routes arrivals to the owning queue; unknown interfaces are
+  /// dropped on the floor (counted as offered+dropped in totals).
+  void offer(telemetry::InterfaceId iface, std::uint64_t bytes);
+
+  /// Advances every queue one step and returns per-interface stats in
+  /// registry order (deterministic).
+  std::vector<std::pair<telemetry::InterfaceId, QueueStats>> advance(
+      net::SimTime dt);
+
+  const InterfaceQueue* find(telemetry::InterfaceId iface) const;
+  std::uint64_t unroutable_bytes() const { return unroutable_bytes_; }
+
+ private:
+  std::vector<telemetry::InterfaceId> order_;
+  std::unordered_map<telemetry::InterfaceId, InterfaceQueue> queues_;
+  std::uint64_t unroutable_bytes_ = 0;
+};
+
+}  // namespace ef::dataplane

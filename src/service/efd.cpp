@@ -58,6 +58,10 @@ EfdService::EfdService(topology::Pop& pop, EfdConfig config)
     decode_pool_ =
         std::make_unique<runtime::ThreadPool>(config_.decode_threads);
   }
+  if (config_.dataplane.enabled) {
+    dataplane_ = std::make_unique<dataplane::Dataplane>(
+        pop.interfaces(), config_.dataplane, pop.index());
+  }
   controller_.set_rib_source(&collector_.rib());
   controller_.connect();
   failsafe_mode_.store(static_cast<std::uint64_t>(ladder_.mode()),
@@ -540,6 +544,49 @@ void EfdService::run_cycle_guarded(net::SimTime now,
   }
   publish_ladder_counters();
 
+  // Dataplane emulation: hash this window's demand as 5-tuple flows
+  // onto the egresses the cycle's decisions selected and service the
+  // interface queues over the elapsed feed time. Pure measurement — it
+  // never feeds back into the controller's inputs.
+  if (dataplane_) {
+    const net::SimTime dt = dataplane_stepped_ && now > last_dataplane_step_
+                                ? now - last_dataplane_step_
+                                : config_.controller.cycle_period;
+    const auto& overrides = controller_.active_overrides();
+    const dataplane::DataplaneStepStats stats = dataplane_->step(
+        demand, now, dt,
+        [&](const net::Prefix& prefix,
+            std::vector<dataplane::WcmpEgress>& out) {
+          if (const auto it = overrides.find(prefix); it != overrides.end()) {
+            out.push_back({it->second.target_interface, 1.0});
+            return;
+          }
+          if (const bgp::Route* best = collector_.rib().best(prefix)) {
+            if (const auto egress = pop_->egress_of_route(*best)) {
+              out.push_back({egress->interface, 1.0});
+            }
+          }
+        });
+    last_dataplane_step_ = now;
+    dataplane_stepped_ = true;
+    const dataplane::DataplaneTotals& totals = dataplane_->totals();
+    dataplane_flows_active_.store(stats.flows_active,
+                                  std::memory_order_relaxed);
+    dataplane_flows_moved_.store(totals.flows_moved,
+                                 std::memory_order_relaxed);
+    dataplane_reorder_events_.store(totals.reorder_events,
+                                    std::memory_order_relaxed);
+    dataplane_offered_bytes_.store(totals.offered_bytes,
+                                   std::memory_order_relaxed);
+    dataplane_delivered_bytes_.store(totals.delivered_bytes,
+                                     std::memory_order_relaxed);
+    dataplane_dropped_bytes_.store(totals.dropped_bytes,
+                                   std::memory_order_relaxed);
+    dataplane_queued_bytes_.store(stats.queued_bytes,
+                                  std::memory_order_relaxed);
+    dataplane_steps_.fetch_add(1, std::memory_order_release);
+  }
+
   CycleDigest digest;
   digest.when = now;
   digest.allocation_wall = wall;
@@ -672,6 +719,21 @@ EfdService::IngestSnapshot EfdService::ingest() const {
       router_reconnects_.load(std::memory_order_acquire);
   snap.http_aborted_conns =
       http_ ? http_->aborted_conns() : 0;
+  snap.dataplane_steps = dataplane_steps_.load(std::memory_order_acquire);
+  snap.dataplane_flows_active =
+      dataplane_flows_active_.load(std::memory_order_acquire);
+  snap.dataplane_flows_moved =
+      dataplane_flows_moved_.load(std::memory_order_acquire);
+  snap.dataplane_reorder_events =
+      dataplane_reorder_events_.load(std::memory_order_acquire);
+  snap.dataplane_offered_bytes =
+      dataplane_offered_bytes_.load(std::memory_order_acquire);
+  snap.dataplane_delivered_bytes =
+      dataplane_delivered_bytes_.load(std::memory_order_acquire);
+  snap.dataplane_dropped_bytes =
+      dataplane_dropped_bytes_.load(std::memory_order_acquire);
+  snap.dataplane_queued_bytes =
+      dataplane_queued_bytes_.load(std::memory_order_acquire);
   if (announcer_) {
     const Announcer::Stats bgp = announcer_->stats();
     snap.bgp_sessions_configured = announcer_->peer_count();
@@ -863,6 +925,25 @@ std::string EfdService::render_metrics() const {
      << "efd_bgp_withdraw_updates_total " << snap.bgp_withdraw_msgs
      << "\n"
      << "efd_bgp_prefixes_announced " << snap.bgp_prefixes_announced
+     << "\n";
+  // Dataplane emulation. Exported even while disabled so dashboards can
+  // tell "no drops" apart from "not measuring".
+  os << "efd_dataplane_enabled " << (config_.dataplane.enabled ? 1 : 0)
+     << "\n"
+     << "efd_dataplane_steps_total " << snap.dataplane_steps << "\n"
+     << "efd_dataplane_flows_active " << snap.dataplane_flows_active
+     << "\n"
+     << "efd_dataplane_flows_moved_total " << snap.dataplane_flows_moved
+     << "\n"
+     << "efd_dataplane_reorder_events_total "
+     << snap.dataplane_reorder_events << "\n"
+     << "efd_dataplane_offered_bytes_total "
+     << snap.dataplane_offered_bytes << "\n"
+     << "efd_dataplane_delivered_bytes_total "
+     << snap.dataplane_delivered_bytes << "\n"
+     << "efd_dataplane_dropped_bytes_total "
+     << snap.dataplane_dropped_bytes << "\n"
+     << "efd_dataplane_queue_depth_bytes " << snap.dataplane_queued_bytes
      << "\n";
   {
     std::lock_guard<std::mutex> lock(digest_mutex_);

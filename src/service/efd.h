@@ -29,6 +29,7 @@
 #include "audit/journal.h"
 #include "bmp/collector.h"
 #include "core/controller.h"
+#include "dataplane/dataplane.h"
 #include "io/event_loop.h"
 #include "io/frame.h"
 #include "io/socket.h"
@@ -93,6 +94,14 @@ struct EfdConfig {
   std::vector<std::uint16_t> announce_ports;
   std::uint16_t announce_hold_secs = 90;
   std::chrono::milliseconds announce_tick_period{500};
+
+  /// Flow-level dataplane emulation (off by default). When enabled,
+  /// every controller cycle additionally hashes a heavy-tailed flow
+  /// population onto the egress interfaces the cycle's decisions
+  /// selected (override target first, then the collector RIB's best
+  /// path) and services bounded interface queues, exporting measured
+  /// drop/reorder/queue-depth counters through /metrics.
+  dataplane::DataplaneConfig dataplane;
 
   /// Worker threads for BMP frame decoding. 0 (default) decodes inline
   /// on the event-loop thread, exactly the pre-pipeline behaviour. N > 0
@@ -177,6 +186,15 @@ class EfdService {
     std::uint64_t bgp_updates_sent = 0;
     std::uint64_t bgp_withdraw_msgs = 0;
     std::uint64_t bgp_prefixes_announced = 0;
+    // Dataplane emulation (all zero unless config.dataplane.enabled).
+    std::uint64_t dataplane_steps = 0;
+    std::uint64_t dataplane_flows_active = 0;
+    std::uint64_t dataplane_flows_moved = 0;
+    std::uint64_t dataplane_reorder_events = 0;
+    std::uint64_t dataplane_offered_bytes = 0;
+    std::uint64_t dataplane_delivered_bytes = 0;
+    std::uint64_t dataplane_dropped_bytes = 0;
+    std::uint64_t dataplane_queued_bytes = 0;
   };
   IngestSnapshot ingest() const;
 
@@ -225,6 +243,10 @@ class EfdService {
   /// The BGP enforcement plane, or nullptr without announce_ports. The
   /// atomic Stats/per-peer counters are readable from any thread.
   const Announcer* announcer() const { return announcer_.get(); }
+
+  /// The dataplane emulation, or nullptr unless config.dataplane.enabled.
+  /// Loop-thread-owned like the collector; read after a barrier.
+  const dataplane::Dataplane* dataplane() const { return dataplane_.get(); }
 
   /// Fail-safe drill: silences every announcer session without a
   /// NOTIFICATION or FIN (sockets stay open), so the peering routers
@@ -318,6 +340,9 @@ class EfdService {
   net::SimTime last_demand_;        // feed time of the newest one
   std::unique_ptr<audit::JournalWriter> journal_;
   std::unique_ptr<Announcer> announcer_;
+  std::unique_ptr<dataplane::Dataplane> dataplane_;
+  net::SimTime last_dataplane_step_;
+  bool dataplane_stepped_ = false;
 
   std::optional<io::TcpListener> bmp_listener_;
   std::optional<io::UdpSocket> sflow_sock_;
@@ -357,6 +382,14 @@ class EfdService {
   std::atomic<std::uint64_t> alloc_full_wall_ns_{0};
   std::atomic<std::uint64_t> routers_down_{0};
   std::atomic<std::uint64_t> router_reconnects_{0};
+  std::atomic<std::uint64_t> dataplane_steps_{0};
+  std::atomic<std::uint64_t> dataplane_flows_active_{0};
+  std::atomic<std::uint64_t> dataplane_flows_moved_{0};
+  std::atomic<std::uint64_t> dataplane_reorder_events_{0};
+  std::atomic<std::uint64_t> dataplane_offered_bytes_{0};
+  std::atomic<std::uint64_t> dataplane_delivered_bytes_{0};
+  std::atomic<std::uint64_t> dataplane_dropped_bytes_{0};
+  std::atomic<std::uint64_t> dataplane_queued_bytes_{0};
 
   mutable std::mutex digest_mutex_;
   std::vector<CycleDigest> digests_;

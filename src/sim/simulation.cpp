@@ -14,9 +14,12 @@ Simulation::Simulation(topology::Pop& pop, SimulationConfig config)
     controller_ = std::make_unique<core::Controller>(pop, config_.controller);
     controller_->connect();
   }
+  if (config_.dataplane.enabled) {
+    dataplane_ = std::make_unique<dataplane::Dataplane>(
+        pop.interfaces(), config_.dataplane, pop.index());
+  }
   if (config_.use_sflow_estimate) {
-    flowgen_ =
-        std::make_unique<workload::FlowGenerator>(workload::FlowGenConfig{});
+    flowgen_ = std::make_unique<workload::FlowGenerator>(config_.flowgen);
     aggregator_ = std::make_unique<telemetry::TrafficAggregator>(
         pop_->prefix_table(), config_.sflow_sample_rate);
     sampler_ = std::make_unique<telemetry::SflowSampler>(
@@ -25,6 +28,10 @@ Simulation::Simulation(topology::Pop& pop, SimulationConfig config)
           aggregator_->ingest(sample);
           if (sample_tap_) sample_tap_(sample);
         });
+    if (config_.sflow_size_threshold > 0.0) {
+      sampler_->set_size_threshold(config_.sflow_size_threshold);
+      aggregator_->set_size_threshold(config_.sflow_size_threshold);
+    }
   }
 }
 
@@ -109,6 +116,43 @@ bool Simulation::advance() {
   for (const auto& [iface, load] : record.load) {
     const net::Bandwidth capacity = pop_->interfaces().capacity(iface);
     if (load > capacity) record.overload += load - capacity;
+  }
+
+  // Measured truth: hash the step's flow population onto the same
+  // post-override routes and service the interface queues. Runs after
+  // the controller cycle (flows see this step's placements) and does
+  // not feed back into the controller — it measures what the existing
+  // control loop actually did to packets.
+  if (dataplane_) {
+    record.dataplane = dataplane_->step(
+        demand, now_, config_.step,
+        [this](const net::Prefix& prefix,
+               std::vector<dataplane::WcmpEgress>& out) {
+          const std::uint32_t want = std::max(1u, config_.dataplane.wcmp_paths);
+          if (want <= 1) {
+            const auto egress = pop_->egress_of(prefix);
+            if (egress) out.push_back({egress->interface, 1.0});
+            return;
+          }
+          // WCMP: spread across the prefix's best distinct interfaces
+          // with geometrically decaying weights, best path first.
+          double weight = 1.0;
+          for (const bgp::Route* route : pop_->ranked_routes(prefix)) {
+            const auto egress = pop_->egress_of_route(*route);
+            if (!egress) continue;
+            bool seen = false;
+            for (const auto& c : out) {
+              if (c.interface == egress->interface) {
+                seen = true;
+                break;
+              }
+            }
+            if (seen) continue;
+            out.push_back({egress->interface, weight});
+            weight *= config_.dataplane.wcmp_weight_ratio;
+            if (out.size() >= want) break;
+          }
+        });
   }
 
   pop_->tick(now_);

@@ -12,6 +12,7 @@
 #include <optional>
 
 #include "core/controller.h"
+#include "dataplane/dataplane.h"
 #include "telemetry/interface.h"
 #include "telemetry/sflow.h"
 #include "topology/pop.h"
@@ -44,6 +45,13 @@ struct SimulationConfig {
   /// EWMA weight for smoothing successive sFlow windows before the
   /// controller sees them.
   double sflow_smoothing_alpha = 0.4;
+  /// Macro-packet synthesis knobs for the sFlow path (heavy-tailed
+  /// packet sizes stress the estimator; see telemetry tests).
+  workload::FlowGenConfig flowgen;
+  /// Size-dependent ("smart") sampling threshold in bytes; 0 keeps the
+  /// uniform 1-in-N sampler. Applied to both the sampler and the
+  /// aggregator, preserving the matched-parameters invariant.
+  double sflow_size_threshold = 0.0;
 
   /// Telemetry staleness: the controller sees demand from this many steps
   /// ago (production collection pipelines lag by a collection window).
@@ -56,6 +64,13 @@ struct SimulationConfig {
   /// controller's reaction to a changed route set mid-run.
   double peer_flap_rate_per_hour = 0.0;
   net::SimTime peer_flap_duration = net::SimTime::minutes(5);
+
+  /// Flow-level dataplane emulation (off by default). When enabled,
+  /// each step additionally hashes a heavy-tailed flow population onto
+  /// egress interfaces and services bounded queues, filling
+  /// StepRecord::dataplane with *measured* drops, queue delay, and
+  /// reorder events alongside the projected load.
+  dataplane::DataplaneConfig dataplane;
 };
 
 struct StepRecord {
@@ -70,6 +85,8 @@ struct StepRecord {
   std::optional<core::CycleStats> controller;
   /// Peering sessions currently down (flap injection).
   std::size_t peerings_down = 0;
+  /// Measured dataplane stats, when dataplane emulation is enabled.
+  std::optional<dataplane::DataplaneStepStats> dataplane;
 };
 
 class Simulation {
@@ -87,6 +104,8 @@ class Simulation {
   void run(const std::function<void(const StepRecord&)>& observer);
 
   core::Controller* controller() { return controller_.get(); }
+  /// Non-null iff config().dataplane.enabled.
+  const dataplane::Dataplane* dataplane() const { return dataplane_.get(); }
   topology::Pop& pop() { return *pop_; }
   net::SimTime now() const { return now_; }
   const SimulationConfig& config() const { return config_; }
@@ -127,6 +146,9 @@ class Simulation {
   EstimateTap estimate_tap_;
 
   std::deque<telemetry::DemandMatrix> history_;  // staleness model
+
+  // Flow-level dataplane emulation (optional).
+  std::unique_ptr<dataplane::Dataplane> dataplane_;
 
   // Flap injection state.
   net::Rng flap_rng_;

@@ -1,5 +1,7 @@
 #include "telemetry/sflow.h"
 
+#include <algorithm>
+
 #include "net/log.h"
 
 namespace ef::telemetry {
@@ -11,8 +13,22 @@ SflowSampler::SflowSampler(std::uint32_t sample_rate, std::uint64_t seed,
   EF_CHECK(emit_ != nullptr, "sampler requires an emit sink");
 }
 
+void SflowSampler::set_size_threshold(double bytes) {
+  EF_CHECK(bytes > 0, "size threshold must be > 0");
+  size_threshold_ = bytes;
+}
+
 void SflowSampler::offer(const FlowSample& packet) {
   ++offered_;
+  if (size_threshold_ > 0.0) {
+    const double p =
+        static_cast<double>(packet.packet_bytes) / size_threshold_;
+    if (p >= 1.0 || rng_.bernoulli(p)) {
+      ++emitted_;
+      emit_(packet);
+    }
+    return;
+  }
   if (sample_rate_ == 1 || rng_.bernoulli(1.0 / sample_rate_)) {
     ++emitted_;
     emit_(packet);
@@ -26,10 +42,23 @@ TrafficAggregator::TrafficAggregator(
   EF_CHECK(sample_rate_ >= 1, "sample rate must be >= 1");
 }
 
+void TrafficAggregator::set_size_threshold(double bytes) {
+  EF_CHECK(bytes > 0, "size threshold must be > 0");
+  size_threshold_ = bytes;
+}
+
 void TrafficAggregator::ingest(const FlowSample& sample) {
   const auto match = prefix_table_.longest_match(sample.dst);
   if (!match) {
     ++unmatched_;
+    return;
+  }
+  if (size_threshold_ > 0.0) {
+    // Smart sampling: an elephant (b >= z, sampled surely) is credited
+    // exactly; a mouse (b < z, sampled w.p. b/z) is credited z, making
+    // the contribution unbiased at b with variance <= z*b.
+    window_bytes_[*match->second] += static_cast<std::uint64_t>(
+        std::max(static_cast<double>(sample.packet_bytes), size_threshold_));
     return;
   }
   window_bytes_[*match->second] += sample.packet_bytes;
@@ -39,10 +68,12 @@ DemandMatrix TrafficAggregator::finalize_window(net::SimTime now) {
   DemandMatrix demand;
   const double secs = (now - window_start_).seconds_value();
   if (secs > 0) {
+    // Smart-sampling windows are already per-sample scaled at ingest;
+    // uniform windows scale back up by the sampling rate here.
+    const double scale =
+        size_threshold_ > 0.0 ? 1.0 : static_cast<double>(sample_rate_);
     for (const auto& [prefix, bytes] : window_bytes_) {
-      // Scale sampled bytes back up by the sampling rate.
-      const double bps = static_cast<double>(bytes) *
-                         static_cast<double>(sample_rate_) * 8.0 / secs;
+      const double bps = static_cast<double>(bytes) * scale * 8.0 / secs;
       demand.set(prefix, net::Bandwidth::bps(bps));
     }
   }

@@ -32,14 +32,28 @@ struct FlowSample {
   net::SimTime when;
 };
 
-/// Deterministic 1-in-N packet sampler.
+/// Deterministic 1-in-N packet sampler, with an optional size-dependent
+/// ("smart sampling") mode for heavy-tailed packet sizes.
 class SflowSampler {
  public:
   using EmitFn = std::function<void(const FlowSample&)>;
 
   SflowSampler(std::uint32_t sample_rate, std::uint64_t seed, EmitFn emit);
 
-  /// Offers one forwarded packet; emits a sample with probability 1/rate.
+  /// Switches to size-dependent sampling with byte threshold z > 0:
+  /// a packet of b bytes is sampled with probability min(1, b/z), and
+  /// the aggregator credits max(b, z) per sample (set the same z
+  /// there). The estimator stays unbiased —
+  /// E[contribution] = p·max(b,z) = b — but unlike uniform 1-in-N its
+  /// per-packet variance is bounded by z·b, so elephant packets (always
+  /// sampled, credited exactly) no longer dominate the estimation
+  /// error. This is the classic threshold/"smart" sampling scheme used
+  /// by NetFlow-style collectors for heavy-tailed traffic.
+  void set_size_threshold(double bytes);
+  double size_threshold() const { return size_threshold_; }
+
+  /// Offers one forwarded packet; emits a sample with probability 1/rate
+  /// (uniform mode) or min(1, bytes/threshold) (smart mode).
   void offer(const FlowSample& packet);
 
   std::uint32_t sample_rate() const { return sample_rate_; }
@@ -48,6 +62,7 @@ class SflowSampler {
 
  private:
   std::uint32_t sample_rate_;
+  double size_threshold_ = 0.0;  // 0 = uniform 1-in-N
   net::Rng rng_;
   EmitFn emit_;
   std::uint64_t offered_ = 0;
@@ -64,6 +79,12 @@ class TrafficAggregator {
   TrafficAggregator(const net::PrefixTrie<net::Prefix>& prefix_table,
                     std::uint32_t sample_rate);
 
+  /// Mirror of SflowSampler::set_size_threshold — must match the
+  /// feed's sampler, exactly like sample_rate. With z set, each sample
+  /// credits max(bytes, z) and finalize skips the 1-in-N scale-up.
+  void set_size_threshold(double bytes);
+  double size_threshold() const { return size_threshold_; }
+
   void ingest(const FlowSample& sample);
 
   /// Closes the window [window_start, now) and returns estimated demand.
@@ -76,6 +97,7 @@ class TrafficAggregator {
  private:
   const net::PrefixTrie<net::Prefix>& prefix_table_;
   std::uint32_t sample_rate_;
+  double size_threshold_ = 0.0;  // 0 = scale by sample_rate
   std::unordered_map<net::Prefix, std::uint64_t> window_bytes_;
   net::SimTime window_start_;
   std::uint64_t unmatched_ = 0;

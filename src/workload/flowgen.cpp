@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <vector>
 
 namespace ef::workload {
 
@@ -37,11 +38,26 @@ void FlowGenerator::generate(const telemetry::DemandMatrix& demand,
     std::uint64_t count = static_cast<std::uint64_t>(exact);
     if (rng_.bernoulli(exact - static_cast<double>(count))) ++count;
 
+    // Heavy-tailed mode: split this prefix's bytes across the `count`
+    // packets by Pareto weights instead of equally. Byte totals are
+    // preserved; per-packet variance is not — which is the point.
+    std::vector<double> weights;
+    double weight_sum = 0.0;
+    if (config_.heavy_tailed && count > 1) {
+      weights.reserve(count);
+      for (std::uint64_t i = 0; i < count; ++i) {
+        weights.push_back(rng_.pareto(1.0, config_.pareto_alpha));
+        weight_sum += weights.back();
+      }
+    }
+
     telemetry::FlowSample packet;
     packet.src = config_.source;
     packet.egress = *egress;
     packet.packet_bytes = static_cast<std::uint32_t>(
         std::min(macro_packet_bytes, 4e9));
+    const double prefix_bytes =
+        macro_packet_bytes * static_cast<double>(count);
     for (std::uint64_t i = 0; i < count; ++i) {
       // Spread destinations over the /24's hosts (or a hash for v6).
       const std::uint32_t host =
@@ -49,6 +65,11 @@ void FlowGenerator::generate(const telemetry::DemandMatrix& demand,
       packet.dst = prefix.family() == net::Family::kV4
                        ? net::IpAddr::v4(prefix.address().v4_value() | host)
                        : prefix.address();
+      if (!weights.empty()) {
+        packet.packet_bytes = static_cast<std::uint32_t>(std::min(
+            prefix_bytes * weights[i] / weight_sum, 4e9));
+        if (packet.packet_bytes == 0) continue;
+      }
       packet.when =
           start + net::SimTime::seconds(rng_.uniform(0.0, window_secs));
       ++packets_;

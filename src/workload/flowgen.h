@@ -26,6 +26,14 @@ struct FlowGenConfig {
   std::uint32_t packet_bytes = 1200;
   /// Source address of generated traffic (the PoP's serving address).
   net::IpAddr source = net::IpAddr::v4(0xc0000200);  // 192.0.2.0
+
+  /// Heavy-tailed macro-packet sizes: instead of equal-sized macro
+  /// packets, each prefix's bytes are split by Pareto(alpha) weights —
+  /// a few elephant packets carry most bytes. Per-prefix byte totals
+  /// are unchanged; what changes is the per-packet size *variance* the
+  /// sampling estimator has to survive (see telemetry tests).
+  bool heavy_tailed = false;
+  double pareto_alpha = 1.2;
 };
 
 class FlowGenerator {

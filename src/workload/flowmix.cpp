@@ -1,0 +1,169 @@
+#include "workload/flowmix.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace ef::workload {
+namespace {
+
+// Deterministic per-prefix seed: std::hash<Prefix> is the repo's FNV
+// over masked address bytes + length — stable across runs and builds on
+// the same platform, which is the determinism domain record/replay
+// promises (same binary, same machine).
+std::uint64_t prefix_seed(std::uint64_t base, const net::Prefix& prefix) {
+  return base ^ (0x9e3779b97f4a7c15ull * (std::hash<net::Prefix>{}(prefix) | 1));
+}
+
+}  // namespace
+
+FlowSpec FlowMix::make_flow(const net::Prefix& prefix, PrefixState& state,
+                            bool elephant) {
+  FlowSpec flow;
+  flow.src = config_.source;
+  const std::uint32_t host =
+      static_cast<std::uint32_t>(state.rng.uniform_int(1, 254));
+  flow.dst = prefix.family() == net::Family::kV4
+                 ? net::IpAddr::v4(prefix.address().v4_value() | host)
+                 : prefix.address();
+  flow.src_port =
+      static_cast<std::uint16_t>(state.rng.uniform_int(32768, 60999));
+  flow.dst_port = 443;
+  flow.protocol = 6;
+  flow.dscp = state.rng.bernoulli(config_.altpath_fraction)
+                  ? config_.altpath_dscp
+                  : std::uint8_t{0};
+  flow.elephant = elephant;
+  // Raw Pareto weight; renormalize() turns weights into shares.
+  flow.byte_share = state.rng.pareto(1.0, config_.pareto_alpha);
+  ++flows_created_;
+  return flow;
+}
+
+void FlowMix::renormalize(PrefixState& state) {
+  double elephant_weight = 0.0;
+  double mice_weight = 0.0;
+  std::size_t elephants = 0;
+  for (const auto& flow : state.flows) {
+    if (flow.elephant) {
+      elephant_weight += flow.byte_share;
+      ++elephants;
+    } else {
+      mice_weight += flow.byte_share;
+    }
+  }
+  // Elephants split elephant_byte_share of the prefix's bytes between
+  // them (pro-rata by Pareto weight); mice split the rest. A class with
+  // no members cedes its share to the other.
+  double e_share = config_.elephant_byte_share;
+  if (elephants == 0) e_share = 0.0;
+  if (elephants == state.flows.size()) e_share = 1.0;
+  for (auto& flow : state.flows) {
+    if (flow.elephant) {
+      flow.byte_share = e_share * flow.byte_share / elephant_weight;
+    } else {
+      flow.byte_share = (1.0 - e_share) * flow.byte_share / mice_weight;
+    }
+  }
+}
+
+void FlowMix::rebuild(const net::Prefix& prefix, PrefixState& state,
+                      std::size_t count) {
+  state.flows.clear();
+  state.flows.reserve(count);
+  const auto elephants = static_cast<std::size_t>(
+      std::ceil(config_.elephant_fraction * static_cast<double>(count)));
+  for (std::size_t i = 0; i < count; ++i) {
+    state.flows.push_back(make_flow(prefix, state, i < elephants));
+  }
+  renormalize(state);
+}
+
+void FlowMix::churn_mice(const net::Prefix& prefix, PrefixState& state) {
+  bool churned = false;
+  for (auto& flow : state.flows) {
+    if (flow.elephant) continue;
+    if (!state.rng.bernoulli(config_.mice_churn_fraction)) continue;
+    flow = make_flow(prefix, state, false);
+    ++mice_churned_;
+    churned = true;
+  }
+  if (churned) renormalize(state);
+}
+
+void FlowMix::step(const telemetry::DemandMatrix& demand,
+                   const Visitor& visit) {
+  // Collect + sort so per-prefix work and the visit order never depend
+  // on the demand matrix's hash-table ordering.
+  std::vector<std::pair<net::Prefix, net::Bandwidth>> entries;
+  entries.reserve(demand.prefix_count());
+  demand.for_each([&](const net::Prefix& prefix, net::Bandwidth rate) {
+    if (rate.bits_per_sec() > 0) entries.emplace_back(prefix, rate);
+  });
+  std::sort(entries.begin(), entries.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+
+  // Drop state for prefixes that vanished from demand. Both sequences
+  // are sorted, so this is a linear merge.
+  {
+    auto live = entries.begin();
+    for (auto it = prefixes_.begin(); it != prefixes_.end();) {
+      while (live != entries.end() && live->first < it->first) ++live;
+      if (live != entries.end() && live->first == it->first) {
+        ++it;
+      } else {
+        it = prefixes_.erase(it);
+      }
+    }
+  }
+
+  for (const auto& [prefix, rate] : entries) {
+    auto [it, inserted] = prefixes_.try_emplace(
+        prefix, prefix_seed(config_.seed, prefix));
+    PrefixState& state = it->second;
+
+    const double rate_bps = rate.bits_per_sec();
+    const auto want = static_cast<std::size_t>(std::clamp(
+        rate_bps / std::max(config_.avg_flow_rate_bps, 1.0),
+        static_cast<double>(config_.min_flows_per_prefix),
+        static_cast<double>(config_.max_flows_per_prefix)));
+
+    if (inserted || state.flows.empty()) {
+      rebuild(prefix, state, want);
+    } else if (state.last_rate_bps > 0.0 &&
+               rate_bps >= state.last_rate_bps * config_.flash_crowd_ramp) {
+      // Flash crowd: a new client population arrives. Elephants (the
+      // long-lived sessions) persist; the mice cohort regenerates and
+      // the population grows to the new target size.
+      ++flash_regens_;
+      std::vector<FlowSpec> kept;
+      for (const auto& flow : state.flows) {
+        if (flow.elephant) kept.push_back(flow);
+      }
+      state.flows = std::move(kept);
+      while (state.flows.size() < std::max<std::size_t>(want, 1)) {
+        state.flows.push_back(make_flow(prefix, state, false));
+        ++mice_churned_;
+      }
+      renormalize(state);
+    } else {
+      // Steady state: population drifts toward the target, mice churn.
+      while (state.flows.size() < want) {
+        state.flows.push_back(make_flow(prefix, state, false));
+      }
+      if (state.flows.size() > want) {
+        // Shed newest mice first (elephants live at the front).
+        std::size_t keep = want;
+        std::stable_partition(state.flows.begin(), state.flows.end(),
+                              [](const FlowSpec& f) { return f.elephant; });
+        if (keep < state.flows.size()) state.flows.resize(std::max<std::size_t>(keep, 1));
+      }
+      churn_mice(prefix, state);
+      renormalize(state);
+    }
+    state.last_rate_bps = rate_bps;
+
+    visit(prefix, rate, std::span<const FlowSpec>(state.flows));
+  }
+}
+
+}  // namespace ef::workload

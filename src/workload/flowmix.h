@@ -1,0 +1,113 @@
+// Heavy-tailed flow population: the elephant/mice mix the dataplane
+// hashes onto egress interfaces.
+//
+// CDN egress traffic is elephant-dominated — a small fraction of
+// long-lived flows (video segments to well-connected clients) carries
+// most bytes, over a churning sea of short mice (per the Open Connect
+// traffic characterization). FlowMix maintains, per destination prefix,
+// a persistent set of 5-tuple flows with Pareto-distributed byte
+// shares: elephants persist across steps (so their placement history is
+// meaningful and reordering is observable), mice churn, and a
+// flash-crowd demand jump spawns a fresh cohort of mice.
+//
+// Determinism: each prefix owns an Rng seeded from
+// (seed ^ std::hash<Prefix>), so flow populations are independent of
+// map iteration order and identical across record/replay runs.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <span>
+#include <vector>
+
+#include "net/ip.h"
+#include "net/prefix.h"
+#include "net/rng.h"
+#include "net/units.h"
+#include "telemetry/traffic.h"
+
+namespace ef::workload {
+
+struct FlowMixConfig {
+  std::uint64_t seed = 11;
+  /// Mean per-flow rate used to size the population: a prefix carrying
+  /// rate R holds ~R/avg_flow_rate flows (clamped below).
+  double avg_flow_rate_bps = 25e6;
+  std::uint32_t min_flows_per_prefix = 4;
+  std::uint32_t max_flows_per_prefix = 64;
+  /// Fraction of a prefix's flows that are elephants…
+  double elephant_fraction = 0.08;
+  /// …and the share of the prefix's bytes those elephants carry.
+  double elephant_byte_share = 0.6;
+  /// Pareto shape for intra-class byte-share spread (lower = heavier).
+  double pareto_alpha = 1.2;
+  /// Fraction of mice replaced by fresh 5-tuples each step.
+  double mice_churn_fraction = 0.25;
+  /// Demand ratio (new/old) beyond which a flash crowd is declared and
+  /// the mice cohort regenerates wholesale (new clients arriving).
+  double flash_crowd_ramp = 1.5;
+  /// Fraction of flows DSCP-marked for the alternate path (the paper's
+  /// §6 per-flow steering experiments).
+  double altpath_fraction = 0.05;
+  std::uint8_t altpath_dscp = 34;  // AF41
+  net::IpAddr source = net::IpAddr::v4(0xc0000200);  // 192.0.2.0
+};
+
+/// One live 5-tuple flow with its share of the owning prefix's bytes.
+struct FlowSpec {
+  net::IpAddr src;
+  net::IpAddr dst;
+  std::uint16_t src_port = 0;
+  std::uint16_t dst_port = 443;
+  std::uint8_t protocol = 6;
+  std::uint8_t dscp = 0;
+  /// This flow's share of its prefix's bytes this step; shares over one
+  /// prefix's flows sum to 1.
+  double byte_share = 0.0;
+  bool elephant = false;
+};
+
+class FlowMix {
+ public:
+  explicit FlowMix(FlowMixConfig config) : config_(config) {}
+
+  const FlowMixConfig& config() const { return config_; }
+
+  using Visitor = std::function<void(
+      const net::Prefix&, net::Bandwidth, std::span<const FlowSpec>)>;
+
+  /// Advances every prefix's flow population one step to track `demand`
+  /// and visits them in sorted prefix order (deterministic regardless of
+  /// the demand matrix's internal ordering). Prefixes that left the
+  /// demand matrix are dropped.
+  void step(const telemetry::DemandMatrix& demand, const Visitor& visit);
+
+  std::uint64_t flows_created() const { return flows_created_; }
+  std::uint64_t mice_churned() const { return mice_churned_; }
+  std::uint64_t flash_regens() const { return flash_regens_; }
+  std::size_t tracked_prefixes() const { return prefixes_.size(); }
+
+ private:
+  struct PrefixState {
+    net::Rng rng;
+    double last_rate_bps = 0.0;
+    std::vector<FlowSpec> flows;
+    explicit PrefixState(std::uint64_t seed) : rng(seed) {}
+  };
+
+  void rebuild(const net::Prefix& prefix, PrefixState& state,
+               std::size_t count);
+  void churn_mice(const net::Prefix& prefix, PrefixState& state);
+  void renormalize(PrefixState& state);
+  FlowSpec make_flow(const net::Prefix& prefix, PrefixState& state,
+                     bool elephant);
+
+  FlowMixConfig config_;
+  std::map<net::Prefix, PrefixState> prefixes_;
+  std::uint64_t flows_created_ = 0;
+  std::uint64_t mice_churned_ = 0;
+  std::uint64_t flash_regens_ = 0;
+};
+
+}  // namespace ef::workload

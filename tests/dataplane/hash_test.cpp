@@ -1,0 +1,148 @@
+// EcmpHasher: determinism, spread, weighted split, and the minimal
+// disruption property WCMP stickiness rests on.
+#include "dataplane/hash.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <vector>
+
+#include "net/rng.h"
+
+namespace ef::dataplane {
+namespace {
+
+FlowKey key_of(net::Rng& rng) {
+  FlowKey key;
+  key.src = net::IpAddr::v4(static_cast<std::uint32_t>(rng.next_u64()));
+  key.dst = net::IpAddr::v4(static_cast<std::uint32_t>(rng.next_u64()));
+  key.src_port = static_cast<std::uint16_t>(rng.uniform_int(1024, 65535));
+  key.dst_port = 443;
+  return key;
+}
+
+TEST(DataplaneHash, FlowHashIsDeterministicAndKeySensitive) {
+  net::Rng rng(1);
+  const FlowKey a = key_of(rng);
+  FlowKey b = a;
+  EXPECT_EQ(flow_hash(a), flow_hash(b));
+  b.src_port = static_cast<std::uint16_t>(b.src_port + 1);
+  EXPECT_NE(flow_hash(a), flow_hash(b));
+  FlowKey c = a;
+  c.protocol = 17;
+  EXPECT_NE(flow_hash(a), flow_hash(c));
+}
+
+TEST(DataplaneHash, SlotsSpreadAcrossMemberLinks) {
+  const EcmpHasher hasher(8, /*salt=*/7);
+  net::Rng rng(2);
+  std::map<std::uint32_t, int> histogram;
+  const telemetry::InterfaceId iface(3);
+  for (int i = 0; i < 8000; ++i) {
+    const std::uint32_t slot = hasher.slot_of(flow_hash(key_of(rng)), iface);
+    ASSERT_LT(slot, 8u);
+    ++histogram[slot];
+  }
+  // Every slot used, none wildly over-loaded (expected 1000 per slot).
+  ASSERT_EQ(histogram.size(), 8u);
+  for (const auto& [slot, count] : histogram) {
+    EXPECT_GT(count, 700) << "slot " << slot;
+    EXPECT_LT(count, 1300) << "slot " << slot;
+  }
+}
+
+TEST(DataplaneHash, EqualWeightsSplitEvenly) {
+  const EcmpHasher hasher(16, 0);
+  const std::vector<WcmpEgress> candidates = {
+      {telemetry::InterfaceId(1), 1.0},
+      {telemetry::InterfaceId(2), 1.0},
+      {telemetry::InterfaceId(3), 1.0},
+  };
+  net::Rng rng(3);
+  std::map<std::uint32_t, int> histogram;
+  for (int i = 0; i < 9000; ++i) {
+    ++histogram[hasher.pick(flow_hash(key_of(rng)), candidates).value()];
+  }
+  for (const auto& [iface, count] : histogram) {
+    EXPECT_GT(count, 2700) << "iface " << iface;
+    EXPECT_LT(count, 3300) << "iface " << iface;
+  }
+}
+
+TEST(DataplaneHash, WeightedSplitTracksWeights) {
+  const EcmpHasher hasher(16, 0);
+  // 2:1 split.
+  const std::vector<WcmpEgress> candidates = {
+      {telemetry::InterfaceId(1), 2.0},
+      {telemetry::InterfaceId(2), 1.0},
+  };
+  net::Rng rng(4);
+  int first = 0;
+  const int kFlows = 12000;
+  for (int i = 0; i < kFlows; ++i) {
+    if (hasher.pick(flow_hash(key_of(rng)), candidates).value() == 1) ++first;
+  }
+  const double share = static_cast<double>(first) / kFlows;
+  EXPECT_NEAR(share, 2.0 / 3.0, 0.03);
+}
+
+TEST(DataplaneHash, RemovingACandidateOnlyMovesItsOwnFlows) {
+  // The rendezvous property: dropping interface 2 must relocate exactly
+  // the flows that were on interface 2 — everyone else stays put.
+  const EcmpHasher hasher(16, 11);
+  const std::vector<WcmpEgress> full = {
+      {telemetry::InterfaceId(1), 1.0},
+      {telemetry::InterfaceId(2), 1.0},
+      {telemetry::InterfaceId(3), 1.0},
+  };
+  const std::vector<WcmpEgress> reduced = {
+      {telemetry::InterfaceId(1), 1.0},
+      {telemetry::InterfaceId(3), 1.0},
+  };
+  net::Rng rng(5);
+  int moved_from_survivor = 0;
+  int displaced = 0;
+  for (int i = 0; i < 5000; ++i) {
+    const std::uint64_t h = flow_hash(key_of(rng));
+    const auto before = hasher.pick(h, full);
+    const auto after = hasher.pick(h, reduced);
+    if (before.value() == 2) {
+      ++displaced;
+      EXPECT_NE(after.value(), 2u);
+    } else if (before != after) {
+      ++moved_from_survivor;
+    }
+  }
+  EXPECT_GT(displaced, 1000);  // interface 2 actually carried flows
+  EXPECT_EQ(moved_from_survivor, 0);
+}
+
+TEST(DataplaneHash, ZeroAndNegativeWeightsAreSkipped) {
+  const EcmpHasher hasher(16, 0);
+  const std::vector<WcmpEgress> candidates = {
+      {telemetry::InterfaceId(1), 0.0},
+      {telemetry::InterfaceId(2), 1.0},
+      {telemetry::InterfaceId(3), -4.0},
+  };
+  net::Rng rng(6);
+  for (int i = 0; i < 200; ++i) {
+    EXPECT_EQ(hasher.pick(flow_hash(key_of(rng)), candidates).value(), 2u);
+  }
+}
+
+TEST(DataplaneHash, AllNonPositiveWeightsFallBackToEcmp) {
+  const EcmpHasher hasher(16, 0);
+  const std::vector<WcmpEgress> candidates = {
+      {telemetry::InterfaceId(1), 0.0},
+      {telemetry::InterfaceId(2), 0.0},
+  };
+  net::Rng rng(7);
+  std::map<std::uint32_t, int> histogram;
+  for (int i = 0; i < 2000; ++i) {
+    ++histogram[hasher.pick(flow_hash(key_of(rng)), candidates).value()];
+  }
+  EXPECT_EQ(histogram.size(), 2u);  // both used despite zero weights
+}
+
+}  // namespace
+}  // namespace ef::dataplane

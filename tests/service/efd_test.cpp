@@ -247,6 +247,41 @@ TEST(EfdService, PoisonedSessionReconnectsCleanly) {
   service.stop();
 }
 
+TEST(EfdService, DataplaneMetricsReportDisabledByDefault) {
+  const topology::World world = test_world();
+  topology::Pop pop(world, 0);
+  EfdService service(pop, shadow_config());
+  service.start();
+  const std::string metrics = http_get(service.http_port(), "/metrics");
+  service.stop();
+  EXPECT_NE(metrics.find("efd_dataplane_enabled 0"), std::string::npos);
+  EXPECT_NE(metrics.find("efd_dataplane_steps_total 0"), std::string::npos);
+}
+
+TEST(EfdService, DataplaneStepsEveryCycleWhenEnabled) {
+  const topology::World world = test_world();
+  topology::Pop pop(world, 0);
+  EfdConfig config = shadow_config();
+  config.real_time_cycles = true;
+  config.cycle_wall_period = 5ms;
+  config.dataplane.enabled = true;
+  EfdService service(pop, config);
+  service.start();
+  EXPECT_TRUE(service.wait_until(
+      [](const EfdService::IngestSnapshot& snap) {
+        return snap.dataplane_steps >= 3;
+      },
+      5000ms));
+  const std::string metrics = http_get(service.http_port(), "/metrics");
+  service.stop();
+  EXPECT_NE(metrics.find("efd_dataplane_enabled 1"), std::string::npos);
+  // No demand feed in this test: the dataplane steps with an empty
+  // matrix, so byte counters stay zero while the step counter advances.
+  EXPECT_EQ(metrics.find("efd_dataplane_steps_total 0\n"), std::string::npos);
+  EXPECT_NE(metrics.find("efd_dataplane_offered_bytes_total 0"),
+            std::string::npos);
+}
+
 TEST(EfdService, RealTimeCyclesRunWithoutAFeed) {
   const topology::World world = test_world();
   topology::Pop pop(world, 0);

@@ -1,0 +1,193 @@
+// FlowMix: determinism independent of demand-matrix insertion order,
+// elephant persistence, mice churn, flash-crowd regeneration, and
+// byte-share accounting.
+#include "workload/flowmix.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <numeric>
+#include <vector>
+
+namespace ef::workload {
+namespace {
+
+net::Prefix prefix_of(const char* cidr) { return *net::Prefix::parse(cidr); }
+
+struct Snapshot {
+  std::map<net::Prefix, std::vector<FlowSpec>> flows;
+};
+
+Snapshot snapshot_of(FlowMix& mix, const telemetry::DemandMatrix& demand) {
+  Snapshot snap;
+  mix.step(demand, [&](const net::Prefix& prefix, net::Bandwidth,
+                       std::span<const FlowSpec> flows) {
+    snap.flows[prefix].assign(flows.begin(), flows.end());
+  });
+  return snap;
+}
+
+bool same_tuple(const FlowSpec& a, const FlowSpec& b) {
+  return a.src == b.src && a.dst == b.dst && a.src_port == b.src_port &&
+         a.dst_port == b.dst_port && a.protocol == b.protocol;
+}
+
+TEST(FlowMix, SharesSumToOnePerPrefix) {
+  FlowMix mix{FlowMixConfig{}};
+  telemetry::DemandMatrix demand;
+  demand.set(prefix_of("203.0.113.0/24"), net::Bandwidth::mbps(800.0));
+  demand.set(prefix_of("198.51.100.0/24"), net::Bandwidth::mbps(200.0));
+  const Snapshot snap = snapshot_of(mix, demand);
+  ASSERT_EQ(snap.flows.size(), 2u);
+  for (const auto& [prefix, flows] : snap.flows) {
+    ASSERT_FALSE(flows.empty());
+    double sum = 0.0;
+    for (const FlowSpec& flow : flows) {
+      EXPECT_GE(flow.byte_share, 0.0);
+      sum += flow.byte_share;
+    }
+    EXPECT_NEAR(sum, 1.0, 1e-9) << prefix.to_string();
+  }
+}
+
+TEST(FlowMix, DeterministicAcrossInsertionOrder) {
+  // Same prefixes inserted in opposite orders: per-prefix RNG streams
+  // mean the populations must match exactly.
+  FlowMixConfig config;
+  FlowMix forward{config};
+  FlowMix backward{config};
+  telemetry::DemandMatrix ab;
+  ab.set(prefix_of("203.0.113.0/24"), net::Bandwidth::mbps(500.0));
+  ab.set(prefix_of("198.51.100.0/24"), net::Bandwidth::mbps(300.0));
+  telemetry::DemandMatrix ba;
+  ba.set(prefix_of("198.51.100.0/24"), net::Bandwidth::mbps(300.0));
+  ba.set(prefix_of("203.0.113.0/24"), net::Bandwidth::mbps(500.0));
+
+  for (int step = 0; step < 5; ++step) {
+    const Snapshot fwd = snapshot_of(forward, ab);
+    const Snapshot bwd = snapshot_of(backward, ba);
+    ASSERT_EQ(fwd.flows.size(), bwd.flows.size());
+    for (const auto& [prefix, flows] : fwd.flows) {
+      const auto it = bwd.flows.find(prefix);
+      ASSERT_NE(it, bwd.flows.end());
+      ASSERT_EQ(flows.size(), it->second.size()) << prefix.to_string();
+      for (std::size_t i = 0; i < flows.size(); ++i) {
+        EXPECT_TRUE(same_tuple(flows[i], it->second[i]));
+        EXPECT_DOUBLE_EQ(flows[i].byte_share, it->second[i].byte_share);
+      }
+    }
+  }
+}
+
+TEST(FlowMix, ElephantsPersistWhileMiceChurn) {
+  FlowMixConfig config;
+  config.elephant_fraction = 0.2;
+  config.mice_churn_fraction = 0.5;
+  FlowMix mix{config};
+  telemetry::DemandMatrix demand;
+  demand.set(prefix_of("203.0.113.0/24"), net::Bandwidth::gbps(1.0));
+
+  const Snapshot before = snapshot_of(mix, demand);
+  const Snapshot after = snapshot_of(mix, demand);
+  const auto& flows0 = before.flows.begin()->second;
+  const auto& flows1 = after.flows.begin()->second;
+
+  int elephants = 0;
+  for (const FlowSpec& elephant : flows0) {
+    if (!elephant.elephant) continue;
+    ++elephants;
+    bool survived = false;
+    for (const FlowSpec& candidate : flows1) {
+      if (same_tuple(elephant, candidate)) { survived = true; break; }
+    }
+    EXPECT_TRUE(survived) << "elephant vanished in steady state";
+  }
+  EXPECT_GT(elephants, 0);
+  EXPECT_GT(mix.mice_churned(), 0u);  // some mice were replaced
+  EXPECT_EQ(mix.flash_regens(), 0u);  // demand was flat: no flash crowd
+}
+
+TEST(FlowMix, FlashCrowdRegeneratesMiceButKeepsElephants) {
+  FlowMixConfig config;
+  config.elephant_fraction = 0.2;
+  FlowMix mix{config};
+  telemetry::DemandMatrix calm;
+  calm.set(prefix_of("203.0.113.0/24"), net::Bandwidth::mbps(400.0));
+  const Snapshot before = snapshot_of(mix, calm);
+
+  telemetry::DemandMatrix surge;
+  surge.set(prefix_of("203.0.113.0/24"), net::Bandwidth::gbps(1.2));  // 3x
+  const Snapshot after = snapshot_of(mix, surge);
+  EXPECT_GE(mix.flash_regens(), 1u);
+
+  // Elephants from before the surge still present afterwards.
+  const auto& flows0 = before.flows.begin()->second;
+  const auto& flows1 = after.flows.begin()->second;
+  for (const FlowSpec& elephant : flows0) {
+    if (!elephant.elephant) continue;
+    bool survived = false;
+    for (const FlowSpec& candidate : flows1) {
+      if (same_tuple(elephant, candidate)) { survived = true; break; }
+    }
+    EXPECT_TRUE(survived) << "flash crowd should not evict elephants";
+  }
+}
+
+TEST(FlowMix, ElephantsCarryConfiguredByteShare) {
+  FlowMixConfig config;
+  config.elephant_fraction = 0.1;
+  config.elephant_byte_share = 0.6;
+  config.max_flows_per_prefix = 64;
+  FlowMix mix{config};
+  telemetry::DemandMatrix demand;
+  demand.set(prefix_of("203.0.113.0/24"), net::Bandwidth::gbps(1.6));
+  const Snapshot snap = snapshot_of(mix, demand);
+  const auto& flows = snap.flows.begin()->second;
+  double elephant_share = 0.0;
+  std::size_t elephants = 0;
+  for (const FlowSpec& flow : flows) {
+    if (flow.elephant) {
+      elephant_share += flow.byte_share;
+      ++elephants;
+    }
+  }
+  ASSERT_GT(elephants, 0u);
+  EXPECT_LT(elephants, flows.size() / 4);  // a small minority of flows…
+  EXPECT_NEAR(elephant_share, 0.6, 1e-9);  // …carrying most of the bytes
+}
+
+TEST(FlowMix, AltpathFlowsCarryDscpMark) {
+  FlowMixConfig config;
+  config.altpath_fraction = 0.5;
+  config.max_flows_per_prefix = 64;
+  FlowMix mix{config};
+  telemetry::DemandMatrix demand;
+  demand.set(prefix_of("203.0.113.0/24"), net::Bandwidth::gbps(1.6));
+  const Snapshot snap = snapshot_of(mix, demand);
+  int marked = 0;
+  int unmarked = 0;
+  for (const FlowSpec& flow : snap.flows.begin()->second) {
+    if (flow.dscp == config.altpath_dscp) ++marked;
+    else ++unmarked;
+  }
+  EXPECT_GT(marked, 0);
+  EXPECT_GT(unmarked, 0);
+}
+
+TEST(FlowMix, VanishedPrefixesAreDropped) {
+  FlowMix mix{FlowMixConfig{}};
+  telemetry::DemandMatrix both;
+  both.set(prefix_of("203.0.113.0/24"), net::Bandwidth::mbps(400.0));
+  both.set(prefix_of("198.51.100.0/24"), net::Bandwidth::mbps(400.0));
+  snapshot_of(mix, both);
+  EXPECT_EQ(mix.tracked_prefixes(), 2u);
+
+  telemetry::DemandMatrix one;
+  one.set(prefix_of("203.0.113.0/24"), net::Bandwidth::mbps(400.0));
+  const Snapshot snap = snapshot_of(mix, one);
+  EXPECT_EQ(mix.tracked_prefixes(), 1u);
+  EXPECT_EQ(snap.flows.count(prefix_of("198.51.100.0/24")), 0u);
+}
+
+}  // namespace
+}  // namespace ef::workload

@@ -58,6 +58,17 @@ struct Args {
       die_bad_value(key, it->second);
     }
   }
+  /// Strict finite double: junk, trailing characters, inf, nan exit 2.
+  double real(const std::string& key, double fallback) const {
+    auto it = options.find(key);
+    if (it == options.end()) return fallback;
+    char* end = nullptr;
+    const double value = std::strtod(it->second.c_str(), &end);
+    if (end == it->second.c_str() || *end != '\0' || !std::isfinite(value)) {
+      die_bad_value(key, it->second);
+    }
+    return value;
+  }
 };
 
 int usage() {
@@ -67,6 +78,8 @@ int usage() {
                "           [--inject] [--real-time] [--cycle-secs S]\n"
                "           [--sample-rate N] [--threads N]\n"
                "           [--decode-threads N] [--incremental[=FRAC]]\n"
+               "           [--dataplane] [--dp-queue-ms MS] [--dp-slots N]\n"
+               "           [--dp-elephant-frac F]\n"
                "  (port 0 = pick an ephemeral port and print it)\n"
                "  --threads: allocation-cycle workers (1 = serial,\n"
                "  0 = one per hardware thread); decisions are identical\n"
@@ -75,7 +88,13 @@ int usage() {
                "  --incremental: delta allocation cycles; FRAC is the\n"
                "  dirty-fraction fallback ceiling in [0,1] (decisions\n"
                "  stay bitwise identical to full recomputes). See\n"
-               "  docs/SCALING.md.\n");
+               "  docs/SCALING.md.\n"
+               "  --dataplane: flow-level dataplane emulation (hashed\n"
+               "  flows, bounded interface queues, measured drops and\n"
+               "  reorder events on /metrics). --dp-queue-ms: queue depth\n"
+               "  in ms of buffering (>= 0). --dp-slots: ECMP member\n"
+               "  slots per interface (>= 1). --dp-elephant-frac:\n"
+               "  elephant fraction of the flow mix in [0,1].\n");
   return 2;
 }
 
@@ -167,6 +186,23 @@ int main(int argc, char** argv) {
       config.controller.incremental_dirty_ceiling = frac;
     }
   }
+  // Dataplane knobs are validated even while --dataplane is absent: a
+  // typo'd value should fail loudly, not silently arm nothing.
+  config.dataplane.enabled = args.has("dataplane");
+  const double queue_ms = args.real("dp-queue-ms", 50.0);
+  if (queue_ms < 0.0) die_bad_value("dp-queue-ms", args.options.at("dp-queue-ms"));
+  config.dataplane.queue_depth_ms = queue_ms;
+  const long dp_slots = args.num("dp-slots", 16);
+  if (dp_slots < 1 || dp_slots > 4096) {
+    die_bad_value("dp-slots", args.options.at("dp-slots"));
+  }
+  config.dataplane.ecmp_slots = static_cast<std::uint32_t>(dp_slots);
+  const double elephant_frac = args.real("dp-elephant-frac", 0.08);
+  if (elephant_frac < 0.0 || elephant_frac > 1.0) {
+    die_bad_value("dp-elephant-frac", args.options.at("dp-elephant-frac"));
+  }
+  config.dataplane.flows.elephant_fraction = elephant_frac;
+  config.dataplane.seed = static_cast<std::uint64_t>(args.num("seed", 42));
 
   service::EfdService service(pop, config);
   service.shutdown_on_signals();

@@ -47,6 +47,7 @@
 #include "bgp/mrt.h"
 #include "bmp/wire.h"
 #include "core/controller.h"
+#include "dataplane/dataplane.h"
 #include "io/backoff.h"
 #include "io/fault.h"
 #include "io/socket.h"
@@ -180,6 +181,29 @@ void apply_incremental_flags(const Args& args,
     config.incremental_dirty_ceiling =
         unit_real(args, "incremental", config.incremental_dirty_ceiling);
   }
+}
+
+/// Shared dataplane flags for `run`, `record`, and `serve`. Knobs are
+/// validated even while --dataplane is absent (a typo'd --dp-queue-ms
+/// should fail the invocation), matching the failsafe-flag convention.
+///   --dataplane          enable flow-level dataplane emulation
+///   --dp-queue-ms MS     queue depth in ms of line-rate buffering (>= 0)
+///   --dp-slots N         ECMP member-link slots per interface (>= 1)
+///   --dp-wcmp N          egress candidates per prefix (>= 1; 1 = off)
+///   --dp-elephant-frac F elephant fraction of the flow mix ([0, 1])
+void apply_dataplane_flags(const Args& args,
+                           dataplane::DataplaneConfig& config,
+                           std::uint64_t seed) {
+  config.enabled = args.has("dataplane");
+  config.seed = seed;
+  config.queue_depth_ms = nonneg_real(args, "dp-queue-ms", 50.0);
+  const long slots = args.num("dp-slots", 16);
+  if (slots < 1 || slots > 4096) die_bad_value("dp-slots", args.get("dp-slots", ""));
+  config.ecmp_slots = static_cast<std::uint32_t>(slots);
+  const long wcmp = args.num("dp-wcmp", 1);
+  if (wcmp < 1 || wcmp > 64) die_bad_value("dp-wcmp", args.get("dp-wcmp", ""));
+  config.wcmp_paths = static_cast<std::uint32_t>(wcmp);
+  config.flows.elephant_fraction = unit_real(args, "dp-elephant-frac", 0.08);
 }
 
 /// Parses --threads into RunOptions (0 = auto, 1 = serial); rejects
@@ -332,6 +356,8 @@ int cmd_run(const Args& args) {
   config.controller_enabled = !args.has("no-controller");
   config.controller.cycle_period = net::SimTime::seconds(60);
   config.peer_flap_rate_per_hour = args.real("flaps", 0);
+  apply_dataplane_flags(args, config.dataplane,
+                        static_cast<std::uint64_t>(args.num("seed", 42)));
 
   analysis::UtilizationTracker tracker(pop.interfaces());
   analysis::DetourTracker detours;
@@ -363,6 +389,24 @@ int cmd_run(const Args& args) {
     std::printf("  overridden prefixes: %zu (%zu flapping)\n",
                 detours.total_overridden_prefixes(),
                 detours.flapping_prefixes());
+  }
+  if (const dataplane::Dataplane* dp = simulation.dataplane()) {
+    const dataplane::DataplaneTotals& totals = dp->totals();
+    const double offered = static_cast<double>(totals.offered_bytes);
+    std::printf("  dataplane: %llu flows seen, %llu moved, %llu reorder "
+                "events\n",
+                static_cast<unsigned long long>(dp->flow_table().flows_seen()),
+                static_cast<unsigned long long>(totals.flows_moved),
+                static_cast<unsigned long long>(totals.reorder_events));
+    std::printf("  measured drop fraction: %s (%llu of %llu bytes)\n",
+                analysis::TablePrinter::pct(
+                    offered > 0
+                        ? static_cast<double>(totals.dropped_bytes) / offered
+                        : 0.0,
+                    4)
+                    .c_str(),
+                static_cast<unsigned long long>(totals.dropped_bytes),
+                static_cast<unsigned long long>(totals.offered_bytes));
   }
   return 0;
 }
@@ -458,6 +502,8 @@ int cmd_record_fleet(const Args& args, const std::string& path) {
   config.controller.cycle_period = net::SimTime::seconds(60);
   config.use_sflow_estimate = args.has("sflow");
   config.peer_flap_rate_per_hour = args.real("flaps", 0);
+  apply_dataplane_flags(args, config.dataplane,
+                        static_cast<std::uint64_t>(args.num("seed", 42)));
 
   sim::Fleet fleet(world, config);
   std::vector<std::unique_ptr<audit::JournalWriter>> writers;
@@ -516,6 +562,8 @@ int cmd_record(const Args& args) {
   config.controller.cycle_period = net::SimTime::seconds(60);
   config.use_sflow_estimate = args.has("sflow");
   config.peer_flap_rate_per_hour = args.real("flaps", 0);
+  apply_dataplane_flags(args, config.dataplane,
+                        static_cast<std::uint64_t>(args.num("seed", 42)));
 
   audit::JournalWriter writer(path);
   if (!writer.ok()) {
@@ -886,6 +934,8 @@ int cmd_serve(const Args& args) {
   config.decode_threads = static_cast<unsigned>(decode_threads);
   apply_incremental_flags(args, config.controller);
   apply_failsafe_flags(args, config);
+  apply_dataplane_flags(args, config.dataplane,
+                        static_cast<std::uint64_t>(args.num("seed", 42)));
   config.announce_ports = ports_list_opt(args, "announce");
   config.announce_hold_secs = hold_secs_opt(args, "announce-hold-secs", 90);
 
@@ -908,6 +958,13 @@ int cmd_serve(const Args& args) {
         "hold %us\n",
         config.announce_ports.size(),
         static_cast<unsigned>(config.announce_hold_secs));
+  }
+  if (config.dataplane.enabled) {
+    std::printf(
+        "eftool serve: dataplane emulation on (queue %gms, %u slots, "
+        "elephant frac %g)\n",
+        config.dataplane.queue_depth_ms, config.dataplane.ecmp_slots,
+        config.dataplane.flows.elephant_fraction);
   }
   std::printf(
       "eftool serve: bmp 127.0.0.1:%u  sflow 127.0.0.1:%u  http "
@@ -1582,11 +1639,16 @@ int usage() {
       "  rib        --pop K [--prefix P] [--limit N]\n"
       "  cycle      --pop K [--hour H] [--split]\n"
       "  run        --pop K [--hours H] [--no-controller] [--flaps R]\n"
+      "             [--dataplane] [--dp-queue-ms MS] [--dp-slots N]\n"
+      "             [--dp-wcmp N] [--dp-elephant-frac F]\n"
+      "             (--dataplane: flow-level emulation with measured\n"
+      "              drops, queue delay, and reorder events)\n"
       "  fleet      [--hours H] [--no-controller] [--threads N]\n"
       "             (--threads: 0 = one per hardware thread, 1 = serial;\n"
       "              output is identical for every N)\n"
       "  mrt        --pop K --out FILE\n"
-      "  record     --pop K [--hours H] [--sflow] [--flaps R] --out FILE\n"
+      "  record     --pop K [--hours H] [--sflow] [--flaps R]\n"
+      "             [--dataplane] --out FILE\n"
       "  record     --fleet [--hours H] [--threads N] --out FILE\n"
       "             (one journal per PoP: FILE.popK.efj)\n"
       "  replay     FILE [--verbose]\n"
@@ -1606,6 +1668,8 @@ int usage() {
       "             [--failsafe] [--max-demand-age SECS] [--hold-ttl SECS]\n"
       "             [--max-churn-frac F] [--journal FILE]\n"
       "             [--announce P1[,P2...]] [--announce-hold-secs S]\n"
+      "             [--dataplane] [--dp-queue-ms MS] [--dp-slots N]\n"
+      "             [--dp-elephant-frac F]\n"
       "             (foreground efd daemon; port 0 = ephemeral, printed;\n"
       "              any failsafe threshold flag arms the ladder;\n"
       "              --announce enforces overrides over BGP/TCP)\n"
