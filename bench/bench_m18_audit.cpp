@@ -1,0 +1,229 @@
+// M18: the enforcement audit path at scale.
+//
+// Three questions, answered in BENCH_bgp.json:
+//   1. How fast does one audit pass diff intent against a router
+//      read-back (BM_AuditPass*, prefixes/s)? The interesting row is
+//      1M prefixes — the full-table deployment from docs/SCALING.md.
+//   2. What does that cost per cycle relative to the warm allocation
+//      cycle it rides on? The acceptance target is <5% of the 2000 ms
+//      full-table warm-cycle budget at 1M prefixes, i.e. <100 ms per
+//      convergent pass (the steady-state case; divergent passes add
+//      repair planning and are recorded too).
+//   3. How fast do warm-restart recovery snapshots serialize and read
+//      back (BM_RecoverySnapshot*, MB/s)? efd writes one per healthy
+//      cycle, so this is on the cycle path as well.
+//
+// Pure in-process state, no sockets: the auditor is diff+policy only
+// (src/service/auditor.h), and that is exactly the per-cycle cost the
+// <5% target bounds. Socket-path announce/apply latency is bench_m15.
+#include <benchmark/benchmark.h>
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "audit/snapshot.h"
+#include "bgp/route.h"
+#include "core/controller.h"
+#include "net/ip.h"
+#include "net/prefix.h"
+#include "net/units.h"
+#include "service/auditor.h"
+
+namespace {
+
+using ef::core::Override;
+using ef::net::Bandwidth;
+using ef::net::IpAddr;
+using ef::net::Prefix;
+using ef::net::SimTime;
+
+// Distinct /24s: 1M of them span 2^28 addresses starting at 48.0.0.0.
+Prefix nth_prefix(std::int64_t i) {
+  return Prefix(IpAddr::v4(0x30000000u + (static_cast<std::uint32_t>(i) << 8)),
+                24);
+}
+
+Override make_override(std::int64_t i) {
+  Override entry;
+  entry.prefix = nth_prefix(i);
+  entry.rate = Bandwidth::gbps(1.0);
+  entry.next_hop = IpAddr::v4(0x0A000001u + static_cast<std::uint32_t>(i % 7));
+  entry.as_path = ef::bgp::AsPath{ef::bgp::AsNumber(64512)};
+  entry.target_type = ef::bgp::PeerType::kTransit;
+  return entry;
+}
+
+ef::bgp::Route faithful_route(const Override& entry) {
+  ef::bgp::Route route;
+  route.prefix = entry.prefix;
+  route.attrs.next_hop = entry.next_hop;
+  route.attrs.local_pref = ef::bgp::LocalPref(1000);
+  route.attrs.has_local_pref = true;
+  route.attrs.communities = {ef::core::kOverrideCommunity,
+                             ef::bgp::peer_type_community(entry.target_type)};
+  route.peer_type = ef::bgp::PeerType::kController;
+  return route;
+}
+
+struct AuditFixture {
+  std::map<Prefix, Override> intended;
+  std::vector<ef::bgp::Route> observed_convergent;
+  // ~1% divergence, split across the three classes the auditor knows:
+  // every 300th prefix missing, every 300th+100 with the wrong
+  // NEXT_HOP, every 300th+200 replaced by an unintended leftover.
+  std::vector<ef::bgp::Route> observed_divergent;
+};
+
+// Built once per table size and reused across iterations; benchmark
+// setup cost at 1M entries would otherwise dwarf the measured pass.
+const AuditFixture& fixture_for(std::int64_t n) {
+  static std::map<std::int64_t, AuditFixture> cache;
+  auto [it, inserted] = cache.try_emplace(n);
+  AuditFixture& fx = it->second;
+  if (!inserted) return fx;
+  fx.observed_convergent.reserve(static_cast<std::size_t>(n));
+  fx.observed_divergent.reserve(static_cast<std::size_t>(n));
+  for (std::int64_t i = 0; i < n; ++i) {
+    Override entry = make_override(i);
+    fx.observed_convergent.push_back(faithful_route(entry));
+    switch (i % 300) {
+      case 0:  // missing: intended, never observed
+        break;
+      case 100: {  // wrong-attrs: mangled NEXT_HOP
+        ef::bgp::Route wrong = faithful_route(entry);
+        wrong.attrs.next_hop = IpAddr::v4(0x0A0000FFu);
+        fx.observed_divergent.push_back(wrong);
+        break;
+      }
+      case 200:  // extra-stale: a leftover nobody intended
+        fx.observed_divergent.push_back(
+            faithful_route(make_override(n + i)));
+        break;
+      default:
+        fx.observed_divergent.push_back(fx.observed_convergent.back());
+        break;
+    }
+    fx.intended.emplace(entry.prefix, std::move(entry));
+  }
+  return fx;
+}
+
+ef::service::AuditorConfig audit_config() {
+  ef::service::AuditorConfig config;
+  config.enabled = true;
+  return config;
+}
+
+// Steady-state per-cycle overhead: intent and router agree, the pass is
+// a pure diff that finds nothing. This is the row the <5% target gates.
+void BM_AuditPassConvergent(benchmark::State& state) {
+  const AuditFixture& fx = fixture_for(state.range(0));
+  ef::service::EnforcementAuditor auditor(audit_config());
+  for (auto _ : state) {
+    ef::service::AuditReport report =
+        auditor.audit(fx.intended, fx.observed_convergent,
+                      SimTime::seconds(60));
+    benchmark::DoNotOptimize(report);
+    if (report.divergent()) state.SkipWithError("unexpected divergence");
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+// MinTime amortizes the cold first pass — the 1M row sits near its
+// 100 ms acceptance budget, so one cold iteration must not decide it.
+BENCHMARK(BM_AuditPassConvergent)
+    ->Arg(10'000)
+    ->Arg(100'000)
+    ->Arg(1'000'000)
+    ->MinTime(1.0)
+    ->Unit(benchmark::kMillisecond);
+
+// The stressed pass: ~1% of the table divergent across all three
+// classes, so classification AND the bounded repair plan are on the
+// clock (sorting the divergent prefixes, cutting at max_repairs).
+void BM_AuditPassDivergent(benchmark::State& state) {
+  const AuditFixture& fx = fixture_for(state.range(0));
+  ef::service::EnforcementAuditor auditor(audit_config());
+  for (auto _ : state) {
+    ef::service::AuditReport report =
+        auditor.audit(fx.intended, fx.observed_divergent,
+                      SimTime::seconds(60));
+    benchmark::DoNotOptimize(report);
+    if (!report.divergent()) state.SkipWithError("expected divergence");
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_AuditPassDivergent)
+    ->Arg(10'000)
+    ->Arg(100'000)
+    ->Arg(1'000'000)
+    ->MinTime(1.0)
+    ->Unit(benchmark::kMillisecond);
+
+// Warm-restart snapshot write path: efd serializes the last-good
+// override set every healthy cycle (src/service/efd.cpp,
+// persist_recovery), so this too is per-cycle overhead.
+void BM_RecoverySnapshotSerialize(benchmark::State& state) {
+  const AuditFixture& fx = fixture_for(state.range(0));
+  ef::audit::RecoverySnapshot snapshot;
+  snapshot.when = SimTime::seconds(60);
+  snapshot.overrides.reserve(fx.intended.size());
+  for (const auto& [prefix, entry] : fx.intended)
+    snapshot.overrides.push_back(entry);
+  std::uint64_t bytes = 0;
+  for (auto _ : state) {
+    std::vector<std::uint8_t> wire = snapshot.serialize();
+    bytes = wire.size();
+    benchmark::DoNotOptimize(wire);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+  state.SetBytesProcessed(state.iterations() *
+                          static_cast<std::int64_t>(bytes));
+}
+BENCHMARK(BM_RecoverySnapshotSerialize)
+    ->Arg(10'000)
+    ->Arg(100'000)
+    ->Arg(1'000'000)
+    ->Unit(benchmark::kMillisecond);
+
+// Read-back throughput: what `efd --recover` pays to decode the
+// snapshot before it can enter hold-last-good.
+void BM_RecoverySnapshotDecode(benchmark::State& state) {
+  const AuditFixture& fx = fixture_for(state.range(0));
+  ef::audit::RecoverySnapshot snapshot;
+  snapshot.when = SimTime::seconds(60);
+  snapshot.overrides.reserve(fx.intended.size());
+  for (const auto& [prefix, entry] : fx.intended)
+    snapshot.overrides.push_back(entry);
+  const std::vector<std::uint8_t> wire = snapshot.serialize();
+  for (auto _ : state) {
+    auto decoded = ef::audit::RecoverySnapshot::deserialize(wire);
+    benchmark::DoNotOptimize(decoded);
+    if (!decoded) state.SkipWithError("decode failed");
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+  state.SetBytesProcessed(state.iterations() *
+                          static_cast<std::int64_t>(wire.size()));
+}
+BENCHMARK(BM_RecoverySnapshotDecode)
+    ->Arg(10'000)
+    ->Arg(100'000)
+    ->Arg(1'000'000)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+// Proof-of-build-mode for the recording script (see bench_m16): the
+// JSON is only trusted when our own TUs were compiled Release.
+int main(int argc, char** argv) {
+#ifdef NDEBUG
+  benchmark::AddCustomContext("ef_bench_build", "release");
+#else
+  benchmark::AddCustomContext("ef_bench_build", "debug");
+#endif
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

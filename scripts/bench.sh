@@ -70,7 +70,7 @@ if ! grep -q '^CMAKE_BUILD_TYPE:[A-Z]*=Release$' build-bench/CMakeCache.txt; the
 fi
 cmake --build build-bench --target bench_m11_allocator_scale \
   bench_m13_alloc_fastpath bench_m14_ingest bench_m15_bgp \
-  bench_m16_incremental bench_m17_dataplane
+  bench_m16_incremental bench_m17_dataplane bench_m18_audit
 
 # run_bench <output-basename> <binary> [extra benchmark args...]
 # Fails the whole script if the binary exits non-zero OR emits invalid
@@ -106,6 +106,8 @@ if [ "$PROFILE" = nightly ]; then
     --benchmark_min_time=0.01
   run_bench bench_m17 ./build-bench/bench/bench_m17_dataplane \
     --benchmark_min_time=0.01
+  run_bench bench_m18 ./build-bench/bench/bench_m18_audit \
+    --benchmark_min_time=0.01
 else
   run_bench bench_m11 ./build-bench/bench/bench_m11_allocator_scale
   run_bench bench_m13 ./build-bench/bench/bench_m13_alloc_fastpath
@@ -113,6 +115,7 @@ else
   run_bench bench_m14 ./build-bench/bench/bench_m14_ingest
   run_bench bench_m15 ./build-bench/bench/bench_m15_bgp
   run_bench bench_m17 ./build-bench/bench/bench_m17_dataplane
+  run_bench bench_m18 ./build-bench/bench/bench_m18_audit
 fi
 
 EF_BENCH_TMPDIR="$TMPDIR_BENCH" EF_BENCH_PROFILE="$PROFILE" python3 - <<'EOF'
@@ -126,6 +129,41 @@ def to_ms(bench):
     unit = bench.get("time_unit", "ns")
     return bench["real_time"] * {"ns": 1e-6, "us": 1e-3, "ms": 1.0,
                                  "s": 1e3}.get(unit, 1e-6)
+
+def require_release(name, report):
+    context = report.get("context", {})
+    if context.get("ef_bench_build") != "release":
+        raise SystemExit(
+            f"error: {name} was built in "
+            f"{context.get('ef_bench_build', 'unknown')} mode; refusing to "
+            "record benchmarks from a non-Release binary")
+
+def audit_target_from(report):
+    # The M18 acceptance target: one convergent audit pass at 1M
+    # prefixes must cost under 5% of the 2000 ms full-table warm-cycle
+    # budget (docs/FAILSAFE.md). The divergent pass and the recovery
+    # snapshot codec rows ride along for trend visibility.
+    target = {"prefixes": 1000000, "warm_cycle_budget_ms": 2000.0,
+              "max_fraction_of_warm_cycle": 0.05}
+    rows = (("BM_AuditPassConvergent/1000000", "audit_pass_ms_1m"),
+            ("BM_AuditPassDivergent/1000000", "divergent_pass_ms_1m"),
+            ("BM_RecoverySnapshotSerialize/1000000",
+             "recovery_serialize_ms_1m"),
+            ("BM_RecoverySnapshotDecode/1000000", "recovery_decode_ms_1m"))
+    for b in report.get("benchmarks", []):
+        if b.get("run_type", "iteration") != "iteration":
+            continue
+        # Prefix match: MinTime registrations append a /min_time:...
+        # suffix to the row name.
+        for bench_name, field in rows:
+            if b["name"].startswith(bench_name):
+                target[field] = round(to_ms(b), 3)
+    if "audit_pass_ms_1m" in target:
+        budget = (target["warm_cycle_budget_ms"] *
+                  target["max_fraction_of_warm_cycle"])
+        target["budget_ms"] = budget
+        target["met"] = target["audit_pass_ms_1m"] <= budget
+    return target
 
 merged = {}
 for name in ("bench_m11", "bench_m13", "bench_m16"):
@@ -312,7 +350,26 @@ if "met" in steady:
           f"speedup={steady.get('speedup')}x")
 
 if profile == "nightly":
-    raise SystemExit(0)  # nightly rewrites only the alloc + dataplane records
+    # Nightly rewrites the alloc + dataplane records in full, and
+    # refreshes only the audit_overhead_target in the BGP record so the
+    # >25% regression gate compares fresh audit numbers; the bench_m15
+    # codec/announce rows stay as committed (they don't run nightly).
+    with open(os.path.join(tmpdir, "bench_m18.json")) as f:
+        m18_report = json.load(f)
+    require_release("bench_m18", m18_report)
+    try:
+        with open("BENCH_bgp.json") as f:
+            bgp = json.load(f)
+    except (OSError, json.JSONDecodeError):
+        bgp = {"context": m18_report.get("context", {}), "benchmarks": []}
+    bgp["audit_overhead_target"] = audit_target_from(m18_report)
+    bgp["profile"] = profile
+    with open("BENCH_bgp.json", "w") as f:
+        json.dump(bgp, f, indent=2)
+        f.write("\n")
+    print("BENCH_bgp.json audit_overhead_target refreshed:",
+          bgp["audit_overhead_target"])
+    raise SystemExit(0)
 
 # Ingest record: decode throughput in MB/s + msgs/s, cycle latency in us.
 with open(os.path.join(tmpdir, "bench_m14.json")) as f:
@@ -339,11 +396,18 @@ with open("BENCH_ingest.json", "w") as f:
     f.write("\n")
 print("BENCH_ingest.json written:", summary)
 
-# BGP record: codec throughput in MB/s + msgs/s, announce latency in us.
+# BGP record: codec throughput in MB/s + msgs/s, announce latency in
+# us, plus the M18 audit/recovery rows and their per-cycle overhead
+# acceptance target.
 with open(os.path.join(tmpdir, "bench_m15.json")) as f:
     report = json.load(f)
+require_release("bench_m15", report)
+with open(os.path.join(tmpdir, "bench_m18.json")) as f:
+    m18_report = json.load(f)
+require_release("bench_m18", m18_report)
 bgp = {"context": report.get("context", {}),
-       "benchmarks": report.get("benchmarks", [])}
+       "benchmarks": (report.get("benchmarks", []) +
+                      m18_report.get("benchmarks", []))}
 summary = {}
 for b in bgp["benchmarks"]:
     if b.get("run_type", "iteration") != "iteration":
@@ -357,10 +421,16 @@ for b in bgp["benchmarks"]:
         entry["announce_apply_latency_us"] = round(
             b["real_time"] * {"ns": 1e-3, "us": 1.0, "ms": 1e3}.get(
                 b.get("time_unit", "ns"), 1e-3), 1)
+    if b["name"].startswith(("BM_AuditPass", "BM_RecoverySnapshot")):
+        entry["pass_ms"] = round(to_ms(b), 3)
     summary[b["name"]] = entry
 bgp["summary"] = summary
+bgp["audit_overhead_target"] = audit_target_from(m18_report)
+bgp["profile"] = profile
 with open("BENCH_bgp.json", "w") as f:
     json.dump(bgp, f, indent=2)
     f.write("\n")
 print("BENCH_bgp.json written:", summary)
+print("audit overhead target (1M-prefix pass <= 5% of 2000 ms warm",
+      "cycle):", bgp["audit_overhead_target"])
 EOF

@@ -22,7 +22,30 @@ ctest --test-dir build --output-on-failure -R 'BgpInterop'
 # queue conservation, sim integration) is the M17 acceptance gate: same
 # explicit-run rule.
 ctest --test-dir build --output-on-failure -R 'Dataplane'
+# The enforcement-audit suite (divergence classification, bounded
+# repair, failsafe audit rung, flap resync, warm restart) is the M18
+# acceptance gate: same explicit-run rule.
+ctest --test-dir build --output-on-failure -R 'Audit'
 for b in build/bench/*; do "$b"; done
+
+# Strict CLI validation: malformed audit/recovery/chaos knobs must exit
+# 2 even when the parent feature flag is absent (a typo'd knob silently
+# ignored is an unaudited production run).
+expect_usage_error() {
+  local status=0
+  "$@" >/dev/null 2>&1 || status=$?
+  if [ "$status" -ne 2 ]; then
+    echo "check.sh: expected exit 2 from: $* (got $status)" >&2
+    exit 1
+  fi
+}
+expect_usage_error ./build/tools/efd --audit-interval=junk
+expect_usage_error ./build/tools/efd --audit-max-repairs=-1
+expect_usage_error ./build/tools/efd --recover
+expect_usage_error ./build/tools/eftool serve --audit-interval=junk
+expect_usage_error ./build/tools/eftool chaos --audit-max-repairs=-1
+expect_usage_error ./build/tools/eftool chaos --bgp-faults junk
+expect_usage_error ./build/tools/eftool chaos --recover
 # Perf numbers (BENCH_alloc.json, BENCH_ingest.json) are recorded
 # separately by scripts/bench.sh — run it after allocator or ingest
 # changes to refresh the records.
@@ -44,6 +67,11 @@ if echo 'int main(){}' | c++ -fsanitize=address -x c++ - -o /dev/null \
       --poison 0.02 --verify
     ./build-asan/tools/eftool chaos --fault-seed "$seed" \
       --blackout 3:7 --verify
+    # BGP-path chaos: faults on the announcer's UPDATE stream plus a
+    # mid-run session flap, audited and remediated each cycle — the
+    # replay must still be bitwise identical.
+    ./build-asan/tools/eftool chaos --fault-seed "$seed" \
+      --bgp-faults drop=0.1,dup=0.05,swallow=0.5,flap=6 --verify
   done
 else
   echo "check.sh: toolchain lacks -fsanitize=address; skipping chaos gate" >&2
@@ -64,6 +92,10 @@ if echo 'int main(){}' | c++ -fsanitize=thread -x c++ - -o /dev/null \
   # The dataplane rides inside efd's ingest thread; its counters cross
   # the /metrics reader path, so the suite must be race-free too.
   ctest --test-dir build-tsan --output-on-failure -R 'Dataplane'
+  # The audit read-back crosses three threads (efd cycle loop, prd's
+  # loop via run_sync, the announcer's session): race-free is part of
+  # the M18 gate, not an afterthought.
+  ctest --test-dir build-tsan --output-on-failure -R 'Audit'
 else
   echo "check.sh: toolchain lacks -fsanitize=thread; skipping TSan pass" >&2
 fi

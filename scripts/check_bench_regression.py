@@ -15,6 +15,7 @@ Guards the two acceptance targets the repo records (docs/SCALING.md):
   steady_state_target.incremental_ms     - 1M-prefix, 1% churn delta cycle
   steady_state_target.full_ms            - its full-recompute baseline
   dataplane_target.step_ms_10k           - dataplane step, 10k prefixes
+  audit_overhead_target.audit_pass_ms_1m - 1M-prefix enforcement audit pass
 
 A metric regresses when fresh > baseline * (1 + threshold); the default
 threshold is 0.25 (25%). Metrics missing from either side are reported
@@ -36,6 +37,7 @@ METRICS = (
     ("steady_state_target", "incremental_ms"),
     ("steady_state_target", "full_ms"),
     ("dataplane_target", "step_ms_10k"),
+    ("audit_overhead_target", "audit_pass_ms_1m"),
 )
 
 

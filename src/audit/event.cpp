@@ -63,4 +63,43 @@ std::optional<FailsafeEvent> FailsafeEvent::deserialize(
   return e;
 }
 
+std::vector<std::uint8_t> AuditEvent::serialize() const {
+  net::BufWriter w;
+  w.u16(kAuditEventTag);
+  w.u64(static_cast<std::uint64_t>(when.millis_value()));
+  w.u64(intended);
+  w.u64(observed);
+  w.u64(missing);
+  w.u64(extra);
+  w.u64(wrong_attrs);
+  w.u64(repaired_announce);
+  w.u64(repaired_withdraw);
+  w.u64(unrepaired);
+  w.u32(divergent_streak);
+  w.u8(escalated ? 1 : 0);
+  return std::move(w).take();
+}
+
+std::optional<AuditEvent> AuditEvent::deserialize(
+    std::span<const std::uint8_t> bytes) {
+  net::BufReader r(bytes.data(), bytes.size());
+  if (r.u16() != kAuditEventTag || !r.ok()) return std::nullopt;
+  AuditEvent e;
+  e.when = net::SimTime::millis(static_cast<std::int64_t>(r.u64()));
+  e.intended = r.u64();
+  e.observed = r.u64();
+  e.missing = r.u64();
+  e.extra = r.u64();
+  e.wrong_attrs = r.u64();
+  e.repaired_announce = r.u64();
+  e.repaired_withdraw = r.u64();
+  e.unrepaired = r.u64();
+  e.divergent_streak = r.u32();
+  const std::uint8_t escalated = r.u8();
+  if (escalated > 1) return std::nullopt;
+  e.escalated = escalated != 0;
+  if (!r.ok() || r.remaining() != 0) return std::nullopt;
+  return e;
+}
+
 }  // namespace ef::audit

@@ -28,6 +28,11 @@ namespace ef::audit {
 /// plausible snapshot version number.
 inline constexpr std::uint16_t kFailsafeEventTag = 0xEFE7;
 
+/// Leading u16 of an enforcement-audit event (see AuditEvent below).
+/// Lives in the same journal streams as snapshots and failsafe events;
+/// every deserializer rejects the other tags.
+inline constexpr std::uint16_t kAuditEventTag = 0xEFA1;
+
 /// Rung of the degradation ladder (wire encoding — append only).
 enum class FailsafeMode : std::uint8_t {
   kHealthy = 0,       // fresh inputs, cycles run normally
@@ -69,6 +74,41 @@ struct FailsafeEvent {
       std::span<const std::uint8_t> bytes);
 
   friend bool operator==(const FailsafeEvent&, const FailsafeEvent&) = default;
+};
+
+/// One enforcement-audit pass: the controller read the peering router's
+/// actual state back, diffed it against its intended override set, and
+/// (when they diverged) repaired what the per-pass budget allowed.
+/// Journaled alongside cycle snapshots and failsafe events so a replay
+/// can audit the audit: which cycles diverged, why, and what it cost to
+/// converge again.
+struct AuditEvent {
+  net::SimTime when;
+  /// Prefixes the controller intended to have enforced at audit time.
+  std::uint64_t intended = 0;
+  /// Controller-learned prefixes actually present at the router(s).
+  std::uint64_t observed = 0;
+  // Divergence taxonomy (counts; docs/FAILSAFE.md defines the classes).
+  std::uint64_t missing = 0;      // intended but absent at the router
+  std::uint64_t extra = 0;        // present but no longer intended
+  std::uint64_t wrong_attrs = 0;  // present with mismatched attributes
+  // Bounded deterministic remediation performed by this pass.
+  std::uint64_t repaired_announce = 0;  // re-announced (missing/wrong)
+  std::uint64_t repaired_withdraw = 0;  // force-withdrawn (extra)
+  std::uint64_t unrepaired = 0;         // past the per-pass budget
+  /// Consecutive divergent audits including this one (0 = convergent).
+  std::uint32_t divergent_streak = 0;
+  /// The streak crossed the ladder's escalation threshold.
+  bool escalated = false;
+
+  std::vector<std::uint8_t> serialize() const;
+
+  /// Decodes one event; nullopt on malformed bytes or a record that is
+  /// not an audit event.
+  static std::optional<AuditEvent> deserialize(
+      std::span<const std::uint8_t> bytes);
+
+  friend bool operator==(const AuditEvent&, const AuditEvent&) = default;
 };
 
 }  // namespace ef::audit

@@ -302,6 +302,25 @@ std::optional<CycleSnapshot> CycleSnapshot::deserialize(
   return s;
 }
 
+std::vector<std::uint8_t> RecoverySnapshot::serialize() const {
+  net::BufWriter w;
+  w.u16(kRecoverySnapshotTag);
+  put_time(w, when);
+  put_overrides(w, overrides);
+  return w.take();
+}
+
+std::optional<RecoverySnapshot> RecoverySnapshot::deserialize(
+    std::span<const std::uint8_t> bytes) {
+  net::BufReader r(bytes.data(), bytes.size());
+  if (r.u16() != kRecoverySnapshotTag || !r.ok()) return std::nullopt;
+  RecoverySnapshot s;
+  s.when = get_time(r);
+  s.overrides = get_overrides(r);
+  if (!r.ok() || r.remaining() != 0) return std::nullopt;
+  return s;
+}
+
 CycleSnapshot capture_cycle(const core::Controller::CycleRecord& record,
                             bool include_timing) {
   CycleSnapshot s;

@@ -111,6 +111,33 @@ struct CycleSnapshot {
   friend bool operator==(const CycleSnapshot&, const CycleSnapshot&) = default;
 };
 
+/// Leading u16 of a warm-restart recovery record (see RecoverySnapshot).
+/// Disjoint from every snapshot version and from the event tags in
+/// event.h, so a recovery file fed to the wrong reader is rejected.
+inline constexpr std::uint16_t kRecoverySnapshotTag = 0xEFC0;
+
+/// The minimum state efd needs to resume enforcement after a crash: the
+/// last-good override set and when it was computed. Written atomically to
+/// the recovery file each healthy cycle and on orderly shutdown; read
+/// back by `efd --recover` to enter hold-last-good instead of cold
+/// fail-static (see docs/FAILSAFE.md, warm-restart runbook). Uses the
+/// same big-endian wire helpers as CycleSnapshot and travels in the same
+/// EFJ1 CRC framing, so corruption is detected the same way journal
+/// corruption is.
+struct RecoverySnapshot {
+  net::SimTime when;
+  std::vector<core::Override> overrides;  // sorted by prefix on write
+
+  std::vector<std::uint8_t> serialize() const;
+
+  /// Decodes one record; nullopt on malformed bytes or a wrong tag.
+  static std::optional<RecoverySnapshot> deserialize(
+      std::span<const std::uint8_t> bytes);
+
+  friend bool operator==(const RecoverySnapshot&,
+                         const RecoverySnapshot&) = default;
+};
+
 /// Builds a snapshot from a controller cycle callback. Controller-injected
 /// routes are excluded; everything else is captured verbatim, in sorted
 /// order so identical cycle state serializes to identical bytes. With

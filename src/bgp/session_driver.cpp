@@ -89,6 +89,10 @@ void SessionDriver::close() {
   teardown("administrative close", false);
 }
 
+void SessionDriver::fail(const std::string& reason) {
+  teardown(reason, true);
+}
+
 void SessionDriver::kill() {
   if (!up_) return;
   up_ = false;

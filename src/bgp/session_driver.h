@@ -85,6 +85,13 @@ class SessionDriver {
   /// was up), closes the socket, fires nothing (the owner asked).
   void close();
 
+  /// Forced transport failure that *does* report: tears the connection
+  /// down as if the peer reset it, so the down handler fires and the
+  /// owner's reconnect machinery (Announcer redial) kicks in. The chaos
+  /// layer uses this to inject deterministic session flaps; close() is
+  /// silent by contract and kill() deliberately leaks the socket.
+  void fail(const std::string& reason);
+
   /// Silent death for fail-safe drills: stops ticking and reading but
   /// keeps the socket OPEN and sends no NOTIFICATION or FIN — the peer
   /// sees only silence until its hold timer expires. The fd is released

@@ -264,6 +264,19 @@ void BgpSpeaker::withdraw_origination(const net::Prefix& prefix,
   }
 }
 
+void BgpSpeaker::send_withdraw(const std::vector<net::Prefix>& prefixes,
+                               net::SimTime now) {
+  if (prefixes.empty()) return;
+  now_ = std::max(now_, now);
+  UpdateMessage update;
+  update.withdrawn = prefixes;
+  for (auto& [id, neighbor] : neighbors_) {
+    if (neighbor.session->established()) {
+      neighbor.session->send_update(update);
+    }
+  }
+}
+
 void BgpSpeaker::set_originations(
     const std::map<net::Prefix, Origination>& originations,
     net::SimTime now) {

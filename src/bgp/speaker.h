@@ -93,6 +93,16 @@ class BgpSpeaker {
   /// Stops originating `prefix` and withdraws it from all sessions.
   void withdraw_origination(const net::Prefix& prefix, net::SimTime now);
 
+  /// Sends an unconditional WITHDRAW for `prefixes` to every established
+  /// session, regardless of the origination table. withdraw_origination
+  /// is a no-op for prefixes this speaker never originated — but the
+  /// enforcement auditor needs to purge router state the speaker has no
+  /// record of (stale overrides surviving a controller restart, or a
+  /// divergence injected by the chaos layer). Does not touch
+  /// originations_.
+  void send_withdraw(const std::vector<net::Prefix>& prefixes,
+                     net::SimTime now);
+
   /// Replaces the full origination set in one pass, sending only the
   /// necessary announce/withdraw deltas (the Edge Fabric controller calls
   /// this every cycle with the new override set).

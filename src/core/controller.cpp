@@ -306,6 +306,61 @@ void Controller::withdraw_all(net::SimTime now) {
   active_.clear();
 }
 
+void Controller::restore_overrides(const std::vector<Override>& overrides,
+                                   net::SimTime now) {
+  std::map<net::Prefix, Override> restored;
+  for (const Override& o : overrides) restored[o.prefix] = o;
+  if (config_.enforcement == Enforcement::kBgpInjection) {
+    std::map<net::Prefix, bgp::BgpSpeaker::Origination> originations;
+    for (const auto& [prefix, override_entry] : restored) {
+      bgp::BgpSpeaker::Origination origination;
+      origination.path_tail = override_entry.as_path;
+      origination.local_pref = bgp::LocalPref(config_.override_local_pref);
+      origination.next_hop = override_entry.next_hop;
+      origination.communities = {
+          kOverrideCommunity,
+          bgp::peer_type_community(override_entry.target_type)};
+      originations[prefix] = std::move(origination);
+    }
+    speaker_.set_originations(originations, now);
+    pop_->pump();
+  } else if (config_.enforcement == Enforcement::kHostRouting) {
+    const net::SimTime lease_until =
+        now + net::SimTime::millis(static_cast<std::int64_t>(
+                  config_.cycle_period.millis_value() *
+                  config_.host_lease_cycles));
+    for (const auto& [prefix, override_entry] : restored) {
+      pop_->install_host_override(prefix, override_entry.next_hop,
+                                  lease_until);
+    }
+  }
+  active_ = std::move(restored);
+  ledger_.invalidate();
+}
+
+void Controller::repair_overrides(const std::vector<net::Prefix>& reannounce,
+                                  const std::vector<net::Prefix>& withdraw,
+                                  net::SimTime now) {
+  if (config_.enforcement != Enforcement::kBgpInjection) return;
+  for (const net::Prefix& prefix : reannounce) {
+    auto it = active_.find(prefix);
+    if (it == active_.end()) continue;
+    const Override& override_entry = it->second;
+    bgp::BgpSpeaker::Origination origination;
+    origination.path_tail = override_entry.as_path;
+    origination.local_pref = bgp::LocalPref(config_.override_local_pref);
+    origination.next_hop = override_entry.next_hop;
+    origination.communities = {
+        kOverrideCommunity,
+        bgp::peer_type_community(override_entry.target_type)};
+    // originate() re-sends unconditionally even when the entry matches
+    // what the speaker already holds — the repair primitive.
+    speaker_.originate(prefix, origination, now);
+  }
+  speaker_.send_withdraw(withdraw, now);
+  pop_->pump();
+}
+
 void Controller::tick(net::SimTime now) {
   speaker_.tick(now);
   pop_->pump();

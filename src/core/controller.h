@@ -164,6 +164,27 @@ class Controller {
   /// inputs are too stale to act on.
   void withdraw_all(net::SimTime now);
 
+  /// Warm restart: adopts `overrides` as the active set and (under BGP
+  /// injection) re-injects them through the speaker, exactly as a cycle
+  /// that allocated this set would have. The efd daemon calls this on
+  /// `--recover` startup with the recovery-file snapshot, so the routers
+  /// converge back to the pre-crash state before any fresh inputs
+  /// arrive. Invalidates the incremental ledger — the restored set has
+  /// no change-log lineage.
+  void restore_overrides(const std::vector<Override>& overrides,
+                         net::SimTime now);
+
+  /// Auditor repair for in-process BGP injection: re-sends the current
+  /// origination UPDATE for each `reannounce` prefix still in the active
+  /// set (fixing missing / wrong-attribute divergence at the routers)
+  /// and unconditional withdraws for `withdraw` (purging router state
+  /// this controller never announced, e.g. a previous incarnation's
+  /// leftovers). No-op under kHostRouting/kShadow — the audit read-back
+  /// only exists for the BGP enforcement plane.
+  void repair_overrides(const std::vector<net::Prefix>& reannounce,
+                        const std::vector<net::Prefix>& withdraw,
+                        net::SimTime now);
+
   /// Drops the incremental ledger: the next cycle recomputes in full.
   /// Call on any event the RIB/demand change logs cannot see — failsafe
   /// ladder transitions, external state resets. No-op when incremental

@@ -47,7 +47,8 @@ FaultKind FaultInjector::draw(std::uint64_t index, net::Rng& rng) {
 }
 
 FaultDecision FaultInjector::apply(std::span<const std::uint8_t> message,
-                                   std::size_t header_len) {
+                                   std::size_t header_len,
+                                   bool withdraw_bearing) {
   const std::uint64_t index = seen_++;
   // Each message gets its own generator derived from (seed, index), so
   // its fate — kind and mangling alike — is independent of every other
@@ -56,6 +57,16 @@ FaultDecision FaultInjector::apply(std::span<const std::uint8_t> message,
   // decision at any later index.
   net::Rng rng(config_.seed ^ (0x9E3779B97F4A7C15ull * (index + 1)));
   FaultKind kind = draw(index, rng);
+
+  // The swallow roll comes strictly after the six seeded kinds (and only
+  // for withdraw-bearing messages), so turning it on cannot perturb any
+  // other decision — the replay-alignment property chaos --verify pins.
+  bool swallowed = false;
+  if (kind == FaultKind::kNone && withdraw_bearing &&
+      rng.bernoulli(config_.swallow_withdraw)) {
+    kind = FaultKind::kDrop;
+    swallowed = true;
+  }
 
   // Faults that need room to act degrade to kNone on messages too small
   // to carry them, keeping the decision well-defined for any input.
@@ -79,6 +90,7 @@ FaultDecision FaultInjector::apply(std::span<const std::uint8_t> message,
       break;
     case FaultKind::kDrop:
       ++stats_.dropped;
+      if (swallowed) ++stats_.withdraws_swallowed;
       break;
     case FaultKind::kDuplicate:
       out.bytes.reserve(message.size() * 2);

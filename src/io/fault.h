@@ -48,6 +48,13 @@ struct FaultConfig {
   double corrupt_header = 0.0;
   double truncate = 0.0;
   double disconnect = 0.0;
+  /// Probability of silently discarding a *withdraw-bearing* message
+  /// (one the caller flags via apply()'s withdraw_bearing). Models a
+  /// router or filter that swallows withdraws while letting announces
+  /// through — the divergence class the enforcement auditor exists to
+  /// catch. Rolled only after every seeded kind above declined, so
+  /// enabling it never shifts their draws.
+  double swallow_withdraw = 0.0;
 };
 
 /// A scripted fault: force `kind` on the `at`-th message (0-based) seen
@@ -79,8 +86,11 @@ class FaultInjector {
   /// Decides the fate of one whole protocol message. `header_len` is the
   /// protocol's framing-header size (6 for BMP): header corruption flips
   /// a byte inside it, body corruption strictly past it.
+  /// `withdraw_bearing` marks messages eligible for the swallow_withdraw
+  /// roll (BGP UPDATEs with a non-empty withdrawn-routes field); leaving
+  /// it false keeps the decision byte-identical to older callers.
   FaultDecision apply(std::span<const std::uint8_t> message,
-                      std::size_t header_len);
+                      std::size_t header_len, bool withdraw_bearing = false);
 
   /// Messages inspected so far (the index the script addresses).
   std::uint64_t seen() const { return seen_; }
@@ -92,6 +102,8 @@ class FaultInjector {
     std::uint64_t corrupted = 0;
     std::uint64_t truncated = 0;
     std::uint64_t disconnects = 0;
+    /// Withdraw-bearing messages swallowed (also counted in dropped).
+    std::uint64_t withdraws_swallowed = 0;
   };
   const Stats& stats() const { return stats_; }
 

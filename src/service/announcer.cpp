@@ -18,6 +18,15 @@ Announcer::Announcer(io::EventLoop& loop, Config config)
   for (std::uint16_t port : config_.ports) {
     auto peer = std::make_unique<Peer>();
     peer->port = port;
+    if (config_.faults) {
+      // Same seed-mixing constant as the injector's own per-message
+      // derivation, keyed on the peer index so two peers never share a
+      // fault schedule.
+      io::FaultConfig fault_config = *config_.faults;
+      fault_config.seed ^= 0x9E3779B97F4A7C15ull * (peers_.size() + 1);
+      peer->faults = std::make_unique<io::FaultInjector>(
+          fault_config, config_.fault_script);
+    }
     peers_.push_back(std::move(peer));
   }
   per_peer_sent_ =
@@ -68,20 +77,69 @@ bool Announcer::dial(std::size_t index) {
   peer.id = speaker_.add_neighbor(
       session_config,
       [this, index, driver](std::vector<std::uint8_t> bytes) {
-        if (bytes.size() > 18 &&
+        const bool is_update =
+            bytes.size() > 18 &&
             bytes[18] ==
-                static_cast<std::uint8_t>(bgp::MessageType::kUpdate)) {
-          updates_sent_.fetch_add(1, std::memory_order_release);
-          per_peer_sent_[index].fetch_add(1, std::memory_order_release);
-          if (bytes.size() >= 21) {
-            const std::uint16_t withdrawn_len =
-                static_cast<std::uint16_t>((bytes[19] << 8) | bytes[20]);
-            if (withdrawn_len > 0) {
-              withdraw_msgs_.fetch_add(1, std::memory_order_release);
-            }
+                static_cast<std::uint8_t>(bgp::MessageType::kUpdate);
+        if (!is_update) {
+          // OPEN/KEEPALIVE/NOTIFICATION pass untouched — their timing is
+          // wall-clock driven, so faulting them would desync the
+          // deterministic UPDATE-indexed schedule.
+          driver->transmit(std::move(bytes));
+          return;
+        }
+        bool withdraw_bearing = false;
+        if (bytes.size() >= 21) {
+          const std::uint16_t withdrawn_len =
+              static_cast<std::uint16_t>((bytes[19] << 8) | bytes[20]);
+          withdraw_bearing = withdrawn_len > 0;
+        }
+        std::uint64_t copies = 1;
+        bool flap = false;
+        if (io::FaultInjector* faults = peers_[index]->faults.get()) {
+          io::FaultDecision decision =
+              faults->apply(bytes, 19, withdraw_bearing);
+          switch (decision.kind) {
+            case io::FaultKind::kDrop:
+              faults_dropped_.fetch_add(1, std::memory_order_release);
+              if (withdraw_bearing) {
+                withdraws_swallowed_.fetch_add(1, std::memory_order_release);
+              }
+              return;  // never reaches the wire, never counted
+            case io::FaultKind::kDuplicate:
+              copies = 2;
+              faults_duplicated_.fetch_add(1, std::memory_order_release);
+              bytes = std::move(decision.bytes);
+              break;
+            case io::FaultKind::kDisconnect:
+              flap = true;
+              faults_flapped_.fetch_add(1, std::memory_order_release);
+              break;
+            default:
+              bytes = std::move(decision.bytes);
+              break;
           }
         }
+        // Count post-fault wire messages: the drain barrier compares
+        // these against the peering router's updates_received, and a
+        // dropped UPDATE genuinely never arrives while a duplicate
+        // arrives twice.
+        updates_sent_.fetch_add(copies, std::memory_order_release);
+        per_peer_sent_[index].fetch_add(copies, std::memory_order_release);
+        if (withdraw_bearing) {
+          withdraw_msgs_.fetch_add(copies, std::memory_order_release);
+        }
         driver->transmit(std::move(bytes));
+        if (flap) {
+          // Deferred: teardown reenters the speaker (session close →
+          // route flush), which must not run inside this send path.
+          loop_.post([this, index] {
+            Peer& flapped = *peers_[index];
+            if (flapped.driver && flapped.driver->transport_up()) {
+              flapped.driver->fail("injected session flap");
+            }
+          });
+        }
       });
   driver->bind(*speaker_.session(peer.id));
   driver->set_down_handler([this, index](const std::string& reason) {
@@ -151,6 +209,25 @@ void Announcer::withdraw_all(net::SimTime now) {
   publish();
 }
 
+void Announcer::refresh(const std::vector<net::Prefix>& prefixes,
+                        net::SimTime now) {
+  if (killed_) return;
+  const auto& originations = speaker_.originations();
+  for (const net::Prefix& prefix : prefixes) {
+    auto it = originations.find(prefix);
+    if (it == originations.end()) continue;
+    // originate() re-sends unconditionally even when the entry is
+    // unchanged — exactly the repair primitive the auditor needs.
+    speaker_.originate(prefix, it->second, now);
+  }
+}
+
+void Announcer::force_withdraw(const std::vector<net::Prefix>& prefixes,
+                               net::SimTime now) {
+  if (killed_) return;
+  speaker_.send_withdraw(prefixes, now);
+}
+
 void Announcer::kill() {
   if (killed_) return;
   killed_ = true;
@@ -177,6 +254,12 @@ Announcer::Stats Announcer::stats() const {
   stats.updates_sent = updates_sent_.load(std::memory_order_acquire);
   stats.withdraw_msgs = withdraw_msgs_.load(std::memory_order_acquire);
   stats.prefixes_active = prefixes_active_.load(std::memory_order_acquire);
+  stats.faults_dropped = faults_dropped_.load(std::memory_order_acquire);
+  stats.faults_duplicated =
+      faults_duplicated_.load(std::memory_order_acquire);
+  stats.faults_flapped = faults_flapped_.load(std::memory_order_acquire);
+  stats.withdraws_swallowed =
+      withdraws_swallowed_.load(std::memory_order_acquire);
   return stats;
 }
 

@@ -29,6 +29,7 @@
 #include <functional>
 #include <map>
 #include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -37,6 +38,7 @@
 #include "core/allocator.h"
 #include "io/backoff.h"
 #include "io/event_loop.h"
+#include "io/fault.h"
 
 namespace ef::service {
 
@@ -57,6 +59,22 @@ class Announcer {
     /// Redial schedule (ticks are milliseconds). max_retries 0 =
     /// keep dialing forever.
     io::BackoffConfig redial{.base = 100, .cap = 2000, .max_retries = 0};
+    /// BGP-path fault injection (chaos). One persistent injector per
+    /// peer, seeded from faults->seed mixed with the peer index, indexed
+    /// by *UPDATE* message only — KEEPALIVE/OPEN timing is wall-clock
+    /// driven and must not perturb the schedule, or bitwise chaos replay
+    /// breaks. Supported kinds on this path: drop (UPDATE never leaves),
+    /// duplicate (sent twice), disconnect (sent, then the session is
+    /// flapped — also models a delayed ESTABLISHED, since the redial
+    /// defers the next establishment), and the swallow_withdraw roll.
+    /// Corrupt/truncate are not meaningful here (they poison the peer's
+    /// framing and void the drain-barrier counting) and are delivered
+    /// mangled at the caller's own risk. nullopt = no injector, bytes
+    /// identical to a build without this feature.
+    std::optional<io::FaultConfig> faults;
+    /// Scripted faults, addressed by per-peer UPDATE index (applies to
+    /// every peer's injector). Lets tests flap at an exact UPDATE.
+    std::vector<io::ScriptedFault> fault_script;
   };
 
   /// Session lifecycle report for the failsafe ladder: established,
@@ -82,6 +100,18 @@ class Announcer {
   /// waiting for any hold timer.
   void withdraw_all(net::SimTime now);
 
+  /// Auditor repair: re-sends the current origination UPDATE for each
+  /// prefix to every established session (fixes missing / wrong-
+  /// attribute divergence at the router). Prefixes not currently in the
+  /// announced set are ignored — force_withdraw is the tool for those.
+  void refresh(const std::vector<net::Prefix>& prefixes, net::SimTime now);
+
+  /// Auditor repair: unconditional withdraws for router state this
+  /// announcer has no origination for (extra-stale divergence — e.g.
+  /// overrides surviving from a previous controller incarnation).
+  void force_withdraw(const std::vector<net::Prefix>& prefixes,
+                      net::SimTime now);
+
   /// Silent death: stops every session's timers and reads but keeps the
   /// sockets open — peers see silence until their hold timers expire.
   /// No further announce/redial happens. Keep the Announcer alive for as
@@ -98,6 +128,13 @@ class Announcer {
     std::uint64_t updates_sent = 0;     // UPDATE messages, all peers
     std::uint64_t withdraw_msgs = 0;    // UPDATEs that only withdraw
     std::uint64_t prefixes_active = 0;  // currently announced set
+    // Injected BGP-path faults (zero unless Config::faults is set).
+    // updates_sent/updates_sent_to count post-fault wire messages, so
+    // drain barriers against the peer's updates_received stay exact.
+    std::uint64_t faults_dropped = 0;     // UPDATEs never transmitted
+    std::uint64_t faults_duplicated = 0;  // UPDATEs sent twice
+    std::uint64_t faults_flapped = 0;     // sessions failed post-send
+    std::uint64_t withdraws_swallowed = 0;  // dropped withdraw-bearing
   };
   Stats stats() const;
 
@@ -115,6 +152,10 @@ class Announcer {
     bgp::PeerId id;  // 0 = no session registered
     std::unique_ptr<bgp::SessionDriver> driver;
     std::unique_ptr<io::Reconnector> reconnector;
+    /// Survives redials: the per-peer UPDATE index keeps counting across
+    /// session flaps so the fault schedule is one deterministic sequence
+    /// for the whole run.
+    std::unique_ptr<io::FaultInjector> faults;
     bool up = false;
   };
 
@@ -136,6 +177,10 @@ class Announcer {
   std::atomic<std::uint64_t> updates_sent_{0};
   std::atomic<std::uint64_t> withdraw_msgs_{0};
   std::atomic<std::uint64_t> prefixes_active_{0};
+  std::atomic<std::uint64_t> faults_dropped_{0};
+  std::atomic<std::uint64_t> faults_duplicated_{0};
+  std::atomic<std::uint64_t> faults_flapped_{0};
+  std::atomic<std::uint64_t> withdraws_swallowed_{0};
   std::unique_ptr<std::atomic<std::uint64_t>[]> per_peer_sent_;
 };
 

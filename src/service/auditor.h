@@ -1,0 +1,118 @@
+// The enforcement auditor: closes the loop the paper leaves open.
+//
+// Edge Fabric *emits* overrides and assumes the peering routers honor
+// them. That assumption is exactly what breaks in the field: a filter
+// swallows a withdraw, a flapped session loses an UPDATE, a restarted
+// controller inherits router state it never announced. The auditor
+// turns the assumption into a checked invariant — each audit pass it is
+// handed the controller's intended override set and the router's actual
+// controller-learned routes (prd Adj-RIB-In read-back over the live BGP
+// channel, or the PoP routers' RIBs in in-process mode), diffs them,
+// and classifies every divergent prefix:
+//
+//   missing      intended but absent at the router (lost UPDATE)
+//   extra-stale  present but no longer intended (swallowed withdraw,
+//                pre-restart leftovers)
+//   wrong-attrs  present but with the wrong NEXT_HOP / LOCAL_PREF /
+//                override community (mangled or outdated UPDATE)
+//
+// Remediation is bounded and deterministic: the lowest-prefix
+// `max_repairs` divergent entries are repaired this pass (re-announce
+// for missing/wrong, unconditional withdraw for extra), the rest wait
+// for the next pass — so a mass divergence converges in a predictable
+// number of audits instead of one unbounded burst. Repeated divergence
+// (streak) escalates into the failsafe ladder via
+// InputHealth::audit_divergent_streak.
+//
+// The auditor itself is pure diff+policy: no I/O, no clocks. EfdService
+// owns the read-back plumbing and executes the repairs; that split is
+// what makes the logic unit-testable and the chaos runs replayable.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "bgp/rib.h"
+#include "core/allocator.h"
+#include "net/units.h"
+
+namespace ef::service {
+
+struct AuditorConfig {
+  bool enabled = false;
+  /// Audit every Nth guarded cycle (1 = every cycle). Must be >= 1.
+  std::uint32_t interval_cycles = 1;
+  /// Per-pass remediation budget across all divergence classes.
+  std::uint64_t max_repairs = 64;
+  /// LOCAL_PREF every enforced override must carry at the router
+  /// (ControllerConfig/Announcer::Config override_local_pref).
+  std::uint32_t override_local_pref = 1000;
+};
+
+/// One audit pass's findings and the bounded repair plan.
+struct AuditReport {
+  net::SimTime when;
+  std::uint64_t intended = 0;  // size of the intended override set
+  std::uint64_t observed = 0;  // distinct controller-learned prefixes
+  // Divergence, classified. Sorted by prefix (deterministic).
+  std::vector<net::Prefix> missing;
+  std::vector<net::Prefix> extra;
+  std::vector<net::Prefix> wrong_attrs;
+  // The bounded repair plan: what the owner should re-announce /
+  // force-withdraw this pass. missing+wrong first (restoring intent
+  // beats purging leftovers), then extras, lowest prefix first, cut at
+  // max_repairs.
+  std::vector<net::Prefix> repair_announce;
+  std::vector<net::Prefix> repair_withdraw;
+  std::uint64_t unrepaired = 0;  // divergent entries past the budget
+  /// Consecutive divergent audits including this one; 0 = convergent.
+  std::uint32_t divergent_streak = 0;
+
+  bool divergent() const {
+    return !missing.empty() || !extra.empty() || !wrong_attrs.empty();
+  }
+};
+
+class EnforcementAuditor {
+ public:
+  explicit EnforcementAuditor(AuditorConfig config);
+
+  /// Call once per guarded cycle; true when this cycle should audit
+  /// (every interval_cycles-th call, starting with the first).
+  bool note_cycle();
+
+  /// Diffs intent against observation. `observed` is the router-side
+  /// read-back; routes that are not controller-learned
+  /// (PeerType::kController) are ignored, so callers may pass a full
+  /// Adj-RIB-In snapshot unfiltered.
+  AuditReport audit(const std::map<net::Prefix, core::Override>& intended,
+                    const std::vector<bgp::Route>& observed,
+                    net::SimTime now);
+
+  /// Streak as of the last audit (what InputHealth carries forward on
+  /// non-audit cycles).
+  std::uint32_t divergent_streak() const { return streak_; }
+
+  struct Stats {
+    std::uint64_t audits = 0;
+    std::uint64_t divergent_audits = 0;
+    std::uint64_t missing_total = 0;
+    std::uint64_t extra_total = 0;
+    std::uint64_t wrong_attrs_total = 0;
+    std::uint64_t repairs_announce = 0;
+    std::uint64_t repairs_withdraw = 0;
+    std::uint64_t unrepaired_total = 0;
+  };
+  const Stats& stats() const { return stats_; }
+
+  const AuditorConfig& config() const { return config_; }
+
+ private:
+  AuditorConfig config_;
+  std::uint64_t cycles_seen_ = 0;
+  std::uint32_t streak_ = 0;
+  Stats stats_;
+};
+
+}  // namespace ef::service

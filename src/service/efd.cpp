@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <csignal>
+#include <cstdio>
 
 #include <sstream>
 
@@ -77,6 +78,20 @@ EfdService::EfdService(topology::Pop& pop, EfdConfig config)
                   .serialize());
         });
   }
+  if (config_.real_time_cycles) {
+    // Wall-clock cycles need a wall-clock hold TTL: when the feed is
+    // what died, a TTL keyed off feed time never expires. Sim/chaos
+    // feeds keep the feed-clock path so replays stay deterministic.
+    ladder_.set_steady_clock(
+        [] { return std::chrono::steady_clock::now(); });
+  }
+  if (config_.audit.enabled) {
+    AuditorConfig audit_config = config_.audit;
+    audit_config.override_local_pref =
+        config_.controller.override_local_pref;
+    auditor_ = std::make_unique<EnforcementAuditor>(audit_config);
+  }
+  if (config_.recover && !config_.recovery_path.empty()) try_recover();
 }
 
 EfdService::~EfdService() { stop(); }
@@ -113,12 +128,21 @@ void EfdService::start() {
     announcer_config.tick_period = config_.announce_tick_period;
     announcer_config.override_local_pref =
         config_.controller.override_local_pref;
+    announcer_config.faults = config_.announce_faults;
+    announcer_config.fault_script = config_.announce_fault_script;
     announcer_ = std::make_unique<Announcer>(loop_, announcer_config);
     announcer_->set_event_handler(
         [this](std::size_t peer, bool up, const std::string& reason) {
           on_announcer_event(peer, up, reason);
         });
     announcer_->connect();
+    if (recovered_) {
+      // Warm restart: seed the speaker's origination set with the
+      // recovered overrides now, so the first session establishment
+      // full-syncs the pre-crash set instead of waiting for the first
+      // kRun cycle (the ladder may hold for several cycles first).
+      announcer_->announce(controller_.active_overrides(), now_);
+    }
   }
 
   if (config_.real_time_cycles) {
@@ -144,6 +168,11 @@ void EfdService::stop() {
 void EfdService::wait() {
   if (!thread_.joinable()) return;
   thread_.join();
+  // Orderly teardown (including the SIGTERM path routed through
+  // shutdown_on_signals) leaves a final recovery snapshot behind, so a
+  // subsequent --recover restart resumes from the very set the routers
+  // still carry through their hold timers.
+  if (!config_.recovery_path.empty()) persist_recovery(now_);
   // Loop is down; tear ingest state down from this thread. Fd RAII
   // closes every socket. The decode pool drains first: its completions
   // post into the (stopped) loop and are parked there, so no decode task
@@ -442,6 +471,13 @@ void EfdService::on_window_close(
 
 void EfdService::run_cycle_guarded(net::SimTime now,
                                    const telemetry::DemandMatrix& demand) {
+  CycleDigest digest;
+  // Audit first: judge the *previous* cycle's enforced set before this
+  // cycle replaces it, so every announce has had one full cycle to
+  // propagate before the read-back is compared against it. The audit
+  // streak feeds the ladder decision below.
+  if (auditor_ && auditor_->note_cycle()) run_audit(now, digest);
+
   const InputHealth health = assess_health(now);
   const audit::FailsafeMode mode_before = ladder_.mode();
   FailsafeLadder::Decision decision = ladder_.decide(health, now);
@@ -587,7 +623,6 @@ void EfdService::run_cycle_guarded(net::SimTime now,
     dataplane_steps_.fetch_add(1, std::memory_order_release);
   }
 
-  CycleDigest digest;
   digest.when = now;
   digest.allocation_wall = wall;
   digest.ranking_cache_hit_rate = hit_rate;
@@ -606,7 +641,179 @@ void EfdService::run_cycle_guarded(net::SimTime now,
     std::lock_guard<std::mutex> lock(digest_mutex_);
     digests_.push_back(std::move(digest));
   }
+  // Whatever this cycle left enforced (the fresh set after kRun, the
+  // held set after kHold, nothing after kWithdraw) is the intent the
+  // next audit judges.
+  audited_intent_ = controller_.active_overrides();
+  if (!config_.recovery_path.empty() &&
+      decision.action == audit::FailsafeAction::kRun) {
+    persist_recovery(now);
+  }
   cycles_run_.fetch_add(1, std::memory_order_release);
+}
+
+std::vector<bgp::Route> EfdService::audit_observed() {
+  if (config_.audit_read_back) return config_.audit_read_back();
+  std::vector<bgp::Route> observed;
+  if (config_.controller.enforcement == core::Enforcement::kBgpInjection) {
+    // In-process audit digest: scan the attached PoP routers' RIBs
+    // directly. The auditor drops everything that is not
+    // controller-learned, so passing the full tables is fine.
+    for (int i = 0; i < pop_->router_count(); ++i) {
+      pop_->router(i).rib().for_each(
+          [&](const net::Prefix&, std::span<const bgp::Route> routes) {
+            for (const bgp::Route& route : routes) {
+              if (route.peer_type == bgp::PeerType::kController) {
+                observed.push_back(route);
+              }
+            }
+          });
+    }
+  }
+  return observed;
+}
+
+void EfdService::run_audit(net::SimTime now, CycleDigest& digest) {
+  const AuditReport report =
+      auditor_->audit(audited_intent_, audit_observed(), now);
+  digest.audit_ran = true;
+  digest.audit_missing = report.missing.size();
+  digest.audit_extra = report.extra.size();
+  digest.audit_wrong_attrs = report.wrong_attrs.size();
+  digest.audit_repaired =
+      report.repair_announce.size() + report.repair_withdraw.size();
+  digest.audit_divergent_streak = report.divergent_streak;
+
+  if (!report.repair_announce.empty() ||
+      !report.repair_withdraw.empty()) {
+    if (announcer_) {
+      announcer_->refresh(report.repair_announce, now);
+      announcer_->force_withdraw(report.repair_withdraw, now);
+    } else {
+      controller_.repair_overrides(report.repair_announce,
+                                   report.repair_withdraw, now);
+    }
+  }
+
+  const EnforcementAuditor::Stats& stats = auditor_->stats();
+  audit_runs_.store(stats.audits, std::memory_order_relaxed);
+  audit_divergent_.store(stats.divergent_audits,
+                         std::memory_order_relaxed);
+  audit_missing_.store(stats.missing_total, std::memory_order_relaxed);
+  audit_extra_.store(stats.extra_total, std::memory_order_relaxed);
+  audit_wrong_attrs_.store(stats.wrong_attrs_total,
+                           std::memory_order_relaxed);
+  audit_repairs_announce_.store(stats.repairs_announce,
+                                std::memory_order_relaxed);
+  audit_repairs_withdraw_.store(stats.repairs_withdraw,
+                                std::memory_order_relaxed);
+  audit_unrepaired_.store(stats.unrepaired_total,
+                          std::memory_order_relaxed);
+  audit_streak_.store(report.divergent_streak, std::memory_order_release);
+
+  if (!report.divergent()) return;
+  audit::AuditEvent event;
+  event.when = now;
+  event.intended = report.intended;
+  event.observed = report.observed;
+  event.missing = report.missing.size();
+  event.extra = report.extra.size();
+  event.wrong_attrs = report.wrong_attrs.size();
+  event.repaired_announce = report.repair_announce.size();
+  event.repaired_withdraw = report.repair_withdraw.size();
+  event.unrepaired = report.unrepaired;
+  event.divergent_streak = report.divergent_streak;
+  event.escalated =
+      ladder_.config().max_audit_failures > 0 &&
+      report.divergent_streak >= ladder_.config().max_audit_failures;
+  if (journal_) {
+    journal_->append(event.serialize());
+    journal_->flush();
+  }
+  EF_LOG_WARN("efd: audit divergence missing="
+              << report.missing.size() << " extra=" << report.extra.size()
+              << " wrong_attrs=" << report.wrong_attrs.size()
+              << " repaired=" << digest.audit_repaired
+              << " streak=" << report.divergent_streak);
+}
+
+void EfdService::persist_recovery(net::SimTime when) {
+  audit::RecoverySnapshot snap;
+  snap.when = when;
+  snap.overrides.reserve(controller_.active_overrides().size());
+  for (const auto& [prefix, override_entry] :
+       controller_.active_overrides()) {
+    snap.overrides.push_back(override_entry);
+  }
+  // Write-aside + rename: a crash mid-write leaves the previous
+  // snapshot intact, never a torn file.
+  const std::string tmp = config_.recovery_path + ".tmp";
+  {
+    audit::JournalWriter writer(tmp);
+    if (!writer.ok()) {
+      EF_LOG_WARN("efd: cannot write recovery file " << tmp);
+      return;
+    }
+    writer.append(snap.serialize());
+    writer.flush();
+    if (!writer.ok()) {
+      EF_LOG_WARN("efd: recovery write failed for " << tmp);
+      return;
+    }
+  }
+  if (std::rename(tmp.c_str(), config_.recovery_path.c_str()) != 0) {
+    EF_LOG_WARN("efd: cannot rename " << tmp << " into place");
+    return;
+  }
+  recovery_writes_.fetch_add(1, std::memory_order_release);
+}
+
+void EfdService::try_recover() {
+  auto bytes = audit::JournalReader::load(config_.recovery_path);
+  if (!bytes) {
+    EF_LOG_WARN("efd: --recover set but no recovery file at "
+                << config_.recovery_path << "; cold start");
+    return;
+  }
+  audit::JournalReader reader(std::move(*bytes));
+  std::optional<audit::RecoverySnapshot> snap;
+  while (auto record = reader.next()) {
+    if (auto decoded = audit::RecoverySnapshot::deserialize(*record)) {
+      snap = std::move(*decoded);
+    }
+  }
+  if (!snap) {
+    EF_LOG_WARN("efd: recovery file " << config_.recovery_path
+                                      << " holds no intact snapshot; "
+                                         "cold start");
+    return;
+  }
+  // Resume in hold-last-good anchored at the snapshot: re-announce the
+  // pre-crash set and treat its timestamp as the newest good inputs, so
+  // the ladder holds (bounded by its TTL) instead of passing through
+  // cold fail-static while the feeds re-attach.
+  controller_.restore_overrides(snap->overrides, snap->when);
+  ladder_.restore_anchor(snap->when);
+  now_ = snap->when;
+  demand_seen_ = true;
+  last_demand_ = snap->when;
+  audited_intent_ = controller_.active_overrides();
+  recovered_ = true;
+  failsafe_mode_.store(static_cast<std::uint64_t>(ladder_.mode()),
+                       std::memory_order_release);
+  audit::FailsafeEvent event;
+  event.when = snap->when;
+  event.from_mode = audit::FailsafeMode::kFailStatic;
+  event.to_mode = ladder_.mode();
+  event.action = audit::FailsafeAction::kHold;
+  event.reason = "warm restart: recovered " +
+                 std::to_string(snap->overrides.size()) + " overrides";
+  event.overrides_active = controller_.active_overrides().size();
+  journal_event(event);
+  EF_LOG_INFO("efd: warm restart from "
+              << config_.recovery_path << ": " << snap->overrides.size()
+              << " overrides re-announced, hold-last-good anchored at "
+              << snap->when.millis_value() << "ms");
 }
 
 InputHealth EfdService::assess_health(net::SimTime now) const {
@@ -620,6 +827,8 @@ InputHealth EfdService::assess_health(net::SimTime now) const {
   }
   health.demand_seen = demand_seen_;
   if (demand_seen_) health.demand_age = now - last_demand_;
+  health.audit_divergent_streak =
+      auditor_ ? auditor_->divergent_streak() : 0;
   return health;
 }
 
@@ -676,6 +885,8 @@ void EfdService::publish_ladder_counters() {
   failsafe_transitions_.store(stats.transitions,
                               std::memory_order_release);
   watchdog_aborts_.store(stats.watchdog_aborts, std::memory_order_release);
+  audit_escalations_.store(stats.audit_escalations,
+                           std::memory_order_release);
 }
 
 EfdService::IngestSnapshot EfdService::ingest() const {
@@ -743,7 +954,29 @@ EfdService::IngestSnapshot EfdService::ingest() const {
     snap.bgp_updates_sent = bgp.updates_sent;
     snap.bgp_withdraw_msgs = bgp.withdraw_msgs;
     snap.bgp_prefixes_announced = bgp.prefixes_active;
+    snap.bgp_faults_dropped = bgp.faults_dropped;
+    snap.bgp_faults_duplicated = bgp.faults_duplicated;
+    snap.bgp_faults_flapped = bgp.faults_flapped;
+    snap.bgp_withdraws_swallowed = bgp.withdraws_swallowed;
   }
+  snap.audit_runs = audit_runs_.load(std::memory_order_acquire);
+  snap.audit_divergent = audit_divergent_.load(std::memory_order_acquire);
+  snap.audit_missing = audit_missing_.load(std::memory_order_acquire);
+  snap.audit_extra = audit_extra_.load(std::memory_order_acquire);
+  snap.audit_wrong_attrs =
+      audit_wrong_attrs_.load(std::memory_order_acquire);
+  snap.audit_repairs_announce =
+      audit_repairs_announce_.load(std::memory_order_acquire);
+  snap.audit_repairs_withdraw =
+      audit_repairs_withdraw_.load(std::memory_order_acquire);
+  snap.audit_unrepaired =
+      audit_unrepaired_.load(std::memory_order_acquire);
+  snap.audit_divergent_streak =
+      audit_streak_.load(std::memory_order_acquire);
+  snap.audit_escalations =
+      audit_escalations_.load(std::memory_order_acquire);
+  snap.recovery_writes = recovery_writes_.load(std::memory_order_acquire);
+  snap.recovered = recovered_ ? 1 : 0;
   return snap;
 }
 
@@ -840,6 +1073,17 @@ std::string EfdService::render_status() const {
        << " fail_statics=" << snap.failsafe_fail_statics
        << " recoveries=" << snap.failsafe_recoveries << "\n";
   }
+  if (config_.audit.enabled) {
+    os << "audit: runs=" << snap.audit_runs
+       << " divergent=" << snap.audit_divergent
+       << " missing=" << snap.audit_missing
+       << " extra=" << snap.audit_extra
+       << " wrong_attrs=" << snap.audit_wrong_attrs
+       << " repairs=" << (snap.audit_repairs_announce +
+                          snap.audit_repairs_withdraw)
+       << " streak=" << snap.audit_divergent_streak
+       << " recovered=" << snap.recovered << "\n";
+  }
   {
     std::lock_guard<std::mutex> lock(digest_mutex_);
     if (!digests_.empty()) {
@@ -925,7 +1169,31 @@ std::string EfdService::render_metrics() const {
      << "efd_bgp_withdraw_updates_total " << snap.bgp_withdraw_msgs
      << "\n"
      << "efd_bgp_prefixes_announced " << snap.bgp_prefixes_announced
-     << "\n";
+     << "\n"
+     << "efd_bgp_faults_dropped_total " << snap.bgp_faults_dropped << "\n"
+     << "efd_bgp_faults_duplicated_total " << snap.bgp_faults_duplicated
+     << "\n"
+     << "efd_bgp_faults_flapped_total " << snap.bgp_faults_flapped << "\n"
+     << "efd_bgp_withdraws_swallowed_total "
+     << snap.bgp_withdraws_swallowed << "\n";
+  // Enforcement audit. Exported even while disabled so dashboards can
+  // tell "convergent" apart from "not auditing".
+  os << "efd_audit_enabled " << (config_.audit.enabled ? 1 : 0) << "\n"
+     << "efd_audit_runs_total " << snap.audit_runs << "\n"
+     << "efd_audit_divergent_total " << snap.audit_divergent << "\n"
+     << "efd_audit_missing_total " << snap.audit_missing << "\n"
+     << "efd_audit_extra_total " << snap.audit_extra << "\n"
+     << "efd_audit_wrong_attrs_total " << snap.audit_wrong_attrs << "\n"
+     << "efd_audit_repairs_announce_total " << snap.audit_repairs_announce
+     << "\n"
+     << "efd_audit_repairs_withdraw_total " << snap.audit_repairs_withdraw
+     << "\n"
+     << "efd_audit_unrepaired_total " << snap.audit_unrepaired << "\n"
+     << "efd_audit_divergent_streak " << snap.audit_divergent_streak
+     << "\n"
+     << "efd_audit_escalations_total " << snap.audit_escalations << "\n"
+     << "efd_recovery_writes_total " << snap.recovery_writes << "\n"
+     << "efd_recovered " << snap.recovered << "\n";
   // Dataplane emulation. Exported even while disabled so dashboards can
   // tell "no drops" apart from "not measuring".
   os << "efd_dataplane_enabled " << (config_.dataplane.enabled ? 1 : 0)

@@ -35,6 +35,7 @@
 #include "io/socket.h"
 #include "runtime/thread_pool.h"
 #include "service/announcer.h"
+#include "service/auditor.h"
 #include "service/failsafe.h"
 #include "service/http.h"
 #include "telemetry/sflow.h"
@@ -94,6 +95,37 @@ struct EfdConfig {
   std::vector<std::uint16_t> announce_ports;
   std::uint16_t announce_hold_secs = 90;
   std::chrono::milliseconds announce_tick_period{500};
+
+  /// BGP-path fault injection on the announcer's sessions (chaos only;
+  /// see Announcer::Config::faults). nullopt = clean wire.
+  std::optional<io::FaultConfig> announce_faults;
+  std::vector<io::ScriptedFault> announce_fault_script;
+
+  /// Closed-loop enforcement audit (see auditor.h). Every
+  /// audit.interval_cycles-th guarded cycle, the previous cycle's
+  /// enforced set is diffed against the router-side read-back, bounded
+  /// repairs are sent, and repeated divergence escalates into the
+  /// failsafe ladder. audit.override_local_pref is normalized to
+  /// controller.override_local_pref.
+  AuditorConfig audit;
+  /// Read-back channel: returns the router-side routes to audit against
+  /// (e.g. PeeringRouterService::routes() — its run_sync hop is safe
+  /// here because prd runs its own loop). Invoked on efd's loop thread.
+  /// When unset, kBgpInjection mode reads the attached PoP routers'
+  /// RIBs directly (the in-process audit digest); other modes audit
+  /// against an empty read-back only if a channel is provided — i.e.
+  /// never, so enable the audit with exactly one of these wired.
+  std::function<std::vector<bgp::Route>()> audit_read_back;
+
+  /// Crash-safe warm restart. When `recovery_path` is non-empty, each
+  /// healthy cycle (and the orderly teardown in wait()) atomically
+  /// rewrites that file with a RecoverySnapshot of the enforced
+  /// override set. With `recover` also set, startup reads the file and
+  /// resumes in hold-last-good from the recovered anchor — re-announcing
+  /// the pre-crash set instead of passing through cold fail-static.
+  /// A missing/corrupt file degrades to the normal cold start.
+  std::string recovery_path;
+  bool recover = false;
 
   /// Flow-level dataplane emulation (off by default). When enabled,
   /// every controller cycle additionally hashes a heavy-tailed flow
@@ -186,6 +218,25 @@ class EfdService {
     std::uint64_t bgp_updates_sent = 0;
     std::uint64_t bgp_withdraw_msgs = 0;
     std::uint64_t bgp_prefixes_announced = 0;
+    // Injected BGP-path faults (zero without announce_faults).
+    std::uint64_t bgp_faults_dropped = 0;
+    std::uint64_t bgp_faults_duplicated = 0;
+    std::uint64_t bgp_faults_flapped = 0;
+    std::uint64_t bgp_withdraws_swallowed = 0;
+    // Enforcement audit (all zero unless audit.enabled).
+    std::uint64_t audit_runs = 0;
+    std::uint64_t audit_divergent = 0;
+    std::uint64_t audit_missing = 0;
+    std::uint64_t audit_extra = 0;
+    std::uint64_t audit_wrong_attrs = 0;
+    std::uint64_t audit_repairs_announce = 0;
+    std::uint64_t audit_repairs_withdraw = 0;
+    std::uint64_t audit_unrepaired = 0;
+    std::uint64_t audit_divergent_streak = 0;
+    std::uint64_t audit_escalations = 0;
+    // Warm-restart recovery (zero without recovery_path).
+    std::uint64_t recovery_writes = 0;
+    std::uint64_t recovered = 0;  // 1 = started from a recovery snapshot
     // Dataplane emulation (all zero unless config.dataplane.enabled).
     std::uint64_t dataplane_steps = 0;
     std::uint64_t dataplane_flows_active = 0;
@@ -215,6 +266,15 @@ class EfdService {
     std::size_t dirty_prefixes = 0;
     std::size_t escalations = 0;
     std::size_t full_fallbacks = 0;
+    /// Enforcement-audit trace (defaults unless an audit ran this
+    /// cycle). Part of the chaos --verify digest comparison: two runs
+    /// with the same fault schedule must audit identically.
+    bool audit_ran = false;
+    std::uint64_t audit_missing = 0;
+    std::uint64_t audit_extra = 0;
+    std::uint64_t audit_wrong_attrs = 0;
+    std::uint64_t audit_repaired = 0;
+    std::uint32_t audit_divergent_streak = 0;
   };
   std::vector<CycleDigest> digests() const;
 
@@ -303,6 +363,21 @@ class EfdService {
   /// withdraws accordingly. Every call produces one CycleDigest.
   void run_cycle_guarded(net::SimTime now,
                          const telemetry::DemandMatrix& demand);
+  /// The audit pass at the head of a guarded cycle: reads back the
+  /// router-side state, diffs it against the previous cycle's enforced
+  /// set, executes the bounded repair plan, journals divergence, and
+  /// fills the digest's audit fields.
+  void run_audit(net::SimTime now, CycleDigest& digest);
+  /// Router-side read-back: config_.audit_read_back when wired, else
+  /// the attached PoP routers' RIBs (kBgpInjection in-process mode).
+  std::vector<bgp::Route> audit_observed();
+  /// Atomically (tmp + rename) rewrites the recovery file with the
+  /// current enforced set. Called each healthy kRun cycle and once more
+  /// on orderly teardown.
+  void persist_recovery(net::SimTime when);
+  /// Constructor-time warm restart: loads the newest valid
+  /// RecoverySnapshot and resumes in hold-last-good from its anchor.
+  void try_recover();
   InputHealth assess_health(net::SimTime now) const;
   void journal_event(const audit::FailsafeEvent& event);
   void on_announcer_event(std::size_t peer_index, bool up,
@@ -340,6 +415,13 @@ class EfdService {
   net::SimTime last_demand_;        // feed time of the newest one
   std::unique_ptr<audit::JournalWriter> journal_;
   std::unique_ptr<Announcer> announcer_;
+  std::unique_ptr<EnforcementAuditor> auditor_;
+  /// The intent each audit diffs against: the override set enforced at
+  /// the END of the previous guarded cycle. Auditing the *previous*
+  /// cycle's set (not the one about to be computed) gives the announce a
+  /// full cycle to propagate before it is judged.
+  std::map<net::Prefix, core::Override> audited_intent_;
+  bool recovered_ = false;  // started from a recovery snapshot
   std::unique_ptr<dataplane::Dataplane> dataplane_;
   net::SimTime last_dataplane_step_;
   bool dataplane_stepped_ = false;
@@ -382,6 +464,17 @@ class EfdService {
   std::atomic<std::uint64_t> alloc_full_wall_ns_{0};
   std::atomic<std::uint64_t> routers_down_{0};
   std::atomic<std::uint64_t> router_reconnects_{0};
+  std::atomic<std::uint64_t> audit_runs_{0};
+  std::atomic<std::uint64_t> audit_divergent_{0};
+  std::atomic<std::uint64_t> audit_missing_{0};
+  std::atomic<std::uint64_t> audit_extra_{0};
+  std::atomic<std::uint64_t> audit_wrong_attrs_{0};
+  std::atomic<std::uint64_t> audit_repairs_announce_{0};
+  std::atomic<std::uint64_t> audit_repairs_withdraw_{0};
+  std::atomic<std::uint64_t> audit_unrepaired_{0};
+  std::atomic<std::uint64_t> audit_streak_{0};
+  std::atomic<std::uint64_t> audit_escalations_{0};
+  std::atomic<std::uint64_t> recovery_writes_{0};
   std::atomic<std::uint64_t> dataplane_steps_{0};
   std::atomic<std::uint64_t> dataplane_flows_active_{0};
   std::atomic<std::uint64_t> dataplane_flows_moved_{0};

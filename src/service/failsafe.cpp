@@ -37,6 +37,19 @@ InputState FailsafeLadder::feed_state(const InputHealth& health) const {
   return InputState::kStale;
 }
 
+InputState FailsafeLadder::audit_state(const InputHealth& health) const {
+  // A single divergent audit is transient by definition: the auditor
+  // already remediated within the same cycle and the fix is in flight.
+  if (config_.max_audit_failures == 0 ||
+      health.audit_divergent_streak <= 1) {
+    return InputState::kFresh;
+  }
+  if (health.audit_divergent_streak < config_.max_audit_failures) {
+    return InputState::kDegraded;
+  }
+  return InputState::kStale;
+}
+
 FailsafeLadder::Decision FailsafeLadder::decide(const InputHealth& health,
                                                 net::SimTime now) {
   Decision d;
@@ -49,7 +62,27 @@ FailsafeLadder::Decision FailsafeLadder::decide(const InputHealth& health,
 
   const InputState demand = demand_state(health);
   const InputState feed = feed_state(health);
-  const InputState worst = std::max(demand, feed);
+  const InputState audit = audit_state(health);
+  const InputState worst = std::max({demand, feed, audit});
+  if (audit != InputState::kFresh && audit >= std::max(demand, feed)) {
+    ++stats_.audit_escalations;
+  }
+
+  // The hold TTL normally ages on the feed clock (deterministic for
+  // chaos replay). With an injected monotonic clock it ages on that
+  // instead, so a wall/feed-clock step can neither expire the anchor
+  // early nor keep it alive forever.
+  net::SimTime hold_age;
+  if (have_last_good_) {
+    if (steady_now_) {
+      hold_age = net::SimTime::millis(
+          std::chrono::duration_cast<std::chrono::milliseconds>(
+              steady_now_() - last_good_steady_)
+              .count());
+    } else {
+      hold_age = now - last_good_;
+    }
+  }
 
   const Mode before = mode_;
   if (worst == InputState::kFresh) {
@@ -57,34 +90,46 @@ FailsafeLadder::Decision FailsafeLadder::decide(const InputHealth& health,
     mode_ = Mode::kHealthy;
     d.reason = "inputs fresh";
   } else if (worst == InputState::kStale || !have_last_good_ ||
-             now - last_good_ > config_.hold_ttl) {
+             hold_age > config_.hold_ttl) {
     d.action = Action::kWithdraw;
     mode_ = Mode::kFailStatic;
     if (worst == InputState::kStale) {
-      d.reason = demand == InputState::kStale
-                     ? (health.demand_seen
-                            ? "demand stale " + age_string(health.demand_age) +
-                                  " > " + age_string(config_.max_demand_age)
-                            : "no demand seen")
-                     : "feed stale " +
-                           age_string(health.max_router_down_age) + " > " +
-                           age_string(config_.max_router_down);
+      if (demand == InputState::kStale) {
+        d.reason = health.demand_seen
+                       ? "demand stale " + age_string(health.demand_age) +
+                             " > " + age_string(config_.max_demand_age)
+                       : "no demand seen";
+      } else if (feed == InputState::kStale) {
+        d.reason = "feed stale " +
+                   age_string(health.max_router_down_age) + " > " +
+                   age_string(config_.max_router_down);
+      } else {
+        d.reason = "enforcement divergent " +
+                   std::to_string(health.audit_divergent_streak) +
+                   " consecutive audits >= " +
+                   std::to_string(config_.max_audit_failures);
+      }
     } else if (!have_last_good_) {
       d.reason = "inputs degraded, no last-good cycle to hold";
     } else {
-      d.reason = "hold TTL expired after " +
-                 age_string(now - last_good_) + " > " +
+      d.reason = "hold TTL expired after " + age_string(hold_age) + " > " +
                  age_string(config_.hold_ttl);
     }
     ++stats_.fail_statics;
   } else {
     d.action = Action::kHold;
     mode_ = Mode::kHoldLastGood;
-    d.reason = demand != InputState::kFresh
-                   ? "demand degraded, age " + age_string(health.demand_age)
-                   : std::to_string(health.routers_down) +
-                         " router feed(s) down, worst " +
-                         age_string(health.max_router_down_age);
+    if (demand != InputState::kFresh) {
+      d.reason = "demand degraded, age " + age_string(health.demand_age);
+    } else if (feed != InputState::kFresh) {
+      d.reason = std::to_string(health.routers_down) +
+                 " router feed(s) down, worst " +
+                 age_string(health.max_router_down_age);
+    } else {
+      d.reason = "enforcement divergent " +
+                 std::to_string(health.audit_divergent_streak) +
+                 " consecutive audits";
+    }
     ++stats_.holds;
   }
 
@@ -100,6 +145,22 @@ FailsafeLadder::Decision FailsafeLadder::decide(const InputHealth& health,
 void FailsafeLadder::note_good_cycle(net::SimTime now) {
   have_last_good_ = true;
   last_good_ = now;
+  if (steady_now_) last_good_steady_ = steady_now_();
+}
+
+void FailsafeLadder::restore_anchor(net::SimTime when) {
+  if (!config_.enabled) return;
+  have_last_good_ = true;
+  last_good_ = when;
+  // On the monotonic clock the recovered anchor's age restarts at zero:
+  // the snapshot's wall age is already bounded by the feed-time check
+  // (decide() still compares `now - last_good_` when no clock is set,
+  // and the demand-age rungs gate how long the hold can persist).
+  if (steady_now_) last_good_steady_ = steady_now_();
+  if (mode_ != Mode::kHoldLastGood) {
+    mode_ = Mode::kHoldLastGood;
+    ++stats_.transitions;
+  }
 }
 
 void FailsafeLadder::note_watchdog_abort() {

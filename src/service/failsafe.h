@@ -19,7 +19,9 @@
 // fault-injection tests.
 #pragma once
 
+#include <chrono>
 #include <cstdint>
+#include <functional>
 #include <string>
 
 #include "audit/event.h"
@@ -50,6 +52,12 @@ struct FailsafeConfig {
   /// How long hold-last-good may keep reusing the last good override
   /// set before it must fall through to fail-static.
   net::SimTime hold_ttl = net::SimTime::seconds(120);
+  /// Consecutive divergent enforcement audits at which the ladder treats
+  /// enforcement as stale (fail-static). Below this, a streak of 2+
+  /// counts as degraded (hold-last-good); a single divergent audit is
+  /// tolerated as transient — remediation is normally still in flight.
+  /// 0 disables audit escalation.
+  std::uint32_t max_audit_failures = 3;
 };
 
 /// Input-health snapshot the daemon assembles each cycle.
@@ -61,6 +69,9 @@ struct InputHealth {
   bool demand_seen = false;
   /// Age of the newest closed demand window.
   net::SimTime demand_age;
+  /// Consecutive enforcement audits that found unresolved divergence
+  /// (EnforcementAuditor streak; 0 when auditing is off or convergent).
+  std::uint32_t audit_divergent_streak = 0;
 };
 
 class FailsafeLadder {
@@ -94,10 +105,30 @@ class FailsafeLadder {
   /// the "good" cycle we just attempted cannot be trusted as an anchor.
   void note_watchdog_abort();
 
+  /// Warm restart: adopts a recovered snapshot (timestamped `when`) as
+  /// the hold-last-good anchor and enters hold-last-good directly,
+  /// skipping the cold-start fail-static rung — the whole point of
+  /// `efd --recover`. The hold TTL runs from `when` on the feed clock
+  /// (or from "now" on the monotonic clock when one is injected), so a
+  /// snapshot older than the TTL still falls through to fail-static on
+  /// the first decide(). No-op when the ladder is disabled.
+  void restore_anchor(net::SimTime when);
+
+  /// Injects a monotonic clock for the hold TTL. The TTL otherwise keys
+  /// off feed time, which in real-time mode tracks the wall clock — and
+  /// an NTP step would prematurely expire (or immortalize) the anchor.
+  /// efd arms this with std::chrono::steady_clock in real-time mode;
+  /// simulated/chaos runs leave it unset so ladder walks stay a pure
+  /// function of feed time. Tests inject a fake to model clock jumps.
+  using SteadyNowFn =
+      std::function<std::chrono::steady_clock::time_point()>;
+  void set_steady_clock(SteadyNowFn fn) { steady_now_ = std::move(fn); }
+
   Mode mode() const { return mode_; }
 
   InputState demand_state(const InputHealth& health) const;
   InputState feed_state(const InputHealth& health) const;
+  InputState audit_state(const InputHealth& health) const;
 
   struct Stats {
     std::uint64_t holds = 0;        // cycles answered with kHold
@@ -105,6 +136,7 @@ class FailsafeLadder {
     std::uint64_t recoveries = 0;   // transitions back to healthy
     std::uint64_t transitions = 0;  // all mode changes
     std::uint64_t watchdog_aborts = 0;
+    std::uint64_t audit_escalations = 0;  // decisions forced by audit state
   };
   const Stats& stats() const { return stats_; }
 
@@ -115,6 +147,9 @@ class FailsafeLadder {
   Mode mode_;
   bool have_last_good_ = false;
   net::SimTime last_good_;
+  /// Monotonic twin of last_good_, stamped only when steady_now_ is set.
+  std::chrono::steady_clock::time_point last_good_steady_{};
+  SteadyNowFn steady_now_;
   Stats stats_;
 };
 

@@ -12,6 +12,7 @@
 #include <thread>
 
 #include "io/socket.h"
+#include "service/auditor.h"
 #include "service/prd.h"
 
 namespace ef::service {
@@ -247,6 +248,66 @@ TEST(Announcer, KillGoesSilentUntilHoldExpiry) {
     // A killed announcer never dials back.
     std::this_thread::sleep_for(200ms);
     EXPECT_EQ(router.snapshot().connections, 1u);
+
+    loop.stop();
+    runner.join();
+    router.stop();
+  }
+  EXPECT_EQ(io::open_fd_count(), fds_before);
+}
+
+TEST(Announcer, ScriptedFlapResyncsFullSetAndAuditsConvergent) {
+  const std::size_t fds_before = io::open_fd_count();
+  {
+    PeeringRouterService router(router_config());
+    router.start();
+
+    // Script: the very first UPDATE is transmitted and then the session
+    // is flapped — a mid-announce failure, the worst moment to lose the
+    // wire. Rates are all zero, so the schedule is exactly the script.
+    auto config = announcer_config({router.bgp_port()});
+    config.faults = io::FaultConfig{};  // zero-rate injector, script only
+    config.fault_script = {{.at = 0, .kind = io::FaultKind::kDisconnect}};
+
+    io::EventLoop loop;
+    Announcer announcer(loop, config);
+    std::thread runner([&loop] { loop.run(); });
+    loop.run_sync([&announcer] { announcer.connect(); });
+    ASSERT_TRUE(
+        wait_for([&] { return announcer.stats().sessions_established == 1; }));
+
+    std::map<net::Prefix, core::Override> overrides;
+    for (const char* text :
+         {"100.1.0.0/24", "100.2.0.0/24", "100.3.0.0/24"}) {
+      overrides.emplace(*net::Prefix::parse(text),
+                        make_override(text, 0x0A000001));
+    }
+    loop.run_sync([&] { announcer.announce(overrides, bgp::wall_now()); });
+
+    // The flap genuinely fires, the redial path re-establishes, and the
+    // re-established session full-syncs the entire set without any
+    // further announce() call.
+    ASSERT_TRUE(wait_for([&] { return announcer.stats().faults_flapped == 1; }));
+    ASSERT_TRUE(wait_for([&] { return announcer.stats().session_drops == 1; }));
+    ASSERT_TRUE(
+        wait_for([&] { return announcer.stats().sessions_established == 1; }));
+    ASSERT_TRUE(wait_for([&] { return router.snapshot().prefixes == 3; }));
+    EXPECT_GE(announcer.stats().redials, 1u);
+
+    // The auditor's verdict on the resynced router state: zero
+    // divergence in a single audit pass — missing nothing, holding
+    // nothing stale, every attribute intact.
+    AuditorConfig audit_config;
+    audit_config.enabled = true;
+    EnforcementAuditor auditor(audit_config);
+    const AuditReport report =
+        auditor.audit(overrides, router.routes(), bgp::wall_now());
+    EXPECT_FALSE(report.divergent())
+        << "missing=" << report.missing.size()
+        << " extra=" << report.extra.size()
+        << " wrong_attrs=" << report.wrong_attrs.size();
+    EXPECT_EQ(report.observed, 3u);
+    EXPECT_EQ(report.divergent_streak, 0u);
 
     loop.stop();
     runner.join();

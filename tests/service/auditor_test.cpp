@@ -1,0 +1,222 @@
+// EnforcementAuditor: pure diff+policy unit walks — divergence
+// classification (missing / extra-stale / wrong-attrs), the bounded
+// deterministic repair plan, streak bookkeeping, the audit interval,
+// and the non-controller-route filter.
+#include "service/auditor.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "bgp/route.h"
+#include "core/controller.h"
+#include "net/ip.h"
+#include "net/prefix.h"
+
+namespace ef::service {
+namespace {
+
+using net::SimTime;
+
+core::Override make_override(const char* prefix_text, std::uint32_t next_hop) {
+  core::Override entry;
+  entry.prefix = *net::Prefix::parse(prefix_text);
+  entry.rate = net::Bandwidth::gbps(1.0);
+  entry.next_hop = net::IpAddr::v4(next_hop);
+  entry.as_path = bgp::AsPath{bgp::AsNumber(64512)};
+  entry.target_type = bgp::PeerType::kTransit;
+  return entry;
+}
+
+/// A router-side route that faithfully reflects `entry` as the announcer
+/// would have injected it.
+bgp::Route faithful_route(const core::Override& entry,
+                          std::uint32_t override_local_pref = 1000) {
+  bgp::Route route;
+  route.prefix = entry.prefix;
+  route.attrs.next_hop = entry.next_hop;
+  route.attrs.local_pref = bgp::LocalPref(override_local_pref);
+  route.attrs.has_local_pref = true;
+  route.attrs.communities = {core::kOverrideCommunity,
+                             bgp::peer_type_community(entry.target_type)};
+  route.peer_type = bgp::PeerType::kController;
+  return route;
+}
+
+AuditorConfig enabled_config() {
+  AuditorConfig config;
+  config.enabled = true;
+  return config;
+}
+
+TEST(EnforcementAuditor, ConvergentStateIsClean) {
+  EnforcementAuditor auditor(enabled_config());
+  std::map<net::Prefix, core::Override> intended;
+  std::vector<bgp::Route> observed;
+  for (const char* text : {"100.1.0.0/24", "100.2.0.0/24"}) {
+    core::Override entry = make_override(text, 0x0A000001);
+    observed.push_back(faithful_route(entry));
+    intended.emplace(entry.prefix, std::move(entry));
+  }
+
+  const AuditReport report = auditor.audit(intended, observed,
+                                           SimTime::seconds(60));
+  EXPECT_FALSE(report.divergent());
+  EXPECT_EQ(report.intended, 2u);
+  EXPECT_EQ(report.observed, 2u);
+  EXPECT_TRUE(report.repair_announce.empty());
+  EXPECT_TRUE(report.repair_withdraw.empty());
+  EXPECT_EQ(report.divergent_streak, 0u);
+  EXPECT_EQ(auditor.stats().audits, 1u);
+  EXPECT_EQ(auditor.stats().divergent_audits, 0u);
+}
+
+TEST(EnforcementAuditor, ClassifiesEveryDivergenceKind) {
+  EnforcementAuditor auditor(enabled_config());
+
+  // Intent: three prefixes. Router: the first is absent (lost UPDATE),
+  // the second carries the wrong NEXT_HOP, the third is faithful — and a
+  // fourth prefix lingers that was never intended (swallowed withdraw).
+  std::map<net::Prefix, core::Override> intended;
+  const core::Override lost = make_override("100.1.0.0/24", 0x0A000001);
+  const core::Override mangled = make_override("100.2.0.0/24", 0x0A000001);
+  const core::Override faithful = make_override("100.3.0.0/24", 0x0A000001);
+  intended.emplace(lost.prefix, lost);
+  intended.emplace(mangled.prefix, mangled);
+  intended.emplace(faithful.prefix, faithful);
+
+  std::vector<bgp::Route> observed;
+  bgp::Route wrong = faithful_route(mangled);
+  wrong.attrs.next_hop = net::IpAddr::v4(0x0A0000FF);
+  observed.push_back(wrong);
+  observed.push_back(faithful_route(faithful));
+  observed.push_back(
+      faithful_route(make_override("100.9.0.0/24", 0x0A000001)));
+
+  const AuditReport report = auditor.audit(intended, observed,
+                                           SimTime::seconds(60));
+  EXPECT_TRUE(report.divergent());
+  ASSERT_EQ(report.missing.size(), 1u);
+  EXPECT_EQ(report.missing[0], lost.prefix);
+  ASSERT_EQ(report.wrong_attrs.size(), 1u);
+  EXPECT_EQ(report.wrong_attrs[0], mangled.prefix);
+  ASSERT_EQ(report.extra.size(), 1u);
+  EXPECT_EQ(report.extra[0], *net::Prefix::parse("100.9.0.0/24"));
+  // Repair plan: both intent restorations, then the purge.
+  ASSERT_EQ(report.repair_announce.size(), 2u);
+  ASSERT_EQ(report.repair_withdraw.size(), 1u);
+  EXPECT_EQ(report.unrepaired, 0u);
+  EXPECT_EQ(report.divergent_streak, 1u);
+}
+
+TEST(EnforcementAuditor, WrongLocalPrefAndMissingCommunityAreWrongAttrs) {
+  EnforcementAuditor auditor(enabled_config());
+  std::map<net::Prefix, core::Override> intended;
+  const core::Override a = make_override("100.1.0.0/24", 0x0A000001);
+  const core::Override b = make_override("100.2.0.0/24", 0x0A000001);
+  intended.emplace(a.prefix, a);
+  intended.emplace(b.prefix, b);
+
+  bgp::Route depreffed = faithful_route(a);
+  depreffed.attrs.local_pref = bgp::LocalPref(100);  // router policy reset it
+  bgp::Route stripped = faithful_route(b);
+  stripped.attrs.communities.clear();  // community filter ate the marker
+
+  const AuditReport report = auditor.audit(
+      intended, {depreffed, stripped}, SimTime::seconds(60));
+  EXPECT_EQ(report.wrong_attrs.size(), 2u);
+  EXPECT_TRUE(report.missing.empty());
+  EXPECT_TRUE(report.extra.empty());
+}
+
+TEST(EnforcementAuditor, IgnoresRoutesThatAreNotControllerLearned) {
+  EnforcementAuditor auditor(enabled_config());
+  std::map<net::Prefix, core::Override> intended;  // nothing intended
+
+  // A full Adj-RIB-In read-back includes natural BGP routes; they are
+  // not enforcement state and must not be reported as extra-stale.
+  bgp::Route natural =
+      faithful_route(make_override("100.1.0.0/24", 0x0A000001));
+  natural.peer_type = bgp::PeerType::kTransit;
+
+  const AuditReport report =
+      auditor.audit(intended, {natural}, SimTime::seconds(60));
+  EXPECT_FALSE(report.divergent());
+  EXPECT_EQ(report.observed, 0u);
+}
+
+TEST(EnforcementAuditor, RepairPlanIsBoundedAndPrefixOrdered) {
+  AuditorConfig config = enabled_config();
+  config.max_repairs = 3;
+  EnforcementAuditor auditor(config);
+
+  // Five missing and two extras against a 3-repair budget: the plan
+  // takes the three lowest missing prefixes and defers the rest.
+  std::map<net::Prefix, core::Override> intended;
+  for (const char* text : {"100.5.0.0/24", "100.1.0.0/24", "100.4.0.0/24",
+                           "100.2.0.0/24", "100.3.0.0/24"}) {
+    core::Override entry = make_override(text, 0x0A000001);
+    intended.emplace(entry.prefix, std::move(entry));
+  }
+  std::vector<bgp::Route> observed;
+  observed.push_back(
+      faithful_route(make_override("100.8.0.0/24", 0x0A000001)));
+  observed.push_back(
+      faithful_route(make_override("100.9.0.0/24", 0x0A000001)));
+
+  const AuditReport report =
+      auditor.audit(intended, observed, SimTime::seconds(60));
+  EXPECT_EQ(report.missing.size(), 5u);
+  EXPECT_EQ(report.extra.size(), 2u);
+  ASSERT_EQ(report.repair_announce.size(), 3u);
+  EXPECT_EQ(report.repair_announce[0], *net::Prefix::parse("100.1.0.0/24"));
+  EXPECT_EQ(report.repair_announce[1], *net::Prefix::parse("100.2.0.0/24"));
+  EXPECT_EQ(report.repair_announce[2], *net::Prefix::parse("100.3.0.0/24"));
+  EXPECT_TRUE(report.repair_withdraw.empty());  // budget exhausted first
+  EXPECT_EQ(report.unrepaired, 4u);
+  EXPECT_EQ(auditor.stats().unrepaired_total, 4u);
+}
+
+TEST(EnforcementAuditor, StreakCountsConsecutiveDivergenceAndResets) {
+  EnforcementAuditor auditor(enabled_config());
+  std::map<net::Prefix, core::Override> intended;
+  const core::Override entry = make_override("100.1.0.0/24", 0x0A000001);
+  intended.emplace(entry.prefix, entry);
+
+  EXPECT_EQ(auditor.audit(intended, {}, SimTime::seconds(60))
+                .divergent_streak,
+            1u);
+  EXPECT_EQ(auditor.audit(intended, {}, SimTime::seconds(120))
+                .divergent_streak,
+            2u);
+  EXPECT_EQ(auditor.divergent_streak(), 2u);
+  // Convergence resets the streak to zero, not to streak-1.
+  EXPECT_EQ(auditor
+                .audit(intended, {faithful_route(entry)},
+                       SimTime::seconds(180))
+                .divergent_streak,
+            0u);
+  EXPECT_EQ(auditor.divergent_streak(), 0u);
+  EXPECT_EQ(auditor.stats().divergent_audits, 2u);
+  EXPECT_EQ(auditor.stats().missing_total, 2u);
+}
+
+TEST(EnforcementAuditor, NoteCycleHonorsIntervalAndMasterSwitch) {
+  AuditorConfig off;  // enabled = false
+  EnforcementAuditor disabled(off);
+  EXPECT_FALSE(disabled.note_cycle());
+  EXPECT_FALSE(disabled.note_cycle());
+
+  AuditorConfig every_third = enabled_config();
+  every_third.interval_cycles = 3;
+  EnforcementAuditor auditor(every_third);
+  std::vector<bool> fired;
+  for (int i = 0; i < 7; ++i) fired.push_back(auditor.note_cycle());
+  EXPECT_EQ(fired, (std::vector<bool>{true, false, false, true, false,
+                                      false, true}));
+}
+
+}  // namespace
+}  // namespace ef::service

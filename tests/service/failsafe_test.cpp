@@ -173,6 +173,113 @@ TEST(FailsafeLadder, CountsTransitions) {
   EXPECT_EQ(ladder.stats().fail_statics, 1u);
 }
 
+TEST(FailsafeLadder, AuditStreakClimbsTheRungs) {
+  FailsafeConfig config = armed_config();
+  config.max_audit_failures = 3;
+  FailsafeLadder ladder(config);
+  ladder.decide(fresh_health(), SimTime::seconds(0));
+  ladder.note_good_cycle(SimTime::seconds(0));
+
+  // One divergent audit is transient (remediation is in flight): fresh.
+  InputHealth one = fresh_health();
+  one.audit_divergent_streak = 1;
+  EXPECT_EQ(ladder.audit_state(one), InputState::kFresh);
+  EXPECT_EQ(ladder.decide(one, SimTime::seconds(60)).action, Action::kRun);
+  ladder.note_good_cycle(SimTime::seconds(60));
+
+  // Two in a row: enforcement is degraded, hold the last good set.
+  InputHealth two = fresh_health();
+  two.audit_divergent_streak = 2;
+  EXPECT_EQ(ladder.audit_state(two), InputState::kDegraded);
+  const auto held = ladder.decide(two, SimTime::seconds(120));
+  EXPECT_EQ(held.action, Action::kHold);
+  EXPECT_NE(held.reason.find("enforcement divergent"), std::string::npos);
+
+  // At max_audit_failures the routers demonstrably ignore us: holding a
+  // set they will not honor is pretense, withdraw to plain BGP.
+  InputHealth three = fresh_health();
+  three.audit_divergent_streak = 3;
+  EXPECT_EQ(ladder.audit_state(three), InputState::kStale);
+  const auto statics = ladder.decide(three, SimTime::seconds(180));
+  EXPECT_EQ(statics.action, Action::kWithdraw);
+  EXPECT_EQ(statics.mode, Mode::kFailStatic);
+  EXPECT_NE(statics.reason.find("enforcement divergent"), std::string::npos);
+  EXPECT_EQ(ladder.stats().audit_escalations, 2u);
+}
+
+TEST(FailsafeLadder, AuditEscalationDisabledByZeroMaxFailures) {
+  FailsafeConfig config = armed_config();
+  config.max_audit_failures = 0;
+  FailsafeLadder ladder(config);
+  ladder.decide(fresh_health(), SimTime::seconds(0));
+
+  InputHealth health = fresh_health();
+  health.audit_divergent_streak = 50;  // catastrophic, but the rung is off
+  EXPECT_EQ(ladder.audit_state(health), InputState::kFresh);
+  EXPECT_EQ(ladder.decide(health, SimTime::seconds(60)).action, Action::kRun);
+  EXPECT_EQ(ladder.stats().audit_escalations, 0u);
+}
+
+// --- hold-TTL clock keying regression ----------------------------------
+//
+// The hold TTL originally aged on feed time, which in real-time mode
+// tracks the wall clock: an NTP step forward expired a healthy anchor
+// instantly, a step backward immortalized it. With a monotonic clock
+// injected, the TTL must key off that clock alone.
+TEST(FailsafeLadder, InjectedClockShieldsHoldTtlFromFeedTimeJumps) {
+  FailsafeLadder ladder(armed_config());
+  auto fake_now = std::chrono::steady_clock::time_point{};
+  ladder.set_steady_clock([&fake_now] { return fake_now; });
+
+  ladder.decide(fresh_health(), SimTime::seconds(0));
+  ladder.note_good_cycle(SimTime::seconds(0));  // steady anchor at t=0
+
+  // Feed time leaps 10000s forward (wall-clock step). The monotonic
+  // clock says the anchor is only 60s old: still well inside the 120s
+  // TTL, so the degraded input holds instead of failing static.
+  fake_now += std::chrono::seconds(60);
+  InputHealth aging = fresh_health();
+  aging.demand_age = SimTime::seconds(75);  // degraded, not stale
+  const auto shielded = ladder.decide(aging, SimTime::seconds(10000));
+  EXPECT_EQ(shielded.action, Action::kHold);
+  EXPECT_EQ(shielded.mode, Mode::kHoldLastGood);
+
+  // The inverse: feed time barely moves (75s, under the TTL) but the
+  // monotonic clock says 200s have truly elapsed — the anchor is stale
+  // no matter what the wall clock claims.
+  fake_now += std::chrono::seconds(140);  // 200s total
+  const auto expired = ladder.decide(aging, SimTime::seconds(75));
+  EXPECT_EQ(expired.action, Action::kWithdraw);
+  EXPECT_EQ(expired.mode, Mode::kFailStatic);
+  EXPECT_NE(expired.reason.find("TTL"), std::string::npos);
+}
+
+TEST(FailsafeLadder, RestoreAnchorEntersHoldAndRestartsTheTtl) {
+  FailsafeLadder ladder(armed_config());
+  EXPECT_EQ(ladder.mode(), Mode::kFailStatic);  // cold start
+
+  // Warm restart: the recovered snapshot becomes the anchor and the
+  // ladder sits in hold-last-good, never passing through a withdraw.
+  ladder.restore_anchor(SimTime::seconds(300));
+  EXPECT_EQ(ladder.mode(), Mode::kHoldLastGood);
+  EXPECT_EQ(ladder.stats().transitions, 1u);
+
+  InputHealth aging = fresh_health();
+  aging.demand_age = SimTime::seconds(75);  // degraded while feeds attach
+  EXPECT_EQ(ladder.decide(aging, SimTime::seconds(360)).action,
+            Action::kHold);
+  // 150s past the recovered anchor: the TTL still governs the hold.
+  const auto expired = ladder.decide(aging, SimTime::seconds(450));
+  EXPECT_EQ(expired.action, Action::kWithdraw);
+
+  // Disabled ladder: restore_anchor must stay inert.
+  FailsafeConfig off;
+  FailsafeLadder disabled(off);
+  disabled.restore_anchor(SimTime::seconds(300));
+  EXPECT_EQ(disabled.mode(), Mode::kHealthy);
+  EXPECT_EQ(disabled.stats().transitions, 0u);
+}
+
 // --- hysteresis/hold interaction property ------------------------------
 //
 // The daemon composes two stateful features: controller hysteresis

@@ -80,6 +80,9 @@ int usage() {
                "           [--decode-threads N] [--incremental[=FRAC]]\n"
                "           [--dataplane] [--dp-queue-ms MS] [--dp-slots N]\n"
                "           [--dp-elephant-frac F]\n"
+               "           [--audit] [--audit-interval N]\n"
+               "           [--audit-max-repairs N]\n"
+               "           [--recovery-file FILE] [--recover]\n"
                "  (port 0 = pick an ephemeral port and print it)\n"
                "  --threads: allocation-cycle workers (1 = serial,\n"
                "  0 = one per hardware thread); decisions are identical\n"
@@ -94,7 +97,13 @@ int usage() {
                "  reorder events on /metrics). --dp-queue-ms: queue depth\n"
                "  in ms of buffering (>= 0). --dp-slots: ECMP member\n"
                "  slots per interface (>= 1). --dp-elephant-frac:\n"
-               "  elephant fraction of the flow mix in [0,1].\n");
+               "  elephant fraction of the flow mix in [0,1].\n"
+               "  --audit: closed-loop enforcement audit each cycle\n"
+               "  (--audit-interval N = every Nth, --audit-max-repairs N\n"
+               "  = per-pass remediation budget). --recovery-file FILE:\n"
+               "  persist a warm-restart snapshot each healthy cycle;\n"
+               "  --recover: resume from it in hold-last-good instead of\n"
+               "  cold fail-static. docs/FAILSAFE.md has the runbook.\n");
   return 2;
 }
 
@@ -203,6 +212,32 @@ int main(int argc, char** argv) {
   }
   config.dataplane.flows.elephant_fraction = elephant_frac;
   config.dataplane.seed = static_cast<std::uint64_t>(args.num("seed", 42));
+  // Audit / warm-restart knobs, validated even while --audit is absent
+  // (same convention as the --dp-* block above).
+  config.audit.enabled = args.has("audit") ||
+                         args.has("audit-interval") ||
+                         args.has("audit-max-repairs");
+  const long audit_interval = args.num("audit-interval", 1);
+  if (audit_interval < 1) {
+    die_bad_value("audit-interval", args.options.at("audit-interval"));
+  }
+  config.audit.interval_cycles =
+      static_cast<std::uint32_t>(audit_interval);
+  const long audit_repairs = args.num("audit-max-repairs", 64);
+  if (audit_repairs < 0) {
+    die_bad_value("audit-max-repairs",
+                  args.options.at("audit-max-repairs"));
+  }
+  config.audit.max_repairs = static_cast<std::uint64_t>(audit_repairs);
+  auto recovery_it = args.options.find("recovery-file");
+  if (recovery_it != args.options.end()) {
+    config.recovery_path = recovery_it->second;
+  }
+  config.recover = args.has("recover");
+  if (config.recover && config.recovery_path.empty()) {
+    std::fprintf(stderr, "efd: --recover requires --recovery-file FILE\n");
+    return 2;
+  }
 
   service::EfdService service(pop, config);
   service.shutdown_on_signals();
@@ -211,6 +246,17 @@ int main(int argc, char** argv) {
   std::printf("efd: pop %s (%zu interfaces), %s enforcement\n",
               pop.name().c_str(), pop.def().interfaces.size(),
               args.has("inject") ? "bgp-injection" : "shadow");
+  if (config.audit.enabled) {
+    std::printf("efd: enforcement audit on (every %u cycle(s), max %ju "
+                "repair(s)/pass)\n",
+                config.audit.interval_cycles,
+                static_cast<std::uintmax_t>(config.audit.max_repairs));
+  }
+  if (!config.recovery_path.empty()) {
+    std::printf("efd: recovery snapshots -> %s%s\n",
+                config.recovery_path.c_str(),
+                config.recover ? " (warm restart requested)" : "");
+  }
   std::printf("efd: bmp 127.0.0.1:%u  sflow 127.0.0.1:%u  http 127.0.0.1:%u\n",
               service.bmp_port(), service.sflow_port(), service.http_port());
   std::fflush(stdout);

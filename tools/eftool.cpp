@@ -206,6 +206,100 @@ void apply_dataplane_flags(const Args& args,
   config.flows.elephant_fraction = unit_real(args, "dp-elephant-frac", 0.08);
 }
 
+/// Shared enforcement-audit / warm-restart flags for `serve` and
+/// `chaos`. Knobs are validated even while --audit is absent (a typo'd
+/// --audit-interval should fail the invocation), matching the --dp-*
+/// convention; either interval/budget knob implies --audit.
+///   --audit               closed-loop enforcement audit each cycle
+///   --audit-interval N    audit every Nth guarded cycle (>= 1)
+///   --audit-max-repairs N per-pass remediation budget (>= 0)
+///   --recovery-file FILE  persist a recovery snapshot each healthy cycle
+///   --recover             resume from FILE in hold-last-good on startup
+void apply_audit_flags(const Args& args, service::EfdConfig& config) {
+  config.audit.enabled = config.audit.enabled || args.has("audit") ||
+                         args.has("audit-interval") ||
+                         args.has("audit-max-repairs");
+  const long interval = args.num("audit-interval", 1);
+  if (interval < 1) {
+    die_bad_value("audit-interval", args.get("audit-interval", ""));
+  }
+  config.audit.interval_cycles = static_cast<std::uint32_t>(interval);
+  const long repairs = args.num("audit-max-repairs", 64);
+  if (repairs < 0) {
+    die_bad_value("audit-max-repairs", args.get("audit-max-repairs", ""));
+  }
+  config.audit.max_repairs = static_cast<std::uint64_t>(repairs);
+  config.recovery_path = args.get("recovery-file", "");
+  config.recover = args.has("recover");
+  if (config.recover && config.recovery_path.empty()) {
+    std::fprintf(stderr,
+                 "eftool: --recover requires --recovery-file FILE\n");
+    std::exit(2);
+  }
+}
+
+/// Parses --bgp-faults drop=R,dup=R,swallow=R,flap=N into announcer
+/// fault config: seeded drop/duplicate/swallow-withdraw rates on the
+/// BGP UPDATE stream, plus an optional scripted session flap at UPDATE
+/// index N. Strict like every flag here: unknown keys, malformed
+/// numbers, or out-of-range rates exit 2 — validated whenever the flag
+/// appears, whether or not an announcer ends up configured.
+void apply_bgp_fault_flags(const Args& args, service::EfdConfig& config,
+                           std::uint64_t seed) {
+  if (!args.has("bgp-faults")) return;
+  const std::string spec = args.get("bgp-faults", "");
+  io::FaultConfig faults;
+  faults.seed = seed;
+  std::vector<io::ScriptedFault> script;
+  std::size_t pos = 0;
+  while (pos <= spec.size()) {
+    std::size_t comma = spec.find(',', pos);
+    if (comma == std::string::npos) comma = spec.size();
+    const std::string item = spec.substr(pos, comma - pos);
+    pos = comma + 1;
+    const std::size_t eq = item.find('=');
+    if (eq == std::string::npos) die_bad_value("bgp-faults", spec);
+    const std::string key = item.substr(0, eq);
+    const std::string value = item.substr(eq + 1);
+    if (key == "flap") {
+      long index = 0;
+      try {
+        std::size_t consumed = 0;
+        index = std::stol(value, &consumed);
+        if (consumed != value.size()) die_bad_value("bgp-faults", spec);
+      } catch (const std::exception&) {
+        die_bad_value("bgp-faults", spec);
+      }
+      if (index < 0) die_bad_value("bgp-faults", spec);
+      script.push_back({static_cast<std::uint64_t>(index),
+                        io::FaultKind::kDisconnect});
+      continue;
+    }
+    double rate = 0.0;
+    try {
+      std::size_t consumed = 0;
+      rate = std::stod(value, &consumed);
+      if (consumed != value.size()) die_bad_value("bgp-faults", spec);
+    } catch (const std::exception&) {
+      die_bad_value("bgp-faults", spec);
+    }
+    if (!std::isfinite(rate) || rate < 0.0 || rate > 1.0) {
+      die_bad_value("bgp-faults", spec);
+    }
+    if (key == "drop") {
+      faults.drop = rate;
+    } else if (key == "dup") {
+      faults.duplicate = rate;
+    } else if (key == "swallow") {
+      faults.swallow_withdraw = rate;
+    } else {
+      die_bad_value("bgp-faults", spec);
+    }
+  }
+  config.announce_faults = faults;
+  config.announce_fault_script = std::move(script);
+}
+
 /// Parses --threads into RunOptions (0 = auto, 1 = serial); rejects
 /// negatives.
 sim::RunOptions run_options(const Args& args) {
@@ -938,6 +1032,9 @@ int cmd_serve(const Args& args) {
                         static_cast<std::uint64_t>(args.num("seed", 42)));
   config.announce_ports = ports_list_opt(args, "announce");
   config.announce_hold_secs = hold_secs_opt(args, "announce-hold-secs", 90);
+  apply_audit_flags(args, config);
+  apply_bgp_fault_flags(args, config,
+                        static_cast<std::uint64_t>(args.num("seed", 42)));
 
   service::EfdService service(pop, config);
   service.shutdown_on_signals();
@@ -965,6 +1062,18 @@ int cmd_serve(const Args& args) {
         "elephant frac %g)\n",
         config.dataplane.queue_depth_ms, config.dataplane.ecmp_slots,
         config.dataplane.flows.elephant_fraction);
+  }
+  if (config.audit.enabled) {
+    std::printf(
+        "eftool serve: enforcement audit on (every %u cycle(s), "
+        "max %ju repair(s)/pass)\n",
+        config.audit.interval_cycles,
+        static_cast<std::uintmax_t>(config.audit.max_repairs));
+  }
+  if (!config.recovery_path.empty()) {
+    std::printf("eftool serve: recovery snapshots -> %s%s\n",
+                config.recovery_path.c_str(),
+                config.recover ? " (warm restart requested)" : "");
   }
   std::printf(
       "eftool serve: bmp 127.0.0.1:%u  sflow 127.0.0.1:%u  http "
@@ -1457,6 +1566,11 @@ struct ChaosOutcome {
   std::uint64_t reconnects_ok = 0;
   std::uint64_t demand_dropped = 0;
   std::string metrics;
+  /// BGP enforcement leg (--bgp-faults / --audit): the in-process
+  /// peering router's final state, for the summary line.
+  bool bgp_leg = false;
+  bool bgp_drained = true;
+  service::PeeringRouterService::Snapshot pr;
 };
 
 /// One full chaos scenario: a simulation feeds a failsafe-armed shadow
@@ -1490,6 +1604,34 @@ ChaosOutcome run_chaos_once(const Args& args) {
   daemon_config.controller.enforcement = core::Enforcement::kShadow;
   daemon_config.failsafe.enabled = true;
   apply_failsafe_flags(args, daemon_config);
+
+  // Audit knobs are validated even when the BGP leg stays off — a
+  // typo'd --audit-interval must fail the invocation, not be ignored.
+  apply_audit_flags(args, daemon_config);
+
+  // BGP enforcement + closed-loop audit leg: with --bgp-faults or any
+  // --audit* knob, the shadow daemon additionally enforces each cycle's
+  // set over a real TCP BGP session to an in-process peering router —
+  // faults injected on the UPDATE stream — and each cycle's auditor
+  // pass reads the router's Adj-RIB-In back and repairs divergence.
+  const bool bgp_leg = args.has("bgp-faults") || daemon_config.audit.enabled;
+  std::unique_ptr<service::PeeringRouterService> prd;
+  if (bgp_leg) {
+    service::PeeringRouterService::Config pr_config;
+    pr_config.bgp_port = 0;
+    pr_config.local_as = world.config().local_as;
+    prd = std::make_unique<service::PeeringRouterService>(pr_config);
+    prd->start();
+    daemon_config.announce_ports = {prd->bgp_port()};
+    daemon_config.audit.enabled = true;
+    service::PeeringRouterService* prd_raw = prd.get();
+    // Safe across loops: routes() hops onto prd's own loop via
+    // run_sync, called here from efd's loop thread.
+    daemon_config.audit_read_back = [prd_raw] { return prd_raw->routes(); };
+    apply_bgp_fault_flags(
+        args, daemon_config,
+        static_cast<std::uint64_t>(args.num("fault-seed", 1)));
+  }
 
   sim::Simulation sim(pop, sim_config);
   service::EfdService daemon(pop, daemon_config);
@@ -1529,9 +1671,36 @@ ChaosOutcome run_chaos_once(const Args& args) {
     return daemon.wait_for_disconnects(n, kBarrier);
   };
 
+  // Per-step BGP drain barrier. The announcer's post-fault send counter
+  // and the peering router's receive counter must agree — and the
+  // session must be back up with no flap outstanding — before the next
+  // step runs, or the next audit's read-back would race the wire and
+  // --verify's bitwise replay would be meaningless. Resyncs after a
+  // flap keep moving the target, hence the stable-target loop.
+  auto drain_bgp = [&](std::chrono::milliseconds timeout) {
+    if (!prd) return true;
+    const auto deadline = std::chrono::steady_clock::now() + timeout;
+    std::uint64_t target = daemon.ingest().bgp_updates_sent;
+    for (;;) {
+      const service::EfdService::IngestSnapshot snap = daemon.ingest();
+      const service::PeeringRouterService::Snapshot pr = prd->snapshot();
+      if (snap.bgp_updates_sent == target &&
+          pr.updates_received >= target &&
+          snap.bgp_session_drops >= snap.bgp_faults_flapped &&
+          snap.bgp_sessions_established == 1) {
+        return true;
+      }
+      target = snap.bgp_updates_sent;
+      if (std::chrono::steady_clock::now() >= deadline) return false;
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+  };
+
   sim::LiveFeed feed(sim, feed_config, sync);
   feed.connect();
+  bool drained = drain_bgp(kBarrier);  // initial session establishment
   while (feed.step()) {
+    if (!drain_bgp(kBarrier)) drained = false;
   }
 
   ChaosOutcome out;
@@ -1543,7 +1712,11 @@ ChaosOutcome run_chaos_once(const Args& args) {
   out.reconnect_attempts = feed.reconnect_attempts();
   out.reconnects_ok = feed.reconnects_ok();
   out.demand_dropped = feed.demand_records_dropped();
+  out.bgp_leg = bgp_leg;
+  out.bgp_drained = drained;
+  if (prd) out.pr = prd->snapshot();
   daemon.stop();
+  if (prd) prd->stop();
   return out;
 }
 
@@ -1595,6 +1768,34 @@ int cmd_chaos(const Args& args) {
       static_cast<unsigned long long>(run.reconnect_attempts),
       static_cast<unsigned long long>(run.reconnects_ok),
       static_cast<unsigned long long>(run.demand_dropped));
+  if (run.bgp_leg) {
+    std::printf(
+        "  bgp: %llu update(s) sent (%llu dropped, %llu duplicated, "
+        "%llu withdraw(s) swallowed, %llu flap(s)), router holds %llu "
+        "prefix(es)%s\n",
+        static_cast<unsigned long long>(run.ingest.bgp_updates_sent),
+        static_cast<unsigned long long>(run.ingest.bgp_faults_dropped),
+        static_cast<unsigned long long>(run.ingest.bgp_faults_duplicated),
+        static_cast<unsigned long long>(run.ingest.bgp_withdraws_swallowed),
+        static_cast<unsigned long long>(run.ingest.bgp_faults_flapped),
+        static_cast<unsigned long long>(run.pr.prefixes),
+        run.bgp_drained ? "" : " [DRAIN TIMEOUT]");
+    std::printf(
+        "  audit: %llu run(s), %llu divergent (missing %llu, extra %llu, "
+        "wrong-attrs %llu), %llu repair(s), streak %llu\n",
+        static_cast<unsigned long long>(run.ingest.audit_runs),
+        static_cast<unsigned long long>(run.ingest.audit_divergent),
+        static_cast<unsigned long long>(run.ingest.audit_missing),
+        static_cast<unsigned long long>(run.ingest.audit_extra),
+        static_cast<unsigned long long>(run.ingest.audit_wrong_attrs),
+        static_cast<unsigned long long>(run.ingest.audit_repairs_announce +
+                                        run.ingest.audit_repairs_withdraw),
+        static_cast<unsigned long long>(run.ingest.audit_divergent_streak));
+    if (!run.bgp_drained) {
+      std::fprintf(stderr, "chaos: FAILED — BGP drain barrier timed out\n");
+      return 1;
+    }
+  }
 
   if (!args.has("verify")) return 0;
 
@@ -1610,7 +1811,12 @@ int cmd_chaos(const Args& args) {
     const service::EfdService::CycleDigest& a = run.digests[i];
     const service::EfdService::CycleDigest& b = replay.digests[i];
     if (a.when == b.when && a.mode == b.mode && a.action == b.action &&
-        a.overrides == b.overrides) {
+        a.overrides == b.overrides && a.audit_ran == b.audit_ran &&
+        a.audit_missing == b.audit_missing &&
+        a.audit_extra == b.audit_extra &&
+        a.audit_wrong_attrs == b.audit_wrong_attrs &&
+        a.audit_repaired == b.audit_repaired &&
+        a.audit_divergent_streak == b.audit_divergent_streak) {
       continue;
     }
     ++mismatches;
@@ -1668,11 +1874,16 @@ int usage() {
       "             [--failsafe] [--max-demand-age SECS] [--hold-ttl SECS]\n"
       "             [--max-churn-frac F] [--journal FILE]\n"
       "             [--announce P1[,P2...]] [--announce-hold-secs S]\n"
+      "             [--audit] [--audit-interval N] [--audit-max-repairs N]\n"
+      "             [--recovery-file FILE] [--recover]\n"
+      "             [--bgp-faults drop=R,dup=R,swallow=R,flap=N]\n"
       "             [--dataplane] [--dp-queue-ms MS] [--dp-slots N]\n"
       "             [--dp-elephant-frac F]\n"
       "             (foreground efd daemon; port 0 = ephemeral, printed;\n"
       "              any failsafe threshold flag arms the ladder;\n"
-      "              --announce enforces overrides over BGP/TCP)\n"
+      "              --announce enforces overrides over BGP/TCP;\n"
+      "              --audit closes the loop against the router read-back;\n"
+      "              --recovery-file + --recover = crash-safe warm restart)\n"
       "  pr         [--port P] [--as N] [--peer-as N] [--router-id N]\n"
       "             [--hold-secs S]\n"
       "             (foreground peering router: accepts BGP sessions,\n"
@@ -1691,12 +1902,16 @@ int usage() {
       "  chaos      [--steps N] [--fault-seed S] [--drop R] [--dup R]\n"
       "             [--corrupt R] [--poison R] [--truncate R]\n"
       "             [--disconnect R] [--blackout A:B] [--verify]\n"
+      "             [--bgp-faults drop=R,dup=R,swallow=R,flap=N]\n"
+      "             [--audit] [--audit-interval N] [--audit-max-repairs N]\n"
       "             [--max-demand-age SECS] [--hold-ttl SECS]\n"
       "             [--max-churn-frac F] [--journal FILE]\n"
       "             [--metrics-out FILE] [--verbose]\n"
       "             (seeded fault injection against a failsafe-armed\n"
       "              shadow daemon; --verify replays the scenario and\n"
-      "              demands bitwise-identical decisions)\n");
+      "              demands bitwise-identical decisions; --bgp-faults\n"
+      "              adds a live BGP enforcement leg to an in-process\n"
+      "              peering router with the closed-loop audit armed)\n");
   return 2;
 }
 
